@@ -1,0 +1,102 @@
+// Ablation: multi-peak disambiguation + minimum-overlap guard (the MIST
+// refinements layered on the paper's single-peak algorithm).
+//
+// The paper's PCIAM tests only the global maximum of the correlation
+// surface (Fig 2 step 7). On low-overlap or noisy data that maximum can be
+// a noise spike; MIST (this system's successor at NIST) both tests several
+// peaks and constrains interpretations to plausible overlaps. This harness
+// sweeps overlap regimes and reports exact-edge recovery for
+// k in {1, 2, 4} peaks, with and without the overlap guard, plus the CCF
+// cost each configuration pays.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "simdata/plate.hpp"
+#include "stitch/stitcher.hpp"
+#include "stitch/validate.hpp"
+
+using namespace hs;
+
+int main() {
+  std::printf("== Ablation: peak candidates & minimum-overlap guard ==\n\n");
+
+  struct Config {
+    std::size_t peaks;
+    std::int64_t min_overlap;
+    const char* label;
+  };
+  const Config configs[] = {
+      {1, 1, "paper (k=1)"},
+      {2, 1, "k=2"},
+      {4, 1, "k=4"},
+      {4, 4, "k=4 + guard"},
+  };
+
+  TextTable table({"overlap", "noise sd", "paper (k=1)", "k=2", "k=4",
+                   "k=4 + guard", "CCFs/pair k=4"});
+  std::size_t paper_total = 0, best_total = 0, edge_total = 0;
+  for (const double overlap : {0.12, 0.18, 0.25}) {
+    for (const double noise : {90.0, 250.0}) {
+      std::size_t exact[4] = {0, 0, 0, 0};
+      std::size_t edges = 0;
+      std::uint64_t ccfs_per_pair = 0;
+      for (const std::uint64_t seed : {22ull, 45ull, 77ull}) {
+        sim::AcquisitionParams acq;
+        acq.grid_rows = 4;
+        acq.grid_cols = 4;
+        acq.tile_height = 64;
+        acq.tile_width = 80;
+        acq.overlap_fraction = overlap;
+        acq.camera_noise_sd = noise;
+        acq.seed = seed;
+        const auto grid = sim::make_synthetic_grid(acq);
+        stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+        edges += grid.layout.pair_count();
+        for (std::size_t c = 0; c < std::size(configs); ++c) {
+          stitch::StitchOptions options;
+          options.peak_candidates = configs[c].peaks;
+          options.min_overlap_px = configs[c].min_overlap;
+          const auto result =
+              stitch::stitch(stitch::Backend::kSimpleCpu, provider, options);
+          exact[c] +=
+              stitch::compare_to_truth(result.table, grid).exact_edges;
+          if (c == 2) {
+            ccfs_per_pair =
+                result.ops.ccf_evaluations / grid.layout.pair_count();
+          }
+        }
+      }
+      paper_total += exact[0];
+      best_total += exact[3];
+      edge_total += edges;
+      auto cell = [&](std::size_t c) {
+        return std::to_string(exact[c]) + "/" + std::to_string(edges);
+      };
+      table.add_row({format_num(overlap, 2), format_num(noise, 0), cell(0),
+                     cell(1), cell(2), cell(3),
+                     std::to_string(ccfs_per_pair)});
+    }
+  }
+  std::printf("Exact edges recovered (3 seeds per cell, 4x4 grids of 64x80 "
+              "tiles):\n%s\n",
+              table.render().c_str());
+  std::printf("totals: paper algorithm %zu/%zu, k=4 + overlap guard %zu/%zu\n",
+              paper_total, edge_total, best_total, edge_total);
+  std::printf("\nReading: multi-peak search pays 4 extra CCFs per extra peak "
+              "and recovers edges whose surface maximum was a noise spike "
+              "(clearest in the hardest, 12%%-overlap row). The overlap "
+              "guard trades differently: it rejects thin-sliver false "
+              "winners but can also reject genuinely tiny true overlaps, so "
+              "its net effect is workload-dependent — which is why both are "
+              "options, off by default, with the paper's exact algorithm as "
+              "the baseline. Every configuration remains bit-identical "
+              "across the six backends (asserted in the test suite).\n");
+
+  if (best_total < paper_total) {
+    std::fprintf(stderr, "MULTIPEAK ABLATION REGRESSION: guard+k4 (%zu) worse "
+                         "than paper (%zu)\n",
+                 best_total, paper_total);
+    return 1;
+  }
+  return 0;
+}

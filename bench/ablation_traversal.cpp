@@ -1,0 +1,84 @@
+// Ablation for the paper's traversal-order design choice (SIV-A):
+// "This implementation supported multiple traversal orders of the grid
+// (row, column, diagonal, and their chained counterparts). The
+// chained-diagonal traversal order gave the best performance because it
+// allowed memory to be freed earlier than the other traversal orders."
+//
+// This harness runs the real Simple-CPU implementation over every traversal
+// on a wide grid and reports the peak number of live transforms (the memory
+// footprint the paper is optimizing) plus the implied buffer-pool
+// requirement for the GPU pipelines.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "simdata/plate.hpp"
+#include "stitch/stitcher.hpp"
+
+using namespace hs;
+
+int main() {
+  std::printf("== Ablation: grid traversal order vs transform memory ==\n\n");
+
+  // Wide grid (rows << cols), like the paper's 42 x 59: row orders must keep
+  // a whole grid row alive, diagonal orders only ~min(rows, cols).
+  sim::AcquisitionParams acq;
+  acq.grid_rows = 6;
+  acq.grid_cols = 16;
+  acq.tile_height = 48;
+  acq.tile_width = 64;
+  acq.overlap_fraction = 0.2;
+  const auto grid = sim::make_synthetic_grid(acq);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  const double transform_mb =
+      16.0 * static_cast<double>(acq.tile_height * acq.tile_width) / 1e6;
+
+  TextTable table({"traversal", "peak live transforms", "peak transform MB",
+                   "predicted working set"});
+  std::size_t best_peak = static_cast<std::size_t>(-1);
+  std::size_t row_peak = 0, diag_peak = 0;
+  for (const auto traversal : stitch::kAllTraversals) {
+    stitch::StitchOptions options;
+    options.traversal = traversal;
+    const auto result =
+        stitch::stitch(stitch::Backend::kSimpleCpu, provider, options);
+    const std::size_t predicted =
+        stitch::traversal_working_set(grid.layout, traversal);
+    table.add_row({stitch::traversal_name(traversal),
+                   std::to_string(result.peak_live_transforms),
+                   format_num(transform_mb *
+                                  static_cast<double>(
+                                      result.peak_live_transforms),
+                              1),
+                   std::to_string(predicted)});
+    best_peak = std::min(best_peak, result.peak_live_transforms);
+    if (traversal == stitch::Traversal::kRow) {
+      row_peak = result.peak_live_transforms;
+    }
+    if (traversal == stitch::Traversal::kDiagonalChained) {
+      diag_peak = result.peak_live_transforms;
+    }
+  }
+  std::printf("grid: %zu x %zu tiles of %zu x %zu (one transform = %.1f "
+              "MB)\n%s\n",
+              acq.grid_rows, acq.grid_cols, acq.tile_height, acq.tile_width,
+              transform_mb, table.render().c_str());
+
+  std::printf("Paper scale check: at 1392 x 1040 a transform is ~22 MB; the\n"
+              "42 x 59 grid under row traversal needs ~%zu transforms live\n"
+              "(%.1f GB) vs ~%zu (%.1f GB) under chained diagonal — why the\n"
+              "paper made chained diagonal the default and sized GPU pools\n"
+              "past the smallest grid dimension.\n\n",
+              std::size_t{60}, 60 * 22.2 / 1024.0, std::size_t{43},
+              43 * 22.2 / 1024.0);
+
+  if (diag_peak >= row_peak) {
+    std::fprintf(stderr, "TRAVERSAL ABLATION CHECK FAILED: diagonal (%zu) "
+                         "not better than row (%zu)\n",
+                 diag_peak, row_peak);
+    return 1;
+  }
+  std::printf("Reproduced: chained diagonal keeps the fewest transforms "
+              "live (%zu vs %zu for row order).\n",
+              diag_peak, row_peak);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// FFT micro-benchmarks (paper SIV-A prose claims):
+//   * planning rigor: the paper reports FFTW patient mode ~2x faster than
+//     estimate mode at 1392x1040 — compare rigors at a scaled tile.
+//   * awkward vs smooth sizes: 1392 = 2^4*3*29 and 1040 = 2^4*5*13 "do not
+//     play well with the divide-and-conquer approach".
+//   * 2-D transforms at the scaled working size used by the real-compute
+//     benches elsewhere in this suite.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fft/plan1d.hpp"
+#include "fft/plan2d.hpp"
+#include "fft/real.hpp"
+
+namespace {
+
+using hs::fft::Complex;
+using hs::fft::Direction;
+using hs::fft::Plan1d;
+using hs::fft::Plan2d;
+using hs::fft::PlanR2c2d;
+using hs::fft::Rigor;
+
+std::vector<Complex> random_signal(std::size_t n) {
+  hs::Rng rng(n);
+  std::vector<Complex> out(n);
+  for (auto& v : out) v = Complex(rng.next_double(), rng.next_double());
+  return out;
+}
+
+void BM_Fft1d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_signal(n);
+  Plan1d plan(n, Direction::kForward);
+  std::vector<Complex> out(n);
+  for (auto _ : state) {
+    plan.execute(x.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(plan.uses_bluestein() ? "bluestein" : "mixed-radix");
+}
+// 1040 and 1392: the paper's exact tile dimensions. 1024: the nearby power
+// of two. 1050/1400: their 7-smooth padding targets. 1021: prime.
+BENCHMARK(BM_Fft1d)->Arg(1024)->Arg(1040)->Arg(1050)->Arg(1392)->Arg(1400)
+    ->Arg(1021);
+
+void BM_Fft1dRigor(benchmark::State& state) {
+  const std::size_t n = 1392;
+  const auto rigor = static_cast<Rigor>(state.range(0));
+  const auto x = random_signal(n);
+  Plan1d plan(n, Direction::kForward, rigor);
+  std::vector<Complex> out(n);
+  for (auto _ : state) {
+    plan.execute(x.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(rigor == Rigor::kEstimate ? "estimate"
+                 : rigor == Rigor::kMeasure ? "measure"
+                                            : "patient");
+}
+BENCHMARK(BM_Fft1dRigor)
+    ->Arg(static_cast<int>(Rigor::kEstimate))
+    ->Arg(static_cast<int>(Rigor::kMeasure))
+    ->Arg(static_cast<int>(Rigor::kPatient));
+
+void BM_Fft2d(benchmark::State& state) {
+  const auto h = static_cast<std::size_t>(state.range(0));
+  const auto w = static_cast<std::size_t>(state.range(1));
+  const auto x = random_signal(h * w);
+  Plan2d plan(h, w, Direction::kForward);
+  std::vector<Complex> out(h * w);
+  for (auto _ : state) {
+    plan.execute(x.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(h * w));
+}
+// 260x348 is the paper tile at 1/4 scale per side (same prime structure:
+// 348 = 2^2*3*29, 260 = 2^2*5*13); 256x256 the smooth reference;
+// 270x350 the padded target.
+BENCHMARK(BM_Fft2d)
+    ->Args({256, 256})
+    ->Args({260, 348})
+    ->Args({270, 350});
+
+void BM_Fft2dRealToComplex(benchmark::State& state) {
+  // The paper's future-work optimization: real-to-complex transforms "do
+  // less work" — compare against BM_Fft2d at the same size.
+  const auto h = static_cast<std::size_t>(state.range(0));
+  const auto w = static_cast<std::size_t>(state.range(1));
+  hs::Rng rng(h * w);
+  std::vector<double> x(h * w);
+  for (auto& v : x) v = rng.next_double();
+  PlanR2c2d plan(h, w);
+  std::vector<Complex> out(h * plan.spectrum_width());
+  for (auto _ : state) {
+    plan.execute(x.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Fft2dRealToComplex)->Args({256, 256})->Args({260, 348});
+
+}  // namespace
+
+BENCHMARK_MAIN();

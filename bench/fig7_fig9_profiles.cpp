@@ -1,0 +1,147 @@
+// Figs 7 & 9 reproduction: execution profiles of Simple-GPU vs
+// Pipelined-GPU on an 8 x 8 grid (the configuration the paper profiled with
+// NVIDIA's visual profiler).
+//
+// Part 1 replays both implementations' structure on the paper-machine model
+// (full 1392x1040 tiles): the Simple-GPU GPU lane shows one kernel at a
+// time with synchronization gaps (Fig 7); the Pipelined-GPU kernel lane is
+// dense (Fig 9).
+// Part 2 runs both implementations for real on the virtual GPU with the
+// trace recorder attached and writes chrome://tracing files.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sched/models.hpp"
+#include "simdata/plate.hpp"
+#include "stitch/stitcher.hpp"
+#include "trace/trace.hpp"
+
+using namespace hs;
+
+namespace {
+
+/// Union occupancy across several lanes (e.g. kernels spread over the fft
+/// and displacement streams): merged-interval busy time over the recording.
+double union_occupancy(const trace::Recorder& recorder,
+                       const std::vector<std::string>& lanes) {
+  std::vector<std::pair<double, double>> intervals;
+  double t0 = 0.0, t1 = 0.0;
+  bool first = true;
+  for (const auto& span : recorder.spans()) {
+    if (first) {
+      t0 = span.t0_us;
+      t1 = span.t1_us;
+      first = false;
+    } else {
+      t0 = std::min(t0, span.t0_us);
+      t1 = std::max(t1, span.t1_us);
+    }
+    if (std::find(lanes.begin(), lanes.end(), span.lane) != lanes.end()) {
+      intervals.emplace_back(span.t0_us, span.t1_us);
+    }
+  }
+  std::sort(intervals.begin(), intervals.end());
+  double busy = 0.0, cursor = -1.0;
+  for (const auto& [a, b] : intervals) {
+    const double start = std::max(a, cursor);
+    if (b > start) busy += b - start;
+    cursor = std::max(cursor, b);
+  }
+  return t1 > t0 ? busy / (t1 - t0) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figs 7 & 9: GPU execution profiles, 8 x 8 grid ==\n\n");
+
+  // ---- Part 1: paper-machine model traces. ---------------------------------
+  sched::ModelConfig config;
+  config.grid_rows = 8;
+  config.grid_cols = 8;
+  config.gpus = 1;
+  config.ccf_threads = 2;
+
+  trace::Recorder simple_model;
+  sched::model_backend(stitch::Backend::kSimpleGpu, config, &simple_model);
+  std::printf("--- Fig 7 (model): Simple-GPU — synchronous invocations on "
+              "the default stream ---\n%s\n",
+              simple_model.ascii_timeline(88).c_str());
+  const auto simple_gpu_lane = simple_model.lane_stats("gpu0.kernels.s0");
+  std::printf("gpu0.kernels: occupancy %.1f%% — \"only one kernel executes "
+              "on the GPU at a time ... gaps between kernel invocations\" "
+              "(paper SIV-A)\n\n",
+              100.0 * simple_gpu_lane.occupancy);
+
+  trace::Recorder pipelined_model;
+  sched::model_backend(stitch::Backend::kPipelinedGpu, config,
+                       &pipelined_model);
+  std::printf("--- Fig 9 (model): Pipelined-GPU — one stream per stage, CCF "
+              "on CPU threads ---\n%s\n",
+              pipelined_model.ascii_timeline(88).c_str());
+  const auto pipelined_gpu_lane =
+      pipelined_model.lane_stats("gpu0.kernels.s0");
+  std::printf("gpu0.kernels: occupancy %.1f%% — \"a much higher kernel "
+              "execution density ... does not have the gaps observed in "
+              "Fig 7\" (paper SIV-B)\n\n",
+              100.0 * pipelined_gpu_lane.occupancy);
+
+  // ---- Part 2: real executions on the virtual GPU. --------------------------
+  sim::AcquisitionParams acq;
+  acq.grid_rows = 8;
+  acq.grid_cols = 8;
+  acq.tile_height = 96;
+  acq.tile_width = 128;
+  acq.overlap_fraction = 0.2;
+  const auto grid = sim::make_synthetic_grid(acq);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+
+  stitch::StitchOptions options;
+  options.gpu_count = 1;
+  options.ccf_threads = 2;
+  options.gpu_memory_bytes = 256ull << 20;
+
+  trace::Recorder simple_real;
+  options.recorder = &simple_real;
+  (void)stitch::stitch(stitch::Backend::kSimpleGpu, provider, options);
+  trace::Recorder pipelined_real;
+  options.recorder = &pipelined_real;
+  (void)stitch::stitch(stitch::Backend::kPipelinedGpu, provider, options);
+
+  std::printf("--- Real execution (virtual GPU on this host) ---\n");
+  std::printf("Simple-GPU stream timeline:\n%s\n",
+              simple_real.ascii_timeline(88).c_str());
+  std::printf("Pipelined-GPU stream timelines:\n%s\n",
+              pipelined_real.ascii_timeline(88).c_str());
+
+  TextTable table({"lane", "spans", "occupancy", "largest gap"});
+  for (const auto& lane : pipelined_real.lanes()) {
+    const auto stats = pipelined_real.lane_stats(lane);
+    table.add_row({lane, std::to_string(stats.span_count),
+                   format_num(100.0 * stats.occupancy, 1) + " %",
+                   format_num(stats.largest_gap_us / 1e3, 2) + " ms"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double real_simple = union_occupancy(simple_real, {"gpu0.default"});
+  const double real_pipelined =
+      union_occupancy(pipelined_real, {"gpu0.fft", "gpu0.disp"});
+  std::printf("real GPU-lane union occupancy: Simple-GPU %.1f%%, "
+              "Pipelined-GPU %.1f%% (note: this host's virtual GPU has no "
+              "launch latency, so the real contrast is structural; the "
+              "modeled traces above carry the paper machine's stalls)\n",
+              100.0 * real_simple, 100.0 * real_pipelined);
+
+  simple_model.write_chrome_json("fig7_simple_gpu_trace.json");
+  pipelined_model.write_chrome_json("fig9_pipelined_gpu_trace.json");
+  std::printf("chrome://tracing files: fig7_simple_gpu_trace.json, "
+              "fig9_pipelined_gpu_trace.json\n");
+
+  if (pipelined_gpu_lane.occupancy <= 2.0 * simple_gpu_lane.occupancy) {
+    std::fprintf(stderr, "PROFILE CONTRAST CHECK FAILED\n");
+    return 1;
+  }
+  std::printf("Kernel-density contrast reproduced.\n");
+  return 0;
+}

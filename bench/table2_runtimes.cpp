@@ -1,0 +1,141 @@
+// Table II reproduction: run times and speedups for the 42 x 59 image grid.
+//
+// Two complementary measurements:
+//   1. The calibrated DES replays the paper's full workload (42 x 59 grid of
+//      1392 x 1040 tiles) on a model of the paper's machine (16 logical
+//      cores, 2 GPUs) — this regenerates the table's absolute numbers.
+//   2. The six real implementations run end-to-end on a scaled workload on
+//      THIS host, demonstrating that the measured ordering matches the
+//      table's ordering (absolute times differ: this host has
+//      hardware_concurrency() cores and a virtual GPU).
+#include <cstdio>
+
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "common/thread_util.hpp"
+#include "sched/models.hpp"
+#include "simdata/plate.hpp"
+#include "stitch/stitcher.hpp"
+
+using namespace hs;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double paper_seconds;
+  const char* threads;
+  const char* gpus;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Table II: run times and speedups, 42 x 59 image grid ==\n\n");
+
+  // ---- 1. Calibrated model at full paper scale. --------------------------
+  sched::ModelConfig config;  // 42 x 59 grid of 1392 x 1040 tiles
+  config.threads = 16;
+  config.ccf_threads = 2;
+
+  const double fiji = sched::model_fiji(config).seconds;
+  const double simple_cpu =
+      sched::model_backend(stitch::Backend::kSimpleCpu, config).seconds;
+  const double mt_cpu =
+      sched::model_backend(stitch::Backend::kMtCpu, config).seconds;
+  const double pipe_cpu =
+      sched::model_backend(stitch::Backend::kPipelinedCpu, config).seconds;
+  const double simple_gpu =
+      sched::model_backend(stitch::Backend::kSimpleGpu, config).seconds;
+  config.gpus = 1;
+  const double pipe_gpu1 =
+      sched::model_backend(stitch::Backend::kPipelinedGpu, config).seconds;
+  config.gpus = 2;
+  const double pipe_gpu2 =
+      sched::model_backend(stitch::Backend::kPipelinedGpu, config).seconds;
+
+  const PaperRow rows[] = {
+      {"ImageJ/Fiji", 12960.0, "5-6", "-"},
+      {"Simple-CPU", 636.0, "1", "-"},
+      {"MT-CPU", 96.0, "16", "-"},
+      {"Pipelined-CPU", 84.0, "16", "-"},
+      {"Simple-GPU", 556.0, "1", "1"},
+      {"Pipelined-GPU", 49.7, "16", "1"},
+      {"Pipelined-GPU", 26.6, "16", "2"},
+  };
+  const double model[] = {fiji,       simple_cpu, mt_cpu,   pipe_cpu,
+                          simple_gpu, pipe_gpu1,  pipe_gpu2};
+
+  TextTable table({"implementation", "threads", "GPUs", "paper time",
+                   "model time", "paper S/CPU", "model S/CPU",
+                   "paper S/ImageJ", "model S/ImageJ"});
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const double paper_vs_cpu = 636.0 / rows[i].paper_seconds;
+    const double model_vs_cpu = simple_cpu / model[i];
+    const double paper_vs_fiji = 12960.0 / rows[i].paper_seconds;
+    const double model_vs_fiji = fiji / model[i];
+    table.add_row({rows[i].name, rows[i].threads, rows[i].gpus,
+                   format_duration(rows[i].paper_seconds),
+                   format_duration(model[i]),
+                   i < 2 ? "-" : format_num(paper_vs_cpu, 1),
+                   i < 2 ? "-" : format_num(model_vs_cpu, 1),
+                   format_num(paper_vs_fiji, 1),
+                   format_num(model_vs_fiji, 1)});
+  }
+  std::printf("Calibrated DES, paper machine model (8 physical / 16 logical "
+              "cores, 2 virtual C2070s):\n%s\n",
+              table.render().c_str());
+  std::printf("Paper headline: Pipelined-GPU vs Simple-GPU = %.1fx (paper: "
+              "11.2x)\n\n",
+              simple_gpu / pipe_gpu1);
+
+  // ---- 2. Real implementations on a scaled workload on this host. --------
+  const std::size_t grid_rows = 8, grid_cols = 8;
+  sim::AcquisitionParams acq;
+  acq.grid_rows = grid_rows;
+  acq.grid_cols = grid_cols;
+  acq.tile_height = 96;
+  acq.tile_width = 128;
+  acq.overlap_fraction = 0.2;
+  const auto grid = sim::make_synthetic_grid(acq);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+
+  stitch::StitchOptions options;
+  options.threads = effective_hardware_concurrency();
+  options.ccf_threads = 2;
+  options.gpu_memory_bytes = 256ull << 20;
+
+  TextTable real_table({"implementation", "GPUs", "measured", "vs Simple-CPU",
+                        "peak live transforms"});
+  double simple_cpu_real = 0.0;
+  auto run_backend = [&](stitch::Backend backend, std::size_t gpus,
+                         const char* label) {
+    options.gpu_count = gpus;
+    Stopwatch stopwatch;
+    const auto result = stitch::stitch(backend, provider, options);
+    const double seconds = stopwatch.seconds();
+    if (backend == stitch::Backend::kSimpleCpu) simple_cpu_real = seconds;
+    real_table.add_row(
+        {label, gpus == 0 ? "-" : std::to_string(gpus),
+         format_duration(seconds),
+         simple_cpu_real > 0.0 ? format_num(simple_cpu_real / seconds, 2) : "-",
+         std::to_string(result.peak_live_transforms)});
+  };
+  run_backend(stitch::Backend::kNaivePairwise, 0, "NaivePairwise (Fiji-style)");
+  run_backend(stitch::Backend::kSimpleCpu, 0, "Simple-CPU");
+  run_backend(stitch::Backend::kMtCpu, 0, "MT-CPU");
+  run_backend(stitch::Backend::kPipelinedCpu, 0, "Pipelined-CPU");
+  run_backend(stitch::Backend::kSimpleGpu, 1, "Simple-GPU");
+  run_backend(stitch::Backend::kPipelinedGpu, 1, "Pipelined-GPU");
+  run_backend(stitch::Backend::kPipelinedGpu, 2, "Pipelined-GPU");
+
+  std::printf("Real implementations on this host (%u hardware threads, "
+              "virtual GPUs), %zux%zu grid of %zux%zu tiles:\n%s\n",
+              effective_hardware_concurrency(), grid_rows, grid_cols,
+              acq.tile_height, acq.tile_width, real_table.render().c_str());
+  std::printf("Note: on a single-core host the parallel backends cannot beat\n"
+              "Simple-CPU in wall clock; the DES above models the paper's\n"
+              "16-core, 2-GPU machine. All backends produce bit-identical\n"
+              "displacement tables (asserted in the test suite).\n");
+  return 0;
+}

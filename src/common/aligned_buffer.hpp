@@ -1,0 +1,92 @@
+// Cache-line / SIMD aligned heap buffer with RAII ownership.
+//
+// FFT and correlation kernels operate on large contiguous arrays; 64-byte
+// alignment keeps loads on vector-register boundaries and avoids split
+// cache lines regardless of the element type.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hs {
+
+inline constexpr std::size_t kDefaultAlignment = 64;
+
+/// Owning, aligned, non-copyable array of trivially constructible elements.
+/// Contents are uninitialized after construction (the consumers always
+/// overwrite the full extent before reading).
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer requires trivially copyable elements");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count,
+                         std::size_t alignment = kDefaultAlignment)
+      : size_(count) {
+    if (count == 0) return;
+    // std::aligned_alloc requires the size to be a multiple of alignment.
+    const std::size_t bytes = ((count * sizeof(T) + alignment - 1) / alignment) * alignment;
+    data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { reset(); }
+
+  void reset() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    HS_ASSERT(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    HS_ASSERT(i < size_);
+    return data_[i];
+  }
+
+  std::span<T> span() { return {data_, size_}; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hs

@@ -1,0 +1,117 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace hs {
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         std::string default_value) {
+  HS_REQUIRE(!flags_.contains(name), "duplicate flag: " + name);
+  flags_[name] = Flag{help, std::move(default_value), /*is_switch=*/false,
+                      /*seen=*/false};
+  order_.push_back(name);
+}
+
+void CliParser::add_switch(const std::string& name, const std::string& help) {
+  HS_REQUIRE(!flags_.contains(name), "duplicate switch: " + name);
+  flags_[name] = Flag{help, "false", /*is_switch=*/true, /*seen=*/false};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw InvalidArgument("unknown flag --" + name + "\n" + usage());
+    }
+    Flag& flag = it->second;
+    if (flag.is_switch) {
+      flag.value = has_value ? value : "true";
+    } else if (has_value) {
+      flag.value = value;
+    } else {
+      if (i + 1 >= argc) {
+        throw InvalidArgument("flag --" + name + " expects a value");
+      }
+      flag.value = argv[++i];
+    }
+    flag.seen = true;
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::find(const std::string& name) const {
+  auto it = flags_.find(name);
+  HS_REQUIRE(it != flags_.end(), "flag not declared: " + name);
+  return it->second;
+}
+
+const std::string& CliParser::get(const std::string& name) const {
+  return find(name).value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string& v = find(name).value;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  HS_REQUIRE(end != nullptr && *end == '\0' && !v.empty(),
+             "flag --" + name + " expects an integer, got '" + v + "'");
+  return parsed;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string& v = find(name).value;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  HS_REQUIRE(end != nullptr && *end == '\0' && !v.empty(),
+             "flag --" + name + " expects a number, got '" + v + "'");
+  return parsed;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string& v = find(name).value;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw InvalidArgument("flag --" + name + " expects a boolean, got '" + v +
+                        "'");
+}
+
+std::string CliParser::usage() const {
+  std::string out = program_ + " -- " + description_ + "\n\nFlags:\n";
+  auto pad_to = [](std::string s, std::size_t width) {
+    if (s.size() < width) s += std::string(width - s.size(), ' ');
+    return s;
+  };
+  for (const auto& name : order_) {
+    const Flag& flag = flags_.at(name);
+    if (flag.is_switch) {
+      out += "  " + pad_to("--" + name, 28) + " " + flag.help + "\n";
+    } else {
+      out += "  " + pad_to("--" + name + "=<value>", 28) + " " + flag.help +
+             " (default: " + flag.value + ")\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace hs

@@ -1,0 +1,54 @@
+// Tiny command-line flag parser for examples and benchmark harnesses.
+//
+// Supports --name=value and --name value forms plus boolean switches.
+// Unrecognized flags are an error so typos never silently fall back to
+// defaults in benchmark runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hs {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  void add_flag(const std::string& name, const std::string& help,
+                std::string default_value);
+  void add_switch(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) if --help was given.
+  /// Throws InvalidArgument on unknown flags or missing values.
+  bool parse(int argc, const char* const* argv);
+
+  const std::string& get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Non-flag trailing arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool is_switch = false;
+    bool seen = false;
+  };
+  const Flag& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hs

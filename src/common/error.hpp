@@ -1,0 +1,73 @@
+// Error handling primitives shared by every HybridStitch library.
+//
+// The codebase uses exceptions for conditions a caller can plausibly handle
+// (bad files, exhausted device memory, invalid configuration) and hard
+// assertions for internal invariants whose violation means the program state
+// is already corrupt.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace hs {
+
+/// Base class for all recoverable HybridStitch errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on malformed or unreadable image files / datasets.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on invalid user-supplied configuration (sizes, counts, options).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a virtual-GPU memory arena cannot satisfy an allocation.
+class OutOfDeviceMemory : public Error {
+ public:
+  explicit OutOfDeviceMemory(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "HS_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace hs
+
+/// Internal invariant check; aborts on failure. Enabled in all build types:
+/// the cost is negligible next to FFT work and silent corruption is worse.
+#define HS_ASSERT(expr)                                            \
+  do {                                                             \
+    if (!(expr)) [[unlikely]] {                                    \
+      ::hs::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                              \
+  } while (false)
+
+#define HS_ASSERT_MSG(expr, msg)                                 \
+  do {                                                           \
+    if (!(expr)) [[unlikely]] {                                  \
+      ::hs::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+    }                                                            \
+  } while (false)
+
+/// Validates a caller-supplied precondition; throws InvalidArgument.
+#define HS_REQUIRE(expr, msg)                                      \
+  do {                                                             \
+    if (!(expr)) [[unlikely]] {                                    \
+      throw ::hs::InvalidArgument(std::string(msg) + " (" #expr ")"); \
+    }                                                              \
+  } while (false)

@@ -1,0 +1,65 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace hs {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  auto eq = [&](std::string_view ref) {
+    if (name.size() != ref.size()) return false;
+    for (size_t i = 0; i < name.size(); ++i) {
+      char a = name[i], b = ref[i];
+      if (a >= 'A' && a <= 'Z') a = static_cast<char>(a - 'A' + 'a');
+      if (a != b) return false;
+    }
+    return true;
+  };
+  if (eq("debug")) return LogLevel::kDebug;
+  if (eq("info")) return LogLevel::kInfo;
+  if (eq("warn") || eq("warning")) return LogLevel::kWarn;
+  if (eq("error")) return LogLevel::kError;
+  throw InvalidArgument("unknown log level: " + std::string(name));
+}
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  using namespace std::chrono;
+  char msg[1024];
+  std::vsnprintf(msg, sizeof msg, fmt, args);
+  const auto now = steady_clock::now().time_since_epoch();
+  const double secs = duration<double>(now).count();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%12.6f] %s %s\n", secs, level_name(level), msg);
+}
+}  // namespace detail
+
+}  // namespace hs

@@ -1,0 +1,43 @@
+// Minimal leveled, thread-safe logger (printf-style; GCC 12 lacks <format>).
+//
+// Logging in the hot path is forbidden by convention; the pipeline stages log
+// only lifecycle events (start/stop/drain) so the logger favours simplicity
+// over throughput.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace hs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "debug"/"info"/"warn"/"error" (case-insensitive).
+LogLevel parse_log_level(std::string_view name);
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, std::va_list args);
+}
+
+#define HS_DEFINE_LOG_FN(name, level)                            \
+  __attribute__((format(printf, 1, 2))) inline void name(        \
+      const char* fmt, ...) {                                    \
+    if ((level) < log_level()) return;                           \
+    std::va_list args;                                           \
+    va_start(args, fmt);                                         \
+    detail::vlog((level), fmt, args);                            \
+    va_end(args);                                                \
+  }
+
+HS_DEFINE_LOG_FN(log_debug, LogLevel::kDebug)
+HS_DEFINE_LOG_FN(log_info, LogLevel::kInfo)
+HS_DEFINE_LOG_FN(log_warn, LogLevel::kWarn)
+HS_DEFINE_LOG_FN(log_error, LogLevel::kError)
+
+#undef HS_DEFINE_LOG_FN
+
+}  // namespace hs

@@ -1,0 +1,50 @@
+// Type-erased move-only callable (std::move_only_function arrives in C++23;
+// this project targets C++20). Stream commands capture move-only resources
+// (pooled buffers, staging allocations), which std::function cannot hold.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hs {
+
+class MoveFunction {
+ public:
+  MoveFunction() = default;
+
+  template <typename Fn>
+    requires(!std::is_same_v<std::decay_t<Fn>, MoveFunction>)
+  MoveFunction(Fn&& fn)  // NOLINT(google-explicit-constructor): mirrors std::function
+      : callable_(std::make_unique<Model<std::decay_t<Fn>>>(
+            std::forward<Fn>(fn))) {}
+
+  MoveFunction(MoveFunction&&) noexcept = default;
+  MoveFunction& operator=(MoveFunction&&) noexcept = default;
+  MoveFunction(const MoveFunction&) = delete;
+  MoveFunction& operator=(const MoveFunction&) = delete;
+
+  explicit operator bool() const { return callable_ != nullptr; }
+
+  void operator()() {
+    HS_ASSERT_MSG(callable_ != nullptr, "calling empty MoveFunction");
+    callable_->invoke();
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void invoke() = 0;
+  };
+  template <typename Fn>
+  struct Model final : Concept {
+    explicit Model(Fn f) : fn(std::move(f)) {}
+    void invoke() override { fn(); }
+    Fn fn;
+  };
+
+  std::unique_ptr<Concept> callable_;
+};
+
+}  // namespace hs

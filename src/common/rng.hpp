@@ -1,0 +1,79 @@
+// Deterministic, seedable random number generation.
+//
+// All synthetic data (plates, stage jitter, camera noise) flows through this
+// RNG so that datasets, tests, and benchmarks are reproducible bit-for-bit
+// across runs and machines. xoshiro256** — fast, high quality, tiny state.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace hs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& word : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      std::uint64_t s = z;
+      s = (s ^ (s >> 30)) * 0xBF58476D1CE4E5B9ull;
+      s = (s ^ (s >> 27)) * 0x94D049BB133111EBull;
+      word = s ^ (s >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % range);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and
+  /// deterministic, throughput is irrelevant here).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Derives an independent stream (e.g. one per tile) from this one.
+  Rng fork() { return Rng(next_u64() ^ 0xA3EC647659359ACDull); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+inline double Rng::normal(double mean, double stddev) {
+  // Box-Muller; discard the second value to keep the state trajectory simple.
+  double u1 = next_double();
+  double u2 = next_double();
+  while (u1 <= 1e-300) u1 = next_double();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(kTwoPi * u2);
+}
+
+}  // namespace hs

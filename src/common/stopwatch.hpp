@@ -1,0 +1,46 @@
+// Wall-clock stopwatch used for all end-to-end timing.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace hs {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration the way the paper reports them ("49.7 s", "10.6 min",
+/// "3.6 h") so bench output reads side by side with the paper's tables.
+inline std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1f s", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buf, sizeof buf, "%.1f min", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f h", seconds / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace hs

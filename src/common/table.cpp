@@ -1,0 +1,124 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace hs {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  HS_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  HS_REQUIRE(cells.size() == header_.size(),
+             "row width must match header width");
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TextTable::add_separator() { pending_separator_ = true; }
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit_seen = false;
+  for (char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isdigit(c)) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' &&
+               c != 'x' && c != ' ' && c != '%') {
+      // Allow unit suffixes like "49.7 s" / "10.6 min" to right-align too.
+      if (!std::isalpha(c)) return false;
+    }
+  }
+  return digit_seen;
+}
+
+std::string pad(const std::string& s, std::size_t width, bool right) {
+  if (s.size() >= width) return s;
+  std::string fill(width - s.size(), ' ');
+  return right ? fill + s : s + fill;
+}
+
+}  // namespace
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  // Right-align a column if every non-empty body cell looks numeric.
+  std::vector<bool> right(header_.size(), true);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    bool any = false;
+    for (const Row& row : rows_) {
+      if (row.cells[c].empty()) continue;
+      any = true;
+      if (!looks_numeric(row.cells[c])) {
+        right[c] = false;
+        break;
+      }
+    }
+    if (!any) right[c] = false;
+  }
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto emit = [&](const std::vector<std::string>& cells,
+                  bool force_left = false) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " " + pad(cells[c], widths[c], !force_left && right[c]) + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = rule();
+  out += emit(header_, /*force_left=*/true);
+  out += rule();
+  for (const Row& row : rows_) {
+    if (row.separator_before) out += rule();
+    out += emit(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+std::string TextTable::render_markdown() const {
+  auto emit = [](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (const auto& cell : cells) line += " " + cell + " |";
+    return line + "\n";
+  };
+  std::string out = emit(header_);
+  out += "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) out += "---|";
+  out += "\n";
+  for (const Row& row : rows_) out += emit(row.cells);
+  return out;
+}
+
+std::string format_num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  std::string s = buf;
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace hs

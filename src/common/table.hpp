@@ -1,0 +1,40 @@
+// Plain-text table renderer used by the benchmark harnesses to print
+// paper-style tables (Table I, Table II, figure data series) to stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hs {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator before the next row.
+  void add_separator();
+
+  /// Renders with column auto-sizing; numeric-looking cells right-align.
+  std::string render() const;
+
+  /// Renders as GitHub-flavoured markdown (for EXPERIMENTS.md capture).
+  std::string render_markdown() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Formats a double with `digits` significant decimals, trimming noise.
+std::string format_num(double value, int digits = 2);
+
+}  // namespace hs

@@ -1,0 +1,24 @@
+#include "common/thread_util.hpp"
+
+#include <pthread.h>
+
+#include <cstdlib>
+#include <thread>
+
+namespace hs {
+
+void set_current_thread_name(const std::string& name) {
+  std::string truncated = name.substr(0, 15);
+  pthread_setname_np(pthread_self(), truncated.c_str());
+}
+
+unsigned effective_hardware_concurrency() {
+  if (const char* env = std::getenv("HS_THREADS"); env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace hs

@@ -1,0 +1,16 @@
+// Thread helpers: naming (for profiler traces) and a hardware-concurrency
+// query that honours the HS_THREADS environment override so experiments can
+// model the paper's 16-logical-core machine on any host.
+#pragma once
+
+#include <string>
+
+namespace hs {
+
+/// Names the calling thread (truncated to the 15-char pthread limit).
+void set_current_thread_name(const std::string& name);
+
+/// std::thread::hardware_concurrency(), overridable via HS_THREADS.
+unsigned effective_hardware_concurrency();
+
+}  // namespace hs

@@ -1,0 +1,171 @@
+#include "compose/blend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hs::compose {
+
+namespace {
+
+std::pair<std::size_t, std::size_t> mosaic_extent(
+    const stitch::TileProvider& provider, const GlobalPositions& positions) {
+  const std::size_t th = provider.tile_height();
+  const std::size_t tw = provider.tile_width();
+  std::int64_t max_x = 0, max_y = 0;
+  for (std::size_t i = 0; i < positions.x.size(); ++i) {
+    max_x = std::max(max_x, positions.x[i]);
+    max_y = std::max(max_y, positions.y[i]);
+  }
+  return {static_cast<std::size_t>(max_y) + th,
+          static_cast<std::size_t>(max_x) + tw};
+}
+
+/// Feather weight of pixel (r, c) within a th x tw tile: distance to the
+/// nearest edge + 1, separable product. Linear-blend standard.
+double feather_weight(std::size_t r, std::size_t c, std::size_t th,
+                      std::size_t tw) {
+  const double wy = static_cast<double>(std::min(r, th - 1 - r)) + 1.0;
+  const double wx = static_cast<double>(std::min(c, tw - 1 - c)) + 1.0;
+  return wy * wx;
+}
+
+}  // namespace
+
+img::ImageU16 compose_mosaic(const stitch::TileProvider& provider,
+                             const GlobalPositions& positions, BlendMode mode,
+                             MosaicStats* stats) {
+  const img::GridLayout layout = provider.layout();
+  HS_REQUIRE(positions.x.size() == layout.tile_count(),
+             "positions do not match provider layout");
+  const auto [height, width] = mosaic_extent(provider, positions);
+  const std::size_t th = provider.tile_height();
+  const std::size_t tw = provider.tile_width();
+
+  img::ImageU16 mosaic(height, width, 0);
+  const bool weighted =
+      mode == BlendMode::kAverage || mode == BlendMode::kLinear;
+  std::vector<double> acc;
+  std::vector<double> weight;
+  std::vector<std::uint8_t> written;
+  if (weighted) {
+    acc.assign(height * width, 0.0);
+    weight.assign(height * width, 0.0);
+  } else {
+    written.assign(height * width, 0);
+  }
+
+  for (std::size_t index = 0; index < layout.tile_count(); ++index) {
+    const img::TilePos pos = layout.pos_of(index);
+    const img::ImageU16 tile = provider.load(pos);
+    const auto y0 = static_cast<std::size_t>(positions.y[index]);
+    const auto x0 = static_cast<std::size_t>(positions.x[index]);
+    for (std::size_t r = 0; r < th; ++r) {
+      const std::uint16_t* src = tile.row(r);
+      const std::size_t base = (y0 + r) * width + x0;
+      switch (mode) {
+        case BlendMode::kOverlay:
+          for (std::size_t c = 0; c < tw; ++c) mosaic.data()[base + c] = src[c];
+          break;
+        case BlendMode::kFirst:
+          for (std::size_t c = 0; c < tw; ++c) {
+            if (!written[base + c]) {
+              mosaic.data()[base + c] = src[c];
+              written[base + c] = 1;
+            }
+          }
+          break;
+        case BlendMode::kAverage:
+          for (std::size_t c = 0; c < tw; ++c) {
+            acc[base + c] += static_cast<double>(src[c]);
+            weight[base + c] += 1.0;
+          }
+          break;
+        case BlendMode::kLinear:
+          for (std::size_t c = 0; c < tw; ++c) {
+            const double fw = feather_weight(r, c, th, tw);
+            acc[base + c] += fw * static_cast<double>(src[c]);
+            weight[base + c] += fw;
+          }
+          break;
+      }
+    }
+  }
+
+  if (weighted) {
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      if (weight[i] > 0.0) {
+        mosaic.data()[i] = static_cast<std::uint16_t>(
+            std::clamp(acc[i] / weight[i], 0.0, 65535.0));
+      }
+    }
+  }
+  if (stats != nullptr) {
+    *stats = MosaicStats{height, width, layout.tile_count()};
+  }
+  return mosaic;
+}
+
+img::RgbImage compose_highlighted(const stitch::TileProvider& provider,
+                                  const GlobalPositions& positions,
+                                  BlendMode mode) {
+  const img::ImageU16 mosaic = compose_mosaic(provider, positions, mode);
+  img::RgbImage out(mosaic.height(), mosaic.width());
+  for (std::size_t r = 0; r < mosaic.height(); ++r) {
+    for (std::size_t c = 0; c < mosaic.width(); ++c) {
+      const auto v = static_cast<std::uint8_t>(mosaic.at(r, c) >> 8);
+      out.set(r, c, {v, v, v});
+    }
+  }
+  // Trace each tile's outline (alternating colors so neighbours differ).
+  const img::GridLayout layout = provider.layout();
+  const std::size_t th = provider.tile_height();
+  const std::size_t tw = provider.tile_width();
+  const std::array<std::array<std::uint8_t, 3>, 3> palette = {
+      {{255, 80, 80}, {80, 220, 80}, {90, 120, 255}}};
+  for (std::size_t index = 0; index < layout.tile_count(); ++index) {
+    const img::TilePos pos = layout.pos_of(index);
+    const auto color = palette[(pos.row + 2 * pos.col) % palette.size()];
+    const auto y0 = static_cast<std::size_t>(positions.y[index]);
+    const auto x0 = static_cast<std::size_t>(positions.x[index]);
+    for (std::size_t c = 0; c < tw; ++c) {
+      out.set(y0, x0 + c, color);
+      out.set(y0 + th - 1, x0 + c, color);
+    }
+    for (std::size_t r = 0; r < th; ++r) {
+      out.set(y0 + r, x0, color);
+      out.set(y0 + r, x0 + tw - 1, color);
+    }
+  }
+  return out;
+}
+
+std::vector<img::ImageU16> build_pyramid(const img::ImageU16& base,
+                                         std::size_t max_leaf_dim) {
+  HS_REQUIRE(max_leaf_dim >= 1, "max_leaf_dim must be positive");
+  std::vector<img::ImageU16> levels;
+  levels.push_back(base);
+  while (levels.back().height() > max_leaf_dim ||
+         levels.back().width() > max_leaf_dim) {
+    const img::ImageU16& prev = levels.back();
+    const std::size_t h = std::max<std::size_t>(1, prev.height() / 2);
+    const std::size_t w = std::max<std::size_t>(1, prev.width() / 2);
+    img::ImageU16 next(h, w);
+    for (std::size_t r = 0; r < h; ++r) {
+      for (std::size_t c = 0; c < w; ++c) {
+        // 2x2 box filter; clamp the window at odd-size borders.
+        const std::size_t r1 = std::min(2 * r + 1, prev.height() - 1);
+        const std::size_t c1 = std::min(2 * c + 1, prev.width() - 1);
+        const unsigned sum = prev.at(2 * r, 2 * c) + prev.at(2 * r, c1) +
+                             prev.at(r1, 2 * c) + prev.at(r1, c1);
+        next.at(r, c) = static_cast<std::uint16_t>(sum / 4);
+      }
+    }
+    levels.push_back(std::move(next));
+    if (levels.back().height() <= 1 && levels.back().width() <= 1) break;
+  }
+  return levels;
+}
+
+}  // namespace hs::compose

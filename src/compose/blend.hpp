@@ -1,0 +1,42 @@
+// Phase 3: composing the mosaic from absolute positions (paper SIII,
+// Figs 13-14).
+#pragma once
+
+#include "compose/positions.hpp"
+#include "imgio/pnm.hpp"
+#include "stitch/types.hpp"
+
+namespace hs::compose {
+
+enum class BlendMode {
+  kOverlay,  // later tiles replace earlier ones (paper Fig 13's blend)
+  kFirst,    // first tile wins
+  kAverage,  // unweighted mean over contributing tiles
+  kLinear,   // feathered: weight falls off towards tile borders
+};
+
+struct MosaicStats {
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::size_t tiles_composed = 0;
+};
+
+/// Renders the full mosaic. Tiles stream through one at a time so peak
+/// memory is one output buffer (plus accumulators for the averaging modes),
+/// never the whole tile set.
+img::ImageU16 compose_mosaic(const stitch::TileProvider& provider,
+                             const GlobalPositions& positions, BlendMode mode,
+                             MosaicStats* stats = nullptr);
+
+/// Fig 14 variant: mosaic with tile boundaries highlighted in color.
+img::RgbImage compose_highlighted(const stitch::TileProvider& provider,
+                                  const GlobalPositions& positions,
+                                  BlendMode mode);
+
+/// Image pyramid for multi-resolution rendering (the paper's prototype
+/// visualization tool): level 0 is `base`, each level a 2x box downsample,
+/// stopping once both dimensions are <= max_leaf_dim.
+std::vector<img::ImageU16> build_pyramid(const img::ImageU16& base,
+                                         std::size_t max_leaf_dim = 256);
+
+}  // namespace hs::compose

@@ -1,0 +1,232 @@
+#include "compose/positions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace hs::compose {
+
+namespace {
+
+struct Edge {
+  std::size_t from = 0;  // reference tile
+  std::size_t to = 0;    // moved tile
+  std::int64_t dx = 0;
+  std::int64_t dy = 0;
+  double weight = 0.0;
+};
+
+std::vector<Edge> collect_edges(const stitch::DisplacementTable& table) {
+  const img::GridLayout& layout = table.layout;
+  std::vector<Edge> edges;
+  edges.reserve(layout.pair_count());
+  for (std::size_t r = 0; r < layout.rows; ++r) {
+    for (std::size_t c = 0; c < layout.cols; ++c) {
+      const img::TilePos pos{r, c};
+      const std::size_t to = layout.index_of(pos);
+      if (layout.has_west(pos)) {
+        const stitch::Translation& t = table.west_of(pos);
+        edges.push_back(Edge{layout.index_of(img::TilePos{r, c - 1}), to, t.x,
+                             t.y, std::max(t.correlation, kMinEdgeWeight)});
+      }
+      if (layout.has_north(pos)) {
+        const stitch::Translation& t = table.north_of(pos);
+        edges.push_back(Edge{layout.index_of(img::TilePos{r - 1, c}), to, t.x,
+                             t.y, std::max(t.correlation, kMinEdgeWeight)});
+      }
+    }
+  }
+  return edges;
+}
+
+struct Dsu {
+  std::vector<std::size_t> parent;
+  explicit Dsu(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent[a] = b;
+    return true;
+  }
+};
+
+GlobalPositions positions_from_tree(const img::GridLayout& layout,
+                                    const std::vector<Edge>& tree_edges) {
+  const std::size_t n = layout.tile_count();
+  std::vector<std::vector<std::pair<std::size_t, std::pair<std::int64_t,
+                                                           std::int64_t>>>>
+      adjacency(n);
+  for (const Edge& e : tree_edges) {
+    adjacency[e.from].push_back({e.to, {e.dx, e.dy}});
+    adjacency[e.to].push_back({e.from, {-e.dx, -e.dy}});
+  }
+  GlobalPositions out;
+  out.layout = layout;
+  out.x.assign(n, 0);
+  out.y.assign(n, 0);
+  std::vector<std::uint8_t> seen(n, 0);
+  std::queue<std::size_t> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.front();
+    frontier.pop();
+    for (const auto& [next, d] : adjacency[v]) {
+      if (seen[next]) continue;
+      seen[next] = 1;
+      out.x[next] = out.x[v] + d.first;
+      out.y[next] = out.y[v] + d.second;
+      frontier.push(next);
+    }
+  }
+  HS_ASSERT_MSG(std::all_of(seen.begin(), seen.end(),
+                            [](std::uint8_t s) { return s == 1; }),
+                "spanning tree does not span the grid");
+  return out;
+}
+
+void normalize_to_origin(GlobalPositions& positions) {
+  const std::int64_t min_x =
+      *std::min_element(positions.x.begin(), positions.x.end());
+  const std::int64_t min_y =
+      *std::min_element(positions.y.begin(), positions.y.end());
+  for (auto& v : positions.x) v -= min_x;
+  for (auto& v : positions.y) v -= min_y;
+}
+
+GlobalPositions resolve_mst(const stitch::DisplacementTable& table) {
+  std::vector<Edge> edges = collect_edges(table);
+  // Maximum spanning tree: take edges in decreasing correlation order.
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.weight > b.weight; });
+  Dsu dsu(table.layout.tile_count());
+  std::vector<Edge> tree;
+  tree.reserve(table.layout.tile_count() - 1);
+  for (const Edge& e : edges) {
+    if (dsu.unite(e.from, e.to)) tree.push_back(e);
+  }
+  GlobalPositions out = positions_from_tree(table.layout, tree);
+  normalize_to_origin(out);
+  return out;
+}
+
+/// Matrix-free conjugate gradient on the weighted graph Laplacian with
+/// vertex 0 anchored at zero; solved independently per axis.
+std::vector<double> solve_laplacian(const std::vector<Edge>& edges,
+                                    std::size_t n,
+                                    const std::vector<double>& rhs) {
+  auto apply = [&](const std::vector<double>& v, std::vector<double>& out) {
+    std::fill(out.begin(), out.end(), 0.0);
+    for (const Edge& e : edges) {
+      const double diff = v[e.to] - v[e.from];
+      out[e.to] += e.weight * diff;
+      out[e.from] -= e.weight * diff;
+    }
+    // Anchor: overwrite row 0 with identity (v[0] = 0 constraint).
+    out[0] = v[0];
+  };
+
+  std::vector<double> x(n, 0.0), r = rhs, p, ap(n);
+  r[0] = 0.0;  // anchored
+  p = r;
+  double rs_old = std::inner_product(r.begin(), r.end(), r.begin(), 0.0);
+  const double tol = 1e-10 * std::max(1.0, rs_old);
+  for (std::size_t iter = 0; iter < 4 * n + 100 && rs_old > tol; ++iter) {
+    apply(p, ap);
+    const double pap = std::inner_product(p.begin(), p.end(), ap.begin(), 0.0);
+    if (pap <= 0.0) break;
+    const double alpha = rs_old / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rs_new =
+        std::inner_product(r.begin(), r.end(), r.begin(), 0.0);
+    const double beta = rs_new / rs_old;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rs_old = rs_new;
+  }
+  return x;
+}
+
+GlobalPositions resolve_least_squares(const stitch::DisplacementTable& table) {
+  const std::vector<Edge> edges = collect_edges(table);
+  const std::size_t n = table.layout.tile_count();
+
+  // Normal equations of min sum w_e ((p_to - p_from) - d_e)^2: L p = b with
+  // b accumulating +/- w_e * d_e.
+  auto solve_axis = [&](auto displacement_of) {
+    std::vector<double> rhs(n, 0.0);
+    for (const Edge& e : edges) {
+      const double d = static_cast<double>(displacement_of(e));
+      rhs[e.to] += e.weight * d;
+      rhs[e.from] -= e.weight * d;
+    }
+    rhs[0] = 0.0;  // anchor
+    return solve_laplacian(edges, n, rhs);
+  };
+  const std::vector<double> xs =
+      solve_axis([](const Edge& e) { return e.dx; });
+  const std::vector<double> ys =
+      solve_axis([](const Edge& e) { return e.dy; });
+
+  GlobalPositions out;
+  out.layout = table.layout;
+  out.x.resize(n);
+  out.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.x[i] = static_cast<std::int64_t>(std::llround(xs[i]));
+    out.y[i] = static_cast<std::int64_t>(std::llround(ys[i]));
+  }
+  normalize_to_origin(out);
+  return out;
+}
+
+}  // namespace
+
+GlobalPositions resolve_positions(const stitch::DisplacementTable& table,
+                                  Phase2Method method) {
+  HS_REQUIRE(table.layout.tile_count() >= 1, "empty displacement table");
+  if (table.layout.tile_count() == 1) {
+    GlobalPositions out;
+    out.layout = table.layout;
+    out.x.assign(1, 0);
+    out.y.assign(1, 0);
+    return out;
+  }
+  switch (method) {
+    case Phase2Method::kMaximumSpanningTree: return resolve_mst(table);
+    case Phase2Method::kLeastSquares: return resolve_least_squares(table);
+  }
+  throw InvalidArgument("unknown phase-2 method");
+}
+
+double consistency_rms(const stitch::DisplacementTable& table,
+                       const GlobalPositions& positions) {
+  const std::vector<Edge> edges = collect_edges(table);
+  if (edges.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Edge& e : edges) {
+    const double ex = static_cast<double>(positions.x[e.to] -
+                                          positions.x[e.from] - e.dx);
+    const double ey = static_cast<double>(positions.y[e.to] -
+                                          positions.y[e.from] - e.dy);
+    sum += ex * ex + ey * ey;
+  }
+  return std::sqrt(sum / static_cast<double>(edges.size()));
+}
+
+}  // namespace hs::compose

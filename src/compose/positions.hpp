@@ -1,0 +1,48 @@
+// Phase 2: resolving the over-constrained displacement system into absolute
+// tile positions (paper SIII).
+//
+// The relative displacements form a directed graph whose path sums must be
+// invariant; with measurement noise they are not, so the over-constraint is
+// resolved either by selecting a subset of edges (maximum spanning tree on
+// correlation weight — trusting the best-correlated displacement on every
+// cycle) or by a global weighted least-squares adjustment (conjugate
+// gradient on the graph Laplacian, matrix-free).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stitch/types.hpp"
+
+namespace hs::compose {
+
+struct GlobalPositions {
+  img::GridLayout layout;
+  std::vector<std::int64_t> x;  // absolute origin per tile, min exactly 0
+  std::vector<std::int64_t> y;
+
+  std::int64_t x_of(img::TilePos pos) const { return x[layout.index_of(pos)]; }
+  std::int64_t y_of(img::TilePos pos) const { return y[layout.index_of(pos)]; }
+};
+
+enum class Phase2Method {
+  kMaximumSpanningTree,
+  kLeastSquares,
+};
+
+/// Edges with correlation below this contribute minimal weight (they are
+/// kept so the graph stays connected on feature-free plates).
+inline constexpr double kMinEdgeWeight = 1e-3;
+
+/// Computes absolute positions from the phase-1 table. Positions are
+/// normalized so min x = min y = 0.
+GlobalPositions resolve_positions(const stitch::DisplacementTable& table,
+                                  Phase2Method method);
+
+/// Root-mean-square disagreement between the table's relative displacements
+/// and the resolved absolute positions, in pixels — 0 iff the system was
+/// path-invariant (or the method reproduces every edge exactly).
+double consistency_rms(const stitch::DisplacementTable& table,
+                       const GlobalPositions& positions);
+
+}  // namespace hs::compose

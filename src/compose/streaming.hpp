@@ -1,0 +1,54 @@
+// Streaming composition for mosaics that do not fit in memory.
+//
+// The paper's full plates reach 17k x 22k pixels (and its intro cites
+// targets up to 200k per side — a double-precision accumulator for such a
+// mosaic would need hundreds of GB). The streaming composer renders the
+// mosaic in horizontal bands: peak memory is one band (plus accumulators
+// for the averaging modes), and each finished band is handed to a sink —
+// typically a progressive PGM/TIFF writer. Tiles spanning a band boundary
+// are re-loaded for each band they touch (bounded by ceil(tile_h/band_rows)
+// + 1 loads per tile; with the default band height >= tile height that is
+// at most 2).
+#pragma once
+
+#include <functional>
+
+#include "compose/blend.hpp"
+#include "compose/positions.hpp"
+
+namespace hs::compose {
+
+class StreamingComposer {
+ public:
+  /// band_rows = 0 selects the tile height (at most two loads per tile).
+  StreamingComposer(const stitch::TileProvider& provider,
+                    const GlobalPositions& positions, BlendMode mode,
+                    std::size_t band_rows = 0);
+
+  std::size_t height() const { return height_; }
+  std::size_t width() const { return width_; }
+  std::size_t band_rows() const { return band_rows_; }
+
+  /// Renders every band in top-to-bottom order; `sink(row0, band)` receives
+  /// each finished band (the final band may be shorter).
+  void run(const std::function<void(std::size_t, const img::ImageU16&)>& sink);
+
+ private:
+  const stitch::TileProvider& provider_;
+  const GlobalPositions& positions_;
+  BlendMode mode_;
+  std::size_t band_rows_;
+  std::size_t height_ = 0;
+  std::size_t width_ = 0;
+  /// Tile indices sorted by y origin, for per-band range lookups.
+  std::vector<std::size_t> tiles_by_y_;
+};
+
+/// Composes directly into a 16-bit binary PGM on disk, one band at a time.
+/// Returns the mosaic extent.
+MosaicStats compose_mosaic_to_pgm(const stitch::TileProvider& provider,
+                                  const GlobalPositions& positions,
+                                  BlendMode mode, const std::string& path,
+                                  std::size_t band_rows = 0);
+
+}  // namespace hs::compose

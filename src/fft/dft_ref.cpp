@@ -1,0 +1,53 @@
+#include "fft/dft_ref.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace hs::fft {
+
+std::vector<Complex> dft_reference(const std::vector<Complex>& in,
+                                   Direction dir) {
+  const std::size_t n = in.size();
+  HS_REQUIRE(n >= 1, "DFT of empty signal");
+  const double sign = dir == Direction::kForward ? -1.0 : 1.0;
+  const double theta = sign * 2.0 * std::numbers::pi / static_cast<double>(n);
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto t = static_cast<double>((j * k) % n);
+      acc += in[j] * Complex(std::cos(theta * t), std::sin(theta * t));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<Complex> dft_reference_2d(const std::vector<Complex>& in,
+                                      std::size_t height, std::size_t width,
+                                      Direction dir) {
+  HS_REQUIRE(in.size() == height * width, "2-D DFT size mismatch");
+  std::vector<Complex> rows(height * width);
+  for (std::size_t r = 0; r < height; ++r) {
+    std::vector<Complex> row(in.begin() + static_cast<std::ptrdiff_t>(r * width),
+                             in.begin() + static_cast<std::ptrdiff_t>((r + 1) * width));
+    auto transformed = dft_reference(row, dir);
+    std::copy(transformed.begin(), transformed.end(),
+              rows.begin() + static_cast<std::ptrdiff_t>(r * width));
+  }
+  std::vector<Complex> out(height * width);
+  for (std::size_t c = 0; c < width; ++c) {
+    std::vector<Complex> col(height);
+    for (std::size_t r = 0; r < height; ++r) col[r] = rows[r * width + c];
+    auto transformed = dft_reference(col, dir);
+    for (std::size_t r = 0; r < height; ++r) {
+      out[r * width + c] = transformed[r];
+    }
+  }
+  return out;
+}
+
+}  // namespace hs::fft

@@ -1,0 +1,20 @@
+// Naive O(n^2) reference DFT used to validate the fast transforms in tests.
+// Never used on the hot path.
+#pragma once
+
+#include <vector>
+
+#include "fft/types.hpp"
+
+namespace hs::fft {
+
+/// Direct evaluation of the DFT definition.
+std::vector<Complex> dft_reference(const std::vector<Complex>& in,
+                                   Direction dir);
+
+/// Direct 2-D DFT of a row-major height x width array.
+std::vector<Complex> dft_reference_2d(const std::vector<Complex>& in,
+                                      std::size_t height, std::size_t width,
+                                      Direction dir);
+
+}  // namespace hs::fft

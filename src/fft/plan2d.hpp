@@ -1,0 +1,90 @@
+// Two-dimensional FFT plans over row-major arrays.
+//
+// The complex plan is the workhorse of the stitching algorithm: every tile's
+// forward transform and every pair's inverse NCC transform is a Plan2d
+// execution (paper Table I: 3nm-n-m transforms for an n x m grid). Columns
+// are processed via blocked transposes so both passes run at unit stride.
+#pragma once
+
+#include <cstddef>
+
+#include "fft/plan1d.hpp"
+#include "fft/real.hpp"
+#include "fft/types.hpp"
+
+namespace hs::fft {
+
+class Plan2d {
+ public:
+  /// Plans a height x width transform (row-major: element (r, c) at
+  /// index r*width + c).
+  Plan2d(std::size_t height, std::size_t width, Direction dir,
+         Rigor rigor = Rigor::kEstimate);
+
+  /// Out-of-place transform; in/out must each hold height()*width()
+  /// elements and must not alias.
+  void execute(const Complex* in, Complex* out) const;
+
+  /// In-place transform.
+  void execute_inplace(Complex* data) const;
+
+  std::size_t height() const { return h_; }
+  std::size_t width() const { return w_; }
+  std::size_t count() const { return h_ * w_; }
+  Direction direction() const { return dir_; }
+
+ private:
+  void run(const Complex* in, Complex* out) const;
+
+  std::size_t h_;
+  std::size_t w_;
+  Direction dir_;
+  Plan1d row_;
+  Plan1d col_;
+};
+
+/// Forward real-to-complex 2-D transform: h x w reals in, h x (w/2+1)
+/// half-spectrum complex out (rows are half spectra; columns full FFTs).
+class PlanR2c2d {
+ public:
+  PlanR2c2d(std::size_t height, std::size_t width,
+            Rigor rigor = Rigor::kEstimate);
+
+  void execute(const double* in, Complex* out) const;
+
+  std::size_t height() const { return h_; }
+  std::size_t width() const { return w_; }
+  std::size_t spectrum_width() const { return w_ / 2 + 1; }
+
+ private:
+  std::size_t h_;
+  std::size_t w_;
+  PlanR2c1d row_;
+  Plan1d col_;
+};
+
+/// Inverse of PlanR2c2d (unnormalized: round trip scales by h*w).
+class PlanC2r2d {
+ public:
+  PlanC2r2d(std::size_t height, std::size_t width,
+            Rigor rigor = Rigor::kEstimate);
+
+  void execute(const Complex* in, double* out) const;
+
+  std::size_t height() const { return h_; }
+  std::size_t width() const { return w_; }
+  std::size_t spectrum_width() const { return w_ / 2 + 1; }
+
+ private:
+  std::size_t h_;
+  std::size_t w_;
+  PlanC2r1d row_;
+  Plan1d col_;
+};
+
+/// Blocked out-of-place transpose: `in` is rows x cols, `out` becomes
+/// cols x rows. Exposed for reuse by kernels and tests.
+void transpose(const Complex* in, Complex* out, std::size_t rows,
+               std::size_t cols);
+
+}  // namespace hs::fft

@@ -1,0 +1,72 @@
+#include "fft/plan_cache.hpp"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+namespace hs::fft {
+
+struct PlanCache::Impl {
+  using Key1d = std::tuple<std::size_t, int, int>;
+  using Key2d = std::tuple<std::size_t, std::size_t, int, int>;
+
+  mutable std::mutex mutex;
+  std::map<Key1d, std::shared_ptr<const Plan1d>> plans_1d;
+  std::map<Key2d, std::shared_ptr<const Plan2d>> plans_2d;
+};
+
+PlanCache::PlanCache() : impl_(std::make_unique<Impl>()) {}
+PlanCache::~PlanCache() = default;
+
+PlanCache& PlanCache::instance() {
+  static PlanCache cache;
+  return cache;
+}
+
+std::shared_ptr<const Plan1d> PlanCache::plan_1d(std::size_t n, Direction dir,
+                                                 Rigor rigor) {
+  const Impl::Key1d key{n, static_cast<int>(dir), static_cast<int>(rigor)};
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (auto it = impl_->plans_1d.find(key); it != impl_->plans_1d.end()) {
+      return it->second;
+    }
+  }
+  // Plan outside the lock: planning can take milliseconds-to-seconds at high
+  // rigor and must not serialize unrelated lookups. A racing thread may plan
+  // the same key; the first insert wins and the duplicate is discarded.
+  auto plan = std::make_shared<const Plan1d>(n, dir, rigor);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto [it, inserted] = impl_->plans_1d.emplace(key, std::move(plan));
+  return it->second;
+}
+
+std::shared_ptr<const Plan2d> PlanCache::plan_2d(std::size_t height,
+                                                 std::size_t width,
+                                                 Direction dir, Rigor rigor) {
+  const Impl::Key2d key{height, width, static_cast<int>(dir),
+                        static_cast<int>(rigor)};
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (auto it = impl_->plans_2d.find(key); it != impl_->plans_2d.end()) {
+      return it->second;
+    }
+  }
+  auto plan = std::make_shared<const Plan2d>(height, width, dir, rigor);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto [it, inserted] = impl_->plans_2d.emplace(key, std::move(plan));
+  return it->second;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->plans_1d.clear();
+  impl_->plans_2d.clear();
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->plans_1d.size() + impl_->plans_2d.size();
+}
+
+}  // namespace hs::fft

@@ -1,0 +1,96 @@
+#include "fft/real.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hs::fft {
+
+namespace {
+
+std::size_t checked_half(std::size_t n) {
+  HS_REQUIRE(n >= 2 && n % 2 == 0, "real transforms require even length");
+  return n / 2;
+}
+
+std::vector<Complex> make_half_twiddles(std::size_t n) {
+  // e^(-2*pi*i*k/n) for k in [0, n/2].
+  std::vector<Complex> tw(n / 2 + 1);
+  const double theta = -2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::size_t k = 0; k < tw.size(); ++k) {
+    tw[k] = Complex(std::cos(theta * static_cast<double>(k)),
+                    std::sin(theta * static_cast<double>(k)));
+  }
+  return tw;
+}
+
+}  // namespace
+
+PlanR2c1d::PlanR2c1d(std::size_t n, Rigor rigor)
+    : n_(n),
+      half_(checked_half(n), Direction::kForward, rigor),
+      twiddle_(make_half_twiddles(n)) {}
+
+void PlanR2c1d::execute(const double* in, Complex* out) const {
+  const std::size_t h = n_ / 2;
+  // Pack evens/odds into a complex signal and transform once at half length.
+  std::vector<Complex> z(h), zf(h);
+  for (std::size_t j = 0; j < h; ++j) {
+    z[j] = Complex(in[2 * j], in[2 * j + 1]);
+  }
+  half_.execute(z.data(), zf.data());
+  // Untangle: E[k] = spectrum of evens, O[k] = spectrum of odds.
+  for (std::size_t k = 0; k < h; ++k) {
+    const Complex zk = zf[k];
+    const Complex zmk = std::conj(zf[(h - k) % h]);
+    const Complex e = 0.5 * (zk + zmk);
+    const Complex od = Complex(0.0, -0.5) * (zk - zmk);
+    out[k] = e + twiddle_[k] * od;
+  }
+  // Nyquist bin: X[n/2] = E[0] - O[0], purely real.
+  out[h] = Complex(zf[0].real() - zf[0].imag(), 0.0);
+}
+
+PlanC2r1d::PlanC2r1d(std::size_t n, Rigor rigor)
+    : n_(n),
+      half_(checked_half(n), Direction::kInverse, rigor),
+      twiddle_(make_half_twiddles(n)) {}
+
+void PlanC2r1d::execute(const Complex* in, double* out) const {
+  const std::size_t h = n_ / 2;
+  std::vector<Complex> z(h), zt(h);
+  // Retangle the half spectrum; the missing factor 1/2 in E and O makes the
+  // overall round trip scale by n, matching FFTW's unnormalized c2r.
+  for (std::size_t k = 0; k < h; ++k) {
+    const Complex xk = in[k];
+    const Complex xmk = std::conj(in[h - k]);
+    const Complex e = xk + xmk;
+    const Complex od = std::conj(twiddle_[k]) * (xk - xmk);
+    z[k] = e + Complex(0.0, 1.0) * od;
+  }
+  half_.execute(z.data(), zt.data());
+  for (std::size_t j = 0; j < h; ++j) {
+    out[2 * j] = zt[j].real();
+    out[2 * j + 1] = zt[j].imag();
+  }
+}
+
+void fft_two_reals(const Plan1d& forward_plan, const double* a,
+                   const double* b, Complex* spec_a, Complex* spec_b) {
+  HS_REQUIRE(forward_plan.direction() == Direction::kForward,
+             "fft_two_reals needs a forward plan");
+  const std::size_t n = forward_plan.size();
+  std::vector<Complex> z(n), zf(n);
+  for (std::size_t j = 0; j < n; ++j) z[j] = Complex(a[j], b[j]);
+  forward_plan.execute(z.data(), zf.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex zk = zf[k];
+    const Complex zmk = std::conj(zf[(n - k) % n]);
+    spec_a[k] = 0.5 * (zk + zmk);
+    spec_b[k] = Complex(0.0, -0.5) * (zk - zmk);
+  }
+}
+
+}  // namespace hs::fft

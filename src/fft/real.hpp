@@ -1,0 +1,62 @@
+// Real-input transforms.
+//
+// The paper's implementations transform tiles as full complex arrays (16*h*w
+// bytes per transform); its future-work section calls out real-to-complex
+// transforms as a planned optimization ("doing less work ... reduce the
+// computation's memory footprint"). This module implements that extension:
+//   * PlanR2c1d / PlanC2r1d — half-spectrum transforms via the even/odd
+//     packing trick (one complex FFT of length n/2 for even n).
+//   * fft_two_reals — the two-for-one trick: a single complex FFT transforms
+//     two real signals at once.
+#pragma once
+
+#include <memory>
+
+#include "fft/plan1d.hpp"
+#include "fft/types.hpp"
+
+namespace hs::fft {
+
+/// Forward real-to-complex 1-D transform. Output is the half spectrum:
+/// n/2 + 1 complex bins (indices 0..n/2); the remaining bins are the
+/// conjugate mirror and are not stored.
+class PlanR2c1d {
+ public:
+  explicit PlanR2c1d(std::size_t n, Rigor rigor = Rigor::kEstimate);
+
+  /// `in` holds n reals; `out` receives n/2+1 complex bins.
+  void execute(const double* in, Complex* out) const;
+
+  std::size_t size() const { return n_; }
+  std::size_t spectrum_size() const { return n_ / 2 + 1; }
+
+ private:
+  std::size_t n_;
+  Plan1d half_;                    // complex FFT of length n/2
+  std::vector<Complex> twiddle_;   // e^(-2*pi*i*k/n), k in [0, n/2]
+};
+
+/// Inverse complex-to-real 1-D transform (unnormalized, like FFTW's c2r):
+/// executing R2C then C2R multiplies the signal by n.
+class PlanC2r1d {
+ public:
+  explicit PlanC2r1d(std::size_t n, Rigor rigor = Rigor::kEstimate);
+
+  /// `in` holds n/2+1 half-spectrum bins; `out` receives n reals.
+  void execute(const Complex* in, double* out) const;
+
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  Plan1d half_;                    // inverse complex FFT of length n/2
+  std::vector<Complex> twiddle_;
+};
+
+/// Transforms two real signals with one complex FFT (two-for-one trick):
+/// forms z = a + i*b, transforms, and untangles the spectra. `spec_a` and
+/// `spec_b` each receive the full n-bin spectrum of their signal.
+void fft_two_reals(const Plan1d& forward_plan, const double* a,
+                   const double* b, Complex* spec_a, Complex* spec_b);
+
+}  // namespace hs::fft

@@ -1,0 +1,41 @@
+// Wisdom: persisted planner decisions, after FFTW's mechanism of the same
+// name. The paper pays 4 min 20 s of patient planning for its tile size and
+// amortizes it by "saving a plan and reusing it" — wisdom is how that
+// survives process restarts: the measured factor ordering for each
+// (size, direction) is recorded in a process-wide registry that plans
+// consult before re-measuring, and the registry round-trips through a
+// plain-text file.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fft/types.hpp"
+
+namespace hs::fft {
+
+/// Records the winning factor ordering for (n, dir). Called automatically
+/// by measured/patient planning; callable directly for tests and tools.
+/// Throws InvalidArgument unless the factors multiply to n and are all
+/// direct-radix sized.
+void wisdom_remember(std::size_t n, Direction dir, std::vector<int> factors);
+
+/// The remembered ordering, if any.
+std::optional<std::vector<int>> wisdom_lookup(std::size_t n, Direction dir);
+
+/// Number of remembered entries.
+std::size_t wisdom_size();
+
+/// Forgets everything (test isolation).
+void wisdom_clear();
+
+/// Writes the registry as text: one "n dir f1 f2 ..." line per entry.
+void wisdom_save(const std::string& path);
+
+/// Merges entries from a wisdom file into the registry. Throws IoError on
+/// malformed input; entries failing validation are rejected with IoError
+/// (a corrupt wisdom file must not produce silently wrong plans).
+void wisdom_load(const std::string& path);
+
+}  // namespace hs::fft

@@ -1,0 +1,87 @@
+#include "imgio/grid.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "imgio/pnm.hpp"
+
+namespace hs::img {
+
+std::string expand_pattern(const std::string& pattern, TilePos pos,
+                           std::size_t index) {
+  std::string out;
+  out.reserve(pattern.size() + 8);
+  for (std::size_t i = 0; i < pattern.size();) {
+    if (pattern[i] != '{') {
+      out += pattern[i++];
+      continue;
+    }
+    const std::size_t close = pattern.find('}', i);
+    HS_REQUIRE(close != std::string::npos,
+               "unterminated '{' in pattern: " + pattern);
+    const std::string field = pattern.substr(i + 1, close - i - 1);
+    std::string name = field;
+    int pad = 0;
+    if (const auto colon = field.find(':'); colon != std::string::npos) {
+      name = field.substr(0, colon);
+      pad = std::atoi(field.c_str() + colon + 1);
+      HS_REQUIRE(pad >= 0 && pad <= 9, "pattern pad out of range: " + pattern);
+    }
+    std::size_t value = 0;
+    if (name == "r") {
+      value = pos.row;
+    } else if (name == "c") {
+      value = pos.col;
+    } else if (name == "i") {
+      value = index;
+    } else {
+      throw InvalidArgument("unknown pattern field '{" + field +
+                            "}' in: " + pattern);
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%0*zu", pad, value);
+    out += buf;
+    i = close + 1;
+  }
+  return out;
+}
+
+TileGridDataset::TileGridDataset(std::string directory, std::string pattern,
+                                 GridLayout layout)
+    : directory_(std::move(directory)),
+      pattern_(std::move(pattern)),
+      layout_(layout) {
+  HS_REQUIRE(layout_.rows > 0 && layout_.cols > 0,
+             "dataset grid must be non-empty");
+  // Fail fast on malformed patterns rather than at first load.
+  (void)expand_pattern(pattern_, TilePos{0, 0}, 0);
+}
+
+std::string TileGridDataset::tile_path(TilePos pos) const {
+  const std::size_t index = layout_.index_of(pos);
+  return directory_ + "/" + expand_pattern(pattern_, pos, index);
+}
+
+ImageU16 TileGridDataset::load(TilePos pos) const {
+  const std::string path = tile_path(pos);
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".pgm") == 0) {
+    return read_pgm_u16(path);
+  }
+  return read_tiff_u16(path);
+}
+
+std::vector<std::string> TileGridDataset::missing_tiles() const {
+  std::vector<std::string> missing;
+  for (std::size_t r = 0; r < layout_.rows; ++r) {
+    for (std::size_t c = 0; c < layout_.cols; ++c) {
+      const std::string path = tile_path(TilePos{r, c});
+      std::error_code ec;
+      if (!std::filesystem::is_regular_file(path, ec)) {
+        missing.push_back(path);
+      }
+    }
+  }
+  return missing;
+}
+
+}  // namespace hs::img

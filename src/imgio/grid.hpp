@@ -1,0 +1,84 @@
+// Tile-grid geometry and on-disk dataset layout.
+//
+// A microscope scan produces an n x m grid of overlapping tiles stored as
+// one image file per tile. GridLayout captures the geometry; TileGridDataset
+// binds it to a directory plus filename pattern and is the object the read
+// stage of every stitching implementation pulls tiles through.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "imgio/image.hpp"
+#include "imgio/tiff.hpp"
+
+namespace hs::img {
+
+/// Position of a tile within the grid (row-major).
+struct TilePos {
+  std::size_t row = 0;
+  std::size_t col = 0;
+
+  bool operator==(const TilePos&) const = default;
+};
+
+struct GridLayout {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  std::size_t tile_count() const { return rows * cols; }
+
+  std::size_t index_of(TilePos pos) const {
+    HS_ASSERT(pos.row < rows && pos.col < cols);
+    return pos.row * cols + pos.col;
+  }
+  TilePos pos_of(std::size_t index) const {
+    HS_ASSERT(index < tile_count());
+    return TilePos{index / cols, index % cols};
+  }
+
+  bool has_west(TilePos p) const { return p.col > 0; }
+  bool has_north(TilePos p) const { return p.row > 0; }
+  bool has_east(TilePos p) const { return p.col + 1 < cols; }
+  bool has_south(TilePos p) const { return p.row + 1 < rows; }
+
+  /// Number of adjacent pairs = edges in the displacement graph
+  /// (paper Table I: 2nm - n - m).
+  std::size_t pair_count() const {
+    if (rows == 0 || cols == 0) return 0;
+    return 2 * rows * cols - rows - cols;
+  }
+};
+
+/// Expands a filename pattern containing {r}, {c} (grid coordinates) and/or
+/// {i} (row-major index), each optionally zero-padded as {r:3}. Example:
+/// "tile_r{r:2}_c{c:2}.tif" -> "tile_r04_c17.tif".
+std::string expand_pattern(const std::string& pattern, TilePos pos,
+                           std::size_t index);
+
+/// A tile grid bound to a directory of image files.
+class TileGridDataset {
+ public:
+  TileGridDataset(std::string directory, std::string pattern,
+                  GridLayout layout);
+
+  const GridLayout& layout() const { return layout_; }
+  const std::string& directory() const { return directory_; }
+
+  std::string tile_path(TilePos pos) const;
+
+  /// Loads one tile (TIFF or PGM by extension).
+  ImageU16 load(TilePos pos) const;
+
+  /// Checks that every tile file exists and is readable; returns the list
+  /// of missing paths (empty means the dataset is complete).
+  std::vector<std::string> missing_tiles() const;
+
+ private:
+  std::string directory_;
+  std::string pattern_;
+  GridLayout layout_;
+};
+
+}  // namespace hs::img

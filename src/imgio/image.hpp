@@ -1,0 +1,105 @@
+// In-memory image container.
+//
+// Microscope tiles are 16-bit grayscale (the paper's A10 dataset is
+// 1392x1040 uint16); compositing and correlation work in double. Image<T>
+// is a simple row-major owning container parameterized over those pixel
+// types.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hs::img {
+
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+
+  Image(std::size_t height, std::size_t width, T fill = T{})
+      : height_(height), width_(width), pixels_(height * width, fill) {}
+
+  std::size_t height() const { return height_; }
+  std::size_t width() const { return width_; }
+  std::size_t pixel_count() const { return pixels_.size(); }
+  bool empty() const { return pixels_.empty(); }
+
+  T& at(std::size_t row, std::size_t col) {
+    HS_ASSERT(row < height_ && col < width_);
+    return pixels_[row * width_ + col];
+  }
+  const T& at(std::size_t row, std::size_t col) const {
+    HS_ASSERT(row < height_ && col < width_);
+    return pixels_[row * width_ + col];
+  }
+
+  /// Row pointer (row-major contiguous storage).
+  T* row(std::size_t r) { return pixels_.data() + r * width_; }
+  const T* row(std::size_t r) const { return pixels_.data() + r * width_; }
+
+  T* data() { return pixels_.data(); }
+  const T* data() const { return pixels_.data(); }
+
+  std::span<T> pixels() { return pixels_; }
+  std::span<const T> pixels() const { return pixels_; }
+
+  bool same_shape(const Image& other) const {
+    return height_ == other.height_ && width_ == other.width_;
+  }
+
+  /// Extracts the rectangle [row0, row0+h) x [col0, col0+w).
+  Image crop(std::size_t row0, std::size_t col0, std::size_t h,
+             std::size_t w) const {
+    HS_REQUIRE(row0 + h <= height_ && col0 + w <= width_,
+               "crop exceeds image bounds");
+    Image out(h, w);
+    for (std::size_t r = 0; r < h; ++r) {
+      const T* src = row(row0 + r) + col0;
+      std::copy(src, src + w, out.row(r));
+    }
+    return out;
+  }
+
+  /// Converts pixel values, clamping to the destination range when
+  /// narrowing (used when writing double mosaics back to 16-bit).
+  template <typename U>
+  Image<U> convert_clamped(double scale = 1.0) const {
+    Image<U> out(height_, width_);
+    constexpr double lo = 0.0;
+    const double hi = static_cast<double>(std::numeric_limits<U>::max());
+    for (std::size_t i = 0; i < pixels_.size(); ++i) {
+      double v = static_cast<double>(pixels_[i]) * scale;
+      if (v < lo) v = lo;
+      if (v > hi) v = hi;
+      out.data()[i] = static_cast<U>(v + 0.5);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t height_ = 0;
+  std::size_t width_ = 0;
+  std::vector<T> pixels_;
+};
+
+using ImageU8 = Image<std::uint8_t>;
+using ImageU16 = Image<std::uint16_t>;
+using ImageF64 = Image<double>;
+
+/// Converts any integral image to double pixels (the correlation kernels'
+/// working type).
+template <typename T>
+ImageF64 to_double(const Image<T>& in) {
+  ImageF64 out(in.height(), in.width());
+  for (std::size_t i = 0; i < in.pixel_count(); ++i) {
+    out.data()[i] = static_cast<double>(in.data()[i]);
+  }
+  return out;
+}
+
+}  // namespace hs::img

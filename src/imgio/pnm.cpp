@@ -1,0 +1,100 @@
+#include "imgio/pnm.hpp"
+
+#include <cctype>
+#include <fstream>
+
+namespace hs::img {
+
+namespace {
+
+void write_header(std::ofstream& file, const char* magic, std::size_t width,
+                  std::size_t height, unsigned maxval) {
+  file << magic << "\n" << width << " " << height << "\n" << maxval << "\n";
+}
+
+/// Skips whitespace and '#' comments, then reads one unsigned integer.
+std::size_t read_token(std::istream& in, const std::string& path) {
+  int c = in.get();
+  while (c != EOF) {
+    if (c == '#') {
+      while (c != EOF && c != '\n') c = in.get();
+    } else if (std::isspace(c)) {
+      c = in.get();
+    } else {
+      break;
+    }
+  }
+  if (c == EOF || !std::isdigit(c)) throw IoError("malformed PGM: " + path);
+  std::size_t value = 0;
+  while (c != EOF && std::isdigit(c)) {
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+    c = in.get();
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_pgm_u16(const std::string& path, const ImageU16& image) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw IoError("cannot create PGM file: " + path);
+  write_header(file, "P5", image.width(), image.height(), 65535);
+  std::vector<std::uint8_t> row(image.width() * 2);
+  for (std::size_t r = 0; r < image.height(); ++r) {
+    const std::uint16_t* src = image.row(r);
+    for (std::size_t c = 0; c < image.width(); ++c) {
+      row[2 * c] = static_cast<std::uint8_t>(src[c] >> 8);  // big-endian
+      row[2 * c + 1] = static_cast<std::uint8_t>(src[c] & 0xFF);
+    }
+    file.write(reinterpret_cast<const char*>(row.data()),
+               static_cast<std::streamsize>(row.size()));
+  }
+  if (!file) throw IoError("short write to PGM file: " + path);
+}
+
+void write_pgm_u8(const std::string& path, const ImageU8& image) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw IoError("cannot create PGM file: " + path);
+  write_header(file, "P5", image.width(), image.height(), 255);
+  file.write(reinterpret_cast<const char*>(image.data()),
+             static_cast<std::streamsize>(image.pixel_count()));
+  if (!file) throw IoError("short write to PGM file: " + path);
+}
+
+ImageU16 read_pgm_u16(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw IoError("cannot open PGM file: " + path);
+  char m0 = 0, m1 = 0;
+  file.get(m0).get(m1);
+  if (m0 != 'P' || m1 != '5') throw IoError("not a binary PGM: " + path);
+  const std::size_t width = read_token(file, path);
+  const std::size_t height = read_token(file, path);
+  const std::size_t maxval = read_token(file, path);
+  if (maxval == 0 || maxval > 65535) throw IoError("bad PGM maxval: " + path);
+
+  ImageU16 out(height, width);
+  const bool wide = maxval > 255;
+  std::vector<std::uint8_t> raw(width * height * (wide ? 2 : 1));
+  file.read(reinterpret_cast<char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+  if (file.gcount() != static_cast<std::streamsize>(raw.size())) {
+    throw IoError("truncated PGM: " + path);
+  }
+  for (std::size_t i = 0; i < width * height; ++i) {
+    out.data()[i] = wide ? static_cast<std::uint16_t>((raw[2 * i] << 8) |
+                                                      raw[2 * i + 1])
+                         : static_cast<std::uint16_t>(raw[i]);
+  }
+  return out;
+}
+
+void write_ppm(const std::string& path, const RgbImage& image) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw IoError("cannot create PPM file: " + path);
+  write_header(file, "P6", image.width, image.height, 255);
+  file.write(reinterpret_cast<const char*>(image.pixels.data()),
+             static_cast<std::streamsize>(image.pixels.size()));
+  if (!file) throw IoError("short write to PPM file: " + path);
+}
+
+}  // namespace hs::img

@@ -1,0 +1,47 @@
+// PGM (P5) and PPM (P6) support — the quick-look formats used by the
+// composition examples (Fig 13/14 outputs) and by tests that want a second,
+// trivially verifiable codec next to the TIFF one.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "imgio/image.hpp"
+
+namespace hs::img {
+
+/// 8-bit RGB image for composite visualizations (highlighted tiles, Fig 14).
+struct RgbImage {
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::vector<std::uint8_t> pixels;  // interleaved RGB, row-major
+
+  RgbImage() = default;
+  RgbImage(std::size_t h, std::size_t w)
+      : height(h), width(w), pixels(h * w * 3, 0) {}
+
+  std::uint8_t* at(std::size_t r, std::size_t c) {
+    HS_ASSERT(r < height && c < width);
+    return pixels.data() + (r * width + c) * 3;
+  }
+  void set(std::size_t r, std::size_t c, std::array<std::uint8_t, 3> rgb) {
+    auto* p = at(r, c);
+    p[0] = rgb[0];
+    p[1] = rgb[1];
+    p[2] = rgb[2];
+  }
+};
+
+/// Writes binary PGM; maxval 65535 (16-bit big-endian samples, per the spec).
+void write_pgm_u16(const std::string& path, const ImageU16& image);
+
+/// Writes binary 8-bit PGM.
+void write_pgm_u8(const std::string& path, const ImageU8& image);
+
+/// Reads binary PGM (maxval <= 65535).
+ImageU16 read_pgm_u16(const std::string& path);
+
+/// Writes binary PPM (8-bit RGB).
+void write_ppm(const std::string& path, const RgbImage& image);
+
+}  // namespace hs::img

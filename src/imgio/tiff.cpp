@@ -1,0 +1,336 @@
+#include "imgio/tiff.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace hs::img {
+
+namespace {
+
+// TIFF tag numbers used by the baseline grayscale subset.
+enum : std::uint16_t {
+  kTagImageWidth = 256,
+  kTagImageLength = 257,
+  kTagBitsPerSample = 258,
+  kTagCompression = 259,
+  kTagPhotometric = 262,
+  kTagStripOffsets = 273,
+  kTagSamplesPerPixel = 277,
+  kTagRowsPerStrip = 278,
+  kTagStripByteCounts = 279,
+  kTagSampleFormat = 339,
+};
+
+enum : std::uint16_t {
+  kTypeShort = 3,  // 2 bytes
+  kTypeLong = 4,   // 4 bytes
+};
+
+class Reader {
+ public:
+  Reader(std::vector<std::uint8_t> bytes, std::string path)
+      : bytes_(std::move(bytes)), path_(std::move(path)) {}
+
+  std::uint16_t u16(std::size_t off) const {
+    check(off, 2);
+    return big_endian_
+               ? static_cast<std::uint16_t>((bytes_[off] << 8) | bytes_[off + 1])
+               : static_cast<std::uint16_t>(bytes_[off] | (bytes_[off + 1] << 8));
+  }
+
+  std::uint32_t u32(std::size_t off) const {
+    check(off, 4);
+    if (big_endian_) {
+      return (static_cast<std::uint32_t>(bytes_[off]) << 24) |
+             (static_cast<std::uint32_t>(bytes_[off + 1]) << 16) |
+             (static_cast<std::uint32_t>(bytes_[off + 2]) << 8) |
+             static_cast<std::uint32_t>(bytes_[off + 3]);
+    }
+    return static_cast<std::uint32_t>(bytes_[off]) |
+           (static_cast<std::uint32_t>(bytes_[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(bytes_[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(bytes_[off + 3]) << 24);
+  }
+
+  const std::uint8_t* at(std::size_t off, std::size_t len) const {
+    check(off, len);
+    return bytes_.data() + off;
+  }
+
+  void set_big_endian(bool value) { big_endian_ = value; }
+  bool big_endian() const { return big_endian_; }
+  std::size_t size() const { return bytes_.size(); }
+  const std::string& path() const { return path_; }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw IoError("TIFF '" + path_ + "': " + why);
+  }
+
+ private:
+  void check(std::size_t off, std::size_t len) const {
+    if (off + len > bytes_.size() || off + len < off) {
+      fail("truncated file (offset past end)");
+    }
+  }
+  std::vector<std::uint8_t> bytes_;
+  std::string path_;
+  bool big_endian_ = false;
+};
+
+struct IfdEntry {
+  std::uint16_t type = 0;
+  std::uint32_t count = 0;
+  std::size_t value_offset = 0;  // offset of the value field itself
+};
+
+std::size_t type_size(std::uint16_t type) {
+  switch (type) {
+    case kTypeShort: return 2;
+    case kTypeLong: return 4;
+    default: return 0;
+  }
+}
+
+/// Reads element i of an entry's value array (inline or via offset).
+std::uint32_t entry_value(const Reader& r, const IfdEntry& e, std::uint32_t i) {
+  const std::size_t elem = type_size(e.type);
+  if (elem == 0) {
+    throw IoError("TIFF '" + r.path() + "': unsupported field type " +
+                  std::to_string(e.type));
+  }
+  const std::size_t total = elem * e.count;
+  std::size_t base = e.value_offset;
+  if (total > 4) base = r.u32(e.value_offset);  // stored out of line
+  const std::size_t off = base + elem * i;
+  return e.type == kTypeShort ? r.u16(off) : r.u32(off);
+}
+
+}  // namespace
+
+ImageU16 read_tiff_u16(const std::string& path, TiffInfo* info) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw IoError("cannot open TIFF file: " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                                  std::istreambuf_iterator<char>());
+  Reader r(std::move(bytes), path);
+  if (r.size() < 8) r.fail("too small for a header");
+
+  const std::uint8_t b0 = *r.at(0, 1);
+  const std::uint8_t b1 = *r.at(1, 1);
+  if (b0 == 'I' && b1 == 'I') {
+    r.set_big_endian(false);
+  } else if (b0 == 'M' && b1 == 'M') {
+    r.set_big_endian(true);
+  } else {
+    r.fail("bad byte-order mark");
+  }
+  if (r.u16(2) != 42) r.fail("bad magic number");
+
+  const std::uint32_t ifd_offset = r.u32(4);
+  const std::uint16_t entry_count = r.u16(ifd_offset);
+  std::map<std::uint16_t, IfdEntry> entries;
+  for (std::uint16_t i = 0; i < entry_count; ++i) {
+    const std::size_t e = ifd_offset + 2 + static_cast<std::size_t>(i) * 12;
+    const std::uint16_t tag = r.u16(e);
+    entries[tag] = IfdEntry{r.u16(e + 2), r.u32(e + 4), e + 8};
+  }
+
+  auto required = [&](std::uint16_t tag) -> const IfdEntry& {
+    auto it = entries.find(tag);
+    if (it == entries.end()) {
+      r.fail("missing required tag " + std::to_string(tag));
+    }
+    return it->second;
+  };
+  auto scalar_or = [&](std::uint16_t tag, std::uint32_t fallback) {
+    auto it = entries.find(tag);
+    return it == entries.end() ? fallback : entry_value(r, it->second, 0);
+  };
+
+  const std::size_t width = entry_value(r, required(kTagImageWidth), 0);
+  const std::size_t height = entry_value(r, required(kTagImageLength), 0);
+  const std::uint32_t bits = scalar_or(kTagBitsPerSample, 1);
+  if (bits != 8 && bits != 16) {
+    r.fail("unsupported bits-per-sample " + std::to_string(bits));
+  }
+  if (scalar_or(kTagCompression, 1) != 1) r.fail("compressed data unsupported");
+  if (scalar_or(kTagSamplesPerPixel, 1) != 1) {
+    r.fail("only single-sample grayscale supported");
+  }
+  if (const auto fmt = scalar_or(kTagSampleFormat, 1); fmt != 1) {
+    r.fail("only unsigned-integer samples supported");
+  }
+  if (width == 0 || height == 0) r.fail("zero image dimension");
+
+  const IfdEntry& offsets = required(kTagStripOffsets);
+  const IfdEntry& counts = required(kTagStripByteCounts);
+  if (offsets.count != counts.count) {
+    r.fail("strip offset/count arrays disagree");
+  }
+
+  const std::size_t bytes_per_pixel = bits / 8;
+  const std::size_t expected = width * height * bytes_per_pixel;
+  std::vector<std::uint8_t> raster;
+  raster.reserve(expected);
+  for (std::uint32_t s = 0; s < offsets.count; ++s) {
+    const std::uint32_t off = entry_value(r, offsets, s);
+    const std::uint32_t len = entry_value(r, counts, s);
+    const std::uint8_t* src = r.at(off, len);
+    raster.insert(raster.end(), src, src + len);
+  }
+  if (raster.size() < expected) r.fail("pixel data shorter than image");
+
+  ImageU16 out(height, width);
+  if (bits == 16) {
+    for (std::size_t i = 0; i < width * height; ++i) {
+      const std::uint8_t lo = raster[2 * i];
+      const std::uint8_t hi = raster[2 * i + 1];
+      out.data()[i] = r.big_endian()
+                          ? static_cast<std::uint16_t>((lo << 8) | hi)
+                          : static_cast<std::uint16_t>(lo | (hi << 8));
+    }
+  } else {
+    for (std::size_t i = 0; i < width * height; ++i) {
+      // Widen 8-bit to the full 16-bit range (255 -> 65535).
+      out.data()[i] = static_cast<std::uint16_t>(raster[i] * 257u);
+    }
+  }
+
+  if (info != nullptr) {
+    *info = TiffInfo{width, height, bits, r.big_endian()};
+  }
+  return out;
+}
+
+namespace {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) {
+    bytes_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  void raw(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + len);
+  }
+  void patch_u32(std::size_t off, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_[off + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
+    }
+  }
+  std::size_t size() const { return bytes_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+struct TagValue {
+  std::uint16_t tag;
+  std::uint16_t type;
+  std::uint32_t count;
+  std::uint32_t value;  // inline value or offset (arrays pre-written)
+};
+
+void write_tiff_impl(const std::string& path, const std::uint8_t* pixels,
+                     std::size_t height, std::size_t width, unsigned bits,
+                     std::size_t rows_per_strip) {
+  HS_REQUIRE(height > 0 && width > 0, "cannot write empty TIFF");
+  HS_REQUIRE(rows_per_strip > 0, "rows_per_strip must be positive");
+  const std::size_t bytes_per_row = width * (bits / 8);
+  const std::size_t strip_count = (height + rows_per_strip - 1) / rows_per_strip;
+
+  Writer w;
+  w.u8('I');
+  w.u8('I');
+  w.u16(42);
+  const std::size_t ifd_offset_pos = w.size();
+  w.u32(0);  // patched once the IFD position is known
+
+  // Pixel strips.
+  std::vector<std::uint32_t> strip_offsets, strip_counts;
+  for (std::size_t s = 0; s < strip_count; ++s) {
+    const std::size_t row0 = s * rows_per_strip;
+    const std::size_t rows = std::min(rows_per_strip, height - row0);
+    strip_offsets.push_back(static_cast<std::uint32_t>(w.size()));
+    strip_counts.push_back(static_cast<std::uint32_t>(rows * bytes_per_row));
+    w.raw(pixels + row0 * bytes_per_row, rows * bytes_per_row);
+  }
+
+  // Out-of-line strip arrays (only needed when they exceed 4 bytes).
+  std::uint32_t offsets_value = strip_offsets[0];
+  std::uint32_t counts_value = strip_counts[0];
+  if (strip_count > 1) {
+    offsets_value = static_cast<std::uint32_t>(w.size());
+    for (std::uint32_t v : strip_offsets) w.u32(v);
+    counts_value = static_cast<std::uint32_t>(w.size());
+    for (std::uint32_t v : strip_counts) w.u32(v);
+  }
+
+  const std::vector<TagValue> tags = {
+      {kTagImageWidth, kTypeLong, 1, static_cast<std::uint32_t>(width)},
+      {kTagImageLength, kTypeLong, 1, static_cast<std::uint32_t>(height)},
+      {kTagBitsPerSample, kTypeShort, 1, bits},
+      {kTagCompression, kTypeShort, 1, 1},
+      {kTagPhotometric, kTypeShort, 1, 1},  // BlackIsZero
+      {kTagStripOffsets, kTypeLong, static_cast<std::uint32_t>(strip_count),
+       offsets_value},
+      {kTagSamplesPerPixel, kTypeShort, 1, 1},
+      {kTagRowsPerStrip, kTypeLong, 1,
+       static_cast<std::uint32_t>(rows_per_strip)},
+      {kTagStripByteCounts, kTypeLong, static_cast<std::uint32_t>(strip_count),
+       counts_value},
+      {kTagSampleFormat, kTypeShort, 1, 1},
+  };
+
+  const std::uint32_t ifd_offset = static_cast<std::uint32_t>(w.size());
+  w.u16(static_cast<std::uint16_t>(tags.size()));
+  for (const TagValue& t : tags) {
+    w.u16(t.tag);
+    w.u16(t.type);
+    w.u32(t.count);
+    if (t.type == kTypeShort && t.count == 1) {
+      w.u16(static_cast<std::uint16_t>(t.value));
+      w.u16(0);
+    } else {
+      w.u32(t.value);
+    }
+  }
+  w.u32(0);  // no next IFD
+  w.patch_u32(ifd_offset_pos, ifd_offset);
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw IoError("cannot create TIFF file: " + path);
+  file.write(reinterpret_cast<const char*>(w.bytes().data()),
+             static_cast<std::streamsize>(w.size()));
+  if (!file) throw IoError("short write to TIFF file: " + path);
+}
+
+}  // namespace
+
+void write_tiff_u16(const std::string& path, const ImageU16& image,
+                    std::size_t rows_per_strip) {
+  // Host is little-endian x86 and the file format chosen is little-endian,
+  // so the pixel buffer can be written directly.
+  write_tiff_impl(path, reinterpret_cast<const std::uint8_t*>(image.data()),
+                  image.height(), image.width(), 16, rows_per_strip);
+}
+
+void write_tiff_u8(const std::string& path, const ImageU8& image,
+                   std::size_t rows_per_strip) {
+  write_tiff_impl(path, image.data(), image.height(), image.width(), 8,
+                  rows_per_strip);
+}
+
+}  // namespace hs::img

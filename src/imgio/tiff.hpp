@@ -1,0 +1,36 @@
+// From-scratch TIFF 6.0 baseline grayscale codec.
+//
+// The paper reads its dataset with libTIFF; this container has no libTIFF
+// headers, so the subset the stitching tool needs is implemented directly:
+// uncompressed 8- or 16-bit single-sample grayscale, strip-based, either
+// byte order on read (always little-endian on write), first IFD only.
+#pragma once
+
+#include <string>
+
+#include "imgio/image.hpp"
+
+namespace hs::img {
+
+/// Metadata of a parsed TIFF, exposed for dataset validation and tests.
+struct TiffInfo {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  unsigned bits_per_sample = 0;
+  bool big_endian = false;
+};
+
+/// Reads a grayscale TIFF; 8-bit files are widened to 16-bit values
+/// (scaled by 257 so white stays white). Throws IoError on malformed input.
+ImageU16 read_tiff_u16(const std::string& path, TiffInfo* info = nullptr);
+
+/// Writes a 16-bit grayscale little-endian TIFF with rows_per_strip rows
+/// per strip (several strips exercises the reader's strip assembly).
+void write_tiff_u16(const std::string& path, const ImageU16& image,
+                    std::size_t rows_per_strip = 64);
+
+/// Writes an 8-bit grayscale TIFF.
+void write_tiff_u8(const std::string& path, const ImageU8& image,
+                   std::size_t rows_per_strip = 64);
+
+}  // namespace hs::img

@@ -1,0 +1,104 @@
+#include "pipeline/pipeline.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/thread_util.hpp"
+
+namespace hs::pipe {
+
+struct Pipeline::Impl {
+  struct Stage {
+    std::string name;
+    std::size_t threads = 1;
+    std::function<void()> body;
+    std::function<void()> on_done;
+    std::atomic<std::size_t> remaining{0};
+  };
+
+  std::vector<std::unique_ptr<Stage>> stages;
+  std::vector<std::function<void()>> cancel_hooks;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::atomic<bool> cancelled{false};
+  bool ran = false;
+
+  void fail(std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::move(error);
+    }
+    // Wake every blocked producer/consumer so the pipeline drains. Hooks
+    // are close() calls on queues, all idempotent and thread-safe.
+    if (!cancelled.exchange(true)) {
+      for (auto& hook : cancel_hooks) hook();
+    }
+  }
+};
+
+Pipeline::Pipeline() : impl_(std::make_unique<Impl>()) {}
+
+Pipeline::~Pipeline() = default;
+
+void Pipeline::add_stage(std::string name, std::size_t threads,
+                         std::function<void()> body,
+                         std::function<void()> on_stage_done) {
+  HS_REQUIRE(threads >= 1, "stage needs at least one thread");
+  HS_REQUIRE(!impl_->ran, "cannot add stages after run()");
+  auto stage = std::make_unique<Impl::Stage>();
+  stage->name = std::move(name);
+  stage->threads = threads;
+  stage->body = std::move(body);
+  stage->on_done = std::move(on_stage_done);
+  stage->remaining.store(threads, std::memory_order_relaxed);
+  impl_->stages.push_back(std::move(stage));
+}
+
+void Pipeline::on_cancel(std::function<void()> hook) {
+  HS_REQUIRE(!impl_->ran, "cannot add cancel hooks after run()");
+  impl_->cancel_hooks.push_back(std::move(hook));
+}
+
+bool Pipeline::cancelled() const {
+  return impl_->cancelled.load(std::memory_order_relaxed);
+}
+
+void Pipeline::run() {
+  HS_REQUIRE(!impl_->ran, "a Pipeline can only run once");
+  impl_->ran = true;
+
+  std::vector<std::thread> threads;
+  for (auto& stage_ptr : impl_->stages) {
+    Impl::Stage* stage = stage_ptr.get();
+    for (std::size_t t = 0; t < stage->threads; ++t) {
+      threads.emplace_back([this, stage, t] {
+        set_current_thread_name(stage->name + "." + std::to_string(t));
+        try {
+          stage->body();
+        } catch (...) {
+          log_warn("pipeline stage '%s' thread %zu failed",
+                   stage->name.c_str(), t);
+          impl_->fail(std::current_exception());
+        }
+        if (stage->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+            stage->on_done) {
+          // Last thread out closes the stage's downstream queue; guard the
+          // hook itself so a throwing close cannot kill the process.
+          try {
+            stage->on_done();
+          } catch (...) {
+            impl_->fail(std::current_exception());
+          }
+        }
+      });
+    }
+  }
+  for (auto& thread : threads) thread.join();
+  if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+}
+
+}  // namespace hs::pipe

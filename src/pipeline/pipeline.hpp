@@ -1,0 +1,101 @@
+// General-purpose producer-consumer pipeline.
+//
+// The paper organizes stitching as "a pipeline of functional stages
+// (reading, computing, and bookkeeping) ... each stage consists of one or
+// more CPU threads" and lists extracting "a general purpose API for the
+// pipeline" as future work. This is that API: typed stages wired by
+// BoundedQueues, one or more threads per stage, deterministic shutdown
+// (a stage's output queue closes when all of its threads finish), and
+// first-exception propagation with cooperative cancellation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/queue.hpp"
+
+namespace hs::pipe {
+
+class Pipeline {
+ public:
+  Pipeline();
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Adds a raw stage: `threads` threads each run `body` to completion.
+  /// When the last thread of the stage returns, `on_stage_done` runs once
+  /// (typed helpers use it to close the downstream queue). Stages must be
+  /// added before run().
+  void add_stage(std::string name, std::size_t threads,
+                 std::function<void()> body,
+                 std::function<void()> on_stage_done = {});
+
+  /// Registers a cancellation hook (typically `queue.close()`), invoked on
+  /// the first stage exception so every blocked thread wakes and drains.
+  void on_cancel(std::function<void()> hook);
+
+  /// Starts all stage threads and joins them. Rethrows the first exception
+  /// thrown by any stage body after all threads have exited.
+  void run();
+
+  /// True once any stage has failed; long-running bodies may poll this to
+  /// stop early.
+  bool cancelled() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Typed stage helpers.
+//
+// A source runs `fn(emit)` once per thread; a transform runs
+// `fn(item, emit)` for every input item; a sink runs `fn(item)`. `emit` is a
+// callable pushing to the downstream queue; a transform may emit zero, one,
+// or many items per input (the bookkeeping stage emits a pair only when both
+// transforms are ready).
+// ---------------------------------------------------------------------------
+
+template <typename Out, typename Fn>
+void add_source(Pipeline& pipeline, std::string name, std::size_t threads,
+                BoundedQueue<Out>& out, Fn fn) {
+  auto emit = [&out](Out item) { out.push(std::move(item)); };
+  pipeline.on_cancel([&out] { out.close(); });
+  pipeline.add_stage(
+      std::move(name), threads, [fn, emit]() mutable { fn(emit); },
+      [&out] { out.close(); });
+}
+
+template <typename In, typename Out, typename Fn>
+void add_transform(Pipeline& pipeline, std::string name, std::size_t threads,
+                   BoundedQueue<In>& in, BoundedQueue<Out>& out, Fn fn) {
+  auto emit = [&out](Out item) { out.push(std::move(item)); };
+  pipeline.on_cancel([&in] { in.close(); });
+  pipeline.on_cancel([&out] { out.close(); });
+  pipeline.add_stage(
+      std::move(name), threads,
+      [&in, fn, emit]() mutable {
+        while (auto item = in.pop()) {
+          fn(std::move(*item), emit);
+        }
+      },
+      [&out] { out.close(); });
+}
+
+template <typename In, typename Fn>
+void add_sink(Pipeline& pipeline, std::string name, std::size_t threads,
+              BoundedQueue<In>& in, Fn fn) {
+  pipeline.on_cancel([&in] { in.close(); });
+  pipeline.add_stage(std::move(name), threads, [&in, fn]() mutable {
+    while (auto item = in.pop()) {
+      fn(std::move(*item));
+    }
+  });
+}
+
+}  // namespace hs::pipe

@@ -1,0 +1,115 @@
+// Monitor-style bounded MPMC queue.
+//
+// The paper: "Each stage has an input and an output queue ... These queues
+// have monitor implementations to prevent race conditions." This is that
+// queue: condition-variable based, optionally bounded (bounding the reader
+// stage's queue is part of how the pipeline stays within memory limits), and
+// closable so stages can drain and shut down deterministically.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace hs::pipe {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(
+      std::size_t capacity = std::numeric_limits<std::size_t>::max())
+      : capacity_(capacity) {
+    HS_REQUIRE(capacity >= 1, "queue capacity must be at least 1");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping the item) if
+  /// the queue was closed — producers use this to stop early on shutdown.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once the queue is closed *and*
+  /// drained, which is each consumer thread's signal to exit.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::optional<T> item;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Closes the queue: subsequent pushes fail, pops drain remaining items.
+  /// Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace hs::pipe

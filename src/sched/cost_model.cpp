@@ -1,0 +1,29 @@
+#include "sched/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hs::sched {
+
+double CostModel::effective_threads(std::size_t threads) const {
+  const double physical = static_cast<double>(
+      std::min(threads, physical_cores));
+  const double smt_threads = static_cast<double>(
+      std::min(threads, logical_cores) -
+      std::min(threads, physical_cores));
+  return physical + smt_marginal * smt_threads;
+}
+
+double CostModel::fft_scale(std::size_t h, std::size_t w) const {
+  const double n = static_cast<double>(h) * static_cast<double>(w);
+  const double ref = static_cast<double>(ref_tile_h) *
+                     static_cast<double>(ref_tile_w);
+  return (n * std::log2(n)) / (ref * std::log2(ref));
+}
+
+double CostModel::pixel_scale(std::size_t h, std::size_t w) const {
+  return (static_cast<double>(h) * static_cast<double>(w)) /
+         (static_cast<double>(ref_tile_h) * static_cast<double>(ref_tile_w));
+}
+
+}  // namespace hs::sched

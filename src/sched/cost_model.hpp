@@ -1,0 +1,79 @@
+// Calibrated per-operation cost model of the paper's evaluation machine
+// (2x Xeon E-5620: 8 physical / 16 logical cores, 48 GB RAM, 2x Tesla C2070,
+// CUDA 5.5, FFTW 3.3 patient).
+//
+// Calibration sources, in order of trust:
+//   1. Table II end-to-end times (Simple-CPU 636 s, MT-CPU 96 s,
+//      Pipelined-CPU 84 s, Simple-GPU 556 s, Pipelined-GPU 49.7/26.6 s)
+//   2. Fig 10 (CCF-thread sweep: ~42 s at 1 thread, flat ~29 s beyond 2)
+//   3. Fig 11/12 (two-slope SMT scaling, ~10x at 16 threads)
+//   4. SIV prose ratios (cuFFT vs FFTW, kernel speedups, planning gains)
+//
+// The paper's numbers do not reconcile under a single constant set (e.g.
+// 7333 serialized FFT kernels inside Pipelined-GPU's 49.7 s bound the GPU
+// FFT at ~5 ms, while the Simple-GPU time implies ~60 ms of cost per
+// synchronous FFT round trip). The model therefore charges Simple-GPU an
+// explicit per-operation synchronization stall — which is precisely the
+// paper's own diagnosis of Fig 7 ("gaps between kernel invocations ...
+// keeps the GPU unoccupied"). All constants are exposed so the benches can
+// print and the tests can pin them. Costs scale with tile size as
+// hw*log2(hw) for transforms and hw for element-wise work.
+#pragma once
+
+#include <cstddef>
+
+namespace hs::sched {
+
+struct CostModel {
+  // --- machine shape
+  std::size_t physical_cores = 8;
+  std::size_t logical_cores = 16;
+  /// Marginal throughput of an SMT sibling thread relative to a physical
+  /// core (Fig 11's second, shallower slope).
+  double smt_marginal = 0.30;
+
+  // --- per-operation costs in seconds, at the reference 1392x1040 tile
+  double read_tile_s = 4.0e-3;     // disk read + TIFF decode (2.76 MB)
+  double convert_s = 1.5e-3;       // u16 -> complex widening
+  double cpu_fft_s = 70.0e-3;      // 2-D FFT, FFTW patient, one core
+  double cpu_ncc_s = 9.0e-3;       // element-wise NCC, SSE
+  double cpu_max_s = 5.0e-3;       // max-abs reduction, SSE
+  double ccf_s = 8.5e-3;           // all four CCF overlap evaluations
+  double gpu_fft_s = 4.4e-3;       // cuFFT 2-D kernel time
+  double gpu_ncc_s = 1.3e-3;       // custom NCC kernel
+  double gpu_max_s = 1.0e-3;       // custom reduction kernel
+  double h2d_s = 4.0e-3;           // 22 MB over PCIe gen2 (~5.5 GB/s)
+  double d2h_scalar_s = 30.0e-6;   // one MaxAbsResult back to the host
+
+  // --- implementation-structure constants
+  /// Synchronous-invocation stall charged to every Simple-GPU operation
+  /// (driver round trip + forfeited overlap; the Fig 7 gaps).
+  double simple_gpu_sync_stall_s = 18.0e-3;
+  /// SPMD contention/load-imbalance multiplier on MT-CPU compute.
+  double mt_cpu_contention = 1.50;
+  /// Queue/synchronization overhead multiplier on Pipelined-CPU work items.
+  double pipelined_cpu_overhead = 1.30;
+  /// ImageJ/Fiji: measured-equivalent seconds of plugin work per adjacent
+  /// pair at its 5-6 threads (3.6 h / 4855 pairs). The plugin runs the same
+  /// operators; the constant absorbs JVM and memory-management overheads
+  /// the paper does not decompose.
+  double fiji_pair_s = 2.67;
+
+  /// Reference tile geometry the constants above were calibrated at.
+  std::size_t ref_tile_h = 1040;
+  std::size_t ref_tile_w = 1392;
+
+  // --- derived scaling ------------------------------------------------
+  /// Effective parallel throughput of `threads` CPU threads in units of
+  /// physical cores (two-slope SMT model).
+  double effective_threads(std::size_t threads) const;
+
+  /// Cost scale factors for a different tile size.
+  double fft_scale(std::size_t h, std::size_t w) const;    // hw log2(hw)
+  double pixel_scale(std::size_t h, std::size_t w) const;  // hw
+
+  /// The paper's evaluation-machine model.
+  static CostModel paper_machine() { return CostModel{}; }
+};
+
+}  // namespace hs::sched

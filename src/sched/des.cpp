@@ -1,0 +1,152 @@
+#include "sched/des.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace hs::sched {
+
+ResourceId Simulator::add_resource(std::string name, std::size_t slots,
+                                   double speed) {
+  HS_REQUIRE(slots >= 1, "resource needs at least one slot");
+  HS_REQUIRE(speed > 0.0, "resource speed must be positive");
+  HS_REQUIRE(!ran_, "cannot modify a simulator after run()");
+  resources_.push_back(Resource{std::move(name), slots, speed, 0.0, 0});
+  return resources_.size() - 1;
+}
+
+TaskId Simulator::add_task(std::string name, ResourceId resource,
+                           double seconds, std::vector<TaskId> deps) {
+  HS_REQUIRE(resource < resources_.size(), "unknown resource");
+  HS_REQUIRE(seconds >= 0.0, "negative task duration");
+  HS_REQUIRE(!ran_, "cannot modify a simulator after run()");
+  const TaskId id = tasks_.size();
+  Task task;
+  task.name = std::move(name);
+  task.resource = resource;
+  task.seconds = seconds;
+  task.pending_deps = deps.size();
+  for (TaskId dep : deps) {
+    HS_REQUIRE(dep < id, "dependency on a not-yet-added task");
+    tasks_[dep].dependents.push_back(id);
+  }
+  task.deps = std::move(deps);
+  tasks_.push_back(std::move(task));
+  return id;
+}
+
+double Simulator::run(hs::trace::Recorder* recorder) {
+  HS_REQUIRE(!ran_, "Simulator::run() may only be called once");
+  ran_ = true;
+
+  // Per-resource ready queue ordered by (ready_at, id) for determinism.
+  using ReadyKey = std::pair<double, TaskId>;
+  std::vector<std::priority_queue<ReadyKey, std::vector<ReadyKey>,
+                                  std::greater<ReadyKey>>>
+      ready(resources_.size());
+  std::vector<std::size_t> free_slots(resources_.size());
+  // Track which slot indices are free per resource so traces get stable
+  // lane assignments.
+  std::vector<std::vector<std::size_t>> slot_pool(resources_.size());
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    free_slots[r] = resources_[r].slots;
+    slot_pool[r].resize(resources_[r].slots);
+    for (std::size_t s = 0; s < resources_[r].slots; ++s) {
+      slot_pool[r][s] = resources_[r].slots - 1 - s;  // pop_back yields slot 0 first
+    }
+  }
+
+  struct Completion {
+    double time;
+    TaskId task;
+    std::size_t slot;
+    bool operator>(const Completion& o) const {
+      return std::tie(time, task) > std::tie(o.time, o.task);
+    }
+  };
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      completions;
+
+  double now = 0.0;
+  std::size_t completed = 0;
+
+  auto make_ready = [&](TaskId id, double at) {
+    tasks_[id].ready_at = at;
+    ready[tasks_[id].resource].push({at, id});
+  };
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (tasks_[id].pending_deps == 0) make_ready(id, 0.0);
+  }
+
+  auto start_ready_tasks = [&] {
+    for (std::size_t r = 0; r < resources_.size(); ++r) {
+      while (free_slots[r] > 0 && !ready[r].empty() &&
+             ready[r].top().first <= now) {
+        const TaskId id = ready[r].top().second;
+        ready[r].pop();
+        --free_slots[r];
+        const std::size_t slot = slot_pool[r].back();
+        slot_pool[r].pop_back();
+        Task& task = tasks_[id];
+        const double duration = task.seconds / resources_[r].speed;
+        task.finish_at = now + duration;
+        resources_[r].busy_seconds += duration;
+        resources_[r].executed += 1;
+        if (recorder != nullptr) {
+          recorder->record(
+              resources_[r].name + ".s" + std::to_string(slot), task.name,
+              now * 1e6, task.finish_at * 1e6);
+        }
+        completions.push(Completion{task.finish_at, id, slot});
+      }
+    }
+  };
+
+  start_ready_tasks();
+  while (completed < tasks_.size()) {
+    HS_ASSERT_MSG(!completions.empty(),
+                  "simulation stalled: dependency cycle or unreachable task");
+    const Completion completion = completions.top();
+    completions.pop();
+    now = completion.time;
+    makespan_ = std::max(makespan_, now);
+    ++completed;
+    const Task& task = tasks_[completion.task];
+    free_slots[task.resource] += 1;
+    slot_pool[task.resource].push_back(completion.slot);
+    for (TaskId dependent : task.dependents) {
+      if (--tasks_[dependent].pending_deps == 0) make_ready(dependent, now);
+    }
+    start_ready_tasks();
+  }
+  return makespan_;
+}
+
+double Simulator::finish_time(TaskId task) const {
+  HS_REQUIRE(ran_, "finish_time before run()");
+  HS_REQUIRE(task < tasks_.size(), "unknown task");
+  return tasks_[task].finish_at;
+}
+
+std::vector<ResourceStats> Simulator::resource_stats() const {
+  HS_REQUIRE(ran_, "resource_stats before run()");
+  std::vector<ResourceStats> out;
+  out.reserve(resources_.size());
+  for (const Resource& r : resources_) {
+    ResourceStats stats;
+    stats.name = r.name;
+    stats.busy_seconds = r.busy_seconds;
+    stats.tasks_executed = r.executed;
+    stats.utilization =
+        makespan_ > 0.0
+            ? r.busy_seconds / (static_cast<double>(r.slots) * makespan_)
+            : 0.0;
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace hs::sched

@@ -1,0 +1,87 @@
+// Generic discrete-event simulator for pipeline performance models.
+//
+// Why it exists: the paper's scaling results (Table II, Figs 10-12) were
+// measured on 16 logical cores and two GPUs; this container has one core and
+// none. The real implementations still run (and are tested) here, but their
+// wall-clock cannot exhibit 16-way scaling. The DES replays each
+// implementation's task structure — the same stages, dependencies, and
+// resource constraints — over virtual time with per-operation costs from a
+// calibrated CostModel, which reproduces the *shape* of every scaling
+// figure deterministically.
+//
+// Model: a Task occupies one slot of one Resource for duration/speed virtual
+// seconds once all of its dependencies completed. Resources have a fixed
+// number of slots and a speed factor (used to model SMT: 16 threads on 8
+// physical cores run each at ~0.65 speed). Ready tasks start in readiness
+// order (FIFO, id tie-break), so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace hs::sched {
+
+using TaskId = std::size_t;
+using ResourceId = std::size_t;
+
+struct ResourceStats {
+  std::string name;
+  double busy_seconds = 0.0;   // sum over slots of occupied time
+  double utilization = 0.0;    // busy / (slots * makespan)
+  std::size_t tasks_executed = 0;
+};
+
+class Simulator {
+ public:
+  /// Adds a resource with `slots` parallel execution slots. `speed` scales
+  /// the execution rate of every slot (duration / speed virtual seconds).
+  ResourceId add_resource(std::string name, std::size_t slots,
+                          double speed = 1.0);
+
+  /// Adds a task. `deps` must all be existing task ids.
+  TaskId add_task(std::string name, ResourceId resource, double seconds,
+                  std::vector<TaskId> deps = {});
+
+  /// Runs the simulation; returns the makespan in virtual seconds. When
+  /// `recorder` is set, every task execution is recorded as a span in lane
+  /// "<resource>.s<slot>" with virtual microseconds.
+  double run(hs::trace::Recorder* recorder = nullptr);
+
+  /// Completion time of a task (valid after run()).
+  double finish_time(TaskId task) const;
+
+  /// Per-resource statistics (valid after run()).
+  std::vector<ResourceStats> resource_stats() const;
+
+  std::size_t task_count() const { return tasks_.size(); }
+
+ private:
+  struct Resource {
+    std::string name;
+    std::size_t slots = 1;
+    double speed = 1.0;
+    double busy_seconds = 0.0;
+    std::size_t executed = 0;
+  };
+  struct Task {
+    std::string name;
+    ResourceId resource = 0;
+    double seconds = 0.0;
+    std::vector<TaskId> deps;
+    std::size_t pending_deps = 0;
+    std::vector<TaskId> dependents;
+    double ready_at = std::numeric_limits<double>::quiet_NaN();
+    double finish_at = std::numeric_limits<double>::quiet_NaN();
+  };
+
+  std::vector<Resource> resources_;
+  std::vector<Task> tasks_;
+  double makespan_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace hs::sched

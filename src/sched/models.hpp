@@ -1,0 +1,49 @@
+// Performance models of the six stitching implementations (+ ImageJ/Fiji),
+// built as DES task graphs that mirror each implementation's real stage,
+// dependency, and resource structure. These regenerate Table II and
+// Figs 10-12; see cost_model.hpp for the calibration story.
+#pragma once
+
+#include "sched/cost_model.hpp"
+#include "sched/des.hpp"
+#include "stitch/stitcher.hpp"
+
+namespace hs::sched {
+
+struct ModelConfig {
+  std::size_t grid_rows = 42;
+  std::size_t grid_cols = 59;
+  std::size_t tile_h = 1040;
+  std::size_t tile_w = 1392;
+
+  std::size_t threads = 16;      // CPU worker threads (MT / Pipelined-CPU)
+  std::size_t ccf_threads = 2;   // Pipelined-GPU stage 6
+  std::size_t gpus = 1;          // Pipelined-GPU pipelines
+
+  // Paper SVI-A future-work variants:
+  /// Kepler GK110 / Hyper-Q: FFT kernels execute concurrently (modeled as
+  /// two kernel slots per device instead of the Fermi single slot).
+  bool kepler_concurrent_fft = false;
+  /// Peer-to-peer halo sharing: boundary transforms computed once by the
+  /// owning GPU and copied to the neighbour instead of re-read + re-FFT'd.
+  bool use_p2p = false;
+
+  CostModel cost = CostModel::paper_machine();
+};
+
+struct ModelResult {
+  double seconds = 0.0;
+  std::size_t tasks = 0;
+  std::vector<ResourceStats> resources;
+};
+
+/// Simulates one backend. `recorder`, when set, receives the virtual-time
+/// execution trace (lanes per resource slot).
+ModelResult model_backend(stitch::Backend backend, const ModelConfig& config,
+                          hs::trace::Recorder* recorder = nullptr);
+
+/// ImageJ/Fiji plugin model (Table II's first row): per-pair plugin work at
+/// its own thread count, absorbed into the calibrated fiji_pair_s constant.
+ModelResult model_fiji(const ModelConfig& config);
+
+}  // namespace hs::sched

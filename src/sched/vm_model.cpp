@@ -1,0 +1,53 @@
+#include "sched/vm_model.hpp"
+
+#include <algorithm>
+
+namespace hs::sched {
+
+namespace {
+
+double transform_bytes(const VmModelParams& params) {
+  return 16.0 * static_cast<double>(params.tile_h) *
+         static_cast<double>(params.tile_w);
+}
+
+}  // namespace
+
+double vm_fft_time(std::size_t tiles, std::size_t threads,
+                   const VmModelParams& params, const CostModel& cost) {
+  const double fs = cost.fft_scale(params.tile_h, params.tile_w);
+  const double ps = cost.pixel_scale(params.tile_h, params.tile_w);
+  const double per_tile_compute =
+      cost.cpu_fft_s * fs + cost.convert_s * ps + cost.read_tile_s * ps;
+  const double eff = cost.effective_threads(threads);
+  const double compute =
+      static_cast<double>(tiles) * per_tile_compute / std::max(1.0, eff);
+
+  const double resident = static_cast<double>(tiles) * transform_bytes(params);
+  const double available = params.ram_bytes - params.reserved_bytes;
+  if (resident <= available) return compute;
+
+  // Thrashing: the pager moves transform bytes through the disk; this
+  // traffic is serial at disk bandwidth and independent of thread count.
+  // Ramp the traffic in over the first ~3% of overflow so the cliff is
+  // steep (as measured) but not a step discontinuity.
+  const double overflow = (resident - available) / available;
+  const double ramp = std::min(1.0, overflow / 0.03);
+  const double paging = resident * params.thrash_traffic_factor * ramp /
+                        params.disk_bandwidth_bps;
+  return compute + paging;
+}
+
+double vm_fft_speedup(std::size_t tiles, std::size_t threads,
+                      const VmModelParams& params, const CostModel& cost) {
+  const double base = vm_fft_time(tiles, 1, params, cost);
+  const double parallel = vm_fft_time(tiles, threads, params, cost);
+  return parallel > 0.0 ? base / parallel : 0.0;
+}
+
+std::size_t vm_cliff_tiles(const VmModelParams& params) {
+  const double available = params.ram_bytes - params.reserved_bytes;
+  return static_cast<std::size_t>(available / transform_bytes(params));
+}
+
+}  // namespace hs::sched

@@ -1,0 +1,47 @@
+// Virtual-memory performance-cliff model (paper Fig 5).
+//
+// The paper demonstrates the memory wall with a deliberately naive
+// multi-threaded app that reads tiles and computes their transforms without
+// ever freeing memory, on a 24 GB machine: speedup collapses for every
+// thread count once the tile count crosses 832 -> 864 (832 transforms at
+// ~22 MB each ~= the RAM left after the OS and the program's other data).
+// This model reproduces that behaviour: below the threshold, compute scales
+// with the SMT-effective thread count; above it, the run becomes dominated
+// by disk-bound page traffic, which no thread count helps.
+#pragma once
+
+#include <cstddef>
+
+#include "sched/cost_model.hpp"
+
+namespace hs::sched {
+
+struct VmModelParams {
+  /// Evaluation-machine variant used for Fig 5 (24 GB instead of 48 GB).
+  double ram_bytes = 24.0 * (1ull << 30);
+  /// OS + program working data; what is left holds transforms.
+  double reserved_bytes = 5.7 * (1ull << 30);
+  /// Bytes of one kept transform (16 bytes per pixel, complex double).
+  std::size_t tile_h = 1040;
+  std::size_t tile_w = 1392;
+  /// Sustained disk bandwidth once the pager starts thrashing.
+  double disk_bandwidth_bps = 110.0 * (1 << 20);
+  /// Fraction of transform bytes that cross the disk per pass when the
+  /// working set overflows (write-back + re-read).
+  double thrash_traffic_factor = 2.0;
+};
+
+/// Seconds to read `tiles` tiles and compute (and keep!) their transforms
+/// with `threads` threads.
+double vm_fft_time(std::size_t tiles, std::size_t threads,
+                   const VmModelParams& params, const CostModel& cost);
+
+/// Speedup of `threads` threads over one thread at the same tile count —
+/// the quantity plotted on Fig 5's vertical axis.
+double vm_fft_speedup(std::size_t tiles, std::size_t threads,
+                      const VmModelParams& params, const CostModel& cost);
+
+/// Largest tile count that still fits in memory (the cliff edge).
+std::size_t vm_cliff_tiles(const VmModelParams& params);
+
+}  // namespace hs::sched

@@ -1,0 +1,269 @@
+#include "simdata/plate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "imgio/pnm.hpp"
+#include "imgio/tiff.hpp"
+
+namespace hs::sim {
+
+namespace {
+
+/// Bilinear value noise over a random lattice with the given wavelength.
+class ValueNoise {
+ public:
+  ValueNoise(std::size_t height, std::size_t width, double wavelength,
+             Rng& rng)
+      : wavelength_(std::max(1.0, wavelength)),
+        lattice_w_(static_cast<std::size_t>(
+                       std::ceil(static_cast<double>(width) / wavelength_)) +
+                   2),
+        lattice_h_(static_cast<std::size_t>(
+                       std::ceil(static_cast<double>(height) / wavelength_)) +
+                   2),
+        values_(lattice_w_ * lattice_h_) {
+    for (auto& v : values_) v = rng.next_double() * 2.0 - 1.0;
+  }
+
+  double sample(std::size_t row, std::size_t col) const {
+    const double fy = static_cast<double>(row) / wavelength_;
+    const double fx = static_cast<double>(col) / wavelength_;
+    const auto y0 = static_cast<std::size_t>(fy);
+    const auto x0 = static_cast<std::size_t>(fx);
+    const double ty = smooth(fy - static_cast<double>(y0));
+    const double tx = smooth(fx - static_cast<double>(x0));
+    const double v00 = at(y0, x0);
+    const double v01 = at(y0, x0 + 1);
+    const double v10 = at(y0 + 1, x0);
+    const double v11 = at(y0 + 1, x0 + 1);
+    const double top = v00 + (v01 - v00) * tx;
+    const double bot = v10 + (v11 - v10) * tx;
+    return top + (bot - top) * ty;
+  }
+
+ private:
+  static double smooth(double t) { return t * t * (3.0 - 2.0 * t); }
+  double at(std::size_t y, std::size_t x) const {
+    return values_[std::min(y, lattice_h_ - 1) * lattice_w_ +
+                   std::min(x, lattice_w_ - 1)];
+  }
+
+  double wavelength_;
+  std::size_t lattice_w_;
+  std::size_t lattice_h_;
+  std::vector<double> values_;
+};
+
+struct Colony {
+  double cy = 0.0;
+  double cx = 0.0;
+  double radius = 1.0;
+  double brightness = 0.0;
+};
+
+/// Deterministic per-pixel hash in [-1, 1] keyed on plate coordinates —
+/// fixed specimen microstructure, identical wherever tiles overlap.
+double grain(std::uint64_t seed, std::size_t row, std::size_t col) {
+  std::uint64_t z = seed ^ (static_cast<std::uint64_t>(row) * 0x9E3779B97F4A7C15ull) ^
+                    (static_cast<std::uint64_t>(col) * 0xC2B2AE3D27D4EB4Full);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-52 - 1.0;
+}
+
+}  // namespace
+
+img::ImageU16 generate_plate(const PlateParams& params) {
+  HS_REQUIRE(params.height >= 16 && params.width >= 16,
+             "plate too small to be meaningful");
+  HS_REQUIRE(params.feature_density >= 0.0 && params.feature_density <= 1.0,
+             "feature_density must be in [0, 1]");
+  Rng rng(params.seed);
+
+  // Background texture: octave stack of value noise.
+  std::vector<ValueNoise> octaves;
+  octaves.reserve(static_cast<std::size_t>(params.octaves));
+  double wavelength = params.base_wavelength;
+  for (int o = 0; o < params.octaves; ++o) {
+    octaves.emplace_back(params.height, params.width, wavelength, rng);
+    wavelength *= 0.5;
+  }
+
+  // Colonies: soft discs with a textured interior.
+  const double megapixels = static_cast<double>(params.height) *
+                            static_cast<double>(params.width) / 1e6;
+  const auto colony_count = static_cast<std::size_t>(
+      params.colonies_per_megapixel * params.feature_density * megapixels);
+  std::vector<Colony> colonies(colony_count);
+  for (auto& colony : colonies) {
+    colony.cy = rng.uniform(0.0, static_cast<double>(params.height));
+    colony.cx = rng.uniform(0.0, static_cast<double>(params.width));
+    colony.radius = std::max(
+        8.0, rng.normal(params.colony_radius_mean, params.colony_radius_sd));
+    colony.brightness = params.colony_brightness * rng.uniform(0.5, 1.0);
+  }
+
+  img::ImageU16 plate(params.height, params.width);
+  // Rasterize the background first.
+  for (std::size_t r = 0; r < params.height; ++r) {
+    std::uint16_t* out = plate.row(r);
+    for (std::size_t c = 0; c < params.width; ++c) {
+      double value = params.background_level;
+      double gain = 1.0;
+      for (const auto& octave : octaves) {
+        value += params.texture_amplitude * gain * octave.sample(r, c);
+        gain *= 0.5;
+      }
+      value += params.grain_amplitude * grain(params.seed, r, c);
+      value = std::clamp(value, 0.0, 65535.0);
+      out[c] = static_cast<std::uint16_t>(value);
+    }
+  }
+  // Then splat colonies over their bounding boxes only.
+  for (const auto& colony : colonies) {
+    const auto r0 = static_cast<std::size_t>(
+        std::max(0.0, std::floor(colony.cy - colony.radius)));
+    const auto r1 = static_cast<std::size_t>(std::min(
+        static_cast<double>(params.height), std::ceil(colony.cy + colony.radius)));
+    const auto c0 = static_cast<std::size_t>(
+        std::max(0.0, std::floor(colony.cx - colony.radius)));
+    const auto c1 = static_cast<std::size_t>(std::min(
+        static_cast<double>(params.width), std::ceil(colony.cx + colony.radius)));
+    for (std::size_t r = r0; r < r1; ++r) {
+      for (std::size_t c = c0; c < c1; ++c) {
+        const double dy = (static_cast<double>(r) - colony.cy) / colony.radius;
+        const double dx = (static_cast<double>(c) - colony.cx) / colony.radius;
+        const double d2 = dy * dy + dx * dx;
+        if (d2 >= 1.0) continue;
+        // Soft edge + mild radial texture so colonies have internal detail.
+        const double edge = (1.0 - d2) * (1.0 - d2);
+        const double ripple =
+            0.85 + 0.15 * std::cos(16.0 * d2 + colony.cx * 0.1);
+        const double add = colony.brightness * edge * ripple;
+        const double value =
+            std::min(65535.0, static_cast<double>(plate.at(r, c)) + add);
+        plate.at(r, c) = static_cast<std::uint16_t>(value);
+      }
+    }
+  }
+  return plate;
+}
+
+SyntheticGrid acquire_grid(const img::ImageU16& plate,
+                           const AcquisitionParams& params) {
+  HS_REQUIRE(params.grid_rows >= 1 && params.grid_cols >= 1,
+             "grid must be non-empty");
+  HS_REQUIRE(params.overlap_fraction > 0.0 && params.overlap_fraction < 0.9,
+             "overlap fraction out of range");
+  const std::size_t th = params.tile_height;
+  const std::size_t tw = params.tile_width;
+  HS_REQUIRE(th >= 16 && tw >= 16, "tiles too small");
+
+  const double step_y = static_cast<double>(th) * (1.0 - params.overlap_fraction);
+  const double step_x = static_cast<double>(tw) * (1.0 - params.overlap_fraction);
+  const double margin = params.stage_jitter_max + 1.0;
+
+  const double needed_h =
+      step_y * static_cast<double>(params.grid_rows - 1) +
+      static_cast<double>(th) + 2.0 * margin;
+  const double needed_w =
+      step_x * static_cast<double>(params.grid_cols - 1) +
+      static_cast<double>(tw) + 2.0 * margin;
+  HS_REQUIRE(static_cast<double>(plate.height()) >= needed_h &&
+                 static_cast<double>(plate.width()) >= needed_w,
+             "plate too small for the requested grid");
+
+  Rng rng(params.seed);
+  SyntheticGrid grid;
+  grid.layout = img::GridLayout{params.grid_rows, params.grid_cols};
+  grid.tile_height = th;
+  grid.tile_width = tw;
+  grid.tiles.resize(grid.layout.tile_count());
+  grid.truth.x.resize(grid.layout.tile_count());
+  grid.truth.y.resize(grid.layout.tile_count());
+
+  for (std::size_t r = 0; r < params.grid_rows; ++r) {
+    for (std::size_t c = 0; c < params.grid_cols; ++c) {
+      const std::size_t index = grid.layout.index_of(img::TilePos{r, c});
+      Rng tile_rng = rng.fork();
+
+      auto jitter = [&]() {
+        return std::clamp(tile_rng.normal(0.0, params.stage_jitter_sd),
+                          -params.stage_jitter_max, params.stage_jitter_max);
+      };
+      const double fy = margin + step_y * static_cast<double>(r) + jitter();
+      const double fx = margin + step_x * static_cast<double>(c) + jitter();
+      // Positions are integral pixels: the stage error is what stitching
+      // recovers, and integer truth makes exact-match assertions possible.
+      const auto y0 = static_cast<std::int64_t>(std::llround(fy));
+      const auto x0 = static_cast<std::int64_t>(std::llround(fx));
+      grid.truth.y[index] = y0;
+      grid.truth.x[index] = x0;
+
+      img::ImageU16 tile = plate.crop(static_cast<std::size_t>(y0),
+                                      static_cast<std::size_t>(x0), th, tw);
+      // Camera noise + vignetting.
+      const double cy = static_cast<double>(th - 1) / 2.0;
+      const double cx = static_cast<double>(tw - 1) / 2.0;
+      const double corner2 = cy * cy + cx * cx;
+      for (std::size_t rr = 0; rr < th; ++rr) {
+        std::uint16_t* row = tile.row(rr);
+        for (std::size_t cc = 0; cc < tw; ++cc) {
+          double value = static_cast<double>(row[cc]);
+          if (params.vignetting > 0.0) {
+            const double dy = static_cast<double>(rr) - cy;
+            const double dx = static_cast<double>(cc) - cx;
+            value *= 1.0 - params.vignetting * (dy * dy + dx * dx) / corner2;
+          }
+          if (params.camera_noise_sd > 0.0) {
+            value += tile_rng.normal(0.0, params.camera_noise_sd);
+          }
+          row[cc] = static_cast<std::uint16_t>(std::clamp(value, 0.0, 65535.0));
+        }
+      }
+      grid.tiles[index] = std::move(tile);
+    }
+  }
+  return grid;
+}
+
+SyntheticGrid make_synthetic_grid(const AcquisitionParams& acquisition,
+                                  PlateParams plate) {
+  const double step_y = static_cast<double>(acquisition.tile_height) *
+                        (1.0 - acquisition.overlap_fraction);
+  const double step_x = static_cast<double>(acquisition.tile_width) *
+                        (1.0 - acquisition.overlap_fraction);
+  const double margin = acquisition.stage_jitter_max + 2.0;
+  plate.height = static_cast<std::size_t>(
+      std::ceil(step_y * static_cast<double>(acquisition.grid_rows - 1) +
+                static_cast<double>(acquisition.tile_height) + 2.0 * margin));
+  plate.width = static_cast<std::size_t>(
+      std::ceil(step_x * static_cast<double>(acquisition.grid_cols - 1) +
+                static_cast<double>(acquisition.tile_width) + 2.0 * margin));
+  return acquire_grid(generate_plate(plate), acquisition);
+}
+
+img::TileGridDataset write_dataset(const SyntheticGrid& grid,
+                                   const std::string& directory,
+                                   const std::string& pattern) {
+  std::filesystem::create_directories(directory);
+  img::TileGridDataset dataset(directory, pattern, grid.layout);
+  for (std::size_t r = 0; r < grid.layout.rows; ++r) {
+    for (std::size_t c = 0; c < grid.layout.cols; ++c) {
+      const img::TilePos pos{r, c};
+      const std::string path = dataset.tile_path(pos);
+      if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".pgm") == 0) {
+        img::write_pgm_u16(path, grid.tile(pos));
+      } else {
+        img::write_tiff_u16(path, grid.tile(pos));
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace hs::sim

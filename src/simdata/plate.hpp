@@ -1,0 +1,118 @@
+// Synthetic microscopy plate generation.
+//
+// Substitute for the paper's proprietary A10 cell-colony dataset: a full
+// "plate" image is synthesized (multi-octave value-noise background texture
+// plus soft-edged cell colonies), then a microscope acquisition is simulated
+// by cutting an overlapping tile grid with per-tile mechanical stage jitter,
+// camera noise, and flat-field (vignetting) error. Ground-truth tile
+// positions are retained so stitching accuracy can be asserted — something
+// the original authors could not do with real data.
+//
+// The feature_density knob reproduces the paper's algorithmic challenge:
+// early-phase live-cell plates are feature-sparse (few colonies), the regime
+// that rules out feature-detection stitchers and motivates the FFT approach.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "imgio/grid.hpp"
+#include "imgio/image.hpp"
+
+namespace hs::sim {
+
+struct PlateParams {
+  std::size_t height = 2048;
+  std::size_t width = 2048;
+  std::uint64_t seed = 42;
+
+  /// Baseline detector level (16-bit counts).
+  double background_level = 6000.0;
+  /// Amplitude of the multi-octave background texture.
+  double texture_amplitude = 2500.0;
+  /// Number of value-noise octaves (each halves wavelength, halves gain).
+  int octaves = 5;
+  /// Coarsest noise wavelength in pixels.
+  double base_wavelength = 256.0;
+  /// Amplitude of per-pixel plate grain (fixed specimen microstructure,
+  /// deterministic in plate coordinates). This fine-scale detail is what
+  /// phase correlation locks onto; without it tiles are too smooth and the
+  /// shared window edge dominates the correlation surface.
+  double grain_amplitude = 1500.0;
+
+  /// Cell colonies per megapixel at feature_density = 1.
+  double colonies_per_megapixel = 12.0;
+  /// 0 = empty plate (hardest case), 1 = confluent-ish.
+  double feature_density = 1.0;
+  double colony_radius_mean = 60.0;
+  double colony_radius_sd = 25.0;
+  /// Peak brightness a colony adds over the background.
+  double colony_brightness = 20000.0;
+};
+
+/// Renders the full plate image.
+img::ImageU16 generate_plate(const PlateParams& params);
+
+struct AcquisitionParams {
+  std::size_t tile_height = 256;
+  std::size_t tile_width = 256;
+  std::size_t grid_rows = 4;
+  std::size_t grid_cols = 4;
+  std::uint64_t seed = 7;
+
+  /// Nominal overlap between adjacent tiles as a fraction of tile extent
+  /// (microscopes preset ~10 %).
+  double overlap_fraction = 0.15;
+  /// Standard deviation of the per-tile stage positioning error in pixels
+  /// (actuator backlash, stage mechanics).
+  double stage_jitter_sd = 3.0;
+  /// Hard bound on the jitter magnitude (stages have repeatability specs).
+  double stage_jitter_max = 9.0;
+  /// Additive Gaussian camera noise (16-bit counts).
+  double camera_noise_sd = 150.0;
+  /// Peak relative intensity loss in the tile corners (flat-field error).
+  double vignetting = 0.03;
+};
+
+/// Ground-truth absolute tile origins in plate coordinates.
+struct GroundTruth {
+  std::vector<std::int64_t> x;  // indexed by layout.index_of(pos)
+  std::vector<std::int64_t> y;
+
+  /// True displacement of tile b relative to tile a (b.origin - a.origin).
+  std::pair<std::int64_t, std::int64_t> displacement(std::size_t a,
+                                                     std::size_t b) const {
+    return {x[b] - x[a], y[b] - y[a]};
+  }
+};
+
+struct SyntheticGrid {
+  img::GridLayout layout;
+  std::size_t tile_height = 0;
+  std::size_t tile_width = 0;
+  std::vector<img::ImageU16> tiles;  // row-major
+  GroundTruth truth;
+
+  const img::ImageU16& tile(img::TilePos pos) const {
+    return tiles[layout.index_of(pos)];
+  }
+};
+
+/// Simulates the microscope scan over a plate. The requested grid must fit
+/// on the plate (throws InvalidArgument otherwise).
+SyntheticGrid acquire_grid(const img::ImageU16& plate,
+                           const AcquisitionParams& params);
+
+/// One-call convenience: builds a plate just large enough for the grid and
+/// acquires it. Used throughout tests and benches.
+SyntheticGrid make_synthetic_grid(const AcquisitionParams& acquisition,
+                                  PlateParams plate = {});
+
+/// Writes every tile to `directory` with the given filename pattern
+/// ({r}, {c}, {i} fields; .tif or .pgm extension selects the codec) and
+/// returns the matching dataset handle.
+img::TileGridDataset write_dataset(const SyntheticGrid& grid,
+                                   const std::string& directory,
+                                   const std::string& pattern);
+
+}  // namespace hs::sim

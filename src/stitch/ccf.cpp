@@ -1,0 +1,80 @@
+#include "stitch/ccf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hs::stitch {
+
+double ccf(const img::ImageU16& reference, const img::ImageU16& moved,
+           std::int64_t dx, std::int64_t dy, std::int64_t min_overlap_px) {
+  HS_REQUIRE(reference.same_shape(moved), "ccf requires equal-size tiles");
+  const auto h = static_cast<std::int64_t>(reference.height());
+  const auto w = static_cast<std::int64_t>(reference.width());
+
+  // Overlap rectangle in the reference tile's coordinates.
+  const std::int64_t r0 = std::max<std::int64_t>(0, dy);
+  const std::int64_t r1 = std::min<std::int64_t>(h, h + dy);
+  const std::int64_t c0 = std::max<std::int64_t>(0, dx);
+  const std::int64_t c1 = std::min<std::int64_t>(w, w + dx);
+  if (r1 - r0 < min_overlap_px || c1 - c0 < min_overlap_px) {
+    return kCcfRejected;
+  }
+
+  // Accumulate the Pearson terms in one pass. Values are <= 65535 and
+  // regions are <= ~2M pixels, so double accumulators hold exactly enough
+  // precision (2^16^2 * 2^21 = 2^53).
+  double sum_a = 0.0, sum_b = 0.0, sum_aa = 0.0, sum_bb = 0.0, sum_ab = 0.0;
+  const auto rows = static_cast<std::size_t>(r1 - r0);
+  const auto cols = static_cast<std::size_t>(c1 - c0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::uint16_t* pa =
+        reference.row(static_cast<std::size_t>(r0) + r) +
+        static_cast<std::size_t>(c0);
+    const std::uint16_t* pb =
+        moved.row(static_cast<std::size_t>(r0 - dy) + r) +
+        static_cast<std::size_t>(c0 - dx);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double a = pa[c];
+      const double b = pb[c];
+      sum_a += a;
+      sum_b += b;
+      sum_aa += a * a;
+      sum_bb += b * b;
+      sum_ab += a * b;
+    }
+  }
+  const double n = static_cast<double>(rows) * static_cast<double>(cols);
+  const double cov = sum_ab - sum_a * sum_b / n;
+  const double var_a = sum_aa - sum_a * sum_a / n;
+  const double var_b = sum_bb - sum_b * sum_b / n;
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+std::array<std::pair<std::int64_t, std::int64_t>, 4> peak_interpretations(
+    std::size_t peak_x, std::size_t peak_y, std::size_t width,
+    std::size_t height) {
+  const auto x = static_cast<std::int64_t>(peak_x);
+  const auto y = static_cast<std::int64_t>(peak_y);
+  const auto w = static_cast<std::int64_t>(width);
+  const auto h = static_cast<std::int64_t>(height);
+  return {{{x, y}, {x - w, y}, {x, y - h}, {x - w, y - h}}};
+}
+
+Translation disambiguate_peak(const img::ImageU16& reference,
+                              const img::ImageU16& moved, std::size_t peak_x,
+                              std::size_t peak_y,
+                              std::int64_t min_overlap_px) {
+  const auto candidates = peak_interpretations(
+      peak_x, peak_y, reference.width(), reference.height());
+  Translation best;
+  for (const auto& [dx, dy] : candidates) {
+    const double corr = ccf(reference, moved, dx, dy, min_overlap_px);
+    if (corr > best.correlation) {
+      best = Translation{dx, dy, corr};
+    }
+  }
+  return best;
+}
+
+}  // namespace hs::stitch

@@ -1,0 +1,48 @@
+// Cross-correlation factor and peak disambiguation (paper Fig 2 steps 8-12,
+// Fig 3).
+//
+// Fourier phase correlation yields a peak whose coordinates are ambiguous
+// modulo the tile size: a peak column x may mean a displacement of x or
+// x - w (the paper writes the second case as w - x in the opposite
+// direction), and likewise for rows. The four interpretations are scored by
+// the normalized cross-correlation (Pearson coefficient) of the overlap
+// regions they imply, computed in the spatial domain on the original tiles.
+#pragma once
+
+#include <array>
+
+#include "imgio/image.hpp"
+#include "stitch/types.hpp"
+
+namespace hs::stitch {
+
+/// Correlation value marking a rejected interpretation (overlap below the
+/// minimum). Strictly below every reachable Pearson value (>= -1), so a
+/// rejected candidate can never win a disambiguation.
+inline constexpr double kCcfRejected = -2.0;
+
+/// Pearson correlation of the overlap implied by displacing `moved` by
+/// (dx, dy) relative to `reference`. Returns kCcfRejected when the overlap
+/// is smaller than `min_overlap_px` pixels in either dimension (no
+/// evidence), and 0 when either region has zero variance.
+double ccf(const img::ImageU16& reference, const img::ImageU16& moved,
+           std::int64_t dx, std::int64_t dy, std::int64_t min_overlap_px = 1);
+
+/// The four candidate displacements for a peak at (peak_x, peak_y) in a
+/// width x height correlation surface: {x, x-w} x {y, y-h}.
+std::array<std::pair<std::int64_t, std::int64_t>, 4> peak_interpretations(
+    std::size_t peak_x, std::size_t peak_y, std::size_t width,
+    std::size_t height);
+
+/// Evaluates all four interpretations and returns the displacement with the
+/// maximal CCF (paper Fig 2 step 12). Interpretations whose implied overlap
+/// is narrower than `min_overlap_px` in either dimension are rejected — the
+/// guard MIST added against thin-sliver overlaps whose accidental
+/// correlation can beat the true alignment (the paper's original algorithm
+/// corresponds to min_overlap_px = 1).
+Translation disambiguate_peak(const img::ImageU16& reference,
+                              const img::ImageU16& moved, std::size_t peak_x,
+                              std::size_t peak_y,
+                              std::int64_t min_overlap_px = 1);
+
+}  // namespace hs::stitch

@@ -1,0 +1,22 @@
+// Internal: per-backend implementation entry points (one translation unit
+// each), dispatched by stitch().
+#pragma once
+
+#include "stitch/stitcher.hpp"
+
+namespace hs::stitch::impl {
+
+StitchResult stitch_naive(const TileProvider& provider,
+                          const StitchOptions& options);
+StitchResult stitch_simple_cpu(const TileProvider& provider,
+                               const StitchOptions& options);
+StitchResult stitch_mt_cpu(const TileProvider& provider,
+                           const StitchOptions& options);
+StitchResult stitch_pipelined_cpu(const TileProvider& provider,
+                                  const StitchOptions& options);
+StitchResult stitch_simple_gpu(const TileProvider& provider,
+                               const StitchOptions& options);
+StitchResult stitch_pipelined_gpu(const TileProvider& provider,
+                                  const StitchOptions& options);
+
+}  // namespace hs::stitch::impl

@@ -1,0 +1,93 @@
+// MT-CPU: the paper's simple multi-threaded implementation — "spatial
+// domain decomposition and a thread-variant of the SPMD approach".
+//
+// The grid is split into contiguous row bands, one per thread; each thread
+// runs the sequential algorithm over its band. Pairs are owned by the band
+// of their south/east tile, so boundary pairs pull the neighbouring band's
+// edge-row transforms through the shared compute-once TransformCache (no
+// duplicated FFT work, no lost pairs).
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_util.hpp"
+#include "fft/plan_cache.hpp"
+#include "stitch/impl.hpp"
+#include "stitch/transform_cache.hpp"
+
+namespace hs::stitch::impl {
+
+StitchResult stitch_mt_cpu(const TileProvider& provider,
+                           const StitchOptions& options) {
+  const img::GridLayout layout = provider.layout();
+  StitchResult result(layout);
+  OpCountsAtomic counts;
+
+  auto forward = fft::PlanCache::instance().plan_2d(
+      provider.tile_height(), provider.tile_width(), fft::Direction::kForward,
+      options.rigor);
+  auto inverse = fft::PlanCache::instance().plan_2d(
+      provider.tile_height(), provider.tile_width(), fft::Direction::kInverse,
+      options.rigor);
+
+  TransformCache cache(provider, forward, &counts);
+  const std::size_t band_count = std::min(options.threads, layout.rows);
+  const auto order = traversal_order(layout, options.traversal);
+
+  // Pre-capture a raw pointer to the table; each pair writes a distinct slot.
+  DisplacementTable* table = &result.table;
+
+  // A failing provider (broken file, dead disk) throws inside worker
+  // threads; the first exception wins and is rethrown after every band
+  // joined (cache waiters are unblocked by TransformCache's retry logic).
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> workers;
+  workers.reserve(band_count);
+  for (std::size_t band = 0; band < band_count; ++band) {
+    const std::size_t row_begin = band * layout.rows / band_count;
+    const std::size_t row_end = (band + 1) * layout.rows / band_count;
+    workers.emplace_back([&, row_begin, row_end, band] {
+      set_current_thread_name("mtcpu." + std::to_string(band));
+      try {
+      PciamScratch scratch;
+      auto run_pair = [&](img::TilePos reference, img::TilePos moved,
+                          Translation& out) {
+        const fft::Complex* fft_ref = cache.transform(reference);
+        const fft::Complex* fft_mov = cache.transform(moved);
+        out = pciam_from_ffts(fft_ref, fft_mov, cache.tile(reference),
+                              cache.tile(moved), *inverse, scratch,
+                              &counts, options.peak_candidates,
+                              options.min_overlap_px);
+        cache.release(reference);
+        cache.release(moved);
+      };
+      for (const img::TilePos pos : order) {
+        if (pos.row < row_begin || pos.row >= row_end) continue;
+        if (layout.has_west(pos)) {
+          run_pair(img::TilePos{pos.row, pos.col - 1}, pos,
+                   table->west_of(pos));
+        }
+        if (layout.has_north(pos)) {
+          // North pairs on the band's first row reach into the band above.
+          run_pair(img::TilePos{pos.row - 1, pos.col}, pos,
+                   table->north_of(pos));
+        }
+      }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.peak_live_transforms = cache.peak_live_transforms();
+  result.ops = counts.snapshot();
+  return result;
+}
+
+}  // namespace hs::stitch::impl

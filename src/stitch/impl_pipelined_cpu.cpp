@@ -1,0 +1,268 @@
+// Pipelined-CPU: the paper's CPU pipeline — "reader, displacement/fft, and
+// bookkeeping" stages — including "all the memory mechanisms in its GPU
+// counterpart": a fixed budget of in-flight tile slots (the CPU analogue of
+// the GPU buffer pool) and reference-counted transform recycling.
+//
+// Topology (single-producer/single-closer queues keep shutdown simple):
+// reader threads and workers both feed the events queue; bookkeeping is the
+// single producer of the work queue; workers consume work items, which are
+// either "FFT this tile" or "PCIAM this pair".
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <variant>
+
+#include "common/thread_util.hpp"
+#include "fft/plan_cache.hpp"
+#include "pipeline/pipeline.hpp"
+#include "stitch/impl.hpp"
+#include "stitch/transform_cache.hpp"
+
+namespace hs::stitch::impl {
+
+namespace {
+
+/// Counting semaphore bounding the number of tiles in flight (loaded pixels
+/// + transform), i.e. the CPU "pool". Must exceed the traversal's natural
+/// working set or the pipeline cannot make progress (paper: "the minimum
+/// pool size must exceed the smallest dimension of the image grid").
+class SlotLimiter {
+ public:
+  explicit SlotLimiter(std::size_t slots) : available_(slots) {}
+
+  /// Returns false when the limiter was closed (pipeline cancellation).
+  bool acquire() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return available_ > 0 || closed_; });
+    if (closed_) return false;
+    --available_;
+    return true;
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++available_;
+    }
+    cv_.notify_one();
+  }
+  /// Wakes every blocked acquire(); subsequent acquires fail fast.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t available_;
+  bool closed_ = false;
+};
+
+struct TileLoaded {
+  img::TilePos pos;
+  img::ImageU16 tile;
+};
+struct FftDone {
+  img::TilePos pos;
+};
+using BkEvent = std::variant<TileLoaded, FftDone>;
+
+struct FftTask {
+  img::TilePos pos;
+  img::ImageU16 tile;
+};
+struct PairTask {
+  img::TilePos reference;
+  img::TilePos moved;
+  bool is_west = false;  // which table the result lands in (keyed by moved)
+};
+using WorkItem = std::variant<FftTask, PairTask>;
+
+struct Entry {
+  std::vector<fft::Complex> transform;
+  img::ImageU16 tile;
+  std::atomic<std::size_t> refs{0};
+};
+
+}  // namespace
+
+StitchResult stitch_pipelined_cpu(const TileProvider& provider,
+                                  const StitchOptions& options) {
+  const img::GridLayout layout = provider.layout();
+  StitchResult result(layout);
+  OpCountsAtomic counts;
+
+  auto forward = fft::PlanCache::instance().plan_2d(
+      provider.tile_height(), provider.tile_width(), fft::Direction::kForward,
+      options.rigor);
+  auto inverse = fft::PlanCache::instance().plan_2d(
+      provider.tile_height(), provider.tile_width(), fft::Direction::kInverse,
+      options.rigor);
+
+  const std::size_t required = traversal_working_set(layout, options.traversal);
+  const std::size_t slots =
+      options.pool_buffers > 0 ? options.pool_buffers : required + 4;
+  HS_REQUIRE(slots > required,
+             "pool too small for this traversal's working set");
+  SlotLimiter limiter(slots);
+
+  std::vector<Entry> store(layout.tile_count());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    store[i].refs.store(TransformCache::pair_degree(layout, layout.pos_of(i)),
+                        std::memory_order_relaxed);
+  }
+  std::atomic<std::size_t> live{0}, peak{0};
+  auto note_live = [&](bool up) {
+    if (up) {
+      const std::size_t now = live.fetch_add(1, std::memory_order_relaxed) + 1;
+      std::size_t prev = peak.load(std::memory_order_relaxed);
+      while (now > prev && !peak.compare_exchange_weak(
+                               prev, now, std::memory_order_relaxed)) {
+      }
+    } else {
+      live.fetch_sub(1, std::memory_order_relaxed);
+    }
+  };
+  auto release_tile = [&](img::TilePos pos) {
+    Entry& e = store[layout.index_of(pos)];
+    if (e.refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      e.transform.clear();
+      e.transform.shrink_to_fit();
+      e.tile = img::ImageU16();
+      note_live(false);
+      limiter.release();
+    }
+  };
+
+  pipe::BoundedQueue<BkEvent> events;
+  pipe::BoundedQueue<WorkItem> work;
+  const auto order = traversal_order(layout, options.traversal);
+  std::atomic<std::size_t> next_tile{0};
+  hs::trace::Recorder* recorder = options.recorder;
+
+  pipe::Pipeline pipeline;
+  pipeline.on_cancel([&] { events.close(); });
+  pipeline.on_cancel([&] { work.close(); });
+  pipeline.on_cancel([&] { limiter.close(); });
+
+  // Stage 1: reader. Slot acquisition here is the memory back-pressure.
+  pipeline.add_stage(
+      "read", std::max<std::size_t>(1, options.read_threads),
+      [&] {
+        for (;;) {
+          const std::size_t i =
+              next_tile.fetch_add(1, std::memory_order_relaxed);
+          if (i >= order.size() || pipeline.cancelled()) return;
+          if (!limiter.acquire()) return;  // cancelled while waiting
+          img::ImageU16 tile;
+          if (recorder != nullptr) {
+            auto span = recorder->scoped("cpu.read", "read");
+            tile = provider.load(order[i]);
+          } else {
+            tile = provider.load(order[i]);
+          }
+          counts.bump(counts.tile_reads);
+          if (!events.push(TileLoaded{order[i], std::move(tile)})) return;
+        }
+      });
+
+  // Stage 2: bookkeeping — the dependency manager (1 thread). Forwards
+  // loaded tiles as FFT tasks and advances pairs whose transforms are ready.
+  pipeline.add_stage("bookkeeping", 1, [&] {
+    std::vector<std::uint8_t> ready(layout.tile_count(), 0);
+    std::size_t ffts_done = 0;
+    while (auto event = events.pop()) {
+      if (auto* loaded = std::get_if<TileLoaded>(&*event)) {
+        if (!work.push(FftTask{loaded->pos, std::move(loaded->tile)})) return;
+        continue;
+      }
+      const img::TilePos pos = std::get<FftDone>(*event).pos;
+      ready[layout.index_of(pos)] = 1;
+      ++ffts_done;
+      // Emit every pair whose *other* end was already ready; each pair is
+      // emitted exactly once, by whichever end finishes second.
+      auto emit_if_ready = [&](img::TilePos reference, img::TilePos moved,
+                               bool is_west) {
+        if (ready[layout.index_of(reference)] &&
+            ready[layout.index_of(moved)]) {
+          work.push(PairTask{reference, moved, is_west});
+        }
+      };
+      if (layout.has_west(pos)) {
+        emit_if_ready(img::TilePos{pos.row, pos.col - 1}, pos, true);
+      }
+      if (layout.has_east(pos)) {
+        img::TilePos east{pos.row, pos.col + 1};
+        if (ready[layout.index_of(east)]) emit_if_ready(pos, east, true);
+      }
+      if (layout.has_north(pos)) {
+        emit_if_ready(img::TilePos{pos.row - 1, pos.col}, pos, false);
+      }
+      if (layout.has_south(pos)) {
+        img::TilePos south{pos.row + 1, pos.col};
+        if (ready[layout.index_of(south)]) emit_if_ready(pos, south, false);
+      }
+      if (ffts_done == layout.tile_count()) break;  // every pair emitted
+    }
+  }, /*on_stage_done=*/[&] { work.close(); });
+
+  // Stage 3: displacement/fft workers.
+  std::atomic<std::size_t> worker_ids{0};
+  DisplacementTable* table = &result.table;
+  pipeline.add_stage("worker", std::max<std::size_t>(1, options.threads), [&] {
+    const std::size_t id = worker_ids.fetch_add(1, std::memory_order_relaxed);
+    const std::string lane = "cpu.worker" + std::to_string(id);
+    PciamScratch scratch;
+    while (auto item = work.pop()) {
+      if (auto* task = std::get_if<FftTask>(&*item)) {
+        Entry& e = store[layout.index_of(task->pos)];
+        e.transform.resize(task->tile.pixel_count());
+        if (recorder != nullptr) {
+          auto span = recorder->scoped(lane, "fft");
+          tile_forward_fft(task->tile, *forward, e.transform.data(), scratch);
+        } else {
+          tile_forward_fft(task->tile, *forward, e.transform.data(), scratch);
+        }
+        e.tile = std::move(task->tile);
+        counts.bump(counts.forward_ffts);
+        note_live(true);
+        events.push(FftDone{task->pos});
+        continue;
+      }
+      const PairTask& task = std::get<PairTask>(*item);
+      const Entry& ref = store[layout.index_of(task.reference)];
+      const Entry& mov = store[layout.index_of(task.moved)];
+      Translation translation;
+      if (recorder != nullptr) {
+        auto span = recorder->scoped(lane, "pciam");
+        translation = pciam_from_ffts(
+            ref.transform.data(), mov.transform.data(), ref.tile, mov.tile,
+            *inverse, scratch, &counts, options.peak_candidates,
+            options.min_overlap_px);
+      } else {
+        translation = pciam_from_ffts(
+            ref.transform.data(), mov.transform.data(), ref.tile, mov.tile,
+            *inverse, scratch, &counts, options.peak_candidates,
+            options.min_overlap_px);
+      }
+      if (task.is_west) {
+        table->west_of(task.moved) = translation;
+      } else {
+        table->north_of(task.moved) = translation;
+      }
+      release_tile(task.reference);
+      release_tile(task.moved);
+    }
+  });
+
+  pipeline.run();
+
+  result.peak_live_transforms = peak.load(std::memory_order_relaxed);
+  result.ops = counts.snapshot();
+  return result;
+}
+
+}  // namespace hs::stitch::impl

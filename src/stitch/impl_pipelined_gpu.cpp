@@ -1,0 +1,611 @@
+// Pipelined-GPU: the paper's headline implementation (SIV-B, Fig 8).
+//
+// One execution pipeline per (virtual) GPU, six stages:
+//   1. read        (1 CPU thread/GPU)  — loads tile files
+//   2. copier      (1 CPU thread/GPU)  — acquires a pooled device buffer and
+//                                        issues the async H2D copy on the
+//                                        copy stream
+//   3. fft         (fft_streams threads/GPU) — issues forward FFTs; with the
+//                                        default Fermi model one stream and
+//                                        one at a time (cuFFT register
+//                                        pressure), with Kepler/Hyper-Q mode
+//                                        several streams concurrently
+//   4. bookkeeping (1 CPU thread/GPU)  — resolves dependencies, advances
+//                                        ready pairs
+//   5. displacement(1 CPU thread/GPU)  — issues NCC, inverse FFT, and max
+//                                        reduction on the displacement
+//                                        stream; only the scalar peak index
+//                                        crosses back to the host
+//   6. CCF         (ccf_threads, shared across GPUs) — maps the peak to
+//                                        image coordinates and evaluates the
+//                                        four cross-correlation factors
+//
+// Three or more streams per GPU let copies and kernels overlap — the
+// kernel-density contrast between the paper's Figs 7 and 9. Device memory
+// is a fixed pool of transform buffers allocated once; tiles carry
+// reference counts and their buffers recycle at zero; the grid is
+// partitioned into row bands, one per GPU.
+//
+// Boundary tiles between bands are handled two ways:
+//   * default (the paper's 2-GPU system): the consumer pipeline re-reads
+//     and re-transforms the halo row — no cross-device traffic;
+//   * use_p2p (the paper's future-work plan for >2 GPUs): the owner
+//     pipeline computes the transform once and the consumer pulls it with
+//     a peer-to-peer copy ordered by a stream event.
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/thread_util.hpp"
+#include "fft/plan_cache.hpp"
+#include "pipeline/pipeline.hpp"
+#include "stitch/ccf.hpp"
+#include "stitch/impl.hpp"
+#include "stitch/transform_cache.hpp"
+#include "vgpu/buffer_pool.hpp"
+#include "vgpu/kernels.hpp"
+#include "vgpu/stream.hpp"
+#include "vgpu/vfft.hpp"
+
+namespace hs::stitch::impl {
+
+namespace {
+
+struct PairRef {
+  img::TilePos reference;
+  img::TilePos moved;
+  bool is_west = false;
+};
+
+/// Work item flowing through stages 1-3 of one GPU pipeline. A null tile
+/// marks a halo position to be pulled via peer-to-peer copy instead of
+/// read + transform.
+struct TileWork {
+  img::TilePos pos;
+  std::shared_ptr<const img::ImageU16> tile;
+};
+
+/// Stage 6 input: everything the CCF threads need, self-contained.
+struct CcfTask {
+  std::shared_ptr<const img::ImageU16> reference;
+  std::shared_ptr<const img::ImageU16> moved;
+  img::TilePos moved_pos;
+  bool is_west = false;
+  /// Flat correlation-surface peak indices (1 by default; more with the
+  /// multi-peak extension).
+  std::vector<std::size_t> peak_indices;
+};
+
+/// Per-GPU tile state: device transform buffer + host tile + refcount over
+/// the pairs *this pipeline* owns (plus one per exported halo transform).
+struct GpuTileState {
+  vgpu::PooledBuffer buffer;
+  std::shared_ptr<const img::ImageU16> tile;
+  std::size_t refs = 0;
+  bool fft_done = false;
+};
+
+/// Cross-pipeline handoff of exported halo transforms (use_p2p mode).
+class HaloExchange {
+ public:
+  struct Entry {
+    vgpu::Event ready;                          // signals after the FFT
+    const fft::Complex* transform = nullptr;    // owner's device memory
+    std::shared_ptr<const img::ImageU16> tile;  // host pixels for CCF
+    std::function<void()> release;              // drops the owner's ref
+  };
+
+  void publish(std::size_t tile_index, Entry entry) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      entries_.emplace(tile_index, std::move(entry));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until the entry arrives; returns an empty entry (null
+  /// transform) if the exchange was shut down by pipeline cancellation.
+  Entry take(std::size_t tile_index) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock,
+             [&] { return shutdown_ || entries_.contains(tile_index); });
+    if (!entries_.contains(tile_index)) return Entry{};
+    Entry entry = std::move(entries_.at(tile_index));
+    entries_.erase(tile_index);
+    return entry;
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::size_t, Entry> entries_;
+  bool shutdown_ = false;
+};
+
+/// One GPU's execution pipeline context.
+struct GpuPipeline {
+  std::size_t id = 0;
+  std::unique_ptr<vgpu::Device> device;
+  std::unique_ptr<vgpu::Stream> copy_stream;
+  std::vector<std::unique_ptr<vgpu::Stream>> fft_streams;
+  std::unique_ptr<vgpu::Stream> disp_stream;
+  std::unique_ptr<vgpu::BufferPool> pool;      // forward-transform buffers
+  std::unique_ptr<vgpu::BufferPool> ncc_pool;  // backward (NCC) buffers
+  std::unique_ptr<vgpu::VFftPlan2d> forward;
+  std::unique_ptr<vgpu::VFftPlan2d> inverse;
+
+  std::vector<img::TilePos> tiles_to_read;     // band (+ halo unless p2p)
+  std::vector<PairRef> owned_pairs;
+  std::unordered_set<std::size_t> halo_pull;   // p2p: pulled from gpu id-1
+  std::unordered_set<std::size_t> halo_export; // p2p: published to gpu id+1
+
+  std::mutex state_mutex;
+  std::unordered_map<std::size_t, GpuTileState> states;
+
+  // Stage 1 -> 2, bounded: the reader stalls rather than pulling the whole
+  // grid into host memory ahead of the copier.
+  pipe::BoundedQueue<TileWork> q_read{8};
+  pipe::BoundedQueue<img::TilePos> q_fft;   // stage 2 -> 3
+  pipe::BoundedQueue<img::TilePos> q_ready; // fft/p2p completion -> stage 4
+  pipe::BoundedQueue<PairRef> q_pairs;      // stage 4 -> 5
+
+  // q_ready closes when both its producers (copy stage for p2p pulls, fft
+  // stage for transforms) have drained their streams.
+  std::atomic<std::size_t> ready_producers{2};
+
+  std::atomic<std::size_t> live{0};
+  std::atomic<std::size_t> peak{0};
+
+  void close_ready_when_done() {
+    if (ready_producers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      q_ready.close();
+    }
+  }
+
+  void note_live() {
+    const std::size_t now = live.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::size_t prev = peak.load(std::memory_order_relaxed);
+    while (now > prev &&
+           !peak.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// Drops one reference from a tile's per-pipeline state; frees the device
+/// buffer and host pixels at zero. Callable from any stream worker.
+void release_tile(GpuPipeline* gpu, const img::GridLayout& layout,
+                  img::TilePos pos) {
+  std::lock_guard<std::mutex> lock(gpu->state_mutex);
+  GpuTileState& state = gpu->states.at(layout.index_of(pos));
+  HS_ASSERT(state.refs > 0);
+  if (--state.refs == 0) {
+    state.buffer.release();
+    state.tile.reset();
+    gpu->live.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+StitchResult stitch_pipelined_gpu(const TileProvider& provider,
+                                  const StitchOptions& options) {
+  const img::GridLayout layout = provider.layout();
+  StitchResult result(layout);
+  OpCountsAtomic counts;
+
+  const std::size_t h = provider.tile_height();
+  const std::size_t w = provider.tile_width();
+  const std::size_t count = h * w;
+  const std::size_t buffer_bytes = count * sizeof(fft::Complex);
+
+  const std::size_t gpu_count =
+      std::max<std::size_t>(1, std::min(options.gpu_count, layout.rows));
+  const std::size_t fft_stream_count =
+      std::max<std::size_t>(1, options.fft_streams);
+  const bool use_p2p = options.use_p2p && gpu_count > 1;
+
+  HaloExchange exchange;
+
+  // --- Partition: contiguous row bands; a pair belongs to the band of its
+  // south/east tile; boundary (north) pairs pull a halo row from above.
+  std::vector<std::unique_ptr<GpuPipeline>> gpus;
+  for (std::size_t g = 0; g < gpu_count; ++g) {
+    auto gpu = std::make_unique<GpuPipeline>();
+    gpu->id = g;
+    const std::size_t row_begin = g * layout.rows / gpu_count;
+    const std::size_t row_end = (g + 1) * layout.rows / gpu_count;
+
+    const img::GridLayout band{row_end - row_begin + (g > 0 ? 1 : 0),
+                               layout.cols};
+    const std::size_t halo_begin = g > 0 ? row_begin - 1 : row_begin;
+    // Visit the band in the configured traversal order (shifted into it).
+    for (const img::TilePos local : traversal_order(band, options.traversal)) {
+      gpu->tiles_to_read.push_back(
+          img::TilePos{halo_begin + local.row, local.col});
+    }
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+      for (std::size_t c = 0; c < layout.cols; ++c) {
+        const img::TilePos pos{r, c};
+        if (layout.has_west(pos)) {
+          gpu->owned_pairs.push_back(PairRef{img::TilePos{r, c - 1}, pos,
+                                             true});
+        }
+        if (layout.has_north(pos)) {
+          gpu->owned_pairs.push_back(PairRef{img::TilePos{r - 1, c}, pos,
+                                             false});
+        }
+      }
+    }
+    if (use_p2p) {
+      if (g > 0) {
+        for (std::size_t c = 0; c < layout.cols; ++c) {
+          gpu->halo_pull.insert(layout.index_of({row_begin - 1, c}));
+        }
+      }
+      if (g + 1 < gpu_count) {
+        for (std::size_t c = 0; c < layout.cols; ++c) {
+          gpu->halo_export.insert(layout.index_of({row_end - 1, c}));
+        }
+      }
+    }
+
+    vgpu::DeviceConfig config;
+    config.name = "vGPU" + std::to_string(g);
+    config.memory_bytes = options.gpu_memory_bytes;
+    config.recorder = options.recorder;
+    config.trace_prefix = "gpu" + std::to_string(g);
+    config.concurrent_fft_kernels = options.kepler_concurrent_fft;
+    gpu->device = std::make_unique<vgpu::Device>(config);
+    gpu->copy_stream = std::make_unique<vgpu::Stream>(*gpu->device, "copy");
+    for (std::size_t s = 0; s < fft_stream_count; ++s) {
+      gpu->fft_streams.push_back(std::make_unique<vgpu::Stream>(
+          *gpu->device,
+          fft_stream_count == 1 ? "fft" : "fft" + std::to_string(s)));
+    }
+    gpu->disp_stream = std::make_unique<vgpu::Stream>(*gpu->device, "disp");
+    gpu->forward = std::make_unique<vgpu::VFftPlan2d>(
+        *gpu->device, h, w, fft::Direction::kForward, options.rigor);
+    gpu->inverse = std::make_unique<vgpu::VFftPlan2d>(
+        *gpu->device, h, w, fft::Direction::kInverse, options.rigor);
+
+    const std::size_t pool_size =
+        options.pool_buffers > 0
+            ? options.pool_buffers
+            : traversal_working_set(band, options.traversal) + 4;
+    HS_REQUIRE(pool_size > traversal_working_set(band, options.traversal),
+               "GPU pool must exceed the traversal's working set");
+    gpu->pool = std::make_unique<vgpu::BufferPool>(*gpu->device, pool_size,
+                                                   buffer_bytes);
+    // Backward-transform buffers are reserved separately so the copier can
+    // never starve the displacement stage of working memory (the pool-
+    // starvation deadlock a single shared pool invites).
+    gpu->ncc_pool =
+        std::make_unique<vgpu::BufferPool>(*gpu->device, 2, buffer_bytes);
+
+    // Initialize per-pipeline reference counts (+1 per exported halo
+    // transform, released by the consumer after its p2p copy), then drop
+    // any tile no owned pair needs (possible only on single-tile grids).
+    for (const PairRef& pair : gpu->owned_pairs) {
+      for (const img::TilePos pos : {pair.reference, pair.moved}) {
+        auto [it, inserted] =
+            gpu->states.try_emplace(layout.index_of(pos), GpuTileState{});
+        it->second.refs += 1;
+      }
+    }
+    for (const std::size_t index : gpu->halo_export) {
+      auto [it, inserted] = gpu->states.try_emplace(index, GpuTileState{});
+      it->second.refs += 1;
+    }
+    std::erase_if(gpu->tiles_to_read, [&](const img::TilePos& pos) {
+      return !gpu->states.contains(layout.index_of(pos));
+    });
+    gpus.push_back(std::move(gpu));
+  }
+
+  pipe::BoundedQueue<CcfTask> q_ccf;  // stage 6, shared across GPUs
+  std::atomic<std::size_t> disp_stages_live{gpu_count};
+  DisplacementTable* table = &result.table;
+
+  pipe::Pipeline pipeline;
+  pipeline.on_cancel([&] { q_ccf.close(); });
+  pipeline.on_cancel([&] { exchange.shutdown(); });
+
+  for (auto& gpu_ptr : gpus) {
+    GpuPipeline* gpu = gpu_ptr.get();
+    pipeline.on_cancel([gpu] {
+      gpu->q_read.close();
+      gpu->q_fft.close();
+      gpu->q_ready.close();
+      gpu->q_pairs.close();
+      // Wake stages blocked on buffer acquisition (their acquire() throws,
+      // which the pipeline has already accounted for).
+      gpu->pool->close();
+      gpu->ncc_pool->close();
+    });
+
+    // ---- Stage 1: read. Halo-pull positions are forwarded unread.
+    pipeline.add_stage(
+        "g" + std::to_string(gpu->id) + ".read",
+        std::max<std::size_t>(1, options.read_threads),
+        [gpu, &provider, &counts, &options, &layout] {
+          for (const img::TilePos pos : gpu->tiles_to_read) {
+            if (gpu->q_read.closed()) return;
+            TileWork work;
+            work.pos = pos;
+            if (!gpu->halo_pull.contains(layout.index_of(pos))) {
+              if (options.recorder != nullptr) {
+                auto span = options.recorder->scoped(
+                    "cpu.read" + std::to_string(gpu->id), "read");
+                work.tile =
+                    std::make_shared<const img::ImageU16>(provider.load(pos));
+              } else {
+                work.tile =
+                    std::make_shared<const img::ImageU16>(provider.load(pos));
+              }
+              counts.bump(counts.tile_reads);
+            }
+            if (!gpu->q_read.push(std::move(work))) return;
+          }
+        },
+        [gpu] { gpu->q_read.close(); });
+
+    // ---- Stage 2: copier. Blocking pool acquire = memory back-pressure.
+    // Regular tiles: host-convert + async H2D, then on to the FFT stage.
+    // Halo pulls (p2p): wait for the owner's published transform, order the
+    // peer copy after the owner's FFT event, and announce readiness
+    // directly (the transform arrives already in the frequency domain).
+    pipeline.add_stage(
+        "g" + std::to_string(gpu->id) + ".copy", 1,
+        [gpu, &layout, &exchange, count, buffer_bytes] {
+          while (auto work = gpu->q_read.pop()) {
+            const std::size_t index = layout.index_of(work->pos);
+            vgpu::PooledBuffer buffer = gpu->pool->acquire();
+            if (work->tile == nullptr) {
+              HaloExchange::Entry entry = exchange.take(index);
+              if (entry.transform == nullptr) return;  // cancelled
+              gpu->copy_stream->wait_event(entry.ready);
+              void* dst = buffer.data();
+              const fft::Complex* src = entry.transform;
+              gpu->copy_stream->enqueue("memcpy_p2p", [dst, src, buffer_bytes] {
+                std::memcpy(dst, src, buffer_bytes);
+              });
+              {
+                std::lock_guard<std::mutex> lock(gpu->state_mutex);
+                GpuTileState& state = gpu->states.at(index);
+                state.buffer = std::move(buffer);
+                state.tile = std::move(entry.tile);
+              }
+              gpu->note_live();
+              const img::TilePos done = work->pos;
+              gpu->copy_stream->enqueue(
+                  "halo_ready",
+                  [gpu, done, release = std::move(entry.release)] {
+                    release();  // owner may now recycle its copy
+                    gpu->q_ready.push(done);
+                  });
+              continue;
+            }
+            // Convert on the host into a staging block owned by the copy
+            // command (pinned-buffer analogue), then async H2D.
+            auto staging = std::make_unique<fft::Complex[]>(count);
+            vgpu::k_u16_to_complex(work->tile->data(), staging.get(), count);
+            void* dst = buffer.data();
+            gpu->copy_stream->enqueue(
+                "memcpy_h2d", [staging = std::move(staging), dst,
+                               buffer_bytes] {
+                  std::memcpy(dst, staging.get(), buffer_bytes);
+                });
+            {
+              std::lock_guard<std::mutex> lock(gpu->state_mutex);
+              GpuTileState& state = gpu->states.at(index);
+              state.buffer = std::move(buffer);
+              state.tile = std::move(work->tile);
+            }
+            gpu->note_live();
+            if (!gpu->q_fft.push(work->pos)) return;
+          }
+          // Flush pending halo announcements before declaring this q_ready
+          // producer done.
+          gpu->copy_stream->synchronize();
+        },
+        [gpu] {
+          gpu->q_fft.close();
+          gpu->close_ready_when_done();
+        });
+
+    // ---- Stage 3: fft. Orders each FFT after the copy via a stream event,
+    // then has the fft stream itself announce completion to bookkeeping.
+    // With Kepler mode and several streams, FFTs issue concurrently.
+    auto fft_thread_ids = std::make_shared<std::atomic<std::size_t>>(0);
+    pipeline.add_stage(
+        "g" + std::to_string(gpu->id) + ".fft", fft_stream_count,
+        [gpu, &layout, &counts, &exchange, fft_thread_ids] {
+          const std::size_t stream_id =
+              fft_thread_ids->fetch_add(1, std::memory_order_relaxed) %
+              gpu->fft_streams.size();
+          vgpu::Stream& fft_stream = *gpu->fft_streams[stream_id];
+          while (auto pos = gpu->q_fft.pop()) {
+            const std::size_t index = layout.index_of(*pos);
+            vgpu::Event copied = gpu->copy_stream->record_event();
+            fft_stream.wait_event(std::move(copied));
+            fft::Complex* data = nullptr;
+            std::shared_ptr<const img::ImageU16> tile;
+            {
+              std::lock_guard<std::mutex> lock(gpu->state_mutex);
+              GpuTileState& state = gpu->states.at(index);
+              data = state.buffer.as<fft::Complex>();
+              tile = state.tile;
+            }
+            gpu->forward->enqueue_inplace_ptr(fft_stream, data);
+            counts.bump(counts.forward_ffts);
+            if (gpu->halo_export.contains(index)) {
+              HaloExchange::Entry entry;
+              entry.ready = fft_stream.record_event();
+              entry.transform = data;
+              entry.tile = std::move(tile);
+              const img::GridLayout grid = layout;
+              const img::TilePos pos_copy = *pos;
+              entry.release = [gpu, grid, pos_copy] {
+                release_tile(gpu, grid, pos_copy);
+              };
+              exchange.publish(index, std::move(entry));
+            }
+            const img::TilePos done = *pos;
+            fft_stream.enqueue("announce",
+                               [gpu, done] { gpu->q_ready.push(done); });
+          }
+          // Drain this thread's stream so its announcements land before the
+          // producer count drops.
+          fft_stream.synchronize();
+        },
+        [gpu] { gpu->close_ready_when_done(); });
+
+    // ---- Stage 4: bookkeeping.
+    pipeline.add_stage(
+        "g" + std::to_string(gpu->id) + ".bookkeeping", 1,
+        [gpu, &layout] {
+          std::size_t emitted = 0;
+          if (gpu->owned_pairs.empty()) return;
+          while (auto pos = gpu->q_ready.pop()) {
+            std::lock_guard<std::mutex> lock(gpu->state_mutex);
+            GpuTileState& state = gpu->states.at(layout.index_of(*pos));
+            state.fft_done = true;
+            // Advance every owned pair whose both transforms are ready.
+            for (const PairRef& pair : gpu->owned_pairs) {
+              if (!(pair.reference == *pos) && !(pair.moved == *pos)) continue;
+              const GpuTileState& a =
+                  gpu->states.at(layout.index_of(pair.reference));
+              const GpuTileState& b =
+                  gpu->states.at(layout.index_of(pair.moved));
+              if (a.fft_done && b.fft_done) {
+                gpu->q_pairs.push(pair);
+                ++emitted;
+              }
+            }
+            if (emitted == gpu->owned_pairs.size()) break;
+          }
+        },
+        [gpu] { gpu->q_pairs.close(); });
+
+    // ---- Stage 5: displacement.
+    pipeline.add_stage(
+        "g" + std::to_string(gpu->id) + ".displacement", 1,
+        [gpu, &layout, &counts, &q_ccf, count, &options] {
+          while (auto pair = gpu->q_pairs.pop()) {
+            vgpu::PooledBuffer ncc = gpu->ncc_pool->acquire();
+            const fft::Complex* fa = nullptr;
+            const fft::Complex* fb = nullptr;
+            std::shared_ptr<const img::ImageU16> tile_a, tile_b;
+            {
+              std::lock_guard<std::mutex> lock(gpu->state_mutex);
+              GpuTileState& a = gpu->states.at(layout.index_of(pair->reference));
+              GpuTileState& b = gpu->states.at(layout.index_of(pair->moved));
+              fa = a.buffer.as<const fft::Complex>();
+              fb = b.buffer.as<const fft::Complex>();
+              tile_a = a.tile;
+              tile_b = b.tile;
+            }
+            fft::Complex* fc = ncc.as<fft::Complex>();
+            gpu->disp_stream->enqueue("ncc", [fa, fb, fc, count] {
+              vgpu::k_ncc(fa, fb, fc, count);
+            });
+            gpu->inverse->enqueue_inplace_ptr(*gpu->disp_stream, fc, "ifft2d");
+            counts.bump(counts.ncc_multiplies);
+            counts.bump(counts.inverse_ffts);
+            counts.bump(counts.max_reductions);
+
+            // Reduce, hand the scalar to the CCF stage, release the NCC
+            // buffer and both tiles' references — all from the stream, so
+            // the displacement thread never blocks on the GPU.
+            const PairRef pair_copy = *pair;
+            GpuPipeline* g = gpu;
+            const img::GridLayout grid = layout;
+            const std::size_t peaks_k =
+                std::max<std::size_t>(1, options.peak_candidates);
+            gpu->disp_stream->enqueue(
+                "max_reduce",
+                [g, grid, fc, count, pair_copy, peaks_k,
+                 ncc = std::move(ncc), tile_a = std::move(tile_a),
+                 tile_b = std::move(tile_b), &q_ccf]() mutable {
+                  const auto peaks = vgpu::k_max_abs_topk(fc, count, peaks_k);
+                  CcfTask task;
+                  task.reference = std::move(tile_a);
+                  task.moved = std::move(tile_b);
+                  task.moved_pos = pair_copy.moved;
+                  task.is_west = pair_copy.is_west;
+                  task.peak_indices.reserve(peaks.size());
+                  for (const auto& peak : peaks) {
+                    task.peak_indices.push_back(peak.index);
+                  }
+                  q_ccf.push(std::move(task));
+                  // Recycle device memory.
+                  ncc.release();
+                  release_tile(g, grid, pair_copy.reference);
+                  release_tile(g, grid, pair_copy.moved);
+                });
+          }
+          // All pairs issued; wait for the stream to drain before declaring
+          // this GPU's displacement work done.
+          gpu->disp_stream->synchronize();
+        },
+        [&disp_stages_live, &q_ccf] {
+          if (disp_stages_live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            q_ccf.close();
+          }
+        });
+  }
+
+  // ---- Stage 6: CCF threads, shared across all GPU pipelines.
+  std::atomic<std::size_t> ccf_ids{0};
+  pipeline.add_stage(
+      "ccf", std::max<std::size_t>(1, options.ccf_threads),
+      [&q_ccf, table, &counts, &options, &ccf_ids, w] {
+        const std::size_t id = ccf_ids.fetch_add(1, std::memory_order_relaxed);
+        const std::string lane = "cpu.ccf" + std::to_string(id);
+        while (auto task = q_ccf.pop()) {
+          counts.bump(counts.ccf_evaluations, 4 * task->peak_indices.size());
+          Translation translation;
+          if (options.recorder != nullptr) {
+            auto span = options.recorder->scoped(lane, "ccf");
+            translation =
+                disambiguate_peaks(*task->reference, *task->moved,
+                                   task->peak_indices, w,
+                                   options.min_overlap_px);
+          } else {
+            translation =
+                disambiguate_peaks(*task->reference, *task->moved,
+                                   task->peak_indices, w,
+                                   options.min_overlap_px);
+          }
+          if (task->is_west) {
+            table->west_of(task->moved_pos) = translation;
+          } else {
+            table->north_of(task->moved_pos) = translation;
+          }
+        }
+      });
+
+  pipeline.run();
+
+  std::size_t peak_total = 0;
+  for (const auto& gpu : gpus) {
+    peak_total += gpu->peak.load(std::memory_order_relaxed);
+  }
+  result.peak_live_transforms = peak_total;
+  result.ops = counts.snapshot();
+  return result;
+}
+
+}  // namespace hs::stitch::impl

@@ -1,0 +1,59 @@
+// Simple-CPU: the paper's sequential reference implementation.
+//
+// One thread walks the grid in the configured traversal order; forward
+// transforms are computed once per tile and cached; a tile's transform (and
+// pixels) are freed as soon as all of its adjacent pairs are done (reference
+// counting), which is why traversal order matters: the chained-diagonal
+// default keeps at most ~min(n, m)+1 transforms live.
+#include "fft/plan_cache.hpp"
+#include "stitch/impl.hpp"
+#include "stitch/transform_cache.hpp"
+
+namespace hs::stitch::impl {
+
+StitchResult stitch_simple_cpu(const TileProvider& provider,
+                               const StitchOptions& options) {
+  const img::GridLayout layout = provider.layout();
+  StitchResult result(layout);
+  OpCountsAtomic counts;
+
+  auto forward = fft::PlanCache::instance().plan_2d(
+      provider.tile_height(), provider.tile_width(), fft::Direction::kForward,
+      options.rigor);
+  auto inverse = fft::PlanCache::instance().plan_2d(
+      provider.tile_height(), provider.tile_width(), fft::Direction::kInverse,
+      options.rigor);
+
+  TransformCache cache(provider, forward, &counts);
+  PciamScratch scratch;
+
+  auto run_pair = [&](img::TilePos reference, img::TilePos moved,
+                      Translation& out) {
+    const fft::Complex* fft_ref = cache.transform(reference);
+    const fft::Complex* fft_mov = cache.transform(moved);
+    out = pciam_from_ffts(fft_ref, fft_mov, cache.tile(reference),
+                          cache.tile(moved), *inverse, scratch, &counts,
+                          options.peak_candidates, options.min_overlap_px);
+    cache.release(reference);
+    cache.release(moved);
+  };
+
+  for (const img::TilePos pos : traversal_order(layout, options.traversal)) {
+    // Visiting a tile closes its pairs with already-visited neighbors (west
+    // and north under every supported traversal's closure pattern); east and
+    // south pairs close when those tiles are visited later.
+    if (layout.has_west(pos)) {
+      run_pair(img::TilePos{pos.row, pos.col - 1}, pos,
+               result.table.west_of(pos));
+    }
+    if (layout.has_north(pos)) {
+      run_pair(img::TilePos{pos.row - 1, pos.col}, pos,
+               result.table.north_of(pos));
+    }
+  }
+  result.peak_live_transforms = cache.peak_live_transforms();
+  result.ops = counts.snapshot();
+  return result;
+}
+
+}  // namespace hs::stitch::impl

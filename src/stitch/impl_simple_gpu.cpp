@@ -1,0 +1,193 @@
+// Simple-GPU: "almost a direct port of the CPU sequential version" (paper
+// SIV-A). One CPU thread drives one virtual GPU through a single default
+// stream; every memory copy and kernel is invoked synchronously, so the GPU
+// idles between launches — the behaviour profiled in the paper's Fig 7 and
+// the 1.14x-over-Simple-CPU result in Table II. It still carries all of the
+// paper's Simple-GPU optimizations: forward transforms computed once per
+// tile and kept in device memory, a preallocated buffer pool with reference
+// counts, and a single scalar copied back per reduction.
+#include <cstring>
+#include <map>
+
+#include "fft/plan_cache.hpp"
+#include "stitch/ccf.hpp"
+#include "stitch/impl.hpp"
+#include "stitch/transform_cache.hpp"
+#include "vgpu/buffer_pool.hpp"
+#include "vgpu/kernels.hpp"
+#include "vgpu/stream.hpp"
+#include "vgpu/vfft.hpp"
+
+namespace hs::stitch::impl {
+
+namespace {
+
+std::size_t auto_pool_size(const img::GridLayout& layout,
+                           const StitchOptions& options) {
+  if (options.pool_buffers > 0) return options.pool_buffers;
+  // Paper: "The minimum pool size must exceed the smallest dimension of the
+  // image grid" (chained-diagonal traversal); generalized per traversal,
+  // +1 NCC working buffer, +3 slack.
+  return traversal_working_set(layout, options.traversal) + 4;
+}
+
+}  // namespace
+
+StitchResult stitch_simple_gpu(const TileProvider& provider,
+                               const StitchOptions& options) {
+  const img::GridLayout layout = provider.layout();
+  StitchResult result(layout);
+  OpCountsAtomic counts;
+
+  const std::size_t h = provider.tile_height();
+  const std::size_t w = provider.tile_width();
+  const std::size_t count = h * w;
+  const std::size_t buffer_bytes = count * sizeof(fft::Complex);
+
+  vgpu::DeviceConfig config;
+  config.memory_bytes = options.gpu_memory_bytes;
+  config.recorder = options.recorder;
+  config.trace_prefix = "gpu0";
+  vgpu::Device device(config);
+  vgpu::Stream stream(device, "default");
+
+  vgpu::VFftPlan2d forward(device, h, w, fft::Direction::kForward,
+                           options.rigor);
+  vgpu::VFftPlan2d inverse(device, h, w, fft::Direction::kInverse,
+                           options.rigor);
+
+  const std::size_t pool_size = auto_pool_size(layout, options);
+  HS_REQUIRE(pool_size >= traversal_working_set(layout, options.traversal) + 2,
+             "GPU pool must exceed the traversal's working set plus an NCC "
+             "working buffer");
+  vgpu::BufferPool pool(device, pool_size, buffer_bytes);
+  const std::size_t peaks_k = std::max<std::size_t>(1, options.peak_candidates);
+  vgpu::DeviceBuffer reduce_out =
+      device.alloc(peaks_k * sizeof(vgpu::MaxAbsResult));
+
+  // Per-tile device transform + host tile, reference counted.
+  struct TileState {
+    vgpu::PooledBuffer transform;
+    img::ImageU16 tile;
+    std::size_t refs = 0;
+  };
+  std::map<std::size_t, TileState> states;
+  std::size_t live = 0, peak = 0;
+
+  std::vector<fft::Complex> staging(count);
+  auto ensure_tile = [&](img::TilePos pos) -> TileState& {
+    const std::size_t index = layout.index_of(pos);
+    auto it = states.find(index);
+    if (it != states.end()) return it->second;
+
+    TileState state;
+    state.refs = TransformCache::pair_degree(layout, pos);
+    state.tile = provider.load(pos);
+    counts.bump(counts.tile_reads);
+    // Synchronous H2D copy (the Simple-GPU pathology): convert on the host,
+    // copy, wait.
+    vgpu::k_u16_to_complex(state.tile.data(), staging.data(), count);
+    state.transform = pool.acquire();
+    stream.enqueue("memcpy_h2d", [&staging, dst = state.transform.as<void>(),
+                                  buffer_bytes] {
+      std::memcpy(dst, staging.data(), buffer_bytes);
+    });
+    stream.synchronize();
+    // FFT in place on the default stream, then wait again.
+    auto plan = fft::PlanCache::instance().plan_2d(
+        h, w, fft::Direction::kForward, options.rigor);
+    fft::Complex* data = state.transform.as<fft::Complex>();
+    stream.enqueue("fft2d", [plan, data, &device] {
+      std::lock_guard<std::mutex> lock(device.fft_mutex());
+      plan->execute_inplace(data);
+    });
+    stream.synchronize();
+    counts.bump(counts.forward_ffts);
+
+    live += 1;
+    peak = std::max(peak, live);
+    return states.emplace(index, std::move(state)).first->second;
+  };
+
+  auto release_tile = [&](img::TilePos pos) {
+    const std::size_t index = layout.index_of(pos);
+    auto it = states.find(index);
+    HS_ASSERT(it != states.end() && it->second.refs > 0);
+    if (--it->second.refs == 0) {
+      states.erase(it);  // returns the pooled buffer
+      live -= 1;
+    }
+  };
+
+  auto plan_inverse = fft::PlanCache::instance().plan_2d(
+      h, w, fft::Direction::kInverse, options.rigor);
+
+  auto run_pair = [&](img::TilePos ref_pos, img::TilePos mov_pos,
+                      Translation& out) {
+    TileState& ref = ensure_tile(ref_pos);
+    TileState& mov = ensure_tile(mov_pos);
+
+    vgpu::PooledBuffer ncc = pool.acquire();
+    const fft::Complex* fa = ref.transform.as<fft::Complex>();
+    const fft::Complex* fb = mov.transform.as<fft::Complex>();
+    fft::Complex* fc = ncc.as<fft::Complex>();
+    // Each step synchronous on the default stream — no overlap anywhere.
+    stream.enqueue("ncc", [fa, fb, fc, count] {
+      vgpu::k_ncc(fa, fb, fc, count);
+    });
+    stream.synchronize();
+    counts.bump(counts.ncc_multiplies);
+
+    stream.enqueue("ifft2d", [plan_inverse, fc, &device] {
+      std::lock_guard<std::mutex> lock(device.fft_mutex());
+      plan_inverse->execute_inplace(fc);
+    });
+    stream.synchronize();
+    counts.bump(counts.inverse_ffts);
+
+    auto* reduced = reduce_out.as<vgpu::MaxAbsResult>();
+    stream.enqueue("max_reduce", [fc, count, reduced, peaks_k] {
+      const auto peaks = vgpu::k_max_abs_topk(fc, count, peaks_k);
+      for (std::size_t i = 0; i < peaks.size(); ++i) reduced[i] = peaks[i];
+      for (std::size_t i = peaks.size(); i < peaks_k; ++i) {
+        reduced[i] = vgpu::MaxAbsResult{-1.0, 0};
+      }
+    });
+    stream.synchronize();
+    counts.bump(counts.max_reductions);
+
+    // Only the scalar results cross back to the host.
+    std::vector<vgpu::MaxAbsResult> peak_results(peaks_k);
+    stream.memcpy_d2h(peak_results.data(), reduce_out,
+                      peaks_k * sizeof(vgpu::MaxAbsResult));
+    stream.synchronize();
+
+    std::vector<std::size_t> indices;
+    for (const auto& peak : peak_results) {
+      if (peak.value >= 0.0) indices.push_back(peak.index);
+    }
+    counts.bump(counts.ccf_evaluations, 4 * indices.size());
+    out = disambiguate_peaks(ref.tile, mov.tile, indices, w,
+                             options.min_overlap_px);
+
+    release_tile(ref_pos);
+    release_tile(mov_pos);
+  };
+
+  for (const img::TilePos pos : traversal_order(layout, options.traversal)) {
+    if (layout.has_west(pos)) {
+      run_pair(img::TilePos{pos.row, pos.col - 1}, pos,
+               result.table.west_of(pos));
+    }
+    if (layout.has_north(pos)) {
+      run_pair(img::TilePos{pos.row - 1, pos.col}, pos,
+               result.table.north_of(pos));
+    }
+  }
+
+  result.peak_live_transforms = peak;
+  result.ops = counts.snapshot();
+  return result;
+}
+
+}  // namespace hs::stitch::impl

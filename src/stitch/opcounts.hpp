@@ -1,0 +1,35 @@
+// Thread-safe operation counters filled in by every implementation,
+// snapshotted into StitchResult::ops (the measured side of Table I).
+#pragma once
+
+#include <atomic>
+
+#include "stitch/types.hpp"
+
+namespace hs::stitch {
+
+struct OpCountsAtomic {
+  std::atomic<std::uint64_t> tile_reads{0};
+  std::atomic<std::uint64_t> forward_ffts{0};
+  std::atomic<std::uint64_t> ncc_multiplies{0};
+  std::atomic<std::uint64_t> inverse_ffts{0};
+  std::atomic<std::uint64_t> max_reductions{0};
+  std::atomic<std::uint64_t> ccf_evaluations{0};
+
+  OpCounts snapshot() const {
+    OpCounts out;
+    out.tile_reads = tile_reads.load(std::memory_order_relaxed);
+    out.forward_ffts = forward_ffts.load(std::memory_order_relaxed);
+    out.ncc_multiplies = ncc_multiplies.load(std::memory_order_relaxed);
+    out.inverse_ffts = inverse_ffts.load(std::memory_order_relaxed);
+    out.max_reductions = max_reductions.load(std::memory_order_relaxed);
+    out.ccf_evaluations = ccf_evaluations.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  void bump(std::atomic<std::uint64_t>& counter, std::uint64_t n = 1) {
+    counter.fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace hs::stitch

@@ -1,0 +1,85 @@
+#include "stitch/pciam.hpp"
+
+#include "stitch/ccf.hpp"
+#include "vgpu/kernels.hpp"
+
+namespace hs::stitch {
+
+void tile_forward_fft(const img::ImageU16& tile, const fft::Plan2d& plan,
+                      fft::Complex* out, PciamScratch& scratch) {
+  const std::size_t count = tile.pixel_count();
+  HS_REQUIRE(plan.height() == tile.height() && plan.width() == tile.width(),
+             "plan does not match tile size");
+  scratch.ensure(count);
+  vgpu::k_u16_to_complex(tile.data(), scratch.a.data(), count);
+  plan.execute(scratch.a.data(), out);
+}
+
+Translation disambiguate_peaks(const img::ImageU16& reference,
+                               const img::ImageU16& moved,
+                               const std::vector<std::size_t>& peak_indices,
+                               std::size_t surface_width,
+                               std::int64_t min_overlap_px) {
+  Translation best;
+  for (const std::size_t index : peak_indices) {
+    const Translation t =
+        disambiguate_peak(reference, moved, index % surface_width,
+                          index / surface_width, min_overlap_px);
+    if (t.correlation > best.correlation) best = t;
+  }
+  return best;
+}
+
+Translation pciam_from_ffts(const fft::Complex* fft_reference,
+                            const fft::Complex* fft_moved,
+                            const img::ImageU16& reference,
+                            const img::ImageU16& moved,
+                            const fft::Plan2d& inverse_plan,
+                            PciamScratch& scratch, OpCountsAtomic* counts,
+                            std::size_t peak_candidates,
+                            std::int64_t min_overlap_px) {
+  const std::size_t h = reference.height();
+  const std::size_t w = reference.width();
+  const std::size_t count = h * w;
+  HS_REQUIRE(reference.same_shape(moved), "pciam requires equal-size tiles");
+  HS_REQUIRE(peak_candidates >= 1, "need at least one peak candidate");
+  scratch.ensure(count);
+
+  // Steps 4-5: normalized correlation coefficients.
+  vgpu::k_ncc(fft_reference, fft_moved, scratch.a.data(), count);
+  // Step 6: inverse transform of the NCC.
+  inverse_plan.execute(scratch.a.data(), scratch.b.data());
+  // Step 7: max reduction (top-k when the multi-peak extension is on).
+  const auto peaks =
+      vgpu::k_max_abs_topk(scratch.b.data(), count, peak_candidates);
+  std::vector<std::size_t> indices;
+  indices.reserve(peaks.size());
+  for (const auto& peak : peaks) indices.push_back(peak.index);
+
+  if (counts != nullptr) {
+    counts->bump(counts->ncc_multiplies);
+    counts->bump(counts->inverse_ffts);
+    counts->bump(counts->max_reductions);
+    counts->bump(counts->ccf_evaluations, 4 * indices.size());
+  }
+  // Steps 8-12: resolve the periodic ambiguity with spatial-domain CCFs.
+  return disambiguate_peaks(reference, moved, indices, w, min_overlap_px);
+}
+
+Translation pciam_full(const img::ImageU16& reference,
+                       const img::ImageU16& moved,
+                       const fft::Plan2d& forward_plan,
+                       const fft::Plan2d& inverse_plan, PciamScratch& scratch,
+                       OpCountsAtomic* counts, std::size_t peak_candidates,
+                       std::int64_t min_overlap_px) {
+  const std::size_t count = reference.pixel_count();
+  std::vector<fft::Complex> fft_ref(count), fft_mov(count);
+  tile_forward_fft(reference, forward_plan, fft_ref.data(), scratch);
+  tile_forward_fft(moved, forward_plan, fft_mov.data(), scratch);
+  if (counts != nullptr) counts->bump(counts->forward_ffts, 2);
+  return pciam_from_ffts(fft_ref.data(), fft_mov.data(), reference, moved,
+                         inverse_plan, scratch, counts, peak_candidates,
+                         min_overlap_px);
+}
+
+}  // namespace hs::stitch

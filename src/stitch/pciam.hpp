@@ -1,0 +1,69 @@
+// Phase Correlation Image Alignment Method (paper Fig 2) — CPU building
+// blocks shared by the CPU implementations and reused piecewise by the GPU
+// pipelines (which run the same math through virtual-GPU kernels).
+#pragma once
+
+#include <vector>
+
+#include "fft/plan2d.hpp"
+#include "imgio/image.hpp"
+#include "stitch/opcounts.hpp"
+#include "stitch/types.hpp"
+
+namespace hs::stitch {
+
+/// Reusable per-thread scratch so the hot path never allocates.
+struct PciamScratch {
+  std::vector<fft::Complex> a;
+  std::vector<fft::Complex> b;
+
+  void ensure(std::size_t count) {
+    if (a.size() < count) {
+      a.resize(count);
+      b.resize(count);
+    }
+  }
+};
+
+/// Computes a tile's forward 2-D transform into `out` (size h*w).
+void tile_forward_fft(const img::ImageU16& tile, const fft::Plan2d& plan,
+                      fft::Complex* out, PciamScratch& scratch);
+
+/// PCIAM steps 3-7 given both precomputed forward transforms: NCC, inverse
+/// transform, max reduction, CCF disambiguation on the spatial tiles.
+/// Returns the displacement of `moved` relative to `reference`.
+///
+/// peak_candidates > 1 enables the multi-peak extension: the top-k
+/// correlation-surface peaks are each disambiguated (4 CCFs per peak) and
+/// the best interpretation overall wins. The paper tests only the global
+/// max (k = 1, the default); its successor tool MIST tests several peaks
+/// because the global max can be a noise spike on low-overlap data.
+Translation pciam_from_ffts(const fft::Complex* fft_reference,
+                            const fft::Complex* fft_moved,
+                            const img::ImageU16& reference,
+                            const img::ImageU16& moved,
+                            const fft::Plan2d& inverse_plan,
+                            PciamScratch& scratch, OpCountsAtomic* counts,
+                            std::size_t peak_candidates = 1,
+                            std::int64_t min_overlap_px = 1);
+
+/// Whole-pair PCIAM computing both forward transforms on the spot — the
+/// structure of the Fiji-style NaivePairwise baseline (no transform reuse:
+/// each tile's FFT is recomputed for every pair it participates in).
+Translation pciam_full(const img::ImageU16& reference,
+                       const img::ImageU16& moved,
+                       const fft::Plan2d& forward_plan,
+                       const fft::Plan2d& inverse_plan, PciamScratch& scratch,
+                       OpCountsAtomic* counts,
+                       std::size_t peak_candidates = 1,
+                       std::int64_t min_overlap_px = 1);
+
+/// Picks the best interpretation over a set of surface peaks (flat indices
+/// into the width-major correlation surface).
+Translation disambiguate_peaks(const img::ImageU16& reference,
+                               const img::ImageU16& moved,
+                               const std::vector<std::size_t>& peak_indices,
+                               std::size_t surface_width,
+                               std::int64_t min_overlap_px = 1);
+
+}  // namespace hs::stitch

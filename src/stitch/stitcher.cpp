@@ -1,0 +1,61 @@
+#include "stitch/stitcher.hpp"
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "stitch/impl.hpp"
+
+namespace hs::stitch {
+
+std::string backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kNaivePairwise: return "naive-pairwise";
+    case Backend::kSimpleCpu: return "simple-cpu";
+    case Backend::kMtCpu: return "mt-cpu";
+    case Backend::kPipelinedCpu: return "pipelined-cpu";
+    case Backend::kSimpleGpu: return "simple-gpu";
+    case Backend::kPipelinedGpu: return "pipelined-gpu";
+  }
+  return "?";
+}
+
+Backend parse_backend(const std::string& name) {
+  for (Backend b : kAllBackends) {
+    if (backend_name(b) == name) return b;
+  }
+  throw InvalidArgument("unknown backend: " + name);
+}
+
+StitchResult stitch(Backend backend, const TileProvider& provider,
+                    const StitchOptions& options) {
+  HS_REQUIRE(provider.layout().tile_count() >= 1, "empty grid");
+  HS_REQUIRE(options.threads >= 1 || backend == Backend::kNaivePairwise ||
+                 backend == Backend::kSimpleCpu ||
+                 backend == Backend::kSimpleGpu,
+             "threads must be >= 1");
+  Stopwatch stopwatch;
+  StitchResult result;
+  switch (backend) {
+    case Backend::kNaivePairwise:
+      result = impl::stitch_naive(provider, options);
+      break;
+    case Backend::kSimpleCpu:
+      result = impl::stitch_simple_cpu(provider, options);
+      break;
+    case Backend::kMtCpu:
+      result = impl::stitch_mt_cpu(provider, options);
+      break;
+    case Backend::kPipelinedCpu:
+      result = impl::stitch_pipelined_cpu(provider, options);
+      break;
+    case Backend::kSimpleGpu:
+      result = impl::stitch_simple_gpu(provider, options);
+      break;
+    case Backend::kPipelinedGpu:
+      result = impl::stitch_pipelined_gpu(provider, options);
+      break;
+  }
+  result.seconds = stopwatch.seconds();
+  return result;
+}
+
+}  // namespace hs::stitch

@@ -1,0 +1,86 @@
+// Public entry point of phase 1: relative displacement computation for a
+// whole grid, across the six implementations the paper compares.
+#pragma once
+
+#include <string>
+
+#include "fft/types.hpp"
+#include "stitch/traversal.hpp"
+#include "stitch/types.hpp"
+#include "trace/trace.hpp"
+
+namespace hs::stitch {
+
+enum class Backend {
+  /// Fiji-style baseline: per-pair FFT recomputation, no caching.
+  kNaivePairwise,
+  /// Paper's Simple-CPU: sequential, transform cache, early free.
+  kSimpleCpu,
+  /// Paper's MT-CPU: SPMD spatial decomposition over `threads` threads.
+  kMtCpu,
+  /// Paper's Pipelined-CPU: reader -> fft -> bookkeeping -> displacement.
+  kPipelinedCpu,
+  /// Paper's Simple-GPU: synchronous single-stream virtual-GPU port.
+  kSimpleGpu,
+  /// Paper's Pipelined-GPU: per-GPU multi-stream pipelines + CPU CCF stage.
+  kPipelinedGpu,
+};
+
+inline constexpr Backend kAllBackends[] = {
+    Backend::kNaivePairwise, Backend::kSimpleCpu,    Backend::kMtCpu,
+    Backend::kPipelinedCpu,  Backend::kSimpleGpu,    Backend::kPipelinedGpu,
+};
+
+std::string backend_name(Backend backend);
+Backend parse_backend(const std::string& name);
+
+struct StitchOptions {
+  fft::Rigor rigor = fft::Rigor::kEstimate;
+  Traversal traversal = Traversal::kDiagonalChained;
+
+  /// Compute worker threads: SPMD width for MT-CPU; FFT + displacement
+  /// workers for Pipelined-CPU. Ignored by sequential backends.
+  std::size_t threads = 1;
+  /// Reader threads for the pipelined backends.
+  std::size_t read_threads = 1;
+  /// CCF threads (stage 6 of the GPU pipeline, shared across GPUs).
+  std::size_t ccf_threads = 2;
+
+  /// Virtual GPUs for the GPU backends (one execution pipeline each).
+  std::size_t gpu_count = 1;
+  /// Per-GPU memory arena (the Tesla C2070 had 6 GB; scale to the tiles).
+  std::size_t gpu_memory_bytes = 512ull << 20;
+  /// Transform buffers per GPU pool; 0 = auto (min grid dimension + slack,
+  /// the paper's sizing rule).
+  std::size_t pool_buffers = 0;
+
+  /// Optional profiler; stream/stage activity is recorded when set.
+  hs::trace::Recorder* recorder = nullptr;
+
+  // --- paper SVI-A future-work extensions, implemented -------------------
+  /// Kepler/Hyper-Q mode: FFT kernels on different streams execute
+  /// concurrently (Fermi default: serialized), and the Pipelined-GPU FFT
+  /// stage may issue from several CPU threads/streams.
+  bool kepler_concurrent_fft = false;
+  /// FFT issue streams per GPU (only > 1 is useful with Kepler mode).
+  std::size_t fft_streams = 1;
+  /// Share boundary-tile transforms between GPUs with peer-to-peer copies
+  /// instead of re-reading and re-transforming halo rows.
+  bool use_p2p = false;
+  /// Correlation-surface peaks tested per pair (4 CCFs each). 1 = the
+  /// paper's algorithm (global max only); larger values trade CCF work for
+  /// robustness on noisy/low-overlap data (the MIST refinement).
+  std::size_t peak_candidates = 1;
+  /// Minimum overlap (pixels, per dimension) a candidate interpretation
+  /// must imply to be considered. 1 = the paper's algorithm; a few percent
+  /// of the tile extent rejects spurious thin-sliver alignments.
+  std::int64_t min_overlap_px = 1;
+};
+
+/// Runs phase 1 with the chosen backend. Throws on configuration errors
+/// (e.g. a pool too small for the grid). All backends return bit-identical
+/// displacement tables for the same input.
+StitchResult stitch(Backend backend, const TileProvider& provider,
+                    const StitchOptions& options = {});
+
+}  // namespace hs::stitch

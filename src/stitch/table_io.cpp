@@ -1,0 +1,91 @@
+#include "stitch/table_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hs::stitch {
+
+void write_table_csv(const std::string& path, const DisplacementTable& table) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw IoError("cannot create table file: " + path);
+  file << "# hybridstitch displacement table v1\n";
+  file << "# grid," << table.layout.rows << "," << table.layout.cols << "\n";
+  file << "direction,row,col,x,y,correlation\n";
+  char line[160];
+  for (std::size_t r = 0; r < table.layout.rows; ++r) {
+    for (std::size_t c = 0; c < table.layout.cols; ++c) {
+      const img::TilePos pos{r, c};
+      auto emit = [&](const char* direction, const Translation& t) {
+        std::snprintf(line, sizeof line,
+                      "%s,%zu,%zu,%" PRId64 ",%" PRId64 ",%.17g\n", direction,
+                      r, c, t.x, t.y, t.correlation);
+        file << line;
+      };
+      if (c > 0) emit("west", table.west_of(pos));
+      if (r > 0) emit("north", table.north_of(pos));
+    }
+  }
+  if (!file) throw IoError("short write to table file: " + path);
+}
+
+DisplacementTable read_table_csv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw IoError("cannot open table file: " + path);
+
+  std::string line;
+  if (!std::getline(file, line) ||
+      line.rfind("# hybridstitch displacement table", 0) != 0) {
+    throw IoError("not a displacement table: " + path);
+  }
+  std::size_t rows = 0, cols = 0;
+  if (!std::getline(file, line) ||
+      std::sscanf(line.c_str(), "# grid,%zu,%zu", &rows, &cols) != 2 ||
+      rows == 0 || cols == 0) {
+    throw IoError("bad grid header in table: " + path);
+  }
+  if (!std::getline(file, line) || line.rfind("direction,", 0) != 0) {
+    throw IoError("missing column header in table: " + path);
+  }
+
+  DisplacementTable table(img::GridLayout{rows, cols});
+  std::size_t edges_read = 0;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    char direction[16];
+    std::size_t r = 0, c = 0;
+    std::int64_t x = 0, y = 0;
+    double correlation = 0.0;
+    if (std::sscanf(line.c_str(),
+                    "%15[^,],%zu,%zu,%" SCNd64 ",%" SCNd64 ",%lf", direction,
+                    &r, &c, &x, &y, &correlation) != 6) {
+      throw IoError("malformed row in table '" + path + "': " + line);
+    }
+    if (r >= rows || c >= cols) {
+      throw IoError("edge outside grid in table: " + path);
+    }
+    const img::TilePos pos{r, c};
+    const std::string dir = direction;
+    if (dir == "west") {
+      HS_REQUIRE(c > 0, "west edge on first column in " + path);
+      table.west_of(pos) = Translation{x, y, correlation};
+    } else if (dir == "north") {
+      HS_REQUIRE(r > 0, "north edge on first row in " + path);
+      table.north_of(pos) = Translation{x, y, correlation};
+    } else {
+      throw IoError("unknown edge direction '" + dir + "' in " + path);
+    }
+    ++edges_read;
+  }
+  if (edges_read != table.layout.pair_count()) {
+    throw IoError("table '" + path + "' has " + std::to_string(edges_read) +
+                  " edges, expected " +
+                  std::to_string(table.layout.pair_count()));
+  }
+  return table;
+}
+
+}  // namespace hs::stitch

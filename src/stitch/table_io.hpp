@@ -1,0 +1,24 @@
+// Displacement-table persistence.
+//
+// The MIST tool that grew out of this paper writes per-edge translation
+// tables so downstream tools (and re-runs of phases 2/3) can skip phase 1.
+// Format: CSV with one row per edge,
+//   direction,row,col,x,y,correlation
+// where direction is "west" or "north" and (row, col) addresses the moved
+// tile. A header line carries the grid dimensions.
+#pragma once
+
+#include <string>
+
+#include "stitch/types.hpp"
+
+namespace hs::stitch {
+
+/// Writes the table; throws IoError on filesystem failure.
+void write_table_csv(const std::string& path, const DisplacementTable& table);
+
+/// Reads a table written by write_table_csv; throws IoError on malformed
+/// input (wrong header, missing edges, out-of-range coordinates).
+DisplacementTable read_table_csv(const std::string& path);
+
+}  // namespace hs::stitch

@@ -1,0 +1,114 @@
+#include "stitch/transform_cache.hpp"
+
+namespace hs::stitch {
+
+TransformCache::TransformCache(
+    const TileProvider& provider,
+    std::shared_ptr<const fft::Plan2d> forward_plan, OpCountsAtomic* counts)
+    : provider_(provider),
+      layout_(provider.layout()),
+      forward_plan_(std::move(forward_plan)),
+      counts_(counts) {
+  entries_.reserve(layout_.tile_count());
+  for (std::size_t i = 0; i < layout_.tile_count(); ++i) {
+    auto e = std::make_unique<Entry>();
+    e->refcount = pair_degree(layout_, layout_.pos_of(i));
+    entries_.push_back(std::move(e));
+  }
+}
+
+std::size_t TransformCache::pair_degree(const img::GridLayout& layout,
+                                        img::TilePos pos) {
+  std::size_t degree = 0;
+  if (layout.has_west(pos)) ++degree;
+  if (layout.has_east(pos)) ++degree;
+  if (layout.has_north(pos)) ++degree;
+  if (layout.has_south(pos)) ++degree;
+  return degree;
+}
+
+const fft::Complex* TransformCache::transform(img::TilePos pos) {
+  Entry& e = entry(pos);
+  std::unique_lock<std::mutex> lock(e.mutex);
+  for (;;) {
+    HS_ASSERT_MSG(e.state != Entry::State::kFreed,
+                  "transform requested after release to zero");
+    if (e.state == Entry::State::kReady) return e.transform.data();
+    if (e.state == Entry::State::kComputing) {
+      // Another thread computes; if it fails the entry reverts to kEmpty
+      // and this thread retries (and surfaces the same error itself).
+      e.ready_cv.wait(lock, [&] { return e.state != Entry::State::kComputing; });
+      continue;
+    }
+    break;  // kEmpty: this thread computes.
+  }
+  // Drop the lock during the expensive part so other tiles are not
+  // serialized behind this one.
+  e.state = Entry::State::kComputing;
+  lock.unlock();
+
+  try {
+    img::ImageU16 tile = provider_.load(pos);
+    if (counts_ != nullptr) counts_->bump(counts_->tile_reads);
+    std::vector<fft::Complex> transform(tile.pixel_count());
+    thread_local PciamScratch scratch;
+    tile_forward_fft(tile, *forward_plan_, transform.data(), scratch);
+    if (counts_ != nullptr) counts_->bump(counts_->forward_ffts);
+
+    lock.lock();
+    e.tile = std::move(tile);
+    e.transform = std::move(transform);
+    e.state = Entry::State::kReady;
+    lock.unlock();
+  } catch (...) {
+    // Leave the entry retryable and wake waiters so nobody hangs on a
+    // transform that will never arrive.
+    lock.lock();
+    e.state = Entry::State::kEmpty;
+    lock.unlock();
+    e.ready_cv.notify_all();
+    throw;
+  }
+  e.ready_cv.notify_all();
+  note_live(+1);
+  return e.transform.data();
+}
+
+const img::ImageU16& TransformCache::tile(img::TilePos pos) {
+  Entry& e = entry(pos);
+  std::unique_lock<std::mutex> lock(e.mutex);
+  HS_ASSERT_MSG(e.state == Entry::State::kReady ||
+                    e.state == Entry::State::kComputing,
+                "tile requested before transform() or after free");
+  e.ready_cv.wait(lock, [&] { return e.state == Entry::State::kReady; });
+  return e.tile;
+}
+
+void TransformCache::release(img::TilePos pos) {
+  Entry& e = entry(pos);
+  std::lock_guard<std::mutex> lock(e.mutex);
+  HS_ASSERT_MSG(e.refcount > 0, "release below zero");
+  if (--e.refcount == 0) {
+    HS_ASSERT_MSG(e.state == Entry::State::kReady,
+                  "releasing a tile that never computed");
+    e.transform.clear();
+    e.transform.shrink_to_fit();
+    e.tile = img::ImageU16();
+    e.state = Entry::State::kFreed;
+    note_live(-1);
+  }
+}
+
+void TransformCache::note_live(std::ptrdiff_t delta) {
+  if (delta > 0) {
+    const std::size_t now = live_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::size_t prev = peak_.load(std::memory_order_relaxed);
+    while (now > prev &&
+           !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
+  } else {
+    live_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace hs::stitch

@@ -1,0 +1,76 @@
+// Reference-counted tile/transform cache.
+//
+// Paper SIV: "freeing an image's transform memory as soon as the relative
+// displacements of its eastern, southern, western, and northern neighbors
+// were computed" and "every tile has a reference count that is decremented
+// when the tile is used to compute a relative displacement." Each tile entry
+// starts with a reference count equal to its degree in the pair graph;
+// get() computes the transform (and loads the tile) on first use, and
+// release() frees both at zero. Thread-safe with per-entry compute-once
+// semantics so the SPMD implementation can share one cache across threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fft/plan2d.hpp"
+#include "stitch/opcounts.hpp"
+#include "stitch/pciam.hpp"
+#include "stitch/types.hpp"
+
+namespace hs::stitch {
+
+class TransformCache {
+ public:
+  TransformCache(const TileProvider& provider,
+                 std::shared_ptr<const fft::Plan2d> forward_plan,
+                 OpCountsAtomic* counts);
+
+  /// The tile's degree in the pair graph (its initial reference count).
+  static std::size_t pair_degree(const img::GridLayout& layout,
+                                 img::TilePos pos);
+
+  /// Returns the tile's forward transform, computing it (and reading the
+  /// tile) on first call. Blocks if another thread is computing it.
+  const fft::Complex* transform(img::TilePos pos);
+
+  /// The spatial tile (valid while the entry is live), for CCF evaluation.
+  const img::ImageU16& tile(img::TilePos pos);
+
+  /// Decrements the reference count; frees the entry when it reaches zero.
+  void release(img::TilePos pos);
+
+  std::size_t live_transforms() const {
+    return live_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak_live_transforms() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::mutex mutex;
+    std::condition_variable ready_cv;
+    enum class State { kEmpty, kComputing, kReady, kFreed } state =
+        State::kEmpty;
+    std::vector<fft::Complex> transform;
+    img::ImageU16 tile;
+    std::size_t refcount = 0;
+  };
+
+  Entry& entry(img::TilePos pos) { return *entries_[layout_.index_of(pos)]; }
+  void note_live(std::ptrdiff_t delta);
+
+  const TileProvider& provider_;
+  img::GridLayout layout_;
+  std::shared_ptr<const fft::Plan2d> forward_plan_;
+  OpCountsAtomic* counts_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::atomic<std::size_t> live_{0};
+  std::atomic<std::size_t> peak_{0};
+};
+
+}  // namespace hs::stitch

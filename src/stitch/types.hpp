@@ -1,0 +1,144 @@
+// Core types of the stitching library.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "imgio/grid.hpp"
+#include "imgio/image.hpp"
+
+namespace hs::stitch {
+
+/// Relative displacement of one tile with respect to a reference tile, in
+/// pixels, plus the normalized cross-correlation of the implied overlap.
+///
+/// Convention used throughout: pciam(reference, moved) returns the position
+/// of `moved`'s origin relative to `reference`'s origin. For a west-east
+/// pair the reference is the west tile, so x is positive (~ tile width minus
+/// overlap); for a north-south pair the reference is the north tile and y is
+/// positive.
+struct Translation {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  double correlation = -2.0;  // Pearson in [-1, 1]; -2 marks "not computed"
+
+  bool operator==(const Translation& o) const {
+    return x == o.x && y == o.y && correlation == o.correlation;
+  }
+};
+
+/// Output of phase 1: one translation per west edge and per north edge of
+/// the grid (paper Fig 4's two arrays of tuples).
+struct DisplacementTable {
+  img::GridLayout layout;
+  std::vector<Translation> west;   // indexed by tile; valid when col > 0
+  std::vector<Translation> north;  // indexed by tile; valid when row > 0
+
+  explicit DisplacementTable(img::GridLayout grid = {})
+      : layout(grid),
+        west(grid.tile_count()),
+        north(grid.tile_count()) {}
+
+  Translation& west_of(img::TilePos pos) { return west[layout.index_of(pos)]; }
+  Translation& north_of(img::TilePos pos) {
+    return north[layout.index_of(pos)];
+  }
+  const Translation& west_of(img::TilePos pos) const {
+    return west[layout.index_of(pos)];
+  }
+  const Translation& north_of(img::TilePos pos) const {
+    return north[layout.index_of(pos)];
+  }
+};
+
+/// Operation counts accumulated during a run; the measured side of the
+/// paper's Table I.
+struct OpCounts {
+  std::uint64_t tile_reads = 0;
+  std::uint64_t forward_ffts = 0;
+  std::uint64_t ncc_multiplies = 0;   // element-wise spectrum products
+  std::uint64_t inverse_ffts = 0;
+  std::uint64_t max_reductions = 0;
+  std::uint64_t ccf_evaluations = 0;  // individual CCF overlap evaluations
+};
+
+struct StitchResult {
+  DisplacementTable table;
+  OpCounts ops;
+  /// Peak number of simultaneously live tile transforms (memory footprint
+  /// proxy; depends on traversal order).
+  std::size_t peak_live_transforms = 0;
+  /// End-to-end wall-clock seconds (filled by the caller's stopwatch or the
+  /// implementation itself).
+  double seconds = 0.0;
+
+  StitchResult() : table(img::GridLayout{}) {}
+  explicit StitchResult(img::GridLayout layout) : table(layout) {}
+};
+
+/// Source of tiles, abstracting in-memory synthetic grids from on-disk
+/// datasets. Implementations must be safe to call from multiple threads.
+class TileProvider {
+ public:
+  virtual ~TileProvider() = default;
+
+  virtual img::GridLayout layout() const = 0;
+  virtual std::size_t tile_height() const = 0;
+  virtual std::size_t tile_width() const = 0;
+
+  /// Loads (or copies) one tile.
+  virtual img::ImageU16 load(img::TilePos pos) const = 0;
+};
+
+/// Tiles served from an in-memory synthetic grid.
+class MemoryTileProvider final : public TileProvider {
+ public:
+  MemoryTileProvider(const std::vector<img::ImageU16>* tiles,
+                     img::GridLayout grid_layout)
+      : tiles_(tiles), layout_(grid_layout) {
+    HS_REQUIRE(tiles != nullptr && tiles->size() == grid_layout.tile_count(),
+               "tile vector does not match layout");
+    HS_REQUIRE(!tiles->empty(), "empty grid");
+  }
+
+  img::GridLayout layout() const override { return layout_; }
+  std::size_t tile_height() const override { return (*tiles_)[0].height(); }
+  std::size_t tile_width() const override { return (*tiles_)[0].width(); }
+  img::ImageU16 load(img::TilePos pos) const override {
+    return (*tiles_)[layout_.index_of(pos)];
+  }
+
+ private:
+  const std::vector<img::ImageU16>* tiles_;
+  img::GridLayout layout_;
+};
+
+/// Tiles read from disk through TileGridDataset (the paper's read stage).
+class DatasetTileProvider final : public TileProvider {
+ public:
+  explicit DatasetTileProvider(img::TileGridDataset dataset)
+      : dataset_(std::move(dataset)) {
+    const auto probe = dataset_.load(img::TilePos{0, 0});
+    tile_height_ = probe.height();
+    tile_width_ = probe.width();
+  }
+
+  img::GridLayout layout() const override { return dataset_.layout(); }
+  std::size_t tile_height() const override { return tile_height_; }
+  std::size_t tile_width() const override { return tile_width_; }
+  img::ImageU16 load(img::TilePos pos) const override {
+    auto tile = dataset_.load(pos);
+    HS_REQUIRE(tile.height() == tile_height_ && tile.width() == tile_width_,
+               "dataset tiles must share one size");
+    return tile;
+  }
+
+ private:
+  img::TileGridDataset dataset_;
+  std::size_t tile_height_ = 0;
+  std::size_t tile_width_ = 0;
+};
+
+}  // namespace hs::stitch

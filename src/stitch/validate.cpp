@@ -1,0 +1,94 @@
+#include "stitch/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hs::stitch {
+
+AccuracyReport compare_to_truth(const DisplacementTable& table,
+                                const sim::SyntheticGrid& grid) {
+  HS_REQUIRE(table.layout.rows == grid.layout.rows &&
+                 table.layout.cols == grid.layout.cols,
+             "table layout does not match grid");
+  AccuracyReport report;
+  double error_sum = 0.0, corr_sum = 0.0;
+  auto account = [&](const Translation& t, std::int64_t dx, std::int64_t dy) {
+    ++report.total_edges;
+    const std::int64_t err = std::max(std::llabs(t.x - dx),
+                                      std::llabs(t.y - dy));
+    if (err == 0) ++report.exact_edges;
+    if (err <= 1) ++report.within_one_px;
+    report.max_abs_error_px = std::max(report.max_abs_error_px, err);
+    error_sum += static_cast<double>(err);
+    corr_sum += t.correlation;
+  };
+  for (std::size_t r = 0; r < grid.layout.rows; ++r) {
+    for (std::size_t c = 0; c < grid.layout.cols; ++c) {
+      const img::TilePos pos{r, c};
+      const std::size_t i = grid.layout.index_of(pos);
+      if (c > 0) {
+        const auto [dx, dy] = grid.truth.displacement(
+            grid.layout.index_of({r, c - 1}), i);
+        account(table.west_of(pos), dx, dy);
+      }
+      if (r > 0) {
+        const auto [dx, dy] = grid.truth.displacement(
+            grid.layout.index_of({r - 1, c}), i);
+        account(table.north_of(pos), dx, dy);
+      }
+    }
+  }
+  if (report.total_edges > 0) {
+    report.mean_abs_error_px =
+        error_sum / static_cast<double>(report.total_edges);
+    report.mean_correlation =
+        corr_sum / static_cast<double>(report.total_edges);
+  }
+  return report;
+}
+
+TableDiff diff_tables(const DisplacementTable& a, const DisplacementTable& b) {
+  HS_REQUIRE(a.layout.rows == b.layout.rows && a.layout.cols == b.layout.cols,
+             "tables have different layouts");
+  TableDiff diff;
+  for (std::size_t r = 0; r < a.layout.rows; ++r) {
+    for (std::size_t c = 0; c < a.layout.cols; ++c) {
+      const img::TilePos pos{r, c};
+      if (c > 0 && !(a.west_of(pos) == b.west_of(pos))) {
+        diff.differing.push_back(
+            TableDiff::Entry{pos, true, a.west_of(pos), b.west_of(pos)});
+      }
+      if (r > 0 && !(a.north_of(pos) == b.north_of(pos))) {
+        diff.differing.push_back(
+            TableDiff::Entry{pos, false, a.north_of(pos), b.north_of(pos)});
+      }
+    }
+  }
+  return diff;
+}
+
+DisplacementTable table_from_truth(const sim::SyntheticGrid& grid,
+                                   double correlation) {
+  DisplacementTable table(grid.layout);
+  for (std::size_t r = 0; r < grid.layout.rows; ++r) {
+    for (std::size_t c = 0; c < grid.layout.cols; ++c) {
+      const img::TilePos pos{r, c};
+      const std::size_t i = grid.layout.index_of(pos);
+      if (c > 0) {
+        const auto [dx, dy] = grid.truth.displacement(
+            grid.layout.index_of({r, c - 1}), i);
+        table.west_of(pos) = Translation{dx, dy, correlation};
+      }
+      if (r > 0) {
+        const auto [dx, dy] = grid.truth.displacement(
+            grid.layout.index_of({r - 1, c}), i);
+        table.north_of(pos) = Translation{dx, dy, correlation};
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace hs::stitch

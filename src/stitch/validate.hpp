@@ -1,0 +1,58 @@
+// Displacement-table validation and comparison utilities.
+//
+// Synthetic grids carry ground truth (something the paper's real dataset
+// could not), so accuracy can be quantified exactly; and because every
+// backend must produce bit-identical tables, a structured diff is the
+// first debugging tool when one does not.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simdata/plate.hpp"
+#include "stitch/types.hpp"
+
+namespace hs::stitch {
+
+struct AccuracyReport {
+  std::size_t total_edges = 0;
+  std::size_t exact_edges = 0;           // == ground truth
+  std::size_t within_one_px = 0;         // Chebyshev distance <= 1
+  double mean_abs_error_px = 0.0;        // mean Chebyshev error
+  std::int64_t max_abs_error_px = 0;     // worst edge
+  double mean_correlation = 0.0;
+
+  double exact_fraction() const {
+    return total_edges == 0
+               ? 1.0
+               : static_cast<double>(exact_edges) /
+                     static_cast<double>(total_edges);
+  }
+};
+
+/// Compares a phase-1 table against a synthetic grid's ground truth.
+AccuracyReport compare_to_truth(const DisplacementTable& table,
+                                const sim::SyntheticGrid& grid);
+
+struct TableDiff {
+  struct Entry {
+    img::TilePos pos;
+    bool is_west = false;
+    Translation a;
+    Translation b;
+  };
+  std::vector<Entry> differing;
+
+  bool identical() const { return differing.empty(); }
+};
+
+/// Edge-by-edge diff of two tables over the same layout.
+TableDiff diff_tables(const DisplacementTable& a, const DisplacementTable& b);
+
+/// Builds the exact displacement table implied by ground truth (useful as a
+/// phase-2/3 input that bypasses phase 1).
+DisplacementTable table_from_truth(const sim::SyntheticGrid& grid,
+                                   double correlation = 1.0);
+
+}  // namespace hs::stitch

@@ -1,0 +1,75 @@
+#include "vgpu/buffer_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace hs::vgpu {
+
+PooledBuffer::PooledBuffer(PooledBuffer&& other) noexcept
+    : pool_(other.pool_), index_(other.index_) {
+  other.pool_ = nullptr;
+}
+
+PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = other.pool_;
+    index_ = other.index_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PooledBuffer::~PooledBuffer() { release(); }
+
+void* PooledBuffer::data() const {
+  HS_ASSERT(pool_ != nullptr);
+  return pool_->buffers_[index_].data();
+}
+
+std::size_t PooledBuffer::size() const {
+  HS_ASSERT(pool_ != nullptr);
+  return pool_->buffers_[index_].size();
+}
+
+void PooledBuffer::release() {
+  if (pool_ != nullptr) {
+    pool_->give_back(index_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(Device& device, std::size_t count,
+                       std::size_t buffer_bytes)
+    : buffer_bytes_(buffer_bytes) {
+  HS_REQUIRE(count >= 1, "buffer pool needs at least one buffer");
+  buffers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    buffers_.push_back(device.alloc(buffer_bytes));
+    const bool pushed = free_indices_.push(i);
+    HS_ASSERT(pushed);
+  }
+}
+
+PooledBuffer BufferPool::acquire() {
+  auto index = free_indices_.pop();
+  if (!index.has_value()) {
+    throw Error("buffer pool closed while acquiring (pipeline shutdown)");
+  }
+  return PooledBuffer(this, *index);
+}
+
+std::optional<PooledBuffer> BufferPool::try_acquire() {
+  auto index = free_indices_.try_pop();
+  if (!index) return std::nullopt;
+  return PooledBuffer(this, *index);
+}
+
+void BufferPool::close() { free_indices_.close(); }
+
+void BufferPool::give_back(std::size_t index) {
+  // A false return means the pool was closed during shutdown; the buffer
+  // memory is still owned by buffers_ and freed with the pool.
+  (void)free_indices_.push(index);
+}
+
+}  // namespace hs::vgpu

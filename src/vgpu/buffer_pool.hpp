@@ -1,0 +1,82 @@
+// Fixed-size pool of uniform device buffers.
+//
+// Paper SIV-B: "The system allocates a memory pool on the GPU for each
+// pipeline as part of initialization ... only once to avoid any further
+// allocations ... The pool consists of a fixed number of buffers, one per
+// transform. The size of the pool effectively limits the number of images in
+// flight." acquire() blocks when the pool is dry, which is precisely the
+// back-pressure that keeps the pipeline inside device memory.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pipeline/queue.hpp"
+#include "vgpu/device.hpp"
+
+namespace hs::vgpu {
+
+class BufferPool;
+
+/// Handle to a pooled buffer; returns it to the pool on destruction.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(PooledBuffer&& other) noexcept;
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept;
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  ~PooledBuffer();
+
+  bool valid() const { return pool_ != nullptr; }
+  void* data() const;
+  std::size_t size() const;
+
+  template <typename T>
+  T* as() const {
+    return static_cast<T*>(data());
+  }
+
+  void release();
+
+ private:
+  friend class BufferPool;
+  PooledBuffer(BufferPool* pool, std::size_t index)
+      : pool_(pool), index_(index) {}
+
+  BufferPool* pool_ = nullptr;
+  std::size_t index_ = 0;
+};
+
+class BufferPool {
+ public:
+  /// Allocates `count` buffers of `buffer_bytes` each from `device` up
+  /// front (throws OutOfDeviceMemory if they do not fit).
+  BufferPool(Device& device, std::size_t count, std::size_t buffer_bytes);
+
+  /// Blocks until a buffer is free. Contents are stale; callers overwrite.
+  /// Throws hs::Error if the pool is closed while (or before) waiting —
+  /// the cancellation path for pipelines shutting down on error.
+  PooledBuffer acquire();
+
+  /// Non-blocking acquire.
+  std::optional<PooledBuffer> try_acquire();
+
+  /// Wakes every blocked acquire() with an error; releases become no-ops.
+  /// Used by pipeline cancellation hooks. Idempotent.
+  void close();
+
+  std::size_t count() const { return buffers_.size(); }
+  std::size_t buffer_bytes() const { return buffer_bytes_; }
+  std::size_t available() const { return free_indices_.size(); }
+
+ private:
+  friend class PooledBuffer;
+  void give_back(std::size_t index);
+
+  std::size_t buffer_bytes_;
+  std::vector<DeviceBuffer> buffers_;
+  pipe::BoundedQueue<std::size_t> free_indices_;
+};
+
+}  // namespace hs::vgpu

@@ -1,0 +1,194 @@
+#include "vgpu/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define HS_HAVE_SSE2 1
+#else
+#define HS_HAVE_SSE2 0
+#endif
+
+namespace hs::vgpu {
+
+void k_u16_to_complex(const std::uint16_t* src, fft::Complex* dst,
+                      std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    dst[i] = fft::Complex(static_cast<double>(src[i]), 0.0);
+  }
+}
+
+void k_ncc_scalar(const fft::Complex* fi, const fft::Complex* fj,
+                  fft::Complex* out, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double re = fi[i].real() * fj[i].real() + fi[i].imag() * fj[i].imag();
+    const double im = fi[i].imag() * fj[i].real() - fi[i].real() * fj[i].imag();
+    const double mag = std::sqrt(re * re + im * im);
+    if (mag > 0.0) {
+      out[i] = fft::Complex(re / mag, im / mag);
+    } else {
+      out[i] = fft::Complex(0.0, 0.0);
+    }
+  }
+}
+
+MaxAbsResult k_max_abs_scalar(const fft::Complex* data, std::size_t count) {
+  MaxAbsResult best;
+  // Compare on |z|^2 (monotone in |z|) to avoid count sqrt calls; convert
+  // once at the end.
+  double best_sq = -1.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double sq = data[i].real() * data[i].real() +
+                      data[i].imag() * data[i].imag();
+    if (sq > best_sq) {
+      best_sq = sq;
+      best.index = i;
+    }
+  }
+  best.value = std::sqrt(best_sq < 0.0 ? 0.0 : best_sq);
+  return best;
+}
+
+#if HS_HAVE_SSE2
+
+namespace {
+
+/// SSE2 NCC over two complexes per iteration. std::complex<double> is two
+/// contiguous doubles (re, im), so a 16-byte load is one complex;
+/// unpacklo/hi de-interleave two of them into (re0, re1) / (im0, im1)
+/// lanes. Arithmetic per element matches the scalar kernel exactly, so the
+/// results are bit-identical.
+void ncc_sse2(const fft::Complex* fi, const fft::Complex* fj,
+              fft::Complex* out, std::size_t count) {
+  const auto* a = reinterpret_cast<const double*>(fi);
+  const auto* b = reinterpret_cast<const double*>(fj);
+  auto* o = reinterpret_cast<double*>(out);
+  const __m128d zero = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const __m128d a0 = _mm_loadu_pd(a + 2 * i);      // (ar0, ai0)
+    const __m128d a1 = _mm_loadu_pd(a + 2 * i + 2);  // (ar1, ai1)
+    const __m128d b0 = _mm_loadu_pd(b + 2 * i);
+    const __m128d b1 = _mm_loadu_pd(b + 2 * i + 2);
+    const __m128d ar = _mm_unpacklo_pd(a0, a1);
+    const __m128d ai = _mm_unpackhi_pd(a0, a1);
+    const __m128d br = _mm_unpacklo_pd(b0, b1);
+    const __m128d bi = _mm_unpackhi_pd(b0, b1);
+
+    const __m128d re =
+        _mm_add_pd(_mm_mul_pd(ar, br), _mm_mul_pd(ai, bi));
+    const __m128d im =
+        _mm_sub_pd(_mm_mul_pd(ai, br), _mm_mul_pd(ar, bi));
+    const __m128d mag = _mm_sqrt_pd(
+        _mm_add_pd(_mm_mul_pd(re, re), _mm_mul_pd(im, im)));
+    // mask = mag > 0; division by zero yields inf/nan lanes that the mask
+    // zeroes out, matching the scalar guard.
+    const __m128d mask = _mm_cmpgt_pd(mag, zero);
+    const __m128d out_re = _mm_and_pd(mask, _mm_div_pd(re, mag));
+    const __m128d out_im = _mm_and_pd(mask, _mm_div_pd(im, mag));
+    _mm_storeu_pd(o + 2 * i, _mm_unpacklo_pd(out_re, out_im));
+    _mm_storeu_pd(o + 2 * i + 2, _mm_unpackhi_pd(out_re, out_im));
+  }
+  if (i < count) k_ncc_scalar(fi + i, fj + i, out + i, count - i);
+}
+
+/// SSE2 max-|z|^2 reduction. Even indices ride lane 0, odd indices lane 1;
+/// each lane updates only on strictly-greater (keeping its first maximum,
+/// like the scalar loop), and the final cross-lane merge prefers the lower
+/// index on exact ties — bit-identical semantics to the scalar kernel.
+MaxAbsResult max_abs_sse2(const fft::Complex* data, std::size_t count) {
+  const auto* p = reinterpret_cast<const double*>(data);
+  __m128d best_sq = _mm_set1_pd(-1.0);
+  __m128d best_idx = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const __m128d c0 = _mm_loadu_pd(p + 2 * i);
+    const __m128d c1 = _mm_loadu_pd(p + 2 * i + 2);
+    const __m128d re = _mm_unpacklo_pd(c0, c1);
+    const __m128d im = _mm_unpackhi_pd(c0, c1);
+    const __m128d sq = _mm_add_pd(_mm_mul_pd(re, re), _mm_mul_pd(im, im));
+    const __m128d idx = _mm_set_pd(static_cast<double>(i + 1),
+                                   static_cast<double>(i));
+    const __m128d gt = _mm_cmpgt_pd(sq, best_sq);
+    best_sq = _mm_or_pd(_mm_and_pd(gt, sq), _mm_andnot_pd(gt, best_sq));
+    best_idx = _mm_or_pd(_mm_and_pd(gt, idx), _mm_andnot_pd(gt, best_idx));
+  }
+  alignas(16) double sq_lanes[2], idx_lanes[2];
+  _mm_store_pd(sq_lanes, best_sq);
+  _mm_store_pd(idx_lanes, best_idx);
+
+  MaxAbsResult best;
+  double best_value_sq = -1.0;
+  auto consider = [&](double sq, std::size_t index) {
+    if (sq > best_value_sq ||
+        (sq == best_value_sq && index < best.index)) {
+      best_value_sq = sq;
+      best.index = index;
+    }
+  };
+  consider(sq_lanes[0], static_cast<std::size_t>(idx_lanes[0]));
+  consider(sq_lanes[1], static_cast<std::size_t>(idx_lanes[1]));
+  for (; i < count; ++i) {
+    const double sq = data[i].real() * data[i].real() +
+                      data[i].imag() * data[i].imag();
+    if (sq > best_value_sq) {
+      best_value_sq = sq;
+      best.index = i;
+    }
+  }
+  best.value = std::sqrt(best_value_sq < 0.0 ? 0.0 : best_value_sq);
+  return best;
+}
+
+}  // namespace
+
+#endif  // HS_HAVE_SSE2
+
+void k_ncc(const fft::Complex* fi, const fft::Complex* fj, fft::Complex* out,
+           std::size_t count) {
+#if HS_HAVE_SSE2
+  ncc_sse2(fi, fj, out, count);
+#else
+  k_ncc_scalar(fi, fj, out, count);
+#endif
+}
+
+MaxAbsResult k_max_abs(const fft::Complex* data, std::size_t count) {
+#if HS_HAVE_SSE2
+  return max_abs_sse2(data, count);
+#else
+  return k_max_abs_scalar(data, count);
+#endif
+}
+
+std::vector<MaxAbsResult> k_max_abs_topk(const fft::Complex* data,
+                                         std::size_t count, std::size_t k) {
+  k = std::min(k, count);
+  // Single pass maintaining a small sorted list of the k best (k is 1..8 in
+  // practice, so insertion into the array beats a heap).
+  std::vector<double> best_sq(k, -1.0);
+  std::vector<std::size_t> best_idx(k, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double sq = data[i].real() * data[i].real() +
+                      data[i].imag() * data[i].imag();
+    if (sq <= best_sq[k - 1]) continue;
+    std::size_t slot = k - 1;
+    while (slot > 0 && sq > best_sq[slot - 1]) {
+      best_sq[slot] = best_sq[slot - 1];
+      best_idx[slot] = best_idx[slot - 1];
+      --slot;
+    }
+    best_sq[slot] = sq;
+    best_idx[slot] = i;
+  }
+  std::vector<MaxAbsResult> out;
+  out.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    if (best_sq[s] < 0.0) break;  // count < k
+    out.push_back(MaxAbsResult{std::sqrt(best_sq[s]), best_idx[s]});
+  }
+  return out;
+}
+
+}  // namespace hs::vgpu

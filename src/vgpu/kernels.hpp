@@ -1,0 +1,61 @@
+// "CUDA kernels" of the stitching computation, virtual-GPU edition.
+//
+// The paper implements two custom kernels (normalized correlation
+// coefficient, max-abs reduction with index) plus conversion/copy helpers.
+// Here they are plain functions executed by stream workers; their math is
+// shared with the CPU implementations so every backend produces bit-identical
+// displacement tables.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fft/types.hpp"
+
+namespace hs::vgpu {
+
+/// Widens 16-bit tile pixels into the complex working type.
+void k_u16_to_complex(const std::uint16_t* src, fft::Complex* dst,
+                      std::size_t count);
+
+/// Element-wise normalized conjugate multiplication (paper Fig 2, steps
+/// 4-5): out = (fi * conj(fj)) / |fi * conj(fj)|, with zero-magnitude
+/// elements mapped to 0 to keep the surface finite.
+///
+/// On x86-64 this dispatches to a hand-vectorized SSE2 implementation —
+/// the paper: "We explicitly coded the functions for the element-wise
+/// vector multiplication and the max reduction with SSE intrinsics because
+/// the compiler ... was not generating such code." Results are bit-
+/// identical to the scalar reference (same per-element arithmetic).
+void k_ncc(const fft::Complex* fi, const fft::Complex* fj, fft::Complex* out,
+           std::size_t count);
+
+/// Portable scalar reference for k_ncc (testing/benchmark baseline).
+void k_ncc_scalar(const fft::Complex* fi, const fft::Complex* fj,
+                  fft::Complex* out, std::size_t count);
+
+struct MaxAbsResult {
+  double value = 0.0;
+  std::size_t index = 0;
+};
+
+/// Max |z| reduction returning the winning index (paper Fig 2, step 7 "max
+/// in Inverse FFT"); ties resolve to the lowest index so all backends agree.
+/// SSE2-vectorized on x86-64 (see k_ncc); bit-identical to the scalar
+/// reference including tie-breaking.
+MaxAbsResult k_max_abs(const fft::Complex* data, std::size_t count);
+
+/// Portable scalar reference for k_max_abs.
+MaxAbsResult k_max_abs_scalar(const fft::Complex* data, std::size_t count);
+
+/// Top-k |z| values in descending order (ties by ascending index), all
+/// indices distinct. k is clamped to count. Used by the multi-peak
+/// disambiguation extension: the correlation surface's global max can be a
+/// noise spike on low-overlap data, and the true displacement is usually
+/// among the next few peaks (the approach MIST, this system's successor,
+/// adopted).
+std::vector<MaxAbsResult> k_max_abs_topk(const fft::Complex* data,
+                                         std::size_t count, std::size_t k);
+
+}  // namespace hs::vgpu

@@ -1,0 +1,86 @@
+#include "vgpu/stream.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/thread_util.hpp"
+
+namespace hs::vgpu {
+
+Stream::Stream(Device& device, std::string name)
+    : device_(device),
+      name_(std::move(name)),
+      lane_(device.config().trace_prefix + "." + name_),
+      worker_([this] { worker_loop(); }) {}
+
+Stream::~Stream() {
+  commands_.close();
+  worker_.join();
+}
+
+void Stream::worker_loop() {
+  set_current_thread_name(lane_);
+  hs::trace::Recorder* recorder = device_.recorder();
+  while (auto command = commands_.pop()) {
+    if (recorder != nullptr && command->traced) {
+      auto span = recorder->scoped(lane_, std::move(command->label));
+      command->work();
+    } else {
+      command->work();
+    }
+  }
+}
+
+void Stream::enqueue(std::string label, MoveFunction work) {
+  const bool accepted =
+      commands_.push(Command{std::move(label), std::move(work), true});
+  HS_ASSERT_MSG(accepted, "enqueue on destroyed stream");
+}
+
+void Stream::memcpy_h2d(DeviceBuffer& dst, const void* src,
+                        std::size_t bytes) {
+  HS_REQUIRE(bytes <= dst.size(), "h2d copy larger than destination buffer");
+  void* dst_ptr = dst.data();
+  enqueue("memcpy_h2d", [dst_ptr, src, bytes] {
+    std::memcpy(dst_ptr, src, bytes);
+  });
+}
+
+void Stream::memcpy_d2h(void* dst, const DeviceBuffer& src,
+                        std::size_t bytes) {
+  HS_REQUIRE(bytes <= src.size(), "d2h copy larger than source buffer");
+  const void* src_ptr = src.data();
+  enqueue("memcpy_d2h", [dst, src_ptr, bytes] {
+    std::memcpy(dst, src_ptr, bytes);
+  });
+}
+
+void Stream::memcpy_p2p(DeviceBuffer& dst, const DeviceBuffer& src,
+                        std::size_t bytes) {
+  HS_REQUIRE(bytes <= dst.size() && bytes <= src.size(),
+             "p2p copy larger than a participating buffer");
+  void* dst_ptr = dst.data();
+  const void* src_ptr = src.data();
+  enqueue("memcpy_p2p", [dst_ptr, src_ptr, bytes] {
+    std::memcpy(dst_ptr, src_ptr, bytes);
+  });
+}
+
+Event Stream::record_event() {
+  Event event;
+  const bool accepted = commands_.push(
+      Command{"event", [event] { event.signal(); }, /*traced=*/false});
+  HS_ASSERT_MSG(accepted, "record_event on destroyed stream");
+  return event;
+}
+
+void Stream::wait_event(Event event) {
+  const bool accepted = commands_.push(Command{
+      "wait_event", [event = std::move(event)] { event.wait(); },
+      /*traced=*/false});
+  HS_ASSERT_MSG(accepted, "wait_event on destroyed stream");
+}
+
+void Stream::synchronize() { record_event().wait(); }
+
+}  // namespace hs::vgpu

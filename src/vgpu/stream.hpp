@@ -1,0 +1,110 @@
+// Streams and events — the asynchronous execution model of the virtual GPU.
+//
+// A Stream is an in-order command queue with a dedicated worker thread, so
+// commands enqueued on one stream execute sequentially while commands on
+// different streams overlap — exactly the property the Pipelined-GPU design
+// exploits with "one CUDA stream per GPU stage" (paper SIV-B), and exactly
+// what the Simple-GPU baseline forfeits by issuing everything synchronously
+// on one default stream.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/move_function.hpp"
+#include "pipeline/queue.hpp"
+#include "vgpu/device.hpp"
+
+namespace hs::vgpu {
+
+/// One-shot synchronization point, recordable on a stream.
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  bool ready() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->signaled;
+  }
+
+  /// Blocks the caller until the event is signaled.
+  void wait() const {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->signaled; });
+  }
+
+  void signal() const {
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      state_->signaled = true;
+    }
+    state_->cv.notify_all();
+  }
+
+ private:
+  struct State {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    bool signaled = false;
+  };
+  std::shared_ptr<State> state_;
+};
+
+class Stream {
+ public:
+  /// Creates a stream on `device`; `name` labels its trace lane.
+  Stream(Device& device, std::string name);
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueues arbitrary work ("kernel launch"); returns immediately.
+  void enqueue(std::string label, MoveFunction work);
+
+  /// Asynchronous host-to-device copy. The source range must stay valid
+  /// until the copy completes (synchronize or use an event).
+  void memcpy_h2d(DeviceBuffer& dst, const void* src, std::size_t bytes);
+
+  /// Asynchronous device-to-host copy.
+  void memcpy_d2h(void* dst, const DeviceBuffer& src, std::size_t bytes);
+
+  /// Asynchronous peer-to-peer copy between devices (paper SVI-A:
+  /// "extracting performance from such a machine will require peer-to-peer
+  /// copies between the various cards"). The source buffer may live on any
+  /// device and must stay valid until the copy completes.
+  void memcpy_p2p(DeviceBuffer& dst, const DeviceBuffer& src,
+                  std::size_t bytes);
+
+  /// Records an event that signals when all previously enqueued commands
+  /// have completed.
+  Event record_event();
+
+  /// Makes subsequent commands on this stream wait for `event`.
+  void wait_event(Event event);
+
+  /// Blocks the host until every command enqueued so far has completed.
+  void synchronize();
+
+  const std::string& name() const { return name_; }
+  Device& device() { return device_; }
+
+ private:
+  struct Command {
+    std::string label;
+    MoveFunction work;
+    bool traced = true;
+  };
+
+  void worker_loop();
+
+  Device& device_;
+  std::string name_;
+  std::string lane_;
+  pipe::BoundedQueue<Command> commands_;
+  std::thread worker_;
+};
+
+}  // namespace hs::vgpu

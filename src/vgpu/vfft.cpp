@@ -1,0 +1,59 @@
+#include "vgpu/vfft.hpp"
+
+#include "common/error.hpp"
+#include "fft/plan_cache.hpp"
+
+namespace hs::vgpu {
+
+VFftPlan2d::VFftPlan2d(Device& device, std::size_t height, std::size_t width,
+                       fft::Direction dir, fft::Rigor rigor)
+    : device_(&device),
+      plan_(fft::PlanCache::instance().plan_2d(height, width, dir, rigor)) {}
+
+void VFftPlan2d::enqueue(Stream& stream, const DeviceBuffer& in,
+                         DeviceBuffer& out, std::string label) const {
+  HS_REQUIRE(in.size() >= bytes() && out.size() >= bytes(),
+             "FFT buffers smaller than the planned transform");
+  HS_REQUIRE(&stream.device() == device_, "stream belongs to another device");
+  const auto* src = in.as<const fft::Complex>();
+  auto* dst = out.as<fft::Complex>();
+  auto plan = plan_;
+  Device* device = device_;
+  if (device->config().concurrent_fft_kernels) {
+    stream.enqueue(std::move(label), [plan, src, dst] {
+      plan->execute(src, dst);
+    });
+    return;
+  }
+  stream.enqueue(std::move(label), [plan, device, src, dst] {
+    std::lock_guard<std::mutex> lock(device->fft_mutex());
+    plan->execute(src, dst);
+  });
+}
+
+void VFftPlan2d::enqueue_inplace(Stream& stream, DeviceBuffer& data,
+                                 std::string label) const {
+  HS_REQUIRE(data.size() >= bytes(),
+             "FFT buffer smaller than the planned transform");
+  enqueue_inplace_ptr(stream, data.as<fft::Complex>(), std::move(label));
+}
+
+void VFftPlan2d::enqueue_inplace_ptr(Stream& stream, fft::Complex* data,
+                                     std::string label) const {
+  HS_REQUIRE(&stream.device() == device_, "stream belongs to another device");
+  auto plan = plan_;
+  Device* device = device_;
+  if (device->config().concurrent_fft_kernels) {
+    // Kepler/Hyper-Q behaviour: FFT kernels on different streams overlap.
+    stream.enqueue(std::move(label), [plan, data] {
+      plan->execute_inplace(data);
+    });
+    return;
+  }
+  stream.enqueue(std::move(label), [plan, device, data] {
+    std::lock_guard<std::mutex> lock(device->fft_mutex());
+    plan->execute_inplace(data);
+  });
+}
+
+}  // namespace hs::vgpu

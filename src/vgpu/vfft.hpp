@@ -1,0 +1,49 @@
+// cuFFT-analog: FFT plans executing on virtual-GPU streams.
+//
+// Mirrors the paper's cuFFT usage: plans are created per tile size, executed
+// asynchronously on a stream, and — reproducing the Fermi-era cuFFT register
+// pressure restriction the paper calls out — at most one FFT kernel runs on
+// a device at a time (enforced via Device::fft_mutex).
+#pragma once
+
+#include <memory>
+
+#include "fft/plan2d.hpp"
+#include "vgpu/stream.hpp"
+
+namespace hs::vgpu {
+
+class VFftPlan2d {
+ public:
+  /// Plans a height x width transform for `device`.
+  VFftPlan2d(Device& device, std::size_t height, std::size_t width,
+             fft::Direction dir, fft::Rigor rigor = fft::Rigor::kEstimate);
+
+  /// Enqueues an out-of-place transform of `in` into `out` on `stream`.
+  /// Both buffers must hold height*width Complex values and stay alive
+  /// until the stream passes this command.
+  void enqueue(Stream& stream, const DeviceBuffer& in, DeviceBuffer& out,
+               std::string label = "fft2d") const;
+
+  /// Enqueues an in-place transform.
+  void enqueue_inplace(Stream& stream, DeviceBuffer& data,
+                       std::string label = "fft2d") const;
+
+  /// Raw-pointer variant for device memory owned elsewhere (e.g. a pooled
+  /// buffer whose handle lives in a guarded map). The pointer must refer to
+  /// at least count() Complex values of device memory and stay valid until
+  /// the stream passes this command.
+  void enqueue_inplace_ptr(Stream& stream, fft::Complex* data,
+                           std::string label = "fft2d") const;
+
+  std::size_t height() const { return plan_->height(); }
+  std::size_t width() const { return plan_->width(); }
+  std::size_t count() const { return plan_->count(); }
+  std::size_t bytes() const { return count() * sizeof(fft::Complex); }
+
+ private:
+  Device* device_;
+  std::shared_ptr<const fft::Plan2d> plan_;
+};
+
+}  // namespace hs::vgpu

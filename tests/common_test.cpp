@@ -1,0 +1,282 @@
+// Unit tests for the common utility library.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/aligned_buffer.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/move_function.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+
+namespace hs {
+namespace {
+
+// --- AlignedBuffer ---------------------------------------------------------
+
+TEST(AlignedBuffer, AllocatesAlignedMemory) {
+  AlignedBuffer<double> buffer(1000);
+  EXPECT_EQ(buffer.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer.data()) % 64, 0u);
+}
+
+TEST(AlignedBuffer, CustomAlignment) {
+  AlignedBuffer<float> buffer(17, 128);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer.data()) % 128, 0u);
+}
+
+TEST(AlignedBuffer, EmptyBufferIsValid) {
+  AlignedBuffer<int> buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.data(), nullptr);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(10);
+  a[3] = 42;
+  int* ptr = a.data();
+  AlignedBuffer<int> b = std::move(a);
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b[3], 42);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOld) {
+  AlignedBuffer<int> a(10), b(20);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 10u);
+}
+
+TEST(AlignedBuffer, SpanCoversAllElements) {
+  AlignedBuffer<int> a(7);
+  EXPECT_EQ(a.span().size(), 7u);
+}
+
+// --- Rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalHasRoughlyCorrectMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng forked = a.fork();
+  EXPECT_NE(a.next_u64(), forked.next_u64());
+}
+
+// --- CliParser -------------------------------------------------------------
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  CliParser cli("prog", "test");
+  cli.add_flag("rows", "rows", "4");
+  cli.add_flag("cols", "cols", "5");
+  const char* argv[] = {"prog", "--rows=7", "--cols", "9"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_int("rows"), 7);
+  EXPECT_EQ(cli.get_int("cols"), 9);
+}
+
+TEST(Cli, DefaultsSurviveWhenNotGiven) {
+  CliParser cli("prog", "test");
+  cli.add_flag("mode", "mode", "fast");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get("mode"), "fast");
+}
+
+TEST(Cli, SwitchDefaultsFalseAndSets) {
+  CliParser cli("prog", "test");
+  cli.add_switch("verbose", "verbose");
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(cli.parse(2, argv), InvalidArgument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli("prog", "test");
+  cli.add_flag("n", "n", "1");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(cli.parse(2, argv), InvalidArgument);
+}
+
+TEST(Cli, NonIntegerValueThrows) {
+  CliParser cli("prog", "test");
+  cli.add_flag("n", "n", "1");
+  const char* argv[] = {"prog", "--n=abc"};
+  ASSERT_TRUE(cli.parse(3 - 1, argv));
+  EXPECT_THROW(cli.get_int("n"), InvalidArgument);
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "a", "b"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "a");
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, DuplicateFlagDeclarationThrows) {
+  CliParser cli("prog", "test");
+  cli.add_flag("x", "x", "1");
+  EXPECT_THROW(cli.add_flag("x", "again", "2"), InvalidArgument);
+}
+
+// --- TextTable -------------------------------------------------------------
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"name", "time"});
+  table.add_row({"simple", "636 s"});
+  table.add_row({"pipelined", "49.7 s"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("simple"), std::string::npos);
+  EXPECT_NE(out.find("49.7 s"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(TextTable, MarkdownHasSeparatorRow) {
+  TextTable table({"a", "b"});
+  table.add_row({"1", "2"});
+  const std::string md = table.render_markdown();
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+}
+
+TEST(FormatNum, TrimsTrailingZeros) {
+  EXPECT_EQ(format_num(1.50), "1.5");
+  EXPECT_EQ(format_num(2.00), "2");
+  EXPECT_EQ(format_num(0.25, 2), "0.25");
+}
+
+TEST(FormatDuration, MatchesPaperStyle) {
+  EXPECT_EQ(format_duration(49.7), "49.7 s");
+  EXPECT_EQ(format_duration(636.0), "10.6 min");
+  EXPECT_EQ(format_duration(12960.0), "3.6 h");
+}
+
+// --- MoveFunction ----------------------------------------------------------
+
+TEST(MoveFunction, InvokesMoveOnlyCapture) {
+  auto owned = std::make_unique<int>(41);
+  MoveFunction fn = [owned = std::move(owned)]() mutable { ++*owned; };
+  fn();
+}
+
+TEST(MoveFunction, EmptyIsFalsy) {
+  MoveFunction fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(MoveFunction, MoveTransfersCallable) {
+  int hits = 0;
+  MoveFunction a = [&hits] { ++hits; };
+  MoveFunction b = std::move(a);
+  b();
+  EXPECT_EQ(hits, 1);
+  EXPECT_FALSE(static_cast<bool>(a));
+}
+
+// --- Log -------------------------------------------------------------------
+
+TEST(Log, ParseLevelsCaseInsensitive) {
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_THROW(parse_log_level("loud"), InvalidArgument);
+}
+
+TEST(Log, ThresholdFilters) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+// --- Errors ----------------------------------------------------------------
+
+TEST(Error, HierarchyIsCatchable) {
+  EXPECT_THROW(throw IoError("x"), Error);
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw OutOfDeviceMemory("x"), Error);
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    HS_REQUIRE(1 == 2, "numbers disagree");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("numbers disagree"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hs

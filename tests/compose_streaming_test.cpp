@@ -1,0 +1,131 @@
+// Streaming composer tests: band-by-band composition must match the
+// in-memory composer bit for bit in every blend mode, with bounded memory.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "compose/blend.hpp"
+#include "compose/streaming.hpp"
+#include "imgio/pnm.hpp"
+#include "simdata/plate.hpp"
+#include "stitch/validate.hpp"
+
+namespace hs::compose {
+namespace {
+
+struct Fixture {
+  sim::SyntheticGrid grid;
+  std::unique_ptr<stitch::MemoryTileProvider> provider;
+  GlobalPositions positions;
+
+  explicit Fixture(std::uint64_t seed = 5, std::size_t rows = 3,
+                   std::size_t cols = 4) {
+    sim::AcquisitionParams acq;
+    acq.grid_rows = rows;
+    acq.grid_cols = cols;
+    acq.tile_height = 40;
+    acq.tile_width = 56;
+    acq.overlap_fraction = 0.25;
+    acq.seed = seed;
+    grid = sim::make_synthetic_grid(acq);
+    provider =
+        std::make_unique<stitch::MemoryTileProvider>(&grid.tiles, grid.layout);
+    positions = resolve_positions(stitch::table_from_truth(grid),
+                                  Phase2Method::kMaximumSpanningTree);
+  }
+};
+
+class StreamingBlends : public ::testing::TestWithParam<BlendMode> {};
+
+TEST_P(StreamingBlends, MatchesInMemoryComposerExactly) {
+  Fixture fx;
+  const auto reference = compose_mosaic(*fx.provider, fx.positions, GetParam());
+  for (std::size_t band_rows : {1ul, 7ul, 40ul, 64ul, 10000ul}) {
+    StreamingComposer composer(*fx.provider, fx.positions, GetParam(),
+                               band_rows);
+    ASSERT_EQ(composer.height(), reference.height());
+    ASSERT_EQ(composer.width(), reference.width());
+    img::ImageU16 assembled(composer.height(), composer.width(), 12345);
+    std::size_t expected_row = 0;
+    composer.run([&](std::size_t row0, const img::ImageU16& band) {
+      ASSERT_EQ(row0, expected_row);
+      for (std::size_t r = 0; r < band.height(); ++r) {
+        std::copy(band.row(r), band.row(r) + band.width(),
+                  assembled.row(row0 + r));
+      }
+      expected_row += band.height();
+    });
+    ASSERT_EQ(expected_row, reference.height());
+    for (std::size_t i = 0; i < reference.pixel_count(); ++i) {
+      ASSERT_EQ(assembled.data()[i], reference.data()[i])
+          << "band_rows=" << band_rows << " pixel " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, StreamingBlends,
+                         ::testing::Values(BlendMode::kOverlay,
+                                           BlendMode::kFirst,
+                                           BlendMode::kAverage,
+                                           BlendMode::kLinear));
+
+TEST(Streaming, DefaultBandIsTileHeight) {
+  Fixture fx;
+  StreamingComposer composer(*fx.provider, fx.positions, BlendMode::kOverlay);
+  EXPECT_EQ(composer.band_rows(), 40u);
+}
+
+TEST(Streaming, PgmOutputMatchesInMemoryWrite) {
+  Fixture fx(9);
+  const auto reference =
+      compose_mosaic(*fx.provider, fx.positions, BlendMode::kLinear);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("hs_stream_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(dir);
+  const std::string streamed_path = dir + "/streamed.pgm";
+  const std::string memory_path = dir + "/memory.pgm";
+
+  const MosaicStats stats = compose_mosaic_to_pgm(
+      *fx.provider, fx.positions, BlendMode::kLinear, streamed_path, 16);
+  img::write_pgm_u16(memory_path, reference);
+
+  EXPECT_EQ(stats.height, reference.height());
+  EXPECT_EQ(stats.width, reference.width());
+  const auto streamed = img::read_pgm_u16(streamed_path);
+  ASSERT_TRUE(streamed.same_shape(reference));
+  for (std::size_t i = 0; i < reference.pixel_count(); ++i) {
+    ASSERT_EQ(streamed.data()[i], reference.data()[i]);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Streaming, SingleTileGrid) {
+  Fixture fx(11, 1, 1);
+  StreamingComposer composer(*fx.provider, fx.positions, BlendMode::kOverlay);
+  std::size_t bands = 0;
+  composer.run([&](std::size_t, const img::ImageU16& band) {
+    ++bands;
+    EXPECT_EQ(band.width(), 56u);
+  });
+  EXPECT_EQ(bands, 1u);
+}
+
+TEST(Streaming, TinyBandsCoverTallMosaics) {
+  Fixture fx(13, 5, 2);
+  StreamingComposer composer(*fx.provider, fx.positions, BlendMode::kAverage,
+                             3);
+  std::size_t rows_seen = 0;
+  composer.run([&](std::size_t row0, const img::ImageU16& band) {
+    EXPECT_EQ(row0, rows_seen);
+    rows_seen += band.height();
+    EXPECT_LE(band.height(), 3u);
+  });
+  EXPECT_EQ(rows_seen, composer.height());
+}
+
+}  // namespace
+}  // namespace hs::compose

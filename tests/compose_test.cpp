@@ -1,0 +1,268 @@
+// Phase 2 (global positions) and phase 3 (composition) tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "compose/blend.hpp"
+#include "compose/positions.hpp"
+#include "simdata/plate.hpp"
+#include "stitch/stitcher.hpp"
+
+namespace hs::compose {
+namespace {
+
+/// An exact displacement table synthesized directly from ground truth.
+stitch::DisplacementTable exact_table(const sim::SyntheticGrid& grid) {
+  stitch::DisplacementTable table(grid.layout);
+  for (std::size_t r = 0; r < grid.layout.rows; ++r) {
+    for (std::size_t c = 0; c < grid.layout.cols; ++c) {
+      const img::TilePos pos{r, c};
+      const std::size_t i = grid.layout.index_of(pos);
+      if (c > 0) {
+        const auto [dx, dy] =
+            grid.truth.displacement(grid.layout.index_of({r, c - 1}), i);
+        table.west_of(pos) = stitch::Translation{dx, dy, 0.9};
+      }
+      if (r > 0) {
+        const auto [dx, dy] =
+            grid.truth.displacement(grid.layout.index_of({r - 1, c}), i);
+        table.north_of(pos) = stitch::Translation{dx, dy, 0.9};
+      }
+    }
+  }
+  return table;
+}
+
+sim::SyntheticGrid small_grid(std::uint64_t seed = 5) {
+  sim::AcquisitionParams acq;
+  acq.grid_rows = 3;
+  acq.grid_cols = 4;
+  acq.tile_height = 40;
+  acq.tile_width = 56;
+  acq.overlap_fraction = 0.25;
+  acq.seed = seed;
+  return sim::make_synthetic_grid(acq);
+}
+
+class BothMethods : public ::testing::TestWithParam<Phase2Method> {};
+
+TEST_P(BothMethods, ExactTableYieldsExactPositions) {
+  const auto grid = small_grid();
+  const auto table = exact_table(grid);
+  const GlobalPositions positions = resolve_positions(table, GetParam());
+  // Path-invariant input: every method must reproduce the truth up to the
+  // global translation that normalizes the minimum to zero.
+  const std::int64_t off_x = grid.truth.x[0] - positions.x[0];
+  const std::int64_t off_y = grid.truth.y[0] - positions.y[0];
+  for (std::size_t i = 0; i < positions.x.size(); ++i) {
+    EXPECT_EQ(positions.x[i] + off_x, grid.truth.x[i]) << i;
+    EXPECT_EQ(positions.y[i] + off_y, grid.truth.y[i]) << i;
+  }
+  EXPECT_NEAR(consistency_rms(table, positions), 0.0, 1e-9);
+}
+
+TEST_P(BothMethods, PositionsNormalizedToOrigin) {
+  const auto grid = small_grid();
+  const GlobalPositions positions =
+      resolve_positions(exact_table(grid), GetParam());
+  EXPECT_EQ(*std::min_element(positions.x.begin(), positions.x.end()), 0);
+  EXPECT_EQ(*std::min_element(positions.y.begin(), positions.y.end()), 0);
+}
+
+TEST_P(BothMethods, SingleTileGridHandled) {
+  stitch::DisplacementTable table{img::GridLayout{1, 1}};
+  const GlobalPositions positions = resolve_positions(table, GetParam());
+  ASSERT_EQ(positions.x.size(), 1u);
+  EXPECT_EQ(positions.x[0], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, BothMethods,
+                         ::testing::Values(Phase2Method::kMaximumSpanningTree,
+                                           Phase2Method::kLeastSquares));
+
+TEST(Phase2, MstIgnoresOneBadLowCorrelationEdge) {
+  const auto grid = small_grid(9);
+  auto table = exact_table(grid);
+  // Corrupt one edge but mark it low-confidence: the maximum spanning tree
+  // must route around it and still reproduce the truth.
+  table.west_of({1, 1}).x += 500;
+  table.west_of({1, 1}).correlation = 0.01;
+  const GlobalPositions positions =
+      resolve_positions(table, Phase2Method::kMaximumSpanningTree);
+  const std::int64_t off_x = grid.truth.x[0] - positions.x[0];
+  for (std::size_t i = 0; i < positions.x.size(); ++i) {
+    EXPECT_EQ(positions.x[i] + off_x, grid.truth.x[i]);
+  }
+}
+
+TEST(Phase2, LeastSquaresSpreadsNoiseBelowMaxError) {
+  const auto grid = small_grid(10);
+  auto table = exact_table(grid);
+  // Perturb every edge by +/-2 px; the LS solution should keep positions
+  // within a few pixels of truth.
+  Rng rng(3);
+  for (std::size_t i = 0; i < table.west.size(); ++i) {
+    table.west[i].x += rng.uniform_int(-2, 2);
+    table.west[i].y += rng.uniform_int(-2, 2);
+    table.north[i].x += rng.uniform_int(-2, 2);
+    table.north[i].y += rng.uniform_int(-2, 2);
+  }
+  const GlobalPositions positions =
+      resolve_positions(table, Phase2Method::kLeastSquares);
+  const std::int64_t off_x = grid.truth.x[0] - positions.x[0];
+  const std::int64_t off_y = grid.truth.y[0] - positions.y[0];
+  for (std::size_t i = 0; i < positions.x.size(); ++i) {
+    EXPECT_LE(std::abs(positions.x[i] + off_x - grid.truth.x[i]), 4);
+    EXPECT_LE(std::abs(positions.y[i] + off_y - grid.truth.y[i]), 4);
+  }
+}
+
+TEST(Phase2, ConsistencyRmsDetectsPerturbation) {
+  const auto grid = small_grid(11);
+  auto table = exact_table(grid);
+  const GlobalPositions clean =
+      resolve_positions(table, Phase2Method::kLeastSquares);
+  EXPECT_NEAR(consistency_rms(table, clean), 0.0, 1e-9);
+  table.west_of({1, 2}).x += 10;
+  EXPECT_GT(consistency_rms(table, clean), 0.5);
+}
+
+// --- end-to-end: phase 1 -> 2 -> 3 reconstructs the plate ----------------------
+
+TEST(EndToEnd, MosaicMatchesPlateOnCleanData) {
+  sim::PlateParams plate_params;
+  plate_params.height = 300;
+  plate_params.width = 300;
+  const auto plate = sim::generate_plate(plate_params);
+  sim::AcquisitionParams acq;
+  acq.grid_rows = 3;
+  acq.grid_cols = 3;
+  acq.tile_height = 64;
+  acq.tile_width = 64;
+  acq.overlap_fraction = 0.3;
+  acq.camera_noise_sd = 0.0;
+  acq.vignetting = 0.0;
+  // No stage jitter: a perfectly regular grid leaves no uncovered mosaic
+  // pixels, so every pixel can be compared against the plate.
+  acq.stage_jitter_sd = 0.0;
+  acq.stage_jitter_max = 0.0;
+  const auto grid = sim::acquire_grid(plate, acq);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+
+  const auto phase1 = stitch::stitch(stitch::Backend::kSimpleCpu, provider);
+  const auto positions =
+      resolve_positions(phase1.table, Phase2Method::kMaximumSpanningTree);
+  const auto mosaic =
+      compose_mosaic(provider, positions, BlendMode::kOverlay);
+
+  // Every mosaic pixel must equal the corresponding plate pixel (tiles are
+  // exact crops and positions are exact, modulo the global offset).
+  const std::size_t i0 = 0;
+  const std::int64_t off_y = grid.truth.y[i0] - positions.y[i0];
+  const std::int64_t off_x = grid.truth.x[i0] - positions.x[i0];
+  for (std::size_t r = 0; r < mosaic.height(); r += 7) {
+    for (std::size_t c = 0; c < mosaic.width(); c += 7) {
+      const auto pr = static_cast<std::size_t>(static_cast<std::int64_t>(r) + off_y);
+      const auto pc = static_cast<std::size_t>(static_cast<std::int64_t>(c) + off_x);
+      ASSERT_EQ(mosaic.at(r, c), plate.at(pr, pc)) << r << "," << c;
+    }
+  }
+}
+
+class AllBlends : public ::testing::TestWithParam<BlendMode> {};
+
+TEST_P(AllBlends, CleanDataReconstructionIsExact) {
+  // Without noise every tile agrees on the overlap, so every blend mode
+  // must reproduce identical pixels (feathering averages equal values).
+  sim::AcquisitionParams acq;
+  acq.grid_rows = 2;
+  acq.grid_cols = 2;
+  acq.tile_height = 48;
+  acq.tile_width = 48;
+  acq.overlap_fraction = 0.25;
+  acq.camera_noise_sd = 0.0;
+  acq.vignetting = 0.0;
+  const auto grid = sim::make_synthetic_grid(acq);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  const auto table = exact_table(grid);
+  const auto positions =
+      resolve_positions(table, Phase2Method::kMaximumSpanningTree);
+  const auto overlay = compose_mosaic(provider, positions, BlendMode::kOverlay);
+  const auto blended = compose_mosaic(provider, positions, GetParam());
+  ASSERT_TRUE(blended.same_shape(overlay));
+  for (std::size_t i = 0; i < overlay.pixel_count(); ++i) {
+    ASSERT_NEAR(blended.data()[i], overlay.data()[i], 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, AllBlends,
+                         ::testing::Values(BlendMode::kOverlay,
+                                           BlendMode::kFirst,
+                                           BlendMode::kAverage,
+                                           BlendMode::kLinear));
+
+TEST(Mosaic, StatsReportExtent) {
+  const auto grid = small_grid(12);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  const auto positions =
+      resolve_positions(exact_table(grid), Phase2Method::kLeastSquares);
+  MosaicStats stats;
+  const auto mosaic =
+      compose_mosaic(provider, positions, BlendMode::kOverlay, &stats);
+  EXPECT_EQ(stats.height, mosaic.height());
+  EXPECT_EQ(stats.width, mosaic.width());
+  EXPECT_EQ(stats.tiles_composed, 12u);
+  // Extent covers the furthest tile.
+  const auto max_x = *std::max_element(positions.x.begin(), positions.x.end());
+  EXPECT_EQ(stats.width, static_cast<std::size_t>(max_x) + 56);
+}
+
+TEST(Mosaic, HighlightedOutlinesUseDistinctColors) {
+  const auto grid = small_grid(13);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  const auto positions =
+      resolve_positions(exact_table(grid), Phase2Method::kLeastSquares);
+  auto rgb = compose_highlighted(provider, positions, BlendMode::kOverlay);
+  EXPECT_EQ(rgb.height, compose_mosaic(provider, positions,
+                                       BlendMode::kOverlay).height());
+  // Top-left tile's top-left corner must carry an outline color (non-gray).
+  const auto y0 = static_cast<std::size_t>(positions.y[0]);
+  const auto x0 = static_cast<std::size_t>(positions.x[0]);
+  const std::uint8_t* p = rgb.at(y0, x0);
+  EXPECT_FALSE(p[0] == p[1] && p[1] == p[2]);
+}
+
+TEST(Pyramid, HalvesUntilLeafSize) {
+  img::ImageU16 base(256, 512, 100);
+  const auto levels = build_pyramid(base, 64);
+  ASSERT_GE(levels.size(), 4u);
+  EXPECT_EQ(levels[0].width(), 512u);
+  EXPECT_EQ(levels[1].width(), 256u);
+  EXPECT_EQ(levels[1].height(), 128u);
+  EXPECT_LE(levels.back().width(), 64u);
+  EXPECT_LE(levels.back().height(), 64u);
+}
+
+TEST(Pyramid, BoxFilterAveragesQuads) {
+  img::ImageU16 base(2, 2);
+  base.at(0, 0) = 100;
+  base.at(0, 1) = 200;
+  base.at(1, 0) = 300;
+  base.at(1, 1) = 400;
+  const auto levels = build_pyramid(base, 1);
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[1].at(0, 0), 250);
+}
+
+TEST(Pyramid, PreservesConstantImages) {
+  img::ImageU16 base(64, 64, 1234);
+  const auto levels = build_pyramid(base, 8);
+  for (const auto& level : levels) {
+    for (auto p : level.pixels()) ASSERT_EQ(p, 1234);
+  }
+}
+
+}  // namespace
+}  // namespace hs::compose

@@ -1,0 +1,341 @@
+// Image container + TIFF/PNM codecs + grid layout tests.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "imgio/grid.hpp"
+#include "imgio/image.hpp"
+#include "imgio/pnm.hpp"
+#include "imgio/tiff.hpp"
+
+namespace hs::img {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("hs_imgio_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  fs::path path_;
+  static inline int counter_ = 0;
+};
+
+ImageU16 random_image(std::size_t h, std::size_t w, std::uint64_t seed) {
+  Rng rng(seed);
+  ImageU16 out(h, w);
+  for (auto& p : out.pixels()) {
+    p = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+  }
+  return out;
+}
+
+// --- Image container ---------------------------------------------------------
+
+TEST(Image, RowMajorLayout) {
+  ImageU16 image(3, 5);
+  image.at(1, 2) = 42;
+  EXPECT_EQ(image.data()[1 * 5 + 2], 42);
+  EXPECT_EQ(image.row(1)[2], 42);
+}
+
+TEST(Image, FillValueApplied) {
+  ImageU16 image(4, 4, 7);
+  for (auto p : image.pixels()) EXPECT_EQ(p, 7);
+}
+
+TEST(Image, CropExtractsSubrectangle) {
+  ImageU16 image = random_image(10, 12, 1);
+  ImageU16 crop = image.crop(2, 3, 4, 5);
+  ASSERT_EQ(crop.height(), 4u);
+  ASSERT_EQ(crop.width(), 5u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_EQ(crop.at(r, c), image.at(2 + r, 3 + c));
+    }
+  }
+}
+
+TEST(Image, CropOutOfBoundsThrows) {
+  ImageU16 image(4, 4);
+  EXPECT_THROW(image.crop(2, 2, 3, 1), InvalidArgument);
+}
+
+TEST(Image, ConvertClampedSaturates) {
+  ImageF64 image(1, 3);
+  image.at(0, 0) = -5.0;
+  image.at(0, 1) = 300.0;
+  image.at(0, 2) = 128.4;
+  const auto out = image.convert_clamped<std::uint8_t>();
+  EXPECT_EQ(out.at(0, 0), 0);
+  EXPECT_EQ(out.at(0, 1), 255);
+  EXPECT_EQ(out.at(0, 2), 128);
+}
+
+TEST(Image, ToDoubleWidensLosslessly) {
+  ImageU16 image = random_image(5, 7, 2);
+  const auto d = to_double(image);
+  for (std::size_t i = 0; i < image.pixel_count(); ++i) {
+    EXPECT_EQ(d.data()[i], static_cast<double>(image.data()[i]));
+  }
+}
+
+// --- TIFF --------------------------------------------------------------------
+
+TEST(Tiff, RoundTrips16Bit) {
+  TempDir dir;
+  const ImageU16 original = random_image(33, 47, 3);
+  write_tiff_u16(dir.str("a.tif"), original);
+  TiffInfo info;
+  const ImageU16 loaded = read_tiff_u16(dir.str("a.tif"), &info);
+  ASSERT_TRUE(loaded.same_shape(original));
+  EXPECT_EQ(info.bits_per_sample, 16u);
+  EXPECT_FALSE(info.big_endian);
+  for (std::size_t i = 0; i < original.pixel_count(); ++i) {
+    ASSERT_EQ(loaded.data()[i], original.data()[i]) << "pixel " << i;
+  }
+}
+
+TEST(Tiff, RoundTripsAcrossStripSizes) {
+  TempDir dir;
+  const ImageU16 original = random_image(65, 29, 4);
+  for (std::size_t rows_per_strip : {1ul, 7ul, 64ul, 1000ul}) {
+    const std::string path = dir.str("s" + std::to_string(rows_per_strip) + ".tif");
+    write_tiff_u16(path, original, rows_per_strip);
+    const ImageU16 loaded = read_tiff_u16(path);
+    for (std::size_t i = 0; i < original.pixel_count(); ++i) {
+      ASSERT_EQ(loaded.data()[i], original.data()[i]);
+    }
+  }
+}
+
+TEST(Tiff, EightBitWidensTo16) {
+  TempDir dir;
+  ImageU8 original(9, 11);
+  Rng rng(5);
+  for (auto& p : original.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  write_tiff_u8(dir.str("b.tif"), original);
+  TiffInfo info;
+  const ImageU16 loaded = read_tiff_u16(dir.str("b.tif"), &info);
+  EXPECT_EQ(info.bits_per_sample, 8u);
+  for (std::size_t i = 0; i < original.pixel_count(); ++i) {
+    EXPECT_EQ(loaded.data()[i], original.data()[i] * 257);
+  }
+}
+
+TEST(Tiff, ReadsBigEndianFiles) {
+  // Hand-build a tiny 2x2 big-endian 16-bit TIFF.
+  TempDir dir;
+  const std::string path = dir.str("be.tif");
+  std::vector<std::uint8_t> bytes;
+  auto u16be = [&](std::uint16_t v) {
+    bytes.push_back(static_cast<std::uint8_t>(v >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  };
+  auto u32be = [&](std::uint32_t v) {
+    for (int i = 3; i >= 0; --i) {
+      bytes.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  bytes.push_back('M');
+  bytes.push_back('M');
+  u16be(42);
+  u32be(16);  // IFD offset: header(8) + pixels(8)
+  // Pixels (big-endian samples): 1, 2, 3, 4.
+  for (std::uint16_t v : {1, 2, 3, 4}) u16be(v);
+  // IFD: 8 entries.
+  u16be(8);
+  auto entry = [&](std::uint16_t tag, std::uint16_t type, std::uint32_t count,
+                   std::uint32_t value, bool value_is_short) {
+    u16be(tag);
+    u16be(type);
+    u32be(count);
+    if (value_is_short) {
+      u16be(static_cast<std::uint16_t>(value));
+      u16be(0);
+    } else {
+      u32be(value);
+    }
+  };
+  entry(256, 4, 1, 2, false);   // width
+  entry(257, 4, 1, 2, false);   // height
+  entry(258, 3, 1, 16, true);   // bits
+  entry(259, 3, 1, 1, true);    // compression
+  entry(262, 3, 1, 1, true);    // photometric
+  entry(273, 4, 1, 8, false);   // strip offset
+  entry(278, 4, 1, 2, false);   // rows per strip
+  entry(279, 4, 1, 8, false);   // strip byte count
+  u32be(0);
+  std::ofstream(path, std::ios::binary)
+      .write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+
+  TiffInfo info;
+  const ImageU16 loaded = read_tiff_u16(path, &info);
+  EXPECT_TRUE(info.big_endian);
+  ASSERT_EQ(loaded.height(), 2u);
+  ASSERT_EQ(loaded.width(), 2u);
+  EXPECT_EQ(loaded.at(0, 0), 1);
+  EXPECT_EQ(loaded.at(0, 1), 2);
+  EXPECT_EQ(loaded.at(1, 0), 3);
+  EXPECT_EQ(loaded.at(1, 1), 4);
+}
+
+TEST(Tiff, RejectsMissingFile) {
+  EXPECT_THROW(read_tiff_u16("/nonexistent/path/x.tif"), IoError);
+}
+
+TEST(Tiff, RejectsGarbage) {
+  TempDir dir;
+  std::ofstream(dir.str("junk.tif"), std::ios::binary) << "not a tiff at all";
+  EXPECT_THROW(read_tiff_u16(dir.str("junk.tif")), IoError);
+}
+
+TEST(Tiff, RejectsTruncatedPixelData) {
+  TempDir dir;
+  const ImageU16 original = random_image(16, 16, 6);
+  write_tiff_u16(dir.str("t.tif"), original, 1000);
+  // Truncate mid-pixel-data.
+  const auto size = fs::file_size(dir.str("t.tif"));
+  fs::resize_file(dir.str("t.tif"), size / 2);
+  EXPECT_THROW(read_tiff_u16(dir.str("t.tif")), IoError);
+}
+
+// --- PNM ---------------------------------------------------------------------
+
+TEST(Pgm, RoundTrips16Bit) {
+  TempDir dir;
+  const ImageU16 original = random_image(21, 17, 7);
+  write_pgm_u16(dir.str("a.pgm"), original);
+  const ImageU16 loaded = read_pgm_u16(dir.str("a.pgm"));
+  ASSERT_TRUE(loaded.same_shape(original));
+  for (std::size_t i = 0; i < original.pixel_count(); ++i) {
+    ASSERT_EQ(loaded.data()[i], original.data()[i]);
+  }
+}
+
+TEST(Pgm, ReadsCommentsInHeader) {
+  TempDir dir;
+  const std::string path = dir.str("c.pgm");
+  std::ofstream file(path, std::ios::binary);
+  file << "P5\n# a comment\n2 1\n255\n";
+  file.put(static_cast<char>(10));
+  file.put(static_cast<char>(200));
+  file.close();
+  const ImageU16 loaded = read_pgm_u16(path);
+  EXPECT_EQ(loaded.at(0, 0), 10);
+  EXPECT_EQ(loaded.at(0, 1), 200);
+}
+
+TEST(Pgm, RejectsNonPgm) {
+  TempDir dir;
+  std::ofstream(dir.str("x.pgm"), std::ios::binary) << "P6 1 1 255 xxx";
+  EXPECT_THROW(read_pgm_u16(dir.str("x.pgm")), IoError);
+}
+
+TEST(Ppm, WritesExpectedSize) {
+  TempDir dir;
+  RgbImage image(4, 6);
+  image.set(2, 3, {255, 0, 0});
+  write_ppm(dir.str("a.ppm"), image);
+  // Header "P6\n6 4\n255\n" = 11 bytes + 72 pixel bytes.
+  EXPECT_EQ(fs::file_size(dir.str("a.ppm")), 11u + 4 * 6 * 3);
+}
+
+// --- grid layout -------------------------------------------------------------
+
+TEST(GridLayout, IndexRoundTrip) {
+  GridLayout layout{4, 7};
+  for (std::size_t i = 0; i < layout.tile_count(); ++i) {
+    EXPECT_EQ(layout.index_of(layout.pos_of(i)), i);
+  }
+}
+
+TEST(GridLayout, NeighborPredicates) {
+  GridLayout layout{3, 3};
+  EXPECT_FALSE(layout.has_west(TilePos{0, 0}));
+  EXPECT_FALSE(layout.has_north(TilePos{0, 0}));
+  EXPECT_TRUE(layout.has_east(TilePos{0, 0}));
+  EXPECT_TRUE(layout.has_south(TilePos{0, 0}));
+  EXPECT_FALSE(layout.has_east(TilePos{2, 2}));
+  EXPECT_FALSE(layout.has_south(TilePos{2, 2}));
+}
+
+TEST(GridLayout, PairCountMatchesPaperFormula) {
+  // Table I: 2nm - n - m adjacent pairs.
+  EXPECT_EQ((GridLayout{42, 59}).pair_count(), 2u * 42 * 59 - 42 - 59);
+  EXPECT_EQ((GridLayout{1, 1}).pair_count(), 0u);
+  EXPECT_EQ((GridLayout{1, 5}).pair_count(), 4u);
+  EXPECT_EQ((GridLayout{5, 1}).pair_count(), 4u);
+}
+
+TEST(Pattern, ExpandsFieldsAndPadding) {
+  EXPECT_EQ(expand_pattern("t_r{r}_c{c}.tif", TilePos{4, 17}, 99),
+            "t_r4_c17.tif");
+  EXPECT_EQ(expand_pattern("img_{i:5}.tif", TilePos{0, 0}, 42),
+            "img_00042.tif");
+  EXPECT_EQ(expand_pattern("r{r:2}c{c:2}.pgm", TilePos{3, 11}, 0),
+            "r03c11.pgm");
+}
+
+TEST(Pattern, RejectsUnknownField) {
+  EXPECT_THROW(expand_pattern("{z}.tif", TilePos{0, 0}, 0), InvalidArgument);
+}
+
+TEST(Pattern, RejectsUnterminatedBrace) {
+  EXPECT_THROW(expand_pattern("tile_{r.tif", TilePos{0, 0}, 0),
+               InvalidArgument);
+}
+
+TEST(Dataset, LoadsTilesByPattern) {
+  TempDir dir;
+  const ImageU16 a = random_image(8, 8, 10);
+  const ImageU16 b = random_image(8, 8, 11);
+  write_tiff_u16(dir.str("tile_r0_c0.tif"), a);
+  write_tiff_u16(dir.str("tile_r0_c1.tif"), b);
+  TileGridDataset dataset(dir.str(""), "tile_r{r}_c{c}.tif", GridLayout{1, 2});
+  EXPECT_TRUE(dataset.missing_tiles().empty());
+  const ImageU16 loaded = dataset.load(TilePos{0, 1});
+  EXPECT_EQ(loaded.at(3, 3), b.at(3, 3));
+}
+
+TEST(Dataset, ReportsMissingTiles) {
+  TempDir dir;
+  write_tiff_u16(dir.str("tile_r0_c0.tif"), random_image(4, 4, 12));
+  TileGridDataset dataset(dir.str(""), "tile_r{r}_c{c}.tif", GridLayout{1, 3});
+  const auto missing = dataset.missing_tiles();
+  ASSERT_EQ(missing.size(), 2u);
+  EXPECT_NE(missing[0].find("tile_r0_c1.tif"), std::string::npos);
+}
+
+TEST(Dataset, PgmExtensionUsesPgmCodec) {
+  TempDir dir;
+  const ImageU16 a = random_image(6, 6, 13);
+  write_pgm_u16(dir.str("t_0.pgm"), a);
+  TileGridDataset dataset(dir.str(""), "t_{i}.pgm", GridLayout{1, 1});
+  const ImageU16 loaded = dataset.load(TilePos{0, 0});
+  EXPECT_EQ(loaded.at(5, 5), a.at(5, 5));
+}
+
+}  // namespace
+}  // namespace hs::img

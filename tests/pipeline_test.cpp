@@ -1,0 +1,244 @@
+// Pipeline framework tests: queue semantics, stage wiring, shutdown,
+// exception propagation, and a stress run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "pipeline/pipeline.hpp"
+#include "pipeline/queue.hpp"
+
+namespace hs::pipe {
+namespace {
+
+// --- BoundedQueue ------------------------------------------------------------
+
+TEST(Queue, FifoOrder) {
+  BoundedQueue<int> queue;
+  queue.push(1);
+  queue.push(2);
+  queue.push(3);
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_EQ(queue.pop().value(), 3);
+}
+
+TEST(Queue, PopDrainsAfterClose) {
+  BoundedQueue<int> queue;
+  queue.push(7);
+  queue.close();
+  EXPECT_EQ(queue.pop().value(), 7);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(Queue, PushAfterCloseFails) {
+  BoundedQueue<int> queue;
+  queue.close();
+  EXPECT_FALSE(queue.push(1));
+  EXPECT_FALSE(queue.try_push(1));
+}
+
+TEST(Queue, TryPopOnEmptyReturnsNothing) {
+  BoundedQueue<int> queue;
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(Queue, TryPushRespectsCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(Queue, BlockedPushWakesOnPop) {
+  BoundedQueue<int> queue(1);
+  queue.push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    queue.push(2);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+TEST(Queue, BlockedPopWakesOnClose) {
+  BoundedQueue<int> queue;
+  std::thread consumer([&] { EXPECT_FALSE(queue.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  consumer.join();
+}
+
+TEST(Queue, BlockedPushWakesOnClose) {
+  BoundedQueue<int> queue(1);
+  queue.push(1);
+  std::thread producer([&] { EXPECT_FALSE(queue.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  producer.join();
+}
+
+TEST(Queue, ZeroCapacityRejected) {
+  EXPECT_THROW(BoundedQueue<int>(0), InvalidArgument);
+}
+
+TEST(Queue, MoveOnlyItemsFlowThrough) {
+  BoundedQueue<std::unique_ptr<int>> queue;
+  queue.push(std::make_unique<int>(5));
+  auto item = queue.pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 5);
+}
+
+TEST(Queue, ManyProducersManyConsumersDeliverEverything) {
+  BoundedQueue<int> queue(16);
+  constexpr int kProducers = 4, kPerProducer = 500, kConsumers = 3;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::mutex seen_mutex;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        seen.insert(*item);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+// --- Pipeline ----------------------------------------------------------------
+
+TEST(Pipeline, SourceTransformSinkDeliversAll) {
+  BoundedQueue<int> q1(8);
+  BoundedQueue<int> q2(8);
+  Pipeline pipeline;
+  std::atomic<int> next{0};
+  add_source<int>(pipeline, "source", 1, q1, [&](auto emit) {
+    for (int i = 0; i < 100; ++i) emit(i);
+  });
+  add_transform<int, int>(pipeline, "double", 2, q1, q2,
+                          [](int v, auto emit) { emit(2 * v); });
+  std::atomic<long> sum{0};
+  add_sink<int>(pipeline, "sink", 2, q2, [&](int v) { sum += v; });
+  pipeline.run();
+  EXPECT_EQ(sum.load(), 2 * (99 * 100 / 2));
+  (void)next;
+}
+
+TEST(Pipeline, TransformCanEmitZeroOrMany) {
+  BoundedQueue<int> q1, q2;
+  Pipeline pipeline;
+  add_source<int>(pipeline, "source", 1, q1, [](auto emit) {
+    for (int i = 0; i < 10; ++i) emit(i);
+  });
+  add_transform<int, int>(pipeline, "fan", 1, q1, q2, [](int v, auto emit) {
+    for (int k = 0; k < v % 3; ++k) emit(v);
+  });
+  std::atomic<int> count{0};
+  add_sink<int>(pipeline, "sink", 1, q2, [&](int) { ++count; });
+  pipeline.run();
+  // values 0..9: emit (v % 3) copies -> 0+1+2 repeated: 0,1,2,0,1,2,0,1,2,0
+  EXPECT_EQ(count.load(), 9);
+}
+
+TEST(Pipeline, MultiThreadSourcePartitionsWork) {
+  BoundedQueue<int> q1;
+  Pipeline pipeline;
+  std::atomic<int> cursor{0};
+  add_source<int>(pipeline, "source", 4, q1, [&](auto emit) {
+    for (;;) {
+      const int i = cursor.fetch_add(1);
+      if (i >= 1000) return;
+      emit(i);
+    }
+  });
+  std::mutex mutex;
+  std::set<int> seen;
+  add_sink<int>(pipeline, "sink", 1, q1, [&](int v) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(v);
+  });
+  pipeline.run();
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Pipeline, ExceptionPropagatesAndUnblocksStages) {
+  BoundedQueue<int> q1(2);
+  Pipeline pipeline;
+  add_source<int>(pipeline, "source", 1, q1, [](auto emit) {
+    for (int i = 0; i < 10000; ++i) emit(i);  // would block w/o cancel
+  });
+  add_sink<int>(pipeline, "sink", 1, q1, [](int v) {
+    if (v == 3) throw std::runtime_error("boom at 3");
+  });
+  EXPECT_THROW(pipeline.run(), std::runtime_error);
+  EXPECT_TRUE(pipeline.cancelled());
+}
+
+TEST(Pipeline, RunTwiceRejected) {
+  Pipeline pipeline;
+  pipeline.add_stage("noop", 1, [] {});
+  pipeline.run();
+  EXPECT_THROW(pipeline.run(), hs::InvalidArgument);
+}
+
+TEST(Pipeline, StageDoneHookRunsOnceAfterAllThreads) {
+  Pipeline pipeline;
+  std::atomic<int> alive{0}, done_calls{0}, max_alive_at_done{-1};
+  pipeline.add_stage(
+      "stage", 4,
+      [&] {
+        ++alive;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        --alive;
+      },
+      [&] {
+        ++done_calls;
+        max_alive_at_done = alive.load();
+      });
+  pipeline.run();
+  EXPECT_EQ(done_calls.load(), 1);
+  EXPECT_EQ(max_alive_at_done.load(), 0);
+}
+
+TEST(Pipeline, ZeroThreadStageRejected) {
+  Pipeline pipeline;
+  EXPECT_THROW(pipeline.add_stage("bad", 0, [] {}), hs::InvalidArgument);
+}
+
+TEST(Pipeline, StressPipelineWithBackpressure) {
+  BoundedQueue<int> q1(4), q2(4);
+  Pipeline pipeline;
+  add_source<int>(pipeline, "source", 2, q1, [](auto emit) {
+    for (int i = 0; i < 2000; ++i) emit(1);
+  });
+  add_transform<int, int>(pipeline, "work", 3, q1, q2,
+                          [](int v, auto emit) { emit(v + 1); });
+  std::atomic<long> total{0};
+  add_sink<int>(pipeline, "sink", 2, q2, [&](int v) { total += v; });
+  pipeline.run();
+  EXPECT_EQ(total.load(), 2 * 2000 * 2);
+}
+
+}  // namespace
+}  // namespace hs::pipe

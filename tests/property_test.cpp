@@ -1,0 +1,255 @@
+// Cross-module property tests: identities that must hold for whole
+// parameter families rather than single examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "fft/plan1d.hpp"
+#include "fft/plan2d.hpp"
+#include "sched/des.hpp"
+#include "simdata/plate.hpp"
+#include "stitch/ccf.hpp"
+#include "stitch/pciam.hpp"
+#include "fft/plan_cache.hpp"
+
+namespace hs {
+namespace {
+
+// --- FFT identities -----------------------------------------------------------
+
+class FftIdentities : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftIdentities, DcBinEqualsSum) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<fft::Complex> x(n);
+  fft::Complex sum(0.0, 0.0);
+  for (auto& v : x) {
+    v = fft::Complex(rng.next_double(), rng.next_double());
+    sum += v;
+  }
+  fft::Plan1d plan(n, fft::Direction::kForward);
+  std::vector<fft::Complex> spec(n);
+  plan.execute(x.data(), spec.data());
+  EXPECT_LT(std::abs(spec[0] - sum), 1e-9 * static_cast<double>(n) + 1e-12);
+}
+
+TEST_P(FftIdentities, RealInputHasConjugateSymmetricSpectrum) {
+  const std::size_t n = GetParam();
+  Rng rng(2 * n + 1);
+  std::vector<fft::Complex> x(n);
+  for (auto& v : x) v = fft::Complex(rng.next_double(), 0.0);
+  fft::Plan1d plan(n, fft::Direction::kForward);
+  std::vector<fft::Complex> spec(n);
+  plan.execute(x.data(), spec.data());
+  for (std::size_t k = 1; k < n; ++k) {
+    EXPECT_LT(std::abs(spec[k] - std::conj(spec[n - k])), 1e-8) << k;
+  }
+}
+
+TEST_P(FftIdentities, SingleToneLandsInOneBin) {
+  const std::size_t n = GetParam();
+  if (n < 4) GTEST_SKIP();
+  const std::size_t tone = n / 3;
+  std::vector<fft::Complex> x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double phase = 2.0 * 3.14159265358979323846 *
+                         static_cast<double>(tone * j) /
+                         static_cast<double>(n);
+    x[j] = fft::Complex(std::cos(phase), std::sin(phase));
+  }
+  fft::Plan1d plan(n, fft::Direction::kForward);
+  std::vector<fft::Complex> spec(n);
+  plan.execute(x.data(), spec.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = k == tone ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(spec[k]), expected, 1e-7 * static_cast<double>(n))
+        << "k=" << k;
+  }
+}
+
+TEST_P(FftIdentities, TimeReversalConjugatesSpectrum) {
+  // x'(j) = x((n-j) mod n)  =>  X'(k) = X(n-k); for forward transforms of
+  // real signals this is conj(X(k)). Use the general complex identity.
+  const std::size_t n = GetParam();
+  Rng rng(3 * n + 7);
+  std::vector<fft::Complex> x(n), reversed(n);
+  for (auto& v : x) v = fft::Complex(rng.next_double(), rng.next_double());
+  for (std::size_t j = 0; j < n; ++j) reversed[j] = x[(n - j) % n];
+  fft::Plan1d plan(n, fft::Direction::kForward);
+  std::vector<fft::Complex> fx(n), fr(n);
+  plan.execute(x.data(), fx.data());
+  plan.execute(reversed.data(), fr.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_LT(std::abs(fr[k] - fx[(n - k) % n]), 1e-8) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftIdentities,
+                         ::testing::Values(4, 5, 8, 12, 29, 36, 64, 97, 120,
+                                           174, 256));
+
+// --- CCF symmetry ---------------------------------------------------------------
+
+TEST(CcfProperty, SymmetricUnderRoleSwap) {
+  // ccf(a, b, dx, dy) == ccf(b, a, -dx, -dy): the overlap region is the
+  // same set of pixel pairs either way.
+  Rng rng(4);
+  img::ImageU16 a(24, 30), b(24, 30);
+  for (auto& p : a.pixels()) p = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+  for (auto& p : b.pixels()) p = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+  for (const auto [dx, dy] : {std::pair<int, int>{5, 3},
+                              {0, 0},
+                              {-7, 2},
+                              {12, -9},
+                              {-4, -4}}) {
+    EXPECT_NEAR(stitch::ccf(a, b, dx, dy), stitch::ccf(b, a, -dx, -dy), 1e-12)
+        << dx << "," << dy;
+  }
+}
+
+TEST(CcfProperty, InvariantUnderAffineIntensityChange) {
+  // Pearson correlation is invariant under positive affine rescaling of
+  // either image (gain/offset changes between tiles do not affect it).
+  Rng rng(5);
+  img::ImageU16 a(16, 16), b(16, 16), b_scaled(16, 16);
+  for (std::size_t i = 0; i < a.pixel_count(); ++i) {
+    a.data()[i] = static_cast<std::uint16_t>(rng.uniform_int(0, 2000));
+    b.data()[i] = static_cast<std::uint16_t>(rng.uniform_int(0, 2000));
+    b_scaled.data()[i] = static_cast<std::uint16_t>(3 * b.data()[i] + 500);
+  }
+  EXPECT_NEAR(stitch::ccf(a, b, 3, 2), stitch::ccf(a, b_scaled, 3, 2), 1e-9);
+}
+
+// --- PCIAM under workload sweeps ---------------------------------------------------
+
+struct SweepCase {
+  double overlap;
+  double noise_sd;
+};
+
+class PciamWorkloadSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PciamWorkloadSweep, RecoversTruthAcrossRegimes) {
+  const auto [overlap, noise_sd] = GetParam();
+  sim::AcquisitionParams acq;
+  acq.grid_rows = 2;
+  acq.grid_cols = 3;
+  acq.tile_height = 64;
+  acq.tile_width = 80;
+  acq.overlap_fraction = overlap;
+  acq.camera_noise_sd = noise_sd;
+  acq.stage_jitter_sd = 2.0;
+  acq.stage_jitter_max = 5.0;
+  acq.seed = 17;
+  const auto grid = sim::make_synthetic_grid(acq);
+
+  auto fwd = fft::PlanCache::instance().plan_2d(64, 80,
+                                                fft::Direction::kForward);
+  auto inv = fft::PlanCache::instance().plan_2d(64, 80,
+                                                fft::Direction::kInverse);
+  stitch::PciamScratch scratch;
+  std::size_t exact = 0, total = 0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 1; c < 3; ++c) {
+      const auto a = grid.tile({r, c - 1});
+      const auto b = grid.tile({r, c});
+      const auto t = stitch::pciam_full(a, b, *fwd, *inv, scratch, nullptr);
+      const auto [dx, dy] = grid.truth.displacement(
+          grid.layout.index_of({r, c - 1}), grid.layout.index_of({r, c}));
+      ++total;
+      if (t.x == dx && t.y == dy) ++exact;
+    }
+  }
+  EXPECT_EQ(exact, total) << "overlap=" << overlap << " noise=" << noise_sd;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, PciamWorkloadSweep,
+    ::testing::Values(SweepCase{0.30, 0.0}, SweepCase{0.30, 200.0},
+                      SweepCase{0.20, 100.0}, SweepCase{0.15, 50.0},
+                      SweepCase{0.40, 400.0}));
+
+// --- DES scheduling bounds ----------------------------------------------------------
+
+TEST(DesProperty, MakespanAtLeastCriticalPathAndWorkBound) {
+  // Random-ish layered DAGs: the makespan can never beat either classical
+  // lower bound (longest dependency chain; total work / slot count).
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    sched::Simulator sim;
+    const std::size_t slots = 1 + seed % 4;
+    const auto res = sim.add_resource("r", slots);
+    std::vector<sched::TaskId> previous_layer;
+    double total_work = 0.0;
+    double critical_path = 0.0;
+    std::vector<sched::TaskId> all;
+    std::vector<double> task_longest;
+    for (int layer = 0; layer < 4; ++layer) {
+      std::vector<sched::TaskId> current;
+      for (int i = 0; i < 8; ++i) {
+        const double duration = rng.uniform(0.1, 2.0);
+        total_work += duration;
+        std::vector<sched::TaskId> deps;
+        double start_bound = 0.0;
+        if (!previous_layer.empty()) {
+          for (int d = 0; d < 2; ++d) {
+            const auto pick = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(previous_layer.size()) - 1));
+            deps.push_back(previous_layer[pick]);
+            start_bound = std::max(start_bound, task_longest[deps.back()]);
+          }
+        }
+        const auto id = sim.add_task("t", res, duration, deps);
+        all.push_back(id);
+        task_longest.resize(all.size() + 16, 0.0);
+        task_longest[id] = start_bound + duration;
+        critical_path = std::max(critical_path, task_longest[id]);
+        current.push_back(id);
+      }
+      previous_layer = current;
+    }
+    const double makespan = sim.run();
+    EXPECT_GE(makespan + 1e-9, critical_path) << "seed=" << seed;
+    EXPECT_GE(makespan + 1e-9, total_work / static_cast<double>(slots))
+        << "seed=" << seed;
+  }
+}
+
+TEST(DesProperty, AddingDependenciesNeverSpeedsUp) {
+  auto build = [](bool chained) {
+    sched::Simulator sim;
+    const auto res = sim.add_resource("r", 2);
+    sched::TaskId prev = 0;
+    for (int i = 0; i < 10; ++i) {
+      std::vector<sched::TaskId> deps;
+      if (chained && i > 0) deps.push_back(prev);
+      prev = sim.add_task("t", res, 1.0, deps);
+    }
+    return sim.run();
+  };
+  EXPECT_GE(build(true), build(false));
+}
+
+TEST(DesProperty, MoreSlotsNeverSlower) {
+  auto makespan_with = [](std::size_t slots) {
+    sched::Simulator sim;
+    const auto res = sim.add_resource("r", slots);
+    Rng rng(9);
+    for (int i = 0; i < 40; ++i) {
+      sim.add_task("t", res, rng.uniform(0.1, 1.0));
+    }
+    return sim.run();
+  };
+  double previous = makespan_with(1);
+  for (std::size_t slots = 2; slots <= 8; ++slots) {
+    const double current = makespan_with(slots);
+    EXPECT_LE(current, previous + 1e-9) << slots;
+    previous = current;
+  }
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,215 @@
+// Robustness and failure-injection tests.
+//
+// A long-running acquisition system meets broken files, failing disks, and
+// mid-run errors; every backend must propagate such failures as exceptions
+// (never hang a pipeline or corrupt state), and the codecs must reject
+// malformed bytes with IoError rather than crash.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "imgio/tiff.hpp"
+#include "simdata/plate.hpp"
+#include "stitch/stitcher.hpp"
+
+namespace hs {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- failure-injecting tile provider ------------------------------------------
+
+/// Serves a synthetic grid but throws on one designated tile, optionally
+/// only after it was served `fail_after` times (exercises mid-pipeline
+/// failure while other stages are in flight).
+class FailingProvider final : public stitch::TileProvider {
+ public:
+  FailingProvider(const sim::SyntheticGrid& grid, img::TilePos poison)
+      : grid_(grid), poison_(poison) {}
+
+  img::GridLayout layout() const override { return grid_.layout; }
+  std::size_t tile_height() const override { return grid_.tile_height; }
+  std::size_t tile_width() const override { return grid_.tile_width; }
+
+  img::ImageU16 load(img::TilePos pos) const override {
+    loads_.fetch_add(1, std::memory_order_relaxed);
+    if (pos == poison_) {
+      throw IoError("injected read failure at tile (" +
+                    std::to_string(pos.row) + "," + std::to_string(pos.col) +
+                    ")");
+    }
+    return grid_.tile(pos);
+  }
+
+  std::size_t loads() const { return loads_.load(std::memory_order_relaxed); }
+
+ private:
+  const sim::SyntheticGrid& grid_;
+  img::TilePos poison_;
+  mutable std::atomic<std::size_t> loads_{0};
+};
+
+sim::SyntheticGrid small_grid(std::uint64_t seed = 3) {
+  sim::AcquisitionParams acq;
+  acq.grid_rows = 3;
+  acq.grid_cols = 4;
+  acq.tile_height = 32;
+  acq.tile_width = 48;
+  acq.overlap_fraction = 0.25;
+  acq.seed = seed;
+  return sim::make_synthetic_grid(acq);
+}
+
+class FailurePropagation : public ::testing::TestWithParam<stitch::Backend> {};
+
+TEST_P(FailurePropagation, ReadFailureSurfacesAsException) {
+  const auto grid = small_grid();
+  FailingProvider provider(grid, img::TilePos{1, 2});
+  stitch::StitchOptions options;
+  options.threads = 3;
+  options.ccf_threads = 2;
+  options.gpu_count = 2;
+  options.gpu_memory_bytes = 64ull << 20;
+  // Must throw — and, critically, must not hang any pipeline stage.
+  EXPECT_THROW(stitch::stitch(GetParam(), provider, options), IoError);
+}
+
+TEST_P(FailurePropagation, FirstTileFailureAlsoClean) {
+  const auto grid = small_grid(4);
+  FailingProvider provider(grid, img::TilePos{0, 0});
+  EXPECT_THROW(stitch::stitch(GetParam(), provider, {}), IoError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FailurePropagation,
+                         ::testing::ValuesIn(stitch::kAllBackends),
+                         [](const auto& info) {
+                           std::string name =
+                               stitch::backend_name(info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+TEST(FailurePropagation, P2pModeAlsoUnwindsCleanly) {
+  const auto grid = small_grid(5);
+  FailingProvider provider(grid, img::TilePos{2, 1});
+  stitch::StitchOptions options;
+  options.gpu_count = 3;
+  options.use_p2p = true;
+  options.gpu_memory_bytes = 64ull << 20;
+  EXPECT_THROW(stitch::stitch(stitch::Backend::kPipelinedGpu, provider,
+                              options),
+               IoError);
+}
+
+TEST(FailurePropagation, SucceedingRunAfterFailedRun) {
+  // State must not leak across runs: a failure followed by a clean run on
+  // the same process-wide plan cache succeeds.
+  const auto grid = small_grid(6);
+  FailingProvider failing(grid, img::TilePos{1, 1});
+  EXPECT_THROW(
+      stitch::stitch(stitch::Backend::kPipelinedCpu, failing, {}), IoError);
+  stitch::MemoryTileProvider healthy(&grid.tiles, grid.layout);
+  const auto result =
+      stitch::stitch(stitch::Backend::kPipelinedCpu, healthy, {});
+  EXPECT_EQ(result.ops.forward_ffts, grid.layout.tile_count());
+}
+
+// --- TIFF header fuzzing ----------------------------------------------------------
+
+class TiffCorruption : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static std::string path() {
+    return (fs::temp_directory_path() /
+            ("hs_fuzz_" + std::to_string(::getpid()) + ".tif"))
+        .string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove(path(), ec);
+  }
+};
+
+TEST_P(TiffCorruption, CorruptedByteNeverCrashes) {
+  // Write a healthy file, then smash one byte at the parameterized offset
+  // with several values. Reads must either succeed (the byte was slack) or
+  // throw IoError/InvalidArgument — never crash or hang.
+  img::ImageU16 image(9, 7);
+  Rng rng(GetParam());
+  for (auto& p : image.pixels()) {
+    p = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+  }
+  img::write_tiff_u16(path(), image, 4);
+
+  std::ifstream in(path(), std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t offset = GetParam() % bytes.size();
+  for (const unsigned char value : {0x00, 0xFF, 0x7F, 0x42}) {
+    std::vector<char> corrupted = bytes;
+    corrupted[offset] = static_cast<char>(value);
+    std::ofstream out(path(), std::ios::binary | std::ios::trunc);
+    out.write(corrupted.data(), static_cast<std::streamsize>(corrupted.size()));
+    out.close();
+    try {
+      (void)img::read_tiff_u16(path());
+    } catch (const Error&) {
+      // Rejection is the expected outcome for structural bytes.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HeaderAndIfdOffsets, TiffCorruption,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8, 64, 126,
+                                           127, 128, 129, 130, 140, 150, 170,
+                                           190, 210, 230, 250));
+
+TEST(TiffTruncation, EveryPrefixRejectedOrParsed) {
+  img::ImageU16 image(5, 5, 1000);
+  const std::string path =
+      (fs::temp_directory_path() /
+       ("hs_trunc_" + std::to_string(::getpid()) + ".tif"))
+          .string();
+  img::write_tiff_u16(path, image);
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  // Everything before the trailing next-IFD pointer (4 bytes) is load-
+  // bearing; cutting it must throw. Cutting only the pointer still parses.
+  for (std::size_t len = 0; len < bytes.size(); len += 3) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(len));
+    out.close();
+    if (len < bytes.size() - 4) {
+      EXPECT_THROW((void)img::read_tiff_u16(path), Error) << "len=" << len;
+    } else {
+      EXPECT_NO_THROW((void)img::read_tiff_u16(path)) << "len=" << len;
+    }
+  }
+  fs::remove(path);
+}
+
+// --- provider contract ---------------------------------------------------------------
+
+TEST(DatasetProvider, MixedTileSizesRejected) {
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("hs_mixed_" + std::to_string(::getpid())))
+          .string();
+  fs::create_directories(dir);
+  img::write_tiff_u16(dir + "/t_r0_c0.tif", img::ImageU16(8, 8, 1));
+  img::write_tiff_u16(dir + "/t_r0_c1.tif", img::ImageU16(8, 9, 1));
+  img::TileGridDataset dataset(dir, "t_r{r}_c{c}.tif", img::GridLayout{1, 2});
+  stitch::DatasetTileProvider provider(std::move(dataset));
+  EXPECT_THROW(provider.load(img::TilePos{0, 1}), InvalidArgument);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hs

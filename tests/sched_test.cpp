@@ -1,0 +1,352 @@
+// Discrete-event simulator, cost model, backend performance models, and the
+// virtual-memory cliff model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/cost_model.hpp"
+#include "sched/des.hpp"
+#include "sched/models.hpp"
+#include "sched/vm_model.hpp"
+
+namespace hs::sched {
+namespace {
+
+// --- DES core ----------------------------------------------------------------
+
+TEST(Des, SingleSlotSerializes) {
+  Simulator sim;
+  const ResourceId r = sim.add_resource("r", 1);
+  sim.add_task("a", r, 2.0);
+  sim.add_task("b", r, 3.0);
+  EXPECT_DOUBLE_EQ(sim.run(), 5.0);
+}
+
+TEST(Des, MultiSlotParallelizes) {
+  Simulator sim;
+  const ResourceId r = sim.add_resource("r", 4);
+  for (int i = 0; i < 4; ++i) sim.add_task("t", r, 2.0);
+  EXPECT_DOUBLE_EQ(sim.run(), 2.0);
+}
+
+TEST(Des, ExcessTasksQueue) {
+  Simulator sim;
+  const ResourceId r = sim.add_resource("r", 2);
+  for (int i = 0; i < 5; ++i) sim.add_task("t", r, 1.0);
+  EXPECT_DOUBLE_EQ(sim.run(), 3.0);  // 2+2+1 across two slots
+}
+
+TEST(Des, DependenciesSequence) {
+  Simulator sim;
+  const ResourceId r = sim.add_resource("r", 8);
+  const TaskId a = sim.add_task("a", r, 1.0);
+  const TaskId b = sim.add_task("b", r, 1.0, {a});
+  const TaskId c = sim.add_task("c", r, 1.0, {b});
+  EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+  EXPECT_DOUBLE_EQ(sim.finish_time(a), 1.0);
+  EXPECT_DOUBLE_EQ(sim.finish_time(c), 3.0);
+}
+
+TEST(Des, DiamondDependency) {
+  Simulator sim;
+  const ResourceId r = sim.add_resource("r", 8);
+  const TaskId src = sim.add_task("src", r, 1.0);
+  const TaskId left = sim.add_task("left", r, 2.0, {src});
+  const TaskId right = sim.add_task("right", r, 5.0, {src});
+  const TaskId sink = sim.add_task("sink", r, 1.0, {left, right});
+  EXPECT_DOUBLE_EQ(sim.run(), 7.0);
+  EXPECT_DOUBLE_EQ(sim.finish_time(sink), 7.0);
+}
+
+TEST(Des, SpeedScalesDuration) {
+  Simulator sim;
+  const ResourceId r = sim.add_resource("r", 1, 2.0);
+  sim.add_task("t", r, 4.0);
+  EXPECT_DOUBLE_EQ(sim.run(), 2.0);
+}
+
+TEST(Des, CrossResourcePipelineOverlaps) {
+  // Two-stage pipeline: stage A and stage B overlap across items, so the
+  // makespan is fill + max-stage-dominated, not the serial sum.
+  Simulator sim;
+  const ResourceId a = sim.add_resource("a", 1);
+  const ResourceId b = sim.add_resource("b", 1);
+  double serial_sum = 0.0;
+  std::vector<TaskId> first;
+  for (int i = 0; i < 10; ++i) {
+    const TaskId t = sim.add_task("a", a, 1.0);
+    sim.add_task("b", b, 1.0, {t});
+    serial_sum += 2.0;
+  }
+  const double makespan = sim.run();
+  EXPECT_DOUBLE_EQ(makespan, 11.0);
+  EXPECT_LT(makespan, serial_sum);
+}
+
+TEST(Des, ResourceStatsUtilization) {
+  Simulator sim;
+  const ResourceId r = sim.add_resource("worker", 2);
+  sim.add_task("t", r, 4.0);
+  sim.add_task("t", r, 4.0);
+  sim.run();
+  const auto stats = sim.resource_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].tasks_executed, 2u);
+  EXPECT_DOUBLE_EQ(stats[0].busy_seconds, 8.0);
+  EXPECT_DOUBLE_EQ(stats[0].utilization, 1.0);
+}
+
+TEST(Des, RecordsTraceSpans) {
+  hs::trace::Recorder recorder;
+  Simulator sim;
+  const ResourceId r = sim.add_resource("gpu", 1);
+  sim.add_task("kernel", r, 0.5);
+  sim.run(&recorder);
+  const auto spans = recorder.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].lane, "gpu.s0");
+  EXPECT_DOUBLE_EQ(spans[0].t1_us, 0.5e6);
+}
+
+TEST(Des, DeterministicAcrossRuns) {
+  auto build_and_run = [] {
+    Simulator sim;
+    const ResourceId r = sim.add_resource("r", 3);
+    std::vector<TaskId> deps;
+    for (int i = 0; i < 50; ++i) {
+      if (i < 3) {
+        deps.push_back(sim.add_task("t", r, 1.0 + i * 0.1));
+      } else {
+        deps.push_back(sim.add_task("t", r, 1.0 + (i % 7) * 0.3,
+                                    {deps[i - 3]}));
+      }
+    }
+    return sim.run();
+  };
+  EXPECT_DOUBLE_EQ(build_and_run(), build_and_run());
+}
+
+TEST(Des, InvalidConfigurationRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.add_resource("r", 0), InvalidArgument);
+  const ResourceId r = sim.add_resource("r", 1);
+  EXPECT_THROW(sim.add_task("t", 99, 1.0), InvalidArgument);
+  EXPECT_THROW(sim.add_task("t", r, -1.0), InvalidArgument);
+  EXPECT_THROW(sim.add_task("t", r, 1.0, {5}), InvalidArgument);
+}
+
+// --- cost model ----------------------------------------------------------------
+
+TEST(CostModel, EffectiveThreadsTwoSlopes) {
+  const CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.effective_threads(1), 1.0);
+  EXPECT_DOUBLE_EQ(cost.effective_threads(8), 8.0);
+  EXPECT_DOUBLE_EQ(cost.effective_threads(12), 8.0 + 4 * 0.30);
+  EXPECT_DOUBLE_EQ(cost.effective_threads(16), 8.0 + 8 * 0.30);
+  // Beyond the logical cores nothing more is gained.
+  EXPECT_DOUBLE_EQ(cost.effective_threads(32), cost.effective_threads(16));
+}
+
+TEST(CostModel, ScalesAreOneAtReferenceTile) {
+  const CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.fft_scale(1040, 1392), 1.0);
+  EXPECT_DOUBLE_EQ(cost.pixel_scale(1040, 1392), 1.0);
+  EXPECT_LT(cost.fft_scale(256, 256), 0.1);
+}
+
+// --- backend models --------------------------------------------------------------
+
+TEST(Models, TableTwoOrderingReproduced) {
+  ModelConfig config;  // paper workload: 42x59 grid of 1392x1040 tiles
+  config.threads = 16;
+  config.ccf_threads = 2;
+
+  const double fiji = model_fiji(config).seconds;
+  const double simple_cpu =
+      model_backend(stitch::Backend::kSimpleCpu, config).seconds;
+  const double mt_cpu = model_backend(stitch::Backend::kMtCpu, config).seconds;
+  const double pipe_cpu =
+      model_backend(stitch::Backend::kPipelinedCpu, config).seconds;
+  const double simple_gpu =
+      model_backend(stitch::Backend::kSimpleGpu, config).seconds;
+  config.gpus = 1;
+  const double pipe_gpu1 =
+      model_backend(stitch::Backend::kPipelinedGpu, config).seconds;
+  config.gpus = 2;
+  const double pipe_gpu2 =
+      model_backend(stitch::Backend::kPipelinedGpu, config).seconds;
+
+  // Table II ordering: Fiji >> Simple-CPU > Simple-GPU? No: the paper has
+  // Simple-GPU (556 s) slightly faster than Simple-CPU (636 s), and the
+  // pipelined implementations far ahead.
+  EXPECT_GT(fiji, 10 * simple_cpu);
+  EXPECT_GT(simple_cpu, simple_gpu);
+  EXPECT_GT(simple_gpu, mt_cpu);
+  EXPECT_GT(mt_cpu, pipe_cpu);
+  EXPECT_GT(pipe_cpu, pipe_gpu1);
+  EXPECT_GT(pipe_gpu1, pipe_gpu2);
+}
+
+TEST(Models, TableTwoMagnitudesNearPaper) {
+  ModelConfig config;
+  config.threads = 16;
+  config.ccf_threads = 2;
+  auto within = [](double value, double paper, double tolerance) {
+    return value > paper * (1.0 - tolerance) &&
+           value < paper * (1.0 + tolerance);
+  };
+  EXPECT_TRUE(within(model_fiji(config).seconds, 12960.0, 0.15));
+  EXPECT_TRUE(within(
+      model_backend(stitch::Backend::kSimpleCpu, config).seconds, 636.0, 0.15));
+  EXPECT_TRUE(within(
+      model_backend(stitch::Backend::kMtCpu, config).seconds, 96.0, 0.15));
+  EXPECT_TRUE(within(
+      model_backend(stitch::Backend::kPipelinedCpu, config).seconds, 84.0,
+      0.15));
+  EXPECT_TRUE(within(
+      model_backend(stitch::Backend::kSimpleGpu, config).seconds, 556.0, 0.15));
+  config.gpus = 1;
+  EXPECT_TRUE(within(
+      model_backend(stitch::Backend::kPipelinedGpu, config).seconds, 49.7,
+      0.15));
+  config.gpus = 2;
+  EXPECT_TRUE(within(
+      model_backend(stitch::Backend::kPipelinedGpu, config).seconds, 26.6,
+      0.25));
+}
+
+TEST(Models, PipelinedGpuNearTenXOverSimpleGpu) {
+  // The abstract's headline: "nearly 10x performance improvement over our
+  // optimized non-pipeline GPU implementation" (11.2x in SV).
+  ModelConfig config;
+  config.gpus = 1;
+  config.ccf_threads = 2;
+  const double simple =
+      model_backend(stitch::Backend::kSimpleGpu, config).seconds;
+  const double pipelined =
+      model_backend(stitch::Backend::kPipelinedGpu, config).seconds;
+  EXPECT_GT(simple / pipelined, 8.0);
+  EXPECT_LT(simple / pipelined, 14.0);
+}
+
+TEST(Models, CpuScalingNearLinearToPhysicalCores) {
+  // Fig 11's shape: near-linear to 8 threads, shallower to 16.
+  ModelConfig config;
+  auto seconds_at = [&](std::size_t threads) {
+    ModelConfig c = config;
+    c.threads = threads;
+    return model_backend(stitch::Backend::kPipelinedCpu, c).seconds;
+  };
+  const double t1 = seconds_at(1);
+  const double t8 = seconds_at(8);
+  const double t16 = seconds_at(16);
+  EXPECT_NEAR(t1 / t8, 8.0, 0.8);
+  EXPECT_GT(t1 / t16, 9.0);
+  EXPECT_LT(t1 / t16, 11.5);
+  // Second slope must be shallower than the first.
+  const double slope1 = (t1 / t8) / 8.0;
+  const double slope2 = ((t1 / t16) - (t1 / t8)) / 8.0;
+  EXPECT_LT(slope2, slope1 * 0.6);
+}
+
+TEST(Models, CcfThreadSweepFlattensBeyondTwo) {
+  // Fig 10's shape: 1 -> 2 threads improves markedly; beyond 2 the GPUs are
+  // the bottleneck and the curve flattens.
+  ModelConfig config;
+  config.gpus = 2;
+  auto seconds_at = [&](std::size_t ccf) {
+    ModelConfig c = config;
+    c.ccf_threads = ccf;
+    return model_backend(stitch::Backend::kPipelinedGpu, c).seconds;
+  };
+  const double c1 = seconds_at(1);
+  const double c2 = seconds_at(2);
+  const double c8 = seconds_at(8);
+  EXPECT_GT(c1 / c2, 1.25);
+  EXPECT_LT(c2 / c8, 1.35);
+}
+
+TEST(Models, SecondGpuNearlyHalves) {
+  ModelConfig config;
+  config.ccf_threads = 4;
+  config.gpus = 1;
+  const double one = model_backend(stitch::Backend::kPipelinedGpu, config).seconds;
+  config.gpus = 2;
+  const double two = model_backend(stitch::Backend::kPipelinedGpu, config).seconds;
+  EXPECT_GT(one / two, 1.6);  // paper: 1.87x
+  EXPECT_LT(one / two, 2.0);
+}
+
+TEST(Models, SpeedupConsistentAcrossGridSizes) {
+  // Fig 12: the thread-scaling surface is flat along the tile axis.
+  auto speedup = [](std::size_t rows, std::size_t cols) {
+    ModelConfig config;
+    config.grid_rows = rows;
+    config.grid_cols = cols;
+    config.threads = 1;
+    const double t1 =
+        model_backend(stitch::Backend::kPipelinedCpu, config).seconds;
+    config.threads = 16;
+    const double t16 =
+        model_backend(stitch::Backend::kPipelinedCpu, config).seconds;
+    return t1 / t16;
+  };
+  const double small = speedup(8, 16);    // 128 tiles
+  const double large = speedup(32, 32);   // 1024 tiles
+  EXPECT_NEAR(small, large, 0.8);
+}
+
+TEST(Models, TraceShowsDenseKernelLaneForPipelinedGpu) {
+  // Figs 7 vs 9 as occupancy numbers: the pipelined GPU keeps its kernel
+  // lane busy; the simple GPU's driver lane is mostly stall.
+  ModelConfig config;
+  config.grid_rows = 8;
+  config.grid_cols = 8;
+  config.gpus = 1;
+  hs::trace::Recorder pipelined_trace;
+  model_backend(stitch::Backend::kPipelinedGpu, config, &pipelined_trace);
+  const auto kernels = pipelined_trace.lane_stats("gpu0.kernels.s0");
+  EXPECT_GT(kernels.occupancy, 0.75);
+}
+
+// --- vm model (Fig 5) -------------------------------------------------------------
+
+TEST(VmModel, CliffBetween832And864Tiles) {
+  const VmModelParams params;
+  const std::size_t cliff = vm_cliff_tiles(params);
+  EXPECT_GT(cliff, 832u);
+  EXPECT_LT(cliff, 864u);
+}
+
+TEST(VmModel, SpeedupCollapsesPastCliffForAllThreadCounts) {
+  const VmModelParams params;
+  const CostModel cost;
+  for (std::size_t threads : {2ul, 4ul, 8ul, 16ul}) {
+    const double before = vm_fft_speedup(832, threads, params, cost);
+    const double after = vm_fft_speedup(864, threads, params, cost);
+    EXPECT_GT(before, 0.9 * cost.effective_threads(threads));
+    EXPECT_LT(after, 2.0) << "threads=" << threads;
+  }
+}
+
+TEST(VmModel, BelowCliffScalesWithEffectiveThreads) {
+  const VmModelParams params;
+  const CostModel cost;
+  EXPECT_NEAR(vm_fft_speedup(512, 8, params, cost), 8.0, 1e-9);
+  EXPECT_NEAR(vm_fft_speedup(512, 16, params, cost),
+              cost.effective_threads(16), 1e-9);
+}
+
+TEST(VmModel, TimeMonotonicInTiles) {
+  const VmModelParams params;
+  const CostModel cost;
+  double previous = 0.0;
+  for (std::size_t tiles = 512; tiles <= 1024; tiles += 64) {
+    const double t = vm_fft_time(tiles, 8, params, cost);
+    EXPECT_GT(t, previous);
+    previous = t;
+  }
+}
+
+}  // namespace
+}  // namespace hs::sched

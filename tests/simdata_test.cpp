@@ -1,0 +1,220 @@
+// Synthetic plate / acquisition model tests.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "simdata/plate.hpp"
+
+namespace hs::sim {
+namespace {
+
+TEST(Plate, DeterministicForSameSeed) {
+  PlateParams params;
+  params.height = 128;
+  params.width = 128;
+  params.seed = 99;
+  const auto a = generate_plate(params);
+  const auto b = generate_plate(params);
+  for (std::size_t i = 0; i < a.pixel_count(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(Plate, SeedChangesContent) {
+  PlateParams params;
+  params.height = 64;
+  params.width = 64;
+  params.seed = 1;
+  const auto a = generate_plate(params);
+  params.seed = 2;
+  const auto b = generate_plate(params);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.pixel_count(); ++i) {
+    if (a.data()[i] != b.data()[i]) ++diff;
+  }
+  EXPECT_GT(diff, a.pixel_count() / 2);
+}
+
+TEST(Plate, FeatureDensityZeroRemovesColonies) {
+  PlateParams params;
+  params.height = 256;
+  params.width = 256;
+  params.feature_density = 0.0;
+  const auto plate = generate_plate(params);
+  // Without colonies the brightest pixel stays near background + texture
+  // + grain, far below colony brightness.
+  std::uint16_t max_value = 0;
+  for (auto p : plate.pixels()) max_value = std::max(max_value, p);
+  EXPECT_LT(max_value, 18000);
+}
+
+TEST(Plate, ColoniesRaiseBrightPixelCount) {
+  PlateParams sparse;
+  sparse.height = 256;
+  sparse.width = 256;
+  sparse.feature_density = 0.0;
+  PlateParams dense = sparse;
+  dense.feature_density = 1.0;
+  dense.colonies_per_megapixel = 80.0;
+  auto count_bright = [](const img::ImageU16& plate) {
+    std::size_t n = 0;
+    for (auto p : plate.pixels()) {
+      if (p > 20000) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count_bright(generate_plate(dense)),
+            count_bright(generate_plate(sparse)));
+}
+
+TEST(Plate, RejectsTinyPlates) {
+  PlateParams params;
+  params.height = 4;
+  params.width = 4;
+  EXPECT_THROW(generate_plate(params), InvalidArgument);
+}
+
+TEST(Acquire, GroundTruthHasNominalSpacingPlusJitter) {
+  AcquisitionParams acq;
+  acq.grid_rows = 3;
+  acq.grid_cols = 4;
+  acq.tile_height = 64;
+  acq.tile_width = 64;
+  acq.overlap_fraction = 0.25;
+  acq.stage_jitter_sd = 2.0;
+  acq.stage_jitter_max = 5.0;
+  const auto grid = make_synthetic_grid(acq);
+  const double step = 64.0 * 0.75;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 1; c < 4; ++c) {
+      const auto [dx, dy] = grid.truth.displacement(
+          grid.layout.index_of({r, c - 1}), grid.layout.index_of({r, c}));
+      EXPECT_NEAR(static_cast<double>(dx), step, 2 * 5.0 + 1.0);
+      EXPECT_LE(std::abs(static_cast<double>(dy)), 2 * 5.0 + 1.0);
+    }
+  }
+}
+
+TEST(Acquire, TilesMatchPlateWithoutNoise) {
+  PlateParams plate_params;
+  plate_params.height = 256;
+  plate_params.width = 256;
+  const auto plate = generate_plate(plate_params);
+  AcquisitionParams acq;
+  acq.grid_rows = 2;
+  acq.grid_cols = 2;
+  acq.tile_height = 64;
+  acq.tile_width = 64;
+  acq.camera_noise_sd = 0.0;
+  acq.vignetting = 0.0;
+  const auto grid = acquire_grid(plate, acq);
+  for (std::size_t i = 0; i < grid.layout.tile_count(); ++i) {
+    const auto pos = grid.layout.pos_of(i);
+    const auto& tile = grid.tile(pos);
+    const auto y0 = static_cast<std::size_t>(grid.truth.y[i]);
+    const auto x0 = static_cast<std::size_t>(grid.truth.x[i]);
+    for (std::size_t r = 0; r < 64; r += 13) {
+      for (std::size_t c = 0; c < 64; c += 13) {
+        ASSERT_EQ(tile.at(r, c), plate.at(y0 + r, x0 + c));
+      }
+    }
+  }
+}
+
+TEST(Acquire, NoiseChangesTilesButNotTruth) {
+  AcquisitionParams acq;
+  acq.grid_rows = 2;
+  acq.grid_cols = 2;
+  acq.tile_height = 32;
+  acq.tile_width = 32;
+  acq.camera_noise_sd = 0.0;
+  const auto clean = make_synthetic_grid(acq);
+  acq.camera_noise_sd = 200.0;
+  const auto noisy = make_synthetic_grid(acq);
+  EXPECT_EQ(clean.truth.x, noisy.truth.x);
+  EXPECT_EQ(clean.truth.y, noisy.truth.y);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < clean.tiles[0].pixel_count(); ++i) {
+    if (clean.tiles[0].data()[i] != noisy.tiles[0].data()[i]) ++diff;
+  }
+  EXPECT_GT(diff, clean.tiles[0].pixel_count() / 4);
+}
+
+TEST(Acquire, VignettingDarkensCorners) {
+  AcquisitionParams acq;
+  acq.grid_rows = 1;
+  acq.grid_cols = 1;
+  acq.tile_height = 64;
+  acq.tile_width = 64;
+  acq.camera_noise_sd = 0.0;
+  acq.vignetting = 0.0;
+  const auto flat = make_synthetic_grid(acq);
+  acq.vignetting = 0.2;
+  const auto vignetted = make_synthetic_grid(acq);
+  // Corner pixels lose ~20%, center pixels are untouched.
+  EXPECT_LT(vignetted.tiles[0].at(0, 0),
+            flat.tiles[0].at(0, 0) * 0.9 + 1.0);
+  EXPECT_NEAR(vignetted.tiles[0].at(32, 32), flat.tiles[0].at(32, 32), 2.0);
+}
+
+TEST(Acquire, GridTooBigForPlateThrows) {
+  PlateParams plate_params;
+  plate_params.height = 128;
+  plate_params.width = 128;
+  const auto plate = generate_plate(plate_params);
+  AcquisitionParams acq;
+  acq.grid_rows = 10;
+  acq.grid_cols = 10;
+  acq.tile_height = 64;
+  acq.tile_width = 64;
+  EXPECT_THROW(acquire_grid(plate, acq), InvalidArgument);
+}
+
+TEST(Dataset, WriteThenLoadMatchesMemory) {
+  AcquisitionParams acq;
+  acq.grid_rows = 2;
+  acq.grid_cols = 3;
+  acq.tile_height = 32;
+  acq.tile_width = 48;
+  const auto grid = make_synthetic_grid(acq);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("hs_simdata_" + std::to_string(::getpid())))
+          .string();
+  const auto dataset = write_dataset(grid, dir, "t_r{r}_c{c}.tif");
+  EXPECT_TRUE(dataset.missing_tiles().empty());
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const auto loaded = dataset.load(img::TilePos{r, c});
+      const auto& expected = grid.tile(img::TilePos{r, c});
+      ASSERT_TRUE(loaded.same_shape(expected));
+      for (std::size_t i = 0; i < expected.pixel_count(); ++i) {
+        ASSERT_EQ(loaded.data()[i], expected.data()[i]);
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Dataset, PgmPatternRoundTrips) {
+  AcquisitionParams acq;
+  acq.grid_rows = 1;
+  acq.grid_cols = 2;
+  acq.tile_height = 16;
+  acq.tile_width = 16;
+  const auto grid = make_synthetic_grid(acq);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("hs_simdata_pgm_" + std::to_string(::getpid())))
+          .string();
+  const auto dataset = write_dataset(grid, dir, "t_{i:3}.pgm");
+  const auto loaded = dataset.load(img::TilePos{0, 1});
+  EXPECT_EQ(loaded.at(8, 8), grid.tile(img::TilePos{0, 1}).at(8, 8));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hs::sim

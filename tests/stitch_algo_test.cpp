@@ -1,0 +1,279 @@
+// Algorithm-level stitching tests: CCF math, peak interpretation, PCIAM on
+// controlled inputs, traversal orders, and the transform cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "fft/plan_cache.hpp"
+#include "simdata/plate.hpp"
+#include "stitch/ccf.hpp"
+#include "stitch/pciam.hpp"
+#include "stitch/transform_cache.hpp"
+#include "stitch/traversal.hpp"
+
+namespace hs::stitch {
+namespace {
+
+img::ImageU16 random_tile(std::size_t h, std::size_t w, std::uint64_t seed) {
+  Rng rng(seed);
+  img::ImageU16 out(h, w);
+  for (auto& p : out.pixels()) {
+    p = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+  }
+  return out;
+}
+
+// --- ccf ----------------------------------------------------------------------
+
+TEST(Ccf, IdenticalTilesAtZeroShiftCorrelatePerfectly) {
+  const auto tile = random_tile(16, 20, 1);
+  EXPECT_NEAR(ccf(tile, tile, 0, 0), 1.0, 1e-12);
+}
+
+TEST(Ccf, PerfectOverlapAtTrueShift) {
+  // Two crops of one plane; at the true displacement the overlap is
+  // pixel-identical, so Pearson is exactly 1.
+  const auto plane = random_tile(64, 64, 2);
+  const auto a = plane.crop(0, 0, 32, 40);
+  const auto b = plane.crop(5, 7, 32, 40);
+  EXPECT_NEAR(ccf(a, b, 7, 5), 1.0, 1e-12);
+  EXPECT_LT(ccf(a, b, 0, 0), 0.5);
+}
+
+TEST(Ccf, NegativeDisplacementsSupported) {
+  const auto plane = random_tile(64, 64, 3);
+  const auto a = plane.crop(10, 12, 32, 32);
+  const auto b = plane.crop(4, 5, 32, 32);  // b is up-left of a
+  EXPECT_NEAR(ccf(a, b, -7, -6), 1.0, 1e-12);
+}
+
+TEST(Ccf, NoOverlapReturnsRejectionSentinel) {
+  const auto tile = random_tile(8, 8, 4);
+  EXPECT_EQ(ccf(tile, tile, 8, 0), kCcfRejected);
+  EXPECT_EQ(ccf(tile, tile, 0, -8), kCcfRejected);
+}
+
+TEST(Ccf, MinOverlapThresholdApplies) {
+  const auto tile = random_tile(8, 8, 5);
+  EXPECT_EQ(ccf(tile, tile, 6, 0, /*min_overlap_px=*/3), kCcfRejected);
+  EXPECT_NE(ccf(tile, tile, 6, 0, /*min_overlap_px=*/2), kCcfRejected);
+}
+
+TEST(Ccf, ConstantRegionHasZeroCorrelation) {
+  img::ImageU16 flat(8, 8, 1000);
+  EXPECT_EQ(ccf(flat, flat, 2, 2), 0.0);
+}
+
+TEST(Ccf, AntiCorrelatedRegionsGoNegative) {
+  img::ImageU16 a(4, 4), b(4, 4);
+  for (std::size_t i = 0; i < 16; ++i) {
+    a.data()[i] = static_cast<std::uint16_t>(i * 100);
+    b.data()[i] = static_cast<std::uint16_t>(1500 - i * 100);
+  }
+  EXPECT_NEAR(ccf(a, b, 0, 0), -1.0, 1e-12);
+}
+
+TEST(Ccf, MismatchedShapesRejected) {
+  img::ImageU16 a(4, 4), b(4, 5);
+  EXPECT_THROW(ccf(a, b, 0, 0), InvalidArgument);
+}
+
+// --- peak interpretation --------------------------------------------------------
+
+TEST(PeakInterpretations, FourSignCombinations) {
+  const auto candidates = peak_interpretations(30, 3, 128, 96);
+  EXPECT_EQ(candidates[0], (std::pair<std::int64_t, std::int64_t>{30, 3}));
+  EXPECT_EQ(candidates[1],
+            (std::pair<std::int64_t, std::int64_t>{30 - 128, 3}));
+  EXPECT_EQ(candidates[2],
+            (std::pair<std::int64_t, std::int64_t>{30, 3 - 96}));
+  EXPECT_EQ(candidates[3],
+            (std::pair<std::int64_t, std::int64_t>{30 - 128, 3 - 96}));
+}
+
+TEST(Disambiguate, PicksTrueQuadrant) {
+  // Build crops with a known negative-y displacement and confirm the wrapped
+  // peak resolves to it.
+  const auto plane = random_tile(128, 128, 6);
+  const auto a = plane.crop(40, 10, 48, 64);
+  const auto b = plane.crop(33, 60, 48, 64);  // dx=+50, dy=-7
+  // Peak as PCIAM would see it: (dx mod w, dy mod h) = (50, 41).
+  const Translation t = disambiguate_peak(a, b, 50, 48 - 7);
+  EXPECT_EQ(t.x, 50);
+  EXPECT_EQ(t.y, -7);
+  EXPECT_NEAR(t.correlation, 1.0, 1e-12);
+}
+
+// --- pciam ----------------------------------------------------------------------
+
+class PciamShift : public ::testing::TestWithParam<
+                       std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(PciamShift, RecoversPlantedDisplacement) {
+  const auto [dx, dy] = GetParam();
+  sim::PlateParams plate_params;
+  plate_params.height = 320;
+  plate_params.width = 320;
+  plate_params.seed = 11;
+  const auto plate = sim::generate_plate(plate_params);
+  const std::size_t h = 96, w = 112;
+  const std::int64_t base_y = 100, base_x = 100;
+  const auto a = plate.crop(base_y, base_x, h, w);
+  const auto b = plate.crop(static_cast<std::size_t>(base_y + dy),
+                            static_cast<std::size_t>(base_x + dx), h, w);
+  auto fwd = fft::PlanCache::instance().plan_2d(h, w, fft::Direction::kForward);
+  auto inv = fft::PlanCache::instance().plan_2d(h, w, fft::Direction::kInverse);
+  PciamScratch scratch;
+  const Translation t = pciam_full(a, b, *fwd, *inv, scratch, nullptr);
+  EXPECT_EQ(t.x, dx);
+  EXPECT_EQ(t.y, dy);
+  EXPECT_GT(t.correlation, 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShiftSweep, PciamShift,
+    ::testing::Values(std::pair<std::int64_t, std::int64_t>{90, 2},
+                      std::pair<std::int64_t, std::int64_t>{85, -5},
+                      std::pair<std::int64_t, std::int64_t>{-80, 3},
+                      std::pair<std::int64_t, std::int64_t>{4, 80},
+                      std::pair<std::int64_t, std::int64_t>{-6, -75},
+                      std::pair<std::int64_t, std::int64_t>{0, 60},
+                      std::pair<std::int64_t, std::int64_t>{70, 0},
+                      std::pair<std::int64_t, std::int64_t>{33, 41}));
+
+TEST(Pciam, CountsOperations) {
+  const auto a = random_tile(32, 32, 7);
+  const auto b = random_tile(32, 32, 8);
+  auto fwd = fft::PlanCache::instance().plan_2d(32, 32, fft::Direction::kForward);
+  auto inv = fft::PlanCache::instance().plan_2d(32, 32, fft::Direction::kInverse);
+  PciamScratch scratch;
+  OpCountsAtomic counts;
+  (void)pciam_full(a, b, *fwd, *inv, scratch, &counts);
+  const OpCounts ops = counts.snapshot();
+  EXPECT_EQ(ops.forward_ffts, 2u);
+  EXPECT_EQ(ops.ncc_multiplies, 1u);
+  EXPECT_EQ(ops.inverse_ffts, 1u);
+  EXPECT_EQ(ops.max_reductions, 1u);
+  EXPECT_EQ(ops.ccf_evaluations, 4u);
+}
+
+// --- traversal -------------------------------------------------------------------
+
+class TraversalOrders : public ::testing::TestWithParam<Traversal> {};
+
+TEST_P(TraversalOrders, IsAPermutationOfAllTiles) {
+  const img::GridLayout layout{5, 7};
+  const auto order = traversal_order(layout, GetParam());
+  ASSERT_EQ(order.size(), layout.tile_count());
+  std::set<std::size_t> seen;
+  for (const auto pos : order) seen.insert(layout.index_of(pos));
+  EXPECT_EQ(seen.size(), layout.tile_count());
+}
+
+TEST_P(TraversalOrders, SingleTileGridTrivial) {
+  const img::GridLayout layout{1, 1};
+  const auto order = traversal_order(layout, GetParam());
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], (img::TilePos{0, 0}));
+}
+
+TEST_P(TraversalOrders, NameRoundTripsThroughParse) {
+  EXPECT_EQ(parse_traversal(traversal_name(GetParam())), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, TraversalOrders,
+                         ::testing::ValuesIn(kAllTraversals));
+
+TEST(Traversal, RowOrderIsRowMajor) {
+  const auto order = traversal_order(img::GridLayout{2, 3}, Traversal::kRow);
+  EXPECT_EQ(order[0], (img::TilePos{0, 0}));
+  EXPECT_EQ(order[2], (img::TilePos{0, 2}));
+  EXPECT_EQ(order[3], (img::TilePos{1, 0}));
+}
+
+TEST(Traversal, ChainedRowAlternates) {
+  const auto order =
+      traversal_order(img::GridLayout{2, 3}, Traversal::kRowChained);
+  EXPECT_EQ(order[3], (img::TilePos{1, 2}));  // second row right-to-left
+  EXPECT_EQ(order[5], (img::TilePos{1, 0}));
+}
+
+TEST(Traversal, DiagonalVisitsAntiDiagonalsInOrder) {
+  const auto order =
+      traversal_order(img::GridLayout{3, 3}, Traversal::kDiagonal);
+  // Anti-diagonal sums must be non-decreasing.
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(order[i].row + order[i].col, order[i - 1].row + order[i - 1].col);
+  }
+}
+
+TEST(Traversal, WorkingSetsOrderedDiagonalSmallest) {
+  const img::GridLayout wide{4, 100};
+  EXPECT_LT(traversal_working_set(wide, Traversal::kDiagonalChained),
+            traversal_working_set(wide, Traversal::kRow));
+  EXPECT_EQ(traversal_working_set(wide, Traversal::kDiagonalChained), 5u);
+  EXPECT_EQ(traversal_working_set(wide, Traversal::kRow), 101u);
+  EXPECT_EQ(traversal_working_set(wide, Traversal::kColumn), 5u);
+}
+
+TEST(Traversal, UnknownNameThrows) {
+  EXPECT_THROW(parse_traversal("zigzag"), InvalidArgument);
+}
+
+// --- transform cache ---------------------------------------------------------------
+
+TEST(TransformCache, PairDegreeMatchesPosition) {
+  const img::GridLayout layout{3, 3};
+  EXPECT_EQ(TransformCache::pair_degree(layout, {0, 0}), 2u);
+  EXPECT_EQ(TransformCache::pair_degree(layout, {0, 1}), 3u);
+  EXPECT_EQ(TransformCache::pair_degree(layout, {1, 1}), 4u);
+  EXPECT_EQ(TransformCache::pair_degree(img::GridLayout{1, 1}, {0, 0}), 0u);
+}
+
+TEST(TransformCache, ComputesOnceAndFreesAtZero) {
+  sim::AcquisitionParams acq;
+  acq.grid_rows = 2;
+  acq.grid_cols = 2;
+  acq.tile_height = 32;
+  acq.tile_width = 32;
+  const auto grid = sim::make_synthetic_grid(acq);
+  MemoryTileProvider provider(&grid.tiles, grid.layout);
+  auto plan = fft::PlanCache::instance().plan_2d(32, 32,
+                                                 fft::Direction::kForward);
+  OpCountsAtomic counts;
+  TransformCache cache(provider, plan, &counts);
+
+  const fft::Complex* first = cache.transform({0, 0});
+  const fft::Complex* second = cache.transform({0, 0});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(counts.snapshot().forward_ffts, 1u);
+  EXPECT_EQ(cache.live_transforms(), 1u);
+
+  // Corner tile has degree 2: two releases free it.
+  cache.release({0, 0});
+  EXPECT_EQ(cache.live_transforms(), 1u);
+  cache.release({0, 0});
+  EXPECT_EQ(cache.live_transforms(), 0u);
+  EXPECT_EQ(cache.peak_live_transforms(), 1u);
+}
+
+TEST(TransformCache, TileAccessibleWhileLive) {
+  sim::AcquisitionParams acq;
+  acq.grid_rows = 1;
+  acq.grid_cols = 2;
+  acq.tile_height = 16;
+  acq.tile_width = 16;
+  const auto grid = sim::make_synthetic_grid(acq);
+  MemoryTileProvider provider(&grid.tiles, grid.layout);
+  auto plan = fft::PlanCache::instance().plan_2d(16, 16,
+                                                 fft::Direction::kForward);
+  TransformCache cache(provider, plan, nullptr);
+  cache.transform({0, 1});
+  const img::ImageU16& tile = cache.tile({0, 1});
+  EXPECT_EQ(tile.at(3, 3), grid.tile({0, 1}).at(3, 3));
+}
+
+}  // namespace
+}  // namespace hs::stitch
