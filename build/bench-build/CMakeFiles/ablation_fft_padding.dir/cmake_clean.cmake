@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fft_padding"
+  "../bench/ablation_fft_padding.pdb"
+  "CMakeFiles/ablation_fft_padding.dir/ablation_fft_padding.cpp.o"
+  "CMakeFiles/ablation_fft_padding.dir/ablation_fft_padding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fft_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

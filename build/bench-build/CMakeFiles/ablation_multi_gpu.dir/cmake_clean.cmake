@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multi_gpu"
+  "../bench/ablation_multi_gpu.pdb"
+  "CMakeFiles/ablation_multi_gpu.dir/ablation_multi_gpu.cpp.o"
+  "CMakeFiles/ablation_multi_gpu.dir/ablation_multi_gpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multipeak"
+  "../bench/ablation_multipeak.pdb"
+  "CMakeFiles/ablation_multipeak.dir/ablation_multipeak.cpp.o"
+  "CMakeFiles/ablation_multipeak.dir/ablation_multipeak.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multipeak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_traversal"
+  "../bench/ablation_traversal.pdb"
+  "CMakeFiles/ablation_traversal.dir/ablation_traversal.cpp.o"
+  "CMakeFiles/ablation_traversal.dir/ablation_traversal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_cpu_scaling"
+  "../bench/fig11_cpu_scaling.pdb"
+  "CMakeFiles/fig11_cpu_scaling.dir/fig11_cpu_scaling.cpp.o"
+  "CMakeFiles/fig11_cpu_scaling.dir/fig11_cpu_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cpu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_speedup_surface"
+  "../bench/fig12_speedup_surface.pdb"
+  "CMakeFiles/fig12_speedup_surface.dir/fig12_speedup_surface.cpp.o"
+  "CMakeFiles/fig12_speedup_surface.dir/fig12_speedup_surface.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_speedup_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

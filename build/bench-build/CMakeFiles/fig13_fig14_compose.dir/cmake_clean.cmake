@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_fig14_compose"
+  "../bench/fig13_fig14_compose.pdb"
+  "CMakeFiles/fig13_fig14_compose.dir/fig13_fig14_compose.cpp.o"
+  "CMakeFiles/fig13_fig14_compose.dir/fig13_fig14_compose.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_fig14_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

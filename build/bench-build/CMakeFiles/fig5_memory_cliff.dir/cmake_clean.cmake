@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_memory_cliff"
+  "../bench/fig5_memory_cliff.pdb"
+  "CMakeFiles/fig5_memory_cliff.dir/fig5_memory_cliff.cpp.o"
+  "CMakeFiles/fig5_memory_cliff.dir/fig5_memory_cliff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_memory_cliff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

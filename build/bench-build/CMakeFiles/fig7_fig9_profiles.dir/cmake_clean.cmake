@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_fig9_profiles"
+  "../bench/fig7_fig9_profiles.pdb"
+  "CMakeFiles/fig7_fig9_profiles.dir/fig7_fig9_profiles.cpp.o"
+  "CMakeFiles/fig7_fig9_profiles.dir/fig7_fig9_profiles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fig9_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

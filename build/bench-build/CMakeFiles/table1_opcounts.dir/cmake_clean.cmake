@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_opcounts"
+  "../bench/table1_opcounts.pdb"
+  "CMakeFiles/table1_opcounts.dir/table1_opcounts.cpp.o"
+  "CMakeFiles/table1_opcounts.dir/table1_opcounts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_opcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_runtimes"
+  "../bench/table2_runtimes.pdb"
+  "CMakeFiles/table2_runtimes.dir/table2_runtimes.cpp.o"
+  "CMakeFiles/table2_runtimes.dir/table2_runtimes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_cell_experiment.dir/live_cell_experiment.cpp.o"
+  "CMakeFiles/live_cell_experiment.dir/live_cell_experiment.cpp.o.d"
+  "live_cell_experiment"
+  "live_cell_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_cell_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_channel.dir/multi_channel.cpp.o"
+  "CMakeFiles/multi_channel.dir/multi_channel.cpp.o.d"
+  "multi_channel"
+  "multi_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_api.dir/pipeline_api.cpp.o"
+  "CMakeFiles/pipeline_api.dir/pipeline_api.cpp.o.d"
+  "pipeline_api"
+  "pipeline_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

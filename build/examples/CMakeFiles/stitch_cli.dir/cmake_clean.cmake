@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_cli.dir/stitch_cli.cpp.o"
+  "CMakeFiles/stitch_cli.dir/stitch_cli.cpp.o.d"
+  "stitch_cli"
+  "stitch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

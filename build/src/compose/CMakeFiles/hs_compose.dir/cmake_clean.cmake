@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_compose.dir/blend.cpp.o"
+  "CMakeFiles/hs_compose.dir/blend.cpp.o.d"
+  "CMakeFiles/hs_compose.dir/positions.cpp.o"
+  "CMakeFiles/hs_compose.dir/positions.cpp.o.d"
+  "CMakeFiles/hs_compose.dir/streaming.cpp.o"
+  "CMakeFiles/hs_compose.dir/streaming.cpp.o.d"
+  "libhs_compose.a"
+  "libhs_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

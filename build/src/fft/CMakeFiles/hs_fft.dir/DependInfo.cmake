@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/dft_ref.cpp" "src/fft/CMakeFiles/hs_fft.dir/dft_ref.cpp.o" "gcc" "src/fft/CMakeFiles/hs_fft.dir/dft_ref.cpp.o.d"
+  "/root/repo/src/fft/plan1d.cpp" "src/fft/CMakeFiles/hs_fft.dir/plan1d.cpp.o" "gcc" "src/fft/CMakeFiles/hs_fft.dir/plan1d.cpp.o.d"
+  "/root/repo/src/fft/plan2d.cpp" "src/fft/CMakeFiles/hs_fft.dir/plan2d.cpp.o" "gcc" "src/fft/CMakeFiles/hs_fft.dir/plan2d.cpp.o.d"
+  "/root/repo/src/fft/plan_cache.cpp" "src/fft/CMakeFiles/hs_fft.dir/plan_cache.cpp.o" "gcc" "src/fft/CMakeFiles/hs_fft.dir/plan_cache.cpp.o.d"
+  "/root/repo/src/fft/real.cpp" "src/fft/CMakeFiles/hs_fft.dir/real.cpp.o" "gcc" "src/fft/CMakeFiles/hs_fft.dir/real.cpp.o.d"
+  "/root/repo/src/fft/wisdom.cpp" "src/fft/CMakeFiles/hs_fft.dir/wisdom.cpp.o" "gcc" "src/fft/CMakeFiles/hs_fft.dir/wisdom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_fft.dir/dft_ref.cpp.o"
+  "CMakeFiles/hs_fft.dir/dft_ref.cpp.o.d"
+  "CMakeFiles/hs_fft.dir/plan1d.cpp.o"
+  "CMakeFiles/hs_fft.dir/plan1d.cpp.o.d"
+  "CMakeFiles/hs_fft.dir/plan2d.cpp.o"
+  "CMakeFiles/hs_fft.dir/plan2d.cpp.o.d"
+  "CMakeFiles/hs_fft.dir/plan_cache.cpp.o"
+  "CMakeFiles/hs_fft.dir/plan_cache.cpp.o.d"
+  "CMakeFiles/hs_fft.dir/real.cpp.o"
+  "CMakeFiles/hs_fft.dir/real.cpp.o.d"
+  "CMakeFiles/hs_fft.dir/wisdom.cpp.o"
+  "CMakeFiles/hs_fft.dir/wisdom.cpp.o.d"
+  "libhs_fft.a"
+  "libhs_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

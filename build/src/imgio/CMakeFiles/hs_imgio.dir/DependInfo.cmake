@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imgio/grid.cpp" "src/imgio/CMakeFiles/hs_imgio.dir/grid.cpp.o" "gcc" "src/imgio/CMakeFiles/hs_imgio.dir/grid.cpp.o.d"
+  "/root/repo/src/imgio/pnm.cpp" "src/imgio/CMakeFiles/hs_imgio.dir/pnm.cpp.o" "gcc" "src/imgio/CMakeFiles/hs_imgio.dir/pnm.cpp.o.d"
+  "/root/repo/src/imgio/tiff.cpp" "src/imgio/CMakeFiles/hs_imgio.dir/tiff.cpp.o" "gcc" "src/imgio/CMakeFiles/hs_imgio.dir/tiff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

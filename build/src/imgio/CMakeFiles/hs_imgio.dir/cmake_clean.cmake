@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_imgio.dir/grid.cpp.o"
+  "CMakeFiles/hs_imgio.dir/grid.cpp.o.d"
+  "CMakeFiles/hs_imgio.dir/pnm.cpp.o"
+  "CMakeFiles/hs_imgio.dir/pnm.cpp.o.d"
+  "CMakeFiles/hs_imgio.dir/tiff.cpp.o"
+  "CMakeFiles/hs_imgio.dir/tiff.cpp.o.d"
+  "libhs_imgio.a"
+  "libhs_imgio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_imgio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/hs_pipeline.dir/pipeline.cpp.o.d"
+  "libhs_pipeline.a"
+  "libhs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

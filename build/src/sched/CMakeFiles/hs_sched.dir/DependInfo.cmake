@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cost_model.cpp" "src/sched/CMakeFiles/hs_sched.dir/cost_model.cpp.o" "gcc" "src/sched/CMakeFiles/hs_sched.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sched/des.cpp" "src/sched/CMakeFiles/hs_sched.dir/des.cpp.o" "gcc" "src/sched/CMakeFiles/hs_sched.dir/des.cpp.o.d"
+  "/root/repo/src/sched/models.cpp" "src/sched/CMakeFiles/hs_sched.dir/models.cpp.o" "gcc" "src/sched/CMakeFiles/hs_sched.dir/models.cpp.o.d"
+  "/root/repo/src/sched/vm_model.cpp" "src/sched/CMakeFiles/hs_sched.dir/vm_model.cpp.o" "gcc" "src/sched/CMakeFiles/hs_sched.dir/vm_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stitch/CMakeFiles/hs_stitch.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/hs_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/hs_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/hs_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdata/CMakeFiles/hs_simdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgio/CMakeFiles/hs_imgio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

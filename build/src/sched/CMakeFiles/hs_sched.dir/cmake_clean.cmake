@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_sched.dir/cost_model.cpp.o"
+  "CMakeFiles/hs_sched.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hs_sched.dir/des.cpp.o"
+  "CMakeFiles/hs_sched.dir/des.cpp.o.d"
+  "CMakeFiles/hs_sched.dir/models.cpp.o"
+  "CMakeFiles/hs_sched.dir/models.cpp.o.d"
+  "CMakeFiles/hs_sched.dir/vm_model.cpp.o"
+  "CMakeFiles/hs_sched.dir/vm_model.cpp.o.d"
+  "libhs_sched.a"
+  "libhs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_simdata.dir/plate.cpp.o"
+  "CMakeFiles/hs_simdata.dir/plate.cpp.o.d"
+  "libhs_simdata.a"
+  "libhs_simdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_simdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stitch/ccf.cpp" "src/stitch/CMakeFiles/hs_stitch.dir/ccf.cpp.o" "gcc" "src/stitch/CMakeFiles/hs_stitch.dir/ccf.cpp.o.d"
+  "/root/repo/src/stitch/impl_mt_cpu.cpp" "src/stitch/CMakeFiles/hs_stitch.dir/impl_mt_cpu.cpp.o" "gcc" "src/stitch/CMakeFiles/hs_stitch.dir/impl_mt_cpu.cpp.o.d"
+  "/root/repo/src/stitch/impl_naive.cpp" "src/stitch/CMakeFiles/hs_stitch.dir/impl_naive.cpp.o" "gcc" "src/stitch/CMakeFiles/hs_stitch.dir/impl_naive.cpp.o.d"
+  "/root/repo/src/stitch/impl_pipelined_cpu.cpp" "src/stitch/CMakeFiles/hs_stitch.dir/impl_pipelined_cpu.cpp.o" "gcc" "src/stitch/CMakeFiles/hs_stitch.dir/impl_pipelined_cpu.cpp.o.d"
+  "/root/repo/src/stitch/impl_pipelined_gpu.cpp" "src/stitch/CMakeFiles/hs_stitch.dir/impl_pipelined_gpu.cpp.o" "gcc" "src/stitch/CMakeFiles/hs_stitch.dir/impl_pipelined_gpu.cpp.o.d"
+  "/root/repo/src/stitch/impl_simple_cpu.cpp" "src/stitch/CMakeFiles/hs_stitch.dir/impl_simple_cpu.cpp.o" "gcc" "src/stitch/CMakeFiles/hs_stitch.dir/impl_simple_cpu.cpp.o.d"
+  "/root/repo/src/stitch/impl_simple_gpu.cpp" "src/stitch/CMakeFiles/hs_stitch.dir/impl_simple_gpu.cpp.o" "gcc" "src/stitch/CMakeFiles/hs_stitch.dir/impl_simple_gpu.cpp.o.d"
+  "/root/repo/src/stitch/pciam.cpp" "src/stitch/CMakeFiles/hs_stitch.dir/pciam.cpp.o" "gcc" "src/stitch/CMakeFiles/hs_stitch.dir/pciam.cpp.o.d"
+  "/root/repo/src/stitch/stitcher.cpp" "src/stitch/CMakeFiles/hs_stitch.dir/stitcher.cpp.o" "gcc" "src/stitch/CMakeFiles/hs_stitch.dir/stitcher.cpp.o.d"
+  "/root/repo/src/stitch/table_io.cpp" "src/stitch/CMakeFiles/hs_stitch.dir/table_io.cpp.o" "gcc" "src/stitch/CMakeFiles/hs_stitch.dir/table_io.cpp.o.d"
+  "/root/repo/src/stitch/transform_cache.cpp" "src/stitch/CMakeFiles/hs_stitch.dir/transform_cache.cpp.o" "gcc" "src/stitch/CMakeFiles/hs_stitch.dir/transform_cache.cpp.o.d"
+  "/root/repo/src/stitch/traversal.cpp" "src/stitch/CMakeFiles/hs_stitch.dir/traversal.cpp.o" "gcc" "src/stitch/CMakeFiles/hs_stitch.dir/traversal.cpp.o.d"
+  "/root/repo/src/stitch/validate.cpp" "src/stitch/CMakeFiles/hs_stitch.dir/validate.cpp.o" "gcc" "src/stitch/CMakeFiles/hs_stitch.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/hs_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgio/CMakeFiles/hs_imgio.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/hs_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/hs_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdata/CMakeFiles/hs_simdata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

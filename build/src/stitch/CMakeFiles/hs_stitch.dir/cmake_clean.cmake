@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_stitch.dir/ccf.cpp.o"
+  "CMakeFiles/hs_stitch.dir/ccf.cpp.o.d"
+  "CMakeFiles/hs_stitch.dir/impl_mt_cpu.cpp.o"
+  "CMakeFiles/hs_stitch.dir/impl_mt_cpu.cpp.o.d"
+  "CMakeFiles/hs_stitch.dir/impl_naive.cpp.o"
+  "CMakeFiles/hs_stitch.dir/impl_naive.cpp.o.d"
+  "CMakeFiles/hs_stitch.dir/impl_pipelined_cpu.cpp.o"
+  "CMakeFiles/hs_stitch.dir/impl_pipelined_cpu.cpp.o.d"
+  "CMakeFiles/hs_stitch.dir/impl_pipelined_gpu.cpp.o"
+  "CMakeFiles/hs_stitch.dir/impl_pipelined_gpu.cpp.o.d"
+  "CMakeFiles/hs_stitch.dir/impl_simple_cpu.cpp.o"
+  "CMakeFiles/hs_stitch.dir/impl_simple_cpu.cpp.o.d"
+  "CMakeFiles/hs_stitch.dir/impl_simple_gpu.cpp.o"
+  "CMakeFiles/hs_stitch.dir/impl_simple_gpu.cpp.o.d"
+  "CMakeFiles/hs_stitch.dir/pciam.cpp.o"
+  "CMakeFiles/hs_stitch.dir/pciam.cpp.o.d"
+  "CMakeFiles/hs_stitch.dir/stitcher.cpp.o"
+  "CMakeFiles/hs_stitch.dir/stitcher.cpp.o.d"
+  "CMakeFiles/hs_stitch.dir/table_io.cpp.o"
+  "CMakeFiles/hs_stitch.dir/table_io.cpp.o.d"
+  "CMakeFiles/hs_stitch.dir/transform_cache.cpp.o"
+  "CMakeFiles/hs_stitch.dir/transform_cache.cpp.o.d"
+  "CMakeFiles/hs_stitch.dir/traversal.cpp.o"
+  "CMakeFiles/hs_stitch.dir/traversal.cpp.o.d"
+  "CMakeFiles/hs_stitch.dir/validate.cpp.o"
+  "CMakeFiles/hs_stitch.dir/validate.cpp.o.d"
+  "libhs_stitch.a"
+  "libhs_stitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_stitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_trace.dir/trace.cpp.o"
+  "CMakeFiles/hs_trace.dir/trace.cpp.o.d"
+  "libhs_trace.a"
+  "libhs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgpu/buffer_pool.cpp" "src/vgpu/CMakeFiles/hs_vgpu.dir/buffer_pool.cpp.o" "gcc" "src/vgpu/CMakeFiles/hs_vgpu.dir/buffer_pool.cpp.o.d"
+  "/root/repo/src/vgpu/device.cpp" "src/vgpu/CMakeFiles/hs_vgpu.dir/device.cpp.o" "gcc" "src/vgpu/CMakeFiles/hs_vgpu.dir/device.cpp.o.d"
+  "/root/repo/src/vgpu/kernels.cpp" "src/vgpu/CMakeFiles/hs_vgpu.dir/kernels.cpp.o" "gcc" "src/vgpu/CMakeFiles/hs_vgpu.dir/kernels.cpp.o.d"
+  "/root/repo/src/vgpu/stream.cpp" "src/vgpu/CMakeFiles/hs_vgpu.dir/stream.cpp.o" "gcc" "src/vgpu/CMakeFiles/hs_vgpu.dir/stream.cpp.o.d"
+  "/root/repo/src/vgpu/vfft.cpp" "src/vgpu/CMakeFiles/hs_vgpu.dir/vfft.cpp.o" "gcc" "src/vgpu/CMakeFiles/hs_vgpu.dir/vfft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/hs_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/hs_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hs_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

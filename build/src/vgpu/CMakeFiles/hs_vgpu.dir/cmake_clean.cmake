@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_vgpu.dir/buffer_pool.cpp.o"
+  "CMakeFiles/hs_vgpu.dir/buffer_pool.cpp.o.d"
+  "CMakeFiles/hs_vgpu.dir/device.cpp.o"
+  "CMakeFiles/hs_vgpu.dir/device.cpp.o.d"
+  "CMakeFiles/hs_vgpu.dir/kernels.cpp.o"
+  "CMakeFiles/hs_vgpu.dir/kernels.cpp.o.d"
+  "CMakeFiles/hs_vgpu.dir/stream.cpp.o"
+  "CMakeFiles/hs_vgpu.dir/stream.cpp.o.d"
+  "CMakeFiles/hs_vgpu.dir/vfft.cpp.o"
+  "CMakeFiles/hs_vgpu.dir/vfft.cpp.o.d"
+  "libhs_vgpu.a"
+  "libhs_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

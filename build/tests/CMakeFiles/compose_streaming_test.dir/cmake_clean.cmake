@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compose_streaming_test.dir/compose_streaming_test.cpp.o"
+  "CMakeFiles/compose_streaming_test.dir/compose_streaming_test.cpp.o.d"
+  "compose_streaming_test"
+  "compose_streaming_test.pdb"
+  "compose_streaming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compose_streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

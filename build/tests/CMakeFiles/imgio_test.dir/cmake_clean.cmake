@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgio_test.dir/imgio_test.cpp.o"
+  "CMakeFiles/imgio_test.dir/imgio_test.cpp.o.d"
+  "imgio_test"
+  "imgio_test.pdb"
+  "imgio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipeak_test.dir/multipeak_test.cpp.o"
+  "CMakeFiles/multipeak_test.dir/multipeak_test.cpp.o.d"
+  "multipeak_test"
+  "multipeak_test.pdb"
+  "multipeak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipeak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

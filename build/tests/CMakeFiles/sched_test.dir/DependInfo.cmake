@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched_test.cpp" "tests/CMakeFiles/sched_test.dir/sched_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/hs_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgio/CMakeFiles/hs_imgio.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdata/CMakeFiles/hs_simdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/hs_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/hs_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stitch/CMakeFiles/hs_stitch.dir/DependInfo.cmake"
+  "/root/repo/build/src/compose/CMakeFiles/hs_compose.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hs_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_algo_test.dir/stitch_algo_test.cpp.o"
+  "CMakeFiles/stitch_algo_test.dir/stitch_algo_test.cpp.o.d"
+  "stitch_algo_test"
+  "stitch_algo_test.pdb"
+  "stitch_algo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_algo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

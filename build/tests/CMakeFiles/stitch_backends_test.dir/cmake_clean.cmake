@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_backends_test.dir/stitch_backends_test.cpp.o"
+  "CMakeFiles/stitch_backends_test.dir/stitch_backends_test.cpp.o.d"
+  "stitch_backends_test"
+  "stitch_backends_test.pdb"
+  "stitch_backends_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_backends_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

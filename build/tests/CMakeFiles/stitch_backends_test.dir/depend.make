@@ -1,0 +1,2 @@
+# Empty dependencies file for stitch_backends_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_extensions_test.dir/stitch_extensions_test.cpp.o"
+  "CMakeFiles/stitch_extensions_test.dir/stitch_extensions_test.cpp.o.d"
+  "stitch_extensions_test"
+  "stitch_extensions_test.pdb"
+  "stitch_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
