@@ -10,15 +10,29 @@
 // counts on this host.
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "sched/models.hpp"
 #include "simdata/plate.hpp"
+#include "stitch/cli_flags.hpp"
 #include "stitch/stitcher.hpp"
 #include "stitch/validate.hpp"
 
 using namespace hs;
 
-int main() {
+int main(int argc, char** argv) {
+  CliParser cli("ablation_multi_gpu",
+                "multi-GPU / p2p / Hyper-Q ablation (the GPU-count and mode "
+                "sweep is fixed; grid flags shape the real cross-check)");
+  stitch::GridCliDefaults grid_defaults;
+  grid_defaults.rows = 8;
+  grid_defaults.cols = 6;
+  grid_defaults.tile_height = 64;
+  grid_defaults.tile_width = 96;
+  grid_defaults.overlap = 0.25;
+  stitch::register_grid_flags(cli, grid_defaults);
+  if (!cli.parse(argc, argv)) return 0;
+
   std::printf("== Ablation: >2 GPUs, peer-to-peer halo copies, and "
               "Kepler/Hyper-Q ==\n\n");
 
@@ -57,12 +71,7 @@ int main() {
               fermi1 / projected);
 
   // ---- 2. Real cross-check: p2p removes the halo duplication. ---------------
-  sim::AcquisitionParams acq;
-  acq.grid_rows = 8;
-  acq.grid_cols = 6;
-  acq.tile_height = 64;
-  acq.tile_width = 96;
-  acq.overlap_fraction = 0.25;
+  sim::AcquisitionParams acq = stitch::acquisition_from_cli(cli);
   acq.camera_noise_sd = 90.0;
   const auto grid = sim::make_synthetic_grid(acq);
   stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);

@@ -10,23 +10,31 @@
 // requirement for the GPU pipelines.
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "simdata/plate.hpp"
+#include "stitch/cli_flags.hpp"
 #include "stitch/stitcher.hpp"
 
 using namespace hs;
 
-int main() {
-  std::printf("== Ablation: grid traversal order vs transform memory ==\n\n");
-
+int main(int argc, char** argv) {
+  CliParser cli("ablation_traversal",
+                "traversal-order ablation: every order runs on Simple-CPU; "
+                "grid flags shape the workload");
   // Wide grid (rows << cols), like the paper's 42 x 59: row orders must keep
   // a whole grid row alive, diagonal orders only ~min(rows, cols).
-  sim::AcquisitionParams acq;
-  acq.grid_rows = 6;
-  acq.grid_cols = 16;
-  acq.tile_height = 48;
-  acq.tile_width = 64;
-  acq.overlap_fraction = 0.2;
+  stitch::GridCliDefaults grid_defaults;
+  grid_defaults.rows = 6;
+  grid_defaults.cols = 16;
+  grid_defaults.tile_height = 48;
+  grid_defaults.tile_width = 64;
+  stitch::register_grid_flags(cli, grid_defaults);
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::printf("== Ablation: grid traversal order vs transform memory ==\n\n");
+
+  const sim::AcquisitionParams acq = stitch::acquisition_from_cli(cli);
   const auto grid = sim::make_synthetic_grid(acq);
   stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
   const double transform_mb =

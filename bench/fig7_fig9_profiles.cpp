@@ -11,9 +11,11 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "sched/models.hpp"
 #include "simdata/plate.hpp"
+#include "stitch/cli_flags.hpp"
 #include "stitch/stitcher.hpp"
 #include "trace/trace.hpp"
 
@@ -53,15 +55,33 @@ double union_occupancy(const trace::Recorder& recorder,
 
 }  // namespace
 
-int main() {
-  std::printf("== Figs 7 & 9: GPU execution profiles, 8 x 8 grid ==\n\n");
+int main(int argc, char** argv) {
+  CliParser cli("fig7_fig9_profiles",
+                "Figs 7 & 9 reproduction: Simple-GPU vs Pipelined-GPU "
+                "execution profiles (both backends run; stitch flags set "
+                "the shared configuration)");
+  stitch::StitchCliDefaults defaults;
+  defaults.include_backend = false;
+  defaults.options.gpu_memory_bytes = 256ull << 20;
+  stitch::register_stitch_flags(cli, defaults);
+  stitch::GridCliDefaults grid_defaults;
+  grid_defaults.rows = 8;
+  grid_defaults.cols = 8;
+  stitch::register_grid_flags(cli, grid_defaults);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const sim::AcquisitionParams acq = stitch::acquisition_from_cli(cli);
+  stitch::StitchOptions options = stitch::options_from_cli(cli);
+
+  std::printf("== Figs 7 & 9: GPU execution profiles, %zu x %zu grid ==\n\n",
+              acq.grid_rows, acq.grid_cols);
 
   // ---- Part 1: paper-machine model traces. ---------------------------------
   sched::ModelConfig config;
-  config.grid_rows = 8;
-  config.grid_cols = 8;
-  config.gpus = 1;
-  config.ccf_threads = 2;
+  config.grid_rows = acq.grid_rows;
+  config.grid_cols = acq.grid_cols;
+  config.gpus = options.gpu_count;
+  config.ccf_threads = options.ccf_threads;
 
   trace::Recorder simple_model;
   sched::model_backend(stitch::Backend::kSimpleGpu, config, &simple_model);
@@ -88,19 +108,8 @@ int main() {
               100.0 * pipelined_gpu_lane.occupancy);
 
   // ---- Part 2: real executions on the virtual GPU. --------------------------
-  sim::AcquisitionParams acq;
-  acq.grid_rows = 8;
-  acq.grid_cols = 8;
-  acq.tile_height = 96;
-  acq.tile_width = 128;
-  acq.overlap_fraction = 0.2;
   const auto grid = sim::make_synthetic_grid(acq);
   stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
-
-  stitch::StitchOptions options;
-  options.gpu_count = 1;
-  options.ccf_threads = 2;
-  options.gpu_memory_bytes = 256ull << 20;
 
   trace::Recorder simple_real;
   options.recorder = &simple_real;

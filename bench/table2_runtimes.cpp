@@ -10,11 +10,13 @@
 //      hardware_concurrency() cores and a virtual GPU).
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "common/thread_util.hpp"
 #include "sched/models.hpp"
 #include "simdata/plate.hpp"
+#include "stitch/cli_flags.hpp"
 #include "stitch/stitcher.hpp"
 
 using namespace hs;
@@ -30,7 +32,22 @@ struct PaperRow {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  CliParser cli("table2_runtimes",
+                "Table II reproduction: DES at paper scale + real backends "
+                "on a scaled grid (all backends run; stitch flags set the "
+                "shared base configuration)");
+  stitch::StitchCliDefaults defaults;
+  defaults.include_backend = false;
+  defaults.options.threads = effective_hardware_concurrency();
+  defaults.options.gpu_memory_bytes = 256ull << 20;
+  stitch::register_stitch_flags(cli, defaults);
+  stitch::GridCliDefaults grid_defaults;
+  grid_defaults.rows = 8;
+  grid_defaults.cols = 8;
+  stitch::register_grid_flags(cli, grid_defaults);
+  if (!cli.parse(argc, argv)) return 0;
+
   std::printf("== Table II: run times and speedups, 42 x 59 image grid ==\n\n");
 
   // ---- 1. Calibrated model at full paper scale. --------------------------
@@ -90,20 +107,12 @@ int main() {
               simple_gpu / pipe_gpu1);
 
   // ---- 2. Real implementations on a scaled workload on this host. --------
-  const std::size_t grid_rows = 8, grid_cols = 8;
-  sim::AcquisitionParams acq;
-  acq.grid_rows = grid_rows;
-  acq.grid_cols = grid_cols;
-  acq.tile_height = 96;
-  acq.tile_width = 128;
-  acq.overlap_fraction = 0.2;
+  const sim::AcquisitionParams acq = stitch::acquisition_from_cli(cli);
+  const std::size_t grid_rows = acq.grid_rows, grid_cols = acq.grid_cols;
   const auto grid = sim::make_synthetic_grid(acq);
   stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
 
-  stitch::StitchOptions options;
-  options.threads = effective_hardware_concurrency();
-  options.ccf_threads = 2;
-  options.gpu_memory_bytes = 256ull << 20;
+  stitch::StitchOptions options = stitch::options_from_cli(cli);
 
   TextTable real_table({"implementation", "GPUs", "measured", "vs Simple-CPU",
                         "peak live transforms"});

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "stitch/cli_flags.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "compose/blend.hpp"
@@ -42,20 +43,21 @@ int main(int argc, char** argv) {
   CliParser cli("live_cell_experiment",
                 "simulated time-lapse plate scanning with per-scan stitching");
   cli.add_flag("scans", "number of plate scans in the time-lapse", "6");
-  cli.add_flag("rows", "grid rows per scan", "4");
-  cli.add_flag("cols", "grid cols per scan", "5");
   cli.add_flag("deadline-ms", "stitching deadline per scan (ms)", "30000");
-  cli.add_flag("backend", "stitching backend", "pipelined-gpu");
+  stitch::StitchCliDefaults defaults;
+  defaults.options.threads = 4;
+  defaults.options.gpu_count = 2;
+  stitch::register_stitch_flags(cli, defaults);
+  stitch::GridCliDefaults grid_defaults;
+  grid_defaults.cols = 5;
+  stitch::register_grid_flags(cli, grid_defaults);
   if (!cli.parse(argc, argv)) return 0;
 
   const auto scans = static_cast<std::size_t>(cli.get_int("scans"));
-  const auto backend = stitch::parse_backend(cli.get("backend"));
+  const auto backend = stitch::backend_from_cli(cli);
   const double deadline_s = cli.get_double("deadline-ms") / 1e3;
 
-  stitch::StitchOptions options;
-  options.threads = 4;
-  options.gpu_count = 2;
-  options.ccf_threads = 2;
+  const stitch::StitchOptions options = stitch::options_from_cli(cli);
 
   TextTable table({"scan", "feature density", "stitch time", "within deadline",
                    "edges > 0.5 corr", "colony coverage"});
@@ -69,12 +71,7 @@ int main(int argc, char** argv) {
     plate.feature_density =
         static_cast<double>(scan) / static_cast<double>(scans - 1);
     plate.colonies_per_megapixel = 40.0;
-    sim::AcquisitionParams acq;
-    acq.grid_rows = static_cast<std::size_t>(cli.get_int("rows"));
-    acq.grid_cols = static_cast<std::size_t>(cli.get_int("cols"));
-    acq.tile_height = 96;
-    acq.tile_width = 128;
-    acq.overlap_fraction = 0.2;
+    sim::AcquisitionParams acq = stitch::acquisition_from_cli(cli);
     acq.seed = 2000 + scan;  // ...but fresh stage jitter every scan
     const auto grid = sim::make_synthetic_grid(acq, plate);
     stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);

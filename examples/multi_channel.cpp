@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "stitch/cli_flags.hpp"
 #include "common/stopwatch.hpp"
 #include "compose/blend.hpp"
 #include "compose/positions.hpp"
@@ -23,9 +24,14 @@ int main(int argc, char** argv) {
   CliParser cli("multi_channel",
                 "stitch a two-channel scan: register on one channel, "
                 "compose both");
-  cli.add_flag("rows", "grid rows", "4");
-  cli.add_flag("cols", "grid cols", "5");
-  cli.add_flag("backend", "stitching backend", "pipelined-cpu");
+  stitch::StitchCliDefaults defaults;
+  defaults.backend = "pipelined-cpu";
+  defaults.options.threads = 4;
+  stitch::register_stitch_flags(cli, defaults);
+  stitch::GridCliDefaults grid_defaults;
+  grid_defaults.cols = 5;
+  grid_defaults.seed = 77;
+  stitch::register_grid_flags(cli, grid_defaults);
   if (!cli.parse(argc, argv)) return 0;
 
   const auto rows = static_cast<std::size_t>(cli.get_int("rows"));
@@ -33,13 +39,7 @@ int main(int argc, char** argv) {
 
   // One specimen, two channels. Identical acquisition seed -> identical
   // stage jitter, so both channels share ground-truth tile positions.
-  sim::AcquisitionParams acq;
-  acq.grid_rows = rows;
-  acq.grid_cols = cols;
-  acq.tile_height = 96;
-  acq.tile_width = 128;
-  acq.overlap_fraction = 0.2;
-  acq.seed = 77;
+  const sim::AcquisitionParams acq = stitch::acquisition_from_cli(cli);
 
   sim::PlateParams phase_contrast;  // bright, textured
   phase_contrast.seed = 500;
@@ -63,11 +63,10 @@ int main(int argc, char** argv) {
 
   // Register on the phase-contrast channel only.
   stitch::MemoryTileProvider reliable(&channel_a.tiles, channel_a.layout);
-  stitch::StitchOptions options;
-  options.threads = 4;
+  stitch::StitchOptions options = stitch::options_from_cli(cli);
   Stopwatch stopwatch;
-  const auto result = stitch::stitch(stitch::parse_backend(cli.get("backend")),
-                                     reliable, options);
+  const auto result =
+      stitch::stitch(stitch::backend_from_cli(cli), reliable, options);
   const auto positions = compose::resolve_positions(
       result.table, compose::Phase2Method::kLeastSquares);
   std::printf("registered on channel A in %s (consistency RMS %.3f px)\n",

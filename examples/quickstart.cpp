@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "stitch/cli_flags.hpp"
 #include "common/stopwatch.hpp"
 #include "compose/blend.hpp"
 #include "compose/positions.hpp"
@@ -22,14 +23,13 @@ using namespace hs;
 
 int main(int argc, char** argv) {
   CliParser cli("quickstart", "stitch a microscopy tile grid end to end");
-  cli.add_flag("backend", "stitching backend", "pipelined-cpu");
-  cli.add_flag("rows", "grid rows", "4");
-  cli.add_flag("cols", "grid cols", "5");
-  cli.add_flag("tile-height", "tile height in pixels", "96");
-  cli.add_flag("tile-width", "tile width in pixels", "128");
-  cli.add_flag("overlap", "nominal tile overlap fraction", "0.2");
-  cli.add_flag("threads", "worker threads", "4");
-  cli.add_flag("gpus", "virtual GPUs (GPU backends)", "1");
+  stitch::StitchCliDefaults defaults;
+  defaults.backend = "pipelined-cpu";
+  defaults.options.threads = 4;
+  stitch::register_stitch_flags(cli, defaults);
+  stitch::GridCliDefaults grid_defaults;
+  grid_defaults.cols = 5;
+  stitch::register_grid_flags(cli, grid_defaults);
   cli.add_flag("dataset", "directory of an existing tile dataset", "");
   cli.add_flag("pattern", "filename pattern for --dataset", "t_r{r}_c{c}.tif");
   cli.add_flag("output", "mosaic output path (.pgm)", "mosaic.pgm");
@@ -42,12 +42,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<stitch::TileProvider> provider;
   sim::SyntheticGrid grid;  // keeps synthetic tiles alive
   if (cli.get("dataset").empty()) {
-    sim::AcquisitionParams acq;
-    acq.grid_rows = rows;
-    acq.grid_cols = cols;
-    acq.tile_height = static_cast<std::size_t>(cli.get_int("tile-height"));
-    acq.tile_width = static_cast<std::size_t>(cli.get_int("tile-width"));
-    acq.overlap_fraction = cli.get_double("overlap");
+    const sim::AcquisitionParams acq = stitch::acquisition_from_cli(cli);
     grid = sim::make_synthetic_grid(acq);
     provider =
         std::make_unique<stitch::MemoryTileProvider>(&grid.tiles, grid.layout);
@@ -68,11 +63,9 @@ int main(int argc, char** argv) {
   }
 
   // 2. Phase 1: relative displacements.
-  stitch::StitchOptions options;
-  options.threads = static_cast<std::size_t>(cli.get_int("threads"));
-  options.gpu_count = static_cast<std::size_t>(cli.get_int("gpus"));
+  stitch::StitchOptions options = stitch::options_from_cli(cli);
   Stopwatch stopwatch;
-  const auto backend = stitch::parse_backend(cli.get("backend"));
+  const auto backend = stitch::backend_from_cli(cli);
   const auto result = stitch::stitch(backend, *provider, options);
   std::printf("phase 1 [%s]: %s (%llu forward FFTs, peak %zu transforms "
               "live)\n",

@@ -17,6 +17,7 @@
 
 #include "common/cli.hpp"
 #include "common/stopwatch.hpp"
+#include "stitch/cli_flags.hpp"
 #include "compose/positions.hpp"
 #include "compose/streaming.hpp"
 #include "simdata/plate.hpp"
@@ -28,14 +29,9 @@ using namespace hs;
 
 namespace {
 
-img::GridLayout layout_from(const CliParser& cli) {
-  return img::GridLayout{static_cast<std::size_t>(cli.get_int("rows")),
-                         static_cast<std::size_t>(cli.get_int("cols"))};
-}
-
 img::TileGridDataset dataset_from(const CliParser& cli) {
   img::TileGridDataset dataset(cli.get("dir"), cli.get("pattern"),
-                               layout_from(cli));
+                               stitch::layout_from_cli(cli));
   const auto missing = dataset.missing_tiles();
   if (!missing.empty()) {
     throw IoError("dataset incomplete: " + std::to_string(missing.size()) +
@@ -45,13 +41,7 @@ img::TileGridDataset dataset_from(const CliParser& cli) {
 }
 
 int run_generate(const CliParser& cli) {
-  sim::AcquisitionParams acq;
-  acq.grid_rows = layout_from(cli).rows;
-  acq.grid_cols = layout_from(cli).cols;
-  acq.tile_height = static_cast<std::size_t>(cli.get_int("tile-height"));
-  acq.tile_width = static_cast<std::size_t>(cli.get_int("tile-width"));
-  acq.overlap_fraction = cli.get_double("overlap");
-  acq.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const sim::AcquisitionParams acq = stitch::acquisition_from_cli(cli);
   Stopwatch stopwatch;
   const auto grid = sim::make_synthetic_grid(acq);
   sim::write_dataset(grid, cli.get("dir"), cli.get("pattern"));
@@ -63,21 +53,13 @@ int run_generate(const CliParser& cli) {
 
 int run_stitch(const CliParser& cli) {
   stitch::DatasetTileProvider provider(dataset_from(cli));
-  stitch::StitchOptions options;
-  options.threads = static_cast<std::size_t>(cli.get_int("threads"));
-  options.ccf_threads = static_cast<std::size_t>(cli.get_int("ccf-threads"));
-  options.gpu_count = static_cast<std::size_t>(cli.get_int("gpus"));
-  options.traversal = stitch::parse_traversal(cli.get("traversal"));
-  options.kepler_concurrent_fft = cli.get_bool("kepler");
-  options.use_p2p = cli.get_bool("p2p");
-  options.peak_candidates = static_cast<std::size_t>(cli.get_int("peaks"));
-  options.min_overlap_px = cli.get_int("min-overlap");
+  stitch::StitchOptions options = stitch::options_from_cli(cli);
 
   trace::Recorder recorder(!cli.get("trace").empty());
   if (recorder.enabled()) options.recorder = &recorder;
 
   Stopwatch stopwatch;
-  const auto backend = stitch::parse_backend(cli.get("backend"));
+  const auto backend = stitch::backend_from_cli(cli);
   const auto result = stitch::stitch(backend, provider, options);
   std::printf("phase 1 [%s]: %s over %zu pairs (%llu reads, %llu forward "
               "FFTs, peak %zu transforms live)\n",
@@ -126,21 +108,10 @@ int main(int argc, char** argv) {
   cli.add_flag("mode", "generate | stitch | compose | all", "all");
   cli.add_flag("dir", "dataset directory", "stitch_cli_data");
   cli.add_flag("pattern", "tile filename pattern", "t_r{r}_c{c}.tif");
-  cli.add_flag("rows", "grid rows", "4");
-  cli.add_flag("cols", "grid cols", "6");
-  cli.add_flag("tile-height", "tile height (generate)", "96");
-  cli.add_flag("tile-width", "tile width (generate)", "128");
-  cli.add_flag("overlap", "overlap fraction (generate)", "0.2");
-  cli.add_flag("seed", "dataset seed (generate)", "42");
-  cli.add_flag("backend", "stitching backend", "pipelined-gpu");
-  cli.add_flag("threads", "worker threads", "4");
-  cli.add_flag("ccf-threads", "CCF threads", "2");
-  cli.add_flag("gpus", "virtual GPUs", "1");
-  cli.add_flag("traversal", "grid traversal order", "diagonal-chained");
-  cli.add_switch("kepler", "enable concurrent FFT kernels (Hyper-Q)");
-  cli.add_switch("p2p", "share halo transforms via peer-to-peer copies");
-  cli.add_flag("peaks", "correlation peaks tested per pair", "1");
-  cli.add_flag("min-overlap", "minimum candidate overlap in pixels", "1");
+  stitch::StitchCliDefaults defaults;
+  defaults.options.threads = 4;
+  stitch::register_stitch_flags(cli, defaults);
+  stitch::register_grid_flags(cli);
   cli.add_flag("table", "displacement table CSV path",
                "stitch_cli_data/table.csv");
   cli.add_flag("phase2", "mst | least-squares", "mst");

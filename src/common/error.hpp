@@ -37,6 +37,14 @@ class OutOfDeviceMemory : public Error {
   explicit OutOfDeviceMemory(const std::string& what) : Error(what) {}
 };
 
+/// Thrown out of a cooperatively cancelled operation (a stitch job whose
+/// CancelToken was requested mid-run). Distinct from failure: the caller
+/// asked for the unwind.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {

@@ -1,0 +1,41 @@
+// Cooperative cancellation token.
+//
+// A CancelToken is a one-way latch shared between a controller (the serve
+// layer's JobHandle, a deadline watchdog, a signal handler) and a running
+// computation. The computation polls it at natural preemption points —
+// between pairs, between queue pops — and unwinds by throwing hs::Cancelled,
+// which rides the same first-exception propagation path the pipeline already
+// uses for provider failures, so every stage drains deterministically.
+#pragma once
+
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace hs::pipe {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent, callable from any thread.
+  void request() { requested_.store(true, std::memory_order_release); }
+
+  bool requested() const {
+    return requested_.load(std::memory_order_acquire);
+  }
+
+  /// Preemption point: throws Cancelled once the token was requested.
+  void throw_if_requested() const {
+    if (requested()) [[unlikely]] {
+      throw Cancelled("operation cancelled");
+    }
+  }
+
+ private:
+  std::atomic<bool> requested_{false};
+};
+
+}  // namespace hs::pipe

@@ -1,0 +1,28 @@
+// Pre-admission prediction of a job's resource footprint.
+//
+// The service admits jobs against a global memory budget using the same
+// sizing rules the backends allocate by (StitchRequest::predicted_pool_bytes)
+// and ranks/reports them with a closed-form runtime estimate from the
+// calibrated cost model — the static counterpart of sched/model_backend's
+// discrete-event simulation, cheap enough to evaluate at submit time.
+#pragma once
+
+#include <cstddef>
+
+#include "sched/cost_model.hpp"
+#include "stitch/request.hpp"
+
+namespace hs::serve {
+
+struct JobFootprint {
+  /// Peak bytes (device pools + host tiles + scratch) the job will pin
+  /// while running; what the admission controller charges the budget.
+  std::size_t bytes = 0;
+  /// Closed-form runtime estimate, seconds on the modelled machine.
+  double seconds = 0.0;
+};
+
+JobFootprint predict_footprint(const stitch::StitchRequest& request,
+                               const sched::CostModel& cost);
+
+}  // namespace hs::serve

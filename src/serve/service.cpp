@@ -1,0 +1,263 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/thread_util.hpp"
+#include "stitch/stitcher.hpp"
+
+namespace hs::serve {
+
+std::string job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kAdmitted: return "admitted";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+StitchService::StitchService(ServiceConfig config)
+    : config_(std::move(config)), epoch_(std::chrono::steady_clock::now()) {
+  HS_REQUIRE(config_.workers >= 1, "workers: must be >= 1");
+  HS_REQUIRE(config_.memory_budget_bytes > 0,
+             "memory_budget_bytes: must be > 0");
+  HS_REQUIRE(config_.max_queued >= 1, "max_queued: must be >= 1");
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+StitchService::~StitchService() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_workers_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Handles may outlive the service; their cancel() must not call back
+  // into a destroyed scheduler.
+  for (const Record& record : jobs_) {
+    std::lock_guard<std::mutex> lock(record->mutex);
+    record->notify_service = nullptr;
+  }
+}
+
+double StitchService::elapsed_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+JobHandle StitchService::submit(StitchJob job) {
+  auto record = std::make_shared<detail::JobRecord>();
+  record->name = std::move(job.name);
+  record->request =
+      stitch::StitchRequest{job.backend, job.provider, job.options};
+  record->request.validate();
+  record->priority = job.priority;
+
+  const JobFootprint footprint =
+      predict_footprint(record->request, config_.cost);
+  record->footprint_bytes = footprint.bytes;
+  record->predicted_seconds = footprint.seconds;
+  record->pairs_total = job.provider->layout().pair_count();
+  if (footprint.bytes > config_.memory_budget_bytes) {
+    throw InvalidArgument(
+        "job " + record->name + ": predicted footprint of " +
+        std::to_string(footprint.bytes) +
+        " bytes exceeds the service memory budget of " +
+        std::to_string(config_.memory_budget_bytes) +
+        " bytes; it could never be admitted");
+  }
+  if (config_.record_traces && record->request.options.recorder == nullptr) {
+    record->recorder = std::make_unique<trace::Recorder>();
+  }
+  record->notify_service = [this] {
+    // Lock so the wake cannot slip between a worker's predicate check and
+    // its wait (the token itself is atomic, not guarded by mutex_).
+    std::lock_guard<std::mutex> lock(mutex_);
+    cv_workers_.notify_all();
+  };
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_submit_.wait(lock, [&] { return queue_.size() < config_.max_queued; });
+  if (record->name.empty()) {
+    record->name = "job" + std::to_string(jobs_.size());
+  }
+  record->timing.submit_us = elapsed_us();
+  // Priority-ordered insert, FIFO among equals.
+  auto it = std::find_if(
+      queue_.begin(), queue_.end(),
+      [&](const Record& r) { return r->priority < record->priority; });
+  queue_.insert(it, record);
+  jobs_.push_back(record);
+  lock.unlock();
+  cv_workers_.notify_one();
+  return JobHandle(record);
+}
+
+StitchService::Record StitchService::pick_locked() {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    Record record = *it;
+    if (record->cancel.requested()) {
+      // Cancelled while queued: retire without ever admitting.
+      it = queue_.erase(it);
+      {
+        std::lock_guard<std::mutex> lock(record->mutex);
+        record->state = JobState::kCancelled;
+        record->timing.end_us = elapsed_us();
+      }
+      record->cv.notify_all();
+      cv_idle_.notify_all();
+      cv_submit_.notify_all();
+      continue;
+    }
+    if (record->footprint_bytes <=
+        config_.memory_budget_bytes - memory_in_use_) {
+      queue_.erase(it);
+      return record;
+    }
+    ++it;
+  }
+  return nullptr;
+}
+
+void StitchService::worker_main(std::size_t id) {
+  set_current_thread_name("serve.worker" + std::to_string(id));
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    Record job;
+    cv_workers_.wait(lock, [&] {
+      if (stopping_) return true;
+      job = pick_locked();
+      return job != nullptr;
+    });
+    if (job == nullptr) return;  // stopping, queue drained
+    memory_in_use_ += job->footprint_bytes;
+    ++running_;
+    // Admission freed a queue slot: a backpressured submit may proceed.
+    cv_submit_.notify_all();
+    lock.unlock();
+    run_job(job);
+    lock.lock();
+    memory_in_use_ -= job->footprint_bytes;
+    --running_;
+    // A completed job returns budget: other queued jobs may now fit, a
+    // backpressured submit may proceed, wait_idle may resolve.
+    cv_workers_.notify_all();
+    cv_submit_.notify_all();
+    cv_idle_.notify_all();
+  }
+}
+
+void StitchService::run_job(const Record& record) {
+  {
+    std::lock_guard<std::mutex> lock(record->mutex);
+    if (record->cancel.requested()) {  // lost the race to a cancel
+      record->state = JobState::kCancelled;
+      record->timing.end_us = elapsed_us();
+      record->cv.notify_all();
+      return;
+    }
+    record->state = JobState::kAdmitted;
+    record->timing.start_us = elapsed_us();
+  }
+
+  stitch::StitchRequest request = record->request;
+  request.options.cancel = &record->cancel;
+  request.options.pairs_done = &record->pairs_done;
+  if (record->recorder != nullptr) {
+    request.options.recorder = record->recorder.get();
+  }
+  {
+    std::lock_guard<std::mutex> lock(record->mutex);
+    record->state = JobState::kRunning;
+  }
+
+  try {
+    stitch::StitchResult result = stitch::stitch(request);
+    std::lock_guard<std::mutex> lock(record->mutex);
+    record->result = std::move(result);
+    record->state = JobState::kDone;
+    record->timing.end_us = elapsed_us();
+  } catch (const Cancelled&) {
+    std::lock_guard<std::mutex> lock(record->mutex);
+    record->error = std::current_exception();
+    record->state = JobState::kCancelled;
+    record->timing.end_us = elapsed_us();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(record->mutex);
+    record->error = std::current_exception();
+    record->state = JobState::kFailed;
+    record->timing.end_us = elapsed_us();
+  }
+  record->cv.notify_all();
+}
+
+void StitchService::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+void StitchService::cancel_all() {
+  std::vector<Record> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = jobs_;
+  }
+  for (const Record& record : snapshot) record->cancel.request();
+  std::lock_guard<std::mutex> lock(mutex_);
+  cv_workers_.notify_all();
+}
+
+std::size_t StitchService::memory_in_use_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memory_in_use_;
+}
+
+std::size_t StitchService::queued_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t StitchService::running_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+void StitchService::compose_timeline(trace::Recorder& out) const {
+  std::vector<Record> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = jobs_;
+  }
+  for (const Record& record : snapshot) {
+    JobTiming timing;
+    JobState state;
+    {
+      std::lock_guard<std::mutex> lock(record->mutex);
+      timing = record->timing;
+      state = record->state;
+    }
+    if (record->recorder != nullptr) {
+      // Per-job recorders start their clock at submit; shift their spans
+      // onto the service clock.
+      out.import(*record->recorder, record->name + ".", timing.submit_us);
+    }
+    if (state == JobState::kQueued) continue;
+    const double begin =
+        timing.start_us > 0.0 ? timing.start_us : timing.submit_us;
+    const double end = timing.end_us > 0.0 ? timing.end_us : elapsed_us();
+    out.record("serve.jobs",
+               record->name + " (" + job_state_name(state) + ")", begin, end);
+  }
+}
+
+}  // namespace hs::serve

@@ -1,0 +1,107 @@
+// Multi-job stitch service: a shared worker pool executing many stitch
+// requests concurrently under one global memory budget.
+//
+// Admission control is the paper's pool-sizing discipline lifted from one
+// run to many: each backend allocates a bounded, predictable amount of
+// memory (its buffer pool plus host tiles), so the service can admit jobs
+// whenever the sum of predicted footprints fits the budget — an oversized
+// mix queues instead of OOM-crashing. Scheduling is priority-first,
+// best-fit-FIFO second: a worker picks the highest-priority queued job
+// whose footprint fits the remaining budget, so one huge job cannot starve
+// the queue while small ones fit, yet always runs eventually because the
+// whole budget drains back between admissions.
+//
+// Results are bit-identical to calling stitch() directly: the service adds
+// no reordering inside a job, only between jobs.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/cost_model.hpp"
+#include "serve/footprint.hpp"
+#include "serve/job.hpp"
+#include "trace/trace.hpp"
+
+namespace hs::serve {
+
+struct ServiceConfig {
+  /// Concurrent jobs (each job parallelizes internally on top of this).
+  std::size_t workers = 2;
+  /// Global budget the sum of running jobs' footprints must fit in.
+  std::size_t memory_budget_bytes = 512ull << 20;
+  /// Backpressure: submit() blocks while this many jobs are queued.
+  std::size_t max_queued = 64;
+  /// Give each job (without a caller-supplied recorder) a private trace
+  /// recorder; compose_timeline() later merges them into one timeline.
+  bool record_traces = false;
+  /// Machine model used for predicted runtimes.
+  sched::CostModel cost = sched::CostModel::paper_machine();
+};
+
+class StitchService {
+ public:
+  explicit StitchService(ServiceConfig config);
+  /// Drains: waits for every submitted job to reach a terminal state.
+  ~StitchService();
+
+  StitchService(const StitchService&) = delete;
+  StitchService& operator=(const StitchService&) = delete;
+
+  /// Validates the job's request (throws InvalidArgument with the offending
+  /// field on bad option combinations), predicts its footprint, and
+  /// enqueues it. Throws InvalidArgument if the footprint exceeds the whole
+  /// budget — such a job could never be admitted. Blocks while the queue is
+  /// at max_queued (backpressure).
+  JobHandle submit(StitchJob job);
+
+  /// Blocks until every submitted job is terminal.
+  void wait_idle();
+
+  /// Requests cancellation of every non-terminal job.
+  void cancel_all();
+
+  std::size_t memory_budget_bytes() const { return config_.memory_budget_bytes; }
+  std::size_t memory_in_use_bytes() const;
+  std::size_t queued_count() const;
+  std::size_t running_count() const;
+
+  /// Merges every finished job's private recorder into `out`: each job's
+  /// lanes appear as "<job>.<lane>", shifted to the service clock, plus one
+  /// "serve.jobs" lane with a span per job lifetime. Call after the jobs of
+  /// interest finished (spans of running jobs are composed as-is).
+  void compose_timeline(trace::Recorder& out) const;
+
+ private:
+  using Record = std::shared_ptr<detail::JobRecord>;
+
+  void worker_main(std::size_t id);
+  /// Picks the next admissible queued job; nullptr when none fits. Retires
+  /// cancelled queued jobs on the way. Caller holds mutex_.
+  Record pick_locked();
+  void run_job(const Record& record);
+  double elapsed_us() const;
+
+  ServiceConfig config_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_workers_;  ///< queue or budget changed
+  std::condition_variable cv_submit_;   ///< backpressure slots freed
+  std::condition_variable cv_idle_;     ///< a job reached a terminal state
+  std::deque<Record> queue_;            ///< priority-ordered, FIFO within
+  std::vector<Record> jobs_;            ///< every job ever submitted
+  std::size_t memory_in_use_ = 0;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hs::serve

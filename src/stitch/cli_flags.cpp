@@ -1,0 +1,98 @@
+#include "stitch/cli_flags.hpp"
+
+#include <string>
+
+#include "stitch/traversal.hpp"
+
+namespace hs::stitch {
+
+namespace {
+
+std::string num(std::size_t v) { return std::to_string(v); }
+std::string boolean(bool v) { return v ? "true" : "false"; }
+
+std::size_t get_size(const CliParser& cli, const std::string& name) {
+  const std::int64_t v = cli.get_int(name);
+  HS_REQUIRE(v >= 0, "flag --" + name + " must be non-negative");
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+void register_stitch_flags(CliParser& cli, const StitchCliDefaults& defaults) {
+  const StitchOptions& o = defaults.options;
+  if (defaults.include_backend) {
+    cli.add_flag("backend", "stitching backend", defaults.backend);
+  }
+  cli.add_flag("threads", "worker threads", num(o.threads));
+  cli.add_flag("read-threads", "tile reader threads (pipelined backends)",
+               num(o.read_threads));
+  cli.add_flag("ccf-threads", "CCF threads (pipelined-gpu)",
+               num(o.ccf_threads));
+  cli.add_flag("gpus", "virtual GPUs (pipelined-gpu)", num(o.gpu_count));
+  cli.add_flag("gpu-memory-mb", "device memory per virtual GPU, MiB",
+               num(o.gpu_memory_bytes >> 20));
+  cli.add_flag("pool-buffers", "buffer-pool slots (0 = auto: working set + 4)",
+               num(o.pool_buffers));
+  cli.add_flag("traversal", "grid traversal order",
+               traversal_name(o.traversal));
+  cli.add_flag("kepler", "concurrent FFT kernels (Hyper-Q)",
+               boolean(o.kepler_concurrent_fft));
+  cli.add_flag("fft-streams", "FFT streams per GPU (needs --kepler when > 1)",
+               num(o.fft_streams));
+  cli.add_flag("p2p", "share halo transforms via peer-to-peer copies",
+               boolean(o.use_p2p));
+  cli.add_flag("peaks", "correlation peaks tested per pair",
+               num(o.peak_candidates));
+  cli.add_flag("min-overlap", "minimum candidate overlap in pixels",
+               std::to_string(o.min_overlap_px));
+}
+
+Backend backend_from_cli(const CliParser& cli) {
+  return parse_backend(cli.get("backend"));
+}
+
+StitchOptions options_from_cli(const CliParser& cli) {
+  StitchOptions options;
+  options.threads = get_size(cli, "threads");
+  options.read_threads = get_size(cli, "read-threads");
+  options.ccf_threads = get_size(cli, "ccf-threads");
+  options.gpu_count = get_size(cli, "gpus");
+  options.gpu_memory_bytes = get_size(cli, "gpu-memory-mb") << 20;
+  options.pool_buffers = get_size(cli, "pool-buffers");
+  options.traversal = parse_traversal(cli.get("traversal"));
+  options.kepler_concurrent_fft = cli.get_bool("kepler");
+  options.fft_streams = get_size(cli, "fft-streams");
+  options.use_p2p = cli.get_bool("p2p");
+  options.peak_candidates = get_size(cli, "peaks");
+  options.min_overlap_px = static_cast<int>(cli.get_int("min-overlap"));
+  return options;
+}
+
+void register_grid_flags(CliParser& cli, const GridCliDefaults& defaults) {
+  cli.add_flag("rows", "grid rows", num(defaults.rows));
+  cli.add_flag("cols", "grid cols", num(defaults.cols));
+  cli.add_flag("tile-height", "tile height in pixels",
+               num(defaults.tile_height));
+  cli.add_flag("tile-width", "tile width in pixels", num(defaults.tile_width));
+  cli.add_flag("overlap", "overlap fraction between adjacent tiles",
+               std::to_string(defaults.overlap));
+  cli.add_flag("seed", "synthetic dataset seed", num(defaults.seed));
+}
+
+img::GridLayout layout_from_cli(const CliParser& cli) {
+  return img::GridLayout{get_size(cli, "rows"), get_size(cli, "cols")};
+}
+
+sim::AcquisitionParams acquisition_from_cli(const CliParser& cli) {
+  sim::AcquisitionParams acq;
+  acq.grid_rows = get_size(cli, "rows");
+  acq.grid_cols = get_size(cli, "cols");
+  acq.tile_height = get_size(cli, "tile-height");
+  acq.tile_width = get_size(cli, "tile-width");
+  acq.overlap_fraction = cli.get_double("overlap");
+  acq.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  return acq;
+}
+
+}  // namespace hs::stitch

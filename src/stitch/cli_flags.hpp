@@ -1,0 +1,61 @@
+// Shared command-line flag registration for every binary that builds a
+// StitchOptions — the examples and the benchmark harnesses used to each
+// hand-roll the same dozen flags with drifting names and defaults; this is
+// the single source of truth for flag spelling, help text, and the mapping
+// onto StitchOptions / AcquisitionParams.
+//
+// Usage:
+//   CliParser cli("tool", "...");
+//   stitch::StitchCliDefaults defaults;            // or customize
+//   stitch::register_stitch_flags(cli, defaults);
+//   stitch::register_grid_flags(cli);
+//   if (!cli.parse(argc, argv)) return 0;
+//   auto backend = stitch::backend_from_cli(cli);
+//   auto options = stitch::options_from_cli(cli);  // parse only; invalid
+//       // combinations are rejected by StitchRequest::validate() at
+//       // stitch() time with a field-specific message.
+#pragma once
+
+#include "common/cli.hpp"
+#include "simdata/plate.hpp"
+#include "stitch/stitcher.hpp"
+
+namespace hs::stitch {
+
+/// Per-binary defaults shown in --help and used when a flag is absent.
+struct StitchCliDefaults {
+  std::string backend = "pipelined-gpu";
+  /// Benches that sweep a fixed backend set omit the --backend flag.
+  bool include_backend = true;
+  StitchOptions options;
+};
+
+/// Registers: --backend --threads --read-threads --ccf-threads --gpus
+/// --gpu-memory-mb --pool-buffers --traversal --kepler --fft-streams --p2p
+/// --peaks --min-overlap.
+void register_stitch_flags(CliParser& cli,
+                           const StitchCliDefaults& defaults = {});
+
+Backend backend_from_cli(const CliParser& cli);
+
+/// Builds a StitchOptions from the flags above. Purely a parse: option
+/// invariants stay centralized in StitchRequest::validate().
+StitchOptions options_from_cli(const CliParser& cli);
+
+/// Synthetic-grid defaults for binaries that generate their own data.
+struct GridCliDefaults {
+  std::size_t rows = 4;
+  std::size_t cols = 6;
+  std::size_t tile_height = 96;
+  std::size_t tile_width = 128;
+  double overlap = 0.2;
+  std::uint64_t seed = 42;
+};
+
+/// Registers: --rows --cols --tile-height --tile-width --overlap --seed.
+void register_grid_flags(CliParser& cli, const GridCliDefaults& defaults = {});
+
+img::GridLayout layout_from_cli(const CliParser& cli);
+sim::AcquisitionParams acquisition_from_cli(const CliParser& cli);
+
+}  // namespace hs::stitch

@@ -55,6 +55,7 @@ StitchResult stitch_mt_cpu(const TileProvider& provider,
       PciamScratch scratch;
       auto run_pair = [&](img::TilePos reference, img::TilePos moved,
                           Translation& out) {
+        throw_if_cancelled(options);
         const fft::Complex* fft_ref = cache.transform(reference);
         const fft::Complex* fft_mov = cache.transform(moved);
         out = pciam_from_ffts(fft_ref, fft_mov, cache.tile(reference),
@@ -63,6 +64,7 @@ StitchResult stitch_mt_cpu(const TileProvider& provider,
                               options.min_overlap_px);
         cache.release(reference);
         cache.release(moved);
+        note_pair_done(options);
       };
       for (const img::TilePos pos : order) {
         if (pos.row < row_begin || pos.row >= row_end) continue;

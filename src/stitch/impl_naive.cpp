@@ -29,11 +29,13 @@ StitchResult stitch_naive(const TileProvider& provider,
   PciamScratch scratch;
   auto run_pair = [&](img::TilePos reference, img::TilePos moved,
                       Translation& out) {
+    throw_if_cancelled(options);
     const img::ImageU16 a = provider.load(reference);
     const img::ImageU16 b = provider.load(moved);
     counts.bump(counts.tile_reads, 2);
     out = pciam_full(a, b, *forward, *inverse, scratch, &counts,
                      options.peak_candidates, options.min_overlap_px);
+    note_pair_done(options);
   };
 
   for (const img::TilePos pos : traversal_order(layout, options.traversal)) {

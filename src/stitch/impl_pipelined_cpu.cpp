@@ -103,10 +103,10 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
       options.rigor);
 
   const std::size_t required = traversal_working_set(layout, options.traversal);
+  // Sizing invariants (slots > working set) are enforced up front by
+  // StitchRequest::validate().
   const std::size_t slots =
       options.pool_buffers > 0 ? options.pool_buffers : required + 4;
-  HS_REQUIRE(slots > required,
-             "pool too small for this traversal's working set");
   SlotLimiter limiter(slots);
 
   std::vector<Entry> store(layout.tile_count());
@@ -153,6 +153,7 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
       "read", std::max<std::size_t>(1, options.read_threads),
       [&] {
         for (;;) {
+          throw_if_cancelled(options);
           const std::size_t i =
               next_tile.fetch_add(1, std::memory_order_relaxed);
           if (i >= order.size() || pipeline.cancelled()) return;
@@ -217,6 +218,7 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
     const std::string lane = "cpu.worker" + std::to_string(id);
     PciamScratch scratch;
     while (auto item = work.pop()) {
+      throw_if_cancelled(options);
       if (auto* task = std::get_if<FftTask>(&*item)) {
         Entry& e = store[layout.index_of(task->pos)];
         e.transform.resize(task->tile.pixel_count());
@@ -255,6 +257,7 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
       }
       release_tile(task.reference);
       release_tile(task.moved);
+      note_pair_done(options);
     }
   });
 

@@ -280,12 +280,12 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
     gpu->inverse = std::make_unique<vgpu::VFftPlan2d>(
         *gpu->device, h, w, fft::Direction::kInverse, options.rigor);
 
+    // Per-band pool sizing (pool > band working set) is enforced up front by
+    // StitchRequest::validate().
     const std::size_t pool_size =
         options.pool_buffers > 0
             ? options.pool_buffers
             : traversal_working_set(band, options.traversal) + 4;
-    HS_REQUIRE(pool_size > traversal_working_set(band, options.traversal),
-               "GPU pool must exceed the traversal's working set");
     gpu->pool = std::make_unique<vgpu::BufferPool>(*gpu->device, pool_size,
                                                    buffer_bytes);
     // Backward-transform buffers are reserved separately so the copier can
@@ -341,6 +341,7 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
         std::max<std::size_t>(1, options.read_threads),
         [gpu, &provider, &counts, &options, &layout] {
           for (const img::TilePos pos : gpu->tiles_to_read) {
+            throw_if_cancelled(options);
             if (gpu->q_read.closed()) return;
             TileWork work;
             work.pos = pos;
@@ -504,6 +505,7 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
         "g" + std::to_string(gpu->id) + ".displacement", 1,
         [gpu, &layout, &counts, &q_ccf, count, &options] {
           while (auto pair = gpu->q_pairs.pop()) {
+            throw_if_cancelled(options);
             vgpu::PooledBuffer ncc = gpu->ncc_pool->acquire();
             const fft::Complex* fa = nullptr;
             const fft::Complex* fb = nullptr;
@@ -575,6 +577,7 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
         const std::size_t id = ccf_ids.fetch_add(1, std::memory_order_relaxed);
         const std::string lane = "cpu.ccf" + std::to_string(id);
         while (auto task = q_ccf.pop()) {
+          throw_if_cancelled(options);
           counts.bump(counts.ccf_evaluations, 4 * task->peak_indices.size());
           Translation translation;
           if (options.recorder != nullptr) {
@@ -594,6 +597,7 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
           } else {
             table->north_of(task->moved_pos) = translation;
           }
+          note_pair_done(options);
         }
       });
 

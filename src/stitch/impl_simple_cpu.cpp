@@ -29,6 +29,7 @@ StitchResult stitch_simple_cpu(const TileProvider& provider,
 
   auto run_pair = [&](img::TilePos reference, img::TilePos moved,
                       Translation& out) {
+    throw_if_cancelled(options);
     const fft::Complex* fft_ref = cache.transform(reference);
     const fft::Complex* fft_mov = cache.transform(moved);
     out = pciam_from_ffts(fft_ref, fft_mov, cache.tile(reference),
@@ -36,6 +37,7 @@ StitchResult stitch_simple_cpu(const TileProvider& provider,
                           options.peak_candidates, options.min_overlap_px);
     cache.release(reference);
     cache.release(moved);
+    note_pair_done(options);
   };
 
   for (const img::TilePos pos : traversal_order(layout, options.traversal)) {

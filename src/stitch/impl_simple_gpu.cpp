@@ -56,10 +56,9 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
   vgpu::VFftPlan2d inverse(device, h, w, fft::Direction::kInverse,
                            options.rigor);
 
+  // Pool sizing (working set + NCC buffer) is enforced up front by
+  // StitchRequest::validate().
   const std::size_t pool_size = auto_pool_size(layout, options);
-  HS_REQUIRE(pool_size >= traversal_working_set(layout, options.traversal) + 2,
-             "GPU pool must exceed the traversal's working set plus an NCC "
-             "working buffer");
   vgpu::BufferPool pool(device, pool_size, buffer_bytes);
   const std::size_t peaks_k = std::max<std::size_t>(1, options.peak_candidates);
   vgpu::DeviceBuffer reduce_out =
@@ -124,6 +123,7 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
 
   auto run_pair = [&](img::TilePos ref_pos, img::TilePos mov_pos,
                       Translation& out) {
+    throw_if_cancelled(options);
     TileState& ref = ensure_tile(ref_pos);
     TileState& mov = ensure_tile(mov_pos);
 
@@ -172,6 +172,7 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
 
     release_tile(ref_pos);
     release_tile(mov_pos);
+    note_pair_done(options);
   };
 
   for (const img::TilePos pos : traversal_order(layout, options.traversal)) {

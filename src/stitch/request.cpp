@@ -1,0 +1,212 @@
+#include "stitch/request.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "stitch/impl.hpp"
+
+namespace hs::stitch {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& field, const std::string& what) {
+  throw InvalidArgument(field + ": " + what);
+}
+
+std::string num(std::size_t v) { return std::to_string(v); }
+
+bool uses_worker_threads(Backend backend) {
+  return backend == Backend::kMtCpu || backend == Backend::kPipelinedCpu ||
+         backend == Backend::kPipelinedGpu;
+}
+
+bool is_pipelined(Backend backend) {
+  return backend == Backend::kPipelinedCpu ||
+         backend == Backend::kPipelinedGpu;
+}
+
+/// Mirrors impl_pipelined_gpu's partition: contiguous row bands, one per
+/// effective GPU, a halo row prepended to every band but the first.
+std::vector<img::GridLayout> gpu_bands(const img::GridLayout& layout,
+                                       std::size_t gpu_count) {
+  const std::size_t gpus =
+      std::max<std::size_t>(1, std::min(gpu_count, layout.rows));
+  std::vector<img::GridLayout> bands;
+  bands.reserve(gpus);
+  for (std::size_t g = 0; g < gpus; ++g) {
+    const std::size_t row_begin = g * layout.rows / gpus;
+    const std::size_t row_end = (g + 1) * layout.rows / gpus;
+    bands.push_back(
+        img::GridLayout{row_end - row_begin + (g > 0 ? 1 : 0), layout.cols});
+  }
+  return bands;
+}
+
+}  // namespace
+
+void StitchRequest::validate() const {
+  if (provider == nullptr) fail("provider", "must not be null");
+  const img::GridLayout layout = provider->layout();
+  if (layout.tile_count() < 1) fail("provider", "empty grid");
+  const StitchOptions& o = options;
+
+  // --- invariants shared by every backend.
+  if (o.peak_candidates < 1) {
+    fail("peak_candidates",
+         "must be >= 1 (got " + num(o.peak_candidates) + ")");
+  }
+  if (o.min_overlap_px < 1) {
+    fail("min_overlap_px",
+         "must be >= 1 (got " + std::to_string(o.min_overlap_px) + ")");
+  }
+
+  // --- thread counts, scoped to the backends that consume them.
+  if (uses_worker_threads(backend) && o.threads < 1) {
+    fail("threads", "must be >= 1 for backend " + backend_name(backend));
+  }
+  if (is_pipelined(backend) && o.read_threads < 1) {
+    fail("read_threads",
+         "must be >= 1 for backend " + backend_name(backend));
+  }
+
+  // --- pool sizing against the traversal's working set (the paper's "pool
+  // must exceed the smallest dimension of the image grid" rule,
+  // generalized per traversal).
+  const std::size_t ws = traversal_working_set(layout, o.traversal);
+  if (backend == Backend::kPipelinedCpu && o.pool_buffers > 0 &&
+      o.pool_buffers <= ws) {
+    fail("pool_buffers",
+         "pool of " + num(o.pool_buffers) + " cannot cover traversal " +
+             traversal_name(o.traversal) + "'s working set of " + num(ws) +
+             " on a " + num(layout.rows) + "x" + num(layout.cols) +
+             " grid; need > " + num(ws));
+  }
+  if (backend == Backend::kSimpleGpu) {
+    const std::size_t pool = o.pool_buffers > 0 ? o.pool_buffers : ws + 4;
+    if (pool < ws + 2) {
+      fail("pool_buffers",
+           "pool of " + num(pool) + " cannot cover traversal " +
+               traversal_name(o.traversal) + "'s working set of " + num(ws) +
+               " plus an NCC working buffer; need >= " + num(ws + 2));
+    }
+  }
+
+  // --- GPU pipeline invariants.
+  if (backend == Backend::kPipelinedGpu) {
+    if (o.gpu_count < 1) fail("gpu_count", "must be >= 1");
+    if (o.ccf_threads < 1) fail("ccf_threads", "must be >= 1");
+    if (o.fft_streams < 1) fail("fft_streams", "must be >= 1");
+    if (o.fft_streams > 1 && !o.kepler_concurrent_fft) {
+      fail("fft_streams",
+           num(o.fft_streams) + " streams need kepler_concurrent_fft: the "
+           "Fermi model serializes FFT kernels, so extra streams are dead "
+           "weight");
+    }
+    if (o.use_p2p && o.gpu_count < 2) {
+      fail("use_p2p",
+           "requires gpu_count > 1 (got " + num(o.gpu_count) +
+               "): peer-to-peer halo sharing needs a neighbouring device");
+    }
+    if (o.pool_buffers > 0) {
+      for (const img::GridLayout& band : gpu_bands(layout, o.gpu_count)) {
+        const std::size_t band_ws = traversal_working_set(band, o.traversal);
+        if (o.pool_buffers <= band_ws) {
+          fail("pool_buffers",
+               "pool of " + num(o.pool_buffers) +
+                   " cannot cover traversal " + traversal_name(o.traversal) +
+                   "'s per-band working set of " + num(band_ws) + " (band " +
+                   num(band.rows) + "x" + num(band.cols) + "); need > " +
+                   num(band_ws));
+        }
+      }
+    }
+  }
+}
+
+std::size_t StitchRequest::predicted_pool_bytes() const {
+  HS_REQUIRE(provider != nullptr, "provider must not be null");
+  const img::GridLayout layout = provider->layout();
+  const std::size_t h = provider->tile_height();
+  const std::size_t w = provider->tile_width();
+  const std::size_t transform_bytes = h * w * sizeof(fft::Complex);
+  const std::size_t tile_bytes = h * w * sizeof(std::uint16_t);
+  const std::size_t ws = traversal_working_set(layout, options.traversal);
+
+  switch (backend) {
+    case Backend::kNaivePairwise:
+      // Two tiles + both transforms + the correlation surface per pair.
+      return 2 * tile_bytes + 3 * transform_bytes;
+    case Backend::kSimpleCpu:
+      return (ws + 1) * (transform_bytes + tile_bytes) + transform_bytes;
+    case Backend::kMtCpu: {
+      // Each band closes pairs independently; charge one in-flight scratch
+      // transform per worker on top of the shared cache's working set.
+      const std::size_t bands = std::max<std::size_t>(
+          1, std::min(options.threads, layout.rows));
+      return (ws + bands) * (transform_bytes + tile_bytes) +
+             bands * transform_bytes;
+    }
+    case Backend::kPipelinedCpu: {
+      const std::size_t slots =
+          options.pool_buffers > 0 ? options.pool_buffers : ws + 4;
+      return slots * (transform_bytes + tile_bytes) +
+             options.threads * transform_bytes;
+    }
+    case Backend::kSimpleGpu: {
+      const std::size_t pool =
+          options.pool_buffers > 0 ? options.pool_buffers : ws + 4;
+      // Device pool + host tiles pinned alongside + staging + reduce.
+      return pool * (transform_bytes + tile_bytes) + 2 * transform_bytes;
+    }
+    case Backend::kPipelinedGpu: {
+      std::size_t total = 0;
+      for (const img::GridLayout& band :
+           gpu_bands(layout, options.gpu_count)) {
+        const std::size_t band_ws =
+            traversal_working_set(band, options.traversal);
+        const std::size_t pool =
+            options.pool_buffers > 0 ? options.pool_buffers : band_ws + 4;
+        total += (pool + 2) * transform_bytes  // forward pool + NCC pool
+                 + pool * tile_bytes           // host pixels for the CCFs
+                 + 8 * tile_bytes;             // bounded reader queue
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+StitchResult stitch(const StitchRequest& request) {
+  request.validate();
+  const StitchOptions& options = request.options;
+  throw_if_cancelled(options);
+  Stopwatch stopwatch;
+  StitchResult result;
+  switch (request.backend) {
+    case Backend::kNaivePairwise:
+      result = impl::stitch_naive(*request.provider, options);
+      break;
+    case Backend::kSimpleCpu:
+      result = impl::stitch_simple_cpu(*request.provider, options);
+      break;
+    case Backend::kMtCpu:
+      result = impl::stitch_mt_cpu(*request.provider, options);
+      break;
+    case Backend::kPipelinedCpu:
+      result = impl::stitch_pipelined_cpu(*request.provider, options);
+      break;
+    case Backend::kSimpleGpu:
+      result = impl::stitch_simple_gpu(*request.provider, options);
+      break;
+    case Backend::kPipelinedGpu:
+      result = impl::stitch_pipelined_gpu(*request.provider, options);
+      break;
+  }
+  result.seconds = stopwatch.seconds();
+  return result;
+}
+
+}  // namespace hs::stitch

@@ -1,0 +1,44 @@
+// The validated request API for phase 1.
+//
+// A StitchRequest bundles everything one stitch job needs — backend, tile
+// provider, options — behind a single validate() that centralizes every
+// option invariant the backends used to enforce ad hoc (thread counts, pool
+// sizing against the traversal working set, extension-flag combinations).
+// Validation errors are InvalidArgument whose message begins with the
+// offending field's name, so a service can map them back to request fields.
+//
+// stitch(Backend, provider, options) in stitcher.hpp remains as a thin
+// forwarding wrapper over this API; no existing call site changes.
+#pragma once
+
+#include "stitch/stitcher.hpp"
+
+namespace hs::stitch {
+
+struct StitchRequest {
+  Backend backend = Backend::kSimpleCpu;
+  /// Non-owning; must outlive the request's execution.
+  const TileProvider* provider = nullptr;
+  StitchOptions options;
+
+  /// Checks every invariant of this backend/options/provider combination.
+  /// Throws InvalidArgument with a message of the form
+  ///   "<field>: <what is wrong> ..."
+  /// naming the first offending StitchOptions (or request) field. A request
+  /// that passes validate() will not fail on configuration grounds inside
+  /// the backend (it can still fail at runtime on I/O or device memory
+  /// exhaustion).
+  void validate() const;
+
+  /// Predicted peak transform-pool footprint in bytes (host + device), the
+  /// quantity the serve layer admits jobs against. Mirrors each backend's
+  /// actual pool sizing rule; conservative for the bookkeeping overheads it
+  /// rounds up.
+  std::size_t predicted_pool_bytes() const;
+};
+
+/// Validates and runs the request. The single entry point every wrapper and
+/// the serve layer funnel through.
+StitchResult stitch(const StitchRequest& request);
+
+}  // namespace hs::stitch

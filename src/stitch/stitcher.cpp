@@ -1,8 +1,7 @@
 #include "stitch/stitcher.hpp"
 
 #include "common/error.hpp"
-#include "common/stopwatch.hpp"
-#include "stitch/impl.hpp"
+#include "stitch/request.hpp"
 
 namespace hs::stitch {
 
@@ -27,35 +26,7 @@ Backend parse_backend(const std::string& name) {
 
 StitchResult stitch(Backend backend, const TileProvider& provider,
                     const StitchOptions& options) {
-  HS_REQUIRE(provider.layout().tile_count() >= 1, "empty grid");
-  HS_REQUIRE(options.threads >= 1 || backend == Backend::kNaivePairwise ||
-                 backend == Backend::kSimpleCpu ||
-                 backend == Backend::kSimpleGpu,
-             "threads must be >= 1");
-  Stopwatch stopwatch;
-  StitchResult result;
-  switch (backend) {
-    case Backend::kNaivePairwise:
-      result = impl::stitch_naive(provider, options);
-      break;
-    case Backend::kSimpleCpu:
-      result = impl::stitch_simple_cpu(provider, options);
-      break;
-    case Backend::kMtCpu:
-      result = impl::stitch_mt_cpu(provider, options);
-      break;
-    case Backend::kPipelinedCpu:
-      result = impl::stitch_pipelined_cpu(provider, options);
-      break;
-    case Backend::kSimpleGpu:
-      result = impl::stitch_simple_gpu(provider, options);
-      break;
-    case Backend::kPipelinedGpu:
-      result = impl::stitch_pipelined_gpu(provider, options);
-      break;
-  }
-  result.seconds = stopwatch.seconds();
-  return result;
+  return stitch(StitchRequest{backend, &provider, options});
 }
 
 }  // namespace hs::stitch

@@ -2,9 +2,11 @@
 // whole grid, across the six implementations the paper compares.
 #pragma once
 
+#include <atomic>
 #include <string>
 
 #include "fft/types.hpp"
+#include "pipeline/cancel.hpp"
 #include "stitch/traversal.hpp"
 #include "stitch/types.hpp"
 #include "trace/trace.hpp"
@@ -75,11 +77,35 @@ struct StitchOptions {
   /// must imply to be considered. 1 = the paper's algorithm; a few percent
   /// of the tile extent rejects spurious thin-sliver alignments.
   std::int64_t min_overlap_px = 1;
+
+  // --- serve-layer hooks -------------------------------------------------
+  /// Cooperative cancellation: every backend polls this between pairs (and
+  /// the pipelined backends inside their stage loops); a requested token
+  /// makes stitch() unwind cleanly and throw Cancelled.
+  const pipe::CancelToken* cancel = nullptr;
+  /// Progress: incremented once as each pair's translation lands in the
+  /// displacement table. Total is layout.pair_count().
+  std::atomic<std::size_t>* pairs_done = nullptr;
 };
 
-/// Runs phase 1 with the chosen backend. Throws on configuration errors
-/// (e.g. a pool too small for the grid). All backends return bit-identical
-/// displacement tables for the same input.
+/// Polls the options' cancel token (no-op when unset); backends call this at
+/// preemption points.
+inline void throw_if_cancelled(const StitchOptions& options) {
+  if (options.cancel != nullptr) options.cancel->throw_if_requested();
+}
+
+/// Bumps the options' pair-progress counter (no-op when unset).
+inline void note_pair_done(const StitchOptions& options) {
+  if (options.pairs_done != nullptr) {
+    options.pairs_done->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// Runs phase 1 with the chosen backend. Thin forwarding wrapper over the
+/// StitchRequest API (see request.hpp): builds a request, validates it, and
+/// dispatches. Throws InvalidArgument on configuration errors (with the
+/// offending field named) and Cancelled if options.cancel fires. All
+/// backends return bit-identical displacement tables for the same input.
 StitchResult stitch(Backend backend, const TileProvider& provider,
                     const StitchOptions& options = {});
 

@@ -75,6 +75,18 @@ void Recorder::clear() {
   impl_->spans.clear();
 }
 
+void Recorder::import(const Recorder& other, const std::string& lane_prefix,
+                      double offset_us) {
+  HS_REQUIRE(&other != this, "cannot import a recorder into itself");
+  const std::vector<Span> imported = other.spans();  // locks other.mutex only
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->spans.reserve(impl_->spans.size() + imported.size());
+  for (const Span& s : imported) {
+    impl_->spans.push_back(Span{lane_prefix + s.lane, s.name,
+                                s.t0_us + offset_us, s.t1_us + offset_us});
+  }
+}
+
 std::vector<std::string> Recorder::lanes() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   std::vector<std::string> out;

@@ -73,6 +73,14 @@ class Recorder {
   std::vector<Span> spans() const;
   void clear();
 
+  /// Copies every span of `other` into this recorder, prefixing each lane
+  /// with `lane_prefix` and shifting timestamps by `offset_us`. Used by the
+  /// serve layer to compose per-job recorders (each with its own epoch)
+  /// into one service-wide timeline. Safe against concurrent record() on
+  /// either recorder; importing a recorder into itself is not supported.
+  void import(const Recorder& other, const std::string& lane_prefix,
+              double offset_us);
+
   /// Lanes present, in first-seen order.
   std::vector<std::string> lanes() const;
 

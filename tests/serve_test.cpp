@@ -1,0 +1,416 @@
+// Tests for the stitch service: concurrent bit-identity, admission control
+// under the memory budget, cancellation unwind, priority ordering, failure
+// propagation, and timeline composition.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "simdata/plate.hpp"
+#include "stitch/validate.hpp"
+
+namespace hs::serve {
+namespace {
+
+using stitch::Backend;
+
+sim::SyntheticGrid make_grid(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed = 5) {
+  sim::AcquisitionParams acq;
+  acq.grid_rows = rows;
+  acq.grid_cols = cols;
+  acq.tile_height = 48;
+  acq.tile_width = 64;
+  acq.seed = seed;
+  return sim::make_synthetic_grid(acq);
+}
+
+/// A provider that sleeps on every load — makes jobs reliably observable
+/// mid-run for the cancellation and ordering tests.
+class SlowProvider final : public stitch::TileProvider {
+ public:
+  SlowProvider(const stitch::MemoryTileProvider* inner, int delay_ms)
+      : inner_(inner), delay_ms_(delay_ms) {}
+
+  img::GridLayout layout() const override { return inner_->layout(); }
+  std::size_t tile_height() const override { return inner_->tile_height(); }
+  std::size_t tile_width() const override { return inner_->tile_width(); }
+  img::ImageU16 load(img::TilePos pos) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    return inner_->load(pos);
+  }
+
+ private:
+  const stitch::MemoryTileProvider* inner_;
+  int delay_ms_;
+};
+
+/// A provider whose load always fails, for failure propagation.
+class FailingProvider final : public stitch::TileProvider {
+ public:
+  explicit FailingProvider(img::GridLayout grid_layout)
+      : layout_(grid_layout) {}
+
+  img::GridLayout layout() const override { return layout_; }
+  std::size_t tile_height() const override { return 48; }
+  std::size_t tile_width() const override { return 64; }
+  img::ImageU16 load(img::TilePos) const override {
+    throw IoError("simulated unreadable tile");
+  }
+
+ private:
+  img::GridLayout layout_;
+};
+
+TEST(Serve, ConcurrentHeterogeneousJobsBitIdentical) {
+  const struct {
+    Backend backend;
+    std::size_t rows, cols;
+  } specs[] = {{Backend::kSimpleCpu, 3, 4},
+               {Backend::kMtCpu, 4, 3},
+               {Backend::kPipelinedCpu, 3, 5},
+               {Backend::kPipelinedGpu, 4, 4}};
+
+  std::vector<sim::SyntheticGrid> grids;
+  std::vector<stitch::MemoryTileProvider> providers;
+  grids.reserve(std::size(specs));  // providers point into grids
+  providers.reserve(std::size(specs));
+  for (std::size_t i = 0; i < std::size(specs); ++i) {
+    grids.push_back(make_grid(specs[i].rows, specs[i].cols, 50 + i));
+    providers.emplace_back(&grids[i].tiles, grids[i].layout);
+  }
+
+  ServiceConfig config;
+  config.workers = 4;
+  StitchService service(config);
+  std::vector<JobHandle> handles;
+  for (std::size_t i = 0; i < std::size(specs); ++i) {
+    StitchJob job;
+    job.name = "j" + std::to_string(i);
+    job.backend = specs[i].backend;
+    job.provider = &providers[i];
+    job.options.threads = 2;
+    job.options.gpu_count = 2;
+    handles.push_back(service.submit(job));
+  }
+  service.wait_idle();
+  EXPECT_EQ(service.memory_in_use_bytes(), 0u);
+
+  for (std::size_t i = 0; i < std::size(specs); ++i) {
+    stitch::StitchOptions options;
+    options.threads = 2;
+    options.gpu_count = 2;
+    const auto direct = stitch::stitch(specs[i].backend, providers[i], options);
+    EXPECT_EQ(handles[i].state(), JobState::kDone) << i;
+    EXPECT_TRUE(
+        stitch::diff_tables(direct.table, handles[i].wait().table).identical())
+        << "job " << i;
+    const auto progress = handles[i].progress();
+    EXPECT_EQ(progress.pairs_done, grids[i].layout.pair_count()) << i;
+    EXPECT_EQ(progress.pairs_total, grids[i].layout.pair_count()) << i;
+  }
+}
+
+TEST(Serve, AdmissionDefersJobUntilBudgetFrees) {
+  const auto grid = make_grid(3, 4);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  SlowProvider slow(&provider, 5);
+
+  StitchJob job;
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &slow;
+  const stitch::StitchRequest request{job.backend, job.provider, job.options};
+  const std::size_t footprint = request.predicted_pool_bytes();
+
+  // Budget fits one job at a time: the second must wait for the first.
+  ServiceConfig config;
+  config.workers = 2;
+  config.memory_budget_bytes = footprint + footprint / 2;
+  StitchService service(config);
+
+  job.name = "first";
+  auto first = service.submit(job);
+  job.name = "second";
+  auto second = service.submit(job);
+
+  // While the first runs, the second stays queued (footprint exceeds the
+  // remaining budget) even though a worker is free.
+  while (first.state() == JobState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(service.memory_in_use_bytes(), footprint);
+  EXPECT_EQ(second.state(), JobState::kQueued);
+
+  first.wait();
+  second.wait();
+  EXPECT_EQ(second.state(), JobState::kDone);
+  // The deferred job only started after the first returned its budget.
+  EXPECT_GE(second.timing().start_us, first.timing().end_us);
+  // wait() observes the job record before the worker returns the budget to
+  // the scheduler; wait_idle() synchronizes with the scheduler itself.
+  service.wait_idle();
+  EXPECT_EQ(service.memory_in_use_bytes(), 0u);
+}
+
+TEST(Serve, ImpossibleJobRejectedAtSubmit) {
+  const auto grid = make_grid(4, 6);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  ServiceConfig config;
+  config.memory_budget_bytes = 1 << 16;  // 64 KiB: nothing fits
+  StitchService service(config);
+  StitchJob job;
+  job.name = "huge";
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &provider;
+  try {
+    service.submit(job);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("huge"), std::string::npos) << message;
+    EXPECT_NE(message.find("exceeds the service memory budget"),
+              std::string::npos)
+        << message;
+  }
+}
+
+TEST(Serve, InvalidOptionsRejectedAtSubmitWithFieldName) {
+  const auto grid = make_grid(3, 3);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  StitchService service(ServiceConfig{});
+  StitchJob job;
+  job.backend = Backend::kPipelinedGpu;
+  job.provider = &provider;
+  job.options.use_p2p = true;
+  job.options.gpu_count = 1;
+  try {
+    service.submit(job);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("use_p2p:", 0), 0u) << e.what();
+  }
+}
+
+TEST(Serve, CancellationUnwindsRunningJob) {
+  const auto grid = make_grid(4, 6);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  SlowProvider slow(&provider, 3);
+
+  StitchService service(ServiceConfig{});
+  StitchJob job;
+  job.name = "doomed";
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &slow;
+  auto handle = service.submit(job);
+
+  // Let it make real progress, then pull the plug.
+  while (handle.progress().pairs_done == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  handle.cancel();
+  EXPECT_THROW(handle.wait(), Cancelled);
+  EXPECT_EQ(handle.state(), JobState::kCancelled);
+  const auto progress = handle.progress();
+  EXPECT_GT(progress.pairs_done, 0u);
+  EXPECT_LT(progress.pairs_done, progress.pairs_total);
+
+  // The service is healthy afterwards: budget returned, new jobs run.
+  service.wait_idle();
+  EXPECT_EQ(service.memory_in_use_bytes(), 0u);
+  StitchJob next;
+  next.backend = Backend::kSimpleCpu;
+  next.provider = &provider;
+  auto after = service.submit(next);
+  EXPECT_NO_THROW(after.wait());
+  EXPECT_EQ(after.state(), JobState::kDone);
+}
+
+TEST(Serve, CancelledQueuedJobNeverRuns) {
+  const auto grid = make_grid(3, 4);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  SlowProvider slow(&provider, 5);
+
+  ServiceConfig config;
+  config.workers = 1;  // serialize: the second job must queue
+  StitchService service(config);
+  StitchJob blocker;
+  blocker.name = "blocker";
+  blocker.backend = Backend::kSimpleCpu;
+  blocker.provider = &slow;
+  auto running = service.submit(blocker);
+
+  StitchJob queued;
+  queued.name = "queued";
+  queued.backend = Backend::kSimpleCpu;
+  queued.provider = &provider;
+  auto victim = service.submit(queued);
+  victim.cancel();
+
+  EXPECT_THROW(victim.wait(), Cancelled);
+  EXPECT_EQ(victim.state(), JobState::kCancelled);
+  EXPECT_EQ(victim.progress().pairs_done, 0u);
+  EXPECT_EQ(victim.timing().start_us, 0.0);  // never admitted
+  running.wait();
+  EXPECT_EQ(running.state(), JobState::kDone);
+}
+
+TEST(Serve, PriorityOrdersTheQueue) {
+  const auto grid = make_grid(3, 4);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  SlowProvider slow(&provider, 4);
+
+  ServiceConfig config;
+  config.workers = 1;
+  StitchService service(config);
+
+  StitchJob blocker;
+  blocker.name = "blocker";
+  blocker.backend = Backend::kSimpleCpu;
+  blocker.provider = &slow;
+  auto running = service.submit(blocker);
+
+  StitchJob low;
+  low.name = "low";
+  low.backend = Backend::kSimpleCpu;
+  low.provider = &provider;
+  low.priority = 0;
+  auto low_handle = service.submit(low);
+
+  StitchJob high = low;
+  high.name = "high";
+  high.priority = 5;
+  auto high_handle = service.submit(high);
+
+  service.wait_idle();
+  EXPECT_EQ(low_handle.state(), JobState::kDone);
+  EXPECT_EQ(high_handle.state(), JobState::kDone);
+  // Submitted second, admitted first.
+  EXPECT_LT(high_handle.timing().start_us, low_handle.timing().start_us);
+}
+
+TEST(Serve, BackendFailureMarksJobFailedAndRethrows) {
+  FailingProvider failing(img::GridLayout{3, 3});
+  StitchService service(ServiceConfig{});
+  StitchJob job;
+  job.name = "broken";
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &failing;
+  auto handle = service.submit(job);
+  EXPECT_THROW(handle.wait(), IoError);
+  EXPECT_EQ(handle.state(), JobState::kFailed);
+  // A failure does not poison the pool.
+  const auto grid = make_grid(3, 3);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  StitchJob ok;
+  ok.backend = Backend::kSimpleCpu;
+  ok.provider = &provider;
+  auto after = service.submit(ok);
+  EXPECT_NO_THROW(after.wait());
+}
+
+TEST(Serve, BackpressureBlocksSubmitAtMaxQueued) {
+  const auto grid = make_grid(3, 4);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  SlowProvider slow(&provider, 5);
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_queued = 1;
+  StitchService service(config);
+
+  StitchJob job;
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &slow;
+  service.submit(job);  // runs
+  job.provider = &provider;
+  service.submit(job);  // fills the queue slot
+
+  std::atomic<bool> third_accepted{false};
+  std::thread submitter([&] {
+    service.submit(job);  // must block until the queue drains
+    third_accepted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_accepted.load());
+  service.wait_idle();
+  submitter.join();
+  EXPECT_TRUE(third_accepted.load());
+}
+
+TEST(Serve, ComposeTimelinePrefixesJobLanes) {
+  const auto grid = make_grid(3, 4);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  ServiceConfig config;
+  config.record_traces = true;
+  StitchService service(config);
+  StitchJob job;
+  job.name = "traced";
+  job.backend = Backend::kPipelinedCpu;
+  job.provider = &provider;
+  job.options.threads = 2;
+  service.submit(job).wait();
+
+  trace::Recorder timeline;
+  service.compose_timeline(timeline);
+  bool saw_job_lane = false, saw_lifetime = false;
+  for (const auto& span : timeline.spans()) {
+    if (span.lane.rfind("traced.", 0) == 0) saw_job_lane = true;
+    if (span.lane == "serve.jobs") {
+      saw_lifetime = true;
+      EXPECT_NE(span.name.find("traced"), std::string::npos);
+      EXPECT_GE(span.t1_us, span.t0_us);
+    }
+  }
+  EXPECT_TRUE(saw_job_lane);
+  EXPECT_TRUE(saw_lifetime);
+}
+
+TEST(Serve, CancelAllStopsEverything) {
+  const auto grid = make_grid(4, 6);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  SlowProvider slow(&provider, 3);
+
+  ServiceConfig config;
+  config.workers = 2;
+  StitchService service(config);
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    StitchJob job;
+    job.name = "j" + std::to_string(i);
+    job.backend = Backend::kSimpleCpu;
+    job.provider = &slow;
+    handles.push_back(service.submit(job));
+  }
+  while (service.running_count() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.cancel_all();
+  service.wait_idle();
+  for (auto& handle : handles) {
+    EXPECT_THROW(handle.wait(), Cancelled) << handle.name();
+    EXPECT_EQ(handle.state(), JobState::kCancelled) << handle.name();
+  }
+  EXPECT_EQ(service.memory_in_use_bytes(), 0u);
+}
+
+TEST(Serve, DestructorDrainsOutstandingJobs) {
+  const auto grid = make_grid(3, 4);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  JobHandle handle;
+  {
+    StitchService service(ServiceConfig{});
+    StitchJob job;
+    job.backend = Backend::kSimpleCpu;
+    job.provider = &provider;
+    handle = service.submit(job);
+  }  // ~StitchService waits for the job
+  EXPECT_EQ(handle.state(), JobState::kDone);
+  EXPECT_NO_THROW(handle.wait());
+}
+
+}  // namespace
+}  // namespace hs::serve
