@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Pre-PR gate: build every preset (release, asan, tsan) and run the tier-1
+# suite under each. ~5-15 min depending on core count.
+#
+# Usage:
+#   scripts/check.sh              # all three presets
+#   scripts/check.sh asan tsan    # a subset
+#
+# Labels (see tests/CMakeLists.txt): every test carries `tier1`; the
+# fault-injection suites additionally carry `fault`; anything labeled `slow`
+# is excluded from this gate. `ctest -L <label>` selects by regex.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(release asan tsan)
+fi
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+for preset in "${presets[@]}"; do
+  echo "==> [${preset}] configure"
+  cmake --preset "${preset}" >/dev/null
+  echo "==> [${preset}] build"
+  cmake --build --preset "${preset}" -j "${jobs}" >/dev/null
+  echo "==> [${preset}] ctest -L tier1 -LE slow"
+  ctest --preset "${preset}" -L tier1 -LE slow -j "${jobs}"
+done
+
+echo "All presets green: ${presets[*]}"

@@ -37,6 +37,14 @@ class OutOfDeviceMemory : public Error {
   explicit OutOfDeviceMemory(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a virtual-GPU device fails executing work (the software
+/// analogue of a sticky CUDA error). Recoverable by re-running the
+/// remaining work on another backend (see StitchRequest::fallback).
+class DeviceError : public Error {
+ public:
+  explicit DeviceError(const std::string& what) : Error(what) {}
+};
+
 /// Thrown out of a cooperatively cancelled operation (a stitch job whose
 /// CancelToken was requested mid-run). Distinct from failure: the caller
 /// asked for the unwind.

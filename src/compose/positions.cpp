@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "stitch/ledger.hpp"
 
 namespace hs::compose {
 
@@ -17,11 +18,27 @@ struct Edge {
   std::int64_t dx = 0;
   std::int64_t dy = 0;
   double weight = 0.0;
+  bool is_west = false;
 };
 
-std::vector<Edge> collect_edges(const stitch::DisplacementTable& table) {
+/// An edge carries usable information only if its pair was actually
+/// computed: pairs of a quarantined tile (kFailed) and pairs a partial table
+/// never reached keep the correlation sentinel and would otherwise inject a
+/// zero displacement into the solve.
+bool edge_usable(const stitch::Translation& t, stitch::PairStatus status) {
+  return status != stitch::PairStatus::kFailed &&
+         t.correlation != stitch::kNotComputed;
+}
+
+/// Collects the computed edges of the table. With `backfill`, every skipped
+/// (failed / never-computed) edge is re-added with the stage-model estimate —
+/// the median displacement of the surviving edges in the same direction — at
+/// negligible weight, so the graph still spans the grid and a quarantined
+/// tile lands where its neighbors predict instead of at the origin.
+std::vector<Edge> collect_edges(const stitch::DisplacementTable& table,
+                                bool backfill) {
   const img::GridLayout& layout = table.layout;
-  std::vector<Edge> edges;
+  std::vector<Edge> edges, missing;
   edges.reserve(layout.pair_count());
   for (std::size_t r = 0; r < layout.rows; ++r) {
     for (std::size_t c = 0; c < layout.cols; ++c) {
@@ -29,14 +46,40 @@ std::vector<Edge> collect_edges(const stitch::DisplacementTable& table) {
       const std::size_t to = layout.index_of(pos);
       if (layout.has_west(pos)) {
         const stitch::Translation& t = table.west_of(pos);
-        edges.push_back(Edge{layout.index_of(img::TilePos{r, c - 1}), to, t.x,
-                             t.y, std::max(t.correlation, kMinEdgeWeight)});
+        Edge e{layout.index_of(img::TilePos{r, c - 1}), to, t.x,
+               t.y, std::max(t.correlation, kMinEdgeWeight), true};
+        (edge_usable(t, table.west_status[to]) ? edges : missing).push_back(e);
       }
       if (layout.has_north(pos)) {
         const stitch::Translation& t = table.north_of(pos);
-        edges.push_back(Edge{layout.index_of(img::TilePos{r - 1, c}), to, t.x,
-                             t.y, std::max(t.correlation, kMinEdgeWeight)});
+        Edge e{layout.index_of(img::TilePos{r - 1, c}), to, t.x,
+               t.y, std::max(t.correlation, kMinEdgeWeight), false};
+        (edge_usable(t, table.north_status[to]) ? edges : missing).push_back(e);
       }
+    }
+  }
+  if (backfill && !missing.empty()) {
+    auto median = [&](bool is_west, auto component) -> std::int64_t {
+      std::vector<std::int64_t> values;
+      for (const Edge& e : edges) {
+        if (e.is_west == is_west) values.push_back(component(e));
+      }
+      if (values.empty()) return 0;  // nothing survived in this direction
+      auto mid = values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2);
+      std::nth_element(values.begin(), mid, values.end());
+      return *mid;
+    };
+    auto dx_of = [](const Edge& e) { return e.dx; };
+    auto dy_of = [](const Edge& e) { return e.dy; };
+    const std::int64_t west_dx = median(true, dx_of);
+    const std::int64_t west_dy = median(true, dy_of);
+    const std::int64_t north_dx = median(false, dx_of);
+    const std::int64_t north_dy = median(false, dy_of);
+    for (Edge e : missing) {
+      e.dx = e.is_west ? west_dx : north_dx;
+      e.dy = e.is_west ? west_dy : north_dy;
+      e.weight = kMinEdgeWeight;
+      edges.push_back(e);
     }
   }
   return edges;
@@ -108,7 +151,7 @@ void normalize_to_origin(GlobalPositions& positions) {
 }
 
 GlobalPositions resolve_mst(const stitch::DisplacementTable& table) {
-  std::vector<Edge> edges = collect_edges(table);
+  std::vector<Edge> edges = collect_edges(table, /*backfill=*/true);
   // Maximum spanning tree: take edges in decreasing correlation order.
   std::sort(edges.begin(), edges.end(),
             [](const Edge& a, const Edge& b) { return a.weight > b.weight; });
@@ -163,7 +206,7 @@ std::vector<double> solve_laplacian(const std::vector<Edge>& edges,
 }
 
 GlobalPositions resolve_least_squares(const stitch::DisplacementTable& table) {
-  const std::vector<Edge> edges = collect_edges(table);
+  const std::vector<Edge> edges = collect_edges(table, /*backfill=*/true);
   const std::size_t n = table.layout.tile_count();
 
   // Normal equations of min sum w_e ((p_to - p_from) - d_e)^2: L p = b with
@@ -216,7 +259,9 @@ GlobalPositions resolve_positions(const stitch::DisplacementTable& table,
 
 double consistency_rms(const stitch::DisplacementTable& table,
                        const GlobalPositions& positions) {
-  const std::vector<Edge> edges = collect_edges(table);
+  // Synthetic backfill edges are estimates, not measurements: they are
+  // excluded here so the RMS reflects only real displacements.
+  const std::vector<Edge> edges = collect_edges(table, /*backfill=*/false);
   if (edges.empty()) return 0.0;
   double sum = 0.0;
   for (const Edge& e : edges) {

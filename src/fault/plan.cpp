@@ -1,0 +1,117 @@
+#include "fault/plan.hpp"
+
+#include "common/error.hpp"
+
+namespace hs::fault {
+
+namespace {
+
+// SplitMix64 finalizer — the same mixer common/rng.hpp uses for seeding.
+// Good avalanche, so consecutive (key, attempt) pairs decorrelate.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double to_unit(std::uint64_t x) {
+  // Top 53 bits -> [0, 1).
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string site_name(Site site) {
+  switch (site) {
+    case Site::kTileRead: return "tile_read";
+    case Site::kDeviceAlloc: return "device_alloc";
+    case Site::kStreamExec: return "stream_exec";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+void FaultPlan::set_transient_rate(Site site, double probability) {
+  HS_REQUIRE(probability >= 0.0 && probability <= 1.0,
+             "fault rate must be in [0, 1]");
+  state(site).rate.store(probability, std::memory_order_relaxed);
+}
+
+void FaultPlan::fail_from_nth(Site site, std::uint64_t n) {
+  state(site).fail_from.store(n, std::memory_order_relaxed);
+}
+
+void FaultPlan::fail_key_permanently(Site site, std::uint64_t key) {
+  SiteState& s = state(site);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.bad_keys.insert(key);
+}
+
+bool FaultPlan::should_fail(Site site, std::uint64_t key) {
+  SiteState& s = state(site);
+  const std::uint64_t occurrence =
+      s.occurrences.fetch_add(1, std::memory_order_relaxed);
+
+  bool fail = occurrence >= s.fail_from.load(std::memory_order_relaxed);
+  if (!fail) {
+    const double rate = s.rate.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.bad_keys.count(key) != 0) {
+      fail = true;
+    } else if (rate > 0.0) {
+      // Per-key attempt counter: the Nth look at a key rolls a different
+      // die than the (N-1)th, so retries of a transient fault can heal —
+      // and cached backends stay deterministic regardless of thread timing.
+      const std::uint64_t attempt = s.attempts[key]++;
+      const std::uint64_t h = mix(
+          mix(mix(seed_ ^ static_cast<std::uint64_t>(site)) ^ key) ^ attempt);
+      fail = to_unit(h) < rate;
+    }
+  }
+
+  if (fail) {
+    s.injected.fetch_add(1, std::memory_order_relaxed);
+    trace_event(site, "inject");
+  }
+  return fail;
+}
+
+void FaultPlan::note_handled(Site site) {
+  state(site).handled.fetch_add(1, std::memory_order_relaxed);
+  trace_event(site, "handled");
+}
+
+void FaultPlan::trace_event(Site site, const char* what) {
+  trace::Recorder* recorder = recorder_;
+  if (recorder == nullptr) return;
+  const double t = recorder->now_us();
+  recorder->record("fault", site_name(site) + ":" + what, t, t);
+}
+
+std::uint64_t FaultPlan::injected(Site site) const {
+  return state(site).injected.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultPlan::handled(Site site) const {
+  return state(site).handled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultPlan::injected_total() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    total += states_[i].injected.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t FaultPlan::handled_total() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    total += states_[i].handled.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace hs::fault

@@ -1,0 +1,99 @@
+// Deterministic fault injection: the substrate the fault-tolerance tests
+// and benches drive.
+//
+// A FaultPlan decides, per named site and occurrence, whether an operation
+// fails. Decisions are pure functions of (seed, site, key, attempt), so a
+// transient fault that hits attempt 0 of a tile read will not re-hit the
+// retry — exactly how flaky NFS reads behave on the paper's multi-day
+// acquisitions — while runs with the same seed reproduce the same faults
+// bit-for-bit. Permanent faults (a dead file, a failed device) are modeled
+// as per-key or from-Nth-occurrence failures that every retry re-hits.
+//
+// Producers (tile providers, vgpu::Device, vgpu::Stream) hold an optional
+// FaultPlan pointer and call should_fail() before doing work; a null plan
+// costs one pointer compare, which keeps the hooks zero-overhead in
+// production configurations.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/trace.hpp"
+
+namespace hs::fault {
+
+/// Named injection sites. Sites are independent: rates, permanent keys, and
+/// occurrence counters do not interact across sites.
+enum class Site : std::size_t {
+  kTileRead = 0,    ///< TileProvider::load (key = tile index)
+  kDeviceAlloc = 1, ///< vgpu::Device::alloc
+  kStreamExec = 2,  ///< vgpu::Stream::enqueue (labeled command submission)
+};
+inline constexpr std::size_t kSiteCount = 3;
+
+std::string site_name(Site site);
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0);
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Every occurrence at `site` fails independently with this probability;
+  /// the decision is keyed by (seed, site, key, per-key attempt), so a
+  /// retry of the same key re-rolls.
+  void set_transient_rate(Site site, double probability);
+
+  /// All occurrences at `site` from the Nth onward (0-based, per site) fail
+  /// permanently — a device dying mid-run.
+  void fail_from_nth(Site site, std::uint64_t n);
+
+  /// Every occurrence at `site` with this key fails — a corrupt tile file.
+  void fail_key_permanently(Site site, std::uint64_t key);
+
+  /// Injected/handled events are recorded as instantaneous spans in the
+  /// "fault" lane when set.
+  void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
+
+  /// Decides this occurrence. Thread-safe; bumps the injected counter (and
+  /// records a trace event) when it returns true.
+  bool should_fail(Site site, std::uint64_t key = 0);
+
+  /// Recovery layers (retry, fallback) report each fault they absorbed.
+  void note_handled(Site site);
+
+  std::uint64_t injected(Site site) const;
+  std::uint64_t handled(Site site) const;
+  std::uint64_t injected_total() const;
+  std::uint64_t handled_total() const;
+
+ private:
+  struct SiteState {
+    std::atomic<double> rate{0.0};
+    std::atomic<std::uint64_t> fail_from{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> occurrences{0};
+    std::atomic<std::uint64_t> injected{0};
+    std::atomic<std::uint64_t> handled{0};
+    std::mutex mutex;  // guards bad_keys + attempts
+    std::unordered_set<std::uint64_t> bad_keys;
+    std::unordered_map<std::uint64_t, std::uint64_t> attempts;
+  };
+
+  SiteState& state(Site site) { return states_[static_cast<std::size_t>(site)]; }
+  const SiteState& state(Site site) const {
+    return states_[static_cast<std::size_t>(site)];
+  }
+  void trace_event(Site site, const char* what);
+
+  std::uint64_t seed_;
+  std::array<SiteState, kSiteCount> states_;
+  trace::Recorder* recorder_ = nullptr;
+};
+
+}  // namespace hs::fault

@@ -1,0 +1,69 @@
+#include "fault/provider.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace hs::fault {
+
+img::ImageU16 FaultInjectingProvider::load(img::TilePos pos) const {
+  const std::size_t index = inner_.layout().index_of(pos);
+  if (plan_.should_fail(Site::kTileRead, index)) {
+    throw IoError("injected read fault at tile " + std::to_string(index));
+  }
+  return inner_.load(pos);
+}
+
+img::ImageU16 RetryingProvider::load(img::TilePos pos) const {
+  const std::size_t index = inner_.layout().index_of(pos);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (quarantined_set_.count(index) != 0) {
+      return img::ImageU16(tile_height(), tile_width());
+    }
+  }
+
+  std::uint64_t sleep_us = policy_.backoff_us;
+  const std::size_t attempts = policy_.max_attempts > 0 ? policy_.max_attempts : 1;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return inner_.load(pos);
+    } catch (const IoError&) {
+      if (attempt + 1 < attempts) {
+        // Transient until proven otherwise: back off and retry.
+        if (plan_ != nullptr) plan_->note_handled(Site::kTileRead);
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++retries_spent_;
+        }
+        if (sleep_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+          sleep_us = static_cast<std::uint64_t>(
+              static_cast<double>(sleep_us) * policy_.backoff_multiplier);
+        }
+        continue;
+      }
+      if (!policy_.quarantine) throw;
+      // Attempts exhausted: quarantine the tile and serve a blank so the
+      // job survives. The stitcher marks this tile's pairs kFailed.
+      bool first = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        first = quarantined_set_.insert(index).second;
+        if (first) quarantined_.push_back(index);
+      }
+      if (plan_ != nullptr) plan_->note_handled(Site::kTileRead);
+      if (first && on_quarantine_) on_quarantine_(index);
+      return img::ImageU16(tile_height(), tile_width());
+    }
+  }
+}
+
+std::vector<std::size_t> RetryingProvider::quarantined() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantined_;
+}
+
+}  // namespace hs::fault

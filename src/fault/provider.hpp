@@ -1,0 +1,96 @@
+// TileProvider decorators for the fault-tolerance layer.
+//
+// FaultInjectingProvider turns FaultPlan decisions into the IoError a real
+// broken read would throw; RetryingProvider absorbs transient IoErrors with
+// exponential backoff and, optionally, quarantines permanently-bad tiles by
+// serving a blank tile instead of aborting the job (the stitcher then marks
+// the tile's pairs kFailed and compose backfills its position).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "stitch/types.hpp"
+
+namespace hs::fault {
+
+/// Decorator that consults a FaultPlan before each read and throws IoError
+/// when the plan says the read fails. Keyed by tile index so per-tile
+/// permanent faults and per-attempt transient rolls both work.
+class FaultInjectingProvider final : public stitch::TileProvider {
+ public:
+  FaultInjectingProvider(const stitch::TileProvider& inner, FaultPlan& plan)
+      : inner_(inner), plan_(plan) {}
+
+  img::GridLayout layout() const override { return inner_.layout(); }
+  std::size_t tile_height() const override { return inner_.tile_height(); }
+  std::size_t tile_width() const override { return inner_.tile_width(); }
+  img::ImageU16 load(img::TilePos pos) const override;
+
+ private:
+  const stitch::TileProvider& inner_;
+  FaultPlan& plan_;
+};
+
+/// Retry configuration carried by StitchRequest.
+struct RetryPolicy {
+  /// Total load attempts per call (1 = no retry).
+  std::size_t max_attempts = 1;
+  /// Sleep before attempt k+1 is backoff_us * backoff_multiplier^k.
+  std::uint64_t backoff_us = 0;
+  double backoff_multiplier = 2.0;
+  /// When true, a tile whose reads keep failing is quarantined: load()
+  /// returns a blank tile instead of throwing, and the stitcher marks the
+  /// tile's pairs kFailed rather than aborting the whole job.
+  bool quarantine = false;
+
+  bool enabled() const { return max_attempts > 1 || quarantine; }
+};
+
+/// Decorator that retries failed loads with exponential backoff. Remembers
+/// tiles that exhausted their attempts so later loads of the same tile fail
+/// (or blank out) immediately instead of re-sleeping through the backoff
+/// schedule. Thread-safe, like every TileProvider.
+class RetryingProvider final : public stitch::TileProvider {
+ public:
+  RetryingProvider(const stitch::TileProvider& inner, RetryPolicy policy,
+                   FaultPlan* plan = nullptr)
+      : inner_(inner), policy_(policy), plan_(plan) {}
+
+  img::GridLayout layout() const override { return inner_.layout(); }
+  std::size_t tile_height() const override { return inner_.tile_height(); }
+  std::size_t tile_width() const override { return inner_.tile_width(); }
+  img::ImageU16 load(img::TilePos pos) const override;
+
+  /// Called (outside any internal lock) the first time a tile is
+  /// quarantined.
+  void on_quarantine(std::function<void(std::size_t)> callback) {
+    on_quarantine_ = std::move(callback);
+  }
+
+  /// Tile indices quarantined so far, in first-quarantine order.
+  std::vector<std::size_t> quarantined() const;
+
+  /// Transient faults healed by a retry.
+  std::uint64_t retries_spent() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retries_spent_;
+  }
+
+ private:
+  const stitch::TileProvider& inner_;
+  RetryPolicy policy_;
+  FaultPlan* plan_;
+  std::function<void(std::size_t)> on_quarantine_;
+  mutable std::mutex mutex_;
+  mutable std::vector<std::size_t> quarantined_;
+  mutable std::unordered_set<std::size_t> quarantined_set_;
+  mutable std::uint64_t retries_spent_ = 0;
+};
+
+}  // namespace hs::fault

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <unordered_set>
 #include <vector>
 
 namespace hs::img {
@@ -136,6 +137,25 @@ ImageU16 read_tiff_u16(const std::string& path, TiffInfo* info) {
     const std::size_t e = ifd_offset + 2 + static_cast<std::size_t>(i) * 12;
     const std::uint16_t tag = r.u16(e);
     entries[tag] = IfdEntry{r.u16(e + 2), r.u32(e + 4), e + 8};
+  }
+
+  // Walk the rest of the IFD chain defensively. Directories past the first
+  // are not decoded (single-image subset), but a malformed chain — a cycle,
+  // or a directory whose entry table runs past the file — must fail cleanly
+  // instead of hanging or reading out of bounds. A next-IFD pointer cut off
+  // by EOF is the one field legacy writers omit; treat it as "no next".
+  auto next_ifd = [&](std::size_t off) -> std::uint32_t {
+    return off + 4 <= r.size() ? r.u32(off) : 0;
+  };
+  std::unordered_set<std::uint32_t> visited{ifd_offset};
+  std::uint32_t next =
+      next_ifd(ifd_offset + 2 + static_cast<std::size_t>(entry_count) * 12);
+  while (next != 0) {
+    if (!visited.insert(next).second) r.fail("IFD chain contains a cycle");
+    if (visited.size() > 4096) r.fail("unreasonably long IFD chain");
+    const std::uint16_t n = r.u16(next);
+    (void)r.at(next + 2, static_cast<std::size_t>(n) * 12);
+    next = next_ifd(next + 2 + static_cast<std::size_t>(n) * 12);
   }
 
   auto required = [&](std::uint16_t tag) -> const IfdEntry& {

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "pipeline/cancel.hpp"
+#include "stitch/ledger.hpp"
 #include "stitch/request.hpp"
 #include "trace/trace.hpp"
 
@@ -49,6 +50,19 @@ struct StitchJob {
   stitch::StitchOptions options;
   /// Higher runs first among jobs that fit the remaining budget.
   int priority = 0;
+
+  // --- fault tolerance ----------------------------------------------------
+  /// Tile-read retry/quarantine policy, forwarded to the StitchRequest.
+  fault::RetryPolicy retry = {};
+  /// Backend chain to fall back to on a device fault. When empty and the
+  /// primary is a GPU backend, the service defaults it to {kMtCpu} so a
+  /// dying device degrades to the CPU instead of failing the job.
+  std::vector<stitch::Backend> fallback = {};
+  /// When set, the service periodically persists the job's partial
+  /// displacement table here (see ServiceConfig::checkpoint_interval_s) and,
+  /// if the file already holds a compatible table, resumes from it —
+  /// recomputing only the missing pairs.
+  std::string checkpoint_path;
 };
 
 /// Point-in-time progress snapshot.
@@ -96,6 +110,14 @@ struct JobRecord {
   // Written by the controller and polled by the backend.
   pipe::CancelToken cancel;
   std::atomic<std::size_t> pairs_done{0};
+
+  // Checkpoint state (set at submit, immutable afterwards; the ledger is
+  // internally synchronized, so the checkpoint thread can snapshot it while
+  // the job runs).
+  std::string checkpoint_path;
+  std::unique_ptr<stitch::PairLedger> ledger;
+  stitch::DisplacementTable warm;
+  bool has_warm = false;
 
   // Guarded by `mutex`.
   mutable std::mutex mutex;

@@ -1,11 +1,14 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "common/error.hpp"
 #include "common/thread_util.hpp"
 #include "stitch/stitcher.hpp"
+#include "stitch/table_io.hpp"
 
 namespace hs::serve {
 
@@ -27,9 +30,14 @@ StitchService::StitchService(ServiceConfig config)
   HS_REQUIRE(config_.memory_budget_bytes > 0,
              "memory_budget_bytes: must be > 0");
   HS_REQUIRE(config_.max_queued >= 1, "max_queued: must be >= 1");
+  HS_REQUIRE(config_.checkpoint_interval_s >= 0.0,
+             "checkpoint_interval_s: must be >= 0");
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this, i] { worker_main(i); });
+  }
+  if (config_.checkpoint_interval_s > 0.0) {
+    checkpoint_thread_ = std::thread([this] { checkpoint_main(); });
   }
 }
 
@@ -40,7 +48,9 @@ StitchService::~StitchService() {
     stopping_ = true;
   }
   cv_workers_.notify_all();
+  cv_checkpoint_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
   // Handles may outlive the service; their cancel() must not call back
   // into a destroyed scheduler.
   for (const Record& record : jobs_) {
@@ -60,8 +70,44 @@ JobHandle StitchService::submit(StitchJob job) {
   record->name = std::move(job.name);
   record->request =
       stitch::StitchRequest{job.backend, job.provider, job.options};
+  record->request.retry = job.retry;
+  record->request.fallback = std::move(job.fallback);
+  if (record->request.fallback.empty() &&
+      (job.backend == stitch::Backend::kSimpleGpu ||
+       job.backend == stitch::Backend::kPipelinedGpu)) {
+    // GPU jobs degrade to the CPU by default rather than failing outright.
+    record->request.fallback = {stitch::Backend::kMtCpu};
+  }
   record->request.validate();
   record->priority = job.priority;
+  if (!job.checkpoint_path.empty()) {
+    record->checkpoint_path = job.checkpoint_path;
+    record->ledger =
+        std::make_unique<stitch::PairLedger>(job.provider->layout());
+    if (std::ifstream(job.checkpoint_path).good()) {
+      try {
+        stitch::DisplacementTable warm =
+            stitch::read_table_csv(job.checkpoint_path);
+        const img::GridLayout layout = job.provider->layout();
+        if (warm.layout.rows == layout.rows &&
+            warm.layout.cols == layout.cols) {
+          record->warm = std::move(warm);
+          record->has_warm = true;
+          record->ledger->prime(record->warm);
+        } else {
+          std::fprintf(stderr,
+                       "serve: checkpoint %s is a %zux%zu grid but the job "
+                       "is %zux%zu; starting fresh\n",
+                       job.checkpoint_path.c_str(), warm.layout.rows,
+                       warm.layout.cols, layout.rows, layout.cols);
+        }
+      } catch (const Error& e) {
+        std::fprintf(stderr,
+                     "serve: unreadable checkpoint %s (%s); starting fresh\n",
+                     job.checkpoint_path.c_str(), e.what());
+      }
+    }
+  }
 
   const JobFootprint footprint =
       predict_footprint(record->request, config_.cost);
@@ -130,7 +176,7 @@ StitchService::Record StitchService::pick_locked() {
 }
 
 void StitchService::worker_main(std::size_t id) {
-  set_current_thread_name("serve.worker" + std::to_string(id));
+  set_current_thread_name("serve/worker-" + std::to_string(id));
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     Record job;
@@ -176,29 +222,75 @@ void StitchService::run_job(const Record& record) {
   if (record->recorder != nullptr) {
     request.options.recorder = record->recorder.get();
   }
+  if (record->ledger != nullptr) {
+    request.options.ledger = record->ledger.get();
+    if (record->has_warm) request.options.warm_start = &record->warm;
+  }
   {
     std::lock_guard<std::mutex> lock(record->mutex);
     record->state = JobState::kRunning;
   }
 
+  // Every terminal path writes a final checkpoint *before* the transition
+  // becomes visible, so a caller woken by wait() can rely on the file.
   try {
     stitch::StitchResult result = stitch::stitch(request);
+    checkpoint_job(record);
     std::lock_guard<std::mutex> lock(record->mutex);
     record->result = std::move(result);
     record->state = JobState::kDone;
     record->timing.end_us = elapsed_us();
   } catch (const Cancelled&) {
+    checkpoint_job(record);
     std::lock_guard<std::mutex> lock(record->mutex);
     record->error = std::current_exception();
     record->state = JobState::kCancelled;
     record->timing.end_us = elapsed_us();
   } catch (...) {
+    checkpoint_job(record);
     std::lock_guard<std::mutex> lock(record->mutex);
     record->error = std::current_exception();
     record->state = JobState::kFailed;
     record->timing.end_us = elapsed_us();
   }
   record->cv.notify_all();
+}
+
+void StitchService::checkpoint_job(const Record& record) {
+  if (record->ledger == nullptr || record->checkpoint_path.empty()) return;
+  const std::string tmp = record->checkpoint_path + ".tmp";
+  try {
+    stitch::write_table_csv(tmp, record->ledger->snapshot());
+    if (std::rename(tmp.c_str(), record->checkpoint_path.c_str()) != 0) {
+      throw IoError("rename to " + record->checkpoint_path + " failed");
+    }
+  } catch (const Error& e) {
+    std::remove(tmp.c_str());
+    std::fprintf(stderr, "serve: checkpoint of job %s failed: %s\n",
+                 record->name.c_str(), e.what());
+  }
+}
+
+void StitchService::checkpoint_main() {
+  set_current_thread_name("serve/ckpt");
+  const auto interval =
+      std::chrono::duration<double>(config_.checkpoint_interval_s);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_checkpoint_.wait_for(lock, interval, [&] { return stopping_; });
+    if (stopping_) return;
+    std::vector<Record> snapshot = jobs_;
+    lock.unlock();
+    for (const Record& record : snapshot) {
+      bool running;
+      {
+        std::lock_guard<std::mutex> record_lock(record->mutex);
+        running = record->state == JobState::kRunning;
+      }
+      if (running) checkpoint_job(record);
+    }
+    lock.lock();
+  }
 }
 
 void StitchService::wait_idle() {

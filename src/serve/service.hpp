@@ -41,6 +41,11 @@ struct ServiceConfig {
   /// Give each job (without a caller-supplied recorder) a private trace
   /// recorder; compose_timeline() later merges them into one timeline.
   bool record_traces = false;
+  /// Interval between periodic checkpoints of running jobs that carry a
+  /// checkpoint_path (0 disables the checkpoint thread). Terminal
+  /// transitions — done, failed, cancelled — always write a final
+  /// checkpoint regardless of this setting.
+  double checkpoint_interval_s = 0.0;
   /// Machine model used for predicted runtimes.
   sched::CostModel cost = sched::CostModel::paper_machine();
 };
@@ -86,6 +91,12 @@ class StitchService {
   /// cancelled queued jobs on the way. Caller holds mutex_.
   Record pick_locked();
   void run_job(const Record& record);
+  /// Periodically persists running checkpointed jobs ("serve/ckpt" thread).
+  void checkpoint_main();
+  /// Atomically (write tmp + rename) persists one job's partial table; a
+  /// no-op for jobs without a checkpoint path. Never throws: a failed
+  /// checkpoint write only costs resumability, not the job.
+  static void checkpoint_job(const Record& record);
   double elapsed_us() const;
 
   ServiceConfig config_;
@@ -102,6 +113,8 @@ class StitchService {
   bool stopping_ = false;
 
   std::vector<std::thread> workers_;
+  std::condition_variable cv_checkpoint_;  ///< wakes the checkpoint thread
+  std::thread checkpoint_thread_;
 };
 
 }  // namespace hs::serve

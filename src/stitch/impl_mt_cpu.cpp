@@ -21,6 +21,7 @@ namespace hs::stitch::impl {
 StitchResult stitch_mt_cpu(const TileProvider& provider,
                            const StitchOptions& options) {
   const img::GridLayout layout = provider.layout();
+  const WarmFilter warm(options.warm_start);
   StitchResult result(layout);
   OpCountsAtomic counts;
 
@@ -31,7 +32,7 @@ StitchResult stitch_mt_cpu(const TileProvider& provider,
       provider.tile_height(), provider.tile_width(), fft::Direction::kInverse,
       options.rigor);
 
-  TransformCache cache(provider, forward, &counts);
+  TransformCache cache(provider, forward, &counts, warm);
   const std::size_t band_count = std::min(options.threads, layout.rows);
   const auto order = traversal_order(layout, options.traversal);
 
@@ -54,7 +55,7 @@ StitchResult stitch_mt_cpu(const TileProvider& provider,
       try {
       PciamScratch scratch;
       auto run_pair = [&](img::TilePos reference, img::TilePos moved,
-                          Translation& out) {
+                          bool is_west, Translation& out) {
         throw_if_cancelled(options);
         const fft::Complex* fft_ref = cache.transform(reference);
         const fft::Complex* fft_mov = cache.transform(moved);
@@ -64,17 +65,17 @@ StitchResult stitch_mt_cpu(const TileProvider& provider,
                               options.min_overlap_px);
         cache.release(reference);
         cache.release(moved);
-        note_pair_done(options);
+        note_pair_result(options, moved, is_west, out);
       };
       for (const img::TilePos pos : order) {
         if (pos.row < row_begin || pos.row >= row_end) continue;
-        if (layout.has_west(pos)) {
-          run_pair(img::TilePos{pos.row, pos.col - 1}, pos,
+        if (layout.has_west(pos) && !warm.skip_west(pos)) {
+          run_pair(img::TilePos{pos.row, pos.col - 1}, pos, /*is_west=*/true,
                    table->west_of(pos));
         }
-        if (layout.has_north(pos)) {
+        if (layout.has_north(pos) && !warm.skip_north(pos)) {
           // North pairs on the band's first row reach into the band above.
-          run_pair(img::TilePos{pos.row - 1, pos.col}, pos,
+          run_pair(img::TilePos{pos.row - 1, pos.col}, pos, /*is_west=*/false,
                    table->north_of(pos));
         }
       }

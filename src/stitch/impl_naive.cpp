@@ -9,6 +9,7 @@
 // transforms instead of nm.
 #include "fft/plan_cache.hpp"
 #include "stitch/impl.hpp"
+#include "stitch/ledger.hpp"
 #include "stitch/pciam.hpp"
 
 namespace hs::stitch::impl {
@@ -16,6 +17,7 @@ namespace hs::stitch::impl {
 StitchResult stitch_naive(const TileProvider& provider,
                           const StitchOptions& options) {
   const img::GridLayout layout = provider.layout();
+  const WarmFilter warm(options.warm_start);
   StitchResult result(layout);
   OpCountsAtomic counts;
 
@@ -27,7 +29,7 @@ StitchResult stitch_naive(const TileProvider& provider,
       options.rigor);
 
   PciamScratch scratch;
-  auto run_pair = [&](img::TilePos reference, img::TilePos moved,
+  auto run_pair = [&](img::TilePos reference, img::TilePos moved, bool is_west,
                       Translation& out) {
     throw_if_cancelled(options);
     const img::ImageU16 a = provider.load(reference);
@@ -35,16 +37,16 @@ StitchResult stitch_naive(const TileProvider& provider,
     counts.bump(counts.tile_reads, 2);
     out = pciam_full(a, b, *forward, *inverse, scratch, &counts,
                      options.peak_candidates, options.min_overlap_px);
-    note_pair_done(options);
+    note_pair_result(options, moved, is_west, out);
   };
 
   for (const img::TilePos pos : traversal_order(layout, options.traversal)) {
-    if (layout.has_west(pos)) {
-      run_pair(img::TilePos{pos.row, pos.col - 1}, pos,
+    if (layout.has_west(pos) && !warm.skip_west(pos)) {
+      run_pair(img::TilePos{pos.row, pos.col - 1}, pos, /*is_west=*/true,
                result.table.west_of(pos));
     }
-    if (layout.has_north(pos)) {
-      run_pair(img::TilePos{pos.row - 1, pos.col}, pos,
+    if (layout.has_north(pos) && !warm.skip_north(pos)) {
+      run_pair(img::TilePos{pos.row - 1, pos.col}, pos, /*is_west=*/false,
                result.table.north_of(pos));
     }
   }

@@ -92,6 +92,7 @@ struct Entry {
 StitchResult stitch_pipelined_cpu(const TileProvider& provider,
                                   const StitchOptions& options) {
   const img::GridLayout layout = provider.layout();
+  const WarmFilter warm(options.warm_start);
   StitchResult result(layout);
   OpCountsAtomic counts;
 
@@ -111,7 +112,7 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
 
   std::vector<Entry> store(layout.tile_count());
   for (std::size_t i = 0; i < store.size(); ++i) {
-    store[i].refs.store(TransformCache::pair_degree(layout, layout.pos_of(i)),
+    store[i].refs.store(warm.degree(layout, layout.pos_of(i)),
                         std::memory_order_relaxed);
   }
   std::atomic<std::size_t> live{0}, peak{0};
@@ -139,7 +140,13 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
 
   pipe::BoundedQueue<BkEvent> events;
   pipe::BoundedQueue<WorkItem> work;
-  const auto order = traversal_order(layout, options.traversal);
+  // Under a warm start, tiles whose every pair is already settled have
+  // degree 0: they are neither read nor transformed. Any tile with a
+  // remaining pair keeps degree >= 1 and stays in the read plan.
+  std::vector<img::TilePos> order;
+  for (const img::TilePos pos : traversal_order(layout, options.traversal)) {
+    if (warm.degree(layout, pos) > 0) order.push_back(pos);
+  }
   std::atomic<std::size_t> next_tile{0};
   hs::trace::Recorder* recorder = options.recorder;
 
@@ -173,6 +180,7 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
   // Stage 2: bookkeeping — the dependency manager (1 thread). Forwards
   // loaded tiles as FFT tasks and advances pairs whose transforms are ready.
   pipeline.add_stage("bookkeeping", 1, [&] {
+    if (order.empty()) return;  // fully warm: nothing to wait for
     std::vector<std::uint8_t> ready(layout.tile_count(), 0);
     std::size_t ffts_done = 0;
     while (auto event = events.pop()) {
@@ -187,6 +195,7 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
       // emitted exactly once, by whichever end finishes second.
       auto emit_if_ready = [&](img::TilePos reference, img::TilePos moved,
                                bool is_west) {
+        if (warm.skip(moved, is_west)) return;  // settled; refs exclude it
         if (ready[layout.index_of(reference)] &&
             ready[layout.index_of(moved)]) {
           work.push(PairTask{reference, moved, is_west});
@@ -206,7 +215,7 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
         img::TilePos south{pos.row + 1, pos.col};
         if (ready[layout.index_of(south)]) emit_if_ready(pos, south, false);
       }
-      if (ffts_done == layout.tile_count()) break;  // every pair emitted
+      if (ffts_done == order.size()) break;  // every remaining pair emitted
     }
   }, /*on_stage_done=*/[&] { work.close(); });
 
@@ -257,7 +266,7 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
       }
       release_tile(task.reference);
       release_tile(task.moved);
-      note_pair_done(options);
+      note_pair_result(options, task.moved, task.is_west, translation);
     }
   });
 

@@ -202,6 +202,7 @@ void release_tile(GpuPipeline* gpu, const img::GridLayout& layout,
 StitchResult stitch_pipelined_gpu(const TileProvider& provider,
                                   const StitchOptions& options) {
   const img::GridLayout layout = provider.layout();
+  const WarmFilter warm(options.warm_start);
   StitchResult result(layout);
   OpCountsAtomic counts;
 
@@ -235,27 +236,34 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
       gpu->tiles_to_read.push_back(
           img::TilePos{halo_begin + local.row, local.col});
     }
+    // Warm-settled pairs are excluded at partition time: reference counts,
+    // the read plan, and the halo sets all derive from owned_pairs, so a
+    // warm start shrinks every downstream structure consistently.
     for (std::size_t r = row_begin; r < row_end; ++r) {
       for (std::size_t c = 0; c < layout.cols; ++c) {
         const img::TilePos pos{r, c};
-        if (layout.has_west(pos)) {
+        if (layout.has_west(pos) && !warm.skip_west(pos)) {
           gpu->owned_pairs.push_back(PairRef{img::TilePos{r, c - 1}, pos,
                                              true});
         }
-        if (layout.has_north(pos)) {
+        if (layout.has_north(pos) && !warm.skip_north(pos)) {
           gpu->owned_pairs.push_back(PairRef{img::TilePos{r - 1, c}, pos,
                                              false});
         }
       }
     }
     if (use_p2p) {
+      // A halo transform crosses devices only when the consumer's boundary
+      // pair still needs computing.
       if (g > 0) {
         for (std::size_t c = 0; c < layout.cols; ++c) {
+          if (warm.skip_north(img::TilePos{row_begin, c})) continue;
           gpu->halo_pull.insert(layout.index_of({row_begin - 1, c}));
         }
       }
       if (g + 1 < gpu_count) {
         for (std::size_t c = 0; c < layout.cols; ++c) {
+          if (warm.skip_north(img::TilePos{row_end, c})) continue;
           gpu->halo_export.insert(layout.index_of({row_end - 1, c}));
         }
       }
@@ -267,6 +275,7 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
     config.recorder = options.recorder;
     config.trace_prefix = "gpu" + std::to_string(g);
     config.concurrent_fft_kernels = options.kepler_concurrent_fft;
+    config.faults = options.faults;
     gpu->device = std::make_unique<vgpu::Device>(config);
     gpu->copy_stream = std::make_unique<vgpu::Stream>(*gpu->device, "copy");
     for (std::size_t s = 0; s < fft_stream_count; ++s) {
@@ -296,7 +305,8 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
 
     // Initialize per-pipeline reference counts (+1 per exported halo
     // transform, released by the consumer after its p2p copy), then drop
-    // any tile no owned pair needs (possible only on single-tile grids).
+    // any tile no owned pair needs (single-tile grids, or tiles whose every
+    // pair a warm start already settled).
     for (const PairRef& pair : gpu->owned_pairs) {
       for (const img::TilePos pos : {pair.reference, pair.moved}) {
         auto [it, inserted] =
@@ -597,11 +607,27 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
           } else {
             table->north_of(task->moved_pos) = translation;
           }
-          note_pair_done(options);
+          note_pair_result(options, task->moved_pos, task->is_west,
+                           translation);
         }
       });
 
-  pipeline.run();
+  try {
+    pipeline.run();
+  } catch (...) {
+    // A failing stage unwinds without reaching its end-of-stage
+    // synchronize(), so commands that touch this function's state (tile
+    // maps, queues, pools) may still sit on stream queues — and ~Stream
+    // drains, not discards. Quiesce every stream before the unwind frees
+    // that state. The cancel hooks have already closed the queues, so the
+    // pending commands' pushes fail fast and every drain terminates.
+    for (auto& gpu : gpus) {
+      gpu->copy_stream->synchronize();
+      for (auto& fft_stream : gpu->fft_streams) fft_stream->synchronize();
+      gpu->disp_stream->synchronize();
+    }
+    throw;
+  }
 
   std::size_t peak_total = 0;
   for (const auto& gpu : gpus) {

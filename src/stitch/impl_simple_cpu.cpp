@@ -14,6 +14,7 @@ namespace hs::stitch::impl {
 StitchResult stitch_simple_cpu(const TileProvider& provider,
                                const StitchOptions& options) {
   const img::GridLayout layout = provider.layout();
+  const WarmFilter warm(options.warm_start);
   StitchResult result(layout);
   OpCountsAtomic counts;
 
@@ -24,10 +25,10 @@ StitchResult stitch_simple_cpu(const TileProvider& provider,
       provider.tile_height(), provider.tile_width(), fft::Direction::kInverse,
       options.rigor);
 
-  TransformCache cache(provider, forward, &counts);
+  TransformCache cache(provider, forward, &counts, warm);
   PciamScratch scratch;
 
-  auto run_pair = [&](img::TilePos reference, img::TilePos moved,
+  auto run_pair = [&](img::TilePos reference, img::TilePos moved, bool is_west,
                       Translation& out) {
     throw_if_cancelled(options);
     const fft::Complex* fft_ref = cache.transform(reference);
@@ -37,19 +38,19 @@ StitchResult stitch_simple_cpu(const TileProvider& provider,
                           options.peak_candidates, options.min_overlap_px);
     cache.release(reference);
     cache.release(moved);
-    note_pair_done(options);
+    note_pair_result(options, moved, is_west, out);
   };
 
   for (const img::TilePos pos : traversal_order(layout, options.traversal)) {
     // Visiting a tile closes its pairs with already-visited neighbors (west
     // and north under every supported traversal's closure pattern); east and
     // south pairs close when those tiles are visited later.
-    if (layout.has_west(pos)) {
-      run_pair(img::TilePos{pos.row, pos.col - 1}, pos,
+    if (layout.has_west(pos) && !warm.skip_west(pos)) {
+      run_pair(img::TilePos{pos.row, pos.col - 1}, pos, /*is_west=*/true,
                result.table.west_of(pos));
     }
-    if (layout.has_north(pos)) {
-      run_pair(img::TilePos{pos.row - 1, pos.col}, pos,
+    if (layout.has_north(pos) && !warm.skip_north(pos)) {
+      run_pair(img::TilePos{pos.row - 1, pos.col}, pos, /*is_west=*/false,
                result.table.north_of(pos));
     }
   }

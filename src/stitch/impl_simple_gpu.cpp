@@ -36,6 +36,7 @@ std::size_t auto_pool_size(const img::GridLayout& layout,
 StitchResult stitch_simple_gpu(const TileProvider& provider,
                                const StitchOptions& options) {
   const img::GridLayout layout = provider.layout();
+  const WarmFilter warm(options.warm_start);
   StitchResult result(layout);
   OpCountsAtomic counts;
 
@@ -48,6 +49,7 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
   config.memory_bytes = options.gpu_memory_bytes;
   config.recorder = options.recorder;
   config.trace_prefix = "gpu0";
+  config.faults = options.faults;
   vgpu::Device device(config);
   vgpu::Stream stream(device, "default");
 
@@ -80,7 +82,7 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
     if (it != states.end()) return it->second;
 
     TileState state;
-    state.refs = TransformCache::pair_degree(layout, pos);
+    state.refs = warm.degree(layout, pos);
     state.tile = provider.load(pos);
     counts.bump(counts.tile_reads);
     // Synchronous H2D copy (the Simple-GPU pathology): convert on the host,
@@ -121,7 +123,7 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
   auto plan_inverse = fft::PlanCache::instance().plan_2d(
       h, w, fft::Direction::kInverse, options.rigor);
 
-  auto run_pair = [&](img::TilePos ref_pos, img::TilePos mov_pos,
+  auto run_pair = [&](img::TilePos ref_pos, img::TilePos mov_pos, bool is_west,
                       Translation& out) {
     throw_if_cancelled(options);
     TileState& ref = ensure_tile(ref_pos);
@@ -172,16 +174,16 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
 
     release_tile(ref_pos);
     release_tile(mov_pos);
-    note_pair_done(options);
+    note_pair_result(options, mov_pos, is_west, out);
   };
 
   for (const img::TilePos pos : traversal_order(layout, options.traversal)) {
-    if (layout.has_west(pos)) {
-      run_pair(img::TilePos{pos.row, pos.col - 1}, pos,
+    if (layout.has_west(pos) && !warm.skip_west(pos)) {
+      run_pair(img::TilePos{pos.row, pos.col - 1}, pos, /*is_west=*/true,
                result.table.west_of(pos));
     }
-    if (layout.has_north(pos)) {
-      run_pair(img::TilePos{pos.row - 1, pos.col}, pos,
+    if (layout.has_north(pos) && !warm.skip_north(pos)) {
+      run_pair(img::TilePos{pos.row - 1, pos.col}, pos, /*is_west=*/false,
                result.table.north_of(pos));
     }
   }

@@ -1,12 +1,15 @@
 #include "stitch/request.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "fault/plan.hpp"
 #include "stitch/impl.hpp"
+#include "stitch/ledger.hpp"
 
 namespace hs::stitch {
 
@@ -124,10 +127,44 @@ void StitchRequest::validate() const {
       }
     }
   }
+
+  // --- fault-tolerance fields.
+  if (retry.max_attempts < 1) {
+    fail("retry.max_attempts", "must be >= 1 (1 means no retry)");
+  }
+  if (retry.backoff_multiplier < 1.0) {
+    fail("retry.backoff_multiplier", "must be >= 1.0");
+  }
+  if (o.warm_start != nullptr &&
+      (o.warm_start->layout.rows != layout.rows ||
+       o.warm_start->layout.cols != layout.cols)) {
+    fail("warm_start", "layout " + num(o.warm_start->layout.rows) + "x" +
+                           num(o.warm_start->layout.cols) +
+                           " does not match the provider's " +
+                           num(layout.rows) + "x" + num(layout.cols));
+  }
+  // Every fallback backend must itself be a valid configuration: it runs
+  // with this request's provider and options when the primary dies.
+  for (const Backend fb : fallback) {
+    StitchRequest sub;
+    sub.backend = fb;
+    sub.provider = provider;
+    sub.options = options;
+    sub.retry = retry;
+    try {
+      sub.validate();
+    } catch (const InvalidArgument& e) {
+      fail("fallback", std::string("backend ") + backend_name(fb) +
+                           " rejects this request: " + e.what());
+    }
+  }
 }
 
-std::size_t StitchRequest::predicted_pool_bytes() const {
-  HS_REQUIRE(provider != nullptr, "provider must not be null");
+namespace {
+
+std::size_t pool_bytes_for(const StitchRequest& request, Backend backend) {
+  const TileProvider* provider = request.provider;
+  const StitchOptions& options = request.options;
   const img::GridLayout layout = provider->layout();
   const std::size_t h = provider->tile_height();
   const std::size_t w = provider->tile_width();
@@ -179,31 +216,185 @@ std::size_t StitchRequest::predicted_pool_bytes() const {
   return 0;
 }
 
+StitchResult dispatch(Backend backend, const TileProvider& provider,
+                      const StitchOptions& options) {
+  switch (backend) {
+    case Backend::kNaivePairwise:
+      return impl::stitch_naive(provider, options);
+    case Backend::kSimpleCpu:
+      return impl::stitch_simple_cpu(provider, options);
+    case Backend::kMtCpu:
+      return impl::stitch_mt_cpu(provider, options);
+    case Backend::kPipelinedCpu:
+      return impl::stitch_pipelined_cpu(provider, options);
+    case Backend::kSimpleGpu:
+      return impl::stitch_simple_gpu(provider, options);
+    case Backend::kPipelinedGpu:
+      return impl::stitch_pipelined_gpu(provider, options);
+  }
+  throw InvalidArgument("backend: unknown value");
+}
+
+/// Computed (not merely settled) pairs in a table.
+std::size_t computed_pairs(const DisplacementTable& table) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < table.layout.tile_count(); ++i) {
+    const img::TilePos pos = table.layout.pos_of(i);
+    if (table.layout.has_west(pos) &&
+        table.west[i].correlation != kNotComputed) {
+      ++n;
+    }
+    if (table.layout.has_north(pos) &&
+        table.north[i].correlation != kNotComputed) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+/// Copies warm entries into slots the backend left untouched.
+void merge_warm(DisplacementTable& table, const DisplacementTable& warm) {
+  for (std::size_t i = 0; i < table.layout.tile_count(); ++i) {
+    if (table.west[i].correlation == kNotComputed &&
+        warm.west[i].correlation != kNotComputed) {
+      table.west[i] = warm.west[i];
+    }
+    if (warm.west_status[i] == PairStatus::kFailed) {
+      table.west_status[i] = PairStatus::kFailed;
+    }
+    if (table.north[i].correlation == kNotComputed &&
+        warm.north[i].correlation != kNotComputed) {
+      table.north[i] = warm.north[i];
+    }
+    if (warm.north_status[i] == PairStatus::kFailed) {
+      table.north_status[i] = PairStatus::kFailed;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t StitchRequest::predicted_pool_bytes() const {
+  HS_REQUIRE(provider != nullptr, "provider must not be null");
+  // A job that may fall back must fit whichever backend in its chain is
+  // hungriest — the serve layer admits against the worst case.
+  std::size_t bytes = pool_bytes_for(*this, backend);
+  for (const Backend fb : fallback) {
+    bytes = std::max(bytes, pool_bytes_for(*this, fb));
+  }
+  return bytes;
+}
+
 StitchResult stitch(const StitchRequest& request) {
   request.validate();
-  const StitchOptions& options = request.options;
-  throw_if_cancelled(options);
+  throw_if_cancelled(request.options);
+  const img::GridLayout layout = request.provider->layout();
   Stopwatch stopwatch;
+
+  // --- provider chain: [caller's provider] -> retry/quarantine decorator.
+  const TileProvider* provider = request.provider;
+  std::optional<fault::RetryingProvider> retrying;
+
+  // --- ledger: fallback and quarantine both need pair-level progress; use
+  // the caller's (serve checkpointing) or a local one.
+  PairLedger* ledger = request.options.ledger;
+  std::optional<PairLedger> local_ledger;
+  if (ledger == nullptr &&
+      (!request.fallback.empty() || request.retry.quarantine)) {
+    local_ledger.emplace(layout);
+    ledger = &*local_ledger;
+  }
+  if (request.retry.enabled()) {
+    retrying.emplace(*request.provider, request.retry,
+                     request.options.faults);
+    if (ledger != nullptr) {
+      retrying->on_quarantine(
+          [ledger](std::size_t index) { ledger->quarantine_tile(index); });
+    }
+    provider = &*retrying;
+  }
+
+  const DisplacementTable* caller_warm = request.options.warm_start;
+  if (ledger != nullptr && caller_warm != nullptr) {
+    ledger->prime(*caller_warm);
+  }
+  if (request.options.pairs_done != nullptr && caller_warm != nullptr) {
+    // Checkpointed pairs count as progress the moment the job starts.
+    request.options.pairs_done->fetch_add(computed_pairs(*caller_warm),
+                                          std::memory_order_relaxed);
+  }
+
+  // --- attempt chain: primary, then each fallback on a device fault.
+  std::vector<Backend> chain;
+  chain.push_back(request.backend);
+  chain.insert(chain.end(), request.fallback.begin(), request.fallback.end());
+
   StitchResult result;
-  switch (request.backend) {
-    case Backend::kNaivePairwise:
-      result = impl::stitch_naive(*request.provider, options);
+  DisplacementTable warm_local;
+  const DisplacementTable* warm = caller_warm;
+  std::size_t fallbacks_taken = 0;
+  std::size_t pairs_reused = 0;
+  for (std::size_t attempt = 0;; ++attempt) {
+    StitchOptions attempt_options = request.options;
+    attempt_options.warm_start = warm;
+    attempt_options.ledger = ledger;
+    try {
+      result = dispatch(chain[attempt], *provider, attempt_options);
+      result.backend_used = backend_name(chain[attempt]);
+      pairs_reused = warm != nullptr ? computed_pairs(*warm) : 0;
       break;
-    case Backend::kSimpleCpu:
-      result = impl::stitch_simple_cpu(*request.provider, options);
-      break;
-    case Backend::kMtCpu:
-      result = impl::stitch_mt_cpu(*request.provider, options);
-      break;
-    case Backend::kPipelinedCpu:
-      result = impl::stitch_pipelined_cpu(*request.provider, options);
-      break;
-    case Backend::kSimpleGpu:
-      result = impl::stitch_simple_gpu(*request.provider, options);
-      break;
-    case Backend::kPipelinedGpu:
-      result = impl::stitch_pipelined_gpu(*request.provider, options);
-      break;
+    } catch (const Error& e) {
+      // Only device faults are recoverable by switching backends; I/O
+      // errors, cancellation, and configuration errors propagate.
+      const bool device_fault = dynamic_cast<const OutOfDeviceMemory*>(&e) !=
+                                    nullptr ||
+                                dynamic_cast<const DeviceError*>(&e) != nullptr;
+      if (!device_fault || attempt + 1 >= chain.size()) throw;
+      if (request.options.faults != nullptr) {
+        request.options.faults->note_handled(
+            dynamic_cast<const OutOfDeviceMemory*>(&e) != nullptr
+                ? fault::Site::kDeviceAlloc
+                : fault::Site::kStreamExec);
+      }
+      ++fallbacks_taken;
+      // Everything the dead attempt finished is in the ledger; the next
+      // backend starts warm from its snapshot (ledger is non-null here:
+      // a non-empty fallback chain forces one above).
+      warm_local = ledger->snapshot();
+      warm = &warm_local;
+    }
+  }
+
+  // --- finalize: one table carrying every pair (computed, reused, failed).
+  if (ledger != nullptr) {
+    result.table = ledger->snapshot();
+    result.quarantined_tiles = ledger->quarantined();
+  } else if (caller_warm != nullptr) {
+    merge_warm(result.table, *caller_warm);
+  }
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < layout.tile_count(); ++i) {
+    const img::TilePos pos = layout.pos_of(i);
+    if (layout.has_west(pos)) {
+      if (result.table.west_status[i] == PairStatus::kFailed) {
+        ++failed;
+      } else if (result.table.west[i].correlation != kNotComputed) {
+        result.table.west_status[i] = PairStatus::kDone;
+      }
+    }
+    if (layout.has_north(pos)) {
+      if (result.table.north_status[i] == PairStatus::kFailed) {
+        ++failed;
+      } else if (result.table.north[i].correlation != kNotComputed) {
+        result.table.north_status[i] = PairStatus::kDone;
+      }
+    }
+  }
+  result.fallbacks_taken = fallbacks_taken;
+  result.pairs_reused = pairs_reused;
+  result.pairs_failed = failed;
+  if (result.backend_used.empty()) {
+    result.backend_used = backend_name(request.backend);
   }
   result.seconds = stopwatch.seconds();
   return result;

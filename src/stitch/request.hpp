@@ -11,6 +11,9 @@
 // forwarding wrapper over this API; no existing call site changes.
 #pragma once
 
+#include <vector>
+
+#include "fault/provider.hpp"
 #include "stitch/stitcher.hpp"
 
 namespace hs::stitch {
@@ -20,6 +23,18 @@ struct StitchRequest {
   /// Non-owning; must outlive the request's execution.
   const TileProvider* provider = nullptr;
   StitchOptions options;
+
+  // --- fault tolerance (trailing fields keep aggregate init sites valid) --
+  /// Tile-read retry/backoff/quarantine policy. When enabled, stitch()
+  /// wraps the provider in a fault::RetryingProvider so transient I/O
+  /// faults heal in place; with `quarantine` set, a permanently bad tile
+  /// marks its pairs kFailed instead of failing the job.
+  fault::RetryPolicy retry = {};
+  /// Backends to fall back to, in order, when the running backend dies on a
+  /// device fault (OutOfDeviceMemory / DeviceError). Every pair already in
+  /// the ledger is reused, never recomputed. Typical chain for a GPU
+  /// primary: {Backend::kMtCpu}.
+  std::vector<Backend> fallback = {};
 
   /// Checks every invariant of this backend/options/provider combination.
   /// Throws InvalidArgument with a message of the form

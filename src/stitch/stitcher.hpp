@@ -11,7 +11,13 @@
 #include "stitch/types.hpp"
 #include "trace/trace.hpp"
 
+namespace hs::fault {
+class FaultPlan;
+}
+
 namespace hs::stitch {
+
+class PairLedger;
 
 enum class Backend {
   /// Fiji-style baseline: per-pair FFT recomputation, no caching.
@@ -86,6 +92,17 @@ struct StitchOptions {
   /// Progress: incremented once as each pair's translation lands in the
   /// displacement table. Total is layout.pair_count().
   std::atomic<std::size_t>* pairs_done = nullptr;
+
+  // --- fault-tolerance hooks (see fault/ and ledger.hpp) -----------------
+  /// Fault-injection plan forwarded into the virtual GPUs the backend
+  /// creates. Null in production; the hooks are then one pointer compare.
+  hs::fault::FaultPlan* faults = nullptr;
+  /// Warm start: pairs already settled in this table (checkpoint or earlier
+  /// attempt) are skipped, not recomputed. Layout must match the provider.
+  const DisplacementTable* warm_start = nullptr;
+  /// Pair-level progress ledger; backends record each computed pair so
+  /// fallback attempts and checkpoints can reuse it.
+  PairLedger* ledger = nullptr;
 };
 
 /// Polls the options' cancel token (no-op when unset); backends call this at

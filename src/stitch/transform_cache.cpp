@@ -2,9 +2,9 @@
 
 namespace hs::stitch {
 
-TransformCache::TransformCache(
-    const TileProvider& provider,
-    std::shared_ptr<const fft::Plan2d> forward_plan, OpCountsAtomic* counts)
+TransformCache::TransformCache(const TileProvider& provider,
+                               std::shared_ptr<const fft::Plan2d> forward_plan,
+                               OpCountsAtomic* counts, WarmFilter filter)
     : provider_(provider),
       layout_(provider.layout()),
       forward_plan_(std::move(forward_plan)),
@@ -12,7 +12,7 @@ TransformCache::TransformCache(
   entries_.reserve(layout_.tile_count());
   for (std::size_t i = 0; i < layout_.tile_count(); ++i) {
     auto e = std::make_unique<Entry>();
-    e->refcount = pair_degree(layout_, layout_.pos_of(i));
+    e->refcount = filter.degree(layout_, layout_.pos_of(i));
     entries_.push_back(std::move(e));
   }
 }

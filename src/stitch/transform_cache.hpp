@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fft/plan2d.hpp"
+#include "stitch/ledger.hpp"
 #include "stitch/opcounts.hpp"
 #include "stitch/pciam.hpp"
 #include "stitch/types.hpp"
@@ -25,9 +26,12 @@ namespace hs::stitch {
 
 class TransformCache {
  public:
+  /// `filter` shrinks each tile's initial reference count to its degree in
+  /// the remaining pair graph under a warm start; the default (no warm
+  /// table) yields the full pair_degree.
   TransformCache(const TileProvider& provider,
                  std::shared_ptr<const fft::Plan2d> forward_plan,
-                 OpCountsAtomic* counts);
+                 OpCountsAtomic* counts, WarmFilter filter = WarmFilter());
 
   /// The tile's degree in the pair graph (its initial reference count).
   static std::size_t pair_degree(const img::GridLayout& layout,

@@ -29,17 +29,30 @@ struct Translation {
   }
 };
 
+/// Lifecycle of one pairwise displacement. kFailed marks pairs given up on
+/// (a quarantined tile); compose treats them like NCC-filtered low-quality
+/// translations and backfills from the stage model.
+enum class PairStatus : std::uint8_t {
+  kPending = 0,
+  kDone = 1,
+  kFailed = 2,
+};
+
 /// Output of phase 1: one translation per west edge and per north edge of
 /// the grid (paper Fig 4's two arrays of tuples).
 struct DisplacementTable {
   img::GridLayout layout;
   std::vector<Translation> west;   // indexed by tile; valid when col > 0
   std::vector<Translation> north;  // indexed by tile; valid when row > 0
+  std::vector<PairStatus> west_status;   // parallel to `west`
+  std::vector<PairStatus> north_status;  // parallel to `north`
 
   explicit DisplacementTable(img::GridLayout grid = {})
       : layout(grid),
         west(grid.tile_count()),
-        north(grid.tile_count()) {}
+        north(grid.tile_count()),
+        west_status(grid.tile_count(), PairStatus::kPending),
+        north_status(grid.tile_count(), PairStatus::kPending) {}
 
   Translation& west_of(img::TilePos pos) { return west[layout.index_of(pos)]; }
   Translation& north_of(img::TilePos pos) {
@@ -73,6 +86,20 @@ struct StitchResult {
   /// End-to-end wall-clock seconds (filled by the caller's stopwatch or the
   /// implementation itself).
   double seconds = 0.0;
+
+  // --- fault-tolerance accounting (see request.hpp) ----------------------
+  /// Backend that completed the job (differs from the request's primary
+  /// after a fallback). On fallback, `ops` holds the final attempt's counts.
+  std::string backend_used;
+  /// Device faults absorbed by switching to a fallback backend.
+  std::size_t fallbacks_taken = 0;
+  /// Pairs taken from a warm start (checkpoint or earlier attempt) instead
+  /// of being recomputed by the backend that finished the job.
+  std::size_t pairs_reused = 0;
+  /// Pairs marked kFailed (quarantined tiles).
+  std::size_t pairs_failed = 0;
+  /// Tiles quarantined after exhausting read retries.
+  std::vector<std::size_t> quarantined_tiles;
 
   StitchResult() : table(img::GridLayout{}) {}
   explicit StitchResult(img::GridLayout layout) : table(layout) {}

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "fault/plan.hpp"
 
 namespace hs::vgpu {
 
@@ -108,6 +109,11 @@ Device::~Device() = default;
 
 DeviceBuffer Device::alloc(std::size_t bytes) {
   HS_REQUIRE(bytes > 0, "zero-byte device allocation");
+  if (config_.faults != nullptr &&
+      config_.faults->should_fail(fault::Site::kDeviceAlloc)) {
+    throw OutOfDeviceMemory(config_.name + ": injected allocation fault (" +
+                            std::to_string(bytes) + " bytes)");
+  }
   void* data = arena_->alloc(bytes, config_.name);
   return DeviceBuffer(this, data, bytes);
 }

@@ -24,6 +24,10 @@
 
 #include "trace/trace.hpp"
 
+namespace hs::fault {
+class FaultPlan;
+}
+
 namespace hs::vgpu {
 
 struct DeviceConfig {
@@ -40,6 +44,9 @@ struct DeviceConfig {
   /// SVI-A). false = Fermi behaviour (vfft serializes on the device FFT
   /// mutex), true = Kepler behaviour (FFTs on different streams overlap).
   bool concurrent_fft_kernels = false;
+  /// Optional fault-injection plan (tests/benches only). Null in
+  /// production: the hooks then cost one pointer compare each.
+  hs::fault::FaultPlan* faults = nullptr;
 };
 
 class Device;

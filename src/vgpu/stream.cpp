@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_util.hpp"
+#include "fault/plan.hpp"
 
 namespace hs::vgpu {
 
@@ -32,6 +33,15 @@ void Stream::worker_loop() {
 }
 
 void Stream::enqueue(std::string label, MoveFunction work) {
+  // Fault injection happens at submission, on the caller's thread, so the
+  // error unwinds through the existing backend exception paths and the
+  // stream worker itself never throws. synchronize() bypasses this hook
+  // (record_event pushes directly), so teardown stays fault-free.
+  fault::FaultPlan* faults = device_.config().faults;
+  if (faults != nullptr && faults->should_fail(fault::Site::kStreamExec)) {
+    throw DeviceError(lane_ + ": injected device fault executing '" + label +
+                      "'");
+  }
   const bool accepted =
       commands_.push(Command{std::move(label), std::move(work), true});
   HS_ASSERT_MSG(accepted, "enqueue on destroyed stream");

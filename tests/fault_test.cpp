@@ -1,0 +1,520 @@
+// Fault-tolerance tests: the deterministic fault plan, retry/backoff and
+// quarantine at the provider layer, GPU -> CPU fallback that reuses every
+// already-computed pair, and checkpoint/resume through the stitch service.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compose/positions.hpp"
+#include "fault/plan.hpp"
+#include "fault/provider.hpp"
+#include "serve/service.hpp"
+#include "stitch/ledger.hpp"
+#include "stitch/request.hpp"
+#include "stitch/table_io.hpp"
+#include "testing_providers.hpp"
+
+namespace hs {
+namespace {
+
+namespace fs = std::filesystem;
+
+using fault::FaultPlan;
+using fault::Site;
+using hs::testing::fast_options;
+using hs::testing::make_grid;
+using hs::testing::small_grid;
+using hs::testing::SlowProvider;
+using hs::testing::tables_identical;
+using stitch::Backend;
+using stitch::kNotComputed;
+using stitch::PairStatus;
+
+// --- FaultPlan: determinism and fault shapes ---------------------------------------
+
+TEST(FaultPlan, SameSeedSameDecisions) {
+  FaultPlan a(42), b(42);
+  a.set_transient_rate(Site::kTileRead, 0.5);
+  b.set_transient_rate(Site::kTileRead, 0.5);
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    EXPECT_EQ(a.should_fail(Site::kTileRead, key),
+              b.should_fail(Site::kTileRead, key))
+        << "key=" << key;
+  }
+  EXPECT_EQ(a.injected(Site::kTileRead), b.injected(Site::kTileRead));
+  EXPECT_GT(a.injected(Site::kTileRead), 0u);   // rate 0.5 over 200 rolls
+  EXPECT_LT(a.injected(Site::kTileRead), 200u);
+}
+
+TEST(FaultPlan, RetryRollsIndependently) {
+  // The same key re-rolled (a retry) must not deterministically re-fail: at
+  // rate 0.5 a long attempt sequence sees both outcomes.
+  FaultPlan plan(7);
+  plan.set_transient_rate(Site::kTileRead, 0.5);
+  bool saw_fail = false, saw_pass = false;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    (plan.should_fail(Site::kTileRead, 3) ? saw_fail : saw_pass) = true;
+  }
+  EXPECT_TRUE(saw_fail);
+  EXPECT_TRUE(saw_pass);
+}
+
+TEST(FaultPlan, FailFromNthIsPermanentFromThatOccurrence) {
+  FaultPlan plan;
+  plan.fail_from_nth(Site::kStreamExec, 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(plan.should_fail(Site::kStreamExec)) << "occurrence " << i;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(plan.should_fail(Site::kStreamExec));
+  }
+  EXPECT_EQ(plan.injected(Site::kStreamExec), 10u);
+}
+
+TEST(FaultPlan, PermanentKeyFailsEveryAttempt) {
+  FaultPlan plan;
+  plan.fail_key_permanently(Site::kTileRead, 7);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(plan.should_fail(Site::kTileRead, 7));
+    EXPECT_FALSE(plan.should_fail(Site::kTileRead, 8));
+  }
+  plan.note_handled(Site::kTileRead);
+  EXPECT_EQ(plan.injected(Site::kTileRead), 4u);
+  EXPECT_EQ(plan.handled(Site::kTileRead), 1u);
+  EXPECT_EQ(plan.injected_total(), 4u);
+  EXPECT_EQ(plan.handled_total(), 1u);
+}
+
+TEST(FaultPlan, SitesAreIndependent) {
+  FaultPlan plan(9);
+  plan.set_transient_rate(Site::kDeviceAlloc, 1.0);
+  EXPECT_TRUE(plan.should_fail(Site::kDeviceAlloc, 0));
+  EXPECT_FALSE(plan.should_fail(Site::kTileRead, 0));
+  EXPECT_FALSE(plan.should_fail(Site::kStreamExec, 0));
+  EXPECT_EQ(plan.injected(Site::kTileRead), 0u);
+  EXPECT_EQ(plan.injected(Site::kDeviceAlloc), 1u);
+}
+
+TEST(FaultPlan, RecordsInjectionsAsTraceEvents) {
+  trace::Recorder recorder;
+  FaultPlan plan;
+  plan.set_recorder(&recorder);
+  plan.fail_key_permanently(Site::kTileRead, 1);
+  (void)plan.should_fail(Site::kTileRead, 1);
+  plan.note_handled(Site::kTileRead);
+  const auto lanes = recorder.lanes();
+  ASSERT_EQ(lanes.size(), 1u);
+  EXPECT_EQ(lanes[0], "fault");
+}
+
+// --- provider decorators -----------------------------------------------------------
+
+TEST(RetryingProvider, HealsTransientFaults) {
+  const auto grid = small_grid();
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  FaultPlan plan(11);
+  plan.set_transient_rate(Site::kTileRead, 0.4);
+  fault::FaultInjectingProvider faulty(mem, plan);
+  fault::RetryPolicy policy;
+  policy.max_attempts = 16;
+  fault::RetryingProvider provider(faulty, policy, &plan);
+
+  for (std::size_t i = 0; i < grid.layout.tile_count(); ++i) {
+    const auto tile = provider.load(grid.layout.pos_of(i));
+    const auto expected = grid.tiles[i].pixels();
+    ASSERT_EQ(tile.pixels().size(), expected.size());
+    EXPECT_TRUE(std::equal(tile.pixels().begin(), tile.pixels().end(),
+                           expected.begin()));
+  }
+  EXPECT_GT(plan.injected(Site::kTileRead), 0u);
+  EXPECT_EQ(plan.handled(Site::kTileRead), plan.injected(Site::kTileRead));
+  EXPECT_EQ(provider.retries_spent(), plan.injected(Site::kTileRead));
+  EXPECT_TRUE(provider.quarantined().empty());
+}
+
+TEST(RetryingProvider, ExhaustedAttemptsThrowWithoutQuarantine) {
+  const auto grid = small_grid();
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  FaultPlan plan;
+  plan.fail_key_permanently(Site::kTileRead, 0);
+  fault::FaultInjectingProvider faulty(mem, plan);
+  fault::RetryPolicy policy;
+  policy.max_attempts = 3;
+  fault::RetryingProvider provider(faulty, policy, &plan);
+  EXPECT_THROW((void)provider.load(img::TilePos{0, 0}), IoError);
+  EXPECT_EQ(plan.injected(Site::kTileRead), 3u);
+}
+
+TEST(RetryingProvider, QuarantinesPermanentlyBadTileOnce) {
+  const auto grid = small_grid();
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  const std::size_t bad = grid.layout.index_of({1, 1});
+  FaultPlan plan;
+  plan.fail_key_permanently(Site::kTileRead, bad);
+  fault::FaultInjectingProvider faulty(mem, plan);
+  fault::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.quarantine = true;
+  fault::RetryingProvider provider(faulty, policy, &plan);
+  std::vector<std::size_t> notified;
+  provider.on_quarantine([&](std::size_t index) { notified.push_back(index); });
+
+  const auto blank = provider.load(img::TilePos{1, 1});
+  for (const auto pixel : blank.pixels()) EXPECT_EQ(pixel, 0);
+  // A quarantined tile short-circuits: no new injections, no re-backoff.
+  const auto injected_after_first = plan.injected(Site::kTileRead);
+  (void)provider.load(img::TilePos{1, 1});
+  EXPECT_EQ(plan.injected(Site::kTileRead), injected_after_first);
+  EXPECT_EQ(provider.quarantined(), std::vector<std::size_t>{bad});
+  EXPECT_EQ(notified, std::vector<std::size_t>{bad});
+}
+
+// --- transient faults heal to bit-identical results, every backend -----------------
+
+class FaultedBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(FaultedBackends, TransientReadFaultsHealToBitIdenticalTable) {
+  const auto grid = make_grid(3, 4, 17);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  const stitch::StitchResult clean =
+      stitch::stitch(GetParam(), mem, fast_options());
+
+  FaultPlan plan(101);
+  plan.set_transient_rate(Site::kTileRead, 0.2);
+  fault::FaultInjectingProvider faulty(mem, plan);
+  stitch::StitchRequest request;
+  request.backend = GetParam();
+  request.provider = &faulty;
+  request.options = fast_options();
+  request.options.faults = &plan;
+  request.retry.max_attempts = 12;
+  const stitch::StitchResult result = stitch::stitch(request);
+
+  EXPECT_GT(plan.injected(Site::kTileRead), 0u);
+  EXPECT_EQ(plan.handled_total(), plan.injected_total());
+  EXPECT_TRUE(tables_identical(clean.table, result.table))
+      << backend_name(GetParam());
+  EXPECT_EQ(result.fallbacks_taken, 0u);
+  EXPECT_EQ(result.pairs_failed, 0u);
+}
+
+TEST_P(FaultedBackends, PermanentTileQuarantinedInsteadOfAborting) {
+  const auto grid = small_grid(9);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  const stitch::StitchResult clean =
+      stitch::stitch(GetParam(), mem, fast_options());
+
+  const img::TilePos poison{1, 2};
+  const std::size_t bad = grid.layout.index_of(poison);
+  FaultPlan plan;
+  plan.fail_key_permanently(Site::kTileRead, bad);
+  fault::FaultInjectingProvider faulty(mem, plan);
+  stitch::StitchRequest request;
+  request.backend = GetParam();
+  request.provider = &faulty;
+  request.options = fast_options();
+  request.options.faults = &plan;
+  request.retry.max_attempts = 2;
+  request.retry.quarantine = true;
+  const stitch::StitchResult result = stitch::stitch(request);
+
+  EXPECT_EQ(result.quarantined_tiles, std::vector<std::size_t>{bad});
+  EXPECT_EQ(result.pairs_failed, 4u);  // west, north, east, south of (1,2)
+  const auto& table = result.table;
+  EXPECT_EQ(table.west_status[bad], PairStatus::kFailed);
+  EXPECT_EQ(table.north_status[bad], PairStatus::kFailed);
+  EXPECT_EQ(table.west_status[grid.layout.index_of({1, 3})],
+            PairStatus::kFailed);
+  EXPECT_EQ(table.north_status[grid.layout.index_of({2, 2})],
+            PairStatus::kFailed);
+  // Every pair not touching the quarantined tile matches the clean run
+  // bit-for-bit.
+  for (std::size_t i = 0; i < grid.layout.tile_count(); ++i) {
+    const img::TilePos pos = grid.layout.pos_of(i);
+    if (grid.layout.has_west(pos) &&
+        table.west_status[i] != PairStatus::kFailed) {
+      EXPECT_TRUE(table.west[i] == clean.table.west[i]) << "west " << i;
+    }
+    if (grid.layout.has_north(pos) &&
+        table.north_status[i] != PairStatus::kFailed) {
+      EXPECT_TRUE(table.north[i] == clean.table.north[i]) << "north " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FaultedBackends,
+                         ::testing::ValuesIn(stitch::kAllBackends),
+                         [](const auto& info) {
+                           std::string name = stitch::backend_name(info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+TEST(Quarantine, ComposeBackfillsQuarantinedTilePosition) {
+  const auto grid = small_grid(9);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  const stitch::StitchResult clean =
+      stitch::stitch(Backend::kMtCpu, mem, fast_options());
+  const auto clean_positions = compose::resolve_positions(
+      clean.table, compose::Phase2Method::kLeastSquares);
+
+  const std::size_t bad = grid.layout.index_of({1, 2});
+  FaultPlan plan;
+  plan.fail_key_permanently(Site::kTileRead, bad);
+  fault::FaultInjectingProvider faulty(mem, plan);
+  stitch::StitchRequest request;
+  request.backend = Backend::kMtCpu;
+  request.provider = &faulty;
+  request.options = fast_options();
+  request.retry.max_attempts = 2;
+  request.retry.quarantine = true;
+  const stitch::StitchResult result = stitch::stitch(request);
+
+  // The failed pairs are backfilled from the stage model (median grid
+  // displacement), so phase 2 still resolves — and places the quarantined
+  // tile within the stage repeatability bound of its true position.
+  const auto positions = compose::resolve_positions(
+      result.table, compose::Phase2Method::kLeastSquares);
+  const std::int64_t tolerance = 20;  // 2x the stage_jitter_max preset
+  EXPECT_LE(std::abs(positions.x_of({1, 2}) - clean_positions.x_of({1, 2})),
+            tolerance);
+  EXPECT_LE(std::abs(positions.y_of({1, 2}) - clean_positions.y_of({1, 2})),
+            tolerance);
+  // Surviving tiles should barely move.
+  EXPECT_LE(std::abs(positions.x_of({2, 0}) - clean_positions.x_of({2, 0})),
+            tolerance);
+  EXPECT_LE(std::abs(positions.y_of({2, 0}) - clean_positions.y_of({2, 0})),
+            tolerance);
+}
+
+// --- GPU device faults degrade to the fallback chain -------------------------------
+
+TEST(Fallback, MidRunStreamFaultFallsBackReusingComputedPairs) {
+  const auto grid = make_grid(4, 4, 23);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  const stitch::StitchResult clean =
+      stitch::stitch(Backend::kMtCpu, mem, fast_options());
+  const std::size_t pairs = grid.layout.pair_count();
+
+  FaultPlan plan;
+  plan.fail_from_nth(Site::kStreamExec, 80);  // mid-run for this grid size
+  stitch::StitchRequest request;
+  request.backend = Backend::kPipelinedGpu;
+  request.provider = &mem;
+  request.options = fast_options();
+  request.options.faults = &plan;
+  request.fallback = {Backend::kMtCpu};
+  const stitch::StitchResult result = stitch::stitch(request);
+
+  EXPECT_EQ(result.fallbacks_taken, 1u);
+  EXPECT_EQ(result.backend_used, backend_name(Backend::kMtCpu));
+  EXPECT_GE(plan.handled(Site::kStreamExec), 1u);
+  // The dead GPU's finished pairs were reused, never recomputed: the CPU
+  // attempt ran exactly one inverse FFT per *remaining* pair.
+  EXPECT_GT(result.pairs_reused, 0u);
+  EXPECT_LT(result.pairs_reused, pairs);
+  EXPECT_EQ(result.ops.inverse_ffts, pairs - result.pairs_reused);
+  EXPECT_TRUE(tables_identical(clean.table, result.table));
+}
+
+TEST(Fallback, ChainWalksPastMultipleDeadBackends) {
+  const auto grid = small_grid(12);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  const stitch::StitchResult clean =
+      stitch::stitch(Backend::kMtCpu, mem, fast_options());
+
+  FaultPlan plan;
+  plan.fail_from_nth(Site::kStreamExec, 0);  // every GPU command fails
+  stitch::StitchRequest request;
+  request.backend = Backend::kPipelinedGpu;
+  request.provider = &mem;
+  request.options = fast_options();
+  request.options.faults = &plan;
+  request.fallback = {Backend::kSimpleGpu, Backend::kMtCpu};
+  const stitch::StitchResult result = stitch::stitch(request);
+
+  EXPECT_EQ(result.fallbacks_taken, 2u);
+  EXPECT_EQ(result.backend_used, backend_name(Backend::kMtCpu));
+  EXPECT_TRUE(tables_identical(clean.table, result.table));
+}
+
+TEST(Fallback, DeviceAllocFaultTriggersOutOfMemoryFallback) {
+  const auto grid = small_grid(13);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  const stitch::StitchResult clean =
+      stitch::stitch(Backend::kSimpleCpu, mem, fast_options());
+
+  FaultPlan plan;
+  plan.fail_from_nth(Site::kDeviceAlloc, 2);
+  stitch::StitchRequest request;
+  request.backend = Backend::kSimpleGpu;
+  request.provider = &mem;
+  request.options = fast_options();
+  request.options.faults = &plan;
+  request.fallback = {Backend::kSimpleCpu};
+  const stitch::StitchResult result = stitch::stitch(request);
+
+  EXPECT_EQ(result.fallbacks_taken, 1u);
+  EXPECT_EQ(result.backend_used, backend_name(Backend::kSimpleCpu));
+  EXPECT_GE(plan.handled(Site::kDeviceAlloc), 1u);
+  EXPECT_TRUE(tables_identical(clean.table, result.table));
+}
+
+TEST(Fallback, ExhaustedChainRethrowsTheDeviceFault) {
+  const auto grid = small_grid(14);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  FaultPlan plan;
+  plan.fail_from_nth(Site::kStreamExec, 0);
+  stitch::StitchRequest request;
+  request.backend = Backend::kSimpleGpu;
+  request.provider = &mem;
+  request.options = fast_options();
+  request.options.faults = &plan;
+  request.fallback = {Backend::kPipelinedGpu};  // also dies
+  EXPECT_THROW((void)stitch::stitch(request), DeviceError);
+}
+
+TEST(Fallback, NoFaultsMeansNoFallbackAndPrimaryName) {
+  const auto grid = small_grid(15);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  stitch::StitchRequest request;
+  request.backend = Backend::kSimpleCpu;
+  request.provider = &mem;
+  request.options = fast_options();
+  const stitch::StitchResult result = stitch::stitch(request);
+  EXPECT_EQ(result.fallbacks_taken, 0u);
+  EXPECT_EQ(result.pairs_reused, 0u);
+  EXPECT_EQ(result.backend_used, backend_name(Backend::kSimpleCpu));
+}
+
+// --- service: default GPU fallback and checkpoint/resume ---------------------------
+
+TEST(ServeFaults, GpuJobDegradesToCpuByDefault) {
+  const auto grid = small_grid(21);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  FaultPlan plan;
+  plan.fail_from_nth(Site::kStreamExec, 0);
+
+  serve::StitchService service(serve::ServiceConfig{});
+  serve::StitchJob job;
+  job.name = "degrading";
+  job.backend = Backend::kSimpleGpu;
+  job.provider = &mem;
+  job.options = fast_options();
+  job.options.faults = &plan;
+  // fallback left empty: the service defaults GPU primaries to {kMtCpu}.
+  auto handle = service.submit(job);
+  const auto& result = handle.wait();
+  EXPECT_EQ(result.fallbacks_taken, 1u);
+  EXPECT_EQ(result.backend_used, backend_name(Backend::kMtCpu));
+}
+
+class ServeCheckpoint : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("hs_ckpt_" + std::to_string(::getpid())))
+               .string();
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(ServeCheckpoint, CancelledJobResumesFromCheckpoint) {
+  const auto grid = make_grid(4, 6, 33);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  SlowProvider slow(&mem, 4);
+  const std::size_t pairs = grid.layout.pair_count();
+  const std::string path = dir_ + "/job.csv";
+  const stitch::StitchResult clean =
+      stitch::stitch(Backend::kSimpleCpu, mem, {});
+
+  serve::ServiceConfig config;
+  config.workers = 1;
+  config.checkpoint_interval_s = 0.02;
+  serve::StitchService service(config);
+
+  serve::StitchJob job;
+  job.name = "ckpt";
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &slow;
+  job.checkpoint_path = path;
+  auto first = service.submit(job);
+  while (first.progress().pairs_done < 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  first.cancel();
+  EXPECT_THROW((void)first.wait(), Cancelled);
+
+  // The terminal transition wrote a final checkpoint with every pair the
+  // cancelled run finished.
+  ASSERT_TRUE(fs::exists(path));
+  const auto checkpoint = stitch::read_table_csv(path);
+  std::size_t computed = 0;
+  for (std::size_t i = 0; i < checkpoint.layout.tile_count(); ++i) {
+    const img::TilePos pos = checkpoint.layout.pos_of(i);
+    if (checkpoint.layout.has_west(pos) &&
+        checkpoint.west[i].correlation != kNotComputed) {
+      ++computed;
+    }
+    if (checkpoint.layout.has_north(pos) &&
+        checkpoint.north[i].correlation != kNotComputed) {
+      ++computed;
+    }
+  }
+  ASSERT_GT(computed, 0u);
+  ASSERT_LT(computed, pairs);
+
+  // Resubmission resumes: only the missing pairs are recomputed.
+  job.name = "ckpt-resume";
+  job.provider = &mem;  // no need to go slow the second time
+  auto second = service.submit(job);
+  const auto& result = second.wait();
+  EXPECT_EQ(result.pairs_reused, computed);
+  EXPECT_EQ(result.ops.inverse_ffts, pairs - computed);
+  EXPECT_TRUE(tables_identical(clean.table, result.table));
+  EXPECT_EQ(second.progress().pairs_done, pairs);
+
+  // The completed job's final checkpoint holds the full table.
+  const auto final_checkpoint = stitch::read_table_csv(path);
+  EXPECT_TRUE(tables_identical(clean.table, final_checkpoint));
+}
+
+TEST_F(ServeCheckpoint, CorruptCheckpointIgnoredJobRunsFresh) {
+  const auto grid = small_grid(31);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  const std::string path = dir_ + "/corrupt.csv";
+  {
+    std::ofstream out(path);
+    out << "this is not a displacement table\n";
+  }
+  serve::StitchService service(serve::ServiceConfig{});
+  serve::StitchJob job;
+  job.name = "fresh";
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &mem;
+  job.checkpoint_path = path;
+  auto handle = service.submit(job);
+  const auto& result = handle.wait();
+  EXPECT_EQ(result.pairs_reused, 0u);
+  const stitch::StitchResult clean =
+      stitch::stitch(Backend::kSimpleCpu, mem, {});
+  EXPECT_TRUE(tables_identical(clean.table, result.table));
+  // The bad file was replaced by a valid full checkpoint.
+  EXPECT_TRUE(tables_identical(clean.table, stitch::read_table_csv(path)));
+}
+
+}  // namespace
+}  // namespace hs

@@ -221,6 +221,113 @@ TEST(Tiff, RejectsTruncatedPixelData) {
   EXPECT_THROW(read_tiff_u16(dir.str("t.tif")), IoError);
 }
 
+// --- malformed-header corpus -------------------------------------------------
+//
+// Hand-patched files exercising the defects a long-running acquisition
+// system actually meets: interrupted writers, bad firmware, overwritten
+// directories. Every one must throw IoError — never crash, hang, or read
+// out of bounds. The files are little-endian (our writer's byte order), so
+// the patch helpers below are little-endian too.
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::uint32_t le32(const std::vector<std::uint8_t>& b, std::size_t off) {
+  return static_cast<std::uint32_t>(b[off]) | (b[off + 1] << 8) |
+         (b[off + 2] << 16) | (static_cast<std::uint32_t>(b[off + 3]) << 24);
+}
+
+void patch32(std::vector<std::uint8_t>& b, std::size_t off, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    b[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+/// Offset of the 12-byte IFD entry for `tag` (the value field is at +8).
+std::size_t entry_offset(const std::vector<std::uint8_t>& b,
+                         std::uint16_t tag) {
+  const std::size_t ifd = le32(b, 4);
+  const std::size_t count = b[ifd] | (b[ifd + 1] << 8);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t e = ifd + 2 + i * 12;
+    if ((b[e] | (b[e + 1] << 8)) == tag) return e;
+  }
+  ADD_FAILURE() << "tag " << tag << " not found";
+  return 0;
+}
+
+TEST(TiffCorpus, TruncatedStripTableRejected) {
+  TempDir dir;
+  const std::string path = dir.str("strips.tif");
+  // One strip per row forces the strip arrays out of line; claiming vastly
+  // more strips than the file holds walks the arrays past EOF.
+  write_tiff_u16(path, random_image(8, 8, 11), 1);
+  auto bytes = slurp(path);
+  patch32(bytes, entry_offset(bytes, 273) + 4, 1u << 20);  // StripOffsets
+  patch32(bytes, entry_offset(bytes, 279) + 4, 1u << 20);  // StripByteCounts
+  spit(path, bytes);
+  EXPECT_THROW(read_tiff_u16(path), IoError);
+}
+
+TEST(TiffCorpus, StripOffsetPastEofRejected) {
+  TempDir dir;
+  const std::string path = dir.str("offset.tif");
+  write_tiff_u16(path, random_image(8, 8, 12), 1000);  // single inline strip
+  auto bytes = slurp(path);
+  patch32(bytes, entry_offset(bytes, 273) + 8,
+          static_cast<std::uint32_t>(bytes.size()) + 1000);
+  spit(path, bytes);
+  EXPECT_THROW(read_tiff_u16(path), IoError);
+}
+
+TEST(TiffCorpus, ZeroBitsPerSampleRejected) {
+  TempDir dir;
+  const std::string path = dir.str("bits.tif");
+  write_tiff_u16(path, random_image(4, 4, 13), 1000);
+  auto bytes = slurp(path);
+  const std::size_t value = entry_offset(bytes, 258) + 8;
+  bytes[value] = 0;  // inline SHORT value, little-endian low byte
+  bytes[value + 1] = 0;
+  spit(path, bytes);
+  EXPECT_THROW(read_tiff_u16(path), IoError);
+}
+
+TEST(TiffCorpus, IfdCycleRejectedNotHung) {
+  TempDir dir;
+  const std::string path = dir.str("cycle.tif");
+  write_tiff_u16(path, random_image(4, 4, 14), 1000);
+  auto bytes = slurp(path);
+  // The writer puts the IFD last: its trailing next-IFD pointer is the
+  // final 4 bytes. Point it back at the IFD itself.
+  patch32(bytes, bytes.size() - 4, le32(bytes, 4));
+  spit(path, bytes);
+  EXPECT_THROW(read_tiff_u16(path), IoError);
+}
+
+TEST(TiffCorpus, SecondIfdEntryTablePastEofRejected) {
+  TempDir dir;
+  const std::string path = dir.str("chain.tif");
+  write_tiff_u16(path, random_image(4, 4, 15), 1000);
+  auto bytes = slurp(path);
+  // Chain to a "directory" at EOF whose claimed entry table cannot fit.
+  const std::uint32_t bogus = static_cast<std::uint32_t>(bytes.size());
+  patch32(bytes, bytes.size() - 4, bogus);
+  bytes.push_back(0xFF);  // entry count low byte: 255 entries, no bytes
+  bytes.push_back(0x00);
+  spit(path, bytes);
+  EXPECT_THROW(read_tiff_u16(path), IoError);
+}
+
 // --- PNM ---------------------------------------------------------------------
 
 TEST(Pgm, RoundTrips16Bit) {

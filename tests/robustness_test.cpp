@@ -16,54 +16,15 @@
 #include "imgio/tiff.hpp"
 #include "simdata/plate.hpp"
 #include "stitch/stitcher.hpp"
+#include "testing_providers.hpp"
 
 namespace hs {
 namespace {
 
 namespace fs = std::filesystem;
 
-// --- failure-injecting tile provider ------------------------------------------
-
-/// Serves a synthetic grid but throws on one designated tile, optionally
-/// only after it was served `fail_after` times (exercises mid-pipeline
-/// failure while other stages are in flight).
-class FailingProvider final : public stitch::TileProvider {
- public:
-  FailingProvider(const sim::SyntheticGrid& grid, img::TilePos poison)
-      : grid_(grid), poison_(poison) {}
-
-  img::GridLayout layout() const override { return grid_.layout; }
-  std::size_t tile_height() const override { return grid_.tile_height; }
-  std::size_t tile_width() const override { return grid_.tile_width; }
-
-  img::ImageU16 load(img::TilePos pos) const override {
-    loads_.fetch_add(1, std::memory_order_relaxed);
-    if (pos == poison_) {
-      throw IoError("injected read failure at tile (" +
-                    std::to_string(pos.row) + "," + std::to_string(pos.col) +
-                    ")");
-    }
-    return grid_.tile(pos);
-  }
-
-  std::size_t loads() const { return loads_.load(std::memory_order_relaxed); }
-
- private:
-  const sim::SyntheticGrid& grid_;
-  img::TilePos poison_;
-  mutable std::atomic<std::size_t> loads_{0};
-};
-
-sim::SyntheticGrid small_grid(std::uint64_t seed = 3) {
-  sim::AcquisitionParams acq;
-  acq.grid_rows = 3;
-  acq.grid_cols = 4;
-  acq.tile_height = 32;
-  acq.tile_width = 48;
-  acq.overlap_fraction = 0.25;
-  acq.seed = seed;
-  return sim::make_synthetic_grid(acq);
-}
+using hs::testing::FailingProvider;
+using hs::testing::small_grid;
 
 class FailurePropagation : public ::testing::TestWithParam<stitch::Backend> {};
 

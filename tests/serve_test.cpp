@@ -12,10 +12,12 @@
 #include "serve/service.hpp"
 #include "simdata/plate.hpp"
 #include "stitch/validate.hpp"
+#include "testing_providers.hpp"
 
 namespace hs::serve {
 namespace {
 
+using hs::testing::SlowProvider;
 using stitch::Backend;
 
 sim::SyntheticGrid make_grid(std::size_t rows, std::size_t cols,
@@ -28,26 +30,6 @@ sim::SyntheticGrid make_grid(std::size_t rows, std::size_t cols,
   acq.seed = seed;
   return sim::make_synthetic_grid(acq);
 }
-
-/// A provider that sleeps on every load — makes jobs reliably observable
-/// mid-run for the cancellation and ordering tests.
-class SlowProvider final : public stitch::TileProvider {
- public:
-  SlowProvider(const stitch::MemoryTileProvider* inner, int delay_ms)
-      : inner_(inner), delay_ms_(delay_ms) {}
-
-  img::GridLayout layout() const override { return inner_->layout(); }
-  std::size_t tile_height() const override { return inner_->tile_height(); }
-  std::size_t tile_width() const override { return inner_->tile_width(); }
-  img::ImageU16 load(img::TilePos pos) const override {
-    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
-    return inner_->load(pos);
-  }
-
- private:
-  const stitch::MemoryTileProvider* inner_;
-  int delay_ms_;
-};
 
 /// A provider whose load always fails, for failure propagation.
 class FailingProvider final : public stitch::TileProvider {

@@ -10,72 +10,16 @@
 
 #include "simdata/plate.hpp"
 #include "stitch/stitcher.hpp"
+#include "testing_providers.hpp"
 #include "trace/trace.hpp"
 
 namespace hs::stitch {
 namespace {
 
-sim::SyntheticGrid make_grid(std::size_t rows, std::size_t cols,
-                             std::uint64_t seed = 7) {
-  sim::AcquisitionParams acq;
-  acq.grid_rows = rows;
-  acq.grid_cols = cols;
-  acq.tile_height = 48;
-  acq.tile_width = 64;
-  acq.overlap_fraction = 0.25;
-  acq.stage_jitter_sd = 2.0;
-  acq.stage_jitter_max = 5.0;
-  acq.camera_noise_sd = 100.0;
-  acq.seed = seed;
-  return sim::make_synthetic_grid(acq);
-}
-
-StitchOptions fast_options() {
-  StitchOptions options;
-  options.threads = 3;
-  options.read_threads = 1;
-  options.ccf_threads = 2;
-  options.gpu_count = 2;
-  options.gpu_memory_bytes = 64ull << 20;
-  return options;
-}
-
-/// Fraction of edges whose recovered displacement equals ground truth.
-double truth_accuracy(const sim::SyntheticGrid& grid,
-                      const DisplacementTable& table) {
-  std::size_t good = 0, total = 0;
-  const auto& layout = grid.layout;
-  for (std::size_t r = 0; r < layout.rows; ++r) {
-    for (std::size_t c = 0; c < layout.cols; ++c) {
-      const img::TilePos pos{r, c};
-      if (c > 0) {
-        const auto [dx, dy] = grid.truth.displacement(
-            layout.index_of({r, c - 1}), layout.index_of(pos));
-        const Translation& t = table.west_of(pos);
-        ++total;
-        if (t.x == dx && t.y == dy) ++good;
-      }
-      if (r > 0) {
-        const auto [dx, dy] = grid.truth.displacement(
-            layout.index_of({r - 1, c}), layout.index_of(pos));
-        const Translation& t = table.north_of(pos);
-        ++total;
-        if (t.x == dx && t.y == dy) ++good;
-      }
-    }
-  }
-  return total == 0 ? 1.0 : static_cast<double>(good) / static_cast<double>(total);
-}
-
-bool tables_identical(const DisplacementTable& a, const DisplacementTable& b) {
-  if (a.west.size() != b.west.size()) return false;
-  for (std::size_t i = 0; i < a.west.size(); ++i) {
-    if (!(a.west[i] == b.west[i]) || !(a.north[i] == b.north[i])) {
-      return false;
-    }
-  }
-  return true;
-}
+using hs::testing::fast_options;
+using hs::testing::make_grid;
+using hs::testing::tables_identical;
+using hs::testing::truth_accuracy;
 
 // --- parameterized over backends ----------------------------------------------
 
