@@ -105,6 +105,45 @@ void BM_Fft2dRealToComplex(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft2dRealToComplex)->Args({256, 256})->Args({260, 348});
 
+void BM_Fft2dComplexToReal(benchmark::State& state) {
+  // Inverse leg of the half-spectrum pipeline: Hermitian bins back to a
+  // real correlation surface.
+  const auto h = static_cast<std::size_t>(state.range(0));
+  const auto w = static_cast<std::size_t>(state.range(1));
+  hs::Rng rng(h * w);
+  std::vector<double> x(h * w);
+  for (auto& v : x) v = rng.next_double();
+  hs::fft::PlanR2c2d r2c(h, w);
+  hs::fft::PlanC2r2d c2r(h, w);
+  std::vector<Complex> half(h * r2c.spectrum_width());
+  r2c.execute(x.data(), half.data());
+  std::vector<double> back(h * w);
+  for (auto _ : state) {
+    c2r.execute(half.data(), back.data());
+    benchmark::DoNotOptimize(back.data());
+  }
+}
+BENCHMARK(BM_Fft2dComplexToReal)->Args({256, 256})->Args({260, 348});
+
+void BM_Fft2dTwoForOne(benchmark::State& state) {
+  // Both tiles of a pair through one complex transform (the NaivePairwise
+  // complex-mode path); compare against 2x BM_Fft2d.
+  const auto h = static_cast<std::size_t>(state.range(0));
+  const auto w = static_cast<std::size_t>(state.range(1));
+  hs::Rng rng(h + w + 1);
+  std::vector<double> a(h * w), b(h * w);
+  for (auto& v : a) v = rng.next_double();
+  for (auto& v : b) v = rng.next_double();
+  Plan2d plan(h, w, Direction::kForward);
+  std::vector<Complex> sa(h * w), sb(h * w);
+  for (auto _ : state) {
+    hs::fft::fft_two_reals_2d(plan, a.data(), b.data(), sa.data(), sb.data());
+    benchmark::DoNotOptimize(sa.data());
+    benchmark::DoNotOptimize(sb.data());
+  }
+}
+BENCHMARK(BM_Fft2dTwoForOne)->Args({256, 256})->Args({260, 348});
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -92,6 +92,35 @@ int main() {
     all_ok &= check(result.ops.ccf_evaluations, 4 * pairs, "CCFs", rows, cols);
   }
 
+  // Half-spectrum variant: counts are unchanged, but each forward
+  // transform keeps h*(w/2+1) bins instead of h*w (operand bytes halve).
+  {
+    sim::AcquisitionParams acq;
+    acq.grid_rows = 3;
+    acq.grid_cols = 3;
+    acq.tile_height = th;
+    acq.tile_width = tw;
+    const auto grid = sim::make_synthetic_grid(acq);
+    stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+    stitch::StitchOptions options;
+    const auto full = stitch::stitch(stitch::Backend::kSimpleCpu, provider,
+                                     options);
+    options.use_real_fft = true;
+    const auto half = stitch::stitch(stitch::Backend::kSimpleCpu, provider,
+                                     options);
+    const std::uint64_t tiles = 9;
+    std::printf("half-spectrum bins per run (3 x 3): complex %llu, r2c %llu "
+                "(ratio %.2f)\n\n",
+                static_cast<unsigned long long>(full.ops.transform_bins),
+                static_cast<unsigned long long>(half.ops.transform_bins),
+                static_cast<double>(full.ops.transform_bins) /
+                    static_cast<double>(half.ops.transform_bins));
+    all_ok &= check(full.ops.transform_bins, tiles * th * tw,
+                    "complex transform bins", 3, 3);
+    all_ok &= check(half.ops.transform_bins, tiles * th * (tw / 2 + 1),
+                    "half-spectrum transform bins", 3, 3);
+  }
+
   // Paper's headline transform count for the evaluation grid.
   std::printf("Paper workload check: a 42 x 59 grid performs 3nm - n - m\n");
   std::printf("= %d forward+inverse 2-D transforms (paper SIII).\n",

@@ -24,8 +24,10 @@ for preset in "${presets[@]}"; do
   cmake --preset "${preset}" >/dev/null
   echo "==> [${preset}] build"
   cmake --build --preset "${preset}" -j "${jobs}" >/dev/null
-  echo "==> [${preset}] ctest -L tier1 -LE slow"
+  echo "==> [${preset}] ctest -L tier1 -LE slow (complex spectra)"
   ctest --preset "${preset}" -L tier1 -LE slow -j "${jobs}"
+  echo "==> [${preset}] ctest -L tier1 -LE slow (HS_USE_REAL_FFT=1)"
+  HS_USE_REAL_FFT=1 ctest --preset "${preset}" -L tier1 -LE slow -j "${jobs}"
 done
 
 echo "All presets green: ${presets[*]}"

@@ -94,6 +94,23 @@ void PlanR2c2d::execute(const double* in, Complex* out) const {
   detail::count_2d();
 }
 
+void PlanR2c2d::execute_inplace_padded(Complex* data) const {
+  const std::size_t sw = spectrum_width();
+  // Row r's reals start at double offset r*2*sw — the same memory its half
+  // spectrum occupies, so each row transform is an exact-overlap execute.
+  const double* reals = reinterpret_cast<const double*>(data);
+  for (std::size_t r = 0; r < h_; ++r) {
+    row_.execute(reals + r * 2 * sw, data + r * sw);
+  }
+  std::vector<Complex> scratch(h_ * sw);
+  transpose(data, scratch.data(), h_, sw);
+  for (std::size_t c = 0; c < sw; ++c) {
+    col_.execute_inplace(scratch.data() + c * h_);
+  }
+  transpose(scratch.data(), data, sw, h_);
+  detail::count_2d();
+}
+
 PlanC2r2d::PlanC2r2d(std::size_t height, std::size_t width, Rigor rigor)
     : h_(height), w_(width), row_(width, rigor),
       col_(height, Direction::kInverse, rigor) {
@@ -109,6 +126,23 @@ void PlanC2r2d::execute(const Complex* in, double* out) const {
     col_.execute_inplace(cols.data() + c * h_);
   }
   transpose(cols.data(), scratch.data(), sw, h_);
+  for (std::size_t r = 0; r < h_; ++r) {
+    row_.execute(scratch.data() + r * sw, out + r * w_);
+  }
+  detail::count_2d();
+}
+
+void PlanC2r2d::execute_inplace_half(Complex* data) const {
+  const std::size_t sw = spectrum_width();
+  std::vector<Complex> scratch(h_ * sw), cols(h_ * sw);
+  transpose(data, cols.data(), h_, sw);
+  for (std::size_t c = 0; c < sw; ++c) {
+    col_.execute_inplace(cols.data() + c * h_);
+  }
+  transpose(cols.data(), scratch.data(), sw, h_);
+  // Input is fully in scratch now; pack the real rows contiguously into the
+  // front of the buffer.
+  double* out = reinterpret_cast<double*>(data);
   for (std::size_t r = 0; r < h_; ++r) {
     row_.execute(scratch.data() + r * sw, out + r * w_);
   }

@@ -52,9 +52,19 @@ class PlanR2c2d {
 
   void execute(const double* in, Complex* out) const;
 
+  /// In-place padded layout for device buffers of spectrum_count() complex
+  /// values: on entry, row r's width() real samples live at double offset
+  /// r * 2 * spectrum_width() (i.e. each real row is stored at the start of
+  /// its own spectrum row, FFTW style); on exit the buffer holds the
+  /// height() x spectrum_width() half spectrum. Safe because each row's
+  /// output occupies exactly its own input region and PlanR2c1d buffers its
+  /// input before writing.
+  void execute_inplace_padded(Complex* data) const;
+
   std::size_t height() const { return h_; }
   std::size_t width() const { return w_; }
   std::size_t spectrum_width() const { return w_ / 2 + 1; }
+  std::size_t spectrum_count() const { return h_ * spectrum_width(); }
 
  private:
   std::size_t h_;
@@ -71,9 +81,16 @@ class PlanC2r2d {
 
   void execute(const Complex* in, double* out) const;
 
+  /// In-place for device buffers: `data` holds the height() x
+  /// spectrum_width() half spectrum; on exit the same buffer holds
+  /// height()*width() packed doubles (the real inverse image). Safe because
+  /// the input is transposed into scratch before any output is written.
+  void execute_inplace_half(Complex* data) const;
+
   std::size_t height() const { return h_; }
   std::size_t width() const { return w_; }
   std::size_t spectrum_width() const { return w_ / 2 + 1; }
+  std::size_t spectrum_count() const { return h_ * spectrum_width(); }
 
  private:
   std::size_t h_;

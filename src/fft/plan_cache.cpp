@@ -10,9 +10,14 @@ struct PlanCache::Impl {
   using Key1d = std::tuple<std::size_t, int, int>;
   using Key2d = std::tuple<std::size_t, std::size_t, int, int>;
 
+  // (height, width, rigor); real plans have a fixed direction per type.
+  using KeyReal2d = std::tuple<std::size_t, std::size_t, int>;
+
   mutable std::mutex mutex;
   std::map<Key1d, std::shared_ptr<const Plan1d>> plans_1d;
   std::map<Key2d, std::shared_ptr<const Plan2d>> plans_2d;
+  std::map<KeyReal2d, std::shared_ptr<const PlanR2c2d>> plans_r2c_2d;
+  std::map<KeyReal2d, std::shared_ptr<const PlanC2r2d>> plans_c2r_2d;
 };
 
 PlanCache::PlanCache() : impl_(std::make_unique<Impl>()) {}
@@ -58,15 +63,52 @@ std::shared_ptr<const Plan2d> PlanCache::plan_2d(std::size_t height,
   return it->second;
 }
 
+std::shared_ptr<const PlanR2c2d> PlanCache::plan_r2c_2d(std::size_t height,
+                                                        std::size_t width,
+                                                        Rigor rigor) {
+  const Impl::KeyReal2d key{height, width, static_cast<int>(rigor)};
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (auto it = impl_->plans_r2c_2d.find(key);
+        it != impl_->plans_r2c_2d.end()) {
+      return it->second;
+    }
+  }
+  auto plan = std::make_shared<const PlanR2c2d>(height, width, rigor);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto [it, inserted] = impl_->plans_r2c_2d.emplace(key, std::move(plan));
+  return it->second;
+}
+
+std::shared_ptr<const PlanC2r2d> PlanCache::plan_c2r_2d(std::size_t height,
+                                                        std::size_t width,
+                                                        Rigor rigor) {
+  const Impl::KeyReal2d key{height, width, static_cast<int>(rigor)};
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (auto it = impl_->plans_c2r_2d.find(key);
+        it != impl_->plans_c2r_2d.end()) {
+      return it->second;
+    }
+  }
+  auto plan = std::make_shared<const PlanC2r2d>(height, width, rigor);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto [it, inserted] = impl_->plans_c2r_2d.emplace(key, std::move(plan));
+  return it->second;
+}
+
 void PlanCache::clear() {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   impl_->plans_1d.clear();
   impl_->plans_2d.clear();
+  impl_->plans_r2c_2d.clear();
+  impl_->plans_c2r_2d.clear();
 }
 
 std::size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  return impl_->plans_1d.size() + impl_->plans_2d.size();
+  return impl_->plans_1d.size() + impl_->plans_2d.size() +
+         impl_->plans_r2c_2d.size() + impl_->plans_c2r_2d.size();
 }
 
 }  // namespace hs::fft

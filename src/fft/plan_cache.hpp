@@ -25,6 +25,12 @@ class PlanCache {
   std::shared_ptr<const Plan2d> plan_2d(std::size_t height, std::size_t width,
                                         Direction dir,
                                         Rigor rigor = Rigor::kEstimate);
+  std::shared_ptr<const PlanR2c2d> plan_r2c_2d(std::size_t height,
+                                               std::size_t width,
+                                               Rigor rigor = Rigor::kEstimate);
+  std::shared_ptr<const PlanC2r2d> plan_c2r_2d(std::size_t height,
+                                               std::size_t width,
+                                               Rigor rigor = Rigor::kEstimate);
 
   /// Drops all cached plans (test isolation).
   void clear();

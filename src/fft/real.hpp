@@ -5,9 +5,11 @@
 // transforms as a planned optimization ("doing less work ... reduce the
 // computation's memory footprint"). This module implements that extension:
 //   * PlanR2c1d / PlanC2r1d — half-spectrum transforms via the even/odd
-//     packing trick (one complex FFT of length n/2 for even n).
-//   * fft_two_reals — the two-for-one trick: a single complex FFT transforms
-//     two real signals at once.
+//     packing trick (one complex FFT of length n/2 for even n; odd lengths
+//     fall back to a full complex transform of length n, so every extent the
+//     mixed-radix/Bluestein planner accepts works here too).
+//   * fft_two_reals / fft_two_reals_2d — the two-for-one trick: a single
+//     complex FFT transforms two real signals at once.
 #pragma once
 
 #include <memory>
@@ -17,6 +19,8 @@
 
 namespace hs::fft {
 
+class Plan2d;
+
 /// Forward real-to-complex 1-D transform. Output is the half spectrum:
 /// n/2 + 1 complex bins (indices 0..n/2); the remaining bins are the
 /// conjugate mirror and are not stored.
@@ -24,16 +28,21 @@ class PlanR2c1d {
  public:
   explicit PlanR2c1d(std::size_t n, Rigor rigor = Rigor::kEstimate);
 
-  /// `in` holds n reals; `out` receives n/2+1 complex bins.
+  /// `in` holds n reals; `out` receives n/2+1 complex bins. `in` and `out`
+  /// may overlap (all input is buffered before any output is written), which
+  /// the padded in-place 2-D layout relies on.
   void execute(const double* in, Complex* out) const;
 
   std::size_t size() const { return n_; }
   std::size_t spectrum_size() const { return n_ / 2 + 1; }
+  /// True when the even/odd half-length packing applies (even n); odd n runs
+  /// a full complex transform instead.
+  bool uses_packing() const { return n_ % 2 == 0; }
 
  private:
   std::size_t n_;
-  Plan1d half_;                    // complex FFT of length n/2
-  std::vector<Complex> twiddle_;   // e^(-2*pi*i*k/n), k in [0, n/2]
+  Plan1d inner_;                   // length n/2 (even n) or n (odd fallback)
+  std::vector<Complex> twiddle_;   // e^(-2*pi*i*k/n), k in [0, n/2]; even n
 };
 
 /// Inverse complex-to-real 1-D transform (unnormalized, like FFTW's c2r):
@@ -42,14 +51,16 @@ class PlanC2r1d {
  public:
   explicit PlanC2r1d(std::size_t n, Rigor rigor = Rigor::kEstimate);
 
-  /// `in` holds n/2+1 half-spectrum bins; `out` receives n reals.
+  /// `in` holds n/2+1 half-spectrum bins; `out` receives n reals. `in` and
+  /// `out` may overlap (input is buffered before output is written).
   void execute(const Complex* in, double* out) const;
 
   std::size_t size() const { return n_; }
+  bool uses_packing() const { return n_ % 2 == 0; }
 
  private:
   std::size_t n_;
-  Plan1d half_;                    // inverse complex FFT of length n/2
+  Plan1d inner_;                   // length n/2 (even n) or n (odd fallback)
   std::vector<Complex> twiddle_;
 };
 
@@ -58,5 +69,12 @@ class PlanC2r1d {
 /// `spec_b` each receive the full n-bin spectrum of their signal.
 void fft_two_reals(const Plan1d& forward_plan, const double* a,
                    const double* b, Complex* spec_a, Complex* spec_b);
+
+/// 2-D two-for-one: transforms two real height x width signals with one
+/// complex 2-D FFT and untangles the full spectra via the 2-D conjugate
+/// mirror. Used by the NaivePairwise baseline so its per-pair double forward
+/// transform costs one complex FFT.
+void fft_two_reals_2d(const Plan2d& forward_plan, const double* a,
+                      const double* b, Complex* spec_a, Complex* spec_b);
 
 }  // namespace hs::fft

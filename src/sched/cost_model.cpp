@@ -14,11 +14,13 @@ double CostModel::effective_threads(std::size_t threads) const {
   return physical + smt_marginal * smt_threads;
 }
 
-double CostModel::fft_scale(std::size_t h, std::size_t w) const {
+double CostModel::fft_scale(std::size_t h, std::size_t w,
+                            bool real_fft) const {
   const double n = static_cast<double>(h) * static_cast<double>(w);
   const double ref = static_cast<double>(ref_tile_h) *
                      static_cast<double>(ref_tile_w);
-  return (n * std::log2(n)) / (ref * std::log2(ref));
+  const double scale = (n * std::log2(n)) / (ref * std::log2(ref));
+  return real_fft ? scale * real_fft_work : scale;
 }
 
 double CostModel::pixel_scale(std::size_t h, std::size_t w) const {

@@ -63,13 +63,21 @@ struct CostModel {
   std::size_t ref_tile_h = 1040;
   std::size_t ref_tile_w = 1392;
 
+  /// Work of a half-spectrum r2c/c2r transform relative to the same-size
+  /// full complex transform (paper SVI future work). Theory says ~0.5 plus
+  /// packing/untangling overhead; measured on the even/odd-packing
+  /// implementation it lands near 0.55.
+  double real_fft_work = 0.55;
+
   // --- derived scaling ------------------------------------------------
   /// Effective parallel throughput of `threads` CPU threads in units of
   /// physical cores (two-slope SMT model).
   double effective_threads(std::size_t threads) const;
 
-  /// Cost scale factors for a different tile size.
-  double fft_scale(std::size_t h, std::size_t w) const;    // hw log2(hw)
+  /// Cost scale factors for a different tile size. `real_fft` applies the
+  /// half-spectrum discount on top of the hw*log2(hw) size scaling.
+  double fft_scale(std::size_t h, std::size_t w,
+                   bool real_fft = false) const;           // hw log2(hw)
   double pixel_scale(std::size_t h, std::size_t w) const;  // hw
 
   /// The paper's evaluation-machine model.

@@ -7,15 +7,18 @@ namespace hs::sched {
 namespace {
 
 double transform_bytes(const VmModelParams& params) {
-  return 16.0 * static_cast<double>(params.tile_h) *
-         static_cast<double>(params.tile_w);
+  const double cols = params.real_fft
+                          ? static_cast<double>(params.tile_w / 2 + 1)
+                          : static_cast<double>(params.tile_w);
+  return 16.0 * static_cast<double>(params.tile_h) * cols;
 }
 
 }  // namespace
 
 double vm_fft_time(std::size_t tiles, std::size_t threads,
                    const VmModelParams& params, const CostModel& cost) {
-  const double fs = cost.fft_scale(params.tile_h, params.tile_w);
+  const double fs = cost.fft_scale(params.tile_h, params.tile_w,
+                                   params.real_fft);
   const double ps = cost.pixel_scale(params.tile_h, params.tile_w);
   const double per_tile_compute =
       cost.cpu_fft_s * fs + cost.convert_s * ps + cost.read_tile_s * ps;

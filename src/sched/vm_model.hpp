@@ -29,6 +29,9 @@ struct VmModelParams {
   /// Fraction of transform bytes that cross the disk per pass when the
   /// working set overflows (write-back + re-read).
   double thrash_traffic_factor = 2.0;
+  /// Half-spectrum transforms: 16 bytes per retained bin, h*(w/2+1) bins —
+  /// the Fig 5 cliff moves out to roughly twice the tile count.
+  bool real_fft = false;
 };
 
 /// Seconds to read `tiles` tiles and compute (and keep!) their transforms

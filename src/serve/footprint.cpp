@@ -22,8 +22,10 @@ JobFootprint predict_footprint(const stitch::StitchRequest& request,
   const double pairs = static_cast<double>(layout.pair_count());
   const stitch::StitchOptions& o = request.options;
 
-  // Scale the calibrated per-op constants to this job's tile geometry.
-  const double fs = cost.fft_scale(h, w);
+  // Scale the calibrated per-op constants to this job's tile geometry; the
+  // half-spectrum option discounts every transform (and, via
+  // predicted_pool_bytes, halves the admission charge).
+  const double fs = cost.fft_scale(h, w, o.use_real_fft);
   const double ps = cost.pixel_scale(h, w);
   const double read_s = cost.read_tile_s * ps;
   const double cpu_fft_s = cost.cpu_fft_s * fs;

@@ -46,6 +46,10 @@ void register_stitch_flags(CliParser& cli, const StitchCliDefaults& defaults) {
                num(o.peak_candidates));
   cli.add_flag("min-overlap", "minimum candidate overlap in pixels",
                std::to_string(o.min_overlap_px));
+  cli.add_flag("real-fft",
+               "half-spectrum PCIAM: r2c/c2r transforms (~2x FFT throughput, "
+               "~1/2 transform memory)",
+               boolean(o.use_real_fft));
 }
 
 Backend backend_from_cli(const CliParser& cli) {
@@ -66,6 +70,7 @@ StitchOptions options_from_cli(const CliParser& cli) {
   options.use_p2p = cli.get_bool("p2p");
   options.peak_candidates = get_size(cli, "peaks");
   options.min_overlap_px = static_cast<int>(cli.get_int("min-overlap"));
+  options.use_real_fft = cli.get_bool("real-fft");
   return options;
 }
 

@@ -12,7 +12,6 @@
 #include <vector>
 
 #include "common/thread_util.hpp"
-#include "fft/plan_cache.hpp"
 #include "stitch/impl.hpp"
 #include "stitch/transform_cache.hpp"
 
@@ -25,14 +24,11 @@ StitchResult stitch_mt_cpu(const TileProvider& provider,
   StitchResult result(layout);
   OpCountsAtomic counts;
 
-  auto forward = fft::PlanCache::instance().plan_2d(
-      provider.tile_height(), provider.tile_width(), fft::Direction::kForward,
-      options.rigor);
-  auto inverse = fft::PlanCache::instance().plan_2d(
-      provider.tile_height(), provider.tile_width(), fft::Direction::kInverse,
-      options.rigor);
+  const FftPipeline pipeline =
+      make_fft_pipeline(provider.tile_height(), provider.tile_width(),
+                        options.rigor, options.use_real_fft);
 
-  TransformCache cache(provider, forward, &counts, warm);
+  TransformCache cache(provider, pipeline, &counts, warm);
   const std::size_t band_count = std::min(options.threads, layout.rows);
   const auto order = traversal_order(layout, options.traversal);
 
@@ -59,10 +55,10 @@ StitchResult stitch_mt_cpu(const TileProvider& provider,
         throw_if_cancelled(options);
         const fft::Complex* fft_ref = cache.transform(reference);
         const fft::Complex* fft_mov = cache.transform(moved);
-        out = pciam_from_ffts(fft_ref, fft_mov, cache.tile(reference),
-                              cache.tile(moved), *inverse, scratch,
-                              &counts, options.peak_candidates,
-                              options.min_overlap_px);
+        out = pciam_from_spectra(fft_ref, fft_mov, cache.tile(reference),
+                                 cache.tile(moved), pipeline, scratch,
+                                 &counts, options.peak_candidates,
+                                 options.min_overlap_px);
         cache.release(reference);
         cache.release(moved);
         note_pair_result(options, moved, is_west, out);

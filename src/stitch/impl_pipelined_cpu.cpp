@@ -13,7 +13,6 @@
 #include <variant>
 
 #include "common/thread_util.hpp"
-#include "fft/plan_cache.hpp"
 #include "pipeline/pipeline.hpp"
 #include "stitch/impl.hpp"
 #include "stitch/transform_cache.hpp"
@@ -96,12 +95,9 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
   StitchResult result(layout);
   OpCountsAtomic counts;
 
-  auto forward = fft::PlanCache::instance().plan_2d(
-      provider.tile_height(), provider.tile_width(), fft::Direction::kForward,
-      options.rigor);
-  auto inverse = fft::PlanCache::instance().plan_2d(
-      provider.tile_height(), provider.tile_width(), fft::Direction::kInverse,
-      options.rigor);
+  const FftPipeline fftp =
+      make_fft_pipeline(provider.tile_height(), provider.tile_width(),
+                        options.rigor, options.use_real_fft);
 
   const std::size_t required = traversal_working_set(layout, options.traversal);
   // Sizing invariants (slots > working set) are enforced up front by
@@ -230,15 +226,16 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
       throw_if_cancelled(options);
       if (auto* task = std::get_if<FftTask>(&*item)) {
         Entry& e = store[layout.index_of(task->pos)];
-        e.transform.resize(task->tile.pixel_count());
+        e.transform.resize(fftp.spectrum_count());
         if (recorder != nullptr) {
           auto span = recorder->scoped(lane, "fft");
-          tile_forward_fft(task->tile, *forward, e.transform.data(), scratch);
+          tile_forward_spectrum(task->tile, fftp, e.transform.data(), scratch);
         } else {
-          tile_forward_fft(task->tile, *forward, e.transform.data(), scratch);
+          tile_forward_spectrum(task->tile, fftp, e.transform.data(), scratch);
         }
         e.tile = std::move(task->tile);
         counts.bump(counts.forward_ffts);
+        counts.bump(counts.transform_bins, fftp.spectrum_count());
         note_live(true);
         events.push(FftDone{task->pos});
         continue;
@@ -249,14 +246,14 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
       Translation translation;
       if (recorder != nullptr) {
         auto span = recorder->scoped(lane, "pciam");
-        translation = pciam_from_ffts(
+        translation = pciam_from_spectra(
             ref.transform.data(), mov.transform.data(), ref.tile, mov.tile,
-            *inverse, scratch, &counts, options.peak_candidates,
+            fftp, scratch, &counts, options.peak_candidates,
             options.min_overlap_px);
       } else {
-        translation = pciam_from_ffts(
+        translation = pciam_from_spectra(
             ref.transform.data(), mov.transform.data(), ref.tile, mov.tile,
-            *inverse, scratch, &counts, options.peak_candidates,
+            fftp, scratch, &counts, options.peak_candidates,
             options.min_overlap_px);
       }
       if (task.is_west) {

@@ -143,8 +143,10 @@ struct GpuPipeline {
   std::unique_ptr<vgpu::Stream> disp_stream;
   std::unique_ptr<vgpu::BufferPool> pool;      // forward-transform buffers
   std::unique_ptr<vgpu::BufferPool> ncc_pool;  // backward (NCC) buffers
-  std::unique_ptr<vgpu::VFftPlan2d> forward;
-  std::unique_ptr<vgpu::VFftPlan2d> inverse;
+  std::unique_ptr<vgpu::VFftPlan2d> forward;   // complex mode
+  std::unique_ptr<vgpu::VFftPlan2d> inverse;   // complex mode
+  std::unique_ptr<vgpu::VFftPlanR2c2d> forward_r2c;  // real-FFT mode
+  std::unique_ptr<vgpu::VFftPlanC2r2d> inverse_c2r;  // real-FFT mode
 
   std::vector<img::TilePos> tiles_to_read;     // band (+ halo unless p2p)
   std::vector<PairRef> owned_pairs;
@@ -209,7 +211,10 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
   const std::size_t h = provider.tile_height();
   const std::size_t w = provider.tile_width();
   const std::size_t count = h * w;
-  const std::size_t buffer_bytes = count * sizeof(fft::Complex);
+  const bool real_fft = options.use_real_fft;
+  // Device buffers hold spectrum bins; half-spectrum mode halves the pools.
+  const std::size_t bins = real_fft ? h * (w / 2 + 1) : count;
+  const std::size_t buffer_bytes = bins * sizeof(fft::Complex);
 
   const std::size_t gpu_count =
       std::max<std::size_t>(1, std::min(options.gpu_count, layout.rows));
@@ -284,10 +289,17 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
           fft_stream_count == 1 ? "fft" : "fft" + std::to_string(s)));
     }
     gpu->disp_stream = std::make_unique<vgpu::Stream>(*gpu->device, "disp");
-    gpu->forward = std::make_unique<vgpu::VFftPlan2d>(
-        *gpu->device, h, w, fft::Direction::kForward, options.rigor);
-    gpu->inverse = std::make_unique<vgpu::VFftPlan2d>(
-        *gpu->device, h, w, fft::Direction::kInverse, options.rigor);
+    if (real_fft) {
+      gpu->forward_r2c = std::make_unique<vgpu::VFftPlanR2c2d>(
+          *gpu->device, h, w, options.rigor);
+      gpu->inverse_c2r = std::make_unique<vgpu::VFftPlanC2r2d>(
+          *gpu->device, h, w, options.rigor);
+    } else {
+      gpu->forward = std::make_unique<vgpu::VFftPlan2d>(
+          *gpu->device, h, w, fft::Direction::kForward, options.rigor);
+      gpu->inverse = std::make_unique<vgpu::VFftPlan2d>(
+          *gpu->device, h, w, fft::Direction::kInverse, options.rigor);
+    }
 
     // Per-band pool sizing (pool > band working set) is enforced up front by
     // StitchRequest::validate().
@@ -379,7 +391,7 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
     // directly (the transform arrives already in the frequency domain).
     pipeline.add_stage(
         "g" + std::to_string(gpu->id) + ".copy", 1,
-        [gpu, &layout, &exchange, count, buffer_bytes] {
+        [gpu, &layout, &exchange, h, w, count, bins, buffer_bytes, real_fft] {
           while (auto work = gpu->q_read.pop()) {
             const std::size_t index = layout.index_of(work->pos);
             vgpu::PooledBuffer buffer = gpu->pool->acquire();
@@ -409,9 +421,15 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
               continue;
             }
             // Convert on the host into a staging block owned by the copy
-            // command (pinned-buffer analogue), then async H2D.
-            auto staging = std::make_unique<fft::Complex[]>(count);
-            vgpu::k_u16_to_complex(work->tile->data(), staging.get(), count);
+            // command (pinned-buffer analogue), then async H2D. Real-FFT
+            // mode stages the padded in-place r2c layout.
+            auto staging = std::make_unique<fft::Complex[]>(bins);
+            if (real_fft) {
+              vgpu::k_u16_to_real_padded(work->tile->data(), staging.get(), h,
+                                         w);
+            } else {
+              vgpu::k_u16_to_complex(work->tile->data(), staging.get(), count);
+            }
             void* dst = buffer.data();
             gpu->copy_stream->enqueue(
                 "memcpy_h2d", [staging = std::move(staging), dst,
@@ -442,7 +460,7 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
     auto fft_thread_ids = std::make_shared<std::atomic<std::size_t>>(0);
     pipeline.add_stage(
         "g" + std::to_string(gpu->id) + ".fft", fft_stream_count,
-        [gpu, &layout, &counts, &exchange, fft_thread_ids] {
+        [gpu, &layout, &counts, &exchange, fft_thread_ids, bins, real_fft] {
           const std::size_t stream_id =
               fft_thread_ids->fetch_add(1, std::memory_order_relaxed) %
               gpu->fft_streams.size();
@@ -459,8 +477,13 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
               data = state.buffer.as<fft::Complex>();
               tile = state.tile;
             }
-            gpu->forward->enqueue_inplace_ptr(fft_stream, data);
+            if (real_fft) {
+              gpu->forward_r2c->enqueue_inplace_padded_ptr(fft_stream, data);
+            } else {
+              gpu->forward->enqueue_inplace_ptr(fft_stream, data);
+            }
             counts.bump(counts.forward_ffts);
+            counts.bump(counts.transform_bins, bins);
             if (gpu->halo_export.contains(index)) {
               HaloExchange::Entry entry;
               entry.ready = fft_stream.record_event();
@@ -513,7 +536,7 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
     // ---- Stage 5: displacement.
     pipeline.add_stage(
         "g" + std::to_string(gpu->id) + ".displacement", 1,
-        [gpu, &layout, &counts, &q_ccf, count, &options] {
+        [gpu, &layout, &counts, &q_ccf, count, bins, real_fft, &options] {
           while (auto pair = gpu->q_pairs.pop()) {
             throw_if_cancelled(options);
             vgpu::PooledBuffer ncc = gpu->ncc_pool->acquire();
@@ -530,10 +553,16 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
               tile_b = b.tile;
             }
             fft::Complex* fc = ncc.as<fft::Complex>();
-            gpu->disp_stream->enqueue("ncc", [fa, fb, fc, count] {
-              vgpu::k_ncc(fa, fb, fc, count);
+            gpu->disp_stream->enqueue("ncc", [fa, fb, fc, bins] {
+              vgpu::k_ncc_half(fa, fb, fc, bins);
             });
-            gpu->inverse->enqueue_inplace_ptr(*gpu->disp_stream, fc, "ifft2d");
+            if (real_fft) {
+              gpu->inverse_c2r->enqueue_inplace_half_ptr(*gpu->disp_stream,
+                                                         fc);
+            } else {
+              gpu->inverse->enqueue_inplace_ptr(*gpu->disp_stream, fc,
+                                                "ifft2d");
+            }
             counts.bump(counts.ncc_multiplies);
             counts.bump(counts.inverse_ffts);
             counts.bump(counts.max_reductions);
@@ -548,10 +577,15 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
                 std::max<std::size_t>(1, options.peak_candidates);
             gpu->disp_stream->enqueue(
                 "max_reduce",
-                [g, grid, fc, count, pair_copy, peaks_k,
+                [g, grid, fc, count, pair_copy, peaks_k, real_fft,
                  ncc = std::move(ncc), tile_a = std::move(tile_a),
                  tile_b = std::move(tile_b), &q_ccf]() mutable {
-                  const auto peaks = vgpu::k_max_abs_topk(fc, count, peaks_k);
+                  const auto peaks =
+                      real_fft
+                          ? vgpu::k_max_abs_topk_real(
+                                reinterpret_cast<const double*>(fc), count,
+                                peaks_k)
+                          : vgpu::k_max_abs_topk(fc, count, peaks_k);
                   CcfTask task;
                   task.reference = std::move(tile_a);
                   task.moved = std::move(tile_b);

@@ -43,7 +43,11 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
   const std::size_t h = provider.tile_height();
   const std::size_t w = provider.tile_width();
   const std::size_t count = h * w;
-  const std::size_t buffer_bytes = count * sizeof(fft::Complex);
+  const bool real_fft = options.use_real_fft;
+  // Pooled buffers hold spectrum bins: the half-spectrum path shrinks every
+  // device buffer (and thus the pool footprint) to h*(w/2+1) bins.
+  const std::size_t bins = real_fft ? h * (w / 2 + 1) : count;
+  const std::size_t buffer_bytes = bins * sizeof(fft::Complex);
 
   vgpu::DeviceConfig config;
   config.memory_bytes = options.gpu_memory_bytes;
@@ -75,7 +79,7 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
   std::map<std::size_t, TileState> states;
   std::size_t live = 0, peak = 0;
 
-  std::vector<fft::Complex> staging(count);
+  std::vector<fft::Complex> staging(bins);
   auto ensure_tile = [&](img::TilePos pos) -> TileState& {
     const std::size_t index = layout.index_of(pos);
     auto it = states.find(index);
@@ -86,8 +90,12 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
     state.tile = provider.load(pos);
     counts.bump(counts.tile_reads);
     // Synchronous H2D copy (the Simple-GPU pathology): convert on the host,
-    // copy, wait.
-    vgpu::k_u16_to_complex(state.tile.data(), staging.data(), count);
+    // copy, wait. The real-FFT path stages the padded in-place r2c layout.
+    if (real_fft) {
+      vgpu::k_u16_to_real_padded(state.tile.data(), staging.data(), h, w);
+    } else {
+      vgpu::k_u16_to_complex(state.tile.data(), staging.data(), count);
+    }
     state.transform = pool.acquire();
     stream.enqueue("memcpy_h2d", [&staging, dst = state.transform.as<void>(),
                                   buffer_bytes] {
@@ -95,15 +103,24 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
     });
     stream.synchronize();
     // FFT in place on the default stream, then wait again.
-    auto plan = fft::PlanCache::instance().plan_2d(
-        h, w, fft::Direction::kForward, options.rigor);
     fft::Complex* data = state.transform.as<fft::Complex>();
-    stream.enqueue("fft2d", [plan, data, &device] {
-      std::lock_guard<std::mutex> lock(device.fft_mutex());
-      plan->execute_inplace(data);
-    });
+    if (real_fft) {
+      auto plan = fft::PlanCache::instance().plan_r2c_2d(h, w, options.rigor);
+      stream.enqueue("fft2d_r2c", [plan, data, &device] {
+        std::lock_guard<std::mutex> lock(device.fft_mutex());
+        plan->execute_inplace_padded(data);
+      });
+    } else {
+      auto plan = fft::PlanCache::instance().plan_2d(
+          h, w, fft::Direction::kForward, options.rigor);
+      stream.enqueue("fft2d", [plan, data, &device] {
+        std::lock_guard<std::mutex> lock(device.fft_mutex());
+        plan->execute_inplace(data);
+      });
+    }
     stream.synchronize();
     counts.bump(counts.forward_ffts);
+    counts.bump(counts.transform_bins, bins);
 
     live += 1;
     peak = std::max(peak, live);
@@ -120,8 +137,14 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
     }
   };
 
-  auto plan_inverse = fft::PlanCache::instance().plan_2d(
-      h, w, fft::Direction::kInverse, options.rigor);
+  auto plan_inverse =
+      real_fft ? std::shared_ptr<const fft::Plan2d>()
+               : fft::PlanCache::instance().plan_2d(
+                     h, w, fft::Direction::kInverse, options.rigor);
+  auto plan_c2r = real_fft
+                      ? fft::PlanCache::instance().plan_c2r_2d(h, w,
+                                                               options.rigor)
+                      : std::shared_ptr<const fft::PlanC2r2d>();
 
   auto run_pair = [&](img::TilePos ref_pos, img::TilePos mov_pos, bool is_west,
                       Translation& out) {
@@ -134,22 +157,32 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
     const fft::Complex* fb = mov.transform.as<fft::Complex>();
     fft::Complex* fc = ncc.as<fft::Complex>();
     // Each step synchronous on the default stream — no overlap anywhere.
-    stream.enqueue("ncc", [fa, fb, fc, count] {
-      vgpu::k_ncc(fa, fb, fc, count);
+    stream.enqueue("ncc", [fa, fb, fc, bins] {
+      vgpu::k_ncc_half(fa, fb, fc, bins);
     });
     stream.synchronize();
     counts.bump(counts.ncc_multiplies);
 
-    stream.enqueue("ifft2d", [plan_inverse, fc, &device] {
-      std::lock_guard<std::mutex> lock(device.fft_mutex());
-      plan_inverse->execute_inplace(fc);
-    });
+    if (real_fft) {
+      stream.enqueue("ifft2d_c2r", [plan_c2r, fc, &device] {
+        std::lock_guard<std::mutex> lock(device.fft_mutex());
+        plan_c2r->execute_inplace_half(fc);
+      });
+    } else {
+      stream.enqueue("ifft2d", [plan_inverse, fc, &device] {
+        std::lock_guard<std::mutex> lock(device.fft_mutex());
+        plan_inverse->execute_inplace(fc);
+      });
+    }
     stream.synchronize();
     counts.bump(counts.inverse_ffts);
 
     auto* reduced = reduce_out.as<vgpu::MaxAbsResult>();
-    stream.enqueue("max_reduce", [fc, count, reduced, peaks_k] {
-      const auto peaks = vgpu::k_max_abs_topk(fc, count, peaks_k);
+    stream.enqueue("max_reduce", [fc, count, reduced, peaks_k, real_fft] {
+      const auto peaks =
+          real_fft ? vgpu::k_max_abs_topk_real(
+                         reinterpret_cast<const double*>(fc), count, peaks_k)
+                   : vgpu::k_max_abs_topk(fc, count, peaks_k);
       for (std::size_t i = 0; i < peaks.size(); ++i) reduced[i] = peaks[i];
       for (std::size_t i = peaks.size(); i < peaks_k; ++i) {
         reduced[i] = vgpu::MaxAbsResult{-1.0, 0};

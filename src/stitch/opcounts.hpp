@@ -15,6 +15,7 @@ struct OpCountsAtomic {
   std::atomic<std::uint64_t> inverse_ffts{0};
   std::atomic<std::uint64_t> max_reductions{0};
   std::atomic<std::uint64_t> ccf_evaluations{0};
+  std::atomic<std::uint64_t> transform_bins{0};
 
   OpCounts snapshot() const {
     OpCounts out;
@@ -24,6 +25,7 @@ struct OpCountsAtomic {
     out.inverse_ffts = inverse_ffts.load(std::memory_order_relaxed);
     out.max_reductions = max_reductions.load(std::memory_order_relaxed);
     out.ccf_evaluations = ccf_evaluations.load(std::memory_order_relaxed);
+    out.transform_bins = transform_bins.load(std::memory_order_relaxed);
     return out;
   }
 

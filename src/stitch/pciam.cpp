@@ -1,9 +1,28 @@
 #include "stitch/pciam.hpp"
 
+#include "fft/plan_cache.hpp"
+#include "fft/real.hpp"
 #include "stitch/ccf.hpp"
 #include "vgpu/kernels.hpp"
 
 namespace hs::stitch {
+
+FftPipeline make_fft_pipeline(std::size_t height, std::size_t width,
+                              fft::Rigor rigor, bool use_real_fft) {
+  FftPipeline p;
+  p.real_fft = use_real_fft;
+  p.height = height;
+  p.width = width;
+  auto& cache = fft::PlanCache::instance();
+  if (use_real_fft) {
+    p.r2c = cache.plan_r2c_2d(height, width, rigor);
+    p.c2r = cache.plan_c2r_2d(height, width, rigor);
+  } else {
+    p.forward = cache.plan_2d(height, width, fft::Direction::kForward, rigor);
+    p.inverse = cache.plan_2d(height, width, fft::Direction::kInverse, rigor);
+  }
+  return p;
+}
 
 void tile_forward_fft(const img::ImageU16& tile, const fft::Plan2d& plan,
                       fft::Complex* out, PciamScratch& scratch) {
@@ -13,6 +32,22 @@ void tile_forward_fft(const img::ImageU16& tile, const fft::Plan2d& plan,
   scratch.ensure(count);
   vgpu::k_u16_to_complex(tile.data(), scratch.a.data(), count);
   plan.execute(scratch.a.data(), out);
+}
+
+void tile_forward_spectrum(const img::ImageU16& tile,
+                           const FftPipeline& pipeline, fft::Complex* out,
+                           PciamScratch& scratch) {
+  HS_REQUIRE(pipeline.height == tile.height() &&
+                 pipeline.width == tile.width(),
+             "pipeline does not match tile size");
+  if (!pipeline.real_fft) {
+    tile_forward_fft(tile, *pipeline.forward, out, scratch);
+    return;
+  }
+  const std::size_t count = tile.pixel_count();
+  scratch.ensure_real(count);
+  vgpu::k_u16_to_real(tile.data(), scratch.ra.data(), count);
+  pipeline.r2c->execute(scratch.ra.data(), out);
 }
 
 Translation disambiguate_peaks(const img::ImageU16& reference,
@@ -66,20 +101,78 @@ Translation pciam_from_ffts(const fft::Complex* fft_reference,
   return disambiguate_peaks(reference, moved, indices, w, min_overlap_px);
 }
 
+Translation pciam_from_spectra(const fft::Complex* spec_reference,
+                               const fft::Complex* spec_moved,
+                               const img::ImageU16& reference,
+                               const img::ImageU16& moved,
+                               const FftPipeline& pipeline,
+                               PciamScratch& scratch, OpCountsAtomic* counts,
+                               std::size_t peak_candidates,
+                               std::int64_t min_overlap_px) {
+  if (!pipeline.real_fft) {
+    return pciam_from_ffts(spec_reference, spec_moved, reference, moved,
+                           *pipeline.inverse, scratch, counts, peak_candidates,
+                           min_overlap_px);
+  }
+  const std::size_t h = reference.height();
+  const std::size_t w = reference.width();
+  const std::size_t count = h * w;
+  const std::size_t bins = pipeline.spectrum_count();
+  HS_REQUIRE(reference.same_shape(moved), "pciam requires equal-size tiles");
+  HS_REQUIRE(peak_candidates >= 1, "need at least one peak candidate");
+  scratch.ensure(bins);
+  scratch.ensure_real(count);
+
+  // Steps 4-5 over the Hermitian half spectrum.
+  vgpu::k_ncc_half(spec_reference, spec_moved, scratch.a.data(), bins);
+  // Step 6: c2r inverse lands directly in the real correlation surface.
+  pipeline.c2r->execute(scratch.a.data(), scratch.ra.data());
+  // Step 7: max reduction over doubles.
+  const auto peaks =
+      vgpu::k_max_abs_topk_real(scratch.ra.data(), count, peak_candidates);
+  std::vector<std::size_t> indices;
+  indices.reserve(peaks.size());
+  for (const auto& peak : peaks) indices.push_back(peak.index);
+
+  if (counts != nullptr) {
+    counts->bump(counts->ncc_multiplies);
+    counts->bump(counts->inverse_ffts);
+    counts->bump(counts->max_reductions);
+    counts->bump(counts->ccf_evaluations, 4 * indices.size());
+  }
+  return disambiguate_peaks(reference, moved, indices, w, min_overlap_px);
+}
+
 Translation pciam_full(const img::ImageU16& reference,
-                       const img::ImageU16& moved,
-                       const fft::Plan2d& forward_plan,
-                       const fft::Plan2d& inverse_plan, PciamScratch& scratch,
-                       OpCountsAtomic* counts, std::size_t peak_candidates,
+                       const img::ImageU16& moved, const FftPipeline& pipeline,
+                       PciamScratch& scratch, OpCountsAtomic* counts,
+                       std::size_t peak_candidates,
                        std::int64_t min_overlap_px) {
   const std::size_t count = reference.pixel_count();
-  std::vector<fft::Complex> fft_ref(count), fft_mov(count);
-  tile_forward_fft(reference, forward_plan, fft_ref.data(), scratch);
-  tile_forward_fft(moved, forward_plan, fft_mov.data(), scratch);
-  if (counts != nullptr) counts->bump(counts->forward_ffts, 2);
-  return pciam_from_ffts(fft_ref.data(), fft_mov.data(), reference, moved,
-                         inverse_plan, scratch, counts, peak_candidates,
-                         min_overlap_px);
+  const std::size_t bins = pipeline.spectrum_count();
+  std::vector<fft::Complex> fft_ref(bins), fft_mov(bins);
+  if (pipeline.real_fft) {
+    tile_forward_spectrum(reference, pipeline, fft_ref.data(), scratch);
+    tile_forward_spectrum(moved, pipeline, fft_mov.data(), scratch);
+    if (counts != nullptr) {
+      counts->bump(counts->forward_ffts, 2);
+      counts->bump(counts->transform_bins, 2 * bins);
+    }
+  } else {
+    // Two-for-one: both real tiles share a single complex forward FFT.
+    scratch.ensure_real(count);
+    vgpu::k_u16_to_real(reference.data(), scratch.ra.data(), count);
+    vgpu::k_u16_to_real(moved.data(), scratch.rb.data(), count);
+    fft::fft_two_reals_2d(*pipeline.forward, scratch.ra.data(),
+                          scratch.rb.data(), fft_ref.data(), fft_mov.data());
+    if (counts != nullptr) {
+      counts->bump(counts->forward_ffts);
+      counts->bump(counts->transform_bins, 2 * bins);
+    }
+  }
+  return pciam_from_spectra(fft_ref.data(), fft_mov.data(), reference, moved,
+                            pipeline, scratch, counts, peak_candidates,
+                            min_overlap_px);
 }
 
 }  // namespace hs::stitch

@@ -3,6 +3,7 @@
 // pipelines (which run the same math through virtual-GPU kernels).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "fft/plan2d.hpp"
@@ -16,6 +17,8 @@ namespace hs::stitch {
 struct PciamScratch {
   std::vector<fft::Complex> a;
   std::vector<fft::Complex> b;
+  std::vector<double> ra;  // real staging / inverse surface (real-FFT path)
+  std::vector<double> rb;
 
   void ensure(std::size_t count) {
     if (a.size() < count) {
@@ -23,11 +26,51 @@ struct PciamScratch {
       b.resize(count);
     }
   }
+  void ensure_real(std::size_t count) {
+    if (ra.size() < count) {
+      ra.resize(count);
+      rb.resize(count);
+    }
+  }
 };
+
+/// The FFT strategy a backend runs PCIAM with: either the paper's full
+/// complex transforms (h*w bins per tile) or the §VI future-work
+/// real-to-complex path (h*(w/2+1) Hermitian half-spectrum bins — roughly
+/// half the work and half the transform-cache footprint). Exactly one pair
+/// of plans is populated.
+struct FftPipeline {
+  bool real_fft = false;
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::shared_ptr<const fft::Plan2d> forward;  // complex mode
+  std::shared_ptr<const fft::Plan2d> inverse;  // complex mode
+  std::shared_ptr<const fft::PlanR2c2d> r2c;   // real mode
+  std::shared_ptr<const fft::PlanC2r2d> c2r;   // real mode
+
+  /// Complex bins stored per tile transform.
+  std::size_t spectrum_width() const {
+    return real_fft ? width / 2 + 1 : width;
+  }
+  std::size_t spectrum_count() const { return height * spectrum_width(); }
+  std::size_t transform_bytes() const {
+    return spectrum_count() * sizeof(fft::Complex);
+  }
+};
+
+/// Builds the pipeline for a tile size via the shared PlanCache.
+FftPipeline make_fft_pipeline(std::size_t height, std::size_t width,
+                              fft::Rigor rigor, bool use_real_fft);
 
 /// Computes a tile's forward 2-D transform into `out` (size h*w).
 void tile_forward_fft(const img::ImageU16& tile, const fft::Plan2d& plan,
                       fft::Complex* out, PciamScratch& scratch);
+
+/// Pipeline-aware forward transform: `out` receives spectrum_count() bins
+/// (the full spectrum in complex mode, the half spectrum in real mode).
+void tile_forward_spectrum(const img::ImageU16& tile,
+                           const FftPipeline& pipeline, fft::Complex* out,
+                           PciamScratch& scratch);
 
 /// PCIAM steps 3-7 given both precomputed forward transforms: NCC, inverse
 /// transform, max reduction, CCF disambiguation on the spatial tiles.
@@ -47,14 +90,29 @@ Translation pciam_from_ffts(const fft::Complex* fft_reference,
                             std::size_t peak_candidates = 1,
                             std::int64_t min_overlap_px = 1);
 
+/// Pipeline-aware PCIAM steps 3-7: spectra are spectrum_count() bins each.
+/// In real mode the NCC runs over the Hermitian half spectrum (exact — the
+/// product of two real-signal spectra is Hermitian, so the mirrored bins are
+/// implied) and the c2r inverse lands directly in a real surface, so the
+/// max-abs top-k scans doubles instead of complex magnitudes.
+Translation pciam_from_spectra(const fft::Complex* spec_reference,
+                               const fft::Complex* spec_moved,
+                               const img::ImageU16& reference,
+                               const img::ImageU16& moved,
+                               const FftPipeline& pipeline,
+                               PciamScratch& scratch, OpCountsAtomic* counts,
+                               std::size_t peak_candidates = 1,
+                               std::int64_t min_overlap_px = 1);
+
 /// Whole-pair PCIAM computing both forward transforms on the spot — the
 /// structure of the Fiji-style NaivePairwise baseline (no transform reuse:
-/// each tile's FFT is recomputed for every pair it participates in).
+/// each tile's FFT is recomputed for every pair it participates in). In
+/// complex mode the pair's two real tiles share one complex FFT via the
+/// two-for-one trick (fft_two_reals_2d); in real mode each tile gets its
+/// own half-spectrum r2c transform.
 Translation pciam_full(const img::ImageU16& reference,
-                       const img::ImageU16& moved,
-                       const fft::Plan2d& forward_plan,
-                       const fft::Plan2d& inverse_plan, PciamScratch& scratch,
-                       OpCountsAtomic* counts,
+                       const img::ImageU16& moved, const FftPipeline& pipeline,
+                       PciamScratch& scratch, OpCountsAtomic* counts,
                        std::size_t peak_candidates = 1,
                        std::int64_t min_overlap_px = 1);
 

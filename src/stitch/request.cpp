@@ -168,7 +168,11 @@ std::size_t pool_bytes_for(const StitchRequest& request, Backend backend) {
   const img::GridLayout layout = provider->layout();
   const std::size_t h = provider->tile_height();
   const std::size_t w = provider->tile_width();
-  const std::size_t transform_bytes = h * w * sizeof(fft::Complex);
+  // Half-spectrum transforms hold h*(w/2+1) bins instead of h*w — the
+  // real-FFT path halves the dominant term of every backend's footprint.
+  const std::size_t spectrum_count =
+      options.use_real_fft ? h * (w / 2 + 1) : h * w;
+  const std::size_t transform_bytes = spectrum_count * sizeof(fft::Complex);
   const std::size_t tile_bytes = h * w * sizeof(std::uint16_t);
   const std::size_t ws = traversal_working_set(layout, options.traversal);
 

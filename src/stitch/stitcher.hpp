@@ -83,6 +83,13 @@ struct StitchOptions {
   /// must imply to be considered. 1 = the paper's algorithm; a few percent
   /// of the tile extent rejects spurious thin-sliver alignments.
   std::int64_t min_overlap_px = 1;
+  /// Half-spectrum PCIAM (paper SVI: real-to-complex transforms "do less
+  /// work and reduce the computation's memory footprint"): tile forward
+  /// transforms become r2c half spectra of h*(w/2+1) bins, the NCC runs
+  /// over the Hermitian half, and the c2r inverse lands in a real surface.
+  /// Roughly 2x forward-FFT throughput and half the transform-cache bytes;
+  /// displacement tables are unchanged.
+  bool use_real_fft = false;
 
   // --- serve-layer hooks -------------------------------------------------
   /// Cooperative cancellation: every backend polls this between pairs (and

@@ -3,11 +3,11 @@
 namespace hs::stitch {
 
 TransformCache::TransformCache(const TileProvider& provider,
-                               std::shared_ptr<const fft::Plan2d> forward_plan,
-                               OpCountsAtomic* counts, WarmFilter filter)
+                               FftPipeline pipeline, OpCountsAtomic* counts,
+                               WarmFilter filter)
     : provider_(provider),
       layout_(provider.layout()),
-      forward_plan_(std::move(forward_plan)),
+      pipeline_(std::move(pipeline)),
       counts_(counts) {
   entries_.reserve(layout_.tile_count());
   for (std::size_t i = 0; i < layout_.tile_count(); ++i) {
@@ -50,10 +50,13 @@ const fft::Complex* TransformCache::transform(img::TilePos pos) {
   try {
     img::ImageU16 tile = provider_.load(pos);
     if (counts_ != nullptr) counts_->bump(counts_->tile_reads);
-    std::vector<fft::Complex> transform(tile.pixel_count());
+    std::vector<fft::Complex> transform(pipeline_.spectrum_count());
     thread_local PciamScratch scratch;
-    tile_forward_fft(tile, *forward_plan_, transform.data(), scratch);
-    if (counts_ != nullptr) counts_->bump(counts_->forward_ffts);
+    tile_forward_spectrum(tile, pipeline_, transform.data(), scratch);
+    if (counts_ != nullptr) {
+      counts_->bump(counts_->forward_ffts);
+      counts_->bump(counts_->transform_bins, pipeline_.spectrum_count());
+    }
 
     lock.lock();
     e.tile = std::move(tile);

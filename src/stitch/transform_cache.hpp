@@ -28,9 +28,10 @@ class TransformCache {
  public:
   /// `filter` shrinks each tile's initial reference count to its degree in
   /// the remaining pair graph under a warm start; the default (no warm
-  /// table) yields the full pair_degree.
-  TransformCache(const TileProvider& provider,
-                 std::shared_ptr<const fft::Plan2d> forward_plan,
+  /// table) yields the full pair_degree. Entries hold
+  /// pipeline.spectrum_count() bins — half-spectrum pipelines halve the
+  /// cache's footprint.
+  TransformCache(const TileProvider& provider, FftPipeline pipeline,
                  OpCountsAtomic* counts, WarmFilter filter = WarmFilter());
 
   /// The tile's degree in the pair graph (its initial reference count).
@@ -53,6 +54,12 @@ class TransformCache {
   std::size_t peak_live_transforms() const {
     return peak_.load(std::memory_order_relaxed);
   }
+  /// Peak bytes held in transform entries (excludes the spatial tiles):
+  /// peak_live_transforms() * spectrum_count * sizeof(Complex).
+  std::size_t peak_transform_bytes() const {
+    return peak_live_transforms() * pipeline_.transform_bytes();
+  }
+  const FftPipeline& pipeline() const { return pipeline_; }
 
  private:
   struct Entry {
@@ -70,7 +77,7 @@ class TransformCache {
 
   const TileProvider& provider_;
   img::GridLayout layout_;
-  std::shared_ptr<const fft::Plan2d> forward_plan_;
+  FftPipeline pipeline_;
   OpCountsAtomic* counts_;
   std::vector<std::unique_ptr<Entry>> entries_;
   std::atomic<std::size_t> live_{0};

@@ -75,6 +75,10 @@ struct OpCounts {
   std::uint64_t inverse_ffts = 0;
   std::uint64_t max_reductions = 0;
   std::uint64_t ccf_evaluations = 0;  // individual CCF overlap evaluations
+  /// Complex bins produced by the forward transforms above: h*w per full
+  /// complex transform, h*(w/2+1) per half-spectrum r2c (the real-FFT path
+  /// does roughly half the transform work and this counter shows it).
+  std::uint64_t transform_bins = 0;
 };
 
 struct StitchResult {

@@ -19,6 +19,21 @@ void k_u16_to_complex(const std::uint16_t* src, fft::Complex* dst,
   }
 }
 
+void k_u16_to_real(const std::uint16_t* src, double* dst, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    dst[i] = static_cast<double>(src[i]);
+  }
+}
+
+void k_u16_to_real_padded(const std::uint16_t* src, fft::Complex* dst,
+                          std::size_t height, std::size_t width) {
+  const std::size_t sw = width / 2 + 1;
+  auto* d = reinterpret_cast<double*>(dst);
+  for (std::size_t r = 0; r < height; ++r) {
+    k_u16_to_real(src + r * width, d + r * 2 * sw, width);
+  }
+}
+
 void k_ncc_scalar(const fft::Complex* fi, const fft::Complex* fj,
                   fft::Complex* out, std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) {
@@ -154,6 +169,12 @@ void k_ncc(const fft::Complex* fi, const fft::Complex* fj, fft::Complex* out,
 #endif
 }
 
+void k_ncc_half(const fft::Complex* fi, const fft::Complex* fj,
+                fft::Complex* out, std::size_t count) {
+  // Identical arithmetic over fewer bins; the mirrored half is implied.
+  k_ncc(fi, fj, out, count);
+}
+
 MaxAbsResult k_max_abs(const fft::Complex* data, std::size_t count) {
 #if HS_HAVE_SSE2
   return max_abs_sse2(data, count);
@@ -186,6 +207,33 @@ std::vector<MaxAbsResult> k_max_abs_topk(const fft::Complex* data,
   out.reserve(k);
   for (std::size_t s = 0; s < k; ++s) {
     if (best_sq[s] < 0.0) break;  // count < k
+    out.push_back(MaxAbsResult{std::sqrt(best_sq[s]), best_idx[s]});
+  }
+  return out;
+}
+
+std::vector<MaxAbsResult> k_max_abs_topk_real(const double* data,
+                                              std::size_t count,
+                                              std::size_t k) {
+  k = std::min(k, count);
+  std::vector<double> best_sq(k, -1.0);
+  std::vector<std::size_t> best_idx(k, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double sq = data[i] * data[i];
+    if (sq <= best_sq[k - 1]) continue;
+    std::size_t slot = k - 1;
+    while (slot > 0 && sq > best_sq[slot - 1]) {
+      best_sq[slot] = best_sq[slot - 1];
+      best_idx[slot] = best_idx[slot - 1];
+      --slot;
+    }
+    best_sq[slot] = sq;
+    best_idx[slot] = i;
+  }
+  std::vector<MaxAbsResult> out;
+  out.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    if (best_sq[s] < 0.0) break;
     out.push_back(MaxAbsResult{std::sqrt(best_sq[s]), best_idx[s]});
   }
   return out;

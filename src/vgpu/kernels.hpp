@@ -19,6 +19,15 @@ namespace hs::vgpu {
 void k_u16_to_complex(const std::uint16_t* src, fft::Complex* dst,
                       std::size_t count);
 
+/// Widens 16-bit tile pixels into doubles (half-spectrum real-FFT path).
+void k_u16_to_real(const std::uint16_t* src, double* dst, std::size_t count);
+
+/// Widens an h x w tile into the padded in-place r2c layout: row r's w
+/// doubles start at double offset r * 2 * (w/2+1) of `dst` (which holds
+/// h * (w/2+1) complex values). See PlanR2c2d::execute_inplace_padded.
+void k_u16_to_real_padded(const std::uint16_t* src, fft::Complex* dst,
+                          std::size_t height, std::size_t width);
+
 /// Element-wise normalized conjugate multiplication (paper Fig 2, steps
 /// 4-5): out = (fi * conj(fj)) / |fi * conj(fj)|, with zero-magnitude
 /// elements mapped to 0 to keep the surface finite.
@@ -34,6 +43,13 @@ void k_ncc(const fft::Complex* fi, const fft::Complex* fj, fft::Complex* out,
 /// Portable scalar reference for k_ncc (testing/benchmark baseline).
 void k_ncc_scalar(const fft::Complex* fi, const fft::Complex* fj,
                   fft::Complex* out, std::size_t count);
+
+/// NCC over Hermitian half spectra (h x (w/2+1) bins). The product of two
+/// real-signal spectra is itself Hermitian, so operating on the retained
+/// bins is exact — the mirrored bins are implied by conjugate symmetry and
+/// the normalization |.| is symmetric. Same per-element math as k_ncc.
+void k_ncc_half(const fft::Complex* fi, const fft::Complex* fj,
+                fft::Complex* out, std::size_t count);
 
 struct MaxAbsResult {
   double value = 0.0;
@@ -57,5 +73,12 @@ MaxAbsResult k_max_abs_scalar(const fft::Complex* data, std::size_t count);
 /// adopted).
 std::vector<MaxAbsResult> k_max_abs_topk(const fft::Complex* data,
                                          std::size_t count, std::size_t k);
+
+/// Top-k |x| over a real surface (the c2r inverse of the Hermitian NCC
+/// product lands directly in doubles). Same ordering/tie rules as
+/// k_max_abs_topk; `value` is |x|.
+std::vector<MaxAbsResult> k_max_abs_topk_real(const double* data,
+                                              std::size_t count,
+                                              std::size_t k);
 
 }  // namespace hs::vgpu

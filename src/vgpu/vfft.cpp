@@ -56,4 +56,50 @@ void VFftPlan2d::enqueue_inplace_ptr(Stream& stream, fft::Complex* data,
   });
 }
 
+VFftPlanR2c2d::VFftPlanR2c2d(Device& device, std::size_t height,
+                             std::size_t width, fft::Rigor rigor)
+    : device_(&device),
+      plan_(fft::PlanCache::instance().plan_r2c_2d(height, width, rigor)) {}
+
+void VFftPlanR2c2d::enqueue_inplace_padded_ptr(Stream& stream,
+                                               fft::Complex* data,
+                                               std::string label) const {
+  HS_REQUIRE(&stream.device() == device_, "stream belongs to another device");
+  auto plan = plan_;
+  Device* device = device_;
+  if (device->config().concurrent_fft_kernels) {
+    stream.enqueue(std::move(label), [plan, data] {
+      plan->execute_inplace_padded(data);
+    });
+    return;
+  }
+  stream.enqueue(std::move(label), [plan, device, data] {
+    std::lock_guard<std::mutex> lock(device->fft_mutex());
+    plan->execute_inplace_padded(data);
+  });
+}
+
+VFftPlanC2r2d::VFftPlanC2r2d(Device& device, std::size_t height,
+                             std::size_t width, fft::Rigor rigor)
+    : device_(&device),
+      plan_(fft::PlanCache::instance().plan_c2r_2d(height, width, rigor)) {}
+
+void VFftPlanC2r2d::enqueue_inplace_half_ptr(Stream& stream,
+                                             fft::Complex* data,
+                                             std::string label) const {
+  HS_REQUIRE(&stream.device() == device_, "stream belongs to another device");
+  auto plan = plan_;
+  Device* device = device_;
+  if (device->config().concurrent_fft_kernels) {
+    stream.enqueue(std::move(label), [plan, data] {
+      plan->execute_inplace_half(data);
+    });
+    return;
+  }
+  stream.enqueue(std::move(label), [plan, device, data] {
+    std::lock_guard<std::mutex> lock(device->fft_mutex());
+    plan->execute_inplace_half(data);
+  });
+}
+
 }  // namespace hs::vgpu

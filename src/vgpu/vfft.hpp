@@ -46,4 +46,47 @@ class VFftPlan2d {
   std::shared_ptr<const fft::Plan2d> plan_;
 };
 
+/// Device-side forward real-to-complex plan (cuFFT R2C analog). Operates on
+/// a pooled buffer of spectrum_count() Complex values in the padded in-place
+/// layout (see PlanR2c2d::execute_inplace_padded): real rows staged at
+/// double stride 2*(w/2+1), half spectrum on completion.
+class VFftPlanR2c2d {
+ public:
+  VFftPlanR2c2d(Device& device, std::size_t height, std::size_t width,
+                fft::Rigor rigor = fft::Rigor::kEstimate);
+
+  void enqueue_inplace_padded_ptr(Stream& stream, fft::Complex* data,
+                                  std::string label = "fft2d_r2c") const;
+
+  std::size_t height() const { return plan_->height(); }
+  std::size_t width() const { return plan_->width(); }
+  std::size_t spectrum_count() const { return plan_->spectrum_count(); }
+  std::size_t bytes() const { return spectrum_count() * sizeof(fft::Complex); }
+
+ private:
+  Device* device_;
+  std::shared_ptr<const fft::PlanR2c2d> plan_;
+};
+
+/// Device-side inverse complex-to-real plan (cuFFT C2R analog). The buffer
+/// holds the half spectrum on entry and height*width packed doubles on
+/// completion (see PlanC2r2d::execute_inplace_half).
+class VFftPlanC2r2d {
+ public:
+  VFftPlanC2r2d(Device& device, std::size_t height, std::size_t width,
+                fft::Rigor rigor = fft::Rigor::kEstimate);
+
+  void enqueue_inplace_half_ptr(Stream& stream, fft::Complex* data,
+                                std::string label = "ifft2d_c2r") const;
+
+  std::size_t height() const { return plan_->height(); }
+  std::size_t width() const { return plan_->width(); }
+  std::size_t spectrum_count() const { return plan_->spectrum_count(); }
+  std::size_t bytes() const { return spectrum_count() * sizeof(fft::Complex); }
+
+ private:
+  Device* device_;
+  std::shared_ptr<const fft::PlanC2r2d> plan_;
+};
+
 }  // namespace hs::vgpu

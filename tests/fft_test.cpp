@@ -260,9 +260,19 @@ INSTANTIATE_TEST_SUITE_P(EvenSizes, RealFftSizes,
                          ::testing::Values(2, 4, 6, 8, 16, 30, 64, 100, 174,
                                            256, 1040));
 
-TEST(RealFft, OddSizeRejected) {
-  EXPECT_THROW(PlanR2c1d(15), InvalidArgument);
-  EXPECT_THROW(PlanC2r1d(15), InvalidArgument);
+// Odd lengths take the full-complex fallback instead of even/odd packing;
+// 29 divides 1392, and 1391/1041 are the odd neighbours of the paper's
+// 1392x1040 tile extents (1391 = 13*107 exercises Bluestein factors).
+INSTANTIATE_TEST_SUITE_P(OddSizes, RealFftSizes,
+                         ::testing::Values(1, 3, 15, 29, 97, 1041, 1391));
+
+TEST(RealFft, OddAndEvenPlansReportPackingChoice) {
+  EXPECT_TRUE(PlanR2c1d(16).uses_packing());
+  EXPECT_TRUE(PlanC2r1d(16).uses_packing());
+  EXPECT_FALSE(PlanR2c1d(15).uses_packing());
+  EXPECT_FALSE(PlanC2r1d(29).uses_packing());
+  EXPECT_EQ(PlanR2c1d(29).spectrum_size(), 15u);
+  EXPECT_EQ(PlanR2c1d(30).spectrum_size(), 16u);
 }
 
 TEST(RealFft, TwoForOneMatchesSeparateTransforms) {
@@ -372,6 +382,132 @@ TEST(Fft2d, R2cRoundTripScalesByHw) {
     EXPECT_NEAR(back[i] / scale, x[i], 1e-9);
   }
 }
+
+// Property suite for the 2-D half-spectrum plans across awkward
+// factorizations: smooth composites, odd extents (row fallback path),
+// primes (Bluestein), degenerate 1xN / Nx1, and thin slabs of the paper's
+// 1392/1040 tile extents.
+class RealFft2dShapes : public ::testing::TestWithParam<Shape2d> {};
+
+std::vector<double> random_reals(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.next_double() - 0.5;
+  return out;
+}
+
+TEST_P(RealFft2dShapes, HalfSpectrumMatchesComplexTransform) {
+  const auto [h, w] = GetParam();
+  const auto x = random_reals(h * w, h * 7919 + w);
+  PlanR2c2d r2c(h, w);
+  const std::size_t sw = r2c.spectrum_width();
+  std::vector<Complex> half(h * sw);
+  r2c.execute(x.data(), half.data());
+
+  std::vector<Complex> xc(h * w);
+  for (std::size_t i = 0; i < h * w; ++i) xc[i] = Complex(x[i], 0.0);
+  Plan2d full(h, w, Direction::kForward);
+  std::vector<Complex> ref(h * w);
+  full.execute(xc.data(), ref.data());
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < sw; ++c) {
+      EXPECT_LT(std::abs(half[r * sw + c] - ref[r * w + c]),
+                1e-9 * static_cast<double>(h + w) + 1e-10)
+          << r << "," << c;
+    }
+  }
+}
+
+TEST_P(RealFft2dShapes, RoundTripScalesByHw) {
+  const auto [h, w] = GetParam();
+  const auto x = random_reals(h * w, h * 31 + w);
+  PlanR2c2d r2c(h, w);
+  PlanC2r2d c2r(h, w);
+  std::vector<Complex> half(h * r2c.spectrum_width());
+  std::vector<double> back(h * w);
+  r2c.execute(x.data(), half.data());
+  c2r.execute(half.data(), back.data());
+  const double scale = static_cast<double>(h * w);
+  for (std::size_t i = 0; i < h * w; ++i) {
+    EXPECT_NEAR(back[i] / scale, x[i], 1e-9);
+  }
+}
+
+TEST_P(RealFft2dShapes, ParsevalHoldsOnHalfSpectrum) {
+  // Interior retained columns stand in for their Hermitian mirrors, so they
+  // count twice; column 0 (and w/2 when w is even) are self-conjugate.
+  const auto [h, w] = GetParam();
+  const auto x = random_reals(h * w, h * 131 + w);
+  PlanR2c2d r2c(h, w);
+  const std::size_t sw = r2c.spectrum_width();
+  std::vector<Complex> half(h * sw);
+  r2c.execute(x.data(), half.data());
+  double time_energy = 0.0;
+  for (const double v : x) time_energy += v * v;
+  double freq_energy = 0.0;
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < sw; ++c) {
+      const bool self = c == 0 || (w % 2 == 0 && c == w / 2);
+      freq_energy += (self ? 1.0 : 2.0) * std::norm(half[r * sw + c]);
+    }
+  }
+  const double expected = time_energy * static_cast<double>(h * w);
+  EXPECT_NEAR(freq_energy, expected, 1e-8 * expected + 1e-10);
+}
+
+TEST_P(RealFft2dShapes, InPlacePaddedMatchesOutOfPlace) {
+  // FFTW-style padded layout: row r's reals live at double offset r*2*sw.
+  const auto [h, w] = GetParam();
+  const auto x = random_reals(h * w, h * 997 + w);
+  PlanR2c2d r2c(h, w);
+  const std::size_t sw = r2c.spectrum_width();
+  std::vector<Complex> buf(h * sw);
+  double* reals = reinterpret_cast<double*>(buf.data());
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < w; ++c) reals[r * 2 * sw + c] = x[r * w + c];
+  }
+  r2c.execute_inplace_padded(buf.data());
+
+  std::vector<Complex> ref(h * sw);
+  r2c.execute(x.data(), ref.data());
+  EXPECT_LT(max_error(buf, ref), 1e-12 * static_cast<double>(h + w) + 1e-13);
+
+  // Inverse in place: output is packed h*w doubles at the buffer front.
+  PlanC2r2d c2r(h, w);
+  c2r.execute_inplace_half(buf.data());
+  const double* back = reinterpret_cast<const double*>(buf.data());
+  const double scale = static_cast<double>(h * w);
+  for (std::size_t i = 0; i < h * w; ++i) {
+    EXPECT_NEAR(back[i] / scale, x[i], 1e-9);
+  }
+}
+
+TEST_P(RealFft2dShapes, TwoForOneMatchesSeparateTransforms) {
+  const auto [h, w] = GetParam();
+  const auto a = random_reals(h * w, h * 11 + w);
+  const auto b = random_reals(h * w, h * 13 + w);
+  Plan2d fwd(h, w, Direction::kForward);
+  std::vector<Complex> sa(h * w), sb(h * w);
+  fft_two_reals_2d(fwd, a.data(), b.data(), sa.data(), sb.data());
+
+  std::vector<Complex> ac(h * w), bc(h * w);
+  for (std::size_t i = 0; i < h * w; ++i) {
+    ac[i] = Complex(a[i], 0.0);
+    bc[i] = Complex(b[i], 0.0);
+  }
+  std::vector<Complex> ra(h * w), rb(h * w);
+  fwd.execute(ac.data(), ra.data());
+  fwd.execute(bc.data(), rb.data());
+  EXPECT_LT(max_error(sa, ra), 1e-9 * static_cast<double>(h + w) + 1e-10);
+  EXPECT_LT(max_error(sb, rb), 1e-9 * static_cast<double>(h + w) + 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, RealFft2dShapes,
+    ::testing::Values(Shape2d{1, 8}, Shape2d{8, 1}, Shape2d{4, 4},
+                      Shape2d{13, 29}, Shape2d{15, 21}, Shape2d{29, 24},
+                      Shape2d{32, 48}, Shape2d{7, 97}, Shape2d{97, 6},
+                      Shape2d{6, 1392}, Shape2d{6, 1040}));
 
 TEST(Transpose, RoundTripIsIdentity) {
   const std::size_t rows = 37, cols = 53;

@@ -146,17 +146,15 @@ TEST_P(PciamWorkloadSweep, RecoversTruthAcrossRegimes) {
   acq.seed = 17;
   const auto grid = sim::make_synthetic_grid(acq);
 
-  auto fwd = fft::PlanCache::instance().plan_2d(64, 80,
-                                                fft::Direction::kForward);
-  auto inv = fft::PlanCache::instance().plan_2d(64, 80,
-                                                fft::Direction::kInverse);
+  const auto pipeline = stitch::make_fft_pipeline(
+      64, 80, fft::Rigor::kEstimate, /*use_real_fft=*/false);
   stitch::PciamScratch scratch;
   std::size_t exact = 0, total = 0;
   for (std::size_t r = 0; r < 2; ++r) {
     for (std::size_t c = 1; c < 3; ++c) {
       const auto a = grid.tile({r, c - 1});
       const auto b = grid.tile({r, c});
-      const auto t = stitch::pciam_full(a, b, *fwd, *inv, scratch, nullptr);
+      const auto t = stitch::pciam_full(a, b, pipeline, scratch, nullptr);
       const auto [dx, dy] = grid.truth.displacement(
           grid.layout.index_of({r, c - 1}), grid.layout.index_of({r, c}));
       ++total;

@@ -123,13 +123,15 @@ TEST_P(PciamShift, RecoversPlantedDisplacement) {
   const auto a = plate.crop(base_y, base_x, h, w);
   const auto b = plate.crop(static_cast<std::size_t>(base_y + dy),
                             static_cast<std::size_t>(base_x + dx), h, w);
-  auto fwd = fft::PlanCache::instance().plan_2d(h, w, fft::Direction::kForward);
-  auto inv = fft::PlanCache::instance().plan_2d(h, w, fft::Direction::kInverse);
   PciamScratch scratch;
-  const Translation t = pciam_full(a, b, *fwd, *inv, scratch, nullptr);
-  EXPECT_EQ(t.x, dx);
-  EXPECT_EQ(t.y, dy);
-  EXPECT_GT(t.correlation, 0.99);
+  for (const bool real_fft : {false, true}) {
+    const auto pipeline =
+        make_fft_pipeline(h, w, fft::Rigor::kEstimate, real_fft);
+    const Translation t = pciam_full(a, b, pipeline, scratch, nullptr);
+    EXPECT_EQ(t.x, dx) << "real_fft=" << real_fft;
+    EXPECT_EQ(t.y, dy) << "real_fft=" << real_fft;
+    EXPECT_GT(t.correlation, 0.99) << "real_fft=" << real_fft;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -146,17 +148,32 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Pciam, CountsOperations) {
   const auto a = random_tile(32, 32, 7);
   const auto b = random_tile(32, 32, 8);
-  auto fwd = fft::PlanCache::instance().plan_2d(32, 32, fft::Direction::kForward);
-  auto inv = fft::PlanCache::instance().plan_2d(32, 32, fft::Direction::kInverse);
   PciamScratch scratch;
-  OpCountsAtomic counts;
-  (void)pciam_full(a, b, *fwd, *inv, scratch, &counts);
-  const OpCounts ops = counts.snapshot();
-  EXPECT_EQ(ops.forward_ffts, 2u);
-  EXPECT_EQ(ops.ncc_multiplies, 1u);
-  EXPECT_EQ(ops.inverse_ffts, 1u);
-  EXPECT_EQ(ops.max_reductions, 1u);
-  EXPECT_EQ(ops.ccf_evaluations, 4u);
+  {
+    // Complex mode: the pair's two real tiles share one two-for-one FFT.
+    const auto pipeline =
+        make_fft_pipeline(32, 32, fft::Rigor::kEstimate, false);
+    OpCountsAtomic counts;
+    (void)pciam_full(a, b, pipeline, scratch, &counts);
+    const OpCounts ops = counts.snapshot();
+    EXPECT_EQ(ops.forward_ffts, 1u);
+    EXPECT_EQ(ops.transform_bins, 2u * 32 * 32);
+    EXPECT_EQ(ops.ncc_multiplies, 1u);
+    EXPECT_EQ(ops.inverse_ffts, 1u);
+    EXPECT_EQ(ops.max_reductions, 1u);
+    EXPECT_EQ(ops.ccf_evaluations, 4u);
+  }
+  {
+    // Real mode: one half-spectrum r2c per tile.
+    const auto pipeline =
+        make_fft_pipeline(32, 32, fft::Rigor::kEstimate, true);
+    OpCountsAtomic counts;
+    (void)pciam_full(a, b, pipeline, scratch, &counts);
+    const OpCounts ops = counts.snapshot();
+    EXPECT_EQ(ops.forward_ffts, 2u);
+    EXPECT_EQ(ops.transform_bins, 2u * 32 * (32 / 2 + 1));
+    EXPECT_EQ(ops.inverse_ffts, 1u);
+  }
 }
 
 // --- traversal -------------------------------------------------------------------
@@ -240,10 +257,9 @@ TEST(TransformCache, ComputesOnceAndFreesAtZero) {
   acq.tile_width = 32;
   const auto grid = sim::make_synthetic_grid(acq);
   MemoryTileProvider provider(&grid.tiles, grid.layout);
-  auto plan = fft::PlanCache::instance().plan_2d(32, 32,
-                                                 fft::Direction::kForward);
+  const auto pipeline = make_fft_pipeline(32, 32, fft::Rigor::kEstimate, false);
   OpCountsAtomic counts;
-  TransformCache cache(provider, plan, &counts);
+  TransformCache cache(provider, pipeline, &counts);
 
   const fft::Complex* first = cache.transform({0, 0});
   const fft::Complex* second = cache.transform({0, 0});
@@ -267,12 +283,39 @@ TEST(TransformCache, TileAccessibleWhileLive) {
   acq.tile_width = 16;
   const auto grid = sim::make_synthetic_grid(acq);
   MemoryTileProvider provider(&grid.tiles, grid.layout);
-  auto plan = fft::PlanCache::instance().plan_2d(16, 16,
-                                                 fft::Direction::kForward);
-  TransformCache cache(provider, plan, nullptr);
+  const auto pipeline = make_fft_pipeline(16, 16, fft::Rigor::kEstimate, false);
+  TransformCache cache(provider, pipeline, nullptr);
   cache.transform({0, 1});
   const img::ImageU16& tile = cache.tile({0, 1});
   EXPECT_EQ(tile.at(3, 3), grid.tile({0, 1}).at(3, 3));
+}
+
+TEST(TransformCache, HalfSpectrumHalvesPeakBytes) {
+  sim::AcquisitionParams acq;
+  acq.grid_rows = 2;
+  acq.grid_cols = 3;
+  acq.tile_height = 32;
+  acq.tile_width = 48;
+  const auto grid = sim::make_synthetic_grid(acq);
+  MemoryTileProvider provider(&grid.tiles, grid.layout);
+
+  auto peak_bytes = [&](bool real_fft) {
+    const auto pipeline =
+        make_fft_pipeline(32, 48, fft::Rigor::kEstimate, real_fft);
+    TransformCache cache(provider, pipeline, nullptr);
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t c = 0; c < 3; ++c) cache.transform({r, c});
+    }
+    return cache.peak_transform_bytes();
+  };
+
+  const std::size_t full = peak_bytes(false);
+  const std::size_t half = peak_bytes(true);
+  // Same tiles live at peak either way, so the byte ratio is exactly the
+  // bin ratio w / (w/2+1) — just under 2x.
+  EXPECT_EQ(full, 6u * 32 * 48 * sizeof(fft::Complex));
+  EXPECT_EQ(half, 6u * 32 * (48 / 2 + 1) * sizeof(fft::Complex));
+  EXPECT_GT(static_cast<double>(full) / static_cast<double>(half), 1.9);
 }
 
 }  // namespace

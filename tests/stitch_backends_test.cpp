@@ -9,6 +9,7 @@
 #include <filesystem>
 
 #include "simdata/plate.hpp"
+#include "stitch/request.hpp"
 #include "stitch/stitcher.hpp"
 #include "testing_providers.hpp"
 #include "trace/trace.hpp"
@@ -78,8 +79,12 @@ TEST_P(AllBackends, OperationCountsMatchTableOne) {
   EXPECT_EQ(result.ops.max_reductions, pairs);
   EXPECT_EQ(result.ops.ccf_evaluations, 4 * pairs);
   if (GetParam() == Backend::kNaivePairwise) {
-    // The no-cache baseline pays two transforms and two reads per pair.
-    EXPECT_EQ(result.ops.forward_ffts, 2 * pairs);
+    // The no-cache baseline re-reads both tiles per pair. In complex mode
+    // the two-for-one trick folds the pair's two forward transforms into
+    // one; the half-spectrum path keeps one r2c transform per tile.
+    const std::uint64_t per_pair_ffts =
+        fast_options().use_real_fft ? 2u : 1u;
+    EXPECT_EQ(result.ops.forward_ffts, per_pair_ffts * pairs);
     EXPECT_EQ(result.ops.tile_reads, 2 * pairs);
   } else if (GetParam() == Backend::kPipelinedGpu) {
     // Row-band partitioning re-reads halo rows; never more than one extra
@@ -118,6 +123,46 @@ INSTANTIATE_TEST_SUITE_P(Backends, AllBackends,
                            std::replace(name.begin(), name.end(), '-', '_');
                            return name;
                          });
+
+// --- half-spectrum (r2c) path ---------------------------------------------------
+
+TEST_P(AllBackends, RealFftTableIdenticalToComplexPath) {
+  // The half-spectrum pipeline changes the transform representation but not
+  // the answer: the final Translation comes from spatial-domain CCFs, so
+  // the displacement tables must match the complex path exactly.
+  const auto grid = make_grid(3, 4, 13);
+  MemoryTileProvider provider(&grid.tiles, grid.layout);
+  StitchOptions options = fast_options();
+  options.use_real_fft = false;
+  const StitchResult reference = stitch(GetParam(), provider, options);
+  options.use_real_fft = true;
+  const StitchResult result = stitch(GetParam(), provider, options);
+  EXPECT_TRUE(tables_identical(reference.table, result.table))
+      << backend_name(GetParam());
+  EXPECT_EQ(truth_accuracy(grid, result.table), 1.0)
+      << backend_name(GetParam());
+}
+
+TEST(RealFft, PredictedPoolBytesDropRoughlyInHalf) {
+  // Transforms dominate every backend's pool; halving their bins should
+  // show up as close to a 2x drop in the admission charge (the u16 tile
+  // buffers and bookkeeping keep it slightly under w / (w/2+1)).
+  const auto grid = make_grid(3, 4);
+  MemoryTileProvider provider(&grid.tiles, grid.layout);
+  for (const Backend backend : kAllBackends) {
+    StitchRequest req;
+    req.backend = backend;
+    req.provider = &provider;
+    req.options = fast_options();
+    req.options.use_real_fft = false;
+    const double full = static_cast<double>(req.predicted_pool_bytes());
+    req.options.use_real_fft = true;
+    const double half = static_cast<double>(req.predicted_pool_bytes());
+    const double ratio = full / half;
+    EXPECT_GT(ratio, 1.5) << backend_name(backend);
+    EXPECT_LT(ratio, 2.2) << backend_name(backend);
+  }
+}
 
 // --- traversal invariance -------------------------------------------------------
 

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
@@ -52,6 +53,9 @@ inline stitch::StitchOptions fast_options() {
   options.ccf_threads = 2;
   options.gpu_count = 2;
   options.gpu_memory_bytes = 64ull << 20;
+  // Lets CI run the whole tier-1 suite down the half-spectrum path without
+  // duplicating every test (scripts/check.sh toggles this both ways).
+  if (std::getenv("HS_USE_REAL_FFT") != nullptr) options.use_real_fft = true;
   return options;
 }
 
