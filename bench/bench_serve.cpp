@@ -12,6 +12,11 @@
 //      remaining (but not the total) budget queues until running jobs drain
 //      budget back, instead of over-committing memory; a job that could
 //      never fit is rejected at submit() with InvalidArgument.
+//   4. Metrics overhead — the same batch with metric timers off vs on;
+//      the instrumented run must stay within 2% of the untimed one (plus a
+//      small absolute floor for scheduler noise), the budget DESIGN.md §10
+//      commits to.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -19,6 +24,7 @@
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "common/thread_util.hpp"
+#include "metrics/metrics.hpp"
 #include "serve/service.hpp"
 #include "simdata/plate.hpp"
 #include "stitch/cli_flags.hpp"
@@ -47,6 +53,7 @@ int main(int argc, char** argv) {
   cli.add_flag("budget-mb", "global memory budget, MiB", "64");
   cli.add_flag("tile-height", "tile height in pixels", "96");
   cli.add_flag("tile-width", "tile width in pixels", "128");
+  stitch::register_metrics_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   const std::size_t tile_h = static_cast<std::size_t>(cli.get_int("tile-height"));
@@ -221,7 +228,47 @@ int main(int argc, char** argv) {
     std::printf("impossible job rejected at submit(): %s\n", e.what());
   }
 
-  const bool ok = all_identical && rejected &&
+  // ---- 4. Metrics overhead. ----------------------------------------------
+  // The timers (queue waits, per-pair latency, plan builds) are the only
+  // metric cost that involves clock reads; counters are single relaxed adds.
+  // Run the batch with timing gated off, then on — best of two each so a
+  // scheduler hiccup doesn't decide the verdict.
+  std::printf("\n== Metrics overhead ==\n");
+  auto run_batch = [&]() -> double {
+    serve::StitchService service(config);
+    Stopwatch stopwatch;
+    for (std::size_t i = 0; i < n_jobs; ++i) {
+      serve::StitchJob job;
+      job.name = specs[i].name;
+      job.backend = specs[i].backend;
+      job.provider = &providers[i];
+      job.options = options_for[i];
+      service.submit(job);
+    }
+    service.wait_idle();
+    return stopwatch.seconds();
+  };
+  metrics::set_timing_enabled(false);
+  const double untimed_s = std::min(run_batch(), run_batch());
+  metrics::set_timing_enabled(true);
+  const double timed_s = std::min(run_batch(), run_batch());
+  // 2% relative budget plus a 50 ms absolute floor: at this batch size a
+  // single preemption costs more than every timer in the run combined.
+  const double budget_s = untimed_s * 1.02 + 0.05;
+  const bool overhead_ok = timed_s <= budget_s;
+  std::printf("timers off: %s   timers on: %s   (budget %s)\n",
+              format_duration(untimed_s).c_str(),
+              format_duration(timed_s).c_str(),
+              format_duration(budget_s).c_str());
+  std::printf("metrics overhead %s the 2%% budget\n",
+              overhead_ok ? "within" : "EXCEEDS");
+
+  if (stitch::write_metrics_if_requested(cli)) {
+    std::printf("wrote metrics snapshot: %s\n",
+                cli.get("metrics-out").c_str());
+  }
+
+  const bool ok = all_identical && rejected && overhead_ok &&
                   big_handle.state() == serve::JobState::kDone;
   std::printf("\n%s\n", ok ? "Reproduced: shared budget serves heterogeneous "
                              "jobs concurrently with bit-identical results."

@@ -118,21 +118,32 @@ int main(int argc, char** argv) {
   cli.add_flag("output", "mosaic output (16-bit PGM, streamed)",
                "stitch_cli_data/mosaic.pgm");
   cli.add_flag("trace", "write chrome://tracing JSON here (stitch mode)", "");
+  stitch::register_metrics_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   try {
     const std::string mode = cli.get("mode");
-    if (mode == "generate") return run_generate(cli);
-    if (mode == "stitch") return run_stitch(cli);
-    if (mode == "compose") return run_compose(cli);
-    if (mode == "all") {
-      if (int rc = run_generate(cli); rc != 0) return rc;
-      if (int rc = run_stitch(cli); rc != 0) return rc;
-      return run_compose(cli);
+    int rc = 2;
+    if (mode == "generate") {
+      rc = run_generate(cli);
+    } else if (mode == "stitch") {
+      rc = run_stitch(cli);
+    } else if (mode == "compose") {
+      rc = run_compose(cli);
+    } else if (mode == "all") {
+      rc = run_generate(cli);
+      if (rc == 0) rc = run_stitch(cli);
+      if (rc == 0) rc = run_compose(cli);
+    } else {
+      std::fprintf(stderr, "unknown --mode=%s\n%s", mode.c_str(),
+                   cli.usage().c_str());
+      return 2;
     }
-    std::fprintf(stderr, "unknown --mode=%s\n%s", mode.c_str(),
-                 cli.usage().c_str());
-    return 2;
+    if (stitch::write_metrics_if_requested(cli)) {
+      std::printf("wrote metrics snapshot: %s\n",
+                  cli.get("metrics-out").c_str());
+    }
+    return rc;
   } catch (const Error& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -30,4 +30,14 @@ for preset in "${presets[@]}"; do
   HS_USE_REAL_FFT=1 ctest --preset "${preset}" -L tier1 -LE slow -j "${jobs}"
 done
 
+# Metrics overhead budget: bench_serve section 4 fails (non-zero exit) if the
+# instrumented batch runs more than 2% slower than one with timers gated off.
+# Release only — sanitizer builds distort the timing it measures.
+for preset in "${presets[@]}"; do
+  if [ "${preset}" = "release" ]; then
+    echo "==> [release] bench_serve metrics-overhead budget"
+    ./build/bench/bench_serve >/dev/null
+  fi
+done
+
 echo "All presets green: ${presets[*]}"

@@ -1,5 +1,7 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -70,30 +72,62 @@ const std::string& CliParser::get(const std::string& name) const {
   return find(name).value;
 }
 
+namespace {
+
+// strtod accepts "inf", "nan", and hex floats ("0x1p4"); flag values should
+// be plain decimal numbers, so restrict the charset before parsing.
+bool is_plain_decimal(const std::string& v) {
+  bool saw_digit = false;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const char c = v[i];
+    if (c >= '0' && c <= '9') {
+      saw_digit = true;
+    } else if (c == '+' || c == '-') {
+      if (i != 0 && v[i - 1] != 'e' && v[i - 1] != 'E') return false;
+    } else if (c == '.' || c == 'e' || c == 'E') {
+      // position/duplication errors are left to strtod
+    } else {
+      return false;
+    }
+  }
+  return saw_digit;
+}
+
+}  // namespace
+
 std::int64_t CliParser::get_int(const std::string& name) const {
   const std::string& v = find(name).value;
   char* end = nullptr;
+  errno = 0;
   const long long parsed = std::strtoll(v.c_str(), &end, 10);
   HS_REQUIRE(end != nullptr && *end == '\0' && !v.empty(),
              "flag --" + name + " expects an integer, got '" + v + "'");
+  HS_REQUIRE(errno != ERANGE,
+             "flag --" + name + " integer out of range: '" + v + "'");
   return parsed;
 }
 
 double CliParser::get_double(const std::string& name) const {
   const std::string& v = find(name).value;
-  char* end = nullptr;
-  const double parsed = std::strtod(v.c_str(), &end);
-  HS_REQUIRE(end != nullptr && *end == '\0' && !v.empty(),
+  HS_REQUIRE(is_plain_decimal(v),
              "flag --" + name + " expects a number, got '" + v + "'");
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v.c_str(), &end);
+  HS_REQUIRE(end != nullptr && *end == '\0',
+             "flag --" + name + " expects a number, got '" + v + "'");
+  HS_REQUIRE(errno != ERANGE && std::isfinite(parsed),
+             "flag --" + name + " number out of range: '" + v + "'");
   return parsed;
 }
 
 bool CliParser::get_bool(const std::string& name) const {
   const std::string& v = find(name).value;
   if (v == "true" || v == "1" || v == "yes") return true;
-  if (v == "false" || v == "0" || v == "no") return false;
-  throw InvalidArgument("flag --" + name + " expects a boolean, got '" + v +
-                        "'");
+  const bool recognized = v == "false" || v == "0" || v == "no";
+  HS_REQUIRE(recognized,
+             "flag --" + name + " expects a boolean, got '" + v + "'");
+  return false;
 }
 
 std::string CliParser::usage() const {

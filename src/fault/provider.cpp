@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "metrics/wellknown.hpp"
 
 namespace hs::fault {
 
@@ -38,6 +39,7 @@ img::ImageU16 RetryingProvider::load(img::TilePos pos) const {
           std::lock_guard<std::mutex> lock(mutex_);
           ++retries_spent_;
         }
+        metrics::wellknown::fault_retries_total().add();
         if (sleep_us > 0) {
           std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
           sleep_us = static_cast<std::uint64_t>(

@@ -4,7 +4,39 @@
 #include <mutex>
 #include <tuple>
 
+#include "metrics/wellknown.hpp"
+
 namespace hs::fft {
+
+namespace {
+
+// Cached per-rigor metric handles: hit/miss tracking is one relaxed add.
+struct CacheMetrics {
+  metrics::Counter& hits;
+  metrics::Counter& misses;
+  metrics::Histogram& build_us;
+};
+
+CacheMetrics& cache_metrics(Rigor rigor) {
+  using namespace metrics::wellknown;
+  static CacheMetrics estimate{plan_cache_hits("estimate"),
+                               plan_cache_misses("estimate"),
+                               plan_build_us("estimate")};
+  static CacheMetrics measure{plan_cache_hits("measure"),
+                              plan_cache_misses("measure"),
+                              plan_build_us("measure")};
+  static CacheMetrics patient{plan_cache_hits("patient"),
+                              plan_cache_misses("patient"),
+                              plan_build_us("patient")};
+  switch (rigor) {
+    case Rigor::kEstimate: return estimate;
+    case Rigor::kMeasure: return measure;
+    case Rigor::kPatient: return patient;
+  }
+  return estimate;
+}
+
+}  // namespace
 
 struct PlanCache::Impl {
   using Key1d = std::tuple<std::size_t, int, int>;
@@ -34,13 +66,20 @@ std::shared_ptr<const Plan1d> PlanCache::plan_1d(std::size_t n, Direction dir,
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     if (auto it = impl_->plans_1d.find(key); it != impl_->plans_1d.end()) {
+      cache_metrics(rigor).hits.add();
       return it->second;
     }
   }
   // Plan outside the lock: planning can take milliseconds-to-seconds at high
   // rigor and must not serialize unrelated lookups. A racing thread may plan
   // the same key; the first insert wins and the duplicate is discarded.
-  auto plan = std::make_shared<const Plan1d>(n, dir, rigor);
+  CacheMetrics& m = cache_metrics(rigor);
+  m.misses.add();
+  std::shared_ptr<const Plan1d> plan;
+  {
+    HS_METRIC_TIMER(m.build_us);
+    plan = std::make_shared<const Plan1d>(n, dir, rigor);
+  }
   std::lock_guard<std::mutex> lock(impl_->mutex);
   auto [it, inserted] = impl_->plans_1d.emplace(key, std::move(plan));
   return it->second;
@@ -54,10 +93,17 @@ std::shared_ptr<const Plan2d> PlanCache::plan_2d(std::size_t height,
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     if (auto it = impl_->plans_2d.find(key); it != impl_->plans_2d.end()) {
+      cache_metrics(rigor).hits.add();
       return it->second;
     }
   }
-  auto plan = std::make_shared<const Plan2d>(height, width, dir, rigor);
+  CacheMetrics& m = cache_metrics(rigor);
+  m.misses.add();
+  std::shared_ptr<const Plan2d> plan;
+  {
+    HS_METRIC_TIMER(m.build_us);
+    plan = std::make_shared<const Plan2d>(height, width, dir, rigor);
+  }
   std::lock_guard<std::mutex> lock(impl_->mutex);
   auto [it, inserted] = impl_->plans_2d.emplace(key, std::move(plan));
   return it->second;
@@ -71,10 +117,17 @@ std::shared_ptr<const PlanR2c2d> PlanCache::plan_r2c_2d(std::size_t height,
     std::lock_guard<std::mutex> lock(impl_->mutex);
     if (auto it = impl_->plans_r2c_2d.find(key);
         it != impl_->plans_r2c_2d.end()) {
+      cache_metrics(rigor).hits.add();
       return it->second;
     }
   }
-  auto plan = std::make_shared<const PlanR2c2d>(height, width, rigor);
+  CacheMetrics& m = cache_metrics(rigor);
+  m.misses.add();
+  std::shared_ptr<const PlanR2c2d> plan;
+  {
+    HS_METRIC_TIMER(m.build_us);
+    plan = std::make_shared<const PlanR2c2d>(height, width, rigor);
+  }
   std::lock_guard<std::mutex> lock(impl_->mutex);
   auto [it, inserted] = impl_->plans_r2c_2d.emplace(key, std::move(plan));
   return it->second;
@@ -88,10 +141,17 @@ std::shared_ptr<const PlanC2r2d> PlanCache::plan_c2r_2d(std::size_t height,
     std::lock_guard<std::mutex> lock(impl_->mutex);
     if (auto it = impl_->plans_c2r_2d.find(key);
         it != impl_->plans_c2r_2d.end()) {
+      cache_metrics(rigor).hits.add();
       return it->second;
     }
   }
-  auto plan = std::make_shared<const PlanC2r2d>(height, width, rigor);
+  CacheMetrics& m = cache_metrics(rigor);
+  m.misses.add();
+  std::shared_ptr<const PlanC2r2d> plan;
+  {
+    HS_METRIC_TIMER(m.build_us);
+    plan = std::make_shared<const PlanC2r2d>(height, width, rigor);
+  }
   std::lock_guard<std::mutex> lock(impl_->mutex);
   auto [it, inserted] = impl_->plans_c2r_2d.emplace(key, std::move(plan));
   return it->second;

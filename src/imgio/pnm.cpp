@@ -80,10 +80,20 @@ ImageU16 read_pgm_u16(const std::string& path) {
   if (file.gcount() != static_cast<std::streamsize>(raw.size())) {
     throw IoError("truncated PGM: " + path);
   }
+  // Samples at the two canonical depths (maxval 255 / 65535) are stored
+  // verbatim; any other maxval (e.g. 10-bit cameras writing 1023) is rescaled
+  // to the full 16-bit range so downstream NCC sees consistent intensities.
+  const bool rescale = maxval != 255 && maxval != 65535;
   for (std::size_t i = 0; i < width * height; ++i) {
-    out.data()[i] = wide ? static_cast<std::uint16_t>((raw[2 * i] << 8) |
-                                                      raw[2 * i + 1])
-                         : static_cast<std::uint16_t>(raw[i]);
+    std::size_t sample = wide ? static_cast<std::size_t>((raw[2 * i] << 8) |
+                                                         raw[2 * i + 1])
+                              : static_cast<std::size_t>(raw[i]);
+    if (sample > maxval) {
+      throw IoError("PGM sample " + std::to_string(sample) + " exceeds maxval " +
+                    std::to_string(maxval) + ": " + path);
+    }
+    if (rescale) sample = (sample * 65535 + maxval / 2) / maxval;
+    out.data()[i] = static_cast<std::uint16_t>(sample);
   }
   return out;
 }

@@ -38,7 +38,9 @@ void write_pgm_u16(const std::string& path, const ImageU16& image);
 /// Writes binary 8-bit PGM.
 void write_pgm_u8(const std::string& path, const ImageU8& image);
 
-/// Reads binary PGM (maxval <= 65535).
+/// Reads binary PGM (maxval <= 65535). Samples with maxval 255 or 65535 are
+/// stored verbatim; other maxvals (e.g. 10-bit 1023) are rescaled to the full
+/// 16-bit range. A sample above maxval throws IoError.
 ImageU16 read_pgm_u16(const std::string& path);
 
 /// Writes binary PPM (8-bit RGB).

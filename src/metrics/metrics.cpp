@@ -1,0 +1,292 @@
+#include "metrics/metrics.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "metrics/wellknown.hpp"
+
+namespace hs::metrics {
+
+namespace {
+
+std::atomic<bool> g_timing_enabled{true};
+
+const char* type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string render_labels(const std::vector<Label>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out.push_back(',');
+    out += labels[i].key + "=\"" + escape_label_value(labels[i].value) + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+// Rendered labels plus one extra pair (used for histogram `le`).
+std::string render_labels_plus(const std::vector<Label>& labels,
+                               const std::string& key,
+                               const std::string& value) {
+  std::vector<Label> all = labels;
+  all.push_back({key, value});
+  return render_labels(all);
+}
+
+std::string json_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_labels(const std::vector<Label>& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out.push_back(',');
+    out += "\"" + json_escape(labels[i].key) + "\":\"" +
+           json_escape(labels[i].value) + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- Histogram --
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value <= 1) return 0;
+  // Bucket i holds values <= 2^i, so the index is ceil(log2(value)).
+  const auto idx = static_cast<std::size_t>(std::bit_width(value - 1));
+  return idx < kFiniteBuckets ? idx : kFiniteBuckets;
+}
+
+std::uint64_t Histogram::bucket_bound(std::size_t i) {
+  return std::uint64_t{1} << i;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::quantile_bound(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > rank || (q >= 1.0 && seen >= total)) {
+      return i < kFiniteBuckets ? bucket_bound(i)
+                                : bucket_bound(kFiniteBuckets - 1);
+    }
+  }
+  return bucket_bound(kFiniteBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- Registry --
+
+Registry::Family& Registry::family_locked(const std::string& name,
+                                          MetricType type,
+                                          const std::string& help) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = type;
+    it->second.help = help;
+  } else {
+    HS_REQUIRE(it->second.type == type,
+               "metric family '" + name + "' already registered as " +
+                   type_name(it->second.type));
+    if (it->second.help.empty()) it->second.help = help;
+  }
+  return it->second;
+}
+
+Registry::Instance& Registry::instance_locked(Family& family,
+                                              std::vector<Label> labels) {
+  std::string text = render_labels(labels);
+  auto [it, inserted] = family.instances.try_emplace(text);
+  if (inserted) {
+    it->second.labels = std::move(labels);
+    it->second.label_text = std::move(text);
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name, std::vector<Label> labels,
+                           const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = family_locked(name, MetricType::kCounter, help);
+  Instance& inst = instance_locked(family, std::move(labels));
+  if (!inst.counter) inst.counter = std::make_unique<Counter>();
+  return *inst.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, std::vector<Label> labels,
+                       const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = family_locked(name, MetricType::kGauge, help);
+  Instance& inst = instance_locked(family, std::move(labels));
+  if (!inst.gauge) inst.gauge = std::make_unique<Gauge>();
+  return *inst.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<Label> labels,
+                               const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = family_locked(name, MetricType::kHistogram, help);
+  Instance& inst = instance_locked(family, std::move(labels));
+  if (!inst.histogram) inst.histogram = std::make_unique<Histogram>();
+  return *inst.histogram;
+}
+
+void Registry::declare(const std::string& name, MetricType type,
+                       const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  family_locked(name, type, help);
+}
+
+std::string Registry::render_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out << "# HELP " << name << " " << family.help << "\n";
+    }
+    out << "# TYPE " << name << " " << type_name(family.type) << "\n";
+    for (const auto& [text, inst] : family.instances) {
+      switch (family.type) {
+        case MetricType::kCounter:
+          out << name << text << " " << inst.counter->value() << "\n";
+          break;
+        case MetricType::kGauge:
+          out << name << text << " " << inst.gauge->value() << "\n";
+          out << name << "_peak" << text << " " << inst.gauge->peak() << "\n";
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *inst.histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < Histogram::kFiniteBuckets; ++i) {
+            cumulative += h.bucket_count(i);
+            out << name << "_bucket"
+                << render_labels_plus(
+                       inst.labels, "le",
+                       std::to_string(Histogram::bucket_bound(i)))
+                << " " << cumulative << "\n";
+          }
+          cumulative += h.bucket_count(Histogram::kFiniteBuckets);
+          out << name << "_bucket"
+              << render_labels_plus(inst.labels, "le", "+Inf") << " "
+              << cumulative << "\n";
+          out << name << "_sum" << text << " " << h.sum() << "\n";
+          out << name << "_count" << text << " " << cumulative << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string Registry::render_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\n  \"metrics\": [";
+  bool first = true;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [text, inst] : family.instances) {
+      out << (first ? "" : ",") << "\n    {\"name\": \"" << json_escape(name)
+          << "\", \"type\": \"" << type_name(family.type)
+          << "\", \"labels\": " << json_labels(inst.labels);
+      switch (family.type) {
+        case MetricType::kCounter:
+          out << ", \"value\": " << inst.counter->value();
+          break;
+        case MetricType::kGauge:
+          out << ", \"value\": " << inst.gauge->value()
+              << ", \"peak\": " << inst.gauge->peak();
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *inst.histogram;
+          out << ", \"count\": " << h.count() << ", \"sum\": " << h.sum()
+              << ", \"buckets\": [";
+          for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+            out << (i ? "," : "") << h.bucket_count(i);
+          }
+          out << "]";
+          break;
+        }
+      }
+      out << "}";
+      first = false;
+    }
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, family] : families_) {
+    for (auto& [text, inst] : family.instances) {
+      if (inst.counter) inst.counter->reset();
+      if (inst.gauge) inst.gauge->reset();
+      if (inst.histogram) inst.histogram->reset();
+    }
+  }
+}
+
+Registry& Registry::global() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    wellknown::register_wellknown(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+// ----------------------------------------------------------------- Timing --
+
+void set_timing_enabled(bool enabled) {
+  g_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool timing_enabled() {
+  return g_timing_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace hs::metrics

@@ -1,0 +1,226 @@
+#pragma once
+
+// Process-wide metrics registry: lock-free counters, gauges with high-water
+// tracking, and fixed-bucket log2 histograms for microsecond latencies.
+//
+// Design goals (DESIGN.md §10):
+//  - Hot path is one relaxed atomic add. Call sites cache a `Counter&` /
+//    `Histogram&` handle once (registry lookups take a mutex; increments do
+//    not), so instrumenting a per-pair loop costs nanoseconds.
+//  - Registries are instantiable (per-test isolation) with one process-wide
+//    `Registry::global()` used by the instrumented libraries. The global
+//    registry pre-declares every well-known family (wellknown.hpp) on first
+//    access so an exposition always shows the full schema, zero-valued.
+//  - Two renderers: Prometheus-style text exposition and a JSON snapshot.
+//  - Timed sections (`HS_METRIC_TIMER`) are gated on a global flag so the
+//    clock reads can be switched off to measure their own overhead.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hs::metrics {
+
+// ---------------------------------------------------------------------------
+// Metric primitives. Stable addresses (owned by a Registry, never moved) so
+// references handed out by the registry stay valid for the registry lifetime.
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Signed gauge tracking both the current value and the high-water mark of
+// everything ever `set()` or reached via `add()`.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    raise_peak(v);
+  }
+  void add(std::int64_t delta) {
+    const std::int64_t now =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    raise_peak(now);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void raise_peak(std::int64_t candidate) {
+    std::int64_t seen = peak_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !peak_.compare_exchange_weak(seen, candidate,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+// Fixed log2 buckets sized for microsecond latencies: bucket i holds
+// observations <= 2^i us (i in 0..24, so 1 us .. ~16.8 s), plus an overflow
+// bucket rendered as le="+Inf". Cumulative rendering follows the Prometheus
+// histogram convention (_bucket/_sum/_count).
+class Histogram {
+ public:
+  static constexpr std::size_t kFiniteBuckets = 25;  // le = 2^0 .. 2^24
+  static constexpr std::size_t kBuckets = kFiniteBuckets + 1;
+
+  void observe(std::uint64_t value) {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_index(std::uint64_t value);
+  // Upper bound of finite bucket i (2^i); callers render the last bucket
+  // as +Inf.
+  static std::uint64_t bucket_bound(std::size_t i);
+
+  std::uint64_t count() const;
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Upper bound of the bucket holding the q-th quantile (0 if empty).
+  std::uint64_t quantile_bound(double q) const;
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Registry: families keyed by name, instances keyed by label set.
+// ---------------------------------------------------------------------------
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+// One "key=value" label; rendered as {key="value"} in expositions.
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Look up (creating on first use) a metric instance. The returned reference
+  // is stable for the registry's lifetime. Throws InvalidArgument if the
+  // family exists with a different type.
+  Counter& counter(const std::string& name, std::vector<Label> labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, std::vector<Label> labels = {},
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<Label> labels = {},
+                       const std::string& help = "");
+
+  // Declare a family so HELP/TYPE lines appear in expositions even before any
+  // instance exists (used by wellknown pre-registration for label sets that
+  // are only known at runtime, e.g. queue names).
+  void declare(const std::string& name, MetricType type,
+               const std::string& help);
+
+  // Prometheus-style text exposition: families sorted by name, instances by
+  // label string; histograms rendered cumulatively; gauges also emit a
+  // `<name>_peak` sample with the high-water mark.
+  std::string render_text() const;
+  // JSON snapshot with the same content (counters/gauges/histograms arrays).
+  std::string render_json() const;
+
+  // Zero every value (families and instances stay registered). Tests use this
+  // for isolation against earlier activity on the global registry.
+  void reset_values();
+
+  // Process-wide registry; pre-declares the wellknown schema on first access.
+  static Registry& global();
+
+ private:
+  struct Instance {
+    std::vector<Label> labels;
+    std::string label_text;  // rendered `{k="v",...}` (empty if no labels)
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    // Keyed by rendered label text for deterministic exposition order.
+    std::map<std::string, Instance> instances;
+  };
+
+  Family& family_locked(const std::string& name, MetricType type,
+                        const std::string& help);
+  Instance& instance_locked(Family& family, std::vector<Label> labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+// ---------------------------------------------------------------------------
+// Timing helpers.
+// ---------------------------------------------------------------------------
+
+// Global switch for the clock reads inside ScopedTimer / HS_METRIC_TIMER.
+// Counters and gauges are always live (they are single relaxed adds); only
+// the steady_clock sampling is gated, so bench_serve can measure the cost of
+// the timed sections by flipping this.
+void set_timing_enabled(bool enabled);
+bool timing_enabled();
+
+// RAII: observes the elapsed wall time in microseconds into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) : hist_(&hist) {
+    if (timing_enabled()) {
+      armed_ = true;
+      t0_ = std::chrono::steady_clock::now();
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (armed_) {
+      const auto dt = std::chrono::steady_clock::now() - t0_;
+      hist_->observe(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(dt).count()));
+    }
+  }
+
+ private:
+  Histogram* hist_;
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+// Times the enclosing scope into `hist` (a Histogram&).
+#define HS_METRIC_TIMER_CAT2(a, b) a##b
+#define HS_METRIC_TIMER_CAT(a, b) HS_METRIC_TIMER_CAT2(a, b)
+#define HS_METRIC_TIMER(hist) \
+  ::hs::metrics::ScopedTimer HS_METRIC_TIMER_CAT(hs_metric_timer_, \
+                                                 __LINE__)(hist)
+
+}  // namespace hs::metrics

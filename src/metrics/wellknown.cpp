@@ -1,0 +1,137 @@
+#include "metrics/wellknown.hpp"
+
+namespace hs::metrics::wellknown {
+
+namespace {
+
+constexpr const char* kPlanHits = "hs_fft_plan_cache_hits_total";
+constexpr const char* kPlanMisses = "hs_fft_plan_cache_misses_total";
+constexpr const char* kPlanBuild = "hs_fft_plan_build_us";
+constexpr const char* kTcHits = "hs_stitch_transform_cache_hits_total";
+constexpr const char* kTcMisses = "hs_stitch_transform_cache_misses_total";
+constexpr const char* kTcEvictions =
+    "hs_stitch_transform_cache_evictions_total";
+constexpr const char* kTcResident = "hs_stitch_transform_cache_resident_bytes";
+constexpr const char* kPoolAllocs = "hs_vgpu_pool_allocs_total";
+constexpr const char* kPoolAcquires = "hs_vgpu_pool_acquires_total";
+constexpr const char* kPoolBytes = "hs_vgpu_pool_bytes";
+constexpr const char* kPoolWait = "hs_vgpu_pool_wait_us";
+constexpr const char* kQueueDepth = "hs_pipeline_queue_depth";
+constexpr const char* kQueuePushWait = "hs_pipeline_queue_push_wait_us";
+constexpr const char* kQueuePopWait = "hs_pipeline_queue_pop_wait_us";
+constexpr const char* kPairLatency = "hs_stitch_pair_latency_us";
+constexpr const char* kFaultRetries = "hs_fault_retries_total";
+constexpr const char* kServeSubmitted = "hs_serve_jobs_submitted_total";
+constexpr const char* kServeAdmitted = "hs_serve_jobs_admitted_total";
+constexpr const char* kServeDone = "hs_serve_jobs_done_total";
+constexpr const char* kServeFailed = "hs_serve_jobs_failed_total";
+constexpr const char* kServeCancelled = "hs_serve_jobs_cancelled_total";
+constexpr const char* kServeFallbacks = "hs_serve_fallbacks_total";
+constexpr const char* kServeQueueWait = "hs_serve_queue_wait_us";
+constexpr const char* kServeRun = "hs_serve_run_us";
+constexpr const char* kServeMemory = "hs_serve_memory_in_use_bytes";
+constexpr const char* kServeQueueDepth = "hs_serve_queue_depth";
+
+Registry& reg() { return Registry::global(); }
+
+}  // namespace
+
+Counter& plan_cache_hits(const std::string& rigor) {
+  return reg().counter(kPlanHits, {{"rigor", rigor}});
+}
+Counter& plan_cache_misses(const std::string& rigor) {
+  return reg().counter(kPlanMisses, {{"rigor", rigor}});
+}
+Histogram& plan_build_us(const std::string& rigor) {
+  return reg().histogram(kPlanBuild, {{"rigor", rigor}});
+}
+
+Counter& transform_cache_hits() { return reg().counter(kTcHits); }
+Counter& transform_cache_misses() { return reg().counter(kTcMisses); }
+Counter& transform_cache_evictions() { return reg().counter(kTcEvictions); }
+Gauge& transform_cache_resident_bytes() { return reg().gauge(kTcResident); }
+
+Counter& pool_allocs_total() { return reg().counter(kPoolAllocs); }
+Counter& pool_acquires_total() { return reg().counter(kPoolAcquires); }
+Gauge& pool_bytes() { return reg().gauge(kPoolBytes); }
+Histogram& pool_wait_us() { return reg().histogram(kPoolWait); }
+
+Gauge& queue_depth(const std::string& queue) {
+  return reg().gauge(kQueueDepth, {{"queue", queue}});
+}
+Histogram& queue_push_wait_us(const std::string& queue) {
+  return reg().histogram(kQueuePushWait, {{"queue", queue}});
+}
+Histogram& queue_pop_wait_us(const std::string& queue) {
+  return reg().histogram(kQueuePopWait, {{"queue", queue}});
+}
+
+Histogram& pair_latency_us(const std::string& backend) {
+  return reg().histogram(kPairLatency, {{"backend", backend}});
+}
+
+Counter& fault_retries_total() { return reg().counter(kFaultRetries); }
+
+Counter& serve_jobs_submitted_total() { return reg().counter(kServeSubmitted); }
+Counter& serve_jobs_admitted_total() { return reg().counter(kServeAdmitted); }
+Counter& serve_jobs_done_total() { return reg().counter(kServeDone); }
+Counter& serve_jobs_failed_total() { return reg().counter(kServeFailed); }
+Counter& serve_jobs_cancelled_total() { return reg().counter(kServeCancelled); }
+Counter& serve_fallbacks_total() { return reg().counter(kServeFallbacks); }
+Histogram& serve_queue_wait_us() { return reg().histogram(kServeQueueWait); }
+Histogram& serve_run_us() { return reg().histogram(kServeRun); }
+Gauge& serve_memory_in_use_bytes() { return reg().gauge(kServeMemory); }
+Gauge& serve_queue_depth() { return reg().gauge(kServeQueueDepth); }
+
+void register_wellknown(Registry& registry) {
+  for (const char* rigor : kRigors) {
+    registry.counter(kPlanHits, {{"rigor", rigor}},
+                     "FFT plan-cache hits by planning rigor");
+    registry.counter(kPlanMisses, {{"rigor", rigor}},
+                     "FFT plan-cache misses by planning rigor");
+    registry.histogram(kPlanBuild, {{"rigor", rigor}},
+                       "Wall time to build an FFT plan on a cache miss");
+  }
+  registry.counter(kTcHits, {}, "Transform-cache hits (tile spectra reused)");
+  registry.counter(kTcMisses, {}, "Transform-cache misses (spectra computed)");
+  registry.counter(kTcEvictions, {},
+                   "Transform-cache entries freed after last reference");
+  registry.gauge(kTcResident, {},
+                 "Transform-cache resident bytes (peak = high-water mark)");
+  registry.counter(kPoolAllocs, {}, "Device buffers allocated by pools");
+  registry.counter(kPoolAcquires, {},
+                   "Buffer-pool acquisitions (reuse ratio = "
+                   "(acquires - allocs) / acquires)");
+  registry.gauge(kPoolBytes, {}, "Bytes held by live buffer pools");
+  registry.histogram(kPoolWait, {},
+                     "Wall time blocked waiting for a free pool buffer");
+  registry.declare(kQueueDepth, MetricType::kGauge,
+                   "Pipeline queue depth by queue name (peak = high-water)");
+  registry.declare(kQueuePushWait, MetricType::kHistogram,
+                   "Wall time producers blocked on a full pipeline queue");
+  registry.declare(kQueuePopWait, MetricType::kHistogram,
+                   "Wall time consumers blocked on an empty pipeline queue");
+  for (const char* backend : kBackends) {
+    registry.histogram(kPairLatency, {{"backend", backend}},
+                       "Per-pair PCIAM latency by backend");
+  }
+  registry.counter(kFaultRetries, {}, "Tile-read retries after faults");
+  registry.counter(kServeSubmitted, {}, "Jobs submitted to StitchService");
+  registry.counter(kServeAdmitted, {},
+                   "Jobs admitted past the memory-budget gate");
+  registry.counter(kServeDone, {}, "Jobs finished successfully");
+  registry.counter(kServeFailed, {}, "Jobs finished with an error");
+  registry.counter(kServeCancelled, {}, "Jobs cancelled before completion");
+  registry.counter(kServeFallbacks, {},
+                   "Backend fallbacks taken by served jobs");
+  registry.histogram(kServeQueueWait, {},
+                     "Wall time from submit to admission per job");
+  registry.histogram(kServeRun, {}, "Wall time from admission to terminal "
+                                    "state per job");
+  registry.gauge(kServeMemory, {},
+                 "Predicted bytes held by admitted jobs (peak = high-water)");
+  registry.gauge(kServeQueueDepth, {},
+                 "Jobs waiting for admission (peak = high-water)");
+}
+
+}  // namespace hs::metrics::wellknown

@@ -1,0 +1,72 @@
+#pragma once
+
+// Canonical metric families for the stitching pipeline. This header is the
+// naming table: every instrumented module fetches its handles through these
+// accessors so the schema lives in one place and the global exposition always
+// carries the full family set (register_wellknown pre-registers the fixed
+// label sets, zero-valued, on first Registry::global() access).
+//
+// Naming convention: hs_<area>_<what>[_total|_us|_bytes]. Counters end in
+// _total, histograms of wall time in _us, byte gauges in _bytes. Labels are
+// closed vocabularies (rigor, backend, queue) — never unbounded values.
+//
+// Only strings are shared here: this module depends on nothing but hs_common,
+// so fft/stitch/vgpu/pipeline/serve can all link it without cycles.
+
+#include <string>
+
+#include "metrics/metrics.hpp"
+
+namespace hs::metrics::wellknown {
+
+// Label vocabularies (kept in sync with fft::Rigor and stitch::backend_name).
+inline constexpr const char* kRigors[] = {"estimate", "measure", "patient"};
+inline constexpr const char* kBackends[] = {"naive-pairwise", "simple-cpu",
+                                            "mt-cpu",         "pipelined-cpu",
+                                            "simple-gpu",     "pipelined-gpu"};
+
+// --- fft ---
+Counter& plan_cache_hits(const std::string& rigor);
+Counter& plan_cache_misses(const std::string& rigor);
+Histogram& plan_build_us(const std::string& rigor);
+
+// --- stitch transform cache ---
+Counter& transform_cache_hits();
+Counter& transform_cache_misses();
+Counter& transform_cache_evictions();
+Gauge& transform_cache_resident_bytes();
+
+// --- vgpu buffer pools ---
+Counter& pool_allocs_total();
+Counter& pool_acquires_total();
+Gauge& pool_bytes();
+Histogram& pool_wait_us();
+
+// --- pipeline queues (label: queue name) ---
+Gauge& queue_depth(const std::string& queue);
+Histogram& queue_push_wait_us(const std::string& queue);
+Histogram& queue_pop_wait_us(const std::string& queue);
+
+// --- per-pair PCIAM latency (label: backend) ---
+Histogram& pair_latency_us(const std::string& backend);
+
+// --- fault handling ---
+Counter& fault_retries_total();
+
+// --- serve ---
+Counter& serve_jobs_submitted_total();
+Counter& serve_jobs_admitted_total();
+Counter& serve_jobs_done_total();
+Counter& serve_jobs_failed_total();
+Counter& serve_jobs_cancelled_total();
+Counter& serve_fallbacks_total();
+Histogram& serve_queue_wait_us();
+Histogram& serve_run_us();
+Gauge& serve_memory_in_use_bytes();
+Gauge& serve_queue_depth();
+
+// Pre-register every family above (with fixed label sets instantiated) so an
+// exposition taken before any activity still shows the whole schema.
+void register_wellknown(Registry& registry);
+
+}  // namespace hs::metrics::wellknown

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "metrics/wellknown.hpp"
 
 namespace hs::pipe {
 
@@ -30,14 +31,35 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  /// Opt-in instrumentation: publishes this queue's depth (gauge, with
+  /// high-water peak) and producer/consumer blocking time (histograms) under
+  /// the given queue label (wellknown.hpp). Uninstrumented queues pay
+  /// nothing; instrumented ones read the clock only when a push/pop actually
+  /// blocks. Call before the queue is shared between threads.
+  void instrument(const std::string& name) {
+    metric_depth_ = &metrics::wellknown::queue_depth(name);
+    metric_push_wait_us_ = &metrics::wellknown::queue_push_wait_us(name);
+    metric_pop_wait_us_ = &metrics::wellknown::queue_pop_wait_us(name);
+  }
+
   /// Blocks while the queue is full. Returns false (dropping the item) if
   /// the queue was closed — producers use this to stop early on shutdown.
   bool push(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [&] { return items_.size() < capacity_ || closed_; });
+    const auto can_push = [&] {
+      return items_.size() < capacity_ || closed_;
+    };
+    if (!can_push()) {
+      if (metric_push_wait_us_ != nullptr) {
+        HS_METRIC_TIMER(*metric_push_wait_us_);
+        not_full_.wait(lock, can_push);
+      } else {
+        not_full_.wait(lock, can_push);
+      }
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
+    note_depth_locked();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -49,6 +71,7 @@ class BoundedQueue {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      note_depth_locked();
     }
     not_empty_.notify_one();
     return true;
@@ -58,10 +81,19 @@ class BoundedQueue {
   /// drained, which is each consumer thread's signal to exit.
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    const auto can_pop = [&] { return !items_.empty() || closed_; };
+    if (!can_pop()) {
+      if (metric_pop_wait_us_ != nullptr) {
+        HS_METRIC_TIMER(*metric_pop_wait_us_);
+        not_empty_.wait(lock, can_pop);
+      } else {
+        not_empty_.wait(lock, can_pop);
+      }
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    note_depth_locked();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -75,6 +107,7 @@ class BoundedQueue {
       if (items_.empty()) return std::nullopt;
       item = std::move(items_.front());
       items_.pop_front();
+      note_depth_locked();
     }
     not_full_.notify_one();
     return item;
@@ -104,12 +137,21 @@ class BoundedQueue {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  void note_depth_locked() {
+    if (metric_depth_ != nullptr) {
+      metric_depth_->set(static_cast<std::int64_t>(items_.size()));
+    }
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+  metrics::Gauge* metric_depth_ = nullptr;
+  metrics::Histogram* metric_push_wait_us_ = nullptr;
+  metrics::Histogram* metric_pop_wait_us_ = nullptr;
 };
 
 }  // namespace hs::pipe

@@ -131,6 +131,20 @@ struct JobRecord {
   std::function<void()> notify_service;
 };
 
+/// Builds an internally consistent snapshot: pairs_done is clamped to
+/// pairs_total so a mid-update read can never report done > total. Callers
+/// must read `done` and `state` under the record mutex — terminal states are
+/// published under that mutex after the backend's final pair increment, so a
+/// terminal snapshot always carries the final count.
+inline JobProgress make_progress(JobState state, std::size_t done,
+                                 std::size_t total) {
+  JobProgress p;
+  p.state = state;
+  p.pairs_done = done < total ? done : total;
+  p.pairs_total = total;
+  return p;
+}
+
 }  // namespace detail
 
 /// Caller-side view of a submitted job. Copyable; all methods are
@@ -150,14 +164,10 @@ class JobHandle {
   }
 
   JobProgress progress() const {
-    JobProgress p;
-    {
-      std::lock_guard<std::mutex> lock(record_->mutex);
-      p.state = record_->state;
-    }
-    p.pairs_done = record_->pairs_done.load(std::memory_order_relaxed);
-    p.pairs_total = record_->pairs_total;
-    return p;
+    std::lock_guard<std::mutex> lock(record_->mutex);
+    return detail::make_progress(
+        record_->state, record_->pairs_done.load(std::memory_order_acquire),
+        record_->pairs_total);
   }
 
   JobTiming timing() const {

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_util.hpp"
+#include "metrics/wellknown.hpp"
 #include "stitch/stitcher.hpp"
 #include "stitch/table_io.hpp"
 
@@ -144,6 +145,10 @@ JobHandle StitchService::submit(StitchJob job) {
       [&](const Record& r) { return r->priority < record->priority; });
   queue_.insert(it, record);
   jobs_.push_back(record);
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics::wellknown::serve_jobs_submitted_total().add();
+  metrics::wellknown::serve_queue_depth().set(
+      static_cast<std::int64_t>(queue_.size()));
   lock.unlock();
   cv_workers_.notify_one();
   return JobHandle(record);
@@ -160,6 +165,10 @@ StitchService::Record StitchService::pick_locked() {
         record->state = JobState::kCancelled;
         record->timing.end_us = elapsed_us();
       }
+      counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      metrics::wellknown::serve_jobs_cancelled_total().add();
+      metrics::wellknown::serve_queue_depth().set(
+          static_cast<std::int64_t>(queue_.size()));
       record->cv.notify_all();
       cv_idle_.notify_all();
       cv_submit_.notify_all();
@@ -168,6 +177,8 @@ StitchService::Record StitchService::pick_locked() {
     if (record->footprint_bytes <=
         config_.memory_budget_bytes - memory_in_use_) {
       queue_.erase(it);
+      metrics::wellknown::serve_queue_depth().set(
+          static_cast<std::int64_t>(queue_.size()));
       return record;
     }
     ++it;
@@ -188,6 +199,8 @@ void StitchService::worker_main(std::size_t id) {
     if (job == nullptr) return;  // stopping, queue drained
     memory_in_use_ += job->footprint_bytes;
     ++running_;
+    metrics::wellknown::serve_memory_in_use_bytes().set(
+        static_cast<std::int64_t>(memory_in_use_));
     // Admission freed a queue slot: a backpressured submit may proceed.
     cv_submit_.notify_all();
     lock.unlock();
@@ -195,6 +208,8 @@ void StitchService::worker_main(std::size_t id) {
     lock.lock();
     memory_in_use_ -= job->footprint_bytes;
     --running_;
+    metrics::wellknown::serve_memory_in_use_bytes().set(
+        static_cast<std::int64_t>(memory_in_use_));
     // A completed job returns budget: other queued jobs may now fit, a
     // backpressured submit may proceed, wait_idle may resolve.
     cv_workers_.notify_all();
@@ -209,11 +224,19 @@ void StitchService::run_job(const Record& record) {
     if (record->cancel.requested()) {  // lost the race to a cancel
       record->state = JobState::kCancelled;
       record->timing.end_us = elapsed_us();
+      counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      metrics::wellknown::serve_jobs_cancelled_total().add();
       record->cv.notify_all();
       return;
     }
     record->state = JobState::kAdmitted;
     record->timing.start_us = elapsed_us();
+    const auto wait_us = static_cast<std::uint64_t>(
+        std::max(0.0, record->timing.queued_us()));
+    counters_.admitted.fetch_add(1, std::memory_order_relaxed);
+    counters_.queue_wait_us.fetch_add(wait_us, std::memory_order_relaxed);
+    metrics::wellknown::serve_jobs_admitted_total().add();
+    metrics::wellknown::serve_queue_wait_us().observe(wait_us);
   }
 
   stitch::StitchRequest request = record->request;
@@ -233,27 +256,65 @@ void StitchService::run_job(const Record& record) {
 
   // Every terminal path writes a final checkpoint *before* the transition
   // becomes visible, so a caller woken by wait() can rely on the file.
+  const auto note_terminal = [&](std::atomic<std::uint64_t>& local,
+                                 metrics::Counter& global) {
+    // Called with record->mutex held, after end_us was stamped.
+    const auto run_us =
+        static_cast<std::uint64_t>(std::max(0.0, record->timing.run_us()));
+    local.fetch_add(1, std::memory_order_relaxed);
+    counters_.run_us.fetch_add(run_us, std::memory_order_relaxed);
+    global.add();
+    metrics::wellknown::serve_run_us().observe(run_us);
+  };
   try {
     stitch::StitchResult result = stitch::stitch(request);
     checkpoint_job(record);
+    const std::uint64_t fallbacks = result.fallbacks_taken;
     std::lock_guard<std::mutex> lock(record->mutex);
     record->result = std::move(result);
     record->state = JobState::kDone;
     record->timing.end_us = elapsed_us();
+    counters_.fallbacks.fetch_add(fallbacks, std::memory_order_relaxed);
+    if (fallbacks > 0) {
+      metrics::wellknown::serve_fallbacks_total().add(fallbacks);
+    }
+    note_terminal(counters_.done, metrics::wellknown::serve_jobs_done_total());
   } catch (const Cancelled&) {
     checkpoint_job(record);
     std::lock_guard<std::mutex> lock(record->mutex);
     record->error = std::current_exception();
     record->state = JobState::kCancelled;
     record->timing.end_us = elapsed_us();
+    note_terminal(counters_.cancelled,
+                  metrics::wellknown::serve_jobs_cancelled_total());
   } catch (...) {
     checkpoint_job(record);
     std::lock_guard<std::mutex> lock(record->mutex);
     record->error = std::current_exception();
     record->state = JobState::kFailed;
     record->timing.end_us = elapsed_us();
+    note_terminal(counters_.failed,
+                  metrics::wellknown::serve_jobs_failed_total());
   }
   record->cv.notify_all();
+}
+
+ServiceMetrics StitchService::metrics() const {
+  ServiceMetrics m;
+  m.jobs_submitted = counters_.submitted.load(std::memory_order_relaxed);
+  m.jobs_admitted = counters_.admitted.load(std::memory_order_relaxed);
+  m.jobs_done = counters_.done.load(std::memory_order_relaxed);
+  m.jobs_failed = counters_.failed.load(std::memory_order_relaxed);
+  m.jobs_cancelled = counters_.cancelled.load(std::memory_order_relaxed);
+  m.fallbacks_taken = counters_.fallbacks.load(std::memory_order_relaxed);
+  m.queue_wait_us_total =
+      counters_.queue_wait_us.load(std::memory_order_relaxed);
+  m.run_us_total = counters_.run_us.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  m.queued = queue_.size();
+  m.running = running_;
+  m.memory_in_use_bytes = memory_in_use_;
+  return m;
 }
 
 void StitchService::checkpoint_job(const Record& record) {

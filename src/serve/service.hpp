@@ -15,9 +15,11 @@
 // no reordering inside a job, only between jobs.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -50,6 +52,27 @@ struct ServiceConfig {
   sched::CostModel cost = sched::CostModel::paper_machine();
 };
 
+/// Point-in-time service counters (see StitchService::metrics()). The same
+/// events are mirrored into the process-wide registry (metrics/wellknown.hpp)
+/// under the hs_serve_* families; this struct is the per-service view, so
+/// tests and callers with several services can observe one in isolation.
+struct ServiceMetrics {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_admitted = 0;
+  std::uint64_t jobs_done = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_cancelled = 0;
+  /// Device faults absorbed by fallback backends across finished jobs.
+  std::uint64_t fallbacks_taken = 0;
+  /// Sums over admitted (queue wait) and terminal (run) jobs, microseconds.
+  std::uint64_t queue_wait_us_total = 0;
+  std::uint64_t run_us_total = 0;
+  /// Instantaneous state.
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::size_t memory_in_use_bytes = 0;
+};
+
 class StitchService {
  public:
   explicit StitchService(ServiceConfig config);
@@ -76,6 +99,9 @@ class StitchService {
   std::size_t memory_in_use_bytes() const;
   std::size_t queued_count() const;
   std::size_t running_count() const;
+
+  /// Consistent snapshot of this service's counters.
+  ServiceMetrics metrics() const;
 
   /// Merges every finished job's private recorder into `out`: each job's
   /// lanes appear as "<job>.<lane>", shifted to the service clock, plus one
@@ -115,6 +141,20 @@ class StitchService {
   std::vector<std::thread> workers_;
   std::condition_variable cv_checkpoint_;  ///< wakes the checkpoint thread
   std::thread checkpoint_thread_;
+
+  /// Service-local event counters behind metrics(); terminal transitions
+  /// happen under record mutexes (not mutex_), so these are atomics.
+  struct Counters {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> done{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> cancelled{0};
+    std::atomic<std::uint64_t> fallbacks{0};
+    std::atomic<std::uint64_t> queue_wait_us{0};
+    std::atomic<std::uint64_t> run_us{0};
+  };
+  Counters counters_;
 };
 
 }  // namespace hs::serve

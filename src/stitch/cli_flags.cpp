@@ -1,7 +1,9 @@
 #include "stitch/cli_flags.hpp"
 
+#include <fstream>
 #include <string>
 
+#include "metrics/metrics.hpp"
 #include "stitch/traversal.hpp"
 
 namespace hs::stitch {
@@ -98,6 +100,26 @@ sim::AcquisitionParams acquisition_from_cli(const CliParser& cli) {
   acq.overlap_fraction = cli.get_double("overlap");
   acq.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   return acq;
+}
+
+void register_metrics_flags(CliParser& cli) {
+  cli.add_flag("metrics-out",
+               "write a metrics snapshot here on exit (Prometheus text, or "
+               "JSON when the path ends in .json); empty = disabled",
+               "");
+}
+
+bool write_metrics_if_requested(const CliParser& cli) {
+  const std::string& path = cli.get("metrics-out");
+  if (path.empty()) return false;
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw IoError("cannot create metrics file: " + path);
+  file << (json ? metrics::Registry::global().render_json()
+                : metrics::Registry::global().render_text());
+  if (!file) throw IoError("short write to metrics file: " + path);
+  return true;
 }
 
 }  // namespace hs::stitch

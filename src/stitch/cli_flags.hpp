@@ -58,4 +58,13 @@ void register_grid_flags(CliParser& cli, const GridCliDefaults& defaults = {});
 img::GridLayout layout_from_cli(const CliParser& cli);
 sim::AcquisitionParams acquisition_from_cli(const CliParser& cli);
 
+/// Registers --metrics-out (default "": disabled). When set, the binary
+/// should call write_metrics_if_requested() before exiting.
+void register_metrics_flags(CliParser& cli);
+
+/// Writes a snapshot of the process-wide metrics registry to the path given
+/// by --metrics-out: Prometheus-style text, or a JSON snapshot when the path
+/// ends in ".json". No-op when the flag is empty. Returns true if written.
+bool write_metrics_if_requested(const CliParser& cli);
+
 }  // namespace hs::stitch

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/thread_util.hpp"
+#include "metrics/wellknown.hpp"
 #include "stitch/impl.hpp"
 #include "stitch/transform_cache.hpp"
 
@@ -29,6 +30,8 @@ StitchResult stitch_mt_cpu(const TileProvider& provider,
                         options.rigor, options.use_real_fft);
 
   TransformCache cache(provider, pipeline, &counts, warm);
+  metrics::Histogram& pair_latency =
+      metrics::wellknown::pair_latency_us("mt-cpu");
   const std::size_t band_count = std::min(options.threads, layout.rows);
   const auto order = traversal_order(layout, options.traversal);
 
@@ -52,6 +55,7 @@ StitchResult stitch_mt_cpu(const TileProvider& provider,
       PciamScratch scratch;
       auto run_pair = [&](img::TilePos reference, img::TilePos moved,
                           bool is_west, Translation& out) {
+        HS_METRIC_TIMER(pair_latency);
         throw_if_cancelled(options);
         const fft::Complex* fft_ref = cache.transform(reference);
         const fft::Complex* fft_mov = cache.transform(moved);

@@ -10,6 +10,7 @@
 // two per-pair real tiles share a single complex forward FFT via the
 // two-for-one trick (or two half-spectrum r2c transforms in real-FFT mode),
 // which is what a competent from-scratch implementation would do.
+#include "metrics/wellknown.hpp"
 #include "stitch/impl.hpp"
 #include "stitch/ledger.hpp"
 #include "stitch/pciam.hpp"
@@ -27,9 +28,12 @@ StitchResult stitch_naive(const TileProvider& provider,
       make_fft_pipeline(provider.tile_height(), provider.tile_width(),
                         options.rigor, options.use_real_fft);
 
+  metrics::Histogram& pair_latency =
+      metrics::wellknown::pair_latency_us("naive-pairwise");
   PciamScratch scratch;
   auto run_pair = [&](img::TilePos reference, img::TilePos moved, bool is_west,
                       Translation& out) {
+    HS_METRIC_TIMER(pair_latency);
     throw_if_cancelled(options);
     const img::ImageU16 a = provider.load(reference);
     const img::ImageU16 b = provider.load(moved);

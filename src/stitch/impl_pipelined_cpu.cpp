@@ -13,6 +13,7 @@
 #include <variant>
 
 #include "common/thread_util.hpp"
+#include "metrics/wellknown.hpp"
 #include "pipeline/pipeline.hpp"
 #include "stitch/impl.hpp"
 #include "stitch/transform_cache.hpp"
@@ -136,6 +137,10 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
 
   pipe::BoundedQueue<BkEvent> events;
   pipe::BoundedQueue<WorkItem> work;
+  events.instrument("pipelined_cpu.events");
+  work.instrument("pipelined_cpu.work");
+  metrics::Histogram& pair_latency =
+      metrics::wellknown::pair_latency_us("pipelined-cpu");
   // Under a warm start, tiles whose every pair is already settled have
   // degree 0: they are neither read nor transformed. Any tile with a
   // remaining pair keeps degree >= 1 and stays in the read plan.
@@ -241,6 +246,7 @@ StitchResult stitch_pipelined_cpu(const TileProvider& provider,
         continue;
       }
       const PairTask& task = std::get<PairTask>(*item);
+      HS_METRIC_TIMER(pair_latency);
       const Entry& ref = store[layout.index_of(task.reference)];
       const Entry& mov = store[layout.index_of(task.moved)];
       Translation translation;

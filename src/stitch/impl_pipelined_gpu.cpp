@@ -42,6 +42,7 @@
 
 #include "common/thread_util.hpp"
 #include "fft/plan_cache.hpp"
+#include "metrics/wellknown.hpp"
 #include "pipeline/pipeline.hpp"
 #include "stitch/ccf.hpp"
 #include "stitch/impl.hpp"
@@ -315,6 +316,12 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
     gpu->ncc_pool =
         std::make_unique<vgpu::BufferPool>(*gpu->device, 2, buffer_bytes);
 
+    const std::string qprefix = "pipelined_gpu.g" + std::to_string(g) + ".";
+    gpu->q_read.instrument(qprefix + "read");
+    gpu->q_fft.instrument(qprefix + "fft");
+    gpu->q_ready.instrument(qprefix + "ready");
+    gpu->q_pairs.instrument(qprefix + "pairs");
+
     // Initialize per-pipeline reference counts (+1 per exported halo
     // transform, released by the consumer after its p2p copy), then drop
     // any tile no owned pair needs (single-tile grids, or tiles whose every
@@ -337,6 +344,7 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
   }
 
   pipe::BoundedQueue<CcfTask> q_ccf;  // stage 6, shared across GPUs
+  q_ccf.instrument("pipelined_gpu.ccf");
   std::atomic<std::size_t> disp_stages_live{gpu_count};
   DisplacementTable* table = &result.table;
 
@@ -615,12 +623,18 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
 
   // ---- Stage 6: CCF threads, shared across all GPU pipelines.
   std::atomic<std::size_t> ccf_ids{0};
+  metrics::Histogram& pair_latency =
+      metrics::wellknown::pair_latency_us("pipelined-gpu");
   pipeline.add_stage(
       "ccf", std::max<std::size_t>(1, options.ccf_threads),
-      [&q_ccf, table, &counts, &options, &ccf_ids, w] {
+      [&q_ccf, table, &counts, &options, &ccf_ids, &pair_latency, w] {
         const std::size_t id = ccf_ids.fetch_add(1, std::memory_order_relaxed);
         const std::string lane = "cpu.ccf" + std::to_string(id);
         while (auto task = q_ccf.pop()) {
+          // Covers the host-side completion of the pair (peak disambiguation
+          // + table write); the device-side NCC/IFFT cost shows up in the
+          // queue wait histograms instead.
+          HS_METRIC_TIMER(pair_latency);
           throw_if_cancelled(options);
           counts.bump(counts.ccf_evaluations, 4 * task->peak_indices.size());
           Translation translation;

@@ -5,6 +5,7 @@
 // pixels) are freed as soon as all of its adjacent pairs are done (reference
 // counting), which is why traversal order matters: the chained-diagonal
 // default keeps at most ~min(n, m)+1 transforms live.
+#include "metrics/wellknown.hpp"
 #include "stitch/impl.hpp"
 #include "stitch/transform_cache.hpp"
 
@@ -22,10 +23,13 @@ StitchResult stitch_simple_cpu(const TileProvider& provider,
                         options.rigor, options.use_real_fft);
 
   TransformCache cache(provider, pipeline, &counts, warm);
+  metrics::Histogram& pair_latency =
+      metrics::wellknown::pair_latency_us("simple-cpu");
   PciamScratch scratch;
 
   auto run_pair = [&](img::TilePos reference, img::TilePos moved, bool is_west,
                       Translation& out) {
+    HS_METRIC_TIMER(pair_latency);
     throw_if_cancelled(options);
     const fft::Complex* fft_ref = cache.transform(reference);
     const fft::Complex* fft_mov = cache.transform(moved);

@@ -10,6 +10,7 @@
 #include <map>
 
 #include "fft/plan_cache.hpp"
+#include "metrics/wellknown.hpp"
 #include "stitch/ccf.hpp"
 #include "stitch/impl.hpp"
 #include "stitch/transform_cache.hpp"
@@ -146,8 +147,11 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
                                                                options.rigor)
                       : std::shared_ptr<const fft::PlanC2r2d>();
 
+  metrics::Histogram& pair_latency =
+      metrics::wellknown::pair_latency_us("simple-gpu");
   auto run_pair = [&](img::TilePos ref_pos, img::TilePos mov_pos, bool is_west,
                       Translation& out) {
+    HS_METRIC_TIMER(pair_latency);
     throw_if_cancelled(options);
     TileState& ref = ensure_tile(ref_pos);
     TileState& mov = ensure_tile(mov_pos);

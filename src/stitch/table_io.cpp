@@ -32,28 +32,41 @@ void write_table_csv(const std::string& path, const DisplacementTable& table) {
   if (!file) throw IoError("short write to table file: " + path);
 }
 
+namespace {
+
+// getline that tolerates CRLF checkpoints copied from another OS: strips a
+// trailing '\r' so a blank CRLF line reads as empty instead of "\r" (which
+// would otherwise trip the malformed-row path).
+bool getline_chomp(std::istream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+}  // namespace
+
 DisplacementTable read_table_csv(const std::string& path) {
   std::ifstream file(path);
   if (!file) throw IoError("cannot open table file: " + path);
 
   std::string line;
-  if (!std::getline(file, line) ||
+  if (!getline_chomp(file, line) ||
       line.rfind("# hybridstitch displacement table", 0) != 0) {
     throw IoError("not a displacement table: " + path);
   }
   std::size_t rows = 0, cols = 0;
-  if (!std::getline(file, line) ||
+  if (!getline_chomp(file, line) ||
       std::sscanf(line.c_str(), "# grid,%zu,%zu", &rows, &cols) != 2 ||
       rows == 0 || cols == 0) {
     throw IoError("bad grid header in table: " + path);
   }
-  if (!std::getline(file, line) || line.rfind("direction,", 0) != 0) {
+  if (!getline_chomp(file, line) || line.rfind("direction,", 0) != 0) {
     throw IoError("missing column header in table: " + path);
   }
 
   DisplacementTable table(img::GridLayout{rows, cols});
   std::size_t edges_read = 0;
-  while (std::getline(file, line)) {
+  while (getline_chomp(file, line)) {
     if (line.empty()) continue;
     char direction[16];
     std::size_t r = 0, c = 0;

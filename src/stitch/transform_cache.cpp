@@ -1,5 +1,7 @@
 #include "stitch/transform_cache.hpp"
 
+#include "metrics/wellknown.hpp"
+
 namespace hs::stitch {
 
 TransformCache::TransformCache(const TileProvider& provider,
@@ -8,7 +10,12 @@ TransformCache::TransformCache(const TileProvider& provider,
     : provider_(provider),
       layout_(provider.layout()),
       pipeline_(std::move(pipeline)),
-      counts_(counts) {
+      counts_(counts),
+      metric_hits_(metrics::wellknown::transform_cache_hits()),
+      metric_misses_(metrics::wellknown::transform_cache_misses()),
+      metric_evictions_(metrics::wellknown::transform_cache_evictions()),
+      metric_resident_bytes_(
+          metrics::wellknown::transform_cache_resident_bytes()) {
   entries_.reserve(layout_.tile_count());
   for (std::size_t i = 0; i < layout_.tile_count(); ++i) {
     auto e = std::make_unique<Entry>();
@@ -33,7 +40,10 @@ const fft::Complex* TransformCache::transform(img::TilePos pos) {
   for (;;) {
     HS_ASSERT_MSG(e.state != Entry::State::kFreed,
                   "transform requested after release to zero");
-    if (e.state == Entry::State::kReady) return e.transform.data();
+    if (e.state == Entry::State::kReady) {
+      metric_hits_.add();
+      return e.transform.data();
+    }
     if (e.state == Entry::State::kComputing) {
       // Another thread computes; if it fails the entry reverts to kEmpty
       // and this thread retries (and surfaces the same error itself).
@@ -44,6 +54,7 @@ const fft::Complex* TransformCache::transform(img::TilePos pos) {
   }
   // Drop the lock during the expensive part so other tiles are not
   // serialized behind this one.
+  metric_misses_.add();
   e.state = Entry::State::kComputing;
   lock.unlock();
 
@@ -62,7 +73,9 @@ const fft::Complex* TransformCache::transform(img::TilePos pos) {
     e.tile = std::move(tile);
     e.transform = std::move(transform);
     e.state = Entry::State::kReady;
+    const std::size_t entry_bytes = entry_resident_bytes(e);
     lock.unlock();
+    metric_resident_bytes_.add(static_cast<std::int64_t>(entry_bytes));
   } catch (...) {
     // Leave the entry retryable and wake waiters so nobody hangs on a
     // transform that will never arrive.
@@ -94,12 +107,20 @@ void TransformCache::release(img::TilePos pos) {
   if (--e.refcount == 0) {
     HS_ASSERT_MSG(e.state == Entry::State::kReady,
                   "releasing a tile that never computed");
+    const std::size_t entry_bytes = entry_resident_bytes(e);
     e.transform.clear();
     e.transform.shrink_to_fit();
     e.tile = img::ImageU16();
     e.state = Entry::State::kFreed;
     note_live(-1);
+    metric_evictions_.add();
+    metric_resident_bytes_.add(-static_cast<std::int64_t>(entry_bytes));
   }
+}
+
+std::size_t TransformCache::entry_resident_bytes(const Entry& e) {
+  return e.transform.size() * sizeof(fft::Complex) +
+         e.tile.pixel_count() * sizeof(std::uint16_t);
 }
 
 void TransformCache::note_live(std::ptrdiff_t delta) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fft/plan2d.hpp"
+#include "metrics/metrics.hpp"
 #include "stitch/ledger.hpp"
 #include "stitch/opcounts.hpp"
 #include "stitch/pciam.hpp"
@@ -73,6 +74,7 @@ class TransformCache {
   };
 
   Entry& entry(img::TilePos pos) { return *entries_[layout_.index_of(pos)]; }
+  static std::size_t entry_resident_bytes(const Entry& e);
   void note_live(std::ptrdiff_t delta);
 
   const TileProvider& provider_;
@@ -82,6 +84,13 @@ class TransformCache {
   std::vector<std::unique_ptr<Entry>> entries_;
   std::atomic<std::size_t> live_{0};
   std::atomic<std::size_t> peak_{0};
+
+  // Process-wide metric handles, cached once at construction so the per-tile
+  // bookkeeping is a relaxed atomic add (wellknown.hpp).
+  metrics::Counter& metric_hits_;
+  metrics::Counter& metric_misses_;
+  metrics::Counter& metric_evictions_;
+  metrics::Gauge& metric_resident_bytes_;
 };
 
 }  // namespace hs::stitch

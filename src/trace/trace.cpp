@@ -159,9 +159,14 @@ LaneStats Recorder::lane_stats(const std::string& lane, double t0_us,
   }
   stats.largest_gap_us = std::max(stats.largest_gap_us, t1_us - cursor);
   for (const Span& s : all) {
-    if (s.lane == lane && s.t1_us > t0_us && s.t0_us < t1_us) {
-      ++stats.span_count;
-    }
+    if (s.lane != lane) continue;
+    // An instantaneous span (t0 == t1) never strictly overlaps anything, so
+    // test it against the closed interval; it still counts as a span even
+    // though it contributes no busy time.
+    const bool overlaps = s.t1_us == s.t0_us
+                              ? s.t0_us >= t0_us && s.t0_us <= t1_us
+                              : s.t1_us > t0_us && s.t0_us < t1_us;
+    if (overlaps) ++stats.span_count;
   }
   stats.occupancy =
       stats.interval_us > 0.0 ? stats.busy_us / stats.interval_us : 0.0;
@@ -206,8 +211,13 @@ std::string Recorder::ascii_timeline(std::size_t width, double t0_us,
   if (t1_us <= t0_us) {
     std::tie(t0_us, t1_us) = full_extent(all);
   }
-  const double total = t1_us - t0_us;
-  if (total <= 0.0) return "(empty interval)\n";
+  double total = t1_us - t0_us;
+  if (total <= 0.0) {
+    // Every span is instantaneous at one timestamp; widen to a 1 us window
+    // so each lane still renders a row instead of an empty table.
+    t1_us = t0_us + 1.0;
+    total = 1.0;
+  }
   const double bucket = total / static_cast<double>(width);
 
   const std::vector<std::string> lane_names = lanes();

@@ -1,6 +1,7 @@
 #include "vgpu/buffer_pool.hpp"
 
 #include "common/error.hpp"
+#include "metrics/wellknown.hpp"
 
 namespace hs::vgpu {
 
@@ -40,7 +41,9 @@ void PooledBuffer::release() {
 
 BufferPool::BufferPool(Device& device, std::size_t count,
                        std::size_t buffer_bytes)
-    : buffer_bytes_(buffer_bytes) {
+    : buffer_bytes_(buffer_bytes),
+      metric_acquires_(metrics::wellknown::pool_acquires_total()),
+      metric_wait_us_(metrics::wellknown::pool_wait_us()) {
   HS_REQUIRE(count >= 1, "buffer pool needs at least one buffer");
   buffers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -48,10 +51,25 @@ BufferPool::BufferPool(Device& device, std::size_t count,
     const bool pushed = free_indices_.push(i);
     HS_ASSERT(pushed);
   }
+  metrics::wellknown::pool_allocs_total().add(count);
+  metrics::wellknown::pool_bytes().add(
+      static_cast<std::int64_t>(count * buffer_bytes));
+}
+
+BufferPool::~BufferPool() {
+  metrics::wellknown::pool_bytes().add(
+      -static_cast<std::int64_t>(buffers_.size() * buffer_bytes_));
 }
 
 PooledBuffer BufferPool::acquire() {
-  auto index = free_indices_.pop();
+  metric_acquires_.add();
+  // Fast path: a free buffer is ready and no clock is read. Only a pop that
+  // actually blocks lands in the wait histogram.
+  auto index = free_indices_.try_pop();
+  if (!index.has_value()) {
+    HS_METRIC_TIMER(metric_wait_us_);
+    index = free_indices_.pop();
+  }
   if (!index.has_value()) {
     throw Error("buffer pool closed while acquiring (pipeline shutdown)");
   }
@@ -61,6 +79,7 @@ PooledBuffer BufferPool::acquire() {
 std::optional<PooledBuffer> BufferPool::try_acquire() {
   auto index = free_indices_.try_pop();
   if (!index) return std::nullopt;
+  metric_acquires_.add();
   return PooledBuffer(this, *index);
 }
 

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "metrics/metrics.hpp"
 #include "pipeline/queue.hpp"
 #include "vgpu/device.hpp"
 
@@ -53,6 +54,7 @@ class BufferPool {
   /// Allocates `count` buffers of `buffer_bytes` each from `device` up
   /// front (throws OutOfDeviceMemory if they do not fit).
   BufferPool(Device& device, std::size_t count, std::size_t buffer_bytes);
+  ~BufferPool();
 
   /// Blocks until a buffer is free. Contents are stale; callers overwrite.
   /// Throws hs::Error if the pool is closed while (or before) waiting —
@@ -77,6 +79,11 @@ class BufferPool {
   std::size_t buffer_bytes_;
   std::vector<DeviceBuffer> buffers_;
   pipe::BoundedQueue<std::size_t> free_indices_;
+
+  // Process-wide metric handles cached at construction (wellknown.hpp);
+  // acquire() only reads the clock when it actually has to block.
+  metrics::Counter& metric_acquires_;
+  metrics::Histogram& metric_wait_us_;
 };
 
 }  // namespace hs::vgpu

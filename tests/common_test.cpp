@@ -1,8 +1,10 @@
 // Unit tests for the common utility library.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <thread>
+#include <utility>
 
 #include "common/aligned_buffer.hpp"
 #include "common/cli.hpp"
@@ -184,6 +186,81 @@ TEST(Cli, DuplicateFlagDeclarationThrows) {
   CliParser cli("prog", "test");
   cli.add_flag("x", "x", "1");
   EXPECT_THROW(cli.add_flag("x", "again", "2"), InvalidArgument);
+}
+
+// Regression: strtoll saturates on overflow and only reports it via errno,
+// so "99999999999999999999" used to parse as INT64_MAX instead of failing.
+TEST(Cli, IntegerOverflowThrows) {
+  CliParser cli("prog", "test");
+  cli.add_flag("n", "n", "1");
+  const char* argv[] = {"prog", "--n=99999999999999999999"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  try {
+    cli.get_int("n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+}
+
+TEST(Cli, IntegerBoundaryValuesStillParse) {
+  CliParser cli("prog", "test");
+  cli.add_flag("lo", "lo", "-9223372036854775808");
+  cli.add_flag("hi", "hi", "9223372036854775807");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("lo"), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(cli.get_int("hi"), std::numeric_limits<std::int64_t>::max());
+}
+
+// Regression: strtod happily accepts "inf", "nan", and hex floats, none of
+// which make sense for stitching flags; overflow ("1e400") returned HUGE_VAL.
+TEST(Cli, DoubleRejectsInfNanHexAndOverflow) {
+  CliParser cli("prog", "test");
+  cli.add_flag("x", "x", "0");
+  for (const char* bad : {"inf", "-inf", "nan", "NaN", "0x10", "1e400", ""}) {
+    const char* argv[] = {"prog", "--x", bad};
+    ASSERT_TRUE(cli.parse(3, argv)) << bad;
+    EXPECT_THROW(cli.get_double("x"), InvalidArgument) << "'" << bad << "'";
+  }
+}
+
+TEST(Cli, DoubleAcceptsPlainDecimalForms) {
+  CliParser cli("prog", "test");
+  cli.add_flag("x", "x", "0");
+  const std::pair<const char*, double> good[] = {
+      {"1e-3", 1e-3}, {"+0.5", 0.5}, {".5", 0.5}, {"-2.25", -2.25}, {"3", 3.0}};
+  for (const auto& [text, want] : good) {
+    const char* argv[] = {"prog", "--x", text};
+    ASSERT_TRUE(cli.parse(3, argv)) << text;
+    EXPECT_DOUBLE_EQ(cli.get_double("x"), want) << text;
+  }
+}
+
+// Regression: get_bool used to return false for any unrecognized value, so
+// a typo like --verbose=ture silently disabled the feature.
+TEST(Cli, BoolRejectsUnrecognizedValues) {
+  CliParser cli("prog", "test");
+  cli.add_flag("v", "v", "false");
+  const char* argv[] = {"prog", "--v=ture"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  try {
+    cli.get_bool("v");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("flag --v expects a boolean"),
+              std::string::npos);
+  }
+  for (const char* text : {"true", "1", "yes"}) {
+    const char* argv2[] = {"prog", "--v", text};
+    ASSERT_TRUE(cli.parse(3, argv2));
+    EXPECT_TRUE(cli.get_bool("v")) << text;
+  }
+  for (const char* text : {"false", "0", "no"}) {
+    const char* argv2[] = {"prog", "--v", text};
+    ASSERT_TRUE(cli.parse(3, argv2));
+    EXPECT_FALSE(cli.get_bool("v")) << text;
+  }
 }
 
 // --- TextTable -------------------------------------------------------------

@@ -360,6 +360,59 @@ TEST(Pgm, RejectsNonPgm) {
   EXPECT_THROW(read_pgm_u16(dir.str("x.pgm")), IoError);
 }
 
+// Regression: non-canonical maxvals (10-bit cameras write 1023) used to be
+// loaded verbatim, leaving the image ~64x too dark for the NCC stage. They
+// are now rescaled to the full 16-bit range, rounding to nearest.
+TEST(Pgm, RescalesTenBitMaxval) {
+  TempDir dir;
+  const std::string path = dir.str("tenbit.pgm");
+  std::ofstream file(path, std::ios::binary);
+  file << "P5\n3 1\n1023\n";
+  // Big-endian 16-bit samples: 0, 512, 1023.
+  const std::uint8_t raw[] = {0, 0, 2, 0, 3, 255};
+  file.write(reinterpret_cast<const char*>(raw), sizeof raw);
+  file.close();
+  const ImageU16 loaded = read_pgm_u16(path);
+  EXPECT_EQ(loaded.at(0, 0), 0);
+  EXPECT_EQ(loaded.at(0, 1), (512u * 65535 + 511) / 1023);
+  EXPECT_EQ(loaded.at(0, 2), 65535);
+}
+
+TEST(Pgm, RescalesNarrowMaxval) {
+  TempDir dir;
+  const std::string path = dir.str("narrow.pgm");
+  std::ofstream file(path, std::ios::binary);
+  file << "P5\n2 1\n100\n";
+  file.put(static_cast<char>(0));
+  file.put(static_cast<char>(100));
+  file.close();
+  const ImageU16 loaded = read_pgm_u16(path);
+  EXPECT_EQ(loaded.at(0, 0), 0);
+  EXPECT_EQ(loaded.at(0, 1), 65535) << "full-scale must map to full-scale";
+}
+
+TEST(Pgm, RejectsSampleAboveMaxval) {
+  TempDir dir;
+  const std::string path = dir.str("over.pgm");
+  std::ofstream file(path, std::ios::binary);
+  file << "P5\n1 1\n1023\n";
+  const std::uint8_t raw[] = {4, 0};  // 1024 > maxval 1023
+  file.write(reinterpret_cast<const char*>(raw), sizeof raw);
+  file.close();
+  EXPECT_THROW(read_pgm_u16(path), IoError);
+}
+
+TEST(Pgm, CanonicalMaxvalsStayVerbatim) {
+  TempDir dir;
+  const std::string path = dir.str("canon.pgm");
+  std::ofstream file(path, std::ios::binary);
+  file << "P5\n1 1\n65535\n";
+  const std::uint8_t raw[] = {1, 2};  // 258, must not be rescaled
+  file.write(reinterpret_cast<const char*>(raw), sizeof raw);
+  file.close();
+  EXPECT_EQ(read_pgm_u16(path).at(0, 0), 258);
+}
+
 TEST(Ppm, WritesExpectedSize) {
   TempDir dir;
   RgbImage image(4, 6);

@@ -1,0 +1,286 @@
+// Tier-1 coverage for the metrics subsystem: primitive semantics
+// (counter/gauge/histogram), registry identity and type rules, the
+// Prometheus/JSON renderers (with a golden exposition fixture), the
+// timing gate, exact totals under concurrent increments (the TSan
+// preset turns this into a data-race check), and an end-to-end check
+// that a real stitch populates the wellknown families.
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/wellknown.hpp"
+#include "stitch/stitcher.hpp"
+#include "testing_providers.hpp"
+
+namespace hs::metrics {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good()) << "missing fixture: " << path;
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(HS_TEST_GOLDEN_DIR) + "/" + name;
+}
+
+// --- primitives -----------------------------------------------------------
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, TracksValueAndPeak) {
+  Gauge g;
+  g.set(100);
+  g.add(-30);
+  EXPECT_EQ(g.value(), 70);
+  EXPECT_EQ(g.peak(), 100);
+  g.add(50);
+  EXPECT_EQ(g.value(), 120);
+  EXPECT_EQ(g.peak(), 120);
+  g.set(-5);
+  EXPECT_EQ(g.value(), -5);
+  EXPECT_EQ(g.peak(), 120) << "peak must never decrease";
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.peak(), 0);
+}
+
+TEST(Histogram, BucketIndexBoundaries) {
+  // Bucket i holds values <= 2^i, so 2^i lands in bucket i and 2^i + 1 in
+  // bucket i + 1; anything above 2^24 goes to the overflow bucket.
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 0u);
+  EXPECT_EQ(Histogram::bucket_index(2), 1u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 2u);
+  EXPECT_EQ(Histogram::bucket_index(5), 3u);
+  EXPECT_EQ(Histogram::bucket_index(1u << 24), 24u);
+  EXPECT_EQ(Histogram::bucket_index((1u << 24) + 1), Histogram::kFiniteBuckets);
+  EXPECT_EQ(Histogram::bucket_index(~0ull), Histogram::kFiniteBuckets);
+  for (std::size_t i = 0; i < Histogram::kFiniteBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_bound(i), 1ull << i);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_bound(i)), i);
+  }
+}
+
+TEST(Histogram, CountSumAndQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_bound(0.5), 0u);
+  h.observe(1);
+  h.observe(2);
+  h.observe(100);
+  h.observe(1000);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1103u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  // Nearest-rank (upper) convention: the median of 4 observations is the
+  // 3rd, which lands in the bucket holding 100 (le = 128).
+  EXPECT_EQ(h.quantile_bound(0.5), 128u);
+  // p99 falls in the bucket holding 1000 (le = 1024).
+  EXPECT_EQ(h.quantile_bound(0.99), 1024u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+// --- registry -------------------------------------------------------------
+
+TEST(Registry, SameNameAndLabelsYieldSameInstance) {
+  Registry reg;
+  Counter& a = reg.counter("x_total", {{"k", "v"}});
+  Counter& b = reg.counter("x_total", {{"k", "v"}});
+  Counter& c = reg.counter("x_total", {{"k", "w"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(Registry, TypeMismatchThrows) {
+  Registry reg;
+  reg.counter("x_total");
+  EXPECT_THROW(reg.gauge("x_total"), InvalidArgument);
+  EXPECT_THROW(reg.histogram("x_total"), InvalidArgument);
+}
+
+TEST(Registry, DeclaredFamilyRendersSchemaOnly) {
+  Registry reg;
+  reg.declare("queue_depth", MetricType::kGauge, "Depth of a queue");
+  const std::string text = reg.render_text();
+  EXPECT_NE(text.find("# HELP queue_depth Depth of a queue"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+}
+
+TEST(Registry, ResetValuesKeepsSchema) {
+  Registry reg;
+  reg.counter("a_total", {}, "help").add(9);
+  reg.histogram("b_us").observe(3);
+  reg.reset_values();
+  EXPECT_EQ(reg.counter("a_total").value(), 0u);
+  EXPECT_EQ(reg.histogram("b_us").count(), 0u);
+  EXPECT_NE(reg.render_text().find("# TYPE a_total counter"), std::string::npos);
+}
+
+// --- renderers ------------------------------------------------------------
+
+Registry& golden_registry(Registry& reg) {
+  reg.counter("demo_pairs_total", {{"backend", "simple-cpu"}},
+              "Pairs computed per backend")
+      .add(3);
+  reg.counter("demo_pairs_total", {{"backend", "mt-cpu"}},
+              "Pairs computed per backend")
+      .add(1);
+  Gauge& g = reg.gauge("demo_resident_bytes", {}, "Live cache bytes");
+  g.set(2048);
+  g.add(-1024);
+  Histogram& h = reg.histogram("demo_latency_us", {}, "Per-pair latency");
+  h.observe(0);
+  h.observe(1);
+  h.observe(2);
+  h.observe(3);
+  h.observe(1u << 24);
+  h.observe((1u << 24) + 1);
+  return reg;
+}
+
+TEST(RenderText, MatchesGoldenExposition) {
+  Registry reg;
+  EXPECT_EQ(golden_registry(reg).render_text(),
+            read_file(golden_path("metrics_small.prom")));
+}
+
+TEST(RenderText, EscapesLabelValues) {
+  Registry reg;
+  reg.counter("esc_total", {{"path", "a\\b\"c\nd"}}).add(1);
+  const std::string text = reg.render_text();
+  EXPECT_NE(text.find("esc_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            std::string::npos);
+}
+
+TEST(RenderJson, CarriesValuesAndBuckets) {
+  Registry reg;
+  const std::string json = golden_registry(reg).render_json();
+  EXPECT_NE(json.find("\"demo_pairs_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"demo_resident_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"demo_latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"peak\": 2048"), std::string::npos);
+}
+
+// --- timing gate ----------------------------------------------------------
+
+TEST(ScopedTimer, GateDisablesClockReads) {
+  Histogram h;
+  ASSERT_TRUE(timing_enabled());
+  set_timing_enabled(false);
+  { HS_METRIC_TIMER(h); }
+  EXPECT_EQ(h.count(), 0u);
+  set_timing_enabled(true);
+  { HS_METRIC_TIMER(h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// --- concurrency (exact totals; data races surface under the tsan preset) --
+
+TEST(Concurrency, ExactTotalsUnderContention) {
+  Registry reg;
+  Counter& counter = reg.counter("c_total");
+  Gauge& gauge = reg.gauge("g_bytes");
+  Histogram& hist = reg.histogram("h_us");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.add();
+        gauge.add(1);
+        hist.observe(static_cast<std::uint64_t>(i % 7));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(gauge.value(), static_cast<std::int64_t>(kThreads) * kIters);
+  EXPECT_EQ(gauge.peak(), static_cast<std::int64_t>(kThreads) * kIters);
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// --- wellknown schema + end-to-end ---------------------------------------
+
+TEST(Wellknown, FreshRegistryCarriesFullSchema) {
+  Registry reg;
+  wellknown::register_wellknown(reg);
+  const std::string text = reg.render_text();
+  // The acceptance-criterion families: plan-cache hit/miss counters,
+  // per-pair PCIAM latency histograms, and serve queue-wait stats must all
+  // appear (zero-valued) before any stitching activity.
+  EXPECT_NE(text.find("hs_fft_plan_cache_hits_total{rigor=\"estimate\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE hs_fft_plan_cache_misses_total counter"),
+            std::string::npos);
+  for (const char* backend : wellknown::kBackends) {
+    EXPECT_NE(text.find("hs_stitch_pair_latency_us_count{backend=\"" +
+                        std::string(backend) + "\"} 0"),
+              std::string::npos)
+        << backend;
+  }
+  EXPECT_NE(text.find("# TYPE hs_serve_queue_wait_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("hs_serve_queue_wait_us_count 0"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE hs_pipeline_queue_depth gauge"),
+            std::string::npos);
+}
+
+TEST(Wellknown, GlobalRegistryIsPreRegistered) {
+  const std::string text = Registry::global().render_text();
+  EXPECT_NE(text.find("hs_fft_plan_cache_hits_total"), std::string::npos);
+  EXPECT_NE(text.find("hs_stitch_pair_latency_us_bucket"), std::string::npos);
+  EXPECT_NE(text.find("hs_serve_queue_wait_us_sum"), std::string::npos);
+}
+
+TEST(Wellknown, StitchPopulatesPairAndPlanFamilies) {
+  Histogram& pair_latency = wellknown::pair_latency_us("simple-cpu");
+  Counter& hits = wellknown::transform_cache_hits();
+  Counter& misses = wellknown::transform_cache_misses();
+  const std::uint64_t pairs_before = pair_latency.count();
+  const std::uint64_t lookups_before = hits.value() + misses.value();
+
+  const sim::SyntheticGrid grid = testing::make_grid(3, 3);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  const stitch::StitchResult result =
+      stitch::stitch(stitch::Backend::kSimpleCpu, provider,
+                     testing::fast_options());
+  ASSERT_EQ(result.table.layout.tile_count(), 9u);
+  const std::size_t pairs = 12;  // 3x3 grid: 6 west + 6 north edges
+
+  EXPECT_EQ(pair_latency.count(), pairs_before + pairs);
+  EXPECT_GE(hits.value() + misses.value(), lookups_before + 2 * pairs);
+  // The run must be visible in the text exposition stitch_cli writes.
+  const std::string text = Registry::global().render_text();
+  EXPECT_NE(text.find("hs_stitch_pair_latency_us_count{backend=\"simple-cpu\"}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hs::metrics

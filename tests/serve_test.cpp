@@ -379,6 +379,79 @@ TEST(Serve, CancelAllStopsEverything) {
   EXPECT_EQ(service.memory_in_use_bytes(), 0u);
 }
 
+// Regression: a progress snapshot taken between a backend's pair increment
+// and the terminal-state publish could report pairs_done > pairs_total.
+// make_progress clamps, so no interleaving can produce an inconsistent pair.
+TEST(Serve, ProgressSnapshotClampsDoneToTotal) {
+  const auto p = detail::make_progress(JobState::kRunning, 13, 12);
+  EXPECT_EQ(p.pairs_done, 12u);
+  EXPECT_EQ(p.pairs_total, 12u);
+  EXPECT_LE(p.fraction(), 1.0);
+  const auto empty = detail::make_progress(JobState::kQueued, 0, 0);
+  EXPECT_DOUBLE_EQ(empty.fraction(), 0.0);
+}
+
+TEST(Serve, ProgressPollsAreMonotonicAndConsistent) {
+  const auto grid = make_grid(4, 4);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  SlowProvider slow(&provider, 2);
+
+  StitchService service(ServiceConfig{});
+  StitchJob job;
+  job.name = "polled";
+  job.backend = Backend::kMtCpu;
+  job.provider = &slow;
+  auto handle = service.submit(job);
+
+  std::size_t last_done = 0;
+  for (;;) {
+    const auto p = handle.progress();
+    EXPECT_LE(p.pairs_done, p.pairs_total);
+    EXPECT_GE(p.pairs_done, last_done) << "progress went backwards";
+    last_done = p.pairs_done;
+    if (is_terminal(p.state)) {
+      EXPECT_EQ(p.state, JobState::kDone);
+      EXPECT_EQ(p.pairs_done, p.pairs_total)
+          << "terminal snapshot must carry the final count";
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  handle.wait();
+}
+
+TEST(Serve, MetricsCountTerminalStates) {
+  const auto grid = make_grid(3, 3);
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  FailingProvider failing(grid.layout);
+
+  StitchService service(ServiceConfig{});
+  StitchJob ok;
+  ok.name = "ok";
+  ok.backend = Backend::kSimpleCpu;
+  ok.provider = &provider;
+  StitchJob bad = ok;
+  bad.name = "bad";
+  bad.provider = &failing;
+  bad.retry.max_attempts = 1;
+
+  auto good_handle = service.submit(ok);
+  auto bad_handle = service.submit(bad);
+  good_handle.wait();
+  EXPECT_THROW(bad_handle.wait(), IoError);
+  service.wait_idle();
+
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.jobs_submitted, 2u);
+  EXPECT_EQ(m.jobs_admitted, 2u);
+  EXPECT_EQ(m.jobs_done, 1u);
+  EXPECT_EQ(m.jobs_failed, 1u);
+  EXPECT_EQ(m.jobs_cancelled, 0u);
+  EXPECT_EQ(m.queued, 0u);
+  EXPECT_EQ(m.running, 0u);
+  EXPECT_EQ(m.memory_in_use_bytes, 0u);
+}
+
 TEST(Serve, DestructorDrainsOutstandingJobs) {
   const auto grid = make_grid(3, 4);
   stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);

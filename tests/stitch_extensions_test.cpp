@@ -227,5 +227,53 @@ TEST_F(TableIoTest, RejectsMissingFile) {
   EXPECT_THROW(read_table_csv("/nonexistent/table.csv"), IoError);
 }
 
+namespace {
+
+/// Rewrites a LF file with CRLF line endings; optionally drops the final
+/// newline (as editors and scp-from-Windows round trips commonly do).
+void to_crlf(const std::string& path, bool trailing_newline) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out << lines[i];
+    if (i + 1 < lines.size() || trailing_newline) out << "\r\n";
+  }
+}
+
+}  // namespace
+
+// Regression: checkpoint tables written on (or passed through) Windows carry
+// CRLF line endings; the "\r" used to stick to the last CSV field, so the
+// magic line and every row failed to parse.
+TEST_F(TableIoTest, ToleratesCrlfLineEndings) {
+  const auto grid = make_grid(3, 4, 54);
+  const DisplacementTable table = table_from_truth(grid);
+  write_table_csv(path(), table);
+  to_crlf(path(), true);
+  const DisplacementTable loaded = read_table_csv(path());
+  EXPECT_TRUE(diff_tables(table, loaded).identical());
+}
+
+TEST_F(TableIoTest, ToleratesCrlfWithoutTrailingNewline) {
+  const auto grid = make_grid(2, 3, 55);
+  const DisplacementTable table = table_from_truth(grid);
+  write_table_csv(path(), table);
+  to_crlf(path(), false);
+  const DisplacementTable loaded = read_table_csv(path());
+  EXPECT_TRUE(diff_tables(table, loaded).identical());
+}
+
+TEST_F(TableIoTest, MalformedCrlfRowStillRejected) {
+  const auto grid = make_grid(2, 2, 56);
+  write_table_csv(path(), table_from_truth(grid));
+  to_crlf(path(), true);
+  std::ofstream(path(), std::ios::app | std::ios::binary)
+      << "west,9,9,1,1,0.5\r\n";
+  EXPECT_THROW(read_table_csv(path()), IoError);
+}
+
 }  // namespace
 }  // namespace hs::stitch

@@ -81,6 +81,39 @@ TEST(LaneStats, EmptyLaneFullyIdle) {
   EXPECT_DOUBLE_EQ(stats.largest_gap_us, 50.0);
 }
 
+// Regression: an instantaneous span (t0 == t1) satisfies neither strict
+// inequality of the overlap test, so a lane holding only markers reported
+// span_count 0 and ascii_timeline returned "(empty interval)".
+TEST(LaneStats, InstantaneousSpanCounted) {
+  Recorder recorder;
+  recorder.record("gpu", "marker", 10.0, 10.0);
+  const LaneStats stats = recorder.lane_stats("gpu");
+  EXPECT_EQ(stats.span_count, 1u);
+  EXPECT_DOUBLE_EQ(stats.busy_us, 0.0);
+  EXPECT_DOUBLE_EQ(stats.occupancy, 0.0);
+  EXPECT_DOUBLE_EQ(stats.interval_us, 0.0);
+}
+
+TEST(LaneStats, InstantaneousSpanInsideExplicitWindow) {
+  Recorder recorder;
+  recorder.record("gpu", "marker", 10.0, 10.0);
+  recorder.record("gpu", "edge", 40.0, 40.0);   // window upper edge
+  recorder.record("gpu", "outside", 41.0, 41.0);
+  const LaneStats stats = recorder.lane_stats("gpu", 0.0, 40.0);
+  EXPECT_EQ(stats.span_count, 2u) << "closed-interval test for markers";
+  EXPECT_DOUBLE_EQ(stats.occupancy, 0.0);
+}
+
+TEST(Timeline, AllInstantaneousSpansStillRender) {
+  Recorder recorder;
+  recorder.record("gpu", "marker", 10.0, 10.0);
+  recorder.record("cpu", "marker", 10.0, 10.0);
+  const std::string timeline = recorder.ascii_timeline(40);
+  EXPECT_EQ(timeline.find("(empty interval)"), std::string::npos);
+  EXPECT_NE(timeline.find("gpu"), std::string::npos);
+  EXPECT_NE(timeline.find("cpu"), std::string::npos);
+}
+
 TEST(Timeline, RendersOneRowPerLane) {
   Recorder recorder;
   recorder.record("cpu.read", "r", 0.0, 50.0);
