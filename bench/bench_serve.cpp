@@ -16,8 +16,14 @@
 //      the instrumented run must stay within 2% of the untimed one (plus a
 //      small absolute floor for scheduler noise), the budget DESIGN.md §10
 //      commits to.
+//   5. Overload — a 4x-capacity flood against a reject-policy service:
+//      accepted jobs finish within deadline + one watchdog period, rejects
+//      fail fast at submit(), and the shed/deadline-exceeded counters
+//      account for every non-completed job exactly.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -263,12 +269,105 @@ int main(int argc, char** argv) {
   std::printf("metrics overhead %s the 2%% budget\n",
               overhead_ok ? "within" : "EXCEEDS");
 
+  // ---- 5. Overload: bounded tail latency at 4x capacity. -----------------
+  // A reject-policy service with 2 workers + 2 queue slots takes a flood of
+  // 4x its capacity. The contract under test: every accepted job goes
+  // terminal within its deadline plus one watchdog period, every rejected
+  // job fails fast at submit(), and the shed + deadline-exceeded counters
+  // account for every non-completed job exactly.
+  std::printf("\n== Overload shedding and tail latency ==\n");
+  serve::ServiceConfig loaded = config;
+  loaded.workers = 2;
+  loaded.max_queued = 2;
+  loaded.overload = serve::OverloadPolicy::kReject;
+  loaded.watchdog_period_s = 0.005;
+  const double wd_ms = loaded.watchdog_period_s * 1e3;
+  const std::int64_t flood_deadline_ms = 30000;
+  const std::int64_t rushed_deadline_ms = 25;
+
+  bool tail_ok = true, reject_fast_ok = true, accounted = false;
+  std::uint64_t rejected_count = 0, done_count = 0, expired_count = 0;
+  double worst_reject_ms = 0.0, worst_done_latency_ms = 0.0;
+  {
+    serve::StitchService loaded_service(loaded);
+    std::vector<serve::JobHandle> flood;
+
+    // Two doomed stragglers first: deadlines the big grid can never make.
+    // They occupy the workers, so the flood behind them piles onto the queue.
+    for (std::size_t i = 0; i < 2; ++i) {
+      serve::StitchJob job;
+      job.name = "rushed-" + std::to_string(i);
+      job.backend = stitch::Backend::kSimpleCpu;
+      job.provider = &big_provider;
+      job.deadline_ms = rushed_deadline_ms;
+      flood.push_back(loaded_service.submit(job));
+    }
+    while (loaded_service.running_count() < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const std::size_t flood_jobs = 4 * (loaded.workers + loaded.max_queued);
+    for (std::size_t i = 0; i < flood_jobs; ++i) {
+      serve::StitchJob job;
+      job.name = "flood-" + std::to_string(i);
+      job.backend = stitch::Backend::kSimpleCpu;
+      job.provider = &providers[3];  // the smallest grid in the mix
+      job.options = options_for[3];
+      job.deadline_ms = flood_deadline_ms;
+      Stopwatch submit_watch;
+      flood.push_back(loaded_service.submit(job));
+      const double submit_ms = submit_watch.seconds() * 1e3;
+      if (flood.back().state() == serve::JobState::kRejected) {
+        worst_reject_ms = std::max(worst_reject_ms, submit_ms);
+        reject_fast_ok = reject_fast_ok && submit_ms < 10.0;
+      }
+    }
+    loaded_service.wait_idle();
+
+    for (const auto& handle : flood) {
+      const auto state = handle.state();
+      const double latency_ms = handle.timing().latency_us() / 1e3;
+      if (state == serve::JobState::kDone) {
+        ++done_count;
+        worst_done_latency_ms = std::max(worst_done_latency_ms, latency_ms);
+        tail_ok = tail_ok &&
+                  latency_ms <=
+                      static_cast<double>(flood_deadline_ms) + wd_ms;
+      } else if (state == serve::JobState::kRejected) {
+        ++rejected_count;
+      }
+    }
+    const auto lm = loaded_service.metrics();
+    expired_count = lm.jobs_deadline_exceeded;
+    accounted = lm.jobs_shed == rejected_count &&
+                lm.jobs_shed + lm.jobs_deadline_exceeded ==
+                    lm.jobs_submitted - lm.jobs_done;
+    std::printf("flood: %llu submitted -> %llu done, %llu rejected "
+                "(worst submit %.2f ms), %llu past deadline\n",
+                static_cast<unsigned long long>(lm.jobs_submitted),
+                static_cast<unsigned long long>(lm.jobs_done),
+                static_cast<unsigned long long>(rejected_count),
+                worst_reject_ms,
+                static_cast<unsigned long long>(expired_count));
+    std::printf("accepted tail: worst latency %.1f ms vs bound %.1f ms "
+                "(deadline + %.0f ms watchdog period): %s\n",
+                worst_done_latency_ms,
+                static_cast<double>(flood_deadline_ms) + wd_ms, wd_ms,
+                tail_ok ? "within" : "EXCEEDS");
+    std::printf("rejects fail fast (<10 ms): %s; shed+deadline counters "
+                "account for every non-completed job: %s\n",
+                reject_fast_ok ? "yes" : "NO",
+                accounted ? "yes" : "NO");
+  }
+  const bool overload_ok =
+      tail_ok && reject_fast_ok && accounted && done_count > 0 &&
+      rejected_count > 0 && expired_count >= 2;
+
   if (stitch::write_metrics_if_requested(cli)) {
     std::printf("wrote metrics snapshot: %s\n",
                 cli.get("metrics-out").c_str());
   }
 
-  const bool ok = all_identical && rejected && overhead_ok &&
+  const bool ok = all_identical && rejected && overhead_ok && overload_ok &&
                   big_handle.state() == serve::JobState::kDone;
   std::printf("\n%s\n", ok ? "Reproduced: shared budget serves heterogeneous "
                              "jobs concurrently with bit-identical results."

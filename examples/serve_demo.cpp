@@ -27,9 +27,11 @@ int main(int argc, char** argv) {
   cli.add_flag("workers", "concurrent jobs", "3");
   cli.add_flag("budget-mb", "service memory budget, MiB", "48");
   cli.add_flag("trace", "write composed chrome://tracing JSON here", "");
+  stitch::register_deadline_flag(cli);
   stitch::GridCliDefaults grid_defaults;
   stitch::register_grid_flags(cli, grid_defaults);
   if (!cli.parse(argc, argv)) return 0;
+  const std::int64_t deadline_ms = stitch::deadline_ms_from_cli(cli);
 
   serve::ServiceConfig config;
   config.workers = static_cast<std::size_t>(cli.get_int("workers"));
@@ -76,6 +78,7 @@ int main(int argc, char** argv) {
     job.provider = &providers[i];
     job.options.threads = 2;
     job.options.gpu_count = 2;
+    job.deadline_ms = deadline_ms;
     handles.push_back(service.submit(job));
   }
   serve::StitchJob big_job;
@@ -151,6 +154,21 @@ int main(int argc, char** argv) {
     const auto p = doomed_handle.progress();
     std::printf("cancelled '%s' after %zu/%zu pairs (unwound cleanly)\n",
                 doomed_handle.name().c_str(), p.pairs_done, p.pairs_total);
+  }
+
+  // Deadlines: an impossible 1 ms budget for the big grid fails fast with
+  // DeadlineExceeded instead of hogging a worker.
+  serve::StitchJob rushed;
+  rushed.name = "rushed";
+  rushed.backend = stitch::Backend::kSimpleCpu;
+  rushed.provider = &providers[4];
+  rushed.deadline_ms = 1;
+  auto rushed_handle = service.submit(rushed);
+  try {
+    rushed_handle.wait();
+    std::printf("'rushed' somehow finished inside 1 ms\n");
+  } catch (const DeadlineExceeded& e) {
+    std::printf("deadline demo: %s\n", e.what());
   }
 
   if (!cli.get("trace").empty()) {

@@ -21,6 +21,7 @@
 #include "compose/positions.hpp"
 #include "compose/streaming.hpp"
 #include "simdata/plate.hpp"
+#include "stitch/request.hpp"
 #include "stitch/stitcher.hpp"
 #include "stitch/table_io.hpp"
 #include "trace/trace.hpp"
@@ -60,7 +61,9 @@ int run_stitch(const CliParser& cli) {
 
   Stopwatch stopwatch;
   const auto backend = stitch::backend_from_cli(cli);
-  const auto result = stitch::stitch(backend, provider, options);
+  stitch::StitchRequest request{backend, &provider, options};
+  request.deadline_ms = stitch::deadline_ms_from_cli(cli);
+  const auto result = stitch::stitch(request);
   std::printf("phase 1 [%s]: %s over %zu pairs (%llu reads, %llu forward "
               "FFTs, peak %zu transforms live)\n",
               stitch::backend_name(backend).c_str(),
@@ -111,6 +114,7 @@ int main(int argc, char** argv) {
   stitch::StitchCliDefaults defaults;
   defaults.options.threads = 4;
   stitch::register_stitch_flags(cli, defaults);
+  stitch::register_deadline_flag(cli);
   stitch::register_grid_flags(cli);
   cli.add_flag("table", "displacement table CSV path",
                "stitch_cli_data/table.csv");

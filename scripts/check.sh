@@ -28,14 +28,26 @@ for preset in "${presets[@]}"; do
   ctest --preset "${preset}" -L tier1 -LE slow -j "${jobs}"
   echo "==> [${preset}] ctest -L tier1 -LE slow (HS_USE_REAL_FFT=1)"
   HS_USE_REAL_FFT=1 ctest --preset "${preset}" -L tier1 -LE slow -j "${jobs}"
+  # Time-domain robustness: deadlines, the stall watchdog rescuing injected
+  # hangs, the GPU circuit breaker, and overload shedding. The release run
+  # checks behaviour; the tsan run proves the watchdog/hang interplay is
+  # data-race free. Serial (-j 1): these tests assert wall-clock bounds.
+  if [ "${preset}" = "release" ] || [ "${preset}" = "tsan" ]; then
+    echo "==> [${preset}] ctest -L overload (complex spectra)"
+    ctest --preset "${preset}" -L overload -j 1
+    echo "==> [${preset}] ctest -L overload (HS_USE_REAL_FFT=1)"
+    HS_USE_REAL_FFT=1 ctest --preset "${preset}" -L overload -j 1
+  fi
 done
 
-# Metrics overhead budget: bench_serve section 4 fails (non-zero exit) if the
-# instrumented batch runs more than 2% slower than one with timers gated off.
-# Release only — sanitizer builds distort the timing it measures.
+# bench_serve exits non-zero if section 4 (metrics overhead: instrumented
+# batch >2% slower than timers-off) or section 5 (overload: an accepted job
+# missed deadline + one watchdog period, a reject took >=10 ms, or the
+# shed/deadline counters failed to account for every non-completed job)
+# breaks its budget. Release only — sanitizers distort the timing.
 for preset in "${presets[@]}"; do
   if [ "${preset}" = "release" ]; then
-    echo "==> [release] bench_serve metrics-overhead budget"
+    echo "==> [release] bench_serve metrics-overhead + overload budgets"
     ./build/bench/bench_serve >/dev/null
   fi
 done

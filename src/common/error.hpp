@@ -53,6 +53,31 @@ class Cancelled : public Error {
   explicit Cancelled(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a request's wall-clock deadline expires, at the next
+/// cooperative preemption point (or before admission if the job is still
+/// queued). Terminal: falling back cannot buy the request more time.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when the serve-layer watchdog declares a running attempt hung
+/// (pairs_done stopped advancing for stall_timeout_s). Derives from
+/// DeviceError so a stalled attempt rides the same fallback chain a
+/// sticky device fault does: the next backend retries the remaining work.
+class StallDetected : public DeviceError {
+ public:
+  explicit StallDetected(const std::string& what) : DeviceError(what) {}
+};
+
+/// Thrown to a submitter whose job was refused or evicted by the serve
+/// layer's overload policy (queue full, queue wait exceeded, or the
+/// service is shutting down). The job never ran; resubmitting later is safe.
+class Overloaded : public Error {
+ public:
+  explicit Overloaded(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {

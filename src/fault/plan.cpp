@@ -1,5 +1,8 @@
 #include "fault/plan.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "common/error.hpp"
 
 namespace hs::fault {
@@ -76,6 +79,57 @@ bool FaultPlan::should_fail(Site site, std::uint64_t key) {
     trace_event(site, "inject");
   }
   return fail;
+}
+
+void FaultPlan::set_delay_us(Site site, std::uint64_t delay_us) {
+  state(site).delay_us.store(delay_us, std::memory_order_relaxed);
+}
+
+void FaultPlan::hang_from_nth(Site site, std::uint64_t n) {
+  state(site).hang_from.store(n, std::memory_order_relaxed);
+}
+
+void FaultPlan::release_hangs() {
+  {
+    std::lock_guard<std::mutex> lock(hang_mutex_);
+    hangs_released_ = true;
+  }
+  hang_cv_.notify_all();
+}
+
+bool FaultPlan::hang_point(Site site, const pipe::CancelToken* cancel) {
+  SiteState& s = state(site);
+  const std::uint64_t delay = s.delay_us.load(std::memory_order_relaxed);
+  const std::uint64_t occurrence =
+      s.hang_occurrences.fetch_add(1, std::memory_order_relaxed);
+
+  if (delay > 0) {
+    // Chunked so a stopping job is not pinned behind a long injected delay.
+    std::uint64_t slept = 0;
+    while (slept < delay) {
+      if (cancel != nullptr && cancel->stop_requested()) break;
+      const std::uint64_t chunk = std::min<std::uint64_t>(delay - slept, 2000);
+      std::this_thread::sleep_for(std::chrono::microseconds(chunk));
+      slept += chunk;
+    }
+  }
+
+  if (occurrence < s.hang_from.load(std::memory_order_relaxed)) return false;
+
+  s.hangs.fetch_add(1, std::memory_order_relaxed);
+  trace_event(site, "hang");
+  std::unique_lock<std::mutex> lock(hang_mutex_);
+  while (!hangs_released_ &&
+         (cancel == nullptr || !cancel->stop_requested())) {
+    hang_cv_.wait_for(lock, std::chrono::milliseconds(2));
+  }
+  lock.unlock();
+  trace_event(site, "hang_interrupted");
+  return true;
+}
+
+std::uint64_t FaultPlan::hangs_triggered(Site site) const {
+  return state(site).hangs.load(std::memory_order_relaxed);
 }
 
 void FaultPlan::note_handled(Site site) {

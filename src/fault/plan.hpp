@@ -17,12 +17,14 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "pipeline/cancel.hpp"
 #include "trace/trace.hpp"
 
 namespace hs::fault {
@@ -57,6 +59,29 @@ class FaultPlan {
   /// Every occurrence at `site` with this key fails — a corrupt tile file.
   void fail_key_permanently(Site site, std::uint64_t key);
 
+  /// Every pass through hang_point() at `site` sleeps this long first —
+  /// a slow NFS mount, a saturated PCIe link. 0 disables (the default).
+  void set_delay_us(Site site, std::uint64_t delay_us);
+
+  /// Passes through hang_point() at `site` from the Nth onward (0-based,
+  /// counted separately from should_fail occurrences) block until either
+  /// release_hangs() or the polled CancelToken requests a stop — a kernel
+  /// that never completes, a read stuck in the driver.
+  void hang_from_nth(Site site, std::uint64_t n);
+
+  /// Releases every blocked and future hang at every site; blocked callers
+  /// return (and throw their site's natural error) promptly.
+  void release_hangs();
+
+  /// Delay/hang decision point, called by the same hooks as should_fail().
+  /// Applies the configured delay, then blocks if this occurrence is
+  /// scheduled to hang. Returns true when the occurrence hung (the caller
+  /// should throw its site's natural error so recovery layers engage);
+  /// false when it may proceed normally.
+  bool hang_point(Site site, const pipe::CancelToken* cancel = nullptr);
+
+  std::uint64_t hangs_triggered(Site site) const;
+
   /// Injected/handled events are recorded as instantaneous spans in the
   /// "fault" lane when set.
   void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
@@ -80,6 +105,10 @@ class FaultPlan {
     std::atomic<std::uint64_t> occurrences{0};
     std::atomic<std::uint64_t> injected{0};
     std::atomic<std::uint64_t> handled{0};
+    std::atomic<std::uint64_t> delay_us{0};
+    std::atomic<std::uint64_t> hang_from{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> hang_occurrences{0};
+    std::atomic<std::uint64_t> hangs{0};
     std::mutex mutex;  // guards bad_keys + attempts
     std::unordered_set<std::uint64_t> bad_keys;
     std::unordered_map<std::uint64_t, std::uint64_t> attempts;
@@ -94,6 +123,11 @@ class FaultPlan {
   std::uint64_t seed_;
   std::array<SiteState, kSiteCount> states_;
   trace::Recorder* recorder_ = nullptr;
+  // Hang rendezvous. Blocked hangs also poll their CancelToken on a short
+  // period, since the watchdog that rescues them signals the token, not us.
+  std::mutex hang_mutex_;
+  std::condition_variable hang_cv_;
+  bool hangs_released_ = false;
 };
 
 }  // namespace hs::fault

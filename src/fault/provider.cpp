@@ -11,6 +11,10 @@ namespace hs::fault {
 
 img::ImageU16 FaultInjectingProvider::load(img::TilePos pos) const {
   const std::size_t index = inner_.layout().index_of(pos);
+  if (plan_.hang_point(Site::kTileRead)) {
+    throw IoError("injected read hang interrupted at tile " +
+                  std::to_string(index));
+  }
   if (plan_.should_fail(Site::kTileRead, index)) {
     throw IoError("injected read fault at tile " + std::to_string(index));
   }
@@ -57,6 +61,7 @@ img::ImageU16 RetryingProvider::load(img::TilePos pos) const {
         if (first) quarantined_.push_back(index);
       }
       if (plan_ != nullptr) plan_->note_handled(Site::kTileRead);
+      if (first) metrics::wellknown::fault_quarantined_tiles_total().add();
       if (first && on_quarantine_) on_quarantine_(index);
       return img::ImageU16(tile_height(), tile_width());
     }

@@ -21,6 +21,7 @@ constexpr const char* kQueuePushWait = "hs_pipeline_queue_push_wait_us";
 constexpr const char* kQueuePopWait = "hs_pipeline_queue_pop_wait_us";
 constexpr const char* kPairLatency = "hs_stitch_pair_latency_us";
 constexpr const char* kFaultRetries = "hs_fault_retries_total";
+constexpr const char* kFaultQuarantined = "hs_fault_quarantined_tiles_total";
 constexpr const char* kServeSubmitted = "hs_serve_jobs_submitted_total";
 constexpr const char* kServeAdmitted = "hs_serve_jobs_admitted_total";
 constexpr const char* kServeDone = "hs_serve_jobs_done_total";
@@ -31,6 +32,10 @@ constexpr const char* kServeQueueWait = "hs_serve_queue_wait_us";
 constexpr const char* kServeRun = "hs_serve_run_us";
 constexpr const char* kServeMemory = "hs_serve_memory_in_use_bytes";
 constexpr const char* kServeQueueDepth = "hs_serve_queue_depth";
+constexpr const char* kServeDeadline = "hs_serve_deadline_exceeded_total";
+constexpr const char* kServeShed = "hs_serve_shed_total";
+constexpr const char* kServeWatchdog = "hs_serve_watchdog_stalls_total";
+constexpr const char* kServeBreaker = "hs_serve_breaker_state";
 
 Registry& reg() { return Registry::global(); }
 
@@ -71,6 +76,9 @@ Histogram& pair_latency_us(const std::string& backend) {
 }
 
 Counter& fault_retries_total() { return reg().counter(kFaultRetries); }
+Counter& fault_quarantined_tiles_total() {
+  return reg().counter(kFaultQuarantined);
+}
 
 Counter& serve_jobs_submitted_total() { return reg().counter(kServeSubmitted); }
 Counter& serve_jobs_admitted_total() { return reg().counter(kServeAdmitted); }
@@ -82,6 +90,14 @@ Histogram& serve_queue_wait_us() { return reg().histogram(kServeQueueWait); }
 Histogram& serve_run_us() { return reg().histogram(kServeRun); }
 Gauge& serve_memory_in_use_bytes() { return reg().gauge(kServeMemory); }
 Gauge& serve_queue_depth() { return reg().gauge(kServeQueueDepth); }
+Counter& serve_deadline_exceeded_total() {
+  return reg().counter(kServeDeadline);
+}
+Counter& serve_shed_total() { return reg().counter(kServeShed); }
+Counter& serve_watchdog_stalls_total() {
+  return reg().counter(kServeWatchdog);
+}
+Gauge& serve_breaker_state() { return reg().gauge(kServeBreaker); }
 
 void register_wellknown(Registry& registry) {
   for (const char* rigor : kRigors) {
@@ -116,6 +132,8 @@ void register_wellknown(Registry& registry) {
                        "Per-pair PCIAM latency by backend");
   }
   registry.counter(kFaultRetries, {}, "Tile-read retries after faults");
+  registry.counter(kFaultQuarantined, {},
+                   "Tiles quarantined after exhausting read retries");
   registry.counter(kServeSubmitted, {}, "Jobs submitted to StitchService");
   registry.counter(kServeAdmitted, {},
                    "Jobs admitted past the memory-budget gate");
@@ -132,6 +150,14 @@ void register_wellknown(Registry& registry) {
                  "Predicted bytes held by admitted jobs (peak = high-water)");
   registry.gauge(kServeQueueDepth, {},
                  "Jobs waiting for admission (peak = high-water)");
+  registry.counter(kServeDeadline, {},
+                   "Jobs that exceeded their deadline (queued or running)");
+  registry.counter(kServeShed, {},
+                   "Jobs refused or evicted by the overload policy");
+  registry.counter(kServeWatchdog, {},
+                   "Stall interrupts raised by the serve watchdog");
+  registry.gauge(kServeBreaker, {},
+                 "GPU circuit-breaker state: 0 closed, 1 open, 2 half-open");
 }
 
 }  // namespace hs::metrics::wellknown

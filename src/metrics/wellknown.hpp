@@ -52,6 +52,7 @@ Histogram& pair_latency_us(const std::string& backend);
 
 // --- fault handling ---
 Counter& fault_retries_total();
+Counter& fault_quarantined_tiles_total();
 
 // --- serve ---
 Counter& serve_jobs_submitted_total();
@@ -64,6 +65,11 @@ Histogram& serve_queue_wait_us();
 Histogram& serve_run_us();
 Gauge& serve_memory_in_use_bytes();
 Gauge& serve_queue_depth();
+Counter& serve_deadline_exceeded_total();
+Counter& serve_shed_total();
+Counter& serve_watchdog_stalls_total();
+/// 0 = closed, 1 = open, 2 = half-open (matches serve::BreakerState).
+Gauge& serve_breaker_state();
 
 // Pre-register every family above (with fixed label sets instantiated) so an
 // exposition taken before any activity still shows the whole schema.

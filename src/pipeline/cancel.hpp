@@ -1,14 +1,27 @@
-// Cooperative cancellation token.
+// Cooperative stop token: cancellation, deadline, and stall interrupt.
 //
-// A CancelToken is a one-way latch shared between a controller (the serve
-// layer's JobHandle, a deadline watchdog, a signal handler) and a running
-// computation. The computation polls it at natural preemption points —
-// between pairs, between queue pops — and unwinds by throwing hs::Cancelled,
-// which rides the same first-exception propagation path the pipeline already
-// uses for provider failures, so every stage drains deterministically.
+// A CancelToken is shared between a controller (the serve layer's JobHandle,
+// the stall watchdog, a signal handler) and a running computation. The
+// computation polls it at natural preemption points — between pairs, between
+// queue pops — and unwinds by throwing, which rides the same first-exception
+// propagation path the pipeline already uses for provider failures, so every
+// stage drains deterministically.
+//
+// Three stop reasons, in throw precedence order:
+//   * cancel   — a one-way latch; throws Cancelled. The caller asked for the
+//                unwind; it is not a failure and never falls back.
+//   * deadline — an absolute steady_clock instant armed once; throws
+//                DeadlineExceeded. Terminal: no backend can buy more time.
+//   * stall    — a watchdog interrupt; throws StallDetected (a DeviceError),
+//                so the current attempt unwinds and the request layer routes
+//                the job down its fallback chain. Unlike the other two it is
+//                recoverable: the fallback attempt acknowledges the interrupt
+//                and runs with a clean token.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 
 #include "common/error.hpp"
 
@@ -16,26 +29,101 @@ namespace hs::pipe {
 
 class CancelToken {
  public:
+  using Clock = std::chrono::steady_clock;
+
   CancelToken() = default;
   CancelToken(const CancelToken&) = delete;
   CancelToken& operator=(const CancelToken&) = delete;
 
+  // ---- cancel: one-way latch ---------------------------------------------
+
   /// Requests cancellation. Idempotent, callable from any thread.
   void request() { requested_.store(true, std::memory_order_release); }
 
+  /// True once cancellation (specifically — not deadline or stall) was
+  /// requested. Existing callers use this to detect user intent.
   bool requested() const {
     return requested_.load(std::memory_order_acquire);
   }
 
-  /// Preemption point: throws Cancelled once the token was requested.
+  // ---- deadline: absolute instant, first arm wins ------------------------
+
+  /// Arms the deadline. The first arm wins: the serve layer arms the token
+  /// at submit (so queue wait counts against the budget) and the request
+  /// layer's later arm of the same `deadline_ms` is a no-op. Const because
+  /// the request layer only holds `const CancelToken*`; arming is data the
+  /// controller attaches, not a state mutation of the computation.
+  void arm_deadline(Clock::time_point deadline) const {
+    std::int64_t expected = 0;
+    deadline_ns_.compare_exchange_strong(
+        expected, deadline.time_since_epoch().count(),
+        std::memory_order_acq_rel);
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_acquire) != 0;
+  }
+
+  bool deadline_expired(Clock::time_point now = Clock::now()) const {
+    const std::int64_t ns = deadline_ns_.load(std::memory_order_acquire);
+    return ns != 0 && now.time_since_epoch().count() >= ns;
+  }
+
+  // ---- stall: watchdog interrupt, acknowledged between attempts ----------
+
+  /// Declares the current attempt hung. Each request raises one interrupt;
+  /// it stays pending until acknowledged, so every polling thread of the
+  /// dying attempt observes it, then the fallback attempt starts clean.
+  void request_stall() {
+    stall_requested_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  bool stall_pending() const {
+    return stall_acked_.load(std::memory_order_acquire) <
+           stall_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Retires any pending stall interrupt; called by the request layer when
+  /// it recovers into a fallback attempt. Const for the same reason as
+  /// arm_deadline: the holder of a const token view is the acknowledging
+  /// side, and acknowledging does not perturb the computation.
+  void acknowledge_stall() const {
+    stall_acked_.store(stall_requested_.load(std::memory_order_acquire),
+                       std::memory_order_release);
+  }
+
+  // ---- polling -----------------------------------------------------------
+
+  /// True when any stop reason is active. Cheap enough for wait loops:
+  /// two relaxed-ish atomic loads, plus a clock read only when armed.
+  bool stop_requested(Clock::time_point now = Clock::now()) const {
+    return requested() || stall_pending() || deadline_expired(now);
+  }
+
+  /// Preemption point: throws the active stop reason, highest precedence
+  /// first. Cancel beats deadline (the caller's intent is authoritative);
+  /// deadline beats stall (an expired request must not waste time falling
+  /// back).
   void throw_if_requested() const {
     if (requested()) [[unlikely]] {
       throw Cancelled("operation cancelled");
+    }
+    if (has_deadline() && deadline_expired()) [[unlikely]] {
+      throw DeadlineExceeded("request deadline exceeded");
+    }
+    if (stall_pending()) [[unlikely]] {
+      throw StallDetected("attempt declared hung by the stall watchdog");
     }
   }
 
  private:
   std::atomic<bool> requested_{false};
+  // Nanoseconds since the steady_clock epoch; 0 = unarmed. Mutable so
+  // arm_deadline stays callable through the const views the stitch options
+  // hand out (see the method comments).
+  mutable std::atomic<std::int64_t> deadline_ns_{0};
+  std::atomic<std::uint64_t> stall_requested_{0};
+  mutable std::atomic<std::uint64_t> stall_acked_{0};
 };
 
 }  // namespace hs::pipe

@@ -1,0 +1,94 @@
+#include "serve/breaker.hpp"
+
+#include "common/error.hpp"
+#include "metrics/wellknown.hpp"
+
+namespace hs::serve {
+
+std::string breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {
+  HS_REQUIRE(config_.failure_threshold >= 1,
+             "breaker failure_threshold must be >= 1");
+  HS_REQUIRE(config_.window_s > 0.0, "breaker window_s must be > 0");
+  HS_REQUIRE(config_.cooldown_s >= 0.0, "breaker cooldown_s must be >= 0");
+}
+
+void CircuitBreaker::transition_locked(BreakerState next) {
+  state_ = next;
+  metrics::wellknown::serve_breaker_state().set(
+      static_cast<std::int64_t>(next));
+}
+
+bool CircuitBreaker::allow(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen: {
+      const auto cooldown = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(config_.cooldown_s));
+      if (now - opened_at_ < cooldown) return false;
+      transition_locked(BreakerState::kHalfOpen);
+      probe_in_flight_ = true;
+      return true;
+    }
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_failure(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe confirmed the device is still bad: re-open, restart cooldown.
+    probe_in_flight_ = false;
+    failures_.clear();
+    opened_at_ = now;
+    transition_locked(BreakerState::kOpen);
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // unguarded attempt; no news
+  const auto window = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(config_.window_s));
+  failures_.push_back(now);
+  while (!failures_.empty() && now - failures_.front() > window) {
+    failures_.pop_front();
+  }
+  if (failures_.size() >= config_.failure_threshold) {
+    failures_.clear();
+    opened_at_ = now;
+    transition_locked(BreakerState::kOpen);
+  }
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen) {
+    probe_in_flight_ = false;
+    failures_.clear();
+    transition_locked(BreakerState::kClosed);
+  }
+}
+
+void CircuitBreaker::record_abandoned() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen) probe_in_flight_ = false;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+}  // namespace hs::serve

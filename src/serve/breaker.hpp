@@ -1,0 +1,83 @@
+// Circuit breaker over the (virtual) GPU backends.
+//
+// The fallback chain (PR 2) already rescues individual jobs from device
+// faults, but every rescued job still pays a doomed GPU attempt first. When
+// a device goes bad for good — a sticky CUDA error, a flaky riser — the
+// breaker notices the pattern (N device faults inside a sliding window),
+// trips open, and subsequent jobs skip straight to their CPU fallback. After
+// a cooldown it admits one half-open probe; a clean probe closes the
+// circuit, a faulty one re-opens it.
+//
+//              failure x N in window
+//   [closed] ------------------------> [open]
+//      ^                                  |
+//      | probe success        cooldown    |
+//      |                      elapsed     v
+//   [half-open] <------------------------+
+//      | probe failure -> [open]
+//
+// Time points are explicit parameters (defaulted to steady_clock::now) so
+// unit tests drive the window and cooldown deterministically.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace hs::serve {
+
+enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+std::string breaker_state_name(BreakerState state);
+
+struct BreakerConfig {
+  /// Device faults within `window_s` that trip the circuit open.
+  std::size_t failure_threshold = 3;
+  /// Sliding window the failures are counted over, seconds.
+  double window_s = 30.0;
+  /// Open -> half-open after this long without traffic, seconds.
+  double cooldown_s = 5.0;
+};
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(BreakerConfig config = {});
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// May the caller attempt the guarded resource now? Closed: always. Open:
+  /// false until the cooldown elapses, which transitions to half-open.
+  /// Half-open: true for exactly one in-flight probe; concurrent callers
+  /// get false until that probe reports. Every `true` must be matched by
+  /// exactly one record_success / record_failure / record_abandoned.
+  bool allow(Clock::time_point now = Clock::now());
+
+  /// The guarded attempt observed a device fault.
+  void record_failure(Clock::time_point now = Clock::now());
+
+  /// The guarded attempt completed without a device fault.
+  void record_success();
+
+  /// The guarded attempt's verdict never materialized (the job was
+  /// cancelled mid-run): releases a half-open probe without judging it.
+  void record_abandoned();
+
+  BreakerState state() const;
+
+ private:
+  void transition_locked(BreakerState next);
+
+  BreakerConfig config_;
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::deque<Clock::time_point> failures_;
+  Clock::time_point opened_at_{};
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace hs::serve

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -26,7 +28,9 @@
 namespace hs::serve {
 
 /// Lifecycle: kQueued -> kAdmitted -> kRunning -> one terminal state.
-/// A queued job cancelled before admission jumps straight to kCancelled.
+/// A queued job cancelled before admission jumps straight to kCancelled; one
+/// refused or evicted by the overload policy goes terminal as kRejected
+/// without ever queueing (or from the queue, if evicted later).
 enum class JobState {
   kQueued,     ///< accepted, waiting for memory budget + a worker
   kAdmitted,   ///< budget reserved, about to start
@@ -34,12 +38,13 @@ enum class JobState {
   kDone,       ///< finished; result available
   kCancelled,  ///< cancel() won the race; wait() rethrows Cancelled
   kFailed,     ///< the backend threw; wait() rethrows the original error
+  kRejected,   ///< overload policy refused it; wait() rethrows Overloaded
 };
 
 std::string job_state_name(JobState state);
 inline bool is_terminal(JobState state) {
   return state == JobState::kDone || state == JobState::kCancelled ||
-         state == JobState::kFailed;
+         state == JobState::kFailed || state == JobState::kRejected;
 }
 
 /// What callers submit. `provider` must outlive the job.
@@ -63,6 +68,16 @@ struct StitchJob {
   /// if the file already holds a compatible table, resumes from it —
   /// recomputing only the missing pairs.
   std::string checkpoint_path;
+
+  // --- time-domain robustness ---------------------------------------------
+  /// End-to-end wall-clock budget, milliseconds; 0 = unlimited. The clock
+  /// starts at submit(), so queue wait counts against it: a job that expires
+  /// while queued is shed before admission (state kFailed, DeadlineExceeded),
+  /// with its final checkpoint written so a resubmit resumes.
+  std::int64_t deadline_ms = 0;
+  /// Longest this job may wait in the queue before it is shed (kRejected),
+  /// milliseconds; 0 falls back to ServiceConfig::max_queue_wait_s.
+  std::int64_t max_queue_wait_ms = 0;
 };
 
 /// Point-in-time progress snapshot.
@@ -110,6 +125,15 @@ struct JobRecord {
   // Written by the controller and polled by the backend.
   pipe::CancelToken cancel;
   std::atomic<std::size_t> pairs_done{0};
+
+  /// Effective max queue wait, seconds (job override or service default);
+  /// 0 = unlimited. Immutable after submit.
+  double max_queue_wait_s = 0.0;
+
+  // Stall-watchdog bookkeeping: last observed pairs_done and when it last
+  // advanced. Touched only by the service's watchdog thread.
+  std::size_t wd_last_pairs = ~std::size_t{0};
+  std::chrono::steady_clock::time_point wd_last_change{};
 
   // Checkpoint state (set at submit, immutable afterwards; the ledger is
   // internally synchronized, so the checkpoint thread can snapshot it while
@@ -190,8 +214,8 @@ class JobHandle {
   }
 
   /// Blocks until the job reaches a terminal state. Returns the result on
-  /// kDone; rethrows Cancelled on kCancelled and the backend's original
-  /// exception on kFailed.
+  /// kDone; rethrows Cancelled on kCancelled, the backend's original
+  /// exception on kFailed, and Overloaded on kRejected.
   const stitch::StitchResult& wait() const {
     std::unique_lock<std::mutex> lock(record_->mutex);
     record_->cv.wait(lock, [&] { return is_terminal(record_->state); });

@@ -21,16 +21,23 @@ std::string job_state_name(JobState state) {
     case JobState::kDone: return "done";
     case JobState::kCancelled: return "cancelled";
     case JobState::kFailed: return "failed";
+    case JobState::kRejected: return "rejected";
   }
   return "?";
 }
 
 StitchService::StitchService(ServiceConfig config)
-    : config_(std::move(config)), epoch_(std::chrono::steady_clock::now()) {
+    : config_(std::move(config)), epoch_(std::chrono::steady_clock::now()),
+      breaker_(config_.breaker) {
   HS_REQUIRE(config_.workers >= 1, "workers: must be >= 1");
   HS_REQUIRE(config_.memory_budget_bytes > 0,
              "memory_budget_bytes: must be > 0");
   HS_REQUIRE(config_.max_queued >= 1, "max_queued: must be >= 1");
+  HS_REQUIRE(config_.max_queue_wait_s >= 0.0,
+             "max_queue_wait_s: must be >= 0");
+  HS_REQUIRE(config_.stall_timeout_s >= 0.0, "stall_timeout_s: must be >= 0");
+  HS_REQUIRE(config_.watchdog_period_s >= 0.0,
+             "watchdog_period_s: must be >= 0");
   HS_REQUIRE(config_.checkpoint_interval_s >= 0.0,
              "checkpoint_interval_s: must be >= 0");
   workers_.reserve(config_.workers);
@@ -40,9 +47,17 @@ StitchService::StitchService(ServiceConfig config)
   if (config_.checkpoint_interval_s > 0.0) {
     checkpoint_thread_ = std::thread([this] { checkpoint_main(); });
   }
+  watchdog_thread_ = std::thread([this] { watchdog_main(); });
 }
 
 StitchService::~StitchService() {
+  {
+    // Refuse new work first, so a submit blocked on backpressure returns
+    // (rejected) instead of racing the drain below.
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+  }
+  cv_submit_.notify_all();
   wait_idle();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -50,14 +65,52 @@ StitchService::~StitchService() {
   }
   cv_workers_.notify_all();
   cv_checkpoint_.notify_all();
+  cv_watchdog_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   // Handles may outlive the service; their cancel() must not call back
   // into a destroyed scheduler.
-  for (const Record& record : jobs_) {
+  std::vector<Record> records;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records = jobs_;
+  }
+  for (const Record& record : records) {
     std::lock_guard<std::mutex> lock(record->mutex);
     record->notify_service = nullptr;
   }
+}
+
+void StitchService::shutdown(double drain_deadline_s) {
+  HS_REQUIRE(drain_deadline_s >= 0.0, "drain_deadline_s: must be >= 0");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+  }
+  cv_submit_.notify_all();
+  bool drained;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained = cv_idle_.wait_for(
+        lock, std::chrono::duration<double>(drain_deadline_s),
+        [&] { return queue_.empty() && running_ == 0; });
+  }
+  if (!drained) {
+    // Past the drain deadline: cancel the stragglers. Running jobs unwind
+    // at their next preemption point and write their final checkpoint;
+    // queued ones retire (also checkpointed) without running.
+    cancel_all();
+    wait_idle();
+  }
+}
+
+double StitchService::watchdog_period_s() const {
+  if (config_.watchdog_period_s > 0.0) return config_.watchdog_period_s;
+  if (config_.stall_timeout_s > 0.0) {
+    return std::clamp(config_.stall_timeout_s / 4.0, 0.001, 0.01);
+  }
+  return 0.01;
 }
 
 double StitchService::elapsed_us() const {
@@ -73,13 +126,17 @@ JobHandle StitchService::submit(StitchJob job) {
       stitch::StitchRequest{job.backend, job.provider, job.options};
   record->request.retry = job.retry;
   record->request.fallback = std::move(job.fallback);
+  record->request.deadline_ms = job.deadline_ms;
   if (record->request.fallback.empty() &&
-      (job.backend == stitch::Backend::kSimpleGpu ||
-       job.backend == stitch::Backend::kPipelinedGpu)) {
+      stitch::is_gpu_backend(job.backend)) {
     // GPU jobs degrade to the CPU by default rather than failing outright.
     record->request.fallback = {stitch::Backend::kMtCpu};
   }
   record->request.validate();
+  HS_REQUIRE(job.max_queue_wait_ms >= 0, "max_queue_wait_ms: must be >= 0");
+  record->max_queue_wait_s = job.max_queue_wait_ms > 0
+                                 ? static_cast<double>(job.max_queue_wait_ms) / 1e3
+                                 : config_.max_queue_wait_s;
   record->priority = job.priority;
   if (!job.checkpoint_path.empty()) {
     record->checkpoint_path = job.checkpoint_path;
@@ -134,11 +191,67 @@ JobHandle StitchService::submit(StitchJob job) {
   };
 
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_submit_.wait(lock, [&] { return queue_.size() < config_.max_queued; });
   if (record->name.empty()) {
     record->name = "job" + std::to_string(jobs_.size());
   }
+
+  // Overload handling. Rejection is terminal and fast: the handle comes
+  // back already kRejected, never having queued.
+  const auto reject = [&](const std::string& why) {
+    record->timing.submit_us = elapsed_us();
+    {
+      std::lock_guard<std::mutex> record_lock(record->mutex);
+      record->state = JobState::kRejected;
+      record->timing.end_us = record->timing.submit_us;
+      record->error = std::make_exception_ptr(
+          Overloaded("job " + record->name + ": " + why));
+      record->notify_service = nullptr;
+    }
+    jobs_.push_back(record);
+    counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+    counters_.shed.fetch_add(1, std::memory_order_relaxed);
+    metrics::wellknown::serve_jobs_submitted_total().add();
+    metrics::wellknown::serve_shed_total().add();
+    record->cv.notify_all();
+    return JobHandle(record);
+  };
+
+  if (!accepting_ || stopping_) return reject("service is shutting down");
+  if (queue_.size() >= config_.max_queued) {
+    switch (config_.overload) {
+      case OverloadPolicy::kBlock:
+        cv_submit_.wait(lock, [&] {
+          return queue_.size() < config_.max_queued || !accepting_ ||
+                 stopping_;
+        });
+        if (!accepting_ || stopping_) {
+          return reject("service is shutting down");
+        }
+        break;
+      case OverloadPolicy::kReject:
+        return reject("queue full (" + std::to_string(config_.max_queued) +
+                      " jobs) and overload policy is reject");
+      case OverloadPolicy::kShedLowestPriority: {
+        // The queue is priority-ordered, so the back is the lowest-priority
+        // (and youngest among equals) job.
+        Record victim = queue_.back();
+        if (victim->priority >= record->priority) {
+          return reject("queue full and no lower-priority job to shed");
+        }
+        queue_.pop_back();
+        retire_queued_locked(victim, RetireReason::kShed);
+        break;
+      }
+    }
+  }
+
   record->timing.submit_us = elapsed_us();
+  if (record->request.deadline_ms > 0) {
+    // The deadline clock starts now: queue wait spends the budget too.
+    record->cancel.arm_deadline(
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(record->request.deadline_ms));
+  }
   // Priority-ordered insert, FIFO among equals.
   auto it = std::find_if(
       queue_.begin(), queue_.end(),
@@ -154,26 +267,82 @@ JobHandle StitchService::submit(StitchJob job) {
   return JobHandle(record);
 }
 
-StitchService::Record StitchService::pick_locked() {
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    Record record = *it;
-    if (record->cancel.requested()) {
-      // Cancelled while queued: retire without ever admitting.
-      it = queue_.erase(it);
-      {
-        std::lock_guard<std::mutex> lock(record->mutex);
+void StitchService::retire_queued_locked(const Record& record,
+                                         RetireReason reason) {
+  // The caller already removed the record from the queue. Final checkpoint
+  // first — the terminal state must not become visible before the file a
+  // resubmit would resume from exists.
+  checkpoint_job(record);
+  {
+    std::lock_guard<std::mutex> lock(record->mutex);
+    record->timing.end_us = elapsed_us();
+    switch (reason) {
+      case RetireReason::kCancelled:
         record->state = JobState::kCancelled;
-        record->timing.end_us = elapsed_us();
-      }
+        break;
+      case RetireReason::kDeadline:
+        record->state = JobState::kFailed;
+        record->error = std::make_exception_ptr(DeadlineExceeded(
+            "job " + record->name + ": deadline expired while queued"));
+        break;
+      case RetireReason::kShed:
+        record->state = JobState::kRejected;
+        record->error = std::make_exception_ptr(Overloaded(
+            "job " + record->name + ": shed from the queue by the overload "
+            "policy"));
+        break;
+    }
+  }
+  switch (reason) {
+    case RetireReason::kCancelled:
       counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
       metrics::wellknown::serve_jobs_cancelled_total().add();
-      metrics::wellknown::serve_queue_depth().set(
-          static_cast<std::int64_t>(queue_.size()));
-      record->cv.notify_all();
-      cv_idle_.notify_all();
-      cv_submit_.notify_all();
+      break;
+    case RetireReason::kDeadline:
+      counters_.failed.fetch_add(1, std::memory_order_relaxed);
+      counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      metrics::wellknown::serve_jobs_failed_total().add();
+      metrics::wellknown::serve_deadline_exceeded_total().add();
+      trace_job_event(record, "deadline", "expired-queued:" + record->name);
+      break;
+    case RetireReason::kShed:
+      counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      metrics::wellknown::serve_shed_total().add();
+      break;
+  }
+  metrics::wellknown::serve_queue_depth().set(
+      static_cast<std::int64_t>(queue_.size()));
+  record->cv.notify_all();
+  cv_idle_.notify_all();
+  cv_submit_.notify_all();
+}
+
+void StitchService::scan_queue_locked() {
+  const double now_us = elapsed_us();
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    Record record = *it;
+    RetireReason reason;
+    if (record->cancel.requested()) {
+      reason = RetireReason::kCancelled;
+    } else if (record->cancel.deadline_expired()) {
+      reason = RetireReason::kDeadline;
+    } else if (record->max_queue_wait_s > 0.0 &&
+               (now_us - record->timing.submit_us) / 1e6 >
+                   record->max_queue_wait_s) {
+      reason = RetireReason::kShed;
+    } else {
+      ++it;
       continue;
     }
+    it = queue_.erase(it);
+    retire_queued_locked(record, reason);
+  }
+}
+
+StitchService::Record StitchService::pick_locked() {
+  scan_queue_locked();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    Record record = *it;
     if (record->footprint_bytes <=
         config_.memory_budget_bytes - memory_in_use_) {
       queue_.erase(it);
@@ -181,7 +350,6 @@ StitchService::Record StitchService::pick_locked() {
           static_cast<std::int64_t>(queue_.size()));
       return record;
     }
-    ++it;
   }
   return nullptr;
 }
@@ -219,16 +387,18 @@ void StitchService::worker_main(std::size_t id) {
 }
 
 void StitchService::run_job(const Record& record) {
+  if (record->cancel.requested()) {  // lost the race to a cancel
+    checkpoint_job(record);
+    std::lock_guard<std::mutex> lock(record->mutex);
+    record->state = JobState::kCancelled;
+    record->timing.end_us = elapsed_us();
+    counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+    metrics::wellknown::serve_jobs_cancelled_total().add();
+    record->cv.notify_all();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(record->mutex);
-    if (record->cancel.requested()) {  // lost the race to a cancel
-      record->state = JobState::kCancelled;
-      record->timing.end_us = elapsed_us();
-      counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
-      metrics::wellknown::serve_jobs_cancelled_total().add();
-      record->cv.notify_all();
-      return;
-    }
     record->state = JobState::kAdmitted;
     record->timing.start_us = elapsed_us();
     const auto wait_us = static_cast<std::uint64_t>(
@@ -248,6 +418,29 @@ void StitchService::run_job(const Record& record) {
   if (record->ledger != nullptr) {
     request.options.ledger = record->ledger.get();
     if (record->has_warm) request.options.warm_start = &record->warm;
+  }
+
+  // Circuit breaker over GPU-primary jobs. When the breaker refuses the
+  // attempt and the fallback chain offers a CPU backend, skip straight to
+  // it — the job pays no doomed GPU attempt. A refused job with no CPU
+  // fallback runs unguarded (failing it outright would be worse) and its
+  // outcome is not treated as a probe verdict.
+  bool breaker_verdict_due = false;
+  if (stitch::is_gpu_backend(request.backend)) {
+    if (breaker_.allow()) {
+      breaker_verdict_due = true;
+    } else {
+      const auto cpu = std::find_if(
+          request.fallback.begin(), request.fallback.end(),
+          [](stitch::Backend b) { return !stitch::is_gpu_backend(b); });
+      if (cpu != request.fallback.end()) {
+        trace_job_event(record, "breaker",
+                        "skip-gpu:" + record->name + "->" +
+                            stitch::backend_name(*cpu));
+        request.backend = *cpu;
+        request.fallback.erase(request.fallback.begin(), cpu + 1);
+      }
+    }
   }
   {
     std::lock_guard<std::mutex> lock(record->mutex);
@@ -269,6 +462,15 @@ void StitchService::run_job(const Record& record) {
   try {
     stitch::StitchResult result = stitch::stitch(request);
     checkpoint_job(record);
+    if (breaker_verdict_due) {
+      // Fallbacks taken mean the guarded GPU attempt device-faulted even
+      // though a later backend rescued the job.
+      if (result.fallbacks_taken > 0) {
+        breaker_.record_failure();
+      } else {
+        breaker_.record_success();
+      }
+    }
     const std::uint64_t fallbacks = result.fallbacks_taken;
     std::lock_guard<std::mutex> lock(record->mutex);
     record->result = std::move(result);
@@ -281,14 +483,44 @@ void StitchService::run_job(const Record& record) {
     note_terminal(counters_.done, metrics::wellknown::serve_jobs_done_total());
   } catch (const Cancelled&) {
     checkpoint_job(record);
+    // The guarded attempt's verdict never materialized.
+    if (breaker_verdict_due) breaker_.record_abandoned();
     std::lock_guard<std::mutex> lock(record->mutex);
     record->error = std::current_exception();
     record->state = JobState::kCancelled;
     record->timing.end_us = elapsed_us();
     note_terminal(counters_.cancelled,
                   metrics::wellknown::serve_jobs_cancelled_total());
+  } catch (const DeadlineExceeded&) {
+    checkpoint_job(record);
+    // Running out of time says nothing about device health.
+    if (breaker_verdict_due) breaker_.record_abandoned();
+    trace_job_event(record, "deadline", "expired-running:" + record->name);
+    counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    metrics::wellknown::serve_deadline_exceeded_total().add();
+    std::lock_guard<std::mutex> lock(record->mutex);
+    record->error = std::current_exception();
+    record->state = JobState::kFailed;
+    record->timing.end_us = elapsed_us();
+    note_terminal(counters_.failed,
+                  metrics::wellknown::serve_jobs_failed_total());
   } catch (...) {
     checkpoint_job(record);
+    if (breaker_verdict_due) {
+      // A job only fails with a device fault once its whole fallback chain
+      // is exhausted — the guarded GPU attempt certainly faulted then. Any
+      // other exception (bad tile, invalid option) is not the device's
+      // fault.
+      try {
+        throw;
+      } catch (const DeviceError&) {
+        breaker_.record_failure();
+      } catch (const OutOfDeviceMemory&) {
+        breaker_.record_failure();
+      } catch (...) {
+        breaker_.record_success();
+      }
+    }
     std::lock_guard<std::mutex> lock(record->mutex);
     record->error = std::current_exception();
     record->state = JobState::kFailed;
@@ -299,6 +531,66 @@ void StitchService::run_job(const Record& record) {
   record->cv.notify_all();
 }
 
+void StitchService::watchdog_main() {
+  set_current_thread_name("serve/watchdog");
+  const auto period = std::chrono::duration<double>(watchdog_period_s());
+  const auto stall_timeout =
+      std::chrono::duration<double>(config_.stall_timeout_s);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_watchdog_.wait_for(lock, period, [&] { return stopping_; });
+    if (stopping_) return;
+    // Queued jobs first: shed the expired and the overstayed even when no
+    // worker wakes to pick — this is what bounds a queued job's latency to
+    // deadline + one watchdog period.
+    scan_queue_locked();
+    if (!queue_.empty()) cv_workers_.notify_all();
+    if (config_.stall_timeout_s <= 0.0) continue;
+    std::vector<Record> snapshot = jobs_;
+    lock.unlock();
+    const auto now = std::chrono::steady_clock::now();
+    for (const Record& record : snapshot) {
+      bool running;
+      {
+        std::lock_guard<std::mutex> record_lock(record->mutex);
+        running = record->state == JobState::kRunning;
+      }
+      if (!running) continue;
+      if (record->cancel.stall_pending()) {
+        // A previous interrupt is still unwinding toward its fallback; give
+        // the next attempt a fresh full window once it acknowledges.
+        record->wd_last_pairs = ~std::size_t{0};
+        continue;
+      }
+      const std::size_t pairs =
+          record->pairs_done.load(std::memory_order_acquire);
+      if (pairs != record->wd_last_pairs) {
+        record->wd_last_pairs = pairs;
+        record->wd_last_change = now;
+        continue;
+      }
+      if (now - record->wd_last_change >= stall_timeout) {
+        record->cancel.request_stall();
+        record->wd_last_pairs = ~std::size_t{0};
+        counters_.watchdog_stalls.fetch_add(1, std::memory_order_relaxed);
+        metrics::wellknown::serve_watchdog_stalls_total().add();
+        trace_job_event(record, "watchdog", "stall:" + record->name);
+      }
+    }
+    lock.lock();
+  }
+}
+
+void StitchService::trace_job_event(const Record& record, const char* lane,
+                                    const std::string& what) {
+  trace::Recorder* recorder = record->recorder != nullptr
+                                  ? record->recorder.get()
+                                  : record->request.options.recorder;
+  if (recorder == nullptr) return;
+  const double t = recorder->now_us();
+  recorder->record(lane, what, t, t);
+}
+
 ServiceMetrics StitchService::metrics() const {
   ServiceMetrics m;
   m.jobs_submitted = counters_.submitted.load(std::memory_order_relaxed);
@@ -307,6 +599,12 @@ ServiceMetrics StitchService::metrics() const {
   m.jobs_failed = counters_.failed.load(std::memory_order_relaxed);
   m.jobs_cancelled = counters_.cancelled.load(std::memory_order_relaxed);
   m.fallbacks_taken = counters_.fallbacks.load(std::memory_order_relaxed);
+  m.jobs_shed = counters_.shed.load(std::memory_order_relaxed);
+  m.jobs_deadline_exceeded =
+      counters_.deadline_exceeded.load(std::memory_order_relaxed);
+  m.watchdog_stalls =
+      counters_.watchdog_stalls.load(std::memory_order_relaxed);
+  m.breaker_state = static_cast<int>(breaker_.state());
   m.queue_wait_us_total =
       counters_.queue_wait_us.load(std::memory_order_relaxed);
   m.run_us_total = counters_.run_us.load(std::memory_order_relaxed);

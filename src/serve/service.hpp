@@ -27,19 +27,52 @@
 #include <vector>
 
 #include "sched/cost_model.hpp"
+#include "serve/breaker.hpp"
 #include "serve/footprint.hpp"
 #include "serve/job.hpp"
 #include "trace/trace.hpp"
 
 namespace hs::serve {
 
+/// What submit() does when the queue already holds max_queued jobs.
+enum class OverloadPolicy {
+  /// Block the caller until a slot frees (the pre-overload-aware behaviour).
+  /// A blocked submit still returns — rejected — if the service starts
+  /// shutting down, instead of blocking forever.
+  kBlock,
+  /// Fail fast: return a terminal kRejected handle immediately.
+  kReject,
+  /// Evict the lowest-priority queued job (kRejected) to make room, if it
+  /// has strictly lower priority than the incoming one; otherwise reject
+  /// the incoming job. The queue stays bounded either way.
+  kShedLowestPriority,
+};
+
 struct ServiceConfig {
   /// Concurrent jobs (each job parallelizes internally on top of this).
   std::size_t workers = 2;
   /// Global budget the sum of running jobs' footprints must fit in.
   std::size_t memory_budget_bytes = 512ull << 20;
-  /// Backpressure: submit() blocks while this many jobs are queued.
+  /// Backpressure: what happens at max_queued is `overload`'s call.
   std::size_t max_queued = 64;
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+  /// Default cap on any job's queue wait, seconds; 0 = unlimited. A job
+  /// exceeding it is shed (kRejected). StitchJob::max_queue_wait_ms
+  /// overrides per job.
+  double max_queue_wait_s = 0.0;
+  /// The stall watchdog declares a running job hung when its pairs_done
+  /// stops advancing for this long, interrupts it, and routes it down its
+  /// fallback chain. 0 disables stall detection (the watchdog thread still
+  /// sheds expired/overstayed queued jobs).
+  double stall_timeout_s = 0.0;
+  /// Watchdog scan period, seconds; 0 = auto (stall_timeout_s / 4, clamped
+  /// to [1, 10] ms). The tail-latency bound the service offers is
+  /// deadline + one watchdog period.
+  double watchdog_period_s = 0.0;
+  /// Circuit breaker over the GPU backends: after breaker.failure_threshold
+  /// device faults within breaker.window_s, GPU-primary jobs with a CPU
+  /// fallback skip the doomed GPU attempt until a half-open probe succeeds.
+  BreakerConfig breaker;
   /// Give each job (without a caller-supplied recorder) a private trace
   /// recorder; compose_timeline() later merges them into one timeline.
   bool record_traces = false;
@@ -64,6 +97,12 @@ struct ServiceMetrics {
   std::uint64_t jobs_cancelled = 0;
   /// Device faults absorbed by fallback backends across finished jobs.
   std::uint64_t fallbacks_taken = 0;
+  /// Jobs refused or evicted by the overload policy (terminal kRejected).
+  std::uint64_t jobs_shed = 0;
+  /// Jobs that ran out of deadline, queued or running (terminal kFailed).
+  std::uint64_t jobs_deadline_exceeded = 0;
+  /// Stall interrupts raised by the watchdog.
+  std::uint64_t watchdog_stalls = 0;
   /// Sums over admitted (queue wait) and terminal (run) jobs, microseconds.
   std::uint64_t queue_wait_us_total = 0;
   std::uint64_t run_us_total = 0;
@@ -71,6 +110,8 @@ struct ServiceMetrics {
   std::size_t queued = 0;
   std::size_t running = 0;
   std::size_t memory_in_use_bytes = 0;
+  /// GPU circuit-breaker state: 0 closed, 1 open, 2 half-open.
+  int breaker_state = 0;
 };
 
 class StitchService {
@@ -85,8 +126,10 @@ class StitchService {
   /// Validates the job's request (throws InvalidArgument with the offending
   /// field on bad option combinations), predicts its footprint, and
   /// enqueues it. Throws InvalidArgument if the footprint exceeds the whole
-  /// budget — such a job could never be admitted. Blocks while the queue is
-  /// at max_queued (backpressure).
+  /// budget — such a job could never be admitted. At max_queued the
+  /// configured OverloadPolicy decides: block, reject, or shed. A submit to
+  /// a stopping/stopped service never blocks — it returns a terminal
+  /// kRejected handle.
   JobHandle submit(StitchJob job);
 
   /// Blocks until every submitted job is terminal.
@@ -94,6 +137,18 @@ class StitchService {
 
   /// Requests cancellation of every non-terminal job.
   void cancel_all();
+
+  /// Graceful shutdown: stops accepting new jobs, then drains. Jobs still
+  /// unfinished after drain_deadline_s are cancelled — running ones unwind
+  /// at their next preemption point and write their final checkpoint, so a
+  /// later resubmit resumes. Idempotent; the destructor performs an
+  /// unbounded drain if this was never called.
+  void shutdown(double drain_deadline_s);
+
+  /// The effective watchdog scan period (see ServiceConfig). The service's
+  /// tail-latency bound: a deadlined job goes terminal no later than
+  /// deadline + one watchdog period (plus scheduling noise).
+  double watchdog_period_s() const;
 
   std::size_t memory_budget_bytes() const { return config_.memory_budget_bytes; }
   std::size_t memory_in_use_bytes() const;
@@ -112,11 +167,27 @@ class StitchService {
  private:
   using Record = std::shared_ptr<detail::JobRecord>;
 
+  /// Why a queued job is being retired without running.
+  enum class RetireReason { kCancelled, kDeadline, kShed };
+
   void worker_main(std::size_t id);
-  /// Picks the next admissible queued job; nullptr when none fits. Retires
-  /// cancelled queued jobs on the way. Caller holds mutex_.
+  /// Picks the next admissible queued job; nullptr when none fits. Sheds
+  /// cancelled/expired/overstayed queued jobs on the way. Caller holds
+  /// mutex_.
   Record pick_locked();
+  /// Removes every cancelled, deadline-expired, or wait-expired job from
+  /// the queue and retires it. Caller holds mutex_.
+  void scan_queue_locked();
+  /// Terminal transition for a job already removed from the queue (final
+  /// checkpoint, state, counters, wakeups). Caller holds mutex_.
+  void retire_queued_locked(const Record& record, RetireReason reason);
   void run_job(const Record& record);
+  /// Sheds expired/overstayed queued jobs and raises stall interrupts on
+  /// running jobs whose pairs_done stopped advancing ("serve/watchdog").
+  void watchdog_main();
+  /// Instantaneous span in the job's trace lane (no-op without a recorder).
+  static void trace_job_event(const Record& record, const char* lane,
+                              const std::string& what);
   /// Periodically persists running checkpointed jobs ("serve/ckpt" thread).
   void checkpoint_main();
   /// Atomically (write tmp + rename) persists one job's partial table; a
@@ -136,11 +207,15 @@ class StitchService {
   std::vector<Record> jobs_;            ///< every job ever submitted
   std::size_t memory_in_use_ = 0;
   std::size_t running_ = 0;
+  bool accepting_ = true;  ///< cleared by shutdown()/destructor
   bool stopping_ = false;
 
   std::vector<std::thread> workers_;
   std::condition_variable cv_checkpoint_;  ///< wakes the checkpoint thread
   std::thread checkpoint_thread_;
+  std::condition_variable cv_watchdog_;  ///< wakes the watchdog thread
+  std::thread watchdog_thread_;
+  CircuitBreaker breaker_;
 
   /// Service-local event counters behind metrics(); terminal transitions
   /// happen under record mutexes (not mutex_), so these are atomics.
@@ -151,6 +226,9 @@ class StitchService {
     std::atomic<std::uint64_t> failed{0};
     std::atomic<std::uint64_t> cancelled{0};
     std::atomic<std::uint64_t> fallbacks{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> deadline_exceeded{0};
+    std::atomic<std::uint64_t> watchdog_stalls{0};
     std::atomic<std::uint64_t> queue_wait_us{0};
     std::atomic<std::uint64_t> run_us{0};
   };

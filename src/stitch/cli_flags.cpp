@@ -102,6 +102,19 @@ sim::AcquisitionParams acquisition_from_cli(const CliParser& cli) {
   return acq;
 }
 
+void register_deadline_flag(CliParser& cli) {
+  cli.add_flag("deadline-ms",
+               "end-to-end wall-clock budget in milliseconds (0 = unlimited); "
+               "an expired run fails with DeadlineExceeded",
+               "0");
+}
+
+std::int64_t deadline_ms_from_cli(const CliParser& cli) {
+  const std::int64_t v = cli.get_int("deadline-ms");
+  HS_REQUIRE(v >= 0, "flag --deadline-ms must be non-negative");
+  return v;
+}
+
 void register_metrics_flags(CliParser& cli) {
   cli.add_flag("metrics-out",
                "write a metrics snapshot here on exit (Prometheus text, or "

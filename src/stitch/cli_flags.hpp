@@ -58,6 +58,13 @@ void register_grid_flags(CliParser& cli, const GridCliDefaults& defaults = {});
 img::GridLayout layout_from_cli(const CliParser& cli);
 sim::AcquisitionParams acquisition_from_cli(const CliParser& cli);
 
+/// Registers --deadline-ms (default 0: unlimited) — the end-to-end
+/// wall-clock budget mapped onto StitchRequest::deadline_ms (or
+/// StitchJob::deadline_ms for serving binaries).
+void register_deadline_flag(CliParser& cli);
+
+std::int64_t deadline_ms_from_cli(const CliParser& cli);
+
 /// Registers --metrics-out (default "": disabled). When set, the binary
 /// should call write_metrics_if_requested() before exiting.
 void register_metrics_flags(CliParser& cli);

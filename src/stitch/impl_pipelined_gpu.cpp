@@ -282,6 +282,7 @@ StitchResult stitch_pipelined_gpu(const TileProvider& provider,
     config.trace_prefix = "gpu" + std::to_string(g);
     config.concurrent_fft_kernels = options.kepler_concurrent_fft;
     config.faults = options.faults;
+    config.cancel = options.cancel;
     gpu->device = std::make_unique<vgpu::Device>(config);
     gpu->copy_stream = std::make_unique<vgpu::Stream>(*gpu->device, "copy");
     for (std::size_t s = 0; s < fft_stream_count; ++s) {

@@ -55,6 +55,7 @@ StitchResult stitch_simple_gpu(const TileProvider& provider,
   config.recorder = options.recorder;
   config.trace_prefix = "gpu0";
   config.faults = options.faults;
+  config.cancel = options.cancel;
   vgpu::Device device(config);
   vgpu::Stream stream(device, "default");
 

@@ -129,6 +129,10 @@ void StitchRequest::validate() const {
   }
 
   // --- fault-tolerance fields.
+  if (deadline_ms < 0) {
+    fail("deadline_ms", "must be >= 0 (0 means unlimited, got " +
+                            std::to_string(deadline_ms) + ")");
+  }
   if (retry.max_attempts < 1) {
     fail("retry.max_attempts", "must be >= 1 (1 means no retry)");
   }
@@ -291,7 +295,19 @@ std::size_t StitchRequest::predicted_pool_bytes() const {
 
 StitchResult stitch(const StitchRequest& request) {
   request.validate();
-  throw_if_cancelled(request.options);
+
+  // --- deadline: armed on the same stop token every backend already polls
+  // between pairs. A direct call starts the clock here; through the serve
+  // layer the token was armed at submit() and this arm is a no-op (first
+  // arm wins), so queue wait counts against the budget.
+  pipe::CancelToken local_cancel;
+  const pipe::CancelToken* cancel = request.options.cancel;
+  if (request.deadline_ms > 0) {
+    if (cancel == nullptr) cancel = &local_cancel;
+    cancel->arm_deadline(pipe::CancelToken::Clock::now() +
+                         std::chrono::milliseconds(request.deadline_ms));
+  }
+  if (cancel != nullptr) cancel->throw_if_requested();
   const img::GridLayout layout = request.provider->layout();
   Stopwatch stopwatch;
 
@@ -340,6 +356,7 @@ StitchResult stitch(const StitchRequest& request) {
   std::size_t pairs_reused = 0;
   for (std::size_t attempt = 0;; ++attempt) {
     StitchOptions attempt_options = request.options;
+    attempt_options.cancel = cancel;
     attempt_options.warm_start = warm;
     attempt_options.ledger = ledger;
     try {
@@ -361,6 +378,11 @@ StitchResult stitch(const StitchRequest& request) {
                 : fault::Site::kStreamExec);
       }
       ++fallbacks_taken;
+      // A watchdog stall interrupt belongs to the attempt that just died —
+      // retire it (whatever exception won the unwind race) so the fallback
+      // attempt starts with a clean token instead of re-throwing at its
+      // first poll.
+      if (cancel != nullptr) cancel->acknowledge_stall();
       // Everything the dead attempt finished is in the ledger; the next
       // backend starts warm from its snapshot (ledger is non-null here:
       // a non-empty fallback chain forces one above).

@@ -35,6 +35,13 @@ struct StitchRequest {
   /// the ledger is reused, never recomputed. Typical chain for a GPU
   /// primary: {Backend::kMtCpu}.
   std::vector<Backend> fallback = {};
+  /// Wall-clock budget for the whole request, milliseconds; 0 = unlimited.
+  /// Enforced cooperatively at pair granularity in every backend via the
+  /// cancel token: expiry throws DeadlineExceeded at the next preemption
+  /// point. Through the serve layer the clock starts at submit() (queue
+  /// wait counts against the budget); through a direct stitch() call it
+  /// starts at entry. Falling back does not extend the budget.
+  std::int64_t deadline_ms = 0;
 
   /// Checks every invariant of this backend/options/provider combination.
   /// Throws InvalidArgument with a message of the form

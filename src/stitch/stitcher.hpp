@@ -42,6 +42,12 @@ inline constexpr Backend kAllBackends[] = {
 std::string backend_name(Backend backend);
 Backend parse_backend(const std::string& name);
 
+/// True for backends that execute on the (virtual) GPU — the resources the
+/// serve layer's circuit breaker guards.
+inline constexpr bool is_gpu_backend(Backend backend) {
+  return backend == Backend::kSimpleGpu || backend == Backend::kPipelinedGpu;
+}
+
 struct StitchOptions {
   fft::Rigor rigor = fft::Rigor::kEstimate;
   Traversal traversal = Traversal::kDiagonalChained;

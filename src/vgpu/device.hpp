@@ -28,6 +28,10 @@ namespace hs::fault {
 class FaultPlan;
 }
 
+namespace hs::pipe {
+class CancelToken;
+}
+
 namespace hs::vgpu {
 
 struct DeviceConfig {
@@ -47,6 +51,11 @@ struct DeviceConfig {
   /// Optional fault-injection plan (tests/benches only). Null in
   /// production: the hooks then cost one pointer compare each.
   hs::fault::FaultPlan* faults = nullptr;
+  /// Optional stop token for the job driving this device. An injected hang
+  /// at the stream-exec site blocks until this token requests a stop (the
+  /// watchdog's stall interrupt, a deadline, a cancel), which keeps hung
+  /// attempts recoverable instead of wedging a stage thread forever.
+  const hs::pipe::CancelToken* cancel = nullptr;
 };
 
 class Device;

@@ -38,6 +38,11 @@ void Stream::enqueue(std::string label, MoveFunction work) {
   // stream worker itself never throws. synchronize() bypasses this hook
   // (record_event pushes directly), so teardown stays fault-free.
   fault::FaultPlan* faults = device_.config().faults;
+  if (faults != nullptr &&
+      faults->hang_point(fault::Site::kStreamExec, device_.config().cancel)) {
+    throw DeviceError(lane_ + ": injected hang interrupted executing '" +
+                      label + "'");
+  }
   if (faults != nullptr && faults->should_fail(fault::Site::kStreamExec)) {
     throw DeviceError(lane_ + ": injected device fault executing '" + label +
                       "'");

@@ -16,6 +16,7 @@
 #include "compose/positions.hpp"
 #include "fault/plan.hpp"
 #include "fault/provider.hpp"
+#include "metrics/wellknown.hpp"
 #include "serve/service.hpp"
 #include "stitch/ledger.hpp"
 #include "stitch/request.hpp"
@@ -117,6 +118,62 @@ TEST(FaultPlan, RecordsInjectionsAsTraceEvents) {
 
 // --- provider decorators -----------------------------------------------------------
 
+TEST(FaultPlan, DelayPointSleepsConfiguredMicroseconds) {
+  FaultPlan plan;
+  plan.set_delay_us(Site::kTileRead, 20000);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(plan.hang_point(Site::kTileRead));  // delayed, not hung
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(20));
+  EXPECT_EQ(plan.hangs_triggered(Site::kTileRead), 0u);
+}
+
+TEST(FaultPlan, DelayIsInterruptedByStoppedToken) {
+  FaultPlan plan;
+  plan.set_delay_us(Site::kTileRead, 60u * 1000 * 1000);  // a minute
+  pipe::CancelToken token;
+  token.request();
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)plan.hang_point(Site::kTileRead, &token);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+}
+
+TEST(FaultPlan, HangBlocksUntilReleased) {
+  FaultPlan plan;
+  plan.hang_from_nth(Site::kStreamExec, 1);  // second occurrence hangs
+  EXPECT_FALSE(plan.hang_point(Site::kStreamExec));
+  std::atomic<bool> hung_and_returned{false};
+  std::thread blocked([&] {
+    EXPECT_TRUE(plan.hang_point(Site::kStreamExec));
+    hung_and_returned.store(true);
+  });
+  while (plan.hangs_triggered(Site::kStreamExec) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(hung_and_returned.load());
+  plan.release_hangs();
+  blocked.join();
+  EXPECT_TRUE(hung_and_returned.load());
+  EXPECT_EQ(plan.hangs_triggered(Site::kStreamExec), 1u);
+  // Released plans do not hang future occurrences either.
+  EXPECT_TRUE(plan.hang_point(Site::kStreamExec));
+}
+
+TEST(FaultPlan, HangInterruptedByStallToken) {
+  FaultPlan plan;
+  plan.hang_from_nth(Site::kStreamExec, 0);
+  pipe::CancelToken token;
+  std::thread watchdog([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.request_stall();  // what the serve watchdog does
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(plan.hang_point(Site::kStreamExec, &token));
+  watchdog.join();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+  EXPECT_EQ(plan.hangs_triggered(Site::kStreamExec), 1u);
+}
+
 TEST(RetryingProvider, HealsTransientFaults) {
   const auto grid = small_grid();
   stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
@@ -167,6 +224,8 @@ TEST(RetryingProvider, QuarantinesPermanentlyBadTileOnce) {
   std::vector<std::size_t> notified;
   provider.on_quarantine([&](std::size_t index) { notified.push_back(index); });
 
+  const std::uint64_t quarantined_before =
+      metrics::wellknown::fault_quarantined_tiles_total().value();
   const auto blank = provider.load(img::TilePos{1, 1});
   for (const auto pixel : blank.pixels()) EXPECT_EQ(pixel, 0);
   // A quarantined tile short-circuits: no new injections, no re-backoff.
@@ -175,6 +234,9 @@ TEST(RetryingProvider, QuarantinesPermanentlyBadTileOnce) {
   EXPECT_EQ(plan.injected(Site::kTileRead), injected_after_first);
   EXPECT_EQ(provider.quarantined(), std::vector<std::size_t>{bad});
   EXPECT_EQ(notified, std::vector<std::size_t>{bad});
+  // The process-wide counter ticks exactly once per quarantined tile.
+  EXPECT_EQ(metrics::wellknown::fault_quarantined_tiles_total().value(),
+            quarantined_before + 1);
 }
 
 // --- transient faults heal to bit-identical results, every backend -----------------

@@ -250,6 +250,19 @@ TEST(Wellknown, FreshRegistryCarriesFullSchema) {
   EXPECT_NE(text.find("hs_serve_queue_wait_us_count 0"), std::string::npos);
   EXPECT_NE(text.find("# TYPE hs_pipeline_queue_depth gauge"),
             std::string::npos);
+  // Time-domain robustness families (deadlines, watchdog, breaker,
+  // shedding) and the fault layer's quarantine counter: all must render
+  // zero-valued from a fresh registry so dashboards see them before the
+  // first incident.
+  EXPECT_NE(text.find("hs_serve_deadline_exceeded_total 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("hs_serve_shed_total 0"), std::string::npos);
+  EXPECT_NE(text.find("hs_serve_watchdog_stalls_total 0"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE hs_serve_breaker_state gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("hs_serve_breaker_state 0"), std::string::npos);
+  EXPECT_NE(text.find("hs_fault_quarantined_tiles_total 0"),
+            std::string::npos);
 }
 
 TEST(Wellknown, GlobalRegistryIsPreRegistered) {

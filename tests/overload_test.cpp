@@ -1,0 +1,600 @@
+// Time-domain robustness tests: per-request deadlines (direct and through
+// the service), the stall watchdog rescuing hung GPU jobs into the CPU
+// fallback, the circuit breaker over the GPU backends, overload policies
+// (reject / shed-lowest-priority / bounded queue wait), graceful shutdown,
+// and atomic checkpoint writes.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "fault/plan.hpp"
+#include "serve/breaker.hpp"
+#include "serve/service.hpp"
+#include "stitch/request.hpp"
+#include "stitch/table_io.hpp"
+#include "testing_providers.hpp"
+
+namespace hs {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+using fault::FaultPlan;
+using fault::Site;
+using hs::testing::fast_options;
+using hs::testing::small_grid;
+using hs::testing::SlowProvider;
+using hs::testing::tables_identical;
+using serve::BreakerConfig;
+using serve::BreakerState;
+using serve::CircuitBreaker;
+using serve::JobState;
+using serve::OverloadPolicy;
+using serve::ServiceConfig;
+using serve::StitchJob;
+using serve::StitchService;
+using stitch::Backend;
+
+/// Spins until the service has admitted `n` running jobs.
+void wait_running(const StitchService& service, std::size_t n) {
+  while (service.running_count() < n) std::this_thread::sleep_for(1ms);
+}
+
+// --- deadlines ---------------------------------------------------------------
+
+TEST(Deadline, NegativeDeadlineRejectedByValidateWithFieldName) {
+  const auto grid = small_grid(41);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  stitch::StitchRequest request;
+  request.backend = Backend::kSimpleCpu;
+  request.provider = &mem;
+  request.deadline_ms = -1;
+  try {
+    request.validate();
+    FAIL() << "negative deadline must not validate";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline_ms"), std::string::npos);
+  }
+}
+
+TEST(Deadline, DirectStitchCallHonorsDeadline) {
+  const auto grid = small_grid(42);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  SlowProvider slow(&mem, 10);
+  stitch::StitchRequest request;
+  request.backend = Backend::kSimpleCpu;
+  request.provider = &slow;
+  request.options = fast_options();
+  request.deadline_ms = 30;  // 17 pairs x >=10 ms of reads can never fit
+  EXPECT_THROW((void)stitch::stitch(request), DeadlineExceeded);
+}
+
+TEST(Deadline, ZeroDeadlineMeansUnlimited) {
+  const auto grid = small_grid(43);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  stitch::StitchRequest request;
+  request.backend = Backend::kSimpleCpu;
+  request.provider = &mem;
+  request.options = fast_options();
+  request.deadline_ms = 0;
+  EXPECT_NO_THROW((void)stitch::stitch(request));
+}
+
+TEST(Deadline, ExpiresMidRunFailsJobAndCountsIt) {
+  const auto grid = small_grid(44);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  SlowProvider slow(&mem, 10);
+
+  ServiceConfig config;
+  config.workers = 1;
+  StitchService service(config);
+  StitchJob job;
+  job.name = "over-budget";
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &slow;
+  job.options = fast_options();
+  job.deadline_ms = 60;
+  auto handle = service.submit(job);
+  EXPECT_THROW(handle.wait(), DeadlineExceeded);
+  EXPECT_EQ(handle.state(), JobState::kFailed);
+  EXPECT_GT(handle.timing().start_us, 0.0);  // it did get to run
+
+  const auto m = service.metrics();
+  EXPECT_EQ(m.jobs_deadline_exceeded, 1u);
+  EXPECT_EQ(m.jobs_failed, 1u);
+  EXPECT_EQ(m.jobs_shed, 0u);
+}
+
+TEST(Deadline, ExpiredWhileQueuedShedBeforeAdmission) {
+  const auto grid = small_grid(45);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  SlowProvider slow(&mem, 10);
+
+  ServiceConfig config;
+  config.workers = 1;
+  StitchService service(config);
+
+  StitchJob hog;  // occupies the only worker for the whole test
+  hog.name = "hog";
+  hog.backend = Backend::kSimpleCpu;
+  hog.provider = &slow;
+  hog.options = fast_options();
+  auto hog_handle = service.submit(hog);
+  wait_running(service, 1);
+
+  StitchJob rushed;
+  rushed.name = "rushed";
+  rushed.backend = Backend::kSimpleCpu;
+  rushed.provider = &mem;
+  rushed.options = fast_options();
+  rushed.deadline_ms = 40;  // expires long before the hog finishes
+  auto handle = service.submit(rushed);
+  EXPECT_THROW(handle.wait(), DeadlineExceeded);
+  EXPECT_EQ(handle.state(), JobState::kFailed);
+  // Shed from the queue by the watchdog: it never started running.
+  EXPECT_EQ(handle.timing().start_us, 0.0);
+  EXPECT_GT(handle.timing().end_us, 0.0);
+  EXPECT_GE(service.metrics().jobs_deadline_exceeded, 1u);
+
+  hog_handle.cancel();
+}
+
+// --- stall watchdog: hung GPU attempts fall back to the CPU ------------------
+
+void run_hang_rescue(bool use_real_fft) {
+  const auto grid = small_grid(46);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  auto options = fast_options();
+  options.use_real_fft = use_real_fft;
+  const stitch::StitchResult clean =
+      stitch::stitch(Backend::kMtCpu, mem, options);
+
+  FaultPlan plan;
+  // Every stream command blocks in the driver forever, so pairs_done can
+  // never advance: only the watchdog can rescue this job. (Hanging from the
+  // first command — not mid-run — keeps the stall genuine under TSan, where
+  // a legitimately slow first pair could otherwise trip the timeout first.)
+  plan.hang_from_nth(Site::kStreamExec, 0);
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.stall_timeout_s = 2.0;
+  config.watchdog_period_s = 0.02;
+  StitchService service(config);
+  StitchJob job;
+  job.name = "hung";
+  job.backend = Backend::kPipelinedGpu;
+  job.provider = &mem;
+  job.options = options;
+  job.options.faults = &plan;
+  // fallback left empty: defaults to {kMtCpu}.
+  auto handle = service.submit(job);
+  const stitch::StitchResult& result = handle.wait();
+
+  EXPECT_EQ(handle.state(), JobState::kDone);
+  EXPECT_GE(result.fallbacks_taken, 1u);
+  EXPECT_EQ(result.backend_used, backend_name(Backend::kMtCpu));
+  EXPECT_GE(plan.hangs_triggered(Site::kStreamExec), 1u);
+  const auto m = service.metrics();
+  EXPECT_GE(m.watchdog_stalls, 1u);
+  EXPECT_EQ(m.jobs_done, 1u);
+  EXPECT_EQ(m.jobs_failed, 0u);
+  // The rescue is invisible in the output: bit-identical to a clean run.
+  EXPECT_TRUE(tables_identical(clean.table, result.table));
+}
+
+TEST(Watchdog, HungGpuJobRescuedToCpuBitIdentical) { run_hang_rescue(false); }
+
+TEST(Watchdog, HungGpuJobRescuedToCpuBitIdenticalRealFft) {
+  run_hang_rescue(true);
+}
+
+// --- circuit breaker: unit-level state machine -------------------------------
+
+using Clock = CircuitBreaker::Clock;
+
+TEST(Breaker, TripsAfterThresholdFailuresInsideWindow) {
+  BreakerConfig config;
+  config.failure_threshold = 3;
+  config.window_s = 10.0;
+  config.cooldown_s = 5.0;
+  CircuitBreaker breaker(config);
+  const auto t0 = Clock::now();
+
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow(t0));
+  breaker.record_failure(t0);
+  breaker.record_failure(t0 + 1s);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_failure(t0 + 2s);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow(t0 + 3s));
+}
+
+TEST(Breaker, OldFailuresFallOutOfTheSlidingWindow) {
+  BreakerConfig config;
+  config.failure_threshold = 2;
+  config.window_s = 10.0;
+  CircuitBreaker breaker(config);
+  const auto t0 = Clock::now();
+
+  breaker.record_failure(t0);
+  breaker.record_failure(t0 + 11s);  // the first one is stale by now
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_failure(t0 + 12s);  // two inside the window
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(Breaker, CooldownAdmitsOneProbeAndSuccessCloses) {
+  BreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown_s = 5.0;
+  CircuitBreaker breaker(config);
+  const auto t0 = Clock::now();
+
+  breaker.record_failure(t0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow(t0 + 4s));  // cooling down
+  EXPECT_TRUE(breaker.allow(t0 + 6s));   // the half-open probe
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(t0 + 6s));  // one probe at a time
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow(t0 + 7s));
+}
+
+TEST(Breaker, FailedProbeReopensAndRestartsCooldown) {
+  BreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown_s = 5.0;
+  CircuitBreaker breaker(config);
+  const auto t0 = Clock::now();
+
+  breaker.record_failure(t0);
+  EXPECT_TRUE(breaker.allow(t0 + 6s));
+  breaker.record_failure(t0 + 6s);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow(t0 + 10s));  // 4 s into the fresh cooldown
+  EXPECT_TRUE(breaker.allow(t0 + 12s));
+}
+
+TEST(Breaker, AbandonedProbeFreesTheSlotWithoutJudging) {
+  BreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown_s = 5.0;
+  CircuitBreaker breaker(config);
+  const auto t0 = Clock::now();
+
+  breaker.record_failure(t0);
+  EXPECT_TRUE(breaker.allow(t0 + 6s));
+  breaker.record_abandoned();  // the probe job was cancelled mid-run
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.allow(t0 + 6s));  // a new probe may go
+}
+
+// --- circuit breaker through the service -------------------------------------
+
+TEST(Breaker, OpenBreakerSkipsDoomedGpuAttempt) {
+  const auto grid = small_grid(47);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  FaultPlan plan;
+  plan.fail_from_nth(Site::kStreamExec, 0);  // the device is dead for good
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.breaker.failure_threshold = 2;
+  config.breaker.window_s = 3600.0;
+  config.breaker.cooldown_s = 3600.0;
+  StitchService service(config);
+
+  // The first two jobs each pay the doomed GPU attempt, fall back, and
+  // feed the breaker a device fault; the threshold trips it open.
+  for (int i = 0; i < 2; ++i) {
+    StitchJob job;
+    job.name = "feed" + std::to_string(i);
+    job.backend = Backend::kSimpleGpu;
+    job.provider = &mem;
+    job.options = fast_options();
+    job.options.faults = &plan;
+    const stitch::StitchResult& result = service.submit(job).wait();
+    EXPECT_EQ(result.fallbacks_taken, 1u) << i;
+    EXPECT_EQ(result.backend_used, backend_name(Backend::kMtCpu)) << i;
+  }
+  EXPECT_EQ(service.metrics().breaker_state,
+            static_cast<int>(BreakerState::kOpen));
+
+  // The third job skips straight to the CPU: no doomed attempt, no fallback.
+  StitchJob job;
+  job.name = "skipped";
+  job.backend = Backend::kSimpleGpu;
+  job.provider = &mem;
+  job.options = fast_options();
+  job.options.faults = &plan;
+  const stitch::StitchResult& result = service.submit(job).wait();
+  EXPECT_EQ(result.fallbacks_taken, 0u);
+  EXPECT_EQ(result.backend_used, backend_name(Backend::kMtCpu));
+}
+
+// --- overload policies -------------------------------------------------------
+
+TEST(Overload, RejectPolicyFailsFastAtFullQueue) {
+  const auto grid = small_grid(48);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  SlowProvider slow(&mem, 10);
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_queued = 1;
+  config.overload = OverloadPolicy::kReject;
+  StitchService service(config);
+
+  StitchJob job;
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &slow;
+  job.options = fast_options();
+  job.name = "running";
+  auto running = service.submit(job);
+  wait_running(service, 1);
+  job.name = "queued";
+  auto queued = service.submit(job);
+
+  job.name = "rejected";
+  const auto t0 = std::chrono::steady_clock::now();
+  auto rejected = service.submit(job);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(rejected.state(), JobState::kRejected);
+  EXPECT_LT(elapsed, 50ms);  // fail fast, never block
+  EXPECT_THROW(rejected.wait(), Overloaded);
+
+  const auto m = service.metrics();
+  EXPECT_EQ(m.jobs_shed, 1u);
+  EXPECT_EQ(m.jobs_submitted, 3u);
+  running.cancel();
+  queued.cancel();
+}
+
+TEST(Overload, ShedLowestPriorityEvictsQueuedVictim) {
+  const auto grid = small_grid(49);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  SlowProvider slow(&mem, 10);
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_queued = 1;
+  config.overload = OverloadPolicy::kShedLowestPriority;
+  StitchService service(config);
+
+  StitchJob job;
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &slow;
+  job.options = fast_options();
+  job.name = "running";
+  auto running = service.submit(job);
+  wait_running(service, 1);
+
+  job.name = "victim";
+  job.provider = &mem;
+  job.priority = 0;
+  auto victim = service.submit(job);
+
+  job.name = "urgent";  // strictly higher priority: evicts the victim
+  job.priority = 5;
+  auto urgent = service.submit(job);
+  EXPECT_EQ(victim.state(), JobState::kRejected);
+  EXPECT_THROW(victim.wait(), Overloaded);
+
+  job.name = "too-low";  // not higher than 'urgent': rejected itself
+  job.priority = 1;
+  auto too_low = service.submit(job);
+  EXPECT_EQ(too_low.state(), JobState::kRejected);
+
+  running.cancel();
+  EXPECT_NO_THROW(urgent.wait());  // the survivor runs to completion
+  EXPECT_EQ(urgent.state(), JobState::kDone);
+  EXPECT_EQ(service.metrics().jobs_shed, 2u);
+}
+
+TEST(Overload, QueueWaitBudgetShedsOverstayedJob) {
+  const auto grid = small_grid(50);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  SlowProvider slow(&mem, 10);
+
+  ServiceConfig config;
+  config.workers = 1;
+  StitchService service(config);
+
+  StitchJob hog;
+  hog.name = "hog";
+  hog.backend = Backend::kSimpleCpu;
+  hog.provider = &slow;
+  hog.options = fast_options();
+  auto hog_handle = service.submit(hog);
+  wait_running(service, 1);
+
+  StitchJob impatient;
+  impatient.name = "impatient";
+  impatient.backend = Backend::kSimpleCpu;
+  impatient.provider = &mem;
+  impatient.options = fast_options();
+  impatient.max_queue_wait_ms = 40;
+  auto handle = service.submit(impatient);
+  EXPECT_THROW(handle.wait(), Overloaded);
+  EXPECT_EQ(handle.state(), JobState::kRejected);
+  EXPECT_EQ(handle.timing().start_us, 0.0);
+  EXPECT_GE(service.metrics().jobs_shed, 1u);
+  hog_handle.cancel();
+}
+
+// --- graceful shutdown -------------------------------------------------------
+
+TEST(Shutdown, SubmitAfterShutdownRejectedNotBlocked) {
+  const auto grid = small_grid(51);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  ServiceConfig config;
+  config.workers = 1;
+  StitchService service(config);
+  service.shutdown(0.0);
+
+  StitchJob job;
+  job.name = "late";
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &mem;
+  job.options = fast_options();
+  auto handle = service.submit(job);
+  EXPECT_EQ(handle.state(), JobState::kRejected);
+  EXPECT_THROW(handle.wait(), Overloaded);
+}
+
+TEST(Shutdown, BlockedSubmitUnblocksAndRejectsWhenShutdownStarts) {
+  const auto grid = small_grid(52);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  SlowProvider slow(&mem, 10);
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_queued = 1;
+  config.overload = OverloadPolicy::kBlock;
+  StitchService service(config);
+
+  StitchJob job;
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &slow;
+  job.options = fast_options();
+  job.name = "running";
+  auto running = service.submit(job);
+  wait_running(service, 1);
+  job.name = "filler";
+  auto filler = service.submit(job);
+
+  serve::JobHandle blocked;
+  std::atomic<bool> submitted{false};
+  std::thread submitter([&] {
+    StitchJob late = job;
+    late.name = "blocked";
+    blocked = service.submit(late);  // blocks on backpressure
+    submitted.store(true);
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(submitted.load());  // genuinely blocked
+
+  service.shutdown(0.0);  // zero drain budget: cancels the stragglers too
+  submitter.join();
+  EXPECT_EQ(blocked.state(), JobState::kRejected);
+  EXPECT_THROW(blocked.wait(), Overloaded);
+  EXPECT_TRUE(filler.state() == JobState::kCancelled ||
+              filler.state() == JobState::kDone);
+  EXPECT_TRUE(running.state() == JobState::kCancelled ||
+              running.state() == JobState::kDone);
+}
+
+class OverloadCheckpoint : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("hs_overload_" + std::to_string(::getpid())))
+               .string();
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+TEST_F(OverloadCheckpoint, DrainDeadlineCancelsStragglersAndCheckpoints) {
+  const auto grid = small_grid(53);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  SlowProvider slow(&mem, 10);
+  const std::string ckpt = path("drain.csv");
+
+  ServiceConfig config;
+  config.workers = 1;
+  StitchService service(config);
+  StitchJob job;
+  job.name = "straggler";
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &slow;
+  job.options = fast_options();
+  job.checkpoint_path = ckpt;
+  auto handle = service.submit(job);
+  while (handle.progress().pairs_done == 0) std::this_thread::sleep_for(1ms);
+
+  service.shutdown(0.02);  // can't possibly drain: cancels, checkpoints
+  EXPECT_EQ(handle.state(), JobState::kCancelled);
+  // The final checkpoint is on disk, so a resubmit resumes the work.
+  const auto partial = stitch::read_table_csv(ckpt);
+  EXPECT_EQ(partial.layout.rows, grid.layout.rows);
+
+  ServiceConfig config2;
+  config2.workers = 1;
+  StitchService service2(config2);
+  StitchJob resume = job;
+  resume.provider = &mem;  // full speed this time
+  const stitch::StitchResult& result = service2.submit(resume).wait();
+  EXPECT_GT(result.pairs_reused, 0u);
+}
+
+// --- atomic checkpoint writes ------------------------------------------------
+
+TEST_F(OverloadCheckpoint, KilledHalfwayTmpWriteCannotCorruptResume) {
+  const auto grid = small_grid(54);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+  const std::string ckpt = path("atomic.csv");
+
+  StitchJob job;
+  job.name = "first";
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &mem;
+  job.options = fast_options();
+  job.checkpoint_path = ckpt;
+  stitch::DisplacementTable first_table;
+  {
+    StitchService service(ServiceConfig{});
+    first_table = service.submit(job).wait().table;
+  }
+
+  // A writer killed halfway leaves garbage in the .tmp staging file, never
+  // in the checkpoint itself (writes go tmp + rename). Resume must read the
+  // intact checkpoint and ignore the staging debris.
+  std::ofstream(ckpt + ".tmp") << "garbage\nnot,a,table\n";
+  {
+    StitchService service(ServiceConfig{});
+    job.name = "resumed";
+    const stitch::StitchResult& result = service.submit(job).wait();
+    EXPECT_EQ(result.pairs_reused, grid.layout.pair_count());
+    EXPECT_TRUE(tables_identical(first_table, result.table));
+  }
+  // The checkpoint on disk still parses after everything.
+  EXPECT_NO_THROW((void)stitch::read_table_csv(ckpt));
+}
+
+TEST_F(OverloadCheckpoint, FailedCheckpointWriteDoesNotFailTheJob) {
+  const auto grid = small_grid(55);
+  stitch::MemoryTileProvider mem(&grid.tiles, grid.layout);
+
+  StitchService service(ServiceConfig{});
+  StitchJob job;
+  job.name = "unwritable";
+  job.backend = Backend::kSimpleCpu;
+  job.provider = &mem;
+  job.options = fast_options();
+  job.checkpoint_path = path("no_such_dir/ckpt.csv");
+  auto handle = service.submit(job);
+  EXPECT_NO_THROW(handle.wait());
+  EXPECT_EQ(handle.state(), JobState::kDone);
+  EXPECT_FALSE(fs::exists(job.checkpoint_path));
+}
+
+}  // namespace
+}  // namespace hs

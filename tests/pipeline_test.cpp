@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <thread>
 
+#include "pipeline/cancel.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/queue.hpp"
 
@@ -238,6 +240,75 @@ TEST(Pipeline, StressPipelineWithBackpressure) {
   add_sink<int>(pipeline, "sink", 2, q2, [&](int v) { total += v; });
   pipeline.run();
   EXPECT_EQ(total.load(), 2 * 2000 * 2);
+}
+
+// --- CancelToken: combined cancel / deadline / stall stop reasons ------------
+
+TEST(CancelToken, FreshTokenIsQuiet) {
+  CancelToken token;
+  EXPECT_FALSE(token.requested());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.deadline_expired());
+  EXPECT_FALSE(token.stall_pending());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_NO_THROW(token.throw_if_requested());
+}
+
+TEST(CancelToken, DeadlineFirstArmWins) {
+  const auto now = CancelToken::Clock::now();
+  CancelToken token;
+  token.arm_deadline(now + std::chrono::hours(1));
+  // The serve layer armed at submit; the request layer's later (here:
+  // already-past) arm of the same budget must not shorten it.
+  token.arm_deadline(now - std::chrono::hours(1));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.deadline_expired(now));
+  EXPECT_FALSE(token.stop_requested(now));
+}
+
+TEST(CancelToken, ExpiredDeadlineThrowsDeadlineExceeded) {
+  CancelToken token;
+  token.arm_deadline(CancelToken::Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.deadline_expired());
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_THROW(token.throw_if_requested(), hs::DeadlineExceeded);
+  // Deadline expiry is not user cancellation.
+  EXPECT_FALSE(token.requested());
+}
+
+TEST(CancelToken, StallPendsUntilAcknowledged) {
+  CancelToken token;
+  token.request_stall();
+  EXPECT_TRUE(token.stall_pending());
+  EXPECT_TRUE(token.stop_requested());
+  // StallDetected is a DeviceError so the fallback chain engages.
+  EXPECT_THROW(token.throw_if_requested(), hs::DeviceError);
+  token.acknowledge_stall();
+  EXPECT_FALSE(token.stall_pending());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_NO_THROW(token.throw_if_requested());
+  // The watchdog may declare the *next* attempt hung too.
+  token.request_stall();
+  EXPECT_TRUE(token.stall_pending());
+  EXPECT_THROW(token.throw_if_requested(), hs::StallDetected);
+}
+
+TEST(CancelToken, ThrowPrecedenceCancelOverDeadlineOverStall) {
+  {
+    CancelToken token;  // all three active: the user's cancel wins
+    token.request();
+    token.arm_deadline(CancelToken::Clock::now() -
+                       std::chrono::milliseconds(1));
+    token.request_stall();
+    EXPECT_THROW(token.throw_if_requested(), hs::Cancelled);
+  }
+  {
+    CancelToken token;  // deadline beats stall: no point falling back
+    token.arm_deadline(CancelToken::Clock::now() -
+                       std::chrono::milliseconds(1));
+    token.request_stall();
+    EXPECT_THROW(token.throw_if_requested(), hs::DeadlineExceeded);
+  }
 }
 
 }  // namespace
