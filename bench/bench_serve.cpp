@@ -34,6 +34,7 @@
 #include "serve/service.hpp"
 #include "simdata/plate.hpp"
 #include "stitch/cli_flags.hpp"
+#include "stitch/scheduler.hpp"
 #include "stitch/validate.hpp"
 
 using namespace hs;
@@ -132,8 +133,9 @@ int main(int argc, char** argv) {
   std::vector<stitch::StitchResult> direct;
   direct.reserve(n_jobs);
   for (std::size_t i = 0; i < n_jobs; ++i) {
-    direct.push_back(
-        stitch::stitch(specs[i].backend, providers[i], options_for[i]));
+    direct.push_back(stitch::stitch(
+        stitch::ResourceSet::for_backend(specs[i].backend, options_for[i]),
+        providers[i], options_for[i]));
   }
   const double serial_seconds = serial_watch.seconds();
 

@@ -18,6 +18,7 @@
 #include "serve/service.hpp"
 #include "simdata/plate.hpp"
 #include "stitch/cli_flags.hpp"
+#include "stitch/scheduler.hpp"
 #include "stitch/validate.hpp"
 
 using namespace hs;
@@ -129,10 +130,13 @@ int main(int argc, char** argv) {
   std::printf("all 5 jobs done in %s wall clock\n\n",
               format_duration(stopwatch.seconds()).c_str());
 
-  // Bit-identity: the service result equals a direct stitch() call.
-  const auto direct =
-      stitch::stitch(stitch::Backend::kSimpleCpu, providers[0],
-                     stitch::StitchOptions{});
+  // Bit-identity: the service result equals a direct scheduler run (the
+  // ResourceSet API is the non-deprecated way to pick an execution shape).
+  const stitch::StitchOptions direct_options;
+  const auto direct = stitch::stitch(
+      stitch::ResourceSet::for_backend(stitch::Backend::kSimpleCpu,
+                                       direct_options),
+      providers[0], direct_options);
   const bool identical =
       stitch::diff_tables(direct.table, handles[0].wait().table).identical();
   std::printf("scan0 table vs direct stitch(): %s\n",

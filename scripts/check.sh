@@ -37,6 +37,15 @@ for preset in "${presets[@]}"; do
     ctest --preset "${preset}" -L overload -j 1
     echo "==> [${preset}] ctest -L overload (HS_USE_REAL_FFT=1)"
     HS_USE_REAL_FFT=1 ctest --preset "${preset}" -L overload -j 1
+    # HybridScheduler suite: work stealing, batched dispatch, and the
+    # straggler rescue. The release run checks behaviour and the timing
+    # budgets; the tsan run proves the claim/steal protocol and the grouped
+    # launches are data-race free. Serial (-j 1): the straggler test
+    # asserts wall-clock ratios.
+    echo "==> [${preset}] ctest -L sched (complex spectra)"
+    ctest --preset "${preset}" -L sched -j 1
+    echo "==> [${preset}] ctest -L sched (HS_USE_REAL_FFT=1)"
+    HS_USE_REAL_FFT=1 ctest --preset "${preset}" -L sched -j 1
   fi
 done
 
@@ -49,6 +58,12 @@ for preset in "${presets[@]}"; do
   if [ "${preset}" = "release" ]; then
     echo "==> [release] bench_serve metrics-overhead + overload budgets"
     ./build/bench/bench_serve >/dev/null
+    # table2_runtimes exits non-zero if the HybridScheduler section misses
+    # its budgets (stealing recovers < 70% of the straggler's idle time, or
+    # batched dispatch cuts vgpu enqueues by < 4x); the section's numbers
+    # land in BENCH_sched.json.
+    echo "==> [release] table2_runtimes scheduler budgets (BENCH_sched.json)"
+    ./build/bench/table2_runtimes >/dev/null
   fi
 done
 

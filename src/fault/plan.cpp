@@ -82,7 +82,17 @@ bool FaultPlan::should_fail(Site site, std::uint64_t key) {
 }
 
 void FaultPlan::set_delay_us(Site site, std::uint64_t delay_us) {
-  state(site).delay_us.store(delay_us, std::memory_order_relaxed);
+  set_delay_us(site, delay_us, std::string{});
+}
+
+void FaultPlan::set_delay_us(Site site, std::uint64_t delay_us,
+                             const std::string& scope_prefix) {
+  SiteState& s = state(site);
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.delay_scope = scope_prefix;
+  }
+  s.delay_us.store(delay_us, std::memory_order_relaxed);
 }
 
 void FaultPlan::hang_from_nth(Site site, std::uint64_t n) {
@@ -97,12 +107,19 @@ void FaultPlan::release_hangs() {
   hang_cv_.notify_all();
 }
 
-bool FaultPlan::hang_point(Site site, const pipe::CancelToken* cancel) {
+bool FaultPlan::hang_point(Site site, const pipe::CancelToken* cancel,
+                           const std::string& scope) {
   SiteState& s = state(site);
-  const std::uint64_t delay = s.delay_us.load(std::memory_order_relaxed);
+  std::uint64_t delay = s.delay_us.load(std::memory_order_relaxed);
   const std::uint64_t occurrence =
       s.hang_occurrences.fetch_add(1, std::memory_order_relaxed);
 
+  if (delay > 0) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.delay_scope.empty() && scope.rfind(s.delay_scope, 0) != 0) {
+      delay = 0;
+    }
+  }
   if (delay > 0) {
     // Chunked so a stopping job is not pinned behind a long injected delay.
     std::uint64_t slept = 0;

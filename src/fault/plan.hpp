@@ -63,6 +63,13 @@ class FaultPlan {
   /// a slow NFS mount, a saturated PCIe link. 0 disables (the default).
   void set_delay_us(Site site, std::uint64_t delay_us);
 
+  /// Like set_delay_us, but only occurrences whose caller-supplied scope
+  /// (the vgpu stream lane, e.g. "gpu1.disp") starts with `scope_prefix`
+  /// sleep. An empty prefix delays every occurrence (same as the overload
+  /// above). Models one straggling stream among healthy peers.
+  void set_delay_us(Site site, std::uint64_t delay_us,
+                    const std::string& scope_prefix);
+
   /// Passes through hang_point() at `site` from the Nth onward (0-based,
   /// counted separately from should_fail occurrences) block until either
   /// release_hangs() or the polled CancelToken requests a stop — a kernel
@@ -74,11 +81,13 @@ class FaultPlan {
   void release_hangs();
 
   /// Delay/hang decision point, called by the same hooks as should_fail().
-  /// Applies the configured delay, then blocks if this occurrence is
+  /// Applies the configured delay (skipped when a delay scope is set and
+  /// `scope` does not start with it), then blocks if this occurrence is
   /// scheduled to hang. Returns true when the occurrence hung (the caller
   /// should throw its site's natural error so recovery layers engage);
   /// false when it may proceed normally.
-  bool hang_point(Site site, const pipe::CancelToken* cancel = nullptr);
+  bool hang_point(Site site, const pipe::CancelToken* cancel = nullptr,
+                  const std::string& scope = {});
 
   std::uint64_t hangs_triggered(Site site) const;
 
@@ -109,9 +118,10 @@ class FaultPlan {
     std::atomic<std::uint64_t> hang_from{~std::uint64_t{0}};
     std::atomic<std::uint64_t> hang_occurrences{0};
     std::atomic<std::uint64_t> hangs{0};
-    std::mutex mutex;  // guards bad_keys + attempts
+    std::mutex mutex;  // guards bad_keys + attempts + delay_scope
     std::unordered_set<std::uint64_t> bad_keys;
     std::unordered_map<std::uint64_t, std::uint64_t> attempts;
+    std::string delay_scope;  // empty = delay applies everywhere
   };
 
   SiteState& state(Site site) { return states_[static_cast<std::size_t>(site)]; }

@@ -20,6 +20,10 @@ constexpr const char* kQueueDepth = "hs_pipeline_queue_depth";
 constexpr const char* kQueuePushWait = "hs_pipeline_queue_push_wait_us";
 constexpr const char* kQueuePopWait = "hs_pipeline_queue_pop_wait_us";
 constexpr const char* kPairLatency = "hs_stitch_pair_latency_us";
+constexpr const char* kSchedSteals = "hs_sched_steals_total";
+constexpr const char* kSchedBatch = "hs_sched_batch_size";
+constexpr const char* kSchedBusy = "hs_sched_executor_busy";
+constexpr const char* kStreamEnqueues = "hs_vgpu_stream_enqueues_total";
 constexpr const char* kFaultRetries = "hs_fault_retries_total";
 constexpr const char* kFaultQuarantined = "hs_fault_quarantined_tiles_total";
 constexpr const char* kServeSubmitted = "hs_serve_jobs_submitted_total";
@@ -73,6 +77,17 @@ Histogram& queue_pop_wait_us(const std::string& queue) {
 
 Histogram& pair_latency_us(const std::string& backend) {
   return reg().histogram(kPairLatency, {{"backend", backend}});
+}
+
+Counter& sched_steals_total(const std::string& direction) {
+  return reg().counter(kSchedSteals, {{"direction", direction}});
+}
+Histogram& sched_batch_size() { return reg().histogram(kSchedBatch); }
+Gauge& sched_executor_busy(const std::string& executor) {
+  return reg().gauge(kSchedBusy, {{"executor", executor}});
+}
+Counter& vgpu_stream_enqueues_total() {
+  return reg().counter(kStreamEnqueues);
 }
 
 Counter& fault_retries_total() { return reg().counter(kFaultRetries); }
@@ -131,6 +146,17 @@ void register_wellknown(Registry& registry) {
     registry.histogram(kPairLatency, {{"backend", backend}},
                        "Per-pair PCIAM latency by backend");
   }
+  for (const char* direction : kStealDirections) {
+    registry.counter(kSchedSteals, {{"direction", direction}},
+                     "Pair tasks stolen across executors by direction");
+  }
+  registry.histogram(kSchedBatch, {},
+                     "Pair tasks claimed per scheduler dispatch round");
+  registry.declare(kSchedBusy, MetricType::kGauge,
+                   "1 while the labeled executor runs a claimed task");
+  registry.counter(kStreamEnqueues, {},
+                   "Commands pushed through vgpu Stream::enqueue (event "
+                   "record/wait excluded)");
   registry.counter(kFaultRetries, {}, "Tile-read retries after faults");
   registry.counter(kFaultQuarantined, {},
                    "Tiles quarantined after exhausting read retries");

@@ -50,6 +50,24 @@ Histogram& queue_pop_wait_us(const std::string& queue);
 // --- per-pair PCIAM latency (label: backend) ---
 Histogram& pair_latency_us(const std::string& backend);
 
+// --- hybrid scheduler ---
+/// Steal directions form a closed vocabulary: a single shared CPU lane makes
+/// cpu_from_cpu impossible by construction.
+inline constexpr const char* kStealDirections[] = {"cpu_from_gpu",
+                                                   "gpu_from_cpu",
+                                                   "gpu_from_gpu"};
+Counter& sched_steals_total(const std::string& direction);
+/// Pair tasks claimed per dispatch round (1 = unbatched legacy behavior).
+Histogram& sched_batch_size();
+/// 1 while the named executor is running a claimed task, 0 while it waits.
+Gauge& sched_executor_busy(const std::string& executor);
+
+// --- vgpu streams ---
+/// Commands pushed through Stream::enqueue (kernel launches + copies; event
+/// record/wait bypass the queue and are excluded). Batched dispatch shrinks
+/// this without changing the semantic op counts.
+Counter& vgpu_stream_enqueues_total();
+
 // --- fault handling ---
 Counter& fault_retries_total();
 Counter& fault_quarantined_tiles_total();

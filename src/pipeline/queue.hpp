@@ -7,6 +7,7 @@
 // closable so stages can drain and shut down deterministically.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -113,6 +114,59 @@ class BoundedQueue {
     return item;
   }
 
+  /// Non-blocking steal from the BACK of the queue — the opposite end from
+  /// pop(), so a thief takes the work its owner would reach last and the
+  /// owner's locality-ordered front is undisturbed. The depth gauge is
+  /// updated under the same lock as the container: an out-of-lock
+  /// `set(size())` can interleave with a concurrent pop() so the staler
+  /// (larger or smaller) depth lands last and sticks until the next
+  /// operation — exactly the underreport a racing steal+pop exposes under
+  /// TSan.
+  std::optional<T> try_steal() {
+    std::optional<T> item;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.back());
+      items_.pop_back();
+      note_depth_locked();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// pop() with a timeout: waits at most `timeout` for an item, returning
+  /// nullopt on timeout or once the queue is closed and drained. Work
+  /// stealers use this to re-check victim lanes periodically instead of
+  /// parking forever on their own lane.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto can_pop = [&] { return !items_.empty() || closed_; };
+    if (!can_pop()) {
+      if (metric_pop_wait_us_ != nullptr) {
+        HS_METRIC_TIMER(*metric_pop_wait_us_);
+        not_empty_.wait_for(lock, timeout, can_pop);
+      } else {
+        not_empty_.wait_for(lock, timeout, can_pop);
+      }
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    note_depth_locked();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// True once the queue is closed *and* every item has been consumed —
+  /// the terminal state consumers observe forever after.
+  bool drained() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_ && items_.empty();
+  }
+
   /// Closes the queue: subsequent pushes fail, pops drain remaining items.
   /// Idempotent.
   void close() {
@@ -137,6 +191,9 @@ class BoundedQueue {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  // Must be called with mutex_ held: the gauge mirrors items_.size(), and
+  // two mutators publishing after unlock can land out of order, leaving the
+  // gauge stuck on a stale depth.
   void note_depth_locked() {
     if (metric_depth_ != nullptr) {
       metric_depth_->set(static_cast<std::int64_t>(items_.size()));

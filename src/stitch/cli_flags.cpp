@@ -52,6 +52,13 @@ void register_stitch_flags(CliParser& cli, const StitchCliDefaults& defaults) {
                "half-spectrum PCIAM: r2c/c2r transforms (~2x FFT throughput, "
                "~1/2 transform memory)",
                boolean(o.use_real_fft));
+  cli.add_flag("steal-threshold",
+               "work-stealing hysteresis: idle executors steal from lanes "
+               "deeper than this (0 = stealing off)",
+               num(o.steal_threshold));
+  cli.add_flag("gpu-batch-pairs",
+               "pair tasks grouped per vgpu launch (1 = per-pair dispatch)",
+               num(o.gpu_batch_pairs));
 }
 
 Backend backend_from_cli(const CliParser& cli) {
@@ -73,6 +80,8 @@ StitchOptions options_from_cli(const CliParser& cli) {
   options.peak_candidates = get_size(cli, "peaks");
   options.min_overlap_px = static_cast<int>(cli.get_int("min-overlap"));
   options.use_real_fft = cli.get_bool("real-fft");
+  options.steal_threshold = get_size(cli, "steal-threshold");
+  options.gpu_batch_pairs = get_size(cli, "gpu-batch-pairs");
   return options;
 }
 

@@ -1,5 +1,11 @@
-// Internal: per-backend implementation entry points (one translation unit
-// each), dispatched by stitch().
+// Internal: per-backend entry points, dispatched by stitch().
+//
+// DEPRECATED as direct implementation seams: since the HybridScheduler
+// refactor these are one-line forwarders (defined in scheduler.cpp) that
+// build the backend's ResourceSet preset and run the unified dispatch loop.
+// They exist so request.cpp's dispatch table and the fallback chains keep
+// working unchanged; new code should use HybridScheduler / ResourceSet
+// (scheduler.hpp) directly.
 #pragma once
 
 #include "stitch/stitcher.hpp"

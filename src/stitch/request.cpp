@@ -66,6 +66,18 @@ void StitchRequest::validate() const {
          "must be >= 1 (got " + std::to_string(o.min_overlap_px) + ")");
   }
 
+  // --- hybrid scheduler knobs (scheduler.hpp).
+  if (o.gpu_batch_pairs < 1) {
+    fail("gpu_batch_pairs",
+         "must be >= 1 (1 = per-pair dispatch, got " +
+             num(o.gpu_batch_pairs) + ")");
+  }
+  if (o.use_p2p && o.steal_threshold > 0) {
+    fail("steal_threshold",
+         "incompatible with use_p2p: a stolen boundary pair would bypass "
+         "the halo transform's cross-device release protocol");
+  }
+
   // --- thread counts, scoped to the backends that consume them.
   if (uses_worker_threads(backend) && o.threads < 1) {
     fail("threads", "must be >= 1 for backend " + backend_name(backend));

@@ -1,0 +1,1799 @@
+// HybridScheduler: the one dispatch loop behind all six legacy backends
+// (see scheduler.hpp for the design rationale). Layout of this file:
+//
+//   WorkPool            lanes of pair tasks + the claim/steal protocol
+//   run_cpu             CPU-only shapes (naive, simple-, mt-, pipelined-cpu)
+//   run_gpu_sync        the synchronous single-stream Simple-GPU shape
+//   run_gpu_async       pipelined GPU shapes, incl. hybrid CPU+GPU bands,
+//                       stolen-pair execution, and batched dispatch
+//   ResourceSet / HybridScheduler / stitch() / impl:: forwarders
+#include "stitch/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_util.hpp"
+#include "fft/plan_cache.hpp"
+#include "metrics/wellknown.hpp"
+#include "pipeline/pipeline.hpp"
+#include "stitch/ccf.hpp"
+#include "stitch/impl.hpp"
+#include "stitch/ledger.hpp"
+#include "stitch/pciam.hpp"
+#include "stitch/transform_cache.hpp"
+#include "trace/trace.hpp"
+#include "vgpu/buffer_pool.hpp"
+#include "vgpu/kernels.hpp"
+#include "vgpu/stream.hpp"
+#include "vgpu/vfft.hpp"
+
+namespace hs::stitch {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Work pool: per-executor lanes of pair tasks + the claim/steal protocol.
+// ---------------------------------------------------------------------------
+
+/// The scheduler's unit of work: one PCIAM pair. Pure — any executor
+/// computes the bit-identical Translation — which is what makes claiming
+/// and stealing reorder-safe.
+struct PairTask {
+  img::TilePos reference;
+  img::TilePos moved;
+  bool is_west = false;
+};
+
+class WorkPool {
+ public:
+  enum class Kind { kCpu, kGpu };
+
+  struct Claim {
+    std::vector<PairTask> tasks;
+    bool stolen = false;
+    std::size_t victim = 0;  // lane index, valid when stolen
+  };
+
+  WorkPool(std::size_t steal_threshold, hs::trace::Recorder* recorder)
+      : steal_threshold_(steal_threshold),
+        recorder_(recorder),
+        metric_batch_(metrics::wellknown::sched_batch_size()),
+        steal_cpu_from_gpu_(
+            metrics::wellknown::sched_steals_total("cpu_from_gpu")),
+        steal_gpu_from_cpu_(
+            metrics::wellknown::sched_steals_total("gpu_from_cpu")),
+        steal_gpu_from_gpu_(
+            metrics::wellknown::sched_steals_total("gpu_from_gpu")) {}
+
+  /// Lanes must all be added before any push/claim traffic.
+  std::size_t add_lane(std::string name, Kind kind) {
+    auto lane = std::make_unique<Lane>();
+    lane->name = std::move(name);
+    lane->kind = kind;
+    lane->queue.instrument("sched." + lane->name);
+    lanes_.push_back(std::move(lane));
+    return lanes_.size() - 1;
+  }
+
+  bool push(std::size_t lane, PairTask task) {
+    return lanes_[lane]->queue.push(std::move(task));
+  }
+  void close(std::size_t lane) { lanes_[lane]->queue.close(); }
+  void close_all() {
+    for (auto& lane : lanes_) lane->queue.close();
+  }
+
+  /// Claims up to `max_n` tasks for the executor owning `lane_index`.
+  /// Returns own-lane tasks in lane order (up to max_n per round), a single
+  /// stolen task when the own lane is dry and a victim is raidable, or an
+  /// empty claim once every lane is drained (the executor's exit signal).
+  Claim claim(std::size_t lane_index, std::size_t max_n) {
+    Lane& own = *lanes_[lane_index];
+    Claim claim;
+    for (;;) {
+      while (claim.tasks.size() < max_n) {
+        auto task = own.queue.try_pop();
+        if (!task) break;
+        claim.tasks.push_back(std::move(*task));
+      }
+      // Batch formation window: grouped dispatchers (max_n > 1) consume
+      // pairs as fast as bookkeeping announces them, so an instant launch
+      // would mostly issue singleton batches. Hold a partial batch for
+      // bounded timed pops while the producer is still running — the wait
+      // is amortized against the per-launch overhead batching exists to
+      // avoid; a timed-out pop means the producer stalled, so dispatch
+      // what we have rather than add latency.
+      while (!claim.tasks.empty() && claim.tasks.size() < max_n) {
+        auto task = own.queue.pop_for(std::chrono::microseconds(500));
+        if (!task) break;
+        claim.tasks.push_back(std::move(*task));
+      }
+      if (!claim.tasks.empty()) {
+        metric_batch_.observe(claim.tasks.size());
+        return claim;
+      }
+      if (steal_threshold_ == 0 || lanes_.size() == 1) {
+        // Stealing disabled (or nobody to steal from): legacy blocking
+        // consumption of the own lane.
+        auto task = own.queue.pop();
+        if (!task) return claim;  // closed and drained: executor done
+        claim.tasks.push_back(std::move(*task));
+        continue;  // top up toward max_n without blocking
+      }
+      // Steal scan: raid the deepest lane still above its floor. An OPEN
+      // lane's floor is the hysteresis threshold (its owner keeps
+      // batch-sized chunks of its own work); a CLOSED lane's floor is zero —
+      // its producer is finished (or dead, after a cancellation), so
+      // leftover depth is pure tail latency and holding the threshold
+      // against it would strand that work forever.
+      Lane* victim = nullptr;
+      std::size_t victim_index = 0;
+      std::size_t victim_depth = 0;
+      for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        if (i == lane_index) continue;
+        Lane& other = *lanes_[i];
+        const std::size_t depth = other.queue.size();
+        const std::size_t floor = other.queue.closed() ? 0 : steal_threshold_;
+        if (depth > floor && depth > victim_depth) {
+          victim = &other;
+          victim_index = i;
+          victim_depth = depth;
+        }
+      }
+      if (victim != nullptr) {
+        if (auto task = victim->queue.try_steal()) {
+          note_steal(own, *victim);
+          claim.tasks.push_back(std::move(*task));
+          claim.stolen = true;
+          claim.victim = victim_index;
+          metric_batch_.observe(1);
+          return claim;
+        }
+        continue;  // raced another thief; rescan
+      }
+      // Nothing stealable right now.
+      bool all_drained = true;
+      for (const auto& lane : lanes_) {
+        if (!lane->queue.drained()) {
+          all_drained = false;
+          break;
+        }
+      }
+      if (all_drained) return claim;  // empty claim: all work finished
+      if (own.queue.drained()) {
+        // Own lane finished but another lane's producer is still running;
+        // wait for its depth to cross the steal floor (or for global drain).
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+        continue;
+      }
+      if (auto task = own.queue.pop_for(std::chrono::milliseconds(1))) {
+        claim.tasks.push_back(std::move(*task));
+      }
+    }
+  }
+
+ private:
+  struct Lane {
+    std::string name;
+    Kind kind = Kind::kCpu;
+    pipe::BoundedQueue<PairTask> queue;
+  };
+
+  void note_steal(const Lane& thief, const Lane& victim) {
+    if (thief.kind == Kind::kCpu) {
+      // The CPU executors share one lane, so a CPU thief's victim is a GPU.
+      steal_cpu_from_gpu_.add();
+    } else if (victim.kind == Kind::kCpu) {
+      steal_gpu_from_cpu_.add();
+    } else {
+      steal_gpu_from_gpu_.add();
+    }
+    if (recorder_ != nullptr) {
+      const std::uint64_t t = recorder_->now_us();
+      recorder_->record("sched", "steal " + thief.name + "<-" + victim.name,
+                        t, t);
+    }
+  }
+
+  const std::size_t steal_threshold_;
+  hs::trace::Recorder* recorder_;
+  metrics::Histogram& metric_batch_;
+  metrics::Counter& steal_cpu_from_gpu_;
+  metrics::Counter& steal_gpu_from_cpu_;
+  metrics::Counter& steal_gpu_from_gpu_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+/// All remaining pairs in the traversal's closure order: visiting a tile
+/// closes its west then north pair — the order every sequential backend
+/// has always used, so a single lane replayed by one executor reproduces
+/// the legacy pair sequence exactly.
+std::vector<PairTask> pairs_in_closure_order(const img::GridLayout& layout,
+                                             Traversal traversal,
+                                             const WarmFilter& warm) {
+  std::vector<PairTask> pairs;
+  for (const img::TilePos pos : traversal_order(layout, traversal)) {
+    if (layout.has_west(pos) && !warm.skip_west(pos)) {
+      pairs.push_back(
+          PairTask{img::TilePos{pos.row, pos.col - 1}, pos, /*is_west=*/true});
+    }
+    if (layout.has_north(pos) && !warm.skip_north(pos)) {
+      pairs.push_back(PairTask{img::TilePos{pos.row - 1, pos.col}, pos,
+                               /*is_west=*/false});
+    }
+  }
+  return pairs;
+}
+
+// ---------------------------------------------------------------------------
+// CPU-only shapes: naive (no cache), simple-cpu (1 worker, inline),
+// mt-cpu (N workers), pipelined-cpu (N workers + prefetch threads).
+// ---------------------------------------------------------------------------
+
+StitchResult run_cpu(const ResourceSet& rs, const TileProvider& provider,
+                     const StitchOptions& options) {
+  const img::GridLayout layout = provider.layout();
+  const WarmFilter warm(options.warm_start);
+  StitchResult result(layout);
+  OpCountsAtomic counts;
+
+  const FftPipeline fftp =
+      make_fft_pipeline(provider.tile_height(), provider.tile_width(),
+                        options.rigor, options.use_real_fft);
+
+  std::unique_ptr<TransformCache> cache;
+  if (rs.use_transform_cache) {
+    cache = std::make_unique<TransformCache>(provider, fftp, &counts, warm);
+  }
+  metrics::Histogram& pair_latency =
+      metrics::wellknown::pair_latency_us(rs.label);
+
+  WorkPool work(rs.steal_threshold, options.recorder);
+  const std::size_t lane = work.add_lane("cpu", WorkPool::Kind::kCpu);
+  for (const PairTask& task :
+       pairs_in_closure_order(layout, options.traversal, warm)) {
+    work.push(lane, task);
+  }
+  work.close(lane);
+
+  DisplacementTable* table = &result.table;
+  auto process_pair = [&](const PairTask& task, PciamScratch& scratch) {
+    HS_METRIC_TIMER(pair_latency);
+    throw_if_cancelled(options);
+    Translation t;
+    if (cache != nullptr) {
+      const fft::Complex* fft_ref = cache->transform(task.reference);
+      const fft::Complex* fft_mov = cache->transform(task.moved);
+      t = pciam_from_spectra(fft_ref, fft_mov, cache->tile(task.reference),
+                             cache->tile(task.moved), fftp, scratch, &counts,
+                             options.peak_candidates, options.min_overlap_px);
+      cache->release(task.reference);
+      cache->release(task.moved);
+    } else {
+      // Naive (Fiji-style) shape: both tiles re-read and re-transformed for
+      // every pair, no reuse.
+      const img::ImageU16 a = provider.load(task.reference);
+      const img::ImageU16 b = provider.load(task.moved);
+      counts.bump(counts.tile_reads, 2);
+      t = pciam_full(a, b, fftp, scratch, &counts, options.peak_candidates,
+                     options.min_overlap_px);
+    }
+    if (task.is_west) {
+      table->west_of(task.moved) = t;
+    } else {
+      table->north_of(task.moved) = t;
+    }
+    note_pair_result(options, task.moved, task.is_west, t);
+  };
+
+  if (rs.cpu_workers <= 1 && rs.prefetch_threads == 0) {
+    // Sequential shapes run inline on the caller thread, preserving the
+    // exact legacy pair order — and with it the traversal's transform-memory
+    // profile (chained-diagonal keeps at most ~min(n, m)+1 transforms live).
+    metrics::Gauge& busy = metrics::wellknown::sched_executor_busy("cpu0");
+    PciamScratch scratch;
+    for (;;) {
+      WorkPool::Claim claim = work.claim(lane, 1);
+      if (claim.tasks.empty()) break;
+      busy.set(1);
+      for (const PairTask& task : claim.tasks) process_pair(task, scratch);
+      busy.set(0);
+    }
+  } else {
+    // Concurrent shapes: a worker stage claiming from the shared lane, plus
+    // an optional prefetch stage (the Pipelined-CPU reader) warming the
+    // cache ahead of the workers under a fixed in-flight budget.
+    const std::size_t slots =
+        options.pool_buffers > 0
+            ? options.pool_buffers
+            : traversal_working_set(layout, options.traversal) + 4;
+    std::vector<img::TilePos> prefetch_list;
+    if (rs.prefetch_threads > 0) {
+      // Tiles whose every pair a warm start settled have degree 0: they are
+      // neither read nor transformed.
+      for (const img::TilePos pos :
+           traversal_order(layout, options.traversal)) {
+        if (warm.degree(layout, pos) > 0) prefetch_list.push_back(pos);
+      }
+    }
+    std::atomic<std::size_t> next_prefetch{0};
+    std::atomic<std::size_t> worker_ids{0};
+    hs::trace::Recorder* recorder = options.recorder;
+
+    pipe::Pipeline pipeline;
+    pipeline.on_cancel([&work] { work.close_all(); });
+    if (rs.prefetch_threads > 0) {
+      pipeline.add_stage("prefetch", rs.prefetch_threads, [&] {
+        for (;;) {
+          throw_if_cancelled(options);
+          const std::size_t i =
+              next_prefetch.fetch_add(1, std::memory_order_relaxed);
+          if (i >= prefetch_list.size() || pipeline.cancelled()) return;
+          // Back-pressure: a prefetcher running far ahead of the workers
+          // would pin the whole grid in memory; cap live transforms at the
+          // CPU "pool" size instead (the SlotLimiter analogue).
+          while (cache->live_transforms() >= slots) {
+            throw_if_cancelled(options);
+            if (pipeline.cancelled()) return;
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+          if (recorder != nullptr) {
+            auto span = recorder->scoped("cpu.read", "prefetch");
+            cache->prefetch(prefetch_list[i]);
+          } else {
+            cache->prefetch(prefetch_list[i]);
+          }
+        }
+      });
+    }
+    pipeline.add_stage(
+        "workers", std::max<std::size_t>(1, rs.cpu_workers), [&] {
+          const std::size_t id =
+              worker_ids.fetch_add(1, std::memory_order_relaxed);
+          set_current_thread_name("sched.cpu" + std::to_string(id));
+          metrics::Gauge& busy = metrics::wellknown::sched_executor_busy(
+              "cpu" + std::to_string(id));
+          PciamScratch scratch;
+          for (;;) {
+            WorkPool::Claim claim = work.claim(lane, 1);
+            if (claim.tasks.empty()) break;
+            busy.set(1);
+            for (const PairTask& task : claim.tasks) {
+              process_pair(task, scratch);
+            }
+            busy.set(0);
+          }
+        });
+    pipeline.run();
+  }
+
+  result.peak_live_transforms =
+      cache != nullptr ? cache->peak_live_transforms()
+                       : (layout.pair_count() > 0 ? 2 : 0);
+  result.ops = counts.snapshot();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous single-stream GPU shape (the paper's Simple-GPU): one caller
+// thread drives one virtual GPU through a single default stream, waiting
+// after every command — the pathology profiled in the paper's Fig 7.
+// ---------------------------------------------------------------------------
+
+StitchResult run_gpu_sync(const ResourceSet& rs, const TileProvider& provider,
+                          const StitchOptions& options) {
+  const img::GridLayout layout = provider.layout();
+  const WarmFilter warm(options.warm_start);
+  StitchResult result(layout);
+  OpCountsAtomic counts;
+
+  const std::size_t h = provider.tile_height();
+  const std::size_t w = provider.tile_width();
+  const std::size_t count = h * w;
+  const bool real_fft = options.use_real_fft;
+  // Pooled buffers hold spectrum bins: the half-spectrum path shrinks every
+  // device buffer (and thus the pool footprint) to h*(w/2+1) bins.
+  const std::size_t bins = real_fft ? h * (w / 2 + 1) : count;
+  const std::size_t buffer_bytes = bins * sizeof(fft::Complex);
+
+  vgpu::DeviceConfig config;
+  config.memory_bytes = options.gpu_memory_bytes;
+  config.recorder = options.recorder;
+  config.trace_prefix = "gpu0";
+  config.faults = options.faults;
+  config.cancel = options.cancel;
+  vgpu::Device device(config);
+  vgpu::Stream stream(device, "default");
+
+  // Pool sizing (working set + NCC buffer) is enforced up front by
+  // StitchRequest::validate().
+  const std::size_t pool_size =
+      options.pool_buffers > 0
+          ? options.pool_buffers
+          : traversal_working_set(layout, options.traversal) + 4;
+  vgpu::BufferPool pool(device, pool_size, buffer_bytes);
+  const std::size_t peaks_k = std::max<std::size_t>(1, options.peak_candidates);
+  vgpu::DeviceBuffer reduce_out =
+      device.alloc(peaks_k * sizeof(vgpu::MaxAbsResult));
+
+  // Per-tile device transform + host tile, reference counted.
+  struct TileState {
+    vgpu::PooledBuffer transform;
+    img::ImageU16 tile;
+    std::size_t refs = 0;
+  };
+  std::map<std::size_t, TileState> states;
+  std::size_t live = 0, peak = 0;
+
+  std::vector<fft::Complex> staging(bins);
+  auto ensure_tile = [&](img::TilePos pos) -> TileState& {
+    const std::size_t index = layout.index_of(pos);
+    auto it = states.find(index);
+    if (it != states.end()) return it->second;
+
+    TileState state;
+    state.refs = warm.degree(layout, pos);
+    state.tile = provider.load(pos);
+    counts.bump(counts.tile_reads);
+    // Synchronous H2D copy (the Simple-GPU pathology): convert on the host,
+    // copy, wait. The real-FFT path stages the padded in-place r2c layout.
+    if (real_fft) {
+      vgpu::k_u16_to_real_padded(state.tile.data(), staging.data(), h, w);
+    } else {
+      vgpu::k_u16_to_complex(state.tile.data(), staging.data(), count);
+    }
+    state.transform = pool.acquire();
+    stream.enqueue("memcpy_h2d", [&staging, dst = state.transform.as<void>(),
+                                  buffer_bytes] {
+      std::memcpy(dst, staging.data(), buffer_bytes);
+    });
+    stream.synchronize();
+    // FFT in place on the default stream, then wait again.
+    fft::Complex* data = state.transform.as<fft::Complex>();
+    if (real_fft) {
+      auto plan = fft::PlanCache::instance().plan_r2c_2d(h, w, options.rigor);
+      stream.enqueue("fft2d_r2c", [plan, data, &device] {
+        std::lock_guard<std::mutex> lock(device.fft_mutex());
+        plan->execute_inplace_padded(data);
+      });
+    } else {
+      auto plan = fft::PlanCache::instance().plan_2d(
+          h, w, fft::Direction::kForward, options.rigor);
+      stream.enqueue("fft2d", [plan, data, &device] {
+        std::lock_guard<std::mutex> lock(device.fft_mutex());
+        plan->execute_inplace(data);
+      });
+    }
+    stream.synchronize();
+    counts.bump(counts.forward_ffts);
+    counts.bump(counts.transform_bins, bins);
+
+    live += 1;
+    peak = std::max(peak, live);
+    return states.emplace(index, std::move(state)).first->second;
+  };
+
+  auto release_tile = [&](img::TilePos pos) {
+    const std::size_t index = layout.index_of(pos);
+    auto it = states.find(index);
+    HS_ASSERT(it != states.end() && it->second.refs > 0);
+    if (--it->second.refs == 0) {
+      states.erase(it);  // returns the pooled buffer
+      live -= 1;
+    }
+  };
+
+  auto plan_inverse =
+      real_fft ? std::shared_ptr<const fft::Plan2d>()
+               : fft::PlanCache::instance().plan_2d(
+                     h, w, fft::Direction::kInverse, options.rigor);
+  auto plan_c2r = real_fft
+                      ? fft::PlanCache::instance().plan_c2r_2d(h, w,
+                                                               options.rigor)
+                      : std::shared_ptr<const fft::PlanC2r2d>();
+
+  metrics::Histogram& pair_latency =
+      metrics::wellknown::pair_latency_us(rs.label);
+  auto run_pair = [&](img::TilePos ref_pos, img::TilePos mov_pos, bool is_west,
+                      Translation& out) {
+    HS_METRIC_TIMER(pair_latency);
+    throw_if_cancelled(options);
+    TileState& ref = ensure_tile(ref_pos);
+    TileState& mov = ensure_tile(mov_pos);
+
+    vgpu::PooledBuffer ncc = pool.acquire();
+    const fft::Complex* fa = ref.transform.as<fft::Complex>();
+    const fft::Complex* fb = mov.transform.as<fft::Complex>();
+    fft::Complex* fc = ncc.as<fft::Complex>();
+    // Each step synchronous on the default stream — no overlap anywhere.
+    stream.enqueue("ncc", [fa, fb, fc, bins] {
+      vgpu::k_ncc_half(fa, fb, fc, bins);
+    });
+    stream.synchronize();
+    counts.bump(counts.ncc_multiplies);
+
+    if (real_fft) {
+      stream.enqueue("ifft2d_c2r", [plan_c2r, fc, &device] {
+        std::lock_guard<std::mutex> lock(device.fft_mutex());
+        plan_c2r->execute_inplace_half(fc);
+      });
+    } else {
+      stream.enqueue("ifft2d", [plan_inverse, fc, &device] {
+        std::lock_guard<std::mutex> lock(device.fft_mutex());
+        plan_inverse->execute_inplace(fc);
+      });
+    }
+    stream.synchronize();
+    counts.bump(counts.inverse_ffts);
+
+    auto* reduced = reduce_out.as<vgpu::MaxAbsResult>();
+    stream.enqueue("max_reduce", [fc, count, reduced, peaks_k, real_fft] {
+      const auto peaks =
+          real_fft ? vgpu::k_max_abs_topk_real(
+                         reinterpret_cast<const double*>(fc), count, peaks_k)
+                   : vgpu::k_max_abs_topk(fc, count, peaks_k);
+      for (std::size_t i = 0; i < peaks.size(); ++i) reduced[i] = peaks[i];
+      for (std::size_t i = peaks.size(); i < peaks_k; ++i) {
+        reduced[i] = vgpu::MaxAbsResult{-1.0, 0};
+      }
+    });
+    stream.synchronize();
+    counts.bump(counts.max_reductions);
+
+    // Only the scalar results cross back to the host.
+    std::vector<vgpu::MaxAbsResult> peak_results(peaks_k);
+    stream.memcpy_d2h(peak_results.data(), reduce_out,
+                      peaks_k * sizeof(vgpu::MaxAbsResult));
+    stream.synchronize();
+
+    std::vector<std::size_t> indices;
+    for (const auto& peak_result : peak_results) {
+      if (peak_result.value >= 0.0) indices.push_back(peak_result.index);
+    }
+    counts.bump(counts.ccf_evaluations, 4 * indices.size());
+    out = disambiguate_peaks(ref.tile, mov.tile, indices, w,
+                             options.min_overlap_px);
+
+    release_tile(ref_pos);
+    release_tile(mov_pos);
+    note_pair_result(options, mov_pos, is_west, out);
+  };
+
+  // The single "gpu0" lane seeded in closure order and claimed one task at a
+  // time reproduces the legacy traversal double-loop exactly (and with only
+  // one lane, steal instants cannot occur — the trace lane set stays
+  // {"gpu0.default"}).
+  WorkPool work(rs.steal_threshold, options.recorder);
+  const std::size_t lane = work.add_lane("gpu0", WorkPool::Kind::kGpu);
+  for (const PairTask& task :
+       pairs_in_closure_order(layout, options.traversal, warm)) {
+    work.push(lane, task);
+  }
+  work.close(lane);
+
+  metrics::Gauge& busy = metrics::wellknown::sched_executor_busy("gpu0");
+  for (;;) {
+    WorkPool::Claim claim = work.claim(lane, 1);
+    if (claim.tasks.empty()) break;
+    busy.set(1);
+    for (const PairTask& task : claim.tasks) {
+      Translation& out = task.is_west ? result.table.west_of(task.moved)
+                                      : result.table.north_of(task.moved);
+      run_pair(task.reference, task.moved, task.is_west, out);
+    }
+    busy.set(0);
+  }
+
+  result.peak_live_transforms = peak;
+  result.ops = counts.snapshot();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined GPU shapes: per-GPU six-stage pipelines (paper SIV-B, Fig 8)
+// over the shared work pool, plus the hybrid CPU band, stolen-pair
+// execution, and batched dispatch.
+// ---------------------------------------------------------------------------
+
+struct PairRef {
+  img::TilePos reference;
+  img::TilePos moved;
+  bool is_west = false;
+};
+
+/// Work item flowing through stages 1-3 of one GPU pipeline. A null tile
+/// marks a halo position to be pulled via peer-to-peer copy instead of
+/// read + transform.
+struct TileWork {
+  img::TilePos pos;
+  std::shared_ptr<const img::ImageU16> tile;
+};
+
+/// Stage 6 input: everything the CCF threads need, self-contained.
+struct CcfTask {
+  std::shared_ptr<const img::ImageU16> reference;
+  std::shared_ptr<const img::ImageU16> moved;
+  img::TilePos moved_pos;
+  bool is_west = false;
+  /// Flat correlation-surface peak indices (1 by default; more with the
+  /// multi-peak extension).
+  std::vector<std::size_t> peak_indices;
+};
+
+/// Per-GPU tile state: device transform buffer + host tile + refcount over
+/// the pairs *this pipeline* owns (plus one per exported halo transform).
+struct GpuTileState {
+  vgpu::PooledBuffer buffer;
+  std::shared_ptr<const img::ImageU16> tile;
+  std::size_t refs = 0;
+  bool fft_done = false;
+};
+
+/// Cross-pipeline handoff of exported halo transforms (use_p2p mode).
+class HaloExchange {
+ public:
+  struct Entry {
+    vgpu::Event ready;                          // signals after the FFT
+    const fft::Complex* transform = nullptr;    // owner's device memory
+    std::shared_ptr<const img::ImageU16> tile;  // host pixels for CCF
+    std::function<void()> release;              // drops the owner's ref
+  };
+
+  void publish(std::size_t tile_index, Entry entry) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      entries_.emplace(tile_index, std::move(entry));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until the entry arrives; returns an empty entry (null
+  /// transform) if the exchange was shut down by pipeline cancellation.
+  Entry take(std::size_t tile_index) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock,
+             [&] { return shutdown_ || entries_.contains(tile_index); });
+    if (!entries_.contains(tile_index)) return Entry{};
+    Entry entry = std::move(entries_.at(tile_index));
+    entries_.erase(tile_index);
+    return entry;
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::size_t, Entry> entries_;
+  bool shutdown_ = false;
+};
+
+/// One GPU's execution pipeline context. Pair tasks no longer flow through
+/// a private q_pairs queue — bookkeeping feeds this GPU's WorkPool lane,
+/// which is what makes the pairs visible to thieves.
+struct GpuPipeline {
+  std::size_t id = 0;
+  std::unique_ptr<vgpu::Device> device;
+  std::unique_ptr<vgpu::Stream> copy_stream;
+  std::vector<std::unique_ptr<vgpu::Stream>> fft_streams;
+  std::unique_ptr<vgpu::Stream> disp_stream;
+  std::unique_ptr<vgpu::BufferPool> pool;      // forward-transform buffers
+  std::unique_ptr<vgpu::BufferPool> ncc_pool;  // backward (NCC) buffers
+  std::unique_ptr<vgpu::VFftPlan2d> forward;   // complex mode
+  std::unique_ptr<vgpu::VFftPlan2d> inverse;   // complex mode
+  std::unique_ptr<vgpu::VFftPlanR2c2d> forward_r2c;  // real-FFT mode
+  std::unique_ptr<vgpu::VFftPlanC2r2d> inverse_c2r;  // real-FFT mode
+
+  std::vector<img::TilePos> tiles_to_read;     // band (+ halo unless p2p)
+  std::vector<PairRef> owned_pairs;
+  std::unordered_set<std::size_t> halo_pull;   // p2p: pulled from gpu id-1
+  std::unordered_set<std::size_t> halo_export; // p2p: published to gpu id+1
+
+  std::mutex state_mutex;
+  std::unordered_map<std::size_t, GpuTileState> states;
+
+  // Stage 1 -> 2, bounded: the reader stalls rather than pulling the whole
+  // grid into host memory ahead of the copier.
+  pipe::BoundedQueue<TileWork> q_read{8};
+  pipe::BoundedQueue<img::TilePos> q_fft;   // stage 2 -> 3
+  pipe::BoundedQueue<img::TilePos> q_ready; // fft/p2p completion -> stage 4
+
+  // q_ready closes when both its producers (copy stage for p2p pulls, fft
+  // stage for transforms) have drained their streams.
+  std::atomic<std::size_t> ready_producers{2};
+
+  std::atomic<std::size_t> live{0};
+  std::atomic<std::size_t> peak{0};
+
+  void close_ready_when_done() {
+    if (ready_producers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      q_ready.close();
+    }
+  }
+
+  void note_live() {
+    const std::size_t now = live.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::size_t prev = peak.load(std::memory_order_relaxed);
+    while (now > prev &&
+           !peak.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// Drops one reference from a tile's per-pipeline state; frees the device
+/// buffer and host pixels at zero. Callable from any stream worker (and,
+/// with stealing, from whichever executor completed the stolen pair).
+void release_tile(GpuPipeline* gpu, const img::GridLayout& layout,
+                  img::TilePos pos) {
+  std::lock_guard<std::mutex> lock(gpu->state_mutex);
+  GpuTileState& state = gpu->states.at(layout.index_of(pos));
+  HS_ASSERT(state.refs > 0);
+  if (--state.refs == 0) {
+    state.buffer.release();
+    state.tile.reset();
+    gpu->live.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+StitchResult run_gpu_async(const ResourceSet& rs, const TileProvider& provider,
+                           const StitchOptions& options) {
+  const img::GridLayout layout = provider.layout();
+  const WarmFilter warm(options.warm_start);
+  StitchResult result(layout);
+  OpCountsAtomic counts;
+
+  const std::size_t h = provider.tile_height();
+  const std::size_t w = provider.tile_width();
+  const std::size_t count = h * w;
+  const bool real_fft = options.use_real_fft;
+  // Device buffers hold spectrum bins; half-spectrum mode halves the pools.
+  const std::size_t bins = real_fft ? h * (w / 2 + 1) : count;
+  const std::size_t buffer_bytes = bins * sizeof(fft::Complex);
+
+  const std::size_t gpu_count =
+      std::max<std::size_t>(1, std::min(rs.gpu_devices, layout.rows));
+  const std::size_t fft_stream_count =
+      std::max<std::size_t>(1, options.fft_streams);
+  const bool use_p2p = options.use_p2p && gpu_count > 1;
+  // Hybrid shape: CPU workers take the bottom row band as one more
+  // partition unit, GPUs the rest — an equal-rows static split that
+  // stealing refines at runtime. With cpu_workers == 0 the partition is
+  // identical to the legacy per-GPU split.
+  const bool cpu_band_exists = rs.cpu_workers > 0 && layout.rows > gpu_count;
+  const std::size_t units = gpu_count + (cpu_band_exists ? 1 : 0);
+  const std::size_t batch_k = std::max<std::size_t>(1, rs.gpu_batch_pairs);
+  // Tile-side grouping shares one upload/FFT enqueue across k tiles; the
+  // p2p halo protocol needs the per-tile fft/copy interleaving, so grouping
+  // applies to the non-p2p path only.
+  const bool batch_tiles = batch_k > 1 && !use_p2p;
+
+  // Host-side FFT pipeline for pairs executed off the GPU fast path: CPU
+  // band workers and stolen pairs that find the device pools dry. Built
+  // lazily — plan setup is not free and pure-GPU runs never touch it.
+  FftPipeline host_fftp;
+  if (rs.cpu_workers > 0 || rs.steal_threshold > 0) {
+    host_fftp = make_fft_pipeline(h, w, options.rigor, options.use_real_fft);
+  }
+  // Host plans for grouped (batched) launches: the VFft wrappers enqueue
+  // their own commands, so grouped commands execute the PlanCache plans
+  // directly under the device's fft mutex.
+  std::shared_ptr<const fft::PlanR2c2d> batch_r2c;
+  std::shared_ptr<const fft::PlanC2r2d> batch_c2r;
+  std::shared_ptr<const fft::Plan2d> batch_fwd;
+  std::shared_ptr<const fft::Plan2d> batch_inv;
+  if (batch_k > 1) {
+    if (real_fft) {
+      batch_r2c = fft::PlanCache::instance().plan_r2c_2d(h, w, options.rigor);
+      batch_c2r = fft::PlanCache::instance().plan_c2r_2d(h, w, options.rigor);
+    } else {
+      batch_fwd = fft::PlanCache::instance().plan_2d(
+          h, w, fft::Direction::kForward, options.rigor);
+      batch_inv = fft::PlanCache::instance().plan_2d(
+          h, w, fft::Direction::kInverse, options.rigor);
+    }
+  }
+
+  HaloExchange exchange;
+
+  // --- Partition: contiguous row bands; a pair belongs to the band of its
+  // south/east tile; boundary (north) pairs pull a halo row from above.
+  std::vector<std::unique_ptr<GpuPipeline>> gpus;
+  for (std::size_t g = 0; g < gpu_count; ++g) {
+    auto gpu = std::make_unique<GpuPipeline>();
+    gpu->id = g;
+    const std::size_t row_begin = g * layout.rows / units;
+    const std::size_t row_end = (g + 1) * layout.rows / units;
+
+    const img::GridLayout band{row_end - row_begin + (g > 0 ? 1 : 0),
+                               layout.cols};
+    const std::size_t halo_begin = g > 0 ? row_begin - 1 : row_begin;
+    // Visit the band in the configured traversal order (shifted into it).
+    for (const img::TilePos local : traversal_order(band, options.traversal)) {
+      gpu->tiles_to_read.push_back(
+          img::TilePos{halo_begin + local.row, local.col});
+    }
+    // Warm-settled pairs are excluded at partition time: reference counts,
+    // the read plan, and the halo sets all derive from owned_pairs, so a
+    // warm start shrinks every downstream structure consistently.
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+      for (std::size_t c = 0; c < layout.cols; ++c) {
+        const img::TilePos pos{r, c};
+        if (layout.has_west(pos) && !warm.skip_west(pos)) {
+          gpu->owned_pairs.push_back(PairRef{img::TilePos{r, c - 1}, pos,
+                                             true});
+        }
+        if (layout.has_north(pos) && !warm.skip_north(pos)) {
+          gpu->owned_pairs.push_back(PairRef{img::TilePos{r - 1, c}, pos,
+                                             false});
+        }
+      }
+    }
+    if (use_p2p) {
+      // A halo transform crosses devices only when the consumer's boundary
+      // pair still needs computing.
+      if (g > 0) {
+        for (std::size_t c = 0; c < layout.cols; ++c) {
+          if (warm.skip_north(img::TilePos{row_begin, c})) continue;
+          gpu->halo_pull.insert(layout.index_of({row_begin - 1, c}));
+        }
+      }
+      if (g + 1 < gpu_count) {
+        for (std::size_t c = 0; c < layout.cols; ++c) {
+          if (warm.skip_north(img::TilePos{row_end, c})) continue;
+          gpu->halo_export.insert(layout.index_of({row_end - 1, c}));
+        }
+      }
+    }
+
+    vgpu::DeviceConfig config;
+    config.name = "vGPU" + std::to_string(g);
+    config.memory_bytes = options.gpu_memory_bytes;
+    config.recorder = options.recorder;
+    config.trace_prefix = "gpu" + std::to_string(g);
+    config.concurrent_fft_kernels = options.kepler_concurrent_fft;
+    config.faults = options.faults;
+    config.cancel = options.cancel;
+    gpu->device = std::make_unique<vgpu::Device>(config);
+    gpu->copy_stream = std::make_unique<vgpu::Stream>(*gpu->device, "copy");
+    for (std::size_t s = 0; s < fft_stream_count; ++s) {
+      gpu->fft_streams.push_back(std::make_unique<vgpu::Stream>(
+          *gpu->device,
+          fft_stream_count == 1 ? "fft" : "fft" + std::to_string(s)));
+    }
+    gpu->disp_stream = std::make_unique<vgpu::Stream>(*gpu->device, "disp");
+    if (real_fft) {
+      gpu->forward_r2c = std::make_unique<vgpu::VFftPlanR2c2d>(
+          *gpu->device, h, w, options.rigor);
+      gpu->inverse_c2r = std::make_unique<vgpu::VFftPlanC2r2d>(
+          *gpu->device, h, w, options.rigor);
+    } else {
+      gpu->forward = std::make_unique<vgpu::VFftPlan2d>(
+          *gpu->device, h, w, fft::Direction::kForward, options.rigor);
+      gpu->inverse = std::make_unique<vgpu::VFftPlan2d>(
+          *gpu->device, h, w, fft::Direction::kInverse, options.rigor);
+    }
+
+    // Per-band pool sizing (pool > band working set) is enforced up front by
+    // StitchRequest::validate().
+    const std::size_t pool_size =
+        options.pool_buffers > 0
+            ? options.pool_buffers
+            : traversal_working_set(band, options.traversal) + 4;
+    gpu->pool = std::make_unique<vgpu::BufferPool>(*gpu->device, pool_size,
+                                                   buffer_bytes);
+    // Backward-transform buffers are reserved separately so the copier can
+    // never starve the displacement stage of working memory (the pool-
+    // starvation deadlock a single shared pool invites).
+    gpu->ncc_pool =
+        std::make_unique<vgpu::BufferPool>(*gpu->device, 2, buffer_bytes);
+
+    const std::string qprefix = "pipelined_gpu.g" + std::to_string(g) + ".";
+    gpu->q_read.instrument(qprefix + "read");
+    gpu->q_fft.instrument(qprefix + "fft");
+    gpu->q_ready.instrument(qprefix + "ready");
+
+    // Initialize per-pipeline reference counts (+1 per exported halo
+    // transform, released by the consumer after its p2p copy), then drop
+    // any tile no owned pair needs (single-tile grids, or tiles whose every
+    // pair a warm start already settled).
+    for (const PairRef& pair : gpu->owned_pairs) {
+      for (const img::TilePos pos : {pair.reference, pair.moved}) {
+        auto [it, inserted] =
+            gpu->states.try_emplace(layout.index_of(pos), GpuTileState{});
+        it->second.refs += 1;
+      }
+    }
+    for (const std::size_t index : gpu->halo_export) {
+      auto [it, inserted] = gpu->states.try_emplace(index, GpuTileState{});
+      it->second.refs += 1;
+    }
+    std::erase_if(gpu->tiles_to_read, [&](const img::TilePos& pos) {
+      return !gpu->states.contains(layout.index_of(pos));
+    });
+    gpus.push_back(std::move(gpu));
+  }
+
+  // The CPU band: its pairs are seeded (and the lane closed) up front —
+  // they have no device-side dependency chain, so there is nothing to wait
+  // for, and a closed lane is raidable down to zero by idle GPUs.
+  std::vector<PairTask> cpu_pairs;
+  if (cpu_band_exists) {
+    const std::size_t cpu_row_begin = gpu_count * layout.rows / units;
+    for (std::size_t r = cpu_row_begin; r < layout.rows; ++r) {
+      for (std::size_t c = 0; c < layout.cols; ++c) {
+        const img::TilePos pos{r, c};
+        if (layout.has_west(pos) && !warm.skip_west(pos)) {
+          cpu_pairs.push_back(
+              PairTask{img::TilePos{r, c - 1}, pos, /*is_west=*/true});
+        }
+        if (layout.has_north(pos) && !warm.skip_north(pos)) {
+          // North pairs on the band's first row reach into the last GPU
+          // band; the CPU worker loads both tiles itself (naive-style), so
+          // no cross-executor handoff is needed.
+          cpu_pairs.push_back(
+              PairTask{img::TilePos{r - 1, c}, pos, /*is_west=*/false});
+        }
+      }
+    }
+  }
+
+  WorkPool work(rs.steal_threshold, options.recorder);
+  std::vector<std::size_t> gpu_lane(gpu_count);
+  std::vector<GpuPipeline*> lane_owner;  // per lane; nullptr = CPU lane
+  for (std::size_t g = 0; g < gpu_count; ++g) {
+    gpu_lane[g] =
+        work.add_lane("gpu" + std::to_string(g), WorkPool::Kind::kGpu);
+    lane_owner.push_back(gpus[g].get());
+  }
+  std::size_t cpu_lane = 0;
+  if (rs.cpu_workers > 0) {
+    cpu_lane = work.add_lane("cpu", WorkPool::Kind::kCpu);
+    lane_owner.push_back(nullptr);
+    for (const PairTask& task : cpu_pairs) work.push(cpu_lane, task);
+    work.close(cpu_lane);
+  }
+
+  pipe::BoundedQueue<CcfTask> q_ccf;  // stage 6, shared across GPUs
+  q_ccf.instrument("pipelined_gpu.ccf");
+  std::atomic<std::size_t> disp_stages_live{gpu_count};
+  std::atomic<std::size_t> cpu_worker_ids{0};
+  DisplacementTable* table = &result.table;
+  metrics::Histogram& pair_latency =
+      metrics::wellknown::pair_latency_us(rs.label);
+
+  // Host-side completion of a claimed pair — the CPU band workers' path, and
+  // what a thief runs for a stolen pair. A pair stolen from a GPU lane only
+  // enters that lane after bookkeeping saw both forward FFTs complete, so
+  // the victim's device buffers (host-visible in the virtual-GPU model)
+  // already hold both spectra: the thief reuses them via pciam_from_spectra
+  // and no forward transform is repeated. A CPU-lane pair has no resident
+  // state anywhere and is computed naive-style from the tile files.
+  auto host_pair = [&](const PairTask& task, GpuPipeline* victim,
+                       PciamScratch& scratch) {
+    HS_METRIC_TIMER(pair_latency);
+    throw_if_cancelled(options);
+    Translation t;
+    if (victim != nullptr) {
+      const fft::Complex* fa = nullptr;
+      const fft::Complex* fb = nullptr;
+      std::shared_ptr<const img::ImageU16> tile_a, tile_b;
+      {
+        std::lock_guard<std::mutex> lock(victim->state_mutex);
+        GpuTileState& a = victim->states.at(layout.index_of(task.reference));
+        GpuTileState& b = victim->states.at(layout.index_of(task.moved));
+        fa = a.buffer.as<const fft::Complex>();
+        fb = b.buffer.as<const fft::Complex>();
+        tile_a = a.tile;
+        tile_b = b.tile;
+      }
+      t = pciam_from_spectra(fa, fb, *tile_a, *tile_b, host_fftp, scratch,
+                             &counts, options.peak_candidates,
+                             options.min_overlap_px);
+      release_tile(victim, layout, task.reference);
+      release_tile(victim, layout, task.moved);
+    } else {
+      const img::ImageU16 a = provider.load(task.reference);
+      const img::ImageU16 b = provider.load(task.moved);
+      counts.bump(counts.tile_reads, 2);
+      t = pciam_full(a, b, host_fftp, scratch, &counts,
+                     options.peak_candidates, options.min_overlap_px);
+    }
+    if (task.is_west) {
+      table->west_of(task.moved) = t;
+    } else {
+      table->north_of(task.moved) = t;
+    }
+    note_pair_result(options, task.moved, task.is_west, t);
+  };
+
+  pipe::Pipeline pipeline;
+  pipeline.on_cancel([&] { q_ccf.close(); });
+  pipeline.on_cancel([&] { exchange.shutdown(); });
+  pipeline.on_cancel([&work] { work.close_all(); });
+
+  for (std::size_t g = 0; g < gpu_count; ++g) {
+    GpuPipeline* gpu = gpus[g].get();
+    const std::size_t lane = gpu_lane[g];
+    pipeline.on_cancel([gpu] {
+      gpu->q_read.close();
+      gpu->q_fft.close();
+      gpu->q_ready.close();
+      // Wake stages blocked on buffer acquisition (their acquire() throws,
+      // which the pipeline has already accounted for).
+      gpu->pool->close();
+      gpu->ncc_pool->close();
+    });
+
+    // ---- Stage 1: read. Halo-pull positions are forwarded unread.
+    pipeline.add_stage(
+        "g" + std::to_string(gpu->id) + ".read",
+        std::max<std::size_t>(1, options.read_threads),
+        [gpu, &provider, &counts, &options, &layout] {
+          for (const img::TilePos pos : gpu->tiles_to_read) {
+            throw_if_cancelled(options);
+            if (gpu->q_read.closed()) return;
+            TileWork tile_work;
+            tile_work.pos = pos;
+            if (!gpu->halo_pull.contains(layout.index_of(pos))) {
+              if (options.recorder != nullptr) {
+                auto span = options.recorder->scoped(
+                    "cpu.read" + std::to_string(gpu->id), "read");
+                tile_work.tile =
+                    std::make_shared<const img::ImageU16>(provider.load(pos));
+              } else {
+                tile_work.tile =
+                    std::make_shared<const img::ImageU16>(provider.load(pos));
+              }
+              counts.bump(counts.tile_reads);
+            }
+            if (!gpu->q_read.push(std::move(tile_work))) return;
+          }
+        },
+        [gpu] { gpu->q_read.close(); });
+
+    // ---- Stage 2: copier. Blocking pool acquire = memory back-pressure.
+    if (!batch_tiles) {
+      // Regular tiles: host-convert + async H2D, then on to the FFT stage.
+      // Halo pulls (p2p): wait for the owner's published transform, order
+      // the peer copy after the owner's FFT event, and announce readiness
+      // directly (the transform arrives already in the frequency domain).
+      pipeline.add_stage(
+          "g" + std::to_string(gpu->id) + ".copy", 1,
+          [gpu, &layout, &exchange, h, w, count, bins, buffer_bytes,
+           real_fft] {
+            while (auto tile_work = gpu->q_read.pop()) {
+              const std::size_t index = layout.index_of(tile_work->pos);
+              vgpu::PooledBuffer buffer = gpu->pool->acquire();
+              if (tile_work->tile == nullptr) {
+                HaloExchange::Entry entry = exchange.take(index);
+                if (entry.transform == nullptr) return;  // cancelled
+                gpu->copy_stream->wait_event(entry.ready);
+                void* dst = buffer.data();
+                const fft::Complex* src = entry.transform;
+                gpu->copy_stream->enqueue("memcpy_p2p",
+                                          [dst, src, buffer_bytes] {
+                                            std::memcpy(dst, src,
+                                                        buffer_bytes);
+                                          });
+                {
+                  std::lock_guard<std::mutex> lock(gpu->state_mutex);
+                  GpuTileState& state = gpu->states.at(index);
+                  state.buffer = std::move(buffer);
+                  state.tile = std::move(entry.tile);
+                }
+                gpu->note_live();
+                const img::TilePos done = tile_work->pos;
+                gpu->copy_stream->enqueue(
+                    "halo_ready",
+                    [gpu, done, release = std::move(entry.release)] {
+                      release();  // owner may now recycle its copy
+                      gpu->q_ready.push(done);
+                    });
+                continue;
+              }
+              // Convert on the host into a staging block owned by the copy
+              // command (pinned-buffer analogue), then async H2D. Real-FFT
+              // mode stages the padded in-place r2c layout.
+              auto staging = std::make_unique<fft::Complex[]>(bins);
+              if (real_fft) {
+                vgpu::k_u16_to_real_padded(tile_work->tile->data(),
+                                           staging.get(), h, w);
+              } else {
+                vgpu::k_u16_to_complex(tile_work->tile->data(), staging.get(),
+                                       count);
+              }
+              void* dst = buffer.data();
+              gpu->copy_stream->enqueue(
+                  "memcpy_h2d", [staging = std::move(staging), dst,
+                                 buffer_bytes] {
+                    std::memcpy(dst, staging.get(), buffer_bytes);
+                  });
+              {
+                std::lock_guard<std::mutex> lock(gpu->state_mutex);
+                GpuTileState& state = gpu->states.at(index);
+                state.buffer = std::move(buffer);
+                state.tile = std::move(tile_work->tile);
+              }
+              gpu->note_live();
+              if (!gpu->q_fft.push(tile_work->pos)) return;
+            }
+            // Flush pending halo announcements before declaring this
+            // q_ready producer done.
+            gpu->copy_stream->synchronize();
+          },
+          [gpu] {
+            gpu->q_fft.close();
+            gpu->close_ready_when_done();
+          });
+    } else {
+      // Batched copier: group up to batch_k tiles into ONE H2D enqueue.
+      // Acquisition order matters — buffer FIRST, then work item: an
+      // unpaired buffer just returns to the pool via its handle, whereas
+      // holding a work item while blocking on a dry pool could deadlock a
+      // pool smaller than the batch.
+      pipeline.add_stage(
+          "g" + std::to_string(gpu->id) + ".copy", 1,
+          [gpu, &layout, h, w, count, bins, buffer_bytes, real_fft,
+           batch_k] {
+            struct Staged {
+              TileWork tile_work;
+              vgpu::PooledBuffer buffer;
+            };
+            struct Upload {
+              std::unique_ptr<fft::Complex[]> staging;
+              void* dst = nullptr;
+            };
+            for (;;) {
+              auto first = gpu->q_read.pop();
+              if (!first) break;
+              std::vector<Staged> group;
+              group.push_back(Staged{std::move(*first), gpu->pool->acquire()});
+              while (group.size() < batch_k) {
+                auto buffer = gpu->pool->try_acquire();
+                if (!buffer) break;  // pool pressure: upload what we have
+                // Batch formation: wait briefly for the reader to top the
+                // group up; a timeout (or close) dispatches the partial
+                // group. The unpaired buffer handle returns to the pool.
+                auto more =
+                    gpu->q_read.pop_for(std::chrono::microseconds(500));
+                if (!more) break;
+                group.push_back(Staged{std::move(*more), std::move(*buffer)});
+              }
+              auto uploads = std::make_unique<std::vector<Upload>>();
+              uploads->reserve(group.size());
+              for (Staged& s : group) {
+                Upload up;
+                up.staging = std::make_unique<fft::Complex[]>(bins);
+                if (real_fft) {
+                  vgpu::k_u16_to_real_padded(s.tile_work.tile->data(),
+                                             up.staging.get(), h, w);
+                } else {
+                  vgpu::k_u16_to_complex(s.tile_work.tile->data(),
+                                         up.staging.get(), count);
+                }
+                up.dst = s.buffer.data();
+                uploads->push_back(std::move(up));
+              }
+              gpu->copy_stream->enqueue(
+                  "memcpy_h2d_batched",
+                  [uploads = std::move(uploads), buffer_bytes] {
+                    for (const Upload& up : *uploads) {
+                      std::memcpy(up.dst, up.staging.get(), buffer_bytes);
+                    }
+                  });
+              for (Staged& s : group) {
+                const std::size_t index = layout.index_of(s.tile_work.pos);
+                {
+                  std::lock_guard<std::mutex> lock(gpu->state_mutex);
+                  GpuTileState& state = gpu->states.at(index);
+                  state.buffer = std::move(s.buffer);
+                  state.tile = std::move(s.tile_work.tile);
+                }
+                gpu->note_live();
+                if (!gpu->q_fft.push(s.tile_work.pos)) return;
+              }
+            }
+            gpu->copy_stream->synchronize();
+          },
+          [gpu] {
+            gpu->q_fft.close();
+            gpu->close_ready_when_done();
+          });
+    }
+
+    // ---- Stage 3: fft. Orders each FFT after the copy via a stream event,
+    // then has the fft stream itself announce completion to bookkeeping.
+    // With Kepler mode and several streams, FFTs issue concurrently.
+    auto fft_thread_ids = std::make_shared<std::atomic<std::size_t>>(0);
+    if (!batch_tiles) {
+      pipeline.add_stage(
+          "g" + std::to_string(gpu->id) + ".fft", fft_stream_count,
+          [gpu, &layout, &counts, &exchange, fft_thread_ids, bins, real_fft] {
+            const std::size_t stream_id =
+                fft_thread_ids->fetch_add(1, std::memory_order_relaxed) %
+                gpu->fft_streams.size();
+            vgpu::Stream& fft_stream = *gpu->fft_streams[stream_id];
+            while (auto pos = gpu->q_fft.pop()) {
+              const std::size_t index = layout.index_of(*pos);
+              vgpu::Event copied = gpu->copy_stream->record_event();
+              fft_stream.wait_event(std::move(copied));
+              fft::Complex* data = nullptr;
+              std::shared_ptr<const img::ImageU16> tile;
+              {
+                std::lock_guard<std::mutex> lock(gpu->state_mutex);
+                GpuTileState& state = gpu->states.at(index);
+                data = state.buffer.as<fft::Complex>();
+                tile = state.tile;
+              }
+              if (real_fft) {
+                gpu->forward_r2c->enqueue_inplace_padded_ptr(fft_stream, data);
+              } else {
+                gpu->forward->enqueue_inplace_ptr(fft_stream, data);
+              }
+              counts.bump(counts.forward_ffts);
+              counts.bump(counts.transform_bins, bins);
+              if (gpu->halo_export.contains(index)) {
+                HaloExchange::Entry entry;
+                entry.ready = fft_stream.record_event();
+                entry.transform = data;
+                entry.tile = std::move(tile);
+                const img::GridLayout grid = layout;
+                const img::TilePos pos_copy = *pos;
+                entry.release = [gpu, grid, pos_copy] {
+                  release_tile(gpu, grid, pos_copy);
+                };
+                exchange.publish(index, std::move(entry));
+              }
+              const img::TilePos done = *pos;
+              fft_stream.enqueue("announce",
+                                 [gpu, done] { gpu->q_ready.push(done); });
+            }
+            // Drain this thread's stream so its announcements land before
+            // the producer count drops.
+            fft_stream.synchronize();
+          },
+          [gpu] { gpu->close_ready_when_done(); });
+    } else {
+      // Batched fft: group up to batch_k transforms into ONE launch and ONE
+      // announcement. A single event covers the whole group — the copy
+      // stream is in-order, so "everything enqueued so far is done" implies
+      // every member's upload is done. The grouped launch holds the fft
+      // mutex across the batch (serialized even in Kepler mode — grouping
+      // is opt-in and trades kernel concurrency for launch overhead).
+      pipeline.add_stage(
+          "g" + std::to_string(gpu->id) + ".fft", fft_stream_count,
+          [gpu, &layout, &counts, fft_thread_ids, bins, real_fft, batch_k,
+           &batch_r2c, &batch_fwd] {
+            const std::size_t stream_id =
+                fft_thread_ids->fetch_add(1, std::memory_order_relaxed) %
+                gpu->fft_streams.size();
+            vgpu::Stream& fft_stream = *gpu->fft_streams[stream_id];
+            for (;;) {
+              auto first = gpu->q_fft.pop();
+              if (!first) break;
+              std::vector<img::TilePos> group{*first};
+              while (group.size() < batch_k) {
+                // Batch formation: brief timed pop so uploads still in
+                // flight can join this FFT group (timeout or queue close
+                // dispatches the partial group).
+                auto more =
+                    gpu->q_fft.pop_for(std::chrono::microseconds(500));
+                if (!more) break;
+                group.push_back(*more);
+              }
+              fft_stream.wait_event(gpu->copy_stream->record_event());
+              auto datas = std::make_unique<std::vector<fft::Complex*>>();
+              datas->reserve(group.size());
+              {
+                std::lock_guard<std::mutex> lock(gpu->state_mutex);
+                for (const img::TilePos pos : group) {
+                  datas->push_back(gpu->states.at(layout.index_of(pos))
+                                       .buffer.as<fft::Complex>());
+                }
+              }
+              vgpu::Device* dev = gpu->device.get();
+              fft_stream.enqueue(
+                  real_fft ? "fft2d_r2c_batched" : "fft2d_batched",
+                  [datas = std::move(datas), dev, real_fft,
+                   r2c = batch_r2c, fwd = batch_fwd] {
+                    std::lock_guard<std::mutex> lock(dev->fft_mutex());
+                    for (fft::Complex* data : *datas) {
+                      if (real_fft) {
+                        r2c->execute_inplace_padded(data);
+                      } else {
+                        fwd->execute_inplace(data);
+                      }
+                    }
+                  });
+              counts.bump(counts.forward_ffts, group.size());
+              counts.bump(counts.transform_bins, group.size() * bins);
+              auto poses =
+                  std::make_unique<std::vector<img::TilePos>>(std::move(group));
+              fft_stream.enqueue(
+                  "announce_batched", [gpu, poses = std::move(poses)] {
+                    for (const img::TilePos pos : *poses) {
+                      gpu->q_ready.push(pos);
+                    }
+                  });
+            }
+            fft_stream.synchronize();
+          },
+          [gpu] { gpu->close_ready_when_done(); });
+    }
+
+    // ---- Stage 4: bookkeeping. Ready pairs go to this GPU's WorkPool lane
+    // (not a private queue) — that is what makes them visible to thieves.
+    pipeline.add_stage(
+        "g" + std::to_string(gpu->id) + ".bookkeeping", 1,
+        [gpu, &layout, &work, lane] {
+          std::size_t emitted = 0;
+          if (gpu->owned_pairs.empty()) return;
+          while (auto pos = gpu->q_ready.pop()) {
+            std::lock_guard<std::mutex> lock(gpu->state_mutex);
+            GpuTileState& state = gpu->states.at(layout.index_of(*pos));
+            state.fft_done = true;
+            // Advance every owned pair whose both transforms are ready.
+            for (const PairRef& pair : gpu->owned_pairs) {
+              if (!(pair.reference == *pos) && !(pair.moved == *pos)) continue;
+              const GpuTileState& a =
+                  gpu->states.at(layout.index_of(pair.reference));
+              const GpuTileState& b =
+                  gpu->states.at(layout.index_of(pair.moved));
+              if (a.fft_done && b.fft_done) {
+                work.push(lane,
+                          PairTask{pair.reference, pair.moved, pair.is_west});
+                ++emitted;
+              }
+            }
+            if (emitted == gpu->owned_pairs.size()) break;
+          }
+        },
+        [&work, lane] { work.close(lane); });
+
+    // ---- Stage 5: displacement. Claims from this GPU's lane (up to
+    // gpu_batch_pairs at a time). Own-lane singles follow the legacy
+    // three-command sequence; own-lane batches collapse into one grouped
+    // k_batched launch; stolen pairs run synchronously on the host.
+    pipeline.add_stage(
+        "g" + std::to_string(gpu->id) + ".displacement", 1,
+        [gpu, lane, &work, &lane_owner, &layout, &counts, &q_ccf, &host_pair,
+         count, bins, real_fft, &options, batch_k, &batch_inv, &batch_c2r] {
+          metrics::Gauge& busy = metrics::wellknown::sched_executor_busy(
+              "gpu" + std::to_string(gpu->id));
+          PciamScratch scratch;
+          const std::size_t peaks_k =
+              std::max<std::size_t>(1, options.peak_candidates);
+          for (;;) {
+            WorkPool::Claim claim = work.claim(lane, batch_k);
+            if (claim.tasks.empty()) break;
+            busy.set(1);
+            if (claim.stolen) {
+              host_pair(claim.tasks.front(), lane_owner[claim.victim],
+                        scratch);
+              busy.set(0);
+              continue;
+            }
+            if (claim.tasks.size() == 1) {
+              const PairTask pair = claim.tasks.front();
+              throw_if_cancelled(options);
+              vgpu::PooledBuffer ncc = gpu->ncc_pool->acquire();
+              const fft::Complex* fa = nullptr;
+              const fft::Complex* fb = nullptr;
+              std::shared_ptr<const img::ImageU16> tile_a, tile_b;
+              {
+                std::lock_guard<std::mutex> lock(gpu->state_mutex);
+                GpuTileState& a =
+                    gpu->states.at(layout.index_of(pair.reference));
+                GpuTileState& b = gpu->states.at(layout.index_of(pair.moved));
+                fa = a.buffer.as<const fft::Complex>();
+                fb = b.buffer.as<const fft::Complex>();
+                tile_a = a.tile;
+                tile_b = b.tile;
+              }
+              fft::Complex* fc = ncc.as<fft::Complex>();
+              gpu->disp_stream->enqueue("ncc", [fa, fb, fc, bins] {
+                vgpu::k_ncc_half(fa, fb, fc, bins);
+              });
+              if (real_fft) {
+                gpu->inverse_c2r->enqueue_inplace_half_ptr(*gpu->disp_stream,
+                                                           fc);
+              } else {
+                gpu->inverse->enqueue_inplace_ptr(*gpu->disp_stream, fc,
+                                                  "ifft2d");
+              }
+              counts.bump(counts.ncc_multiplies);
+              counts.bump(counts.inverse_ffts);
+              counts.bump(counts.max_reductions);
+
+              // Reduce, hand the scalar to the CCF stage, release the NCC
+              // buffer and both tiles' references — all from the stream, so
+              // the displacement thread never blocks on the GPU.
+              const PairTask pair_copy = pair;
+              GpuPipeline* g = gpu;
+              const img::GridLayout grid = layout;
+              gpu->disp_stream->enqueue(
+                  "max_reduce",
+                  [g, grid, fc, count, pair_copy, peaks_k, real_fft,
+                   ncc = std::move(ncc), tile_a = std::move(tile_a),
+                   tile_b = std::move(tile_b), &q_ccf]() mutable {
+                    const auto peaks =
+                        real_fft
+                            ? vgpu::k_max_abs_topk_real(
+                                  reinterpret_cast<const double*>(fc), count,
+                                  peaks_k)
+                            : vgpu::k_max_abs_topk(fc, count, peaks_k);
+                    CcfTask task;
+                    task.reference = std::move(tile_a);
+                    task.moved = std::move(tile_b);
+                    task.moved_pos = pair_copy.moved;
+                    task.is_west = pair_copy.is_west;
+                    task.peak_indices.reserve(peaks.size());
+                    for (const auto& peak : peaks) {
+                      task.peak_indices.push_back(peak.index);
+                    }
+                    q_ccf.push(std::move(task));
+                    // Recycle device memory.
+                    ncc.release();
+                    release_tile(g, grid, pair_copy.reference);
+                    release_tile(g, grid, pair_copy.moved);
+                  });
+              busy.set(0);
+              continue;
+            }
+            // Batched path: one grouped launch for the whole claim, sharing
+            // one NCC scratch buffer (the group runs sequentially inside the
+            // single command, so one surface suffices).
+            throw_if_cancelled(options);
+            vgpu::PooledBuffer ncc = gpu->ncc_pool->acquire();
+            fft::Complex* fc = ncc.as<fft::Complex>();
+            auto jobs = std::make_unique<std::vector<vgpu::PairDispJob>>();
+            auto tiles = std::make_unique<std::vector<
+                std::pair<std::shared_ptr<const img::ImageU16>,
+                          std::shared_ptr<const img::ImageU16>>>>();
+            jobs->reserve(claim.tasks.size());
+            tiles->reserve(claim.tasks.size());
+            {
+              std::lock_guard<std::mutex> lock(gpu->state_mutex);
+              for (const PairTask& pair : claim.tasks) {
+                GpuTileState& a =
+                    gpu->states.at(layout.index_of(pair.reference));
+                GpuTileState& b = gpu->states.at(layout.index_of(pair.moved));
+                jobs->push_back(
+                    vgpu::PairDispJob{a.buffer.as<const fft::Complex>(),
+                                      b.buffer.as<const fft::Complex>()});
+                tiles->emplace_back(a.tile, b.tile);
+              }
+            }
+            counts.bump(counts.ncc_multiplies, claim.tasks.size());
+            counts.bump(counts.inverse_ffts, claim.tasks.size());
+            counts.bump(counts.max_reductions, claim.tasks.size());
+            // The grouped command executes the host plan directly (the VFft
+            // wrappers would enqueue commands of their own), holding the
+            // device's FFT mutex across the batch.
+            vgpu::Device* dev = gpu->device.get();
+            std::function<void(fft::Complex*)> inverse_fn;
+            if (real_fft) {
+              inverse_fn = [plan = batch_c2r, dev](fft::Complex* data) {
+                std::lock_guard<std::mutex> lock(dev->fft_mutex());
+                plan->execute_inplace_half(data);
+              };
+            } else {
+              inverse_fn = [plan = batch_inv, dev](fft::Complex* data) {
+                std::lock_guard<std::mutex> lock(dev->fft_mutex());
+                plan->execute_inplace(data);
+              };
+            }
+            auto batch_tasks =
+                std::make_unique<std::vector<PairTask>>(claim.tasks);
+            GpuPipeline* g = gpu;
+            const img::GridLayout grid = layout;
+            gpu->disp_stream->enqueue(
+                "pair_batch",
+                [g, grid, fc, count, bins, peaks_k, real_fft, inverse_fn,
+                 jobs = std::move(jobs), tiles = std::move(tiles),
+                 batch_tasks = std::move(batch_tasks), ncc = std::move(ncc),
+                 &q_ccf]() mutable {
+                  vgpu::k_batched(
+                      jobs->data(), jobs->size(), fc, bins, count, peaks_k,
+                      real_fft, inverse_fn,
+                      [&](std::size_t i,
+                          std::vector<vgpu::MaxAbsResult> peaks) {
+                        const PairTask& pair = (*batch_tasks)[i];
+                        CcfTask task;
+                        task.reference = std::move((*tiles)[i].first);
+                        task.moved = std::move((*tiles)[i].second);
+                        task.moved_pos = pair.moved;
+                        task.is_west = pair.is_west;
+                        task.peak_indices.reserve(peaks.size());
+                        for (const auto& peak : peaks) {
+                          task.peak_indices.push_back(peak.index);
+                        }
+                        q_ccf.push(std::move(task));
+                        release_tile(g, grid, pair.reference);
+                        release_tile(g, grid, pair.moved);
+                      });
+                  ncc.release();
+                });
+            busy.set(0);
+          }
+          busy.set(0);
+          // All pairs issued; wait for the stream to drain before declaring
+          // this GPU's displacement work done.
+          gpu->disp_stream->synchronize();
+        },
+        [&disp_stages_live, &q_ccf] {
+          if (disp_stages_live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            q_ccf.close();
+          }
+        });
+  }
+
+  // ---- CPU band workers: claim from the shared "cpu" lane (and steal GPU
+  // pairs when idle and allowed), completing every pair on the host.
+  if (rs.cpu_workers > 0) {
+    pipeline.add_stage(
+        "cpu.workers", rs.cpu_workers,
+        [&work, cpu_lane, &lane_owner, &host_pair, &cpu_worker_ids] {
+          const std::size_t id =
+              cpu_worker_ids.fetch_add(1, std::memory_order_relaxed);
+          set_current_thread_name("sched.cpu" + std::to_string(id));
+          metrics::Gauge& busy = metrics::wellknown::sched_executor_busy(
+              "cpu" + std::to_string(id));
+          PciamScratch scratch;
+          for (;;) {
+            WorkPool::Claim claim = work.claim(cpu_lane, 1);
+            if (claim.tasks.empty()) break;
+            busy.set(1);
+            GpuPipeline* victim =
+                claim.stolen ? lane_owner[claim.victim] : nullptr;
+            for (const PairTask& task : claim.tasks) {
+              host_pair(task, victim, scratch);
+            }
+            busy.set(0);
+          }
+        });
+  }
+
+  // ---- Stage 6: CCF threads, shared across all GPU pipelines.
+  std::atomic<std::size_t> ccf_ids{0};
+  pipeline.add_stage(
+      "ccf", std::max<std::size_t>(1, options.ccf_threads),
+      [&q_ccf, table, &counts, &options, &ccf_ids, &pair_latency, w] {
+        const std::size_t id = ccf_ids.fetch_add(1, std::memory_order_relaxed);
+        const std::string lane = "cpu.ccf" + std::to_string(id);
+        while (auto task = q_ccf.pop()) {
+          // Covers the host-side completion of the pair (peak disambiguation
+          // + table write); the device-side NCC/IFFT cost shows up in the
+          // queue wait histograms instead.
+          HS_METRIC_TIMER(pair_latency);
+          throw_if_cancelled(options);
+          counts.bump(counts.ccf_evaluations, 4 * task->peak_indices.size());
+          Translation translation;
+          if (options.recorder != nullptr) {
+            auto span = options.recorder->scoped(lane, "ccf");
+            translation =
+                disambiguate_peaks(*task->reference, *task->moved,
+                                   task->peak_indices, w,
+                                   options.min_overlap_px);
+          } else {
+            translation =
+                disambiguate_peaks(*task->reference, *task->moved,
+                                   task->peak_indices, w,
+                                   options.min_overlap_px);
+          }
+          if (task->is_west) {
+            table->west_of(task->moved_pos) = translation;
+          } else {
+            table->north_of(task->moved_pos) = translation;
+          }
+          note_pair_result(options, task->moved_pos, task->is_west,
+                           translation);
+        }
+      });
+
+  try {
+    pipeline.run();
+  } catch (...) {
+    // A failing stage unwinds without reaching its end-of-stage
+    // synchronize(), so commands that touch this function's state (tile
+    // maps, queues, pools) may still sit on stream queues — and ~Stream
+    // drains, not discards. Quiesce every stream before the unwind frees
+    // that state. The cancel hooks have already closed the queues, so the
+    // pending commands' pushes fail fast and every drain terminates.
+    for (auto& gpu : gpus) {
+      gpu->copy_stream->synchronize();
+      for (auto& fft_stream : gpu->fft_streams) fft_stream->synchronize();
+      gpu->disp_stream->synchronize();
+    }
+    throw;
+  }
+
+  std::size_t peak_total = 0;
+  for (const auto& gpu : gpus) {
+    peak_total += gpu->peak.load(std::memory_order_relaxed);
+  }
+  result.peak_live_transforms = peak_total;
+  result.ops = counts.snapshot();
+  return result;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API: ResourceSet factories, HybridScheduler, stitch(ResourceSet),
+// and the deprecated impl:: forwarders.
+// ---------------------------------------------------------------------------
+
+ResourceSet ResourceSet::for_backend(Backend backend,
+                                     const StitchOptions& o) {
+  ResourceSet rs;
+  switch (backend) {
+    case Backend::kNaivePairwise:
+      rs.cpu_workers = 1;
+      rs.use_transform_cache = false;
+      break;
+    case Backend::kSimpleCpu:
+      rs.cpu_workers = 1;
+      break;
+    case Backend::kMtCpu:
+      rs.cpu_workers = std::max<std::size_t>(1, o.threads);
+      break;
+    case Backend::kPipelinedCpu:
+      rs.cpu_workers = std::max<std::size_t>(1, o.threads);
+      rs.prefetch_threads = std::max<std::size_t>(1, o.read_threads);
+      break;
+    case Backend::kSimpleGpu:
+      rs.cpu_workers = 0;
+      rs.gpu_devices = 1;
+      rs.synchronous_gpu = true;
+      break;
+    case Backend::kPipelinedGpu:
+      rs.cpu_workers = 0;
+      rs.gpu_devices = std::max<std::size_t>(1, o.gpu_count);
+      break;
+  }
+  rs.steal_threshold = o.steal_threshold;
+  rs.gpu_batch_pairs = std::max<std::size_t>(1, o.gpu_batch_pairs);
+  rs.label = backend_name(backend);
+  return rs;
+}
+
+std::string ResourceSet::describe() const {
+  std::string s;
+  if (cpu_workers > 0) {
+    s += std::to_string(cpu_workers) + " cpu";
+    if (prefetch_threads > 0) {
+      s += " + " + std::to_string(prefetch_threads) + " prefetch";
+    }
+  }
+  if (gpu_devices > 0) {
+    if (!s.empty()) s += " + ";
+    s += std::to_string(gpu_devices) + " gpu";
+    if (synchronous_gpu) s += " (sync)";
+  }
+  if (!use_transform_cache) s += ", no cache";
+  if (steal_threshold > 0) {
+    s += " (steal>" + std::to_string(steal_threshold) + ")";
+  }
+  if (gpu_batch_pairs > 1) {
+    s += " (batch=" + std::to_string(gpu_batch_pairs) + ")";
+  }
+  return s;
+}
+
+HybridScheduler::HybridScheduler(ResourceSet resources)
+    : resources_(std::move(resources)) {}
+
+StitchResult HybridScheduler::run(const TileProvider& provider,
+                                  const StitchOptions& options) const {
+  const ResourceSet& rs = resources_;
+  if (rs.gpu_batch_pairs < 1) {
+    throw InvalidArgument("ResourceSet.gpu_batch_pairs: must be >= 1");
+  }
+  if (rs.cpu_workers == 0 && rs.gpu_devices == 0) {
+    throw InvalidArgument(
+        "ResourceSet: needs at least one executor (cpu_workers or "
+        "gpu_devices)");
+  }
+  if (rs.prefetch_threads > 0 && !rs.use_transform_cache) {
+    throw InvalidArgument(
+        "ResourceSet.prefetch_threads: prefetching warms the transform "
+        "cache, which use_transform_cache = false removes");
+  }
+  if (rs.synchronous_gpu && (rs.gpu_devices != 1 || rs.cpu_workers != 0)) {
+    throw InvalidArgument(
+        "ResourceSet.synchronous_gpu: the synchronous shape is exactly one "
+        "GPU and no CPU workers");
+  }
+  if (options.use_p2p && rs.steal_threshold > 0) {
+    throw InvalidArgument(
+        "steal_threshold: incompatible with use_p2p (a stolen boundary pair "
+        "would bypass the halo transform's cross-device release protocol)");
+  }
+  if (options.use_p2p && rs.cpu_workers > 0 && rs.gpu_devices > 0) {
+    throw InvalidArgument(
+        "ResourceSet: hybrid CPU+GPU bands are incompatible with use_p2p");
+  }
+  if (rs.gpu_devices == 0) return run_cpu(rs, provider, options);
+  if (rs.synchronous_gpu) return run_gpu_sync(rs, provider, options);
+  return run_gpu_async(rs, provider, options);
+}
+
+StitchResult stitch(const ResourceSet& resources, const TileProvider& provider,
+                    const StitchOptions& options) {
+  Stopwatch stopwatch;
+  StitchResult result = HybridScheduler(resources).run(provider, options);
+  result.backend_used = resources.label;
+  result.seconds = stopwatch.seconds();
+  return result;
+}
+
+// Deprecated per-backend entry points (impl.hpp): each is now a one-line
+// ResourceSet preset over the unified loop, kept so request.cpp's dispatch
+// and the fallback chains need no change.
+namespace impl {
+
+StitchResult stitch_naive(const TileProvider& provider,
+                          const StitchOptions& options) {
+  return HybridScheduler(
+             ResourceSet::for_backend(Backend::kNaivePairwise, options))
+      .run(provider, options);
+}
+
+StitchResult stitch_simple_cpu(const TileProvider& provider,
+                               const StitchOptions& options) {
+  return HybridScheduler(
+             ResourceSet::for_backend(Backend::kSimpleCpu, options))
+      .run(provider, options);
+}
+
+StitchResult stitch_mt_cpu(const TileProvider& provider,
+                           const StitchOptions& options) {
+  return HybridScheduler(ResourceSet::for_backend(Backend::kMtCpu, options))
+      .run(provider, options);
+}
+
+StitchResult stitch_pipelined_cpu(const TileProvider& provider,
+                                  const StitchOptions& options) {
+  return HybridScheduler(
+             ResourceSet::for_backend(Backend::kPipelinedCpu, options))
+      .run(provider, options);
+}
+
+StitchResult stitch_simple_gpu(const TileProvider& provider,
+                               const StitchOptions& options) {
+  return HybridScheduler(
+             ResourceSet::for_backend(Backend::kSimpleGpu, options))
+      .run(provider, options);
+}
+
+StitchResult stitch_pipelined_gpu(const TileProvider& provider,
+                                  const StitchOptions& options) {
+  return HybridScheduler(
+             ResourceSet::for_backend(Backend::kPipelinedGpu, options))
+      .run(provider, options);
+}
+
+}  // namespace impl
+
+}  // namespace hs::stitch

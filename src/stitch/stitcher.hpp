@@ -97,6 +97,18 @@ struct StitchOptions {
   /// displacement tables are unchanged.
   bool use_real_fft = false;
 
+  // --- hybrid scheduler knobs (scheduler.hpp) ----------------------------
+  /// Work-stealing hysteresis: an idle executor steals from another lane
+  /// only while the victim still has more than this many queued pairs, so
+  /// the GPU keeps batch-sized chunks of its own work. 0 disables stealing
+  /// entirely — the default, and the behavior of every legacy backend name.
+  std::size_t steal_threshold = 0;
+  /// Pair tasks grouped into one vgpu launch on the GPU displacement path
+  /// (and tiles grouped per upload/FFT enqueue). 1 = legacy per-pair
+  /// dispatch; larger values amortize Stream::enqueue overhead without
+  /// changing tables or semantic op counts.
+  std::size_t gpu_batch_pairs = 1;
+
   // --- serve-layer hooks -------------------------------------------------
   /// Cooperative cancellation: every backend polls this between pairs (and
   /// the pipelined backends inside their stage loops); a requested token

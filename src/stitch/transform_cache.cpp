@@ -35,8 +35,25 @@ std::size_t TransformCache::pair_degree(const img::GridLayout& layout,
 }
 
 const fft::Complex* TransformCache::transform(img::TilePos pos) {
+  return transform_impl(pos, /*prefetch_only=*/false);
+}
+
+void TransformCache::prefetch(img::TilePos pos) {
+  transform_impl(pos, /*prefetch_only=*/true);
+}
+
+const fft::Complex* TransformCache::transform_impl(img::TilePos pos,
+                                                   bool prefetch_only) {
   Entry& e = entry(pos);
   std::unique_lock<std::mutex> lock(e.mutex);
+  if (prefetch_only &&
+      (e.refcount == 0 || e.state != Entry::State::kEmpty)) {
+    // Already computed, being computed, or released by consumers that beat
+    // the prefetcher to the whole tile — nothing useful left to warm. The
+    // guard and the state transition happen under one lock acquisition, so
+    // a prefetch can never revive a freed entry.
+    return nullptr;
+  }
   for (;;) {
     HS_ASSERT_MSG(e.state != Entry::State::kFreed,
                   "transform requested after release to zero");

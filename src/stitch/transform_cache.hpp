@@ -43,6 +43,12 @@ class TransformCache {
   /// tile) on first call. Blocks if another thread is computing it.
   const fft::Complex* transform(img::TilePos pos);
 
+  /// Best-effort warm-up that takes no reference: computes the transform
+  /// only if the entry is still untouched. Unlike transform(), it is safe
+  /// to call on a tile whose consumers already released it to zero (the
+  /// prefetcher losing the race to fast workers is benign, not an error).
+  void prefetch(img::TilePos pos);
+
   /// The spatial tile (valid while the entry is live), for CCF evaluation.
   const img::ImageU16& tile(img::TilePos pos);
 
@@ -74,6 +80,7 @@ class TransformCache {
   };
 
   Entry& entry(img::TilePos pos) { return *entries_[layout_.index_of(pos)]; }
+  const fft::Complex* transform_impl(img::TilePos pos, bool prefetch_only);
   static std::size_t entry_resident_bytes(const Entry& e);
   void note_live(std::ptrdiff_t delta);
 

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/thread_util.hpp"
 #include "fault/plan.hpp"
+#include "metrics/wellknown.hpp"
 
 namespace hs::vgpu {
 
@@ -12,6 +13,7 @@ Stream::Stream(Device& device, std::string name)
     : device_(device),
       name_(std::move(name)),
       lane_(device.config().trace_prefix + "." + name_),
+      metric_enqueues_(metrics::wellknown::vgpu_stream_enqueues_total()),
       worker_([this] { worker_loop(); }) {}
 
 Stream::~Stream() {
@@ -39,7 +41,8 @@ void Stream::enqueue(std::string label, MoveFunction work) {
   // (record_event pushes directly), so teardown stays fault-free.
   fault::FaultPlan* faults = device_.config().faults;
   if (faults != nullptr &&
-      faults->hang_point(fault::Site::kStreamExec, device_.config().cancel)) {
+      faults->hang_point(fault::Site::kStreamExec, device_.config().cancel,
+                         lane_)) {
     throw DeviceError(lane_ + ": injected hang interrupted executing '" +
                       label + "'");
   }
@@ -47,6 +50,7 @@ void Stream::enqueue(std::string label, MoveFunction work) {
     throw DeviceError(lane_ + ": injected device fault executing '" + label +
                       "'");
   }
+  metric_enqueues_.add();
   const bool accepted =
       commands_.push(Command{std::move(label), std::move(work), true});
   HS_ASSERT_MSG(accepted, "enqueue on destroyed stream");

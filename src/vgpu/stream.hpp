@@ -103,6 +103,9 @@ class Stream {
   Device& device_;
   std::string name_;
   std::string lane_;
+  // Cached at construction; enqueue() is the hot path batched dispatch
+  // amortizes, so the counter bump must stay a single atomic add.
+  metrics::Counter& metric_enqueues_;
   pipe::BoundedQueue<Command> commands_;
   std::thread worker_;
 };

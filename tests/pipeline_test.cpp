@@ -8,6 +8,7 @@
 #include <set>
 #include <thread>
 
+#include "metrics/wellknown.hpp"
 #include "pipeline/cancel.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/queue.hpp"
@@ -126,6 +127,52 @@ TEST(Queue, ManyProducersManyConsumersDeliverEverything) {
   queue.close();
   for (auto& t : consumers) t.join();
   EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+// Regression: the depth gauge is published under the queue lock. An earlier
+// draft updated it after releasing the lock, so a steal racing a pop could
+// publish a stale size that stuck until the next operation — the service
+// dashboard then showed phantom depth on idle lanes. Storm the queue from
+// pushers, poppers, and stealers, then require gauge == size() == 0.
+TEST(Queue, DepthGaugeExactAfterStealRaces) {
+  auto& gauge = metrics::wellknown::queue_depth("test.steal_race");
+  BoundedQueue<int> queue(32);
+  queue.instrument("test.steal_race");
+  constexpr int kPushers = 3, kPerPusher = 2000;
+  std::atomic<int> taken{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kPushers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerPusher; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerPusher + i));
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (queue.pop_for(std::chrono::milliseconds(5)).has_value()) {
+        taken.fetch_add(1, std::memory_order_relaxed);
+      }
+      while (queue.pop().has_value()) {
+        taken.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int s = 0; s < 2; ++s) {
+    threads.emplace_back([&] {
+      while (!queue.drained()) {
+        if (queue.try_steal().has_value()) {
+          taken.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kPushers; ++p) threads[static_cast<std::size_t>(p)].join();
+  queue.close();
+  for (std::size_t t = kPushers; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(taken.load(), kPushers * kPerPusher);
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(gauge.value(), 0);
 }
 
 // --- Pipeline ----------------------------------------------------------------
