@@ -20,9 +20,15 @@
 //      accepted jobs finish within deadline + one watchdog period, rejects
 //      fail fast at submit(), and the shed/deadline-exceeded counters
 //      account for every non-completed job exactly.
+//   6. Journal durability — the same flood-style workload with the
+//      write-ahead journal off vs on per fsync policy (the default
+//      `interval` policy must stay within 3% + 50 ms of no-journal), and
+//      startup recovery time as a function of journal size; numbers land in
+//      BENCH_journal.json and scripts/check.sh gates on the budget.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -60,6 +66,9 @@ int main(int argc, char** argv) {
   cli.add_flag("budget-mb", "global memory budget, MiB", "64");
   cli.add_flag("tile-height", "tile height in pixels", "96");
   cli.add_flag("tile-width", "tile width in pixels", "128");
+  cli.add_flag("journal-json",
+               "write the journal section's numbers here as JSON",
+               "BENCH_journal.json");
   stitch::register_metrics_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
@@ -364,12 +373,166 @@ int main(int argc, char** argv) {
       tail_ok && reject_fast_ok && accounted && done_count > 0 &&
       rejected_count > 0 && expired_count >= 2;
 
+  // ---- 6. Journal durability. --------------------------------------------
+  // (a) Fsync-policy overhead: a flood-style burst of small jobs with the
+  // write-ahead journal off, then on under each policy. The default
+  // `interval` policy amortizes fsyncs over many appends, so its cost must
+  // stay within 3% of the un-journaled run (plus a 50 ms absolute floor for
+  // scheduler noise). `every-record` is reported, not gated — its cost is
+  // the price of losing nothing, and it scales with the record rate.
+  std::printf("\n== Journal durability ==\n");
+  const std::filesystem::path journal_root = "bench_journal_tmp";
+  std::filesystem::remove_all(journal_root);
+  const std::size_t flood_small = 16;
+  auto run_flood = [&](const std::string& journal_dir,
+                       serve::FsyncPolicy policy) -> double {
+    serve::ServiceConfig flood_config = config;
+    flood_config.workers = 2;
+    flood_config.journal.dir = journal_dir;
+    flood_config.journal.fsync = policy;
+    serve::StitchService service(flood_config);
+    Stopwatch stopwatch;
+    for (std::size_t i = 0; i < flood_small; ++i) {
+      serve::StitchJob job;
+      job.name = "flood-" + std::to_string(i);
+      job.backend = stitch::Backend::kSimpleCpu;
+      job.provider = &providers[3];  // the smallest grid in the mix
+      job.options = options_for[3];
+      service.submit(job);
+    }
+    service.wait_idle();
+    return stopwatch.seconds();
+  };
+  auto best_of_two = [&](const std::string& dir,
+                         serve::FsyncPolicy policy) -> double {
+    if (!dir.empty()) std::filesystem::remove_all(dir);
+    const double first = run_flood(dir, policy);
+    if (!dir.empty()) std::filesystem::remove_all(dir);
+    return std::min(first, run_flood(dir, policy));
+  };
+  const double no_journal_s = best_of_two("", serve::FsyncPolicy::kNever);
+  const double never_s = best_of_two((journal_root / "never").string(),
+                                     serve::FsyncPolicy::kNever);
+  const double interval_s = best_of_two((journal_root / "interval").string(),
+                                        serve::FsyncPolicy::kInterval);
+  const double every_s = best_of_two((journal_root / "every").string(),
+                                     serve::FsyncPolicy::kEveryRecord);
+  const double journal_budget_s = no_journal_s * 1.03 + 0.05;
+  const bool journal_overhead_ok = interval_s <= journal_budget_s;
+  std::printf("flood of %zu jobs: no journal %s | fsync=never %s | "
+              "fsync=interval %s | fsync=every-record %s\n",
+              flood_small, format_duration(no_journal_s).c_str(),
+              format_duration(never_s).c_str(),
+              format_duration(interval_s).c_str(),
+              format_duration(every_s).c_str());
+  std::printf("interval-policy overhead %s the 3%% budget (%s)\n",
+              journal_overhead_ok ? "within" : "EXCEEDS",
+              format_duration(journal_budget_s).c_str());
+
+  // (b) Recovery time vs journal size: journals holding N live jobs, then a
+  // service restart over each. The measured window is the constructor —
+  // replay, torn-tail scan, resubmission, compaction — not the re-running
+  // of the jobs themselves (they are cancelled right after).
+  struct RecoveryRow {
+    std::size_t jobs;
+    std::uint64_t journal_bytes;
+    double recover_s;
+  };
+  std::vector<RecoveryRow> recovery_rows;
+  bool recovery_ok = true;
+  for (const std::size_t live_jobs : {4ul, 16ul, 64ul}) {
+    const std::filesystem::path dir =
+        journal_root / ("recover-" + std::to_string(live_jobs));
+    std::filesystem::remove_all(dir);
+    std::uint64_t journal_bytes = 0;
+    {
+      serve::JournalConfig jc;
+      jc.dir = dir.string();
+      jc.fsync = serve::FsyncPolicy::kNever;
+      serve::Journal journal(jc);
+      journal.replay();
+      stitch::StitchRequest request{stitch::Backend::kSimpleCpu,
+                                    &providers[3], options_for[3]};
+      for (std::size_t i = 0; i < live_jobs; ++i) {
+        journal.append_submitted(journal.next_job_id(),
+                                 "job-" + std::to_string(i),
+                                 stitch::serialize_request(request), "", 0);
+      }
+      journal.flush();
+      journal_bytes = journal.bytes();
+    }
+    serve::ServiceConfig recover_config = config;
+    recover_config.workers = 1;
+    recover_config.journal.dir = dir.string();
+    recover_config.journal.fsync = serve::FsyncPolicy::kNever;
+    recover_config.provider_resolver = [&](const std::string&) {
+      return &providers[3];
+    };
+    Stopwatch recover_watch;
+    serve::StitchService recovered_service(std::move(recover_config));
+    const double recover_s = recover_watch.seconds();
+    recovery_ok = recovery_ok &&
+                  recovered_service.recovered_jobs().size() == live_jobs;
+    recovered_service.cancel_all();
+    recovery_rows.push_back({live_jobs, journal_bytes, recover_s});
+  }
+  TextTable recovery_table({"live jobs", "journal size", "recovery"});
+  for (const RecoveryRow& row : recovery_rows) {
+    recovery_table.add_row(
+        {std::to_string(row.jobs),
+         std::to_string(row.journal_bytes) + " B",
+         format_duration(row.recover_s)});
+  }
+  std::printf("%s", recovery_table.render().c_str());
+  std::printf("recovery resubmitted every journaled job: %s\n",
+              recovery_ok ? "yes" : "NO");
+  std::filesystem::remove_all(journal_root);
+  const bool journal_ok = journal_overhead_ok && recovery_ok;
+
+  if (!cli.get("journal-json").empty()) {
+    std::FILE* json = std::fopen(cli.get("journal-json").c_str(), "w");
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "{\n"
+                   "  \"flood_jobs\": %zu,\n"
+                   "  \"fsync_overhead\": {\n"
+                   "    \"no_journal_s\": %.6f,\n"
+                   "    \"never_s\": %.6f,\n"
+                   "    \"interval_s\": %.6f,\n"
+                   "    \"every_record_s\": %.6f,\n"
+                   "    \"interval_budget_s\": %.6f,\n"
+                   "    \"interval_within_budget\": %s\n"
+                   "  },\n"
+                   "  \"recovery\": [\n",
+                   flood_small, no_journal_s, never_s, interval_s, every_s,
+                   journal_budget_s, journal_overhead_ok ? "true" : "false");
+      for (std::size_t i = 0; i < recovery_rows.size(); ++i) {
+        const RecoveryRow& row = recovery_rows[i];
+        std::fprintf(json,
+                     "    {\"live_jobs\": %zu, \"journal_bytes\": %llu, "
+                     "\"recover_s\": %.6f}%s\n",
+                     row.jobs,
+                     static_cast<unsigned long long>(row.journal_bytes),
+                     row.recover_s,
+                     i + 1 < recovery_rows.size() ? "," : "");
+      }
+      std::fprintf(json,
+                   "  ],\n"
+                   "  \"pass\": %s\n"
+                   "}\n",
+                   journal_ok ? "true" : "false");
+      std::fclose(json);
+      std::printf("wrote %s\n", cli.get("journal-json").c_str());
+    }
+  }
+
   if (stitch::write_metrics_if_requested(cli)) {
     std::printf("wrote metrics snapshot: %s\n",
                 cli.get("metrics-out").c_str());
   }
 
   const bool ok = all_identical && rejected && overhead_ok && overload_ok &&
+                  journal_ok &&
                   big_handle.state() == serve::JobState::kDone;
   std::printf("\n%s\n", ok ? "Reproduced: shared budget serves heterogeneous "
                              "jobs concurrently with bit-identical results."

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   stitch::register_deadline_flag(cli);
   stitch::GridCliDefaults grid_defaults;
   stitch::register_grid_flags(cli, grid_defaults);
+  stitch::register_journal_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   const std::int64_t deadline_ms = stitch::deadline_ms_from_cli(cli);
 
@@ -39,10 +40,23 @@ int main(int argc, char** argv) {
   config.memory_budget_bytes =
       static_cast<std::size_t>(cli.get_int("budget-mb")) << 20;
   config.record_traces = true;
+  config.journal.dir = stitch::journal_dir_from_cli(cli);
+  if (!config.journal.dir.empty()) {
+    config.journal.fsync =
+        serve::parse_fsync_policy(stitch::journal_fsync_from_cli(cli));
+  }
   serve::StitchService service(config);
   std::printf("service: %zu workers, %.1f MiB memory budget\n\n",
               config.workers,
               static_cast<double>(config.memory_budget_bytes) / (1 << 20));
+  if (!config.journal.dir.empty()) {
+    const serve::RecoveryStats& rec = service.recovery_stats();
+    std::printf("journal: %s (fsync %s); replayed %zu records, recovered "
+                "%zu job(s)\n\n",
+                config.journal.dir.c_str(),
+                serve::fsync_policy_name(config.journal.fsync).c_str(),
+                rec.replayed_records, service.recovered_jobs().size());
+  }
 
   // A plate scanned four times (a small time-lapse), stitched with four
   // different backends — plus one deliberately over-sized job.

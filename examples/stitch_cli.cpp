@@ -20,6 +20,7 @@
 #include "stitch/cli_flags.hpp"
 #include "compose/positions.hpp"
 #include "compose/streaming.hpp"
+#include "serve/service.hpp"
 #include "simdata/plate.hpp"
 #include "stitch/request.hpp"
 #include "stitch/stitcher.hpp"
@@ -52,7 +53,58 @@ int run_generate(const CliParser& cli) {
   return 0;
 }
 
+// Journaled stitch: the run goes through a one-worker StitchService with a
+// write-ahead journal, so killing the process mid-run loses nothing — the
+// same command line afterwards recovers the job from the journal and resumes
+// it from its last checkpoint, producing a bit-identical table.
+int run_stitch_journaled(const CliParser& cli) {
+  stitch::DatasetTileProvider provider(dataset_from(cli));
+
+  serve::ServiceConfig config;
+  config.workers = 1;
+  config.checkpoint_interval_s = 0.25;
+  config.journal.dir = stitch::journal_dir_from_cli(cli);
+  config.journal.fsync =
+      serve::parse_fsync_policy(stitch::journal_fsync_from_cli(cli));
+  config.provider_resolver = [&provider](const std::string&) {
+    return &provider;
+  };
+  serve::StitchService service(config);
+
+  Stopwatch stopwatch;
+  std::vector<serve::JobHandle> handles = service.recovered_jobs();
+  if (!handles.empty()) {
+    const serve::RecoveryStats& stats = service.recovery_stats();
+    std::printf("recovered %zu unfinished job(s) from %s (%zu resumed from "
+                "checkpoints, %zu fresh)\n",
+                handles.size(), config.journal.dir.c_str(), stats.resumed,
+                stats.fresh);
+  } else {
+    serve::StitchJob job;
+    job.name = "stitch";
+    job.backend = stitch::backend_from_cli(cli);
+    job.provider = &provider;
+    job.options = stitch::options_from_cli(cli);
+    job.deadline_ms = stitch::deadline_ms_from_cli(cli);
+    job.checkpoint_path = config.journal.dir + "/stitch.ckpt";
+    handles.push_back(service.submit(std::move(job)));
+  }
+
+  for (serve::JobHandle& handle : handles) {
+    const stitch::StitchResult& result = handle.wait();
+    std::printf("phase 1 [journaled]: %s over %zu pairs\n",
+                format_duration(stopwatch.seconds()).c_str(),
+                provider.layout().pair_count());
+    stitch::write_table_csv(cli.get("table"), result.table);
+    std::printf("wrote displacement table: %s\n", cli.get("table").c_str());
+  }
+  return 0;
+}
+
 int run_stitch(const CliParser& cli) {
+  if (!stitch::journal_dir_from_cli(cli).empty()) {
+    return run_stitch_journaled(cli);
+  }
   stitch::DatasetTileProvider provider(dataset_from(cli));
   stitch::StitchOptions options = stitch::options_from_cli(cli);
 
@@ -122,6 +174,7 @@ int main(int argc, char** argv) {
   cli.add_flag("output", "mosaic output (16-bit PGM, streamed)",
                "stitch_cli_data/mosaic.pgm");
   cli.add_flag("trace", "write chrome://tracing JSON here (stitch mode)", "");
+  stitch::register_journal_flags(cli);
   stitch::register_metrics_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 

@@ -47,16 +47,30 @@ for preset in "${presets[@]}"; do
     echo "==> [${preset}] ctest -L sched (HS_USE_REAL_FFT=1)"
     HS_USE_REAL_FFT=1 ctest --preset "${preset}" -L sched -j 1
   fi
+  # Crash safety: journal framing/replay/truncation, checkpoint CRC +
+  # quarantine sidecar, and the crash-torture harness that cuts the journal
+  # at every frame boundary. The release run checks behaviour; the asan run
+  # proves replay/truncation and torn-tail handling touch no freed or
+  # uninitialized memory.
+  if [ "${preset}" = "release" ] || [ "${preset}" = "asan" ]; then
+    echo "==> [${preset}] ctest -L crash (complex spectra)"
+    ctest --preset "${preset}" -L crash -j "${jobs}"
+    echo "==> [${preset}] ctest -L crash (HS_USE_REAL_FFT=1)"
+    HS_USE_REAL_FFT=1 ctest --preset "${preset}" -L crash -j "${jobs}"
+  fi
 done
 
 # bench_serve exits non-zero if section 4 (metrics overhead: instrumented
-# batch >2% slower than timers-off) or section 5 (overload: an accepted job
+# batch >2% slower than timers-off), section 5 (overload: an accepted job
 # missed deadline + one watchdog period, a reject took >=10 ms, or the
-# shed/deadline counters failed to account for every non-completed job)
-# breaks its budget. Release only — sanitizers distort the timing.
+# shed/deadline counters failed to account for every non-completed job), or
+# section 6 (journal: fsync=interval adds >3% to the flood workload, or a
+# recovery replay failed to resubmit every live job) breaks its budget; the
+# journal numbers land in BENCH_journal.json. Release only — sanitizers
+# distort the timing.
 for preset in "${presets[@]}"; do
   if [ "${preset}" = "release" ]; then
-    echo "==> [release] bench_serve metrics-overhead + overload budgets"
+    echo "==> [release] bench_serve metrics/overload/journal budgets (BENCH_journal.json)"
     ./build/bench/bench_serve >/dev/null
     # table2_runtimes exits non-zero if the HybridScheduler section misses
     # its budgets (stealing recovers < 70% of the straggler's idle time, or

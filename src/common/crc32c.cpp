@@ -1,0 +1,35 @@
+#include "common/crc32c.hpp"
+
+#include <array>
+
+namespace hs {
+
+namespace {
+
+// Reflected table for the Castagnoli polynomial (0x1EDC6F41, reflected
+// 0x82F63B78), built once at first use.
+std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) != 0 ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = build_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace hs

@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum the durability
+// layer frames journal records and checkpoint files with. Castagnoli rather
+// than the zlib polynomial because its error-detection properties are better
+// for short records and it is the checksum ext4/Btrfs journals use, so the
+// on-disk format matches what filesystem tooling expects to see.
+//
+// Software slice-by-one implementation: the journal writes kilobytes per
+// job, not gigabytes, so table lookups are plenty and the code stays
+// dependency-free and portable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hs {
+
+/// CRC32C of `size` bytes starting at `data`, seeded with `crc` (pass the
+/// previous call's return value to checksum a buffer in pieces; the default
+/// seed starts a fresh checksum).
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t crc = 0);
+
+inline std::uint32_t crc32c(const std::string& s, std::uint32_t crc = 0) {
+  return crc32c(s.data(), s.size(), crc);
+}
+
+}  // namespace hs

@@ -1,6 +1,9 @@
 #include "fault/plan.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "common/error.hpp"
@@ -30,8 +33,38 @@ std::string site_name(Site site) {
     case Site::kTileRead: return "tile_read";
     case Site::kDeviceAlloc: return "device_alloc";
     case Site::kStreamExec: return "stream_exec";
+    case Site::kJournalWrite: return "journal_write";
+    case Site::kCheckpointCorrupt: return "checkpoint_corrupt";
   }
   return "?";
+}
+
+void apply_corruption(const std::string& path, const Corruption& c) {
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) throw IoError("cannot open for corruption: " + path);
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  if (size < 0) {
+    std::fclose(file);
+    throw IoError("cannot size for corruption: " + path);
+  }
+  const auto usize = static_cast<std::uint64_t>(size);
+  bool ok = true;
+  if (c.kind == Corruption::Kind::kBitFlip) {
+    if (c.at_byte < usize) {
+      std::fseek(file, static_cast<long>(c.at_byte), SEEK_SET);
+      const int byte = std::fgetc(file);
+      std::fseek(file, static_cast<long>(c.at_byte), SEEK_SET);
+      ok = byte != EOF && std::fputc(byte ^ 1, file) != EOF;
+    }
+    ok = ok && std::fclose(file) == 0;
+  } else {
+    ok = std::fclose(file) == 0;
+    if (ok && c.at_byte < usize) {
+      ok = ::truncate(path.c_str(), static_cast<off_t>(c.at_byte)) == 0;
+    }
+  }
+  if (!ok) throw IoError("corruption write failed: " + path);
 }
 
 FaultPlan::FaultPlan(std::uint64_t seed) : seed_(seed) {}
@@ -50,6 +83,32 @@ void FaultPlan::fail_key_permanently(Site site, std::uint64_t key) {
   SiteState& s = state(site);
   std::lock_guard<std::mutex> lock(s.mutex);
   s.bad_keys.insert(key);
+}
+
+void FaultPlan::corrupt_from_nth(Site site, std::uint64_t n,
+                                 const Corruption& c) {
+  SiteState& s = state(site);
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.corruption = c;
+  }
+  s.corrupt_from.store(n, std::memory_order_release);
+}
+
+bool FaultPlan::corruption_point(Site site, Corruption* out) {
+  SiteState& s = state(site);
+  const std::uint64_t occurrence =
+      s.corrupt_occurrences.fetch_add(1, std::memory_order_relaxed);
+  if (occurrence < s.corrupt_from.load(std::memory_order_acquire)) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    *out = s.corruption;
+  }
+  s.injected.fetch_add(1, std::memory_order_relaxed);
+  trace_event(site, "corrupt");
+  return true;
 }
 
 bool FaultPlan::should_fail(Site site, std::uint64_t key) {

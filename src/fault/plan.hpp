@@ -35,10 +35,30 @@ enum class Site : std::size_t {
   kTileRead = 0,    ///< TileProvider::load (key = tile index)
   kDeviceAlloc = 1, ///< vgpu::Device::alloc
   kStreamExec = 2,  ///< vgpu::Stream::enqueue (labeled command submission)
+  kJournalWrite = 3,      ///< serve::Journal::append (key = record ordinal)
+  kCheckpointCorrupt = 4, ///< checkpoint file finalization (corruption only)
 };
-inline constexpr std::size_t kSiteCount = 3;
+inline constexpr std::size_t kSiteCount = 5;
 
 std::string site_name(Site site);
+
+/// On-disk corruption to apply at a corruption_point(): the damage a torn
+/// write or a flaky disk leaves behind, injected deterministically.
+struct Corruption {
+  enum class Kind {
+    kBitFlip,   ///< flip the low bit of the byte at `at_byte`
+    kTruncate,  ///< drop everything from `at_byte` onward
+  };
+  Kind kind = Kind::kBitFlip;
+  /// Offset the damage lands at, relative to whatever the site checksums
+  /// (a journal record's frame, a checkpoint file). Clamped by the applier.
+  std::uint64_t at_byte = 0;
+};
+
+/// Applies `c` to the file at `path` in place. Throws IoError when the file
+/// cannot be opened or rewritten. at_byte past EOF is a no-op for kBitFlip
+/// and leaves the file whole for kTruncate.
+void apply_corruption(const std::string& path, const Corruption& c);
 
 class FaultPlan {
  public:
@@ -58,6 +78,18 @@ class FaultPlan {
 
   /// Every occurrence at `site` with this key fails — a corrupt tile file.
   void fail_key_permanently(Site site, std::uint64_t key);
+
+  /// Passes through corruption_point() at `site` from the Nth onward
+  /// (0-based, counted separately from should_fail occurrences) report `c`
+  /// as the damage to inflict — a torn journal frame, a bit-rotted
+  /// checkpoint. The durability layer applies it to the bytes it was about
+  /// to trust.
+  void corrupt_from_nth(Site site, std::uint64_t n, const Corruption& c);
+
+  /// Corruption decision point. Returns true (and fills `out`) when this
+  /// occurrence is scheduled to corrupt; bumps the injected counter and
+  /// records a trace event. Thread-safe.
+  bool corruption_point(Site site, Corruption* out);
 
   /// Every pass through hang_point() at `site` sleeps this long first —
   /// a slow NFS mount, a saturated PCIe link. 0 disables (the default).
@@ -118,10 +150,13 @@ class FaultPlan {
     std::atomic<std::uint64_t> hang_from{~std::uint64_t{0}};
     std::atomic<std::uint64_t> hang_occurrences{0};
     std::atomic<std::uint64_t> hangs{0};
-    std::mutex mutex;  // guards bad_keys + attempts + delay_scope
+    std::atomic<std::uint64_t> corrupt_from{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> corrupt_occurrences{0};
+    std::mutex mutex;  // guards bad_keys + attempts + delay_scope + corruption
     std::unordered_set<std::uint64_t> bad_keys;
     std::unordered_map<std::uint64_t, std::uint64_t> attempts;
     std::string delay_scope;  // empty = delay applies everywhere
+    Corruption corruption;    // what corruption_point reports once armed
   };
 
   SiteState& state(Site site) { return states_[static_cast<std::size_t>(site)]; }

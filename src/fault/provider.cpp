@@ -68,6 +68,15 @@ img::ImageU16 RetryingProvider::load(img::TilePos pos) const {
   }
 }
 
+void RetryingProvider::pre_quarantine(const std::vector<std::size_t>& tiles) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::size_t index : tiles) {
+    if (quarantined_set_.insert(index).second) {
+      quarantined_.push_back(index);
+    }
+  }
+}
+
 std::vector<std::size_t> RetryingProvider::quarantined() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return quarantined_;

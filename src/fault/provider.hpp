@@ -73,6 +73,13 @@ class RetryingProvider final : public stitch::TileProvider {
     on_quarantine_ = std::move(callback);
   }
 
+  /// Seeds the quarantine set before the job runs — from a recovered
+  /// checkpoint's sidecar, so known-poisoned tiles blank out immediately
+  /// instead of re-burning the whole retry/backoff budget. Unlike a runtime
+  /// quarantine this fires no callback and bumps no metric: these tiles
+  /// were counted when they were first quarantined.
+  void pre_quarantine(const std::vector<std::size_t>& tiles);
+
   /// Tile indices quarantined so far, in first-quarantine order.
   std::vector<std::size_t> quarantined() const;
 

@@ -40,6 +40,12 @@ constexpr const char* kServeDeadline = "hs_serve_deadline_exceeded_total";
 constexpr const char* kServeShed = "hs_serve_shed_total";
 constexpr const char* kServeWatchdog = "hs_serve_watchdog_stalls_total";
 constexpr const char* kServeBreaker = "hs_serve_breaker_state";
+constexpr const char* kJournalAppends = "hs_journal_appends_total";
+constexpr const char* kJournalFsyncs = "hs_journal_fsyncs_total";
+constexpr const char* kJournalTruncated =
+    "hs_journal_truncated_records_total";
+constexpr const char* kJournalReplay = "hs_journal_replay_jobs_total";
+constexpr const char* kJournalBytes = "hs_journal_bytes";
 
 Registry& reg() { return Registry::global(); }
 
@@ -114,6 +120,16 @@ Counter& serve_watchdog_stalls_total() {
 }
 Gauge& serve_breaker_state() { return reg().gauge(kServeBreaker); }
 
+Counter& journal_appends_total() { return reg().counter(kJournalAppends); }
+Counter& journal_fsyncs_total() { return reg().counter(kJournalFsyncs); }
+Counter& journal_truncated_records_total() {
+  return reg().counter(kJournalTruncated);
+}
+Counter& journal_replay_jobs_total(const std::string& outcome) {
+  return reg().counter(kJournalReplay, {{"outcome", outcome}});
+}
+Gauge& journal_bytes() { return reg().gauge(kJournalBytes); }
+
 void register_wellknown(Registry& registry) {
   for (const char* rigor : kRigors) {
     registry.counter(kPlanHits, {{"rigor", rigor}},
@@ -184,6 +200,17 @@ void register_wellknown(Registry& registry) {
                    "Stall interrupts raised by the serve watchdog");
   registry.gauge(kServeBreaker, {},
                  "GPU circuit-breaker state: 0 closed, 1 open, 2 half-open");
+  registry.counter(kJournalAppends, {},
+                   "Records appended to the write-ahead journal");
+  registry.counter(kJournalFsyncs, {}, "fsync() calls issued by the journal");
+  registry.counter(kJournalTruncated, {},
+                   "Torn/corrupt journal records truncated during replay");
+  for (const char* outcome : kReplayOutcomes) {
+    registry.counter(kJournalReplay, {{"outcome", outcome}},
+                     "Jobs replayed from the journal at startup by outcome");
+  }
+  registry.gauge(kJournalBytes, {},
+                 "Bytes across the journal's live segment files");
 }
 
 }  // namespace hs::metrics::wellknown

@@ -89,6 +89,20 @@ Counter& serve_watchdog_stalls_total();
 /// 0 = closed, 1 = open, 2 = half-open (matches serve::BreakerState).
 Gauge& serve_breaker_state();
 
+// --- journal (write-ahead durability, serve/journal.hpp) ---
+/// Replay outcomes form a closed vocabulary: resumed (warm-started from a
+/// verified checkpoint), fresh (no/unusable checkpoint, re-ran from
+/// scratch), unresolved (no provider could be rebound; job left in the
+/// journal for a later recovery).
+inline constexpr const char* kReplayOutcomes[] = {"resumed", "fresh",
+                                                  "unresolved"};
+Counter& journal_appends_total();
+Counter& journal_fsyncs_total();
+Counter& journal_truncated_records_total();
+Counter& journal_replay_jobs_total(const std::string& outcome);
+/// Bytes across the journal's live segment files.
+Gauge& journal_bytes();
+
 // Pre-register every family above (with fixed label sets instantiated) so an
 // exposition taken before any activity still shows the whole schema.
 void register_wellknown(Registry& registry);

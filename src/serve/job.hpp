@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "pipeline/cancel.hpp"
 #include "stitch/ledger.hpp"
@@ -66,8 +67,15 @@ struct StitchJob {
   /// When set, the service periodically persists the job's partial
   /// displacement table here (see ServiceConfig::checkpoint_interval_s) and,
   /// if the file already holds a compatible table, resumes from it —
-  /// recomputing only the missing pairs.
+  /// recomputing only the missing pairs. Checkpoints carry a CRC32C footer
+  /// and the job's quarantined-tile set; a corrupt file is detected and the
+  /// job starts fresh instead of resuming from damage.
   std::string checkpoint_path;
+  /// Tile indices poisoned from the start: their pairs fail immediately and
+  /// the tiles are never read. The checkpoint's quarantine sidecar extends
+  /// this on resume, so a recovered job does not re-read tiles a previous
+  /// incarnation already gave up on.
+  std::vector<std::size_t> pre_quarantined = {};
 
   // --- time-domain robustness ---------------------------------------------
   /// End-to-end wall-clock budget, milliseconds; 0 = unlimited. The clock
@@ -134,6 +142,10 @@ struct JobRecord {
   // advanced. Touched only by the service's watchdog thread.
   std::size_t wd_last_pairs = ~std::size_t{0};
   std::chrono::steady_clock::time_point wd_last_change{};
+
+  /// Write-ahead journal id; 0 when the service runs without a journal.
+  /// Immutable after submit.
+  std::uint64_t journal_id = 0;
 
   // Checkpoint state (set at submit, immutable afterwards; the ledger is
   // internally synchronized, so the checkpoint thread can snapshot it while

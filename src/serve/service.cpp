@@ -40,6 +40,10 @@ StitchService::StitchService(ServiceConfig config)
              "watchdog_period_s: must be >= 0");
   HS_REQUIRE(config_.checkpoint_interval_s >= 0.0,
              "checkpoint_interval_s: must be >= 0");
+  // Replay + resubmit before any thread exists: recovered jobs sit in the
+  // queue when the first worker wakes, and recovered_jobs() is fully
+  // populated by the time the constructor returns.
+  recover_from_journal();
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this, i] { worker_main(i); });
@@ -119,13 +123,79 @@ double StitchService::elapsed_us() const {
       .count();
 }
 
+void StitchService::recover_from_journal() {
+  if (config_.journal.dir.empty()) return;
+  journal_ = std::make_unique<Journal>(config_.journal);
+  ReplayStats stats;
+  const std::vector<ReplayedJob> replayed = journal_->replay(&stats);
+  recovery_.replayed_records = stats.records;
+  recovery_.truncated_records = stats.truncated_records;
+  for (const ReplayedJob& entry : replayed) {
+    const stitch::TileProvider* provider =
+        config_.provider_resolver ? config_.provider_resolver(entry.name)
+                                  : nullptr;
+    if (provider == nullptr) {
+      // No provider to rebind: the job stays live in the journal (compaction
+      // re-emits it), so a later restart with a resolver can still pick it
+      // up.
+      ++recovery_.unresolved;
+      metrics::wellknown::journal_replay_jobs_total("unresolved").add();
+      std::fprintf(stderr,
+                   "serve: recovered job %s has no provider; leaving it in "
+                   "the journal\n",
+                   entry.name.c_str());
+      continue;
+    }
+    try {
+      stitch::StitchRequest request =
+          stitch::deserialize_request(entry.request_text);
+      StitchJob job;
+      job.name = entry.name;
+      job.backend = request.backend;
+      job.provider = provider;
+      job.options = request.options;
+      job.priority = entry.priority;
+      job.retry = request.retry;
+      job.fallback = request.fallback;
+      job.checkpoint_path = entry.checkpoint_path;
+      job.pre_quarantined = request.pre_quarantined;
+      job.deadline_ms = request.deadline_ms;
+      JobHandle handle = submit_internal(std::move(job), entry.id);
+      const bool resumed = handle.record_->has_warm;
+      if (resumed) {
+        ++recovery_.resumed;
+      } else {
+        ++recovery_.fresh;
+      }
+      metrics::wellknown::journal_replay_jobs_total(resumed ? "resumed"
+                                                            : "fresh")
+          .add();
+      recovered_.push_back(std::move(handle));
+    } catch (const Error& e) {
+      ++recovery_.unresolved;
+      metrics::wellknown::journal_replay_jobs_total("unresolved").add();
+      std::fprintf(stderr, "serve: could not resubmit recovered job %s: %s\n",
+                   entry.name.c_str(), e.what());
+    }
+  }
+  // Drop the dead history: the fresh segment holds only live jobs, so the
+  // next restart replays a journal proportional to outstanding work.
+  journal_->compact();
+}
+
 JobHandle StitchService::submit(StitchJob job) {
+  return submit_internal(std::move(job), /*journal_id=*/0);
+}
+
+JobHandle StitchService::submit_internal(StitchJob job,
+                                         std::uint64_t journal_id) {
   auto record = std::make_shared<detail::JobRecord>();
   record->name = std::move(job.name);
   record->request =
       stitch::StitchRequest{job.backend, job.provider, job.options};
   record->request.retry = job.retry;
   record->request.fallback = std::move(job.fallback);
+  record->request.pre_quarantined = std::move(job.pre_quarantined);
   record->request.deadline_ms = job.deadline_ms;
   if (record->request.fallback.empty() &&
       stitch::is_gpu_backend(job.backend)) {
@@ -144,20 +214,34 @@ JobHandle StitchService::submit(StitchJob job) {
         std::make_unique<stitch::PairLedger>(job.provider->layout());
     if (std::ifstream(job.checkpoint_path).good()) {
       try {
-        stitch::DisplacementTable warm =
-            stitch::read_table_csv(job.checkpoint_path);
+        stitch::TableFileData data =
+            stitch::read_table_file(job.checkpoint_path);
         const img::GridLayout layout = job.provider->layout();
-        if (warm.layout.rows == layout.rows &&
-            warm.layout.cols == layout.cols) {
-          record->warm = std::move(warm);
+        if (data.table.layout.rows == layout.rows &&
+            data.table.layout.cols == layout.cols) {
+          record->warm = std::move(data.table);
           record->has_warm = true;
           record->ledger->prime(record->warm);
+          // Quarantine AFTER the prime: failed pairs round-trip through the
+          // CSV as not-computed, so priming alone would re-run them against
+          // tiles a previous incarnation already gave up on. The sidecar
+          // turns them back into failures and keeps the tiles unread.
+          for (const std::size_t tile : data.quarantined) {
+            record->ledger->quarantine_tile(tile);
+            record->request.pre_quarantined.push_back(tile);
+          }
+          std::sort(record->request.pre_quarantined.begin(),
+                    record->request.pre_quarantined.end());
+          record->request.pre_quarantined.erase(
+              std::unique(record->request.pre_quarantined.begin(),
+                          record->request.pre_quarantined.end()),
+              record->request.pre_quarantined.end());
         } else {
           std::fprintf(stderr,
                        "serve: checkpoint %s is a %zux%zu grid but the job "
                        "is %zux%zu; starting fresh\n",
-                       job.checkpoint_path.c_str(), warm.layout.rows,
-                       warm.layout.cols, layout.rows, layout.cols);
+                       job.checkpoint_path.c_str(), data.table.layout.rows,
+                       data.table.layout.cols, layout.rows, layout.cols);
         }
       } catch (const Error& e) {
         std::fprintf(stderr,
@@ -216,8 +300,13 @@ JobHandle StitchService::submit(StitchJob job) {
     return JobHandle(record);
   };
 
-  if (!accepting_ || stopping_) return reject("service is shutting down");
-  if (queue_.size() >= config_.max_queued) {
+  // Recovery resubmits (journal_id != 0) bypass the overload gates: the
+  // work was accepted — and journaled — before the restart, and a restart
+  // must never shed it.
+  if (journal_id == 0) {
+    if (!accepting_ || stopping_) return reject("service is shutting down");
+  }
+  if (journal_id == 0 && queue_.size() >= config_.max_queued) {
     switch (config_.overload) {
       case OverloadPolicy::kBlock:
         cv_submit_.wait(lock, [&] {
@@ -262,9 +351,32 @@ JobHandle StitchService::submit(StitchJob job) {
   metrics::wellknown::serve_jobs_submitted_total().add();
   metrics::wellknown::serve_queue_depth().set(
       static_cast<std::int64_t>(queue_.size()));
+  if (journal_ != nullptr) {
+    if (journal_id != 0) {
+      // Recovery resubmit: the job's submitted record is already in the
+      // journal (replay seeded the live table); just rebind the id.
+      record->journal_id = journal_id;
+    } else {
+      // Write-ahead: the submitted record — carrying the full serialized
+      // request — lands before the handle is returned, so a crash after
+      // this point cannot lose the job.
+      record->journal_id = journal_->next_job_id();
+      journal_->append_submitted(record->journal_id, record->name,
+                                 stitch::serialize_request(record->request),
+                                 record->checkpoint_path, record->priority);
+    }
+  }
   lock.unlock();
   cv_workers_.notify_one();
   return JobHandle(record);
+}
+
+void StitchService::journal_terminal(const Record& record, JobState state) {
+  if (journal_ == nullptr || record->journal_id == 0) return;
+  // Appended BEFORE the terminal state becomes observable to waiters: a
+  // caller that saw the job finish must never find it resubmitted (as live)
+  // after a crash straddling the transition.
+  journal_->append_terminal(record->journal_id, job_state_name(state));
 }
 
 void StitchService::retire_queued_locked(const Record& record,
@@ -273,6 +385,17 @@ void StitchService::retire_queued_locked(const Record& record,
   // first — the terminal state must not become visible before the file a
   // resubmit would resume from exists.
   checkpoint_job(record);
+  switch (reason) {
+    case RetireReason::kCancelled:
+      journal_terminal(record, JobState::kCancelled);
+      break;
+    case RetireReason::kDeadline:
+      journal_terminal(record, JobState::kFailed);
+      break;
+    case RetireReason::kShed:
+      journal_terminal(record, JobState::kRejected);
+      break;
+  }
   {
     std::lock_guard<std::mutex> lock(record->mutex);
     record->timing.end_us = elapsed_us();
@@ -389,6 +512,7 @@ void StitchService::worker_main(std::size_t id) {
 void StitchService::run_job(const Record& record) {
   if (record->cancel.requested()) {  // lost the race to a cancel
     checkpoint_job(record);
+    journal_terminal(record, JobState::kCancelled);
     std::lock_guard<std::mutex> lock(record->mutex);
     record->state = JobState::kCancelled;
     record->timing.end_us = elapsed_us();
@@ -407,6 +531,9 @@ void StitchService::run_job(const Record& record) {
     counters_.queue_wait_us.fetch_add(wait_us, std::memory_order_relaxed);
     metrics::wellknown::serve_jobs_admitted_total().add();
     metrics::wellknown::serve_queue_wait_us().observe(wait_us);
+  }
+  if (journal_ != nullptr && record->journal_id != 0) {
+    journal_->append_started(record->journal_id);
   }
 
   stitch::StitchRequest request = record->request;
@@ -472,6 +599,7 @@ void StitchService::run_job(const Record& record) {
       }
     }
     const std::uint64_t fallbacks = result.fallbacks_taken;
+    journal_terminal(record, JobState::kDone);
     std::lock_guard<std::mutex> lock(record->mutex);
     record->result = std::move(result);
     record->state = JobState::kDone;
@@ -485,6 +613,7 @@ void StitchService::run_job(const Record& record) {
     checkpoint_job(record);
     // The guarded attempt's verdict never materialized.
     if (breaker_verdict_due) breaker_.record_abandoned();
+    journal_terminal(record, JobState::kCancelled);
     std::lock_guard<std::mutex> lock(record->mutex);
     record->error = std::current_exception();
     record->state = JobState::kCancelled;
@@ -498,6 +627,7 @@ void StitchService::run_job(const Record& record) {
     trace_job_event(record, "deadline", "expired-running:" + record->name);
     counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
     metrics::wellknown::serve_deadline_exceeded_total().add();
+    journal_terminal(record, JobState::kFailed);
     std::lock_guard<std::mutex> lock(record->mutex);
     record->error = std::current_exception();
     record->state = JobState::kFailed;
@@ -521,6 +651,7 @@ void StitchService::run_job(const Record& record) {
         breaker_.record_success();
       }
     }
+    journal_terminal(record, JobState::kFailed);
     std::lock_guard<std::mutex> lock(record->mutex);
     record->error = std::current_exception();
     record->state = JobState::kFailed;
@@ -619,9 +750,35 @@ void StitchService::checkpoint_job(const Record& record) {
   if (record->ledger == nullptr || record->checkpoint_path.empty()) return;
   const std::string tmp = record->checkpoint_path + ".tmp";
   try {
-    stitch::write_table_csv(tmp, record->ledger->snapshot());
+    stitch::write_table_file(tmp, record->ledger->snapshot(),
+                             record->ledger->quarantined());
+    // Durability order: the tmp file's bytes must be on disk before the
+    // rename publishes the path, and the directory entry must be on disk
+    // before the journal's checkpoint record claims the file exists. A
+    // crash between the steps leaves either the old checkpoint or the new
+    // one — never a half-written file under the published name.
+    fsync_path(tmp);
+    fault::FaultPlan* faults = config_.journal.faults != nullptr
+                                   ? config_.journal.faults
+                                   : record->request.options.faults;
+    if (faults != nullptr) {
+      fault::Corruption corruption;
+      if (faults->corruption_point(fault::Site::kCheckpointCorrupt,
+                                   &corruption)) {
+        fault::apply_corruption(tmp, corruption);
+      }
+    }
     if (std::rename(tmp.c_str(), record->checkpoint_path.c_str()) != 0) {
       throw IoError("rename to " + record->checkpoint_path + " failed");
+    }
+    std::string dir = ".";
+    const auto slash = record->checkpoint_path.find_last_of('/');
+    if (slash != std::string::npos) {
+      dir = record->checkpoint_path.substr(0, slash + 1);
+    }
+    fsync_path(dir);
+    if (journal_ != nullptr && record->journal_id != 0) {
+      journal_->append_checkpoint(record->journal_id);
     }
   } catch (const Error& e) {
     std::remove(tmp.c_str());

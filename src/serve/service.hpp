@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -30,6 +31,7 @@
 #include "serve/breaker.hpp"
 #include "serve/footprint.hpp"
 #include "serve/job.hpp"
+#include "serve/journal.hpp"
 #include "trace/trace.hpp"
 
 namespace hs::serve {
@@ -83,6 +85,28 @@ struct ServiceConfig {
   double checkpoint_interval_s = 0.0;
   /// Machine model used for predicted runtimes.
   sched::CostModel cost = sched::CostModel::paper_machine();
+  /// Write-ahead journal of job lifecycle events. When journal.dir is
+  /// non-empty the service journals every submit/start/checkpoint/terminal
+  /// transition, replays the journal on construction, and resubmits every
+  /// non-terminal job it finds — warm-starting from checkpoints, so a crash
+  /// or restart loses no accepted work. Empty dir = journaling disabled.
+  JournalConfig journal;
+  /// Recovery cannot serialize live TileProvider pointers, so a restarted
+  /// service asks this resolver to rebind each replayed job's name to a
+  /// provider. Jobs the resolver declines (nullptr) stay in the journal as
+  /// "unresolved" for a later recovery. Unset = every replayed job is
+  /// unresolved.
+  std::function<const stitch::TileProvider*(const std::string& name)>
+      provider_resolver;
+};
+
+/// What startup recovery found and did (see StitchService::recovery_stats).
+struct RecoveryStats {
+  std::size_t replayed_records = 0;
+  std::size_t truncated_records = 0;  ///< torn/corrupt tail records cut
+  std::size_t resumed = 0;     ///< resubmitted, warm-started from checkpoint
+  std::size_t fresh = 0;       ///< resubmitted, no usable checkpoint
+  std::size_t unresolved = 0;  ///< no provider; left in the journal
 };
 
 /// Point-in-time service counters (see StitchService::metrics()). The same
@@ -158,6 +182,14 @@ class StitchService {
   /// Consistent snapshot of this service's counters.
   ServiceMetrics metrics() const;
 
+  /// Handles of the jobs startup recovery resubmitted (submit order).
+  /// Empty without a journal or when the journal held no live jobs.
+  const std::vector<JobHandle>& recovered_jobs() const { return recovered_; }
+  /// What startup recovery found and did.
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+  /// The service's journal; nullptr when journaling is disabled.
+  Journal* journal() { return journal_.get(); }
+
   /// Merges every finished job's private recorder into `out`: each job's
   /// lanes appear as "<job>.<lane>", shifted to the service clock, plus one
   /// "serve.jobs" lane with a span per job lifetime. Call after the jobs of
@@ -170,6 +202,17 @@ class StitchService {
   /// Why a queued job is being retired without running.
   enum class RetireReason { kCancelled, kDeadline, kShed };
 
+  /// Replays the journal and resubmits every resolvable live job before the
+  /// worker threads exist (no lock needed). Populates recovered_/recovery_.
+  void recover_from_journal();
+  /// submit() after validation/footprint gating; journal_id != 0 marks a
+  /// recovery resubmit that reuses its original journal record (no new
+  /// submitted record, no overload gate — accepted work is never shed by a
+  /// restart).
+  JobHandle submit_internal(StitchJob job, std::uint64_t journal_id);
+  /// Appends the job's terminal record (before the state becomes observable
+  /// to waiters). No-op without a journal or for journal_id == 0.
+  void journal_terminal(const Record& record, JobState state);
   void worker_main(std::size_t id);
   /// Picks the next admissible queued job; nullptr when none fits. Sheds
   /// cancelled/expired/overstayed queued jobs on the way. Caller holds
@@ -190,14 +233,21 @@ class StitchService {
                               const std::string& what);
   /// Periodically persists running checkpointed jobs ("serve/ckpt" thread).
   void checkpoint_main();
-  /// Atomically (write tmp + rename) persists one job's partial table; a
+  /// Durably (write tmp + fsync + rename + fsync dir) persists one job's
+  /// partial table with its quarantined-tile sidecar and CRC footer; a
   /// no-op for jobs without a checkpoint path. Never throws: a failed
   /// checkpoint write only costs resumability, not the job.
-  static void checkpoint_job(const Record& record);
+  void checkpoint_job(const Record& record);
   double elapsed_us() const;
 
   ServiceConfig config_;
   std::chrono::steady_clock::time_point epoch_;
+
+  /// Created (and replayed) before any thread starts; the Journal is
+  /// internally synchronized, so appends need no service lock.
+  std::unique_ptr<Journal> journal_;
+  std::vector<JobHandle> recovered_;
+  RecoveryStats recovery_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_workers_;  ///< queue or budget changed

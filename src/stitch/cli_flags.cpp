@@ -124,6 +124,31 @@ std::int64_t deadline_ms_from_cli(const CliParser& cli) {
   return v;
 }
 
+void register_journal_flags(CliParser& cli) {
+  cli.add_flag("journal-dir",
+               "write-ahead journal directory: job lifecycle is journaled "
+               "and a restart recovers unfinished jobs from their "
+               "checkpoints; empty = no journal",
+               "");
+  cli.add_flag("journal-fsync",
+               "journal durability policy: never, interval, or every-record",
+               "interval");
+}
+
+std::string journal_dir_from_cli(const CliParser& cli) {
+  return cli.get("journal-dir");
+}
+
+std::string journal_fsync_from_cli(const CliParser& cli) {
+  const std::string policy = cli.get("journal-fsync");
+  // Vocabulary check only; serve::parse_fsync_policy does the real mapping
+  // (hs_stitch must not depend on hs_serve).
+  HS_REQUIRE(policy == "never" || policy == "interval" ||
+                 policy == "every-record" || policy == "every_record",
+             "flag --journal-fsync must be never, interval, or every-record");
+  return policy;
+}
+
 void register_metrics_flags(CliParser& cli) {
   cli.add_flag("metrics-out",
                "write a metrics snapshot here on exit (Prometheus text, or "

@@ -65,6 +65,19 @@ void register_deadline_flag(CliParser& cli);
 
 std::int64_t deadline_ms_from_cli(const CliParser& cli);
 
+/// Registers --journal-dir (default "": journaling disabled) and
+/// --journal-fsync (default "interval"). Serving binaries map these onto
+/// serve::JournalConfig — this layer only validates spelling and hands the
+/// strings through, so hs_stitch stays independent of hs_serve.
+void register_journal_flags(CliParser& cli);
+
+/// The --journal-dir value; empty = journaling disabled.
+std::string journal_dir_from_cli(const CliParser& cli);
+
+/// The --journal-fsync value, validated against the policy vocabulary
+/// ("never", "interval", "every-record"). Throws InvalidArgument otherwise.
+std::string journal_fsync_from_cli(const CliParser& cli);
+
 /// Registers --metrics-out (default "": disabled). When set, the binary
 /// should call write_metrics_if_requested() before exiting.
 void register_metrics_flags(CliParser& cli);

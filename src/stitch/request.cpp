@@ -1,7 +1,11 @@
 #include "stitch/request.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -150,6 +154,13 @@ void StitchRequest::validate() const {
   }
   if (retry.backoff_multiplier < 1.0) {
     fail("retry.backoff_multiplier", "must be >= 1.0");
+  }
+  for (const std::size_t index : pre_quarantined) {
+    if (index >= layout.tile_count()) {
+      fail("pre_quarantined",
+           "tile index " + num(index) + " outside the provider's " +
+               num(layout.tile_count()) + "-tile grid");
+    }
   }
   if (o.warm_start != nullptr &&
       (o.warm_start->layout.rows != layout.rows ||
@@ -332,23 +343,34 @@ StitchResult stitch(const StitchRequest& request) {
   PairLedger* ledger = request.options.ledger;
   std::optional<PairLedger> local_ledger;
   if (ledger == nullptr &&
-      (!request.fallback.empty() || request.retry.quarantine)) {
+      (!request.fallback.empty() || request.retry.quarantine ||
+       !request.pre_quarantined.empty())) {
     local_ledger.emplace(layout);
     ledger = &*local_ledger;
   }
-  if (request.retry.enabled()) {
+  if (request.retry.enabled() || !request.pre_quarantined.empty()) {
     retrying.emplace(*request.provider, request.retry,
                      request.options.faults);
     if (ledger != nullptr) {
       retrying->on_quarantine(
           [ledger](std::size_t index) { ledger->quarantine_tile(index); });
     }
+    // Known-poisoned tiles from a recovered checkpoint: blank immediately,
+    // pairs failed up front — no retry budget spent rediscovering them.
+    retrying->pre_quarantine(request.pre_quarantined);
     provider = &*retrying;
   }
 
   const DisplacementTable* caller_warm = request.options.warm_start;
   if (ledger != nullptr && caller_warm != nullptr) {
     ledger->prime(*caller_warm);
+  }
+  if (ledger != nullptr) {
+    // After the prime: quarantine_tile un-records any warm pairs touching a
+    // poisoned tile, so they come back kFailed, not kDone.
+    for (const std::size_t index : request.pre_quarantined) {
+      ledger->quarantine_tile(index);
+    }
   }
   if (request.options.pairs_done != nullptr && caller_warm != nullptr) {
     // Checkpointed pairs count as progress the moment the job starts.
@@ -436,6 +458,187 @@ StitchResult stitch(const StitchRequest& request) {
   }
   result.seconds = stopwatch.seconds();
   return result;
+}
+
+namespace {
+
+template <typename T>
+std::string join_csv(const std::vector<T>& values,
+                     std::string (*render)(T)) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += render(values[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin < value.size()) {
+    const std::size_t end = value.find(',', begin);
+    if (end == std::string::npos) {
+      parts.push_back(value.substr(begin));
+      break;
+    }
+    parts.push_back(value.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0') {
+    throw IoError("request field " + key + ": bad integer '" + value + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::int64_t parse_i64(const std::string& key, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0') {
+    throw IoError("request field " + key + ": bad integer '" + value + "'");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+double parse_f64(const std::string& key, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end == value.c_str() || *end != '\0') {
+    throw IoError("request field " + key + ": bad number '" + value + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string serialize_request(const StitchRequest& request) {
+  std::ostringstream out;
+  const StitchOptions& o = request.options;
+  char buffer[64];
+  const auto emit_f64 = [&](const char* key, double v) {
+    std::snprintf(buffer, sizeof buffer, "%.17g", v);
+    out << key << '=' << buffer << '\n';
+  };
+  out << "backend=" << backend_name(request.backend) << '\n';
+  out << "deadline_ms=" << request.deadline_ms << '\n';
+  out << "retry.max_attempts=" << request.retry.max_attempts << '\n';
+  out << "retry.backoff_us=" << request.retry.backoff_us << '\n';
+  emit_f64("retry.backoff_multiplier", request.retry.backoff_multiplier);
+  out << "retry.quarantine=" << (request.retry.quarantine ? 1 : 0) << '\n';
+  out << "fallback="
+      << join_csv<Backend>(request.fallback,
+                           [](Backend b) { return backend_name(b); })
+      << '\n';
+  out << "pre_quarantined="
+      << join_csv<std::size_t>(
+             request.pre_quarantined,
+             [](std::size_t i) { return std::to_string(i); })
+      << '\n';
+  out << "o.rigor=" << static_cast<int>(o.rigor) << '\n';
+  out << "o.traversal=" << traversal_name(o.traversal) << '\n';
+  out << "o.threads=" << o.threads << '\n';
+  out << "o.read_threads=" << o.read_threads << '\n';
+  out << "o.ccf_threads=" << o.ccf_threads << '\n';
+  out << "o.gpu_count=" << o.gpu_count << '\n';
+  out << "o.gpu_memory_bytes=" << o.gpu_memory_bytes << '\n';
+  out << "o.pool_buffers=" << o.pool_buffers << '\n';
+  out << "o.kepler_concurrent_fft=" << (o.kepler_concurrent_fft ? 1 : 0)
+      << '\n';
+  out << "o.fft_streams=" << o.fft_streams << '\n';
+  out << "o.use_p2p=" << (o.use_p2p ? 1 : 0) << '\n';
+  out << "o.peak_candidates=" << o.peak_candidates << '\n';
+  out << "o.min_overlap_px=" << o.min_overlap_px << '\n';
+  out << "o.use_real_fft=" << (o.use_real_fft ? 1 : 0) << '\n';
+  out << "o.steal_threshold=" << o.steal_threshold << '\n';
+  out << "o.gpu_batch_pairs=" << o.gpu_batch_pairs << '\n';
+  return out.str();
+}
+
+StitchRequest deserialize_request(const std::string& text) {
+  StitchRequest request;
+  StitchOptions& o = request.options;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw IoError("request line without '=': " + line);
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "backend") {
+      request.backend = parse_backend(value);
+    } else if (key == "deadline_ms") {
+      request.deadline_ms = parse_i64(key, value);
+    } else if (key == "retry.max_attempts") {
+      request.retry.max_attempts =
+          static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "retry.backoff_us") {
+      request.retry.backoff_us = parse_u64(key, value);
+    } else if (key == "retry.backoff_multiplier") {
+      request.retry.backoff_multiplier = parse_f64(key, value);
+    } else if (key == "retry.quarantine") {
+      request.retry.quarantine = parse_u64(key, value) != 0;
+    } else if (key == "fallback") {
+      for (const std::string& name : split_csv(value)) {
+        request.fallback.push_back(parse_backend(name));
+      }
+    } else if (key == "pre_quarantined") {
+      for (const std::string& index : split_csv(value)) {
+        request.pre_quarantined.push_back(
+            static_cast<std::size_t>(parse_u64(key, index)));
+      }
+    } else if (key == "o.rigor") {
+      const std::int64_t rigor = parse_i64(key, value);
+      if (rigor < 0 || rigor > static_cast<int>(fft::Rigor::kPatient)) {
+        throw IoError("request field o.rigor: out of range '" + value + "'");
+      }
+      o.rigor = static_cast<fft::Rigor>(rigor);
+    } else if (key == "o.traversal") {
+      o.traversal = parse_traversal(value);
+    } else if (key == "o.threads") {
+      o.threads = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "o.read_threads") {
+      o.read_threads = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "o.ccf_threads") {
+      o.ccf_threads = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "o.gpu_count") {
+      o.gpu_count = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "o.gpu_memory_bytes") {
+      o.gpu_memory_bytes = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "o.pool_buffers") {
+      o.pool_buffers = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "o.kepler_concurrent_fft") {
+      o.kepler_concurrent_fft = parse_u64(key, value) != 0;
+    } else if (key == "o.fft_streams") {
+      o.fft_streams = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "o.use_p2p") {
+      o.use_p2p = parse_u64(key, value) != 0;
+    } else if (key == "o.peak_candidates") {
+      o.peak_candidates = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "o.min_overlap_px") {
+      o.min_overlap_px = parse_i64(key, value);
+    } else if (key == "o.use_real_fft") {
+      o.use_real_fft = parse_u64(key, value) != 0;
+    } else if (key == "o.steal_threshold") {
+      o.steal_threshold = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "o.gpu_batch_pairs") {
+      o.gpu_batch_pairs = static_cast<std::size_t>(parse_u64(key, value));
+    }
+    // Unknown keys are ignored: a journal written by a newer build stays
+    // replayable by this one for the fields both understand.
+  }
+  return request;
 }
 
 }  // namespace hs::stitch

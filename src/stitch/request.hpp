@@ -35,6 +35,12 @@ struct StitchRequest {
   /// the ledger is reused, never recomputed. Typical chain for a GPU
   /// primary: {Backend::kMtCpu}.
   std::vector<Backend> fallback = {};
+  /// Tile indices known to be poisoned before the run starts — the
+  /// quarantine sidecar of a recovered checkpoint. stitch() seeds the
+  /// retrying provider's quarantine set (the tiles blank out immediately,
+  /// no retry budget burned) and fails their pairs in the ledger, exactly
+  /// as if they had been quarantined during this run.
+  std::vector<std::size_t> pre_quarantined = {};
   /// Wall-clock budget for the whole request, milliseconds; 0 = unlimited.
   /// Enforced cooperatively at pair granularity in every backend via the
   /// cancel token: expiry throws DeadlineExceeded at the next preemption
@@ -62,5 +68,17 @@ struct StitchRequest {
 /// Validates and runs the request. The single entry point every wrapper and
 /// the serve layer funnel through.
 StitchResult stitch(const StitchRequest& request);
+
+/// Serializes everything a journal can replay: backend, options, retry,
+/// fallback chain, deadline, pre-quarantined tiles. Pointer fields
+/// (provider, recorder, cancel, ledger, ...) are process-local and
+/// excluded — recovery rebinds them. One key=value pair per line; stable
+/// across versions (unknown keys are ignored on read).
+std::string serialize_request(const StitchRequest& request);
+
+/// Inverse of serialize_request. The returned request has provider ==
+/// nullptr; the caller must rebind one before validate()/stitch(). Throws
+/// IoError on a malformed value.
+StitchRequest deserialize_request(const std::string& text);
 
 }  // namespace hs::stitch

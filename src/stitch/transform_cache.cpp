@@ -75,6 +75,7 @@ const fft::Complex* TransformCache::transform_impl(img::TilePos pos,
   e.state = Entry::State::kComputing;
   lock.unlock();
 
+  const fft::Complex* data = nullptr;
   try {
     img::ImageU16 tile = provider_.load(pos);
     if (counts_ != nullptr) counts_->bump(counts_->tile_reads);
@@ -91,6 +92,10 @@ const fft::Complex* TransformCache::transform_impl(img::TilePos pos,
     e.transform = std::move(transform);
     e.state = Entry::State::kReady;
     const std::size_t entry_bytes = entry_resident_bytes(e);
+    // Capture under the lock: once it drops, consumers that beat the
+    // prefetcher to refcount zero may release() and free the vector, and
+    // an unlocked e.transform.data() would race with that shrink_to_fit.
+    data = e.transform.data();
     lock.unlock();
     metric_resident_bytes_.add(static_cast<std::int64_t>(entry_bytes));
   } catch (...) {
@@ -104,7 +109,7 @@ const fft::Complex* TransformCache::transform_impl(img::TilePos pos,
   }
   e.ready_cv.notify_all();
   note_live(+1);
-  return e.transform.data();
+  return data;
 }
 
 const img::ImageU16& TransformCache::tile(img::TilePos pos) {
