@@ -4,11 +4,17 @@
 // the real-compute harnesses.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "gbench_json.hpp"
 #include "imgio/image.hpp"
 #include "stitch/ccf.hpp"
+#include "stitch/cli_flags.hpp"
 #include "vgpu/kernels.hpp"
 
 namespace {
@@ -33,7 +39,8 @@ hs::img::ImageU16 random_tile(std::size_t h, std::size_t w) {
 
 void BM_NccKernelScalar(benchmark::State& state) {
   // Baseline for the paper's SIV-A claim that hand-vectorized kernels beat
-  // what the compiler emits; compare with BM_NccKernel (SSE2 dispatch).
+  // what the compiler emits; compare with BM_NccKernel (tier dispatch) and
+  // the per-tier BM_NccDispatch sweep below.
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto a = random_spectrum(n);
   const auto b = random_spectrum(n + 1);
@@ -43,7 +50,7 @@ void BM_NccKernelScalar(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
 }
-BENCHMARK(BM_NccKernelScalar)->Arg(1392 * 1040);
+BENCHMARK(BM_NccKernelScalar)->Arg(1392 * 1040)->Repetitions(3);
 
 void BM_MaxAbsReductionScalar(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -53,7 +60,7 @@ void BM_MaxAbsReductionScalar(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
 }
-BENCHMARK(BM_MaxAbsReductionScalar)->Arg(1392 * 1040);
+BENCHMARK(BM_MaxAbsReductionScalar)->Arg(1392 * 1040)->Repetitions(3);
 
 void BM_NccKernel(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -67,7 +74,7 @@ void BM_NccKernel(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n) * 16 * 2);
 }
-BENCHMARK(BM_NccKernel)->Arg(256 * 192)->Arg(1392 * 1040);
+BENCHMARK(BM_NccKernel)->Arg(256 * 192)->Arg(1392 * 1040)->Repetitions(3);
 
 void BM_MaxAbsReduction(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -79,7 +86,7 @@ void BM_MaxAbsReduction(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n) * 16);
 }
-BENCHMARK(BM_MaxAbsReduction)->Arg(256 * 192)->Arg(1392 * 1040);
+BENCHMARK(BM_MaxAbsReduction)->Arg(256 * 192)->Arg(1392 * 1040)->Repetitions(3);
 
 void BM_U16ToComplex(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -90,7 +97,7 @@ void BM_U16ToComplex(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
 }
-BENCHMARK(BM_U16ToComplex)->Arg(256 * 192)->Arg(1392 * 1040);
+BENCHMARK(BM_U16ToComplex)->Arg(256 * 192)->Arg(1392 * 1040)->Repetitions(3);
 
 void BM_CcfFourCandidates(benchmark::State& state) {
   // One disambiguation = four overlap Pearson evaluations (paper Fig 2
@@ -107,7 +114,7 @@ void BM_CcfFourCandidates(benchmark::State& state) {
     benchmark::DoNotOptimize(t);
   }
 }
-BENCHMARK(BM_CcfFourCandidates)->Args({192, 256})->Args({1040, 1392});
+BENCHMARK(BM_CcfFourCandidates)->Args({192, 256})->Args({1040, 1392})->Repetitions(3);
 
 void BM_CcfSingleOverlap(benchmark::State& state) {
   const auto h = static_cast<std::size_t>(state.range(0));
@@ -119,8 +126,110 @@ void BM_CcfSingleOverlap(benchmark::State& state) {
     benchmark::DoNotOptimize(c);
   }
 }
-BENCHMARK(BM_CcfSingleOverlap)->Args({192, 256})->Args({1040, 1392});
+BENCHMARK(BM_CcfSingleOverlap)->Args({192, 256})->Args({1040, 1392})->Repetitions(3);
+
+// --- forced-tier dispatch benches: the same kernel at the paper tile size
+// under scalar / sse2 / avx2 / auto (-1), mirroring --kernel-dispatch. The
+// auto-vs-scalar ratios land in BENCH_kernels.json as derived entries.
+
+void BM_NccDispatch(benchmark::State& state) {
+  const auto dispatch =
+      static_cast<hs::common::KernelDispatch>(state.range(0));
+  hs::common::ScopedKernelDispatch forced(dispatch);
+  const std::size_t n = 1392 * 1040;
+  const auto a = random_spectrum(n);
+  const auto b = random_spectrum(n + 1);
+  std::vector<Complex> out(n);
+  for (auto _ : state) {
+    hs::vgpu::k_ncc(a.data(), b.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(
+      hs::common::tier_name(hs::common::resolve_dispatch(dispatch)));
+}
+BENCHMARK(BM_NccDispatch)
+    ->Arg(static_cast<int>(hs::common::KernelDispatch::kScalar))
+    ->Arg(static_cast<int>(hs::common::KernelDispatch::kSse2))
+    ->Arg(static_cast<int>(hs::common::KernelDispatch::kAvx2))
+    ->Arg(static_cast<int>(hs::common::KernelDispatch::kAuto))
+    ->Repetitions(3);
+
+void BM_MaxAbsDispatch(benchmark::State& state) {
+  const auto dispatch =
+      static_cast<hs::common::KernelDispatch>(state.range(0));
+  hs::common::ScopedKernelDispatch forced(dispatch);
+  const std::size_t n = 1392 * 1040;
+  const auto data = random_spectrum(n);
+  for (auto _ : state) {
+    auto result = hs::vgpu::k_max_abs(data.data(), n);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(
+      hs::common::tier_name(hs::common::resolve_dispatch(dispatch)));
+}
+BENCHMARK(BM_MaxAbsDispatch)
+    ->Arg(static_cast<int>(hs::common::KernelDispatch::kScalar))
+    ->Arg(static_cast<int>(hs::common::KernelDispatch::kSse2))
+    ->Arg(static_cast<int>(hs::common::KernelDispatch::kAvx2))
+    ->Arg(static_cast<int>(hs::common::KernelDispatch::kAuto))
+    ->Repetitions(3);
+
+void BM_U16ToRealDispatch(benchmark::State& state) {
+  const auto dispatch =
+      static_cast<hs::common::KernelDispatch>(state.range(0));
+  hs::common::ScopedKernelDispatch forced(dispatch);
+  const std::size_t n = 1392 * 1040;
+  const auto tile = random_tile(1, n);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    hs::vgpu::k_u16_to_real(tile.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(
+      hs::common::tier_name(hs::common::resolve_dispatch(dispatch)));
+}
+BENCHMARK(BM_U16ToRealDispatch)
+    ->Arg(static_cast<int>(hs::common::KernelDispatch::kScalar))
+    ->Arg(static_cast<int>(hs::common::KernelDispatch::kAuto))
+    ->Repetitions(3);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (see bench_fft.cpp): console output plus the
+// BENCH_kernels.json trajectory snapshot via --json-out.
+int main(int argc, char** argv) {
+  const std::string json_out =
+      hs::stitch::extract_json_out_flag(&argc, argv, "BENCH_kernels.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  hs::benchjson::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  const std::map<std::string, double>& rows = reporter.real_ns();
+  std::map<std::string, double> derived;
+  const auto ratio = [&rows, &derived](const char* key, const char* scalar,
+                                       const char* autod) {
+    const auto s = rows.find(scalar);
+    const auto a = rows.find(autod);
+    if (s != rows.end() && a != rows.end() && a->second > 0.0) {
+      derived[key] = s->second / a->second;
+    }
+  };
+  ratio("ncc_auto_over_scalar_speedup", "BM_NccDispatch/0",
+        "BM_NccDispatch/-1");
+  ratio("max_abs_auto_over_scalar_speedup", "BM_MaxAbsDispatch/0",
+        "BM_MaxAbsDispatch/-1");
+  ratio("u16_to_real_auto_over_scalar_speedup", "BM_U16ToRealDispatch/0",
+        "BM_U16ToRealDispatch/-1");
+
+  if (!json_out.empty() && !rows.empty()) {
+    if (!hs::benchjson::write_json(json_out, "kernels", rows, derived)) {
+      std::fprintf(stderr, "bench_kernels: cannot write %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  return 0;
+}

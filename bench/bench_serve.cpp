@@ -66,9 +66,8 @@ int main(int argc, char** argv) {
   cli.add_flag("budget-mb", "global memory budget, MiB", "64");
   cli.add_flag("tile-height", "tile height in pixels", "96");
   cli.add_flag("tile-width", "tile width in pixels", "128");
-  cli.add_flag("journal-json",
-               "write the journal section's numbers here as JSON",
-               "BENCH_journal.json");
+  stitch::register_json_out_flag(
+      cli, "the journal section's numbers", "BENCH_journal.json");
   stitch::register_metrics_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
@@ -489,8 +488,8 @@ int main(int argc, char** argv) {
   std::filesystem::remove_all(journal_root);
   const bool journal_ok = journal_overhead_ok && recovery_ok;
 
-  if (!cli.get("journal-json").empty()) {
-    std::FILE* json = std::fopen(cli.get("journal-json").c_str(), "w");
+  if (!stitch::json_out_from_cli(cli).empty()) {
+    std::FILE* json = std::fopen(stitch::json_out_from_cli(cli).c_str(), "w");
     if (json != nullptr) {
       std::fprintf(json,
                    "{\n"
@@ -522,7 +521,7 @@ int main(int argc, char** argv) {
                    "}\n",
                    journal_ok ? "true" : "false");
       std::fclose(json);
-      std::printf("wrote %s\n", cli.get("journal-json").c_str());
+      std::printf("wrote %s\n", stitch::json_out_from_cli(cli).c_str());
     }
   }
 

@@ -9,10 +9,17 @@
 
 #include "common/table.hpp"
 #include "sched/models.hpp"
+#include "stitch/cli_flags.hpp"
 
 using namespace hs;
 
-int main() {
+int main(int argc, char** argv) {
+  CliParser cli("fig10_ccf_threads",
+                "Fig 10 reproduction: Pipelined-GPU (2 GPUs) execution time "
+                "vs CCF thread count on the paper's 42 x 59 grid");
+  stitch::register_json_out_flag(cli, "the modeled CCF-thread curve", "");
+  if (!cli.parse(argc, argv)) return 0;
+
   std::printf("== Fig 10: Pipelined-GPU (2 GPUs) vs CCF threads, 42 x 59 "
               "grid ==\n\n");
 
@@ -42,6 +49,22 @@ int main() {
               tail_spread);
 
   const bool ok = drop > 1.25 && tail_spread < 1.35;
+  if (const std::string path = stitch::json_out_from_cli(cli);
+      !path.empty()) {
+    if (std::FILE* json = std::fopen(path.c_str(), "w")) {
+      std::fprintf(json, "{\n  \"bench\": \"fig10_ccf_threads\",\n"
+                         "  \"model_seconds\": [");
+      for (std::size_t i = 0; i < seconds.size(); ++i) {
+        std::fprintf(json, "%s%.3f", i ? ", " : "", seconds[i]);
+      }
+      std::fprintf(json,
+                   "],\n  \"drop_1_to_2\": %.4f,\n  \"tail_2_to_16\": %.4f,\n"
+                   "  \"pass\": %s\n}\n",
+                   drop, tail_spread, ok ? "true" : "false");
+      std::fclose(json);
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
   if (!ok) {
     std::fprintf(stderr, "FIG 10 SHAPE CHECK FAILED\n");
     return 1;

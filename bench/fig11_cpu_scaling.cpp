@@ -9,15 +9,24 @@
 
 #include "common/table.hpp"
 #include "sched/models.hpp"
+#include "stitch/cli_flags.hpp"
 
 using namespace hs;
 
-int main() {
+int main(int argc, char** argv) {
+  CliParser cli("fig11_cpu_scaling",
+                "Fig 11 reproduction: Pipelined-CPU strong scaling over "
+                "threads 1..16 on the paper's 42 x 59 grid");
+  stitch::register_json_out_flag(cli, "the modeled times and speedup curve",
+                                 "");
+  if (!cli.parse(argc, argv)) return 0;
+
   std::printf("== Fig 11: Pipelined-CPU strong scaling, 42 x 59 grid ==\n\n");
 
   sched::ModelConfig config;
   TextTable table({"threads", "model time (s)", "speedup", "regime"});
   double base = 0.0;
+  std::vector<double> seconds;
   std::vector<double> speedups;
   for (std::size_t threads = 1; threads <= 16; ++threads) {
     config.threads = threads;
@@ -25,6 +34,7 @@ int main() {
         sched::model_backend(stitch::Backend::kPipelinedCpu, config).seconds;
     if (threads == 1) base = t;
     const double speedup = base / t;
+    seconds.push_back(t);
     speedups.push_back(speedup);
     table.add_row({std::to_string(threads), format_num(t, 1),
                    format_num(speedup, 2),
@@ -45,6 +55,26 @@ int main() {
 
   const bool ok = speedups[7] > 7.0 && slope_smt < 0.6 * slope_physical &&
                   speedups[15] > 9.0 && speedups[15] < 11.5;
+  if (const std::string path = stitch::json_out_from_cli(cli);
+      !path.empty()) {
+    if (std::FILE* json = std::fopen(path.c_str(), "w")) {
+      std::fprintf(json, "{\n  \"bench\": \"fig11_cpu_scaling\",\n"
+                         "  \"model_seconds\": [");
+      for (std::size_t i = 0; i < seconds.size(); ++i) {
+        std::fprintf(json, "%s%.3f", i ? ", " : "", seconds[i]);
+      }
+      std::fprintf(json, "],\n  \"speedups\": [");
+      for (std::size_t i = 0; i < speedups.size(); ++i) {
+        std::fprintf(json, "%s%.4f", i ? ", " : "", speedups[i]);
+      }
+      std::fprintf(json,
+                   "],\n  \"slope_physical\": %.4f,\n  \"slope_smt\": %.4f,\n"
+                   "  \"pass\": %s\n}\n",
+                   slope_physical, slope_smt, ok ? "true" : "false");
+      std::fclose(json);
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
   if (!ok) {
     std::fprintf(stderr, "FIG 11 SHAPE CHECK FAILED\n");
     return 1;

@@ -10,6 +10,7 @@
 
 #include "common/table.hpp"
 #include "sched/models.hpp"
+#include "stitch/cli_flags.hpp"
 
 using namespace hs;
 
@@ -24,7 +25,13 @@ std::pair<std::size_t, std::size_t> grid_shape(std::size_t tiles) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  CliParser cli("fig12_speedup_surface",
+                "Fig 12 reproduction: Pipelined-CPU speedup surface over "
+                "(threads 1..16) x (grid size 128..1024 tiles)");
+  stitch::register_json_out_flag(cli, "the modeled speedup surface", "");
+  if (!cli.parse(argc, argv)) return 0;
+
   std::printf("== Fig 12: Pipelined-CPU speedup surface (threads x tiles) "
               "==\n\n");
 
@@ -70,7 +77,33 @@ int main() {
   const double final_speedup = surface.back().back();
   std::printf("speedup at 16 threads, 1024 tiles: %.2fx (paper: ~10x)\n",
               final_speedup);
-  if (!ok || final_speedup < 9.0) {
+  const bool pass = ok && final_speedup >= 9.0;
+  if (const std::string path = stitch::json_out_from_cli(cli);
+      !path.empty()) {
+    if (std::FILE* json = std::fopen(path.c_str(), "w")) {
+      std::fprintf(json, "{\n  \"bench\": \"fig12_speedup_surface\",\n"
+                         "  \"tile_counts\": [");
+      std::size_t n_tiles = sizeof(tile_counts) / sizeof(tile_counts[0]);
+      for (std::size_t i = 0; i < n_tiles; ++i) {
+        std::fprintf(json, "%s%zu", i ? ", " : "", tile_counts[i]);
+      }
+      std::fprintf(json, "],\n  \"speedup_surface\": [\n");
+      for (std::size_t t = 0; t < surface.size(); ++t) {
+        std::fprintf(json, "    [");
+        for (std::size_t i = 0; i < surface[t].size(); ++i) {
+          std::fprintf(json, "%s%.4f", i ? ", " : "", surface[t][i]);
+        }
+        std::fprintf(json, "]%s\n", t + 1 < surface.size() ? "," : "");
+      }
+      std::fprintf(json,
+                   "  ],\n  \"speedup_16_threads_1024_tiles\": %.4f,\n"
+                   "  \"pass\": %s\n}\n",
+                   final_speedup, pass ? "true" : "false");
+      std::fclose(json);
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  if (!pass) {
     std::fprintf(stderr, "FIG 12 SHAPE CHECK FAILED\n");
     return 1;
   }

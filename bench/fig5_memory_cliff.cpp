@@ -9,10 +9,17 @@
 
 #include "common/table.hpp"
 #include "sched/vm_model.hpp"
+#include "stitch/cli_flags.hpp"
 
 using namespace hs;
 
-int main() {
+int main(int argc, char** argv) {
+  CliParser cli("fig5_memory_cliff",
+                "Fig 5 reproduction: the virtual-memory performance cliff "
+                "of the no-freeing demonstration app on a 24 GB machine");
+  stitch::register_json_out_flag(cli, "the cliff edges and steepness", "");
+  if (!cli.parse(argc, argv)) return 0;
+
   const sched::VmModelParams params;
   const auto cost = sched::CostModel::paper_machine();
 
@@ -90,6 +97,25 @@ int main() {
   if (!(cliff_ratio > 1.8 && cliff_ratio < 2.2)) {
     std::fprintf(stderr, "half-spectrum cliff ratio off: %.2f\n", cliff_ratio);
     ok = false;
+  }
+  if (const std::string path = stitch::json_out_from_cli(cli);
+      !path.empty()) {
+    if (std::FILE* json = std::fopen(path.c_str(), "w")) {
+      std::fprintf(json,
+                   "{\n  \"bench\": \"fig5_memory_cliff\",\n"
+                   "  \"cliff_tiles\": %zu,\n"
+                   "  \"cliff_tiles_real_fft\": %zu,\n"
+                   "  \"cliff_ratio\": %.4f,\n"
+                   "  \"speedup_832_tiles_8_threads\": %.4f,\n"
+                   "  \"speedup_864_tiles_8_threads\": %.4f,\n"
+                   "  \"pass\": %s\n}\n",
+                   full_cliff, half_cliff, cliff_ratio,
+                   sched::vm_fft_speedup(832, 8, params, cost),
+                   sched::vm_fft_speedup(864, 8, params, cost),
+                   ok ? "true" : "false");
+      std::fclose(json);
+      std::printf("wrote %s\n", path.c_str());
+    }
   }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,79 @@
+// Shared --json-out support for the google-benchmark harnesses (bench_fft,
+// bench_kernels). The CLI side lives in stitch/cli_flags.hpp
+// (extract_json_out_flag); this header collects per-benchmark real times
+// while still printing the normal console table, and serializes them — plus
+// any derived ratios — into the flat JSON shape scripts/perf_gate.py diffs
+// against the committed BENCH_* snapshots:
+//
+//   {
+//     "bench": "<name>",
+//     "real_time_ns": { "BM_Foo/123": 4567.0, ... },
+//     "derived": { "fft2d_auto_over_scalar_speedup": 3.1, ... }
+//   }
+//
+// real_time_ns entries gate on "did not get slower than snapshot * (1 +
+// tolerance)"; derived entries gate on "did not drop below snapshot * (1 -
+// tolerance)" (they are ratios where bigger is better).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hs::benchjson {
+
+/// ConsoleReporter that also records each non-aggregate run's adjusted real
+/// time (per iteration, in the benchmark's time unit — ns by default).
+/// Benchmarks registered with ->Repetitions(N) fold into one row under
+/// their base name (the "/repeats:N" suffix is stripped) keeping the MIN
+/// across repetitions — the standard noise-robust statistic, which keeps
+/// the speedup gates and trajectory diffs stable on busy machines.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::string name = run.benchmark_name();
+      const std::size_t cut = name.find("/repeats:");
+      if (cut != std::string::npos) name.resize(cut);
+      const double t = run.GetAdjustedRealTime();
+      auto [it, inserted] = real_ns_.try_emplace(name, t);
+      if (!inserted && t < it->second) it->second = t;
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  const std::map<std::string, double>& real_ns() const { return real_ns_; }
+
+ private:
+  std::map<std::string, double> real_ns_;
+};
+
+/// Writes the snapshot JSON. Returns false if the file cannot be written.
+inline bool write_json(const std::string& path, const std::string& bench,
+                       const std::map<std::string, double>& real_ns,
+                       const std::map<std::string, double>& derived) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"real_time_ns\": {\n",
+               bench.c_str());
+  std::size_t i = 0;
+  for (const auto& [name, ns] : real_ns) {
+    std::fprintf(f, "    \"%s\": %.3f%s\n", name.c_str(), ns,
+                 ++i < real_ns.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"derived\": {\n");
+  i = 0;
+  for (const auto& [name, value] : derived) {
+    std::fprintf(f, "    \"%s\": %.4f%s\n", name.c_str(), value,
+                 ++i < derived.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace hs::benchjson

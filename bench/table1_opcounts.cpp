@@ -13,9 +13,13 @@
 // mismatch.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "simdata/plate.hpp"
+#include "stitch/cli_flags.hpp"
 #include "stitch/stitcher.hpp"
 
 using namespace hs;
@@ -34,17 +38,33 @@ bool check(std::uint64_t measured, std::uint64_t formula, const char* what,
   return true;
 }
 
+/// One measured grid for the --json-out snapshot.
+struct GridRow {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::uint64_t pairs = 0;
+  double stitch_s = 0.0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  CliParser cli("table1_opcounts",
+                "Table I reproduction: measured operation counts vs the "
+                "paper's formulas on real Simple-CPU runs");
+  stitch::register_json_out_flag(cli, "the measured counts and run times",
+                                 "");
+  if (!cli.parse(argc, argv)) return 0;
+
   std::printf("== Table I: operation counts & complexities ==\n");
   std::printf("Paper formulas for an n x m grid of h x w tiles; measured\n");
   std::printf("counts from real Simple-CPU runs on synthetic grids.\n\n");
 
   const std::size_t th = 48, tw = 64;
   bool all_ok = true;
+  std::vector<GridRow> grid_rows;
 
-  for (const auto [rows, cols] :
+  for (const auto& [rows, cols] :
        {std::pair<std::size_t, std::size_t>{2, 2},
         {3, 5},
         {4, 4},
@@ -57,11 +77,14 @@ int main() {
     acq.tile_width = tw;
     const auto grid = sim::make_synthetic_grid(acq);
     stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+    Stopwatch stopwatch;
     const auto result = stitch::stitch(stitch::Backend::kSimpleCpu, provider);
+    const double stitch_s = stopwatch.seconds();
 
     const std::uint64_t tiles = rows * cols;
     const std::uint64_t pairs = 2 * rows * cols - rows - cols;
     const std::uint64_t hw = th * tw;
+    grid_rows.push_back(GridRow{rows, cols, pairs, stitch_s});
 
     TextTable table({"operation", "count (measured)", "count (formula)",
                      "op cost", "operand bytes"});
@@ -125,6 +148,27 @@ int main() {
   std::printf("Paper workload check: a 42 x 59 grid performs 3nm - n - m\n");
   std::printf("= %d forward+inverse 2-D transforms (paper SIII).\n",
               3 * 42 * 59 - 42 - 59);
+
+  if (!stitch::json_out_from_cli(cli).empty()) {
+    const std::string path = stitch::json_out_from_cli(cli);
+    std::FILE* json = std::fopen(path.c_str(), "w");
+    if (json != nullptr) {
+      std::fprintf(json, "{\n  \"grids\": [\n");
+      for (std::size_t i = 0; i < grid_rows.size(); ++i) {
+        const GridRow& row = grid_rows[i];
+        std::fprintf(json,
+                     "    {\"rows\": %zu, \"cols\": %zu, \"pairs\": %llu, "
+                     "\"stitch_s\": %.6f}%s\n",
+                     row.rows, row.cols,
+                     static_cast<unsigned long long>(row.pairs), row.stitch_s,
+                     i + 1 < grid_rows.size() ? "," : "");
+      }
+      std::fprintf(json, "  ],\n  \"pass\": %s\n}\n",
+                   all_ok ? "true" : "false");
+      std::fclose(json);
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
 
   if (!all_ok) {
     std::fprintf(stderr, "TABLE I REPRODUCTION FAILED\n");

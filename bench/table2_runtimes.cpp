@@ -50,9 +50,8 @@ int main(int argc, char** argv) {
   grid_defaults.rows = 8;
   grid_defaults.cols = 8;
   stitch::register_grid_flags(cli, grid_defaults);
-  cli.add_flag("sched-json",
-               "write the HybridScheduler section's numbers here as JSON",
-               "BENCH_sched.json");
+  stitch::register_json_out_flag(
+      cli, "the HybridScheduler section's numbers", "BENCH_sched.json");
   if (!cli.parse(argc, argv)) return 0;
 
   std::printf("== Table II: run times and speedups, 42 x 59 image grid ==\n\n");
@@ -254,8 +253,8 @@ int main(int argc, char** argv) {
               reduction);
 
   const bool sched_pass = recovered >= 0.7 && reduction >= 4.0;
-  if (!cli.get("sched-json").empty()) {
-    std::FILE* json = std::fopen(cli.get("sched-json").c_str(), "w");
+  if (!stitch::json_out_from_cli(cli).empty()) {
+    std::FILE* json = std::fopen(stitch::json_out_from_cli(cli).c_str(), "w");
     if (json != nullptr) {
       std::fprintf(
           json,
@@ -288,7 +287,7 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(enqueues_8), reduction, t_batch1,
           t_batch8, sched_pass ? "true" : "false");
       std::fclose(json);
-      std::printf("wrote %s\n", cli.get("sched-json").c_str());
+      std::printf("wrote %s\n", stitch::json_out_from_cli(cli).c_str());
     }
   }
   if (!sched_pass) {

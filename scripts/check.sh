@@ -28,6 +28,17 @@ for preset in "${presets[@]}"; do
   ctest --preset "${preset}" -L tier1 -LE slow -j "${jobs}"
   echo "==> [${preset}] ctest -L tier1 -LE slow (HS_USE_REAL_FFT=1)"
   HS_USE_REAL_FFT=1 ctest --preset "${preset}" -L tier1 -LE slow -j "${jobs}"
+  # The suite above runs with auto codelet dispatch (the widest tier the CPU
+  # supports). Re-run with the scalar reference codelets forced so a
+  # vectorization bug can never hide behind the tier that happens to be
+  # selected on the build machine. Release only — one extra full pass is
+  # enough, and the sanitizer presets already run the dedicated cross-tier
+  # bit-identity suite (simd_test).
+  if [ "${preset}" = "release" ]; then
+    echo "==> [${preset}] ctest -L tier1 -LE slow (HS_KERNEL_DISPATCH=scalar)"
+    HS_KERNEL_DISPATCH=scalar ctest --preset "${preset}" -L tier1 -LE slow \
+      -j "${jobs}"
+  fi
   # Time-domain robustness: deadlines, the stall watchdog rescuing injected
   # hangs, the GPU circuit breaker, and overload shedding. The release run
   # checks behaviour; the tsan run proves the watchdog/hang interplay is
@@ -78,6 +89,24 @@ for preset in "${presets[@]}"; do
     # land in BENCH_sched.json.
     echo "==> [release] table2_runtimes scheduler budgets (BENCH_sched.json)"
     ./build/bench/table2_runtimes >/dev/null
+    # Benchmark-trajectory gate for the SIMD codelets: regenerate the FFT
+    # and kernel micro-benchmark snapshots and diff them against the
+    # committed baselines. bench_fft itself enforces the tentpole >=1.3x
+    # dispatch-speedup budget; perf_gate.py then fails on any entry drifting
+    # past the tolerance: wall-clock entries get a loose 75% band
+    # (HS_PERF_TOLERANCE — trajectory breaks, not machine jitter) while
+    # derived speedup ratios get a tight 25% band (HS_PERF_RATIO_TOLERANCE
+    # — a tier silently falling back to scalar fails). Refresh a baseline
+    # deliberately with:
+    #   ./build/bench/bench_fft --json-out=BENCH_fft.json
+    echo "==> [release] bench_fft dispatch budget + trajectory (BENCH_fft.json)"
+    ./build/bench/bench_fft --json-out=build/bench/BENCH_fft.json >/dev/null
+    python3 scripts/perf_gate.py BENCH_fft.json build/bench/BENCH_fft.json
+    echo "==> [release] bench_kernels trajectory (BENCH_kernels.json)"
+    ./build/bench/bench_kernels --json-out=build/bench/BENCH_kernels.json \
+      >/dev/null
+    python3 scripts/perf_gate.py BENCH_kernels.json \
+      build/bench/BENCH_kernels.json
   fi
 done
 

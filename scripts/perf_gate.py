@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Benchmark-trajectory gate: diff a fresh BENCH_*.json against the
+committed snapshot and fail on regression beyond a tolerance.
+
+Usage:
+    perf_gate.py BASELINE CURRENT [--tolerance F] [--ratio-tolerance F]
+
+The JSON shape is what bench/gbench_json.hpp writes:
+
+    {"bench": "fft",
+     "real_time_ns": {"BM_Fft2dDispatch/0": 12079500.0, ...},
+     "derived": {"fft2d_auto_over_scalar_speedup": 1.56, ...}}
+
+Gate directions and tolerances:
+  * real_time_ns — smaller is better. Regression when
+        current > baseline * (1 + tolerance).
+    The default tolerance is very loose (75%): absolute wall-clock on a
+    shared box drifts wildly between runs (observed 60%+ even with
+    min-of-3 repetitions), so this side only catches trajectory breaks —
+    an accidental O(n^2), a plan-cache miss storm — not jitter.
+  * derived — within-run speedup ratios where bigger is better.
+    Regression when current < baseline * (1 - ratio_tolerance). Ratios
+    divide out machine speed, so the default is much tighter (25%) —
+    tight enough that a SIMD tier silently falling back to scalar
+    (ratio ~1.0 against committed baselines of 1.4-1.7x) fails.
+
+A key present in the baseline but missing from the current run fails (a
+benchmark silently disappearing must not pass the gate); keys new in the
+current run are reported but pass (they will gate once the snapshot is
+refreshed). Refresh a baseline deliberately by re-running the bench with
+--json-out pointed at the committed file; commit the element-wise MIN of
+two runs so the baseline is a clean-machine reference.
+
+Environment overrides: HS_PERF_TOLERANCE, HS_PERF_RATIO_TOLERANCE.
+Exit status: 0 = within tolerance, 1 = regression, 2 = bad invocation.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"perf_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    for section in ("real_time_ns", "derived"):
+        if not isinstance(doc.get(section, {}), dict):
+            print(f"perf_gate: {path}: '{section}' is not an object",
+                  file=sys.stderr)
+            sys.exit(2)
+    return doc
+
+
+def gate_section(name, base, cur, tol, bigger_is_better):
+    """Returns the list of failure strings for one section."""
+    failures = []
+    for key in sorted(base):
+        b = base[key]
+        if key not in cur:
+            failures.append(f"{name}[{key}]: missing from current run "
+                            f"(baseline {b:g})")
+            continue
+        c = cur[key]
+        if b <= 0:
+            continue  # degenerate snapshot entry; nothing to gate against
+        if bigger_is_better:
+            limit = b * (1.0 - tol)
+            ok = c >= limit
+            verdict = f"{c:.4f} < {limit:.4f} (baseline {b:.4f} -{tol:.0%})"
+        else:
+            limit = b * (1.0 + tol)
+            ok = c <= limit
+            verdict = f"{c:.0f} > {limit:.0f} (baseline {b:.0f} +{tol:.0%})"
+        if not ok:
+            failures.append(f"{name}[{key}]: {verdict}")
+    for key in sorted(set(cur) - set(base)):
+        print(f"perf_gate: note: new {name} key '{key}' not in baseline "
+              f"(gates after snapshot refresh)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff a benchmark JSON against its committed snapshot.")
+    parser.add_argument("baseline", help="committed BENCH_*.json snapshot")
+    parser.add_argument("current", help="freshly generated BENCH_*.json")
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("HS_PERF_TOLERANCE", "0.75")),
+        help="allowed fractional drift for real_time_ns entries "
+             "(default 0.75, or HS_PERF_TOLERANCE)")
+    parser.add_argument(
+        "--ratio-tolerance", type=float,
+        default=float(os.environ.get("HS_PERF_RATIO_TOLERANCE", "0.25")),
+        help="allowed fractional drop for derived speedup ratios "
+             "(default 0.25, or HS_PERF_RATIO_TOLERANCE)")
+    args = parser.parse_args()
+    for tol in (args.tolerance, args.ratio_tolerance):
+        if not 0.0 <= tol < 1.0:
+            print("perf_gate: tolerances must be in [0, 1)", file=sys.stderr)
+            return 2
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    failures = []
+    failures += gate_section("real_time_ns", base.get("real_time_ns", {}),
+                             cur.get("real_time_ns", {}), args.tolerance,
+                             bigger_is_better=False)
+    failures += gate_section("derived", base.get("derived", {}),
+                             cur.get("derived", {}), args.ratio_tolerance,
+                             bigger_is_better=True)
+
+    bench = base.get("bench", "?")
+    checked = len(base.get("real_time_ns", {})) + len(base.get("derived", {}))
+    if failures:
+        print(f"perf_gate: {bench}: {len(failures)} regression(s) "
+              f"(time tolerance {args.tolerance:.0%}, ratio tolerance "
+              f"{args.ratio_tolerance:.0%}):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"perf_gate: {bench}: {checked} entries within tolerance of "
+          f"{args.baseline} (time {args.tolerance:.0%}, ratio "
+          f"{args.ratio_tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace hs::common {
+
+namespace {
+
+SimdTier detect() {
+#if defined(__x86_64__) || defined(__i386__)
+  // GCC/Clang builtin CPU feature probe; the first call runs CPUID, later
+  // calls read a cached table.
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return SimdTier::kSse2;
+  return SimdTier::kScalar;
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+KernelDispatch env_dispatch() {
+  const char* env = std::getenv("HS_KERNEL_DISPATCH");
+  if (env == nullptr || *env == '\0') return KernelDispatch::kAuto;
+  // A bad value in the environment must be loud, not silently "auto":
+  // reproducibility forcing is the whole point of the variable.
+  return parse_dispatch(env);
+}
+
+// The forced setting, folded with the environment at first use. Stored as
+// int for lock-free access from every kernel dispatch site.
+std::atomic<int>& forced_state() {
+  static std::atomic<int> state{static_cast<int>(env_dispatch())};
+  return state;
+}
+
+}  // namespace
+
+SimdTier detected_tier() {
+  static const SimdTier tier = detect();
+  return tier;
+}
+
+SimdTier active_tier() {
+  return resolve_dispatch(
+      static_cast<KernelDispatch>(forced_state().load(std::memory_order_relaxed)));
+}
+
+void set_forced_tier(KernelDispatch dispatch) {
+  forced_state().store(static_cast<int>(dispatch), std::memory_order_relaxed);
+}
+
+KernelDispatch forced_tier() {
+  return static_cast<KernelDispatch>(
+      forced_state().load(std::memory_order_relaxed));
+}
+
+const char* tier_name(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar: return "scalar";
+    case SimdTier::kSse2: return "sse2";
+    case SimdTier::kAvx2: return "avx2";
+  }
+  return "scalar";
+}
+
+const char* dispatch_name(KernelDispatch dispatch) {
+  return dispatch == KernelDispatch::kAuto
+             ? "auto"
+             : tier_name(static_cast<SimdTier>(dispatch));
+}
+
+KernelDispatch parse_dispatch(const std::string& name) {
+  if (name == "auto") return KernelDispatch::kAuto;
+  if (name == "scalar") return KernelDispatch::kScalar;
+  if (name == "sse2") return KernelDispatch::kSse2;
+  if (name == "avx2") return KernelDispatch::kAvx2;
+  throw InvalidArgument("kernel dispatch must be auto, scalar, sse2, or avx2; got '" +
+                        name + "'");
+}
+
+SimdTier resolve_dispatch(KernelDispatch dispatch) {
+  const SimdTier widest = detected_tier();
+  if (dispatch == KernelDispatch::kAuto) return widest;
+  const auto requested = static_cast<SimdTier>(dispatch);
+  // Forcing can only narrow: a tier the CPU cannot execute clamps down.
+  return static_cast<int>(requested) <= static_cast<int>(widest) ? requested
+                                                                 : widest;
+}
+
+ScopedKernelDispatch::ScopedKernelDispatch(KernelDispatch dispatch)
+    : previous_(forced_tier()) {
+  set_forced_tier(dispatch);
+}
+
+ScopedKernelDispatch::~ScopedKernelDispatch() { set_forced_tier(previous_); }
+
+}  // namespace hs::common

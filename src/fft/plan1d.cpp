@@ -9,6 +9,8 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "fft/codelets.hpp"
 #include "fft/wisdom.hpp"
 
 namespace hs::fft {
@@ -80,14 +82,17 @@ double direction_sign(Direction dir) {
 struct SmoothPlan {
   std::size_t n = 0;
   Direction dir = Direction::kForward;
+  const codelets::Set* cod = nullptr;  // butterfly codelets for the tier
   std::vector<int> factors;            // radix applied at each depth
   std::vector<std::size_t> subsize;    // transform size at each depth
   std::vector<std::vector<Complex>> level_tw;  // [depth][j*m + k] = W^(j*k*s)
   std::vector<std::vector<Complex>> radix_tw;  // [depth][j*r + q] = W_r^(j*q)
 
-  void build(std::size_t size, Direction direction, std::vector<int> order) {
+  void build(std::size_t size, Direction direction, std::vector<int> order,
+             common::SimdTier tier) {
     n = size;
     dir = direction;
+    cod = &codelets::set_for(tier);
     factors = std::move(order);
     const double sign = direction_sign(dir);
     const double theta = sign * 2.0 * std::numbers::pi / static_cast<double>(n);
@@ -141,49 +146,16 @@ struct SmoothPlan {
           stride * static_cast<std::size_t>(r),
           out + static_cast<std::size_t>(j) * m, depth + 1);
     }
+    // Butterfly bodies live in fft/codelets.cpp (and its SIMD siblings);
+    // every tier's codelet is bit-identical to the scalar reference, so the
+    // tier choice affects speed only.
     const Complex* tw = level_tw[depth].data();
     if (r == 2) {
-      for (std::size_t k = 0; k < m; ++k) {
-        const Complex a = out[k];
-        const Complex b = out[m + k] * tw[m + k];
-        out[k] = a + b;
-        out[m + k] = a - b;
-      }
+      cod->bf2(out, tw, m);
     } else if (r == 4) {
-      const bool fwd = dir == Direction::kForward;
-      for (std::size_t k = 0; k < m; ++k) {
-        const Complex a0 = out[k];
-        const Complex a1 = out[m + k] * tw[m + k];
-        const Complex a2 = out[2 * m + k] * tw[2 * m + k];
-        const Complex a3 = out[3 * m + k] * tw[3 * m + k];
-        const Complex t0 = a0 + a2;
-        const Complex t1 = a0 - a2;
-        const Complex t2 = a1 + a3;
-        const Complex t3 = a1 - a3;
-        // W_4^1 is -i forward, +i inverse.
-        const Complex t3w = fwd ? Complex(t3.imag(), -t3.real())
-                                : Complex(-t3.imag(), t3.real());
-        out[k] = t0 + t2;
-        out[2 * m + k] = t0 - t2;
-        out[m + k] = t1 + t3w;
-        out[3 * m + k] = t1 - t3w;
-      }
+      cod->bf4(out, tw, m, dir == Direction::kForward);
     } else {
-      const Complex* wr = radix_tw[depth].data();
-      Complex t[kMaxDirectRadix + 1];
-      for (std::size_t k = 0; k < m; ++k) {
-        for (int j = 0; j < r; ++j) {
-          t[j] = out[static_cast<std::size_t>(j) * m + k] *
-                 tw[static_cast<std::size_t>(j) * m + k];
-        }
-        for (int q = 0; q < r; ++q) {
-          Complex acc = t[0];
-          for (int j = 1; j < r; ++j) {
-            acc += t[j] * wr[static_cast<std::size_t>(j) * r + q];
-          }
-          out[static_cast<std::size_t>(q) * m + k] = acc;
-        }
-      }
+      cod->bfr(out, tw, radix_tw[depth].data(), r, m);
     }
   }
 };
@@ -333,6 +305,7 @@ struct BluesteinState {
 struct Plan1d::Impl {
   std::size_t n = 0;
   Direction dir = Direction::kForward;
+  common::SimdTier tier = common::SimdTier::kScalar;
   bool bluestein = false;
   SmoothPlan smooth;
   std::unique_ptr<BluesteinState> blue;
@@ -343,26 +316,50 @@ Plan1d::Plan1d(std::size_t n, Direction dir, Rigor rigor)
   HS_REQUIRE(n >= 1, "FFT size must be positive");
   impl_->n = n;
   impl_->dir = dir;
+  // Resolved once at plan time: a plan keeps its codelet tier for life, so
+  // changing the forced dispatch affects future plans, not existing ones.
+  const common::SimdTier active = common::active_tier();
+  impl_->tier = active;
   if (n == 1) {
-    impl_->smooth.build(1, dir, {});
+    impl_->smooth.build(1, dir, {}, active);
     return;
   }
   const std::vector<int> primes = prime_factors(n);
   if (primes.back() > kMaxDirectRadix) {
+    // Bluestein's chirp loops stay scalar; its inner power-of-two plans are
+    // ordinary Plan1d's and pick up the active tier themselves.
     impl_->bluestein = true;
     impl_->blue = std::make_unique<BluesteinState>();
     impl_->blue->build(n, dir);
     return;
   }
   // Wisdom short-circuits planning: a previously measured (or imported)
-  // ordering is trusted without re-measuring, FFTW-style.
-  if (auto remembered = wisdom_lookup(n, dir)) {
-    impl_->smooth.build(n, dir, std::move(*remembered));
+  // ordering is trusted without re-measuring, FFTW-style. A remembered tier
+  // is clamped to the active one — wisdom measured on a wider machine (or
+  // before a narrower forcing) must not override the user's dispatch cap.
+  if (auto remembered = wisdom_lookup_entry(n, dir)) {
+    common::SimdTier tier = active;
+    if (remembered->tier != kTierUnspecified) {
+      tier = std::min(static_cast<common::SimdTier>(remembered->tier), active);
+    }
+    impl_->tier = tier;
+    impl_->smooth.build(n, dir, std::move(remembered->factors), tier);
     return;
   }
+  // kEstimate trusts the widest supported tier; measured rigors time every
+  // (ordering, tier) combination the dispatch cap allows, FFTW-codelet
+  // style, because the fastest tier is size-dependent (small depths are
+  // tail-bound, large smooth sizes vectorize well).
   auto candidates = candidate_orders(primes, rigor);
-  if (candidates.size() == 1) {
-    impl_->smooth.build(n, dir, std::move(candidates[0]));
+  std::vector<common::SimdTier> tiers{active};
+  if (rigor != Rigor::kEstimate) {
+    tiers.clear();
+    for (int t = 0; t <= static_cast<int>(active); ++t) {
+      tiers.push_back(static_cast<common::SimdTier>(t));
+    }
+  }
+  if (candidates.size() == 1 && tiers.size() == 1) {
+    impl_->smooth.build(n, dir, std::move(candidates[0]), tiers[0]);
     return;
   }
   // Measure each candidate on scratch data and keep the fastest.
@@ -373,26 +370,33 @@ Plan1d::Plan1d(std::size_t n, Direction dir, Rigor rigor)
 
   double best_time = 0.0;
   std::size_t best_index = 0;
+  common::SimdTier best_tier = tiers.front();
+  bool first = true;
   for (std::size_t c = 0; c < candidates.size(); ++c) {
-    SmoothPlan trial;
-    trial.build(n, dir, candidates[c]);
-    trial.run(input.data(), 1, output.data(), 0);  // warm-up
-    const auto start = std::chrono::steady_clock::now();
-    for (int rep = 0; rep < reps; ++rep) {
-      trial.run(input.data(), 1, output.data(), 0);
-    }
-    const double elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    if (c == 0 || elapsed < best_time) {
-      best_time = elapsed;
-      best_index = c;
+    for (const common::SimdTier tier : tiers) {
+      SmoothPlan trial;
+      trial.build(n, dir, candidates[c], tier);
+      trial.run(input.data(), 1, output.data(), 0);  // warm-up
+      const auto start = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < reps; ++rep) {
+        trial.run(input.data(), 1, output.data(), 0);
+      }
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      if (first || elapsed < best_time) {
+        best_time = elapsed;
+        best_index = c;
+        best_tier = tier;
+        first = false;
+      }
     }
   }
   // Remember the winner so future plans (and, via wisdom_save, future
   // processes) skip the measurement.
-  wisdom_remember(n, dir, candidates[best_index]);
-  impl_->smooth.build(n, dir, std::move(candidates[best_index]));
+  wisdom_remember(n, dir, candidates[best_index], best_tier);
+  impl_->tier = best_tier;
+  impl_->smooth.build(n, dir, std::move(candidates[best_index]), best_tier);
 }
 
 Plan1d::~Plan1d() = default;
@@ -448,6 +452,7 @@ void Plan1d::execute_strided(const Complex* in, std::size_t in_stride,
 
 std::size_t Plan1d::size() const { return impl_->n; }
 Direction Plan1d::direction() const { return impl_->dir; }
+common::SimdTier Plan1d::simd_tier() const { return impl_->tier; }
 bool Plan1d::uses_bluestein() const { return impl_->bluestein; }
 const std::vector<int>& Plan1d::factors() const {
   return impl_->smooth.factors;

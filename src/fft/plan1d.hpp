@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "fft/types.hpp"
 
 namespace hs::fft {
@@ -56,6 +57,12 @@ class Plan1d {
 
   std::size_t size() const;
   Direction direction() const;
+
+  /// The SIMD codelet tier this plan executes with: measured rigors record
+  /// the fastest tier in wisdom; kEstimate uses the widest the dispatch cap
+  /// allows. Fixed at plan time.
+  common::SimdTier simd_tier() const;
+
   bool uses_bluestein() const;
 
   /// The factor ordering chosen by the planner (empty for Bluestein plans).

@@ -1,29 +1,17 @@
 #include "fft/plan2d.hpp"
 
-#include <algorithm>
 #include <vector>
 
 #include "common/error.hpp"
+#include "fft/codelets.hpp"
 
 namespace hs::fft {
 
-namespace {
-constexpr std::size_t kBlock = 32;
-}
-
 void transpose(const Complex* in, Complex* out, std::size_t rows,
                std::size_t cols) {
-  for (std::size_t rb = 0; rb < rows; rb += kBlock) {
-    const std::size_t rend = std::min(rows, rb + kBlock);
-    for (std::size_t cb = 0; cb < cols; cb += kBlock) {
-      const std::size_t cend = std::min(cols, cb + kBlock);
-      for (std::size_t r = rb; r < rend; ++r) {
-        for (std::size_t c = cb; c < cend; ++c) {
-          out[c * rows + r] = in[r * cols + c];
-        }
-      }
-    }
-  }
+  // Free-function form dispatches per call; plans capture their codelet set
+  // once at construction instead.
+  codelets::active_set().transpose(in, out, rows, cols);
 }
 
 Plan2d::Plan2d(std::size_t height, std::size_t width, Direction dir,
@@ -32,9 +20,12 @@ Plan2d::Plan2d(std::size_t height, std::size_t width, Direction dir,
       w_(width),
       dir_(dir),
       row_(width, dir, rigor),
-      col_(height, dir, rigor) {
+      col_(height, dir, rigor),
+      cod_(&codelets::set_for(common::active_tier())) {
   HS_REQUIRE(height >= 1 && width >= 1, "2-D FFT dimensions must be positive");
 }
+
+common::SimdTier Plan2d::simd_tier() const { return cod_->tier; }
 
 void Plan2d::run(const Complex* in, Complex* out) const {
   // Row pass at unit stride.
@@ -44,11 +35,11 @@ void Plan2d::run(const Complex* in, Complex* out) const {
   // Column pass: transpose, transform rows of the transposed array at unit
   // stride, transpose back.
   std::vector<Complex> scratch(h_ * w_);
-  transpose(out, scratch.data(), h_, w_);
+  cod_->transpose(out, scratch.data(), h_, w_);
   for (std::size_t c = 0; c < w_; ++c) {
     col_.execute_inplace(scratch.data() + c * h_);
   }
-  transpose(scratch.data(), out, w_, h_);
+  cod_->transpose(scratch.data(), out, w_, h_);
   detail::count_2d();
 }
 
@@ -65,19 +56,22 @@ void Plan2d::execute_inplace(Complex* data) const {
     row_.execute_inplace(data + r * w_);
   }
   std::vector<Complex> scratch(h_ * w_);
-  transpose(data, scratch.data(), h_, w_);
+  cod_->transpose(data, scratch.data(), h_, w_);
   for (std::size_t c = 0; c < w_; ++c) {
     col_.execute_inplace(scratch.data() + c * h_);
   }
-  transpose(scratch.data(), data, w_, h_);
+  cod_->transpose(scratch.data(), data, w_, h_);
   detail::count_2d();
 }
 
 PlanR2c2d::PlanR2c2d(std::size_t height, std::size_t width, Rigor rigor)
     : h_(height), w_(width), row_(width, rigor),
-      col_(height, Direction::kForward, rigor) {
+      col_(height, Direction::kForward, rigor),
+      cod_(&codelets::set_for(common::active_tier())) {
   HS_REQUIRE(height >= 1, "2-D FFT dimensions must be positive");
 }
+
+common::SimdTier PlanR2c2d::simd_tier() const { return cod_->tier; }
 
 void PlanR2c2d::execute(const double* in, Complex* out) const {
   const std::size_t sw = spectrum_width();
@@ -86,11 +80,11 @@ void PlanR2c2d::execute(const double* in, Complex* out) const {
   }
   // Full complex FFT down each of the sw retained columns.
   std::vector<Complex> scratch(h_ * sw);
-  transpose(out, scratch.data(), h_, sw);
+  cod_->transpose(out, scratch.data(), h_, sw);
   for (std::size_t c = 0; c < sw; ++c) {
     col_.execute_inplace(scratch.data() + c * h_);
   }
-  transpose(scratch.data(), out, sw, h_);
+  cod_->transpose(scratch.data(), out, sw, h_);
   detail::count_2d();
 }
 
@@ -103,29 +97,32 @@ void PlanR2c2d::execute_inplace_padded(Complex* data) const {
     row_.execute(reals + r * 2 * sw, data + r * sw);
   }
   std::vector<Complex> scratch(h_ * sw);
-  transpose(data, scratch.data(), h_, sw);
+  cod_->transpose(data, scratch.data(), h_, sw);
   for (std::size_t c = 0; c < sw; ++c) {
     col_.execute_inplace(scratch.data() + c * h_);
   }
-  transpose(scratch.data(), data, sw, h_);
+  cod_->transpose(scratch.data(), data, sw, h_);
   detail::count_2d();
 }
 
 PlanC2r2d::PlanC2r2d(std::size_t height, std::size_t width, Rigor rigor)
     : h_(height), w_(width), row_(width, rigor),
-      col_(height, Direction::kInverse, rigor) {
+      col_(height, Direction::kInverse, rigor),
+      cod_(&codelets::set_for(common::active_tier())) {
   HS_REQUIRE(height >= 1, "2-D FFT dimensions must be positive");
 }
+
+common::SimdTier PlanC2r2d::simd_tier() const { return cod_->tier; }
 
 void PlanC2r2d::execute(const Complex* in, double* out) const {
   const std::size_t sw = spectrum_width();
   // Inverse column pass first (undoing the forward order), then row c2r.
   std::vector<Complex> scratch(h_ * sw), cols(h_ * sw);
-  transpose(in, cols.data(), h_, sw);
+  cod_->transpose(in, cols.data(), h_, sw);
   for (std::size_t c = 0; c < sw; ++c) {
     col_.execute_inplace(cols.data() + c * h_);
   }
-  transpose(cols.data(), scratch.data(), sw, h_);
+  cod_->transpose(cols.data(), scratch.data(), sw, h_);
   for (std::size_t r = 0; r < h_; ++r) {
     row_.execute(scratch.data() + r * sw, out + r * w_);
   }
@@ -135,11 +132,11 @@ void PlanC2r2d::execute(const Complex* in, double* out) const {
 void PlanC2r2d::execute_inplace_half(Complex* data) const {
   const std::size_t sw = spectrum_width();
   std::vector<Complex> scratch(h_ * sw), cols(h_ * sw);
-  transpose(data, cols.data(), h_, sw);
+  cod_->transpose(data, cols.data(), h_, sw);
   for (std::size_t c = 0; c < sw; ++c) {
     col_.execute_inplace(cols.data() + c * h_);
   }
-  transpose(cols.data(), scratch.data(), sw, h_);
+  cod_->transpose(cols.data(), scratch.data(), sw, h_);
   // Input is fully in scratch now; pack the real rows contiguously into the
   // front of the buffer.
   double* out = reinterpret_cast<double*>(data);

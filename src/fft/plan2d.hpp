@@ -8,11 +8,16 @@
 
 #include <cstddef>
 
+#include "common/simd.hpp"
 #include "fft/plan1d.hpp"
 #include "fft/real.hpp"
 #include "fft/types.hpp"
 
 namespace hs::fft {
+
+namespace codelets {
+struct Set;
+}
 
 class Plan2d {
  public:
@@ -33,6 +38,14 @@ class Plan2d {
   std::size_t count() const { return h_ * w_; }
   Direction direction() const { return dir_; }
 
+  /// The transpose codelet tier captured at plan time (row/column 1-D plans
+  /// carry their own tiers via Plan1d::simd_tier()).
+  common::SimdTier simd_tier() const;
+
+  /// The butterfly codelet tier of the embedded row 1-D plan (columns
+  /// resolve identically: both plans were built under the same dispatch).
+  common::SimdTier fft_tier() const { return row_.simd_tier(); }
+
  private:
   void run(const Complex* in, Complex* out) const;
 
@@ -41,6 +54,7 @@ class Plan2d {
   Direction dir_;
   Plan1d row_;
   Plan1d col_;
+  const codelets::Set* cod_;
 };
 
 /// Forward real-to-complex 2-D transform: h x w reals in, h x (w/2+1)
@@ -65,12 +79,18 @@ class PlanR2c2d {
   std::size_t width() const { return w_; }
   std::size_t spectrum_width() const { return w_ / 2 + 1; }
   std::size_t spectrum_count() const { return h_ * spectrum_width(); }
+  common::SimdTier simd_tier() const;
+
+  /// Butterfly codelet tier of the embedded column 1-D plan (the row r2c
+  /// plans resolve identically under the same dispatch).
+  common::SimdTier fft_tier() const { return col_.simd_tier(); }
 
  private:
   std::size_t h_;
   std::size_t w_;
   PlanR2c1d row_;
   Plan1d col_;
+  const codelets::Set* cod_;
 };
 
 /// Inverse of PlanR2c2d (unnormalized: round trip scales by h*w).
@@ -91,12 +111,18 @@ class PlanC2r2d {
   std::size_t width() const { return w_; }
   std::size_t spectrum_width() const { return w_ / 2 + 1; }
   std::size_t spectrum_count() const { return h_ * spectrum_width(); }
+  common::SimdTier simd_tier() const;
+
+  /// Butterfly codelet tier of the embedded column 1-D plan (the row c2r
+  /// plans resolve identically under the same dispatch).
+  common::SimdTier fft_tier() const { return col_.simd_tier(); }
 
  private:
   std::size_t h_;
   std::size_t w_;
   PlanC2r1d row_;
   Plan1d col_;
+  const codelets::Set* cod_;
 };
 
 /// Blocked out-of-place transpose: `in` is rows x cols, `out` becomes

@@ -1,9 +1,11 @@
 #include "fft/plan_cache.hpp"
 
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <tuple>
 
+#include "common/simd.hpp"
 #include "metrics/wellknown.hpp"
 
 namespace hs::fft {
@@ -16,6 +18,44 @@ struct CacheMetrics {
   metrics::Counter& misses;
   metrics::Histogram& build_us;
 };
+
+// Hits by the cached plan's codelet tier: which variants actually re-run.
+metrics::Counter& tier_hits(common::SimdTier tier) {
+  using metrics::wellknown::plan_cache_tier_hits;
+  static metrics::Counter& scalar = plan_cache_tier_hits("scalar");
+  static metrics::Counter& sse2 = plan_cache_tier_hits("sse2");
+  static metrics::Counter& avx2 = plan_cache_tier_hits("avx2");
+  switch (tier) {
+    case common::SimdTier::kScalar: return scalar;
+    case common::SimdTier::kSse2: return sse2;
+    case common::SimdTier::kAvx2: return avx2;
+  }
+  return scalar;
+}
+
+// Keeps the hs_kernel_dispatch info gauges for a family current; the gauge
+// write happens only when the tier actually changes.
+void note_dispatch(const char* family, std::atomic<int>& last,
+                   common::SimdTier tier) {
+  const int t = static_cast<int>(tier);
+  if (last.exchange(t, std::memory_order_relaxed) != t) {
+    metrics::wellknown::note_kernel_dispatch(family, tier);
+  }
+}
+
+void note_fft_dispatch(common::SimdTier tier) {
+  static std::atomic<int> last{-1};
+  note_dispatch("fft", last, tier);
+}
+
+void note_transpose_dispatch(common::SimdTier tier) {
+  static std::atomic<int> last{-1};
+  note_dispatch("transpose", last, tier);
+}
+
+// The active tier joins every cache key: plans built under a forced narrow
+// dispatch must not be served to (or poison) lookups made under a wider one.
+int active_tier_key() { return static_cast<int>(common::active_tier()); }
 
 CacheMetrics& cache_metrics(Rigor rigor) {
   using namespace metrics::wellknown;
@@ -39,11 +79,12 @@ CacheMetrics& cache_metrics(Rigor rigor) {
 }  // namespace
 
 struct PlanCache::Impl {
-  using Key1d = std::tuple<std::size_t, int, int>;
-  using Key2d = std::tuple<std::size_t, std::size_t, int, int>;
+  // Trailing int in every key is the active SIMD tier at lookup time.
+  using Key1d = std::tuple<std::size_t, int, int, int>;
+  using Key2d = std::tuple<std::size_t, std::size_t, int, int, int>;
 
-  // (height, width, rigor); real plans have a fixed direction per type.
-  using KeyReal2d = std::tuple<std::size_t, std::size_t, int>;
+  // (height, width, rigor, tier); real plans have a fixed direction per type.
+  using KeyReal2d = std::tuple<std::size_t, std::size_t, int, int>;
 
   mutable std::mutex mutex;
   std::map<Key1d, std::shared_ptr<const Plan1d>> plans_1d;
@@ -62,11 +103,13 @@ PlanCache& PlanCache::instance() {
 
 std::shared_ptr<const Plan1d> PlanCache::plan_1d(std::size_t n, Direction dir,
                                                  Rigor rigor) {
-  const Impl::Key1d key{n, static_cast<int>(dir), static_cast<int>(rigor)};
+  const Impl::Key1d key{n, static_cast<int>(dir), static_cast<int>(rigor),
+                        active_tier_key()};
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     if (auto it = impl_->plans_1d.find(key); it != impl_->plans_1d.end()) {
       cache_metrics(rigor).hits.add();
+      tier_hits(it->second->simd_tier()).add();
       return it->second;
     }
   }
@@ -80,6 +123,7 @@ std::shared_ptr<const Plan1d> PlanCache::plan_1d(std::size_t n, Direction dir,
     HS_METRIC_TIMER(m.build_us);
     plan = std::make_shared<const Plan1d>(n, dir, rigor);
   }
+  note_fft_dispatch(plan->simd_tier());
   std::lock_guard<std::mutex> lock(impl_->mutex);
   auto [it, inserted] = impl_->plans_1d.emplace(key, std::move(plan));
   return it->second;
@@ -89,11 +133,12 @@ std::shared_ptr<const Plan2d> PlanCache::plan_2d(std::size_t height,
                                                  std::size_t width,
                                                  Direction dir, Rigor rigor) {
   const Impl::Key2d key{height, width, static_cast<int>(dir),
-                        static_cast<int>(rigor)};
+                        static_cast<int>(rigor), active_tier_key()};
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     if (auto it = impl_->plans_2d.find(key); it != impl_->plans_2d.end()) {
       cache_metrics(rigor).hits.add();
+      tier_hits(it->second->simd_tier()).add();
       return it->second;
     }
   }
@@ -104,6 +149,8 @@ std::shared_ptr<const Plan2d> PlanCache::plan_2d(std::size_t height,
     HS_METRIC_TIMER(m.build_us);
     plan = std::make_shared<const Plan2d>(height, width, dir, rigor);
   }
+  note_transpose_dispatch(plan->simd_tier());
+  note_fft_dispatch(plan->fft_tier());
   std::lock_guard<std::mutex> lock(impl_->mutex);
   auto [it, inserted] = impl_->plans_2d.emplace(key, std::move(plan));
   return it->second;
@@ -112,12 +159,14 @@ std::shared_ptr<const Plan2d> PlanCache::plan_2d(std::size_t height,
 std::shared_ptr<const PlanR2c2d> PlanCache::plan_r2c_2d(std::size_t height,
                                                         std::size_t width,
                                                         Rigor rigor) {
-  const Impl::KeyReal2d key{height, width, static_cast<int>(rigor)};
+  const Impl::KeyReal2d key{height, width, static_cast<int>(rigor),
+                            active_tier_key()};
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     if (auto it = impl_->plans_r2c_2d.find(key);
         it != impl_->plans_r2c_2d.end()) {
       cache_metrics(rigor).hits.add();
+      tier_hits(it->second->simd_tier()).add();
       return it->second;
     }
   }
@@ -128,6 +177,8 @@ std::shared_ptr<const PlanR2c2d> PlanCache::plan_r2c_2d(std::size_t height,
     HS_METRIC_TIMER(m.build_us);
     plan = std::make_shared<const PlanR2c2d>(height, width, rigor);
   }
+  note_transpose_dispatch(plan->simd_tier());
+  note_fft_dispatch(plan->fft_tier());
   std::lock_guard<std::mutex> lock(impl_->mutex);
   auto [it, inserted] = impl_->plans_r2c_2d.emplace(key, std::move(plan));
   return it->second;
@@ -136,12 +187,14 @@ std::shared_ptr<const PlanR2c2d> PlanCache::plan_r2c_2d(std::size_t height,
 std::shared_ptr<const PlanC2r2d> PlanCache::plan_c2r_2d(std::size_t height,
                                                         std::size_t width,
                                                         Rigor rigor) {
-  const Impl::KeyReal2d key{height, width, static_cast<int>(rigor)};
+  const Impl::KeyReal2d key{height, width, static_cast<int>(rigor),
+                            active_tier_key()};
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     if (auto it = impl_->plans_c2r_2d.find(key);
         it != impl_->plans_c2r_2d.end()) {
       cache_metrics(rigor).hits.add();
+      tier_hits(it->second->simd_tier()).add();
       return it->second;
     }
   }
@@ -152,6 +205,8 @@ std::shared_ptr<const PlanC2r2d> PlanCache::plan_c2r_2d(std::size_t height,
     HS_METRIC_TIMER(m.build_us);
     plan = std::make_shared<const PlanC2r2d>(height, width, rigor);
   }
+  note_transpose_dispatch(plan->simd_tier());
+  note_fft_dispatch(plan->fft_tier());
   std::lock_guard<std::mutex> lock(impl_->mutex);
   auto [it, inserted] = impl_->plans_c2r_2d.emplace(key, std::move(plan));
   return it->second;

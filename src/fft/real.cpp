@@ -1,10 +1,12 @@
 #include "fft/real.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <numbers>
 #include <vector>
 
 #include "common/error.hpp"
+#include "fft/codelets.hpp"
 #include "fft/plan2d.hpp"
 
 namespace hs::fft {
@@ -35,7 +37,10 @@ std::vector<Complex> make_half_twiddles(std::size_t n) {
 PlanR2c1d::PlanR2c1d(std::size_t n, Rigor rigor)
     : n_(n),
       inner_(checked_inner(n), Direction::kForward, rigor),
-      twiddle_(make_half_twiddles(n)) {}
+      twiddle_(make_half_twiddles(n)),
+      cod_(&codelets::set_for(inner_.simd_tier())) {}
+
+common::SimdTier PlanR2c1d::simd_tier() const { return cod_->tier; }
 
 void PlanR2c1d::execute(const double* in, Complex* out) const {
   if (!uses_packing()) {
@@ -50,19 +55,14 @@ void PlanR2c1d::execute(const double* in, Complex* out) const {
   }
   const std::size_t h = n_ / 2;
   // Pack evens/odds into a complex signal and transform once at half length.
+  // (even, odd) interleaved pairs are exactly the memory layout of a complex
+  // array, so the packing is a straight copy.
   std::vector<Complex> z(h), zf(h);
-  for (std::size_t j = 0; j < h; ++j) {
-    z[j] = Complex(in[2 * j], in[2 * j + 1]);
-  }
+  std::memcpy(reinterpret_cast<double*>(z.data()), in,
+              2 * h * sizeof(double));
   inner_.execute(z.data(), zf.data());
   // Untangle: E[k] = spectrum of evens, O[k] = spectrum of odds.
-  for (std::size_t k = 0; k < h; ++k) {
-    const Complex zk = zf[k];
-    const Complex zmk = std::conj(zf[(h - k) % h]);
-    const Complex e = 0.5 * (zk + zmk);
-    const Complex od = Complex(0.0, -0.5) * (zk - zmk);
-    out[k] = e + twiddle_[k] * od;
-  }
+  cod_->r2c_untangle(zf.data(), twiddle_.data(), out, h);
   // Nyquist bin: X[n/2] = E[0] - O[0], purely real.
   out[h] = Complex(zf[0].real() - zf[0].imag(), 0.0);
 }
@@ -70,7 +70,10 @@ void PlanR2c1d::execute(const double* in, Complex* out) const {
 PlanC2r1d::PlanC2r1d(std::size_t n, Rigor rigor)
     : n_(n),
       inner_(checked_inner(n), Direction::kInverse, rigor),
-      twiddle_(make_half_twiddles(n)) {}
+      twiddle_(make_half_twiddles(n)),
+      cod_(&codelets::set_for(inner_.simd_tier())) {}
+
+common::SimdTier PlanC2r1d::simd_tier() const { return cod_->tier; }
 
 void PlanC2r1d::execute(const Complex* in, double* out) const {
   if (!uses_packing()) {
@@ -90,18 +93,11 @@ void PlanC2r1d::execute(const Complex* in, double* out) const {
   std::vector<Complex> z(h), zt(h);
   // Retangle the half spectrum; the missing factor 1/2 in E and O makes the
   // overall round trip scale by n, matching FFTW's unnormalized c2r.
-  for (std::size_t k = 0; k < h; ++k) {
-    const Complex xk = in[k];
-    const Complex xmk = std::conj(in[h - k]);
-    const Complex e = xk + xmk;
-    const Complex od = std::conj(twiddle_[k]) * (xk - xmk);
-    z[k] = e + Complex(0.0, 1.0) * od;
-  }
+  cod_->c2r_retangle(in, twiddle_.data(), z.data(), h);
   inner_.execute(z.data(), zt.data());
-  for (std::size_t j = 0; j < h; ++j) {
-    out[2 * j] = zt[j].real();
-    out[2 * j + 1] = zt[j].imag();
-  }
+  // (real, imag) pairs are the interleaved (even, odd) output layout.
+  std::memcpy(out, reinterpret_cast<const double*>(zt.data()),
+              2 * h * sizeof(double));
 }
 
 void fft_two_reals(const Plan1d& forward_plan, const double* a,

@@ -21,6 +21,10 @@ namespace hs::fft {
 
 class Plan2d;
 
+namespace codelets {
+struct Set;
+}
+
 /// Forward real-to-complex 1-D transform. Output is the half spectrum:
 /// n/2 + 1 complex bins (indices 0..n/2); the remaining bins are the
 /// conjugate mirror and are not stored.
@@ -38,11 +42,13 @@ class PlanR2c1d {
   /// True when the even/odd half-length packing applies (even n); odd n runs
   /// a full complex transform instead.
   bool uses_packing() const { return n_ % 2 == 0; }
+  common::SimdTier simd_tier() const;
 
  private:
   std::size_t n_;
   Plan1d inner_;                   // length n/2 (even n) or n (odd fallback)
   std::vector<Complex> twiddle_;   // e^(-2*pi*i*k/n), k in [0, n/2]; even n
+  const codelets::Set* cod_;       // untangle codelet, fixed at plan time
 };
 
 /// Inverse complex-to-real 1-D transform (unnormalized, like FFTW's c2r):
@@ -57,11 +63,13 @@ class PlanC2r1d {
 
   std::size_t size() const { return n_; }
   bool uses_packing() const { return n_ % 2 == 0; }
+  common::SimdTier simd_tier() const;
 
  private:
   std::size_t n_;
   Plan1d inner_;                   // length n/2 (even n) or n (odd fallback)
   std::vector<Complex> twiddle_;
+  const codelets::Set* cod_;       // retangle codelet, fixed at plan time
 };
 
 /// Transforms two real signals with one complex FFT (two-for-one trick):

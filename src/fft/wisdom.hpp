@@ -11,18 +11,37 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "fft/types.hpp"
 
 namespace hs::fft {
 
+/// A remembered planner decision: the factor ordering plus the SIMD codelet
+/// tier that won the measurement. tier is a common::SimdTier value, or
+/// kTierUnspecified for entries recorded before tiers existed (v1 wisdom
+/// files, 3-argument wisdom_remember) — plans then use the active tier.
+inline constexpr int kTierUnspecified = -1;
+
+struct WisdomEntry {
+  std::vector<int> factors;
+  int tier = kTierUnspecified;
+};
+
 /// Records the winning factor ordering for (n, dir). Called automatically
 /// by measured/patient planning; callable directly for tests and tools.
 /// Throws InvalidArgument unless the factors multiply to n and are all
-/// direct-radix sized.
+/// direct-radix sized. This overload leaves the tier unspecified.
 void wisdom_remember(std::size_t n, Direction dir, std::vector<int> factors);
+
+/// As above, also recording the codelet tier that won the measurement.
+void wisdom_remember(std::size_t n, Direction dir, std::vector<int> factors,
+                     common::SimdTier tier);
 
 /// The remembered ordering, if any.
 std::optional<std::vector<int>> wisdom_lookup(std::size_t n, Direction dir);
+
+/// The remembered ordering plus tier, if any.
+std::optional<WisdomEntry> wisdom_lookup_entry(std::size_t n, Direction dir);
 
 /// Number of remembered entries.
 std::size_t wisdom_size();
@@ -30,7 +49,8 @@ std::size_t wisdom_size();
 /// Forgets everything (test isolation).
 void wisdom_clear();
 
-/// Writes the registry as text: one "n dir f1 f2 ..." line per entry.
+/// Writes the registry as text (v2 format): one "n dir tier f1 f2 ..." line
+/// per entry, where tier is -1 when unspecified.
 void wisdom_save(const std::string& path);
 
 /// Merges entries from a wisdom file into the registry. Throws IoError on

@@ -7,6 +7,8 @@ namespace {
 constexpr const char* kPlanHits = "hs_fft_plan_cache_hits_total";
 constexpr const char* kPlanMisses = "hs_fft_plan_cache_misses_total";
 constexpr const char* kPlanBuild = "hs_fft_plan_build_us";
+constexpr const char* kPlanTierHits = "hs_fft_plan_cache_tier_hits_total";
+constexpr const char* kKernelDispatch = "hs_kernel_dispatch";
 constexpr const char* kTcHits = "hs_stitch_transform_cache_hits_total";
 constexpr const char* kTcMisses = "hs_stitch_transform_cache_misses_total";
 constexpr const char* kTcEvictions =
@@ -59,6 +61,20 @@ Counter& plan_cache_misses(const std::string& rigor) {
 }
 Histogram& plan_build_us(const std::string& rigor) {
   return reg().histogram(kPlanBuild, {{"rigor", rigor}});
+}
+Counter& plan_cache_tier_hits(const std::string& tier) {
+  return reg().counter(kPlanTierHits, {{"tier", tier}});
+}
+
+Gauge& kernel_dispatch(const std::string& family, const std::string& tier) {
+  return reg().gauge(kKernelDispatch, {{"family", family}, {"tier", tier}});
+}
+
+void note_kernel_dispatch(const std::string& family, common::SimdTier tier) {
+  const std::string active = common::tier_name(tier);
+  for (const char* name : kSimdTiers) {
+    kernel_dispatch(family, name).set(active == name ? 1 : 0);
+  }
 }
 
 Counter& transform_cache_hits() { return reg().counter(kTcHits); }
@@ -138,6 +154,16 @@ void register_wellknown(Registry& registry) {
                      "FFT plan-cache misses by planning rigor");
     registry.histogram(kPlanBuild, {{"rigor", rigor}},
                        "Wall time to build an FFT plan on a cache miss");
+  }
+  for (const char* tier : kSimdTiers) {
+    registry.counter(kPlanTierHits, {{"tier", tier}},
+                     "FFT plan-cache hits by the cached plan's codelet tier");
+  }
+  for (const char* family : kKernelFamilies) {
+    for (const char* tier : kSimdTiers) {
+      registry.gauge(kKernelDispatch, {{"family", family}, {"tier", tier}},
+                     "1 on the SIMD tier the kernel family dispatches to");
+    }
   }
   registry.counter(kTcHits, {}, "Transform-cache hits (tile spectra reused)");
   registry.counter(kTcMisses, {}, "Transform-cache misses (spectra computed)");

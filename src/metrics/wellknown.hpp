@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "common/simd.hpp"
 #include "metrics/metrics.hpp"
 
 namespace hs::metrics::wellknown {
@@ -25,10 +26,27 @@ inline constexpr const char* kBackends[] = {"naive-pairwise", "simple-cpu",
                                             "mt-cpu",         "pipelined-cpu",
                                             "simple-gpu",     "pipelined-gpu"};
 
+// SIMD dispatch vocabularies (kept in sync with common::SimdTier and the
+// codelet families in fft/codelets.hpp + vgpu/kernels.hpp).
+inline constexpr const char* kSimdTiers[] = {"scalar", "sse2", "avx2"};
+inline constexpr const char* kKernelFamilies[] = {"fft", "transpose", "ncc",
+                                                  "max_abs", "u16_convert"};
+
 // --- fft ---
 Counter& plan_cache_hits(const std::string& rigor);
 Counter& plan_cache_misses(const std::string& rigor);
 Histogram& plan_build_us(const std::string& rigor);
+/// Plan-cache hits by the cached plan's codelet tier (which codelet variants
+/// are actually being re-executed, complementing the per-rigor counters).
+Counter& plan_cache_tier_hits(const std::string& tier);
+
+// --- SIMD kernel dispatch (info-style gauges) ---
+/// hs_kernel_dispatch{family,tier}: 1 on the tier the family last dispatched
+/// to, 0 elsewhere — an exposition shows exactly which codelets run.
+Gauge& kernel_dispatch(const std::string& family, const std::string& tier);
+/// Flips the family's gauges so only `tier` reads 1. Dispatch sites call
+/// this on tier changes (first use, forced-dispatch updates).
+void note_kernel_dispatch(const std::string& family, common::SimdTier tier);
 
 // --- stitch transform cache ---
 Counter& transform_cache_hits();

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/simd.hpp"
 #include "metrics/metrics.hpp"
 #include "stitch/traversal.hpp"
 
@@ -59,6 +60,10 @@ void register_stitch_flags(CliParser& cli, const StitchCliDefaults& defaults) {
   cli.add_flag("gpu-batch-pairs",
                "pair tasks grouped per vgpu launch (1 = per-pair dispatch)",
                num(o.gpu_batch_pairs));
+  cli.add_flag("kernel-dispatch",
+               "SIMD codelet tier: auto, scalar, sse2, or avx2 (clamped to "
+               "CPU support; tables are bit-identical across tiers)",
+               common::dispatch_name(o.kernel_dispatch));
 }
 
 Backend backend_from_cli(const CliParser& cli) {
@@ -82,6 +87,7 @@ StitchOptions options_from_cli(const CliParser& cli) {
   options.use_real_fft = cli.get_bool("real-fft");
   options.steal_threshold = get_size(cli, "steal-threshold");
   options.gpu_batch_pairs = get_size(cli, "gpu-batch-pairs");
+  options.kernel_dispatch = common::parse_dispatch(cli.get("kernel-dispatch"));
   return options;
 }
 
@@ -167,6 +173,38 @@ bool write_metrics_if_requested(const CliParser& cli) {
                 : metrics::Registry::global().render_text());
   if (!file) throw IoError("short write to metrics file: " + path);
   return true;
+}
+
+void register_json_out_flag(CliParser& cli, const std::string& what,
+                            const std::string& default_path) {
+  cli.add_flag("json-out",
+               "write " + what +
+                   " as JSON here (empty = disabled); scripts/perf_gate.py "
+                   "diffs these files against the committed BENCH_* "
+                   "snapshots",
+               default_path);
+}
+
+std::string json_out_from_cli(const CliParser& cli) {
+  return cli.get("json-out");
+}
+
+std::string extract_json_out_flag(int* argc, char** argv,
+                                  const std::string& default_path) {
+  std::string path = default_path;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out" && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      path = arg.substr(std::string("--json-out=").size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  return path;
 }
 
 }  // namespace hs::stitch

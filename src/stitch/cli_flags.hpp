@@ -87,4 +87,23 @@ void register_metrics_flags(CliParser& cli);
 /// ends in ".json". No-op when the flag is empty. Returns true if written.
 bool write_metrics_if_requested(const CliParser& cli);
 
+/// Registers --json-out (default `default_path`; empty = disabled): where
+/// the harness writes its machine-readable results. The committed BENCH_*
+/// snapshots at the repo root are these files; scripts/perf_gate.py diffs a
+/// fresh run against them with a tolerance band. `what` names the payload
+/// in --help ("scheduler section results", ...).
+void register_json_out_flag(CliParser& cli, const std::string& what,
+                            const std::string& default_path);
+
+/// The --json-out value; empty = disabled.
+std::string json_out_from_cli(const CliParser& cli);
+
+/// argv-level --json-out for google-benchmark harnesses, which hand the
+/// rest of the command line to benchmark::Initialize: removes
+/// "--json-out PATH" / "--json-out=PATH" from argv (updating *argc) and
+/// returns the path, `default_path` when the flag is absent, or "" when
+/// explicitly emptied (disabled).
+std::string extract_json_out_flag(int* argc, char** argv,
+                                  const std::string& default_path);
+
 }  // namespace hs::stitch

@@ -1,28 +1,88 @@
 #include "vgpu/kernels.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#define HS_HAVE_SSE2 1
-#else
-#define HS_HAVE_SSE2 0
-#endif
+#include "common/simd.hpp"
+#include "metrics/wellknown.hpp"
+#include "vgpu/kernels_impl.hpp"
 
 namespace hs::vgpu {
 
-void k_u16_to_complex(const std::uint16_t* src, fft::Complex* dst,
-                      std::size_t count) {
+namespace {
+
+// Per-family dispatch: read the active tier and keep the family's
+// hs_kernel_dispatch info gauges current. The gauge write happens only when
+// the tier actually changes (one relaxed exchange per call otherwise), so
+// the hot kernels pay nothing for the instrumentation.
+common::SimdTier family_tier(const char* family, std::atomic<int>& last) {
+  const common::SimdTier tier = common::active_tier();
+  const int t = static_cast<int>(tier);
+  if (last.exchange(t, std::memory_order_relaxed) != t) {
+    metrics::wellknown::note_kernel_dispatch(family, tier);
+  }
+  return tier;
+}
+
+common::SimdTier ncc_tier() {
+  static std::atomic<int> last{-1};
+  return family_tier("ncc", last);
+}
+
+common::SimdTier max_abs_tier() {
+  static std::atomic<int> last{-1};
+  return family_tier("max_abs", last);
+}
+
+common::SimdTier u16_tier() {
+  static std::atomic<int> last{-1};
+  return family_tier("u16_convert", last);
+}
+
+}  // namespace
+
+void k_u16_to_complex_scalar(const std::uint16_t* src, fft::Complex* dst,
+                             std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) {
     dst[i] = fft::Complex(static_cast<double>(src[i]), 0.0);
   }
 }
 
-void k_u16_to_real(const std::uint16_t* src, double* dst, std::size_t count) {
+void k_u16_to_complex(const std::uint16_t* src, fft::Complex* dst,
+                      std::size_t count) {
+  switch (u16_tier()) {
+    case common::SimdTier::kAvx2:
+      detail::u16_to_complex_avx2(src, dst, count);
+      return;
+    case common::SimdTier::kSse2:
+      detail::u16_to_complex_sse2(src, dst, count);
+      return;
+    case common::SimdTier::kScalar:
+      break;
+  }
+  k_u16_to_complex_scalar(src, dst, count);
+}
+
+void k_u16_to_real_scalar(const std::uint16_t* src, double* dst,
+                          std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) {
     dst[i] = static_cast<double>(src[i]);
   }
+}
+
+void k_u16_to_real(const std::uint16_t* src, double* dst, std::size_t count) {
+  switch (u16_tier()) {
+    case common::SimdTier::kAvx2:
+      detail::u16_to_real_avx2(src, dst, count);
+      return;
+    case common::SimdTier::kSse2:
+      detail::u16_to_real_sse2(src, dst, count);
+      return;
+    case common::SimdTier::kScalar:
+      break;
+  }
+  k_u16_to_real_scalar(src, dst, count);
 }
 
 void k_u16_to_real_padded(const std::uint16_t* src, fft::Complex* dst,
@@ -48,6 +108,27 @@ void k_ncc_scalar(const fft::Complex* fi, const fft::Complex* fj,
   }
 }
 
+void k_ncc(const fft::Complex* fi, const fft::Complex* fj, fft::Complex* out,
+           std::size_t count) {
+  switch (ncc_tier()) {
+    case common::SimdTier::kAvx2:
+      detail::ncc_avx2(fi, fj, out, count);
+      return;
+    case common::SimdTier::kSse2:
+      detail::ncc_sse2(fi, fj, out, count);
+      return;
+    case common::SimdTier::kScalar:
+      break;
+  }
+  k_ncc_scalar(fi, fj, out, count);
+}
+
+void k_ncc_half(const fft::Complex* fi, const fft::Complex* fj,
+                fft::Complex* out, std::size_t count) {
+  // Identical arithmetic over fewer bins; the mirrored half is implied.
+  k_ncc(fi, fj, out, count);
+}
+
 MaxAbsResult k_max_abs_scalar(const fft::Complex* data, std::size_t count) {
   MaxAbsResult best;
   // Compare on |z|^2 (monotone in |z|) to avoid count sqrt calls; convert
@@ -65,127 +146,50 @@ MaxAbsResult k_max_abs_scalar(const fft::Complex* data, std::size_t count) {
   return best;
 }
 
-#if HS_HAVE_SSE2
-
-namespace {
-
-/// SSE2 NCC over two complexes per iteration. std::complex<double> is two
-/// contiguous doubles (re, im), so a 16-byte load is one complex;
-/// unpacklo/hi de-interleave two of them into (re0, re1) / (im0, im1)
-/// lanes. Arithmetic per element matches the scalar kernel exactly, so the
-/// results are bit-identical.
-void ncc_sse2(const fft::Complex* fi, const fft::Complex* fj,
-              fft::Complex* out, std::size_t count) {
-  const auto* a = reinterpret_cast<const double*>(fi);
-  const auto* b = reinterpret_cast<const double*>(fj);
-  auto* o = reinterpret_cast<double*>(out);
-  const __m128d zero = _mm_setzero_pd();
-  std::size_t i = 0;
-  for (; i + 2 <= count; i += 2) {
-    const __m128d a0 = _mm_loadu_pd(a + 2 * i);      // (ar0, ai0)
-    const __m128d a1 = _mm_loadu_pd(a + 2 * i + 2);  // (ar1, ai1)
-    const __m128d b0 = _mm_loadu_pd(b + 2 * i);
-    const __m128d b1 = _mm_loadu_pd(b + 2 * i + 2);
-    const __m128d ar = _mm_unpacklo_pd(a0, a1);
-    const __m128d ai = _mm_unpackhi_pd(a0, a1);
-    const __m128d br = _mm_unpacklo_pd(b0, b1);
-    const __m128d bi = _mm_unpackhi_pd(b0, b1);
-
-    const __m128d re =
-        _mm_add_pd(_mm_mul_pd(ar, br), _mm_mul_pd(ai, bi));
-    const __m128d im =
-        _mm_sub_pd(_mm_mul_pd(ai, br), _mm_mul_pd(ar, bi));
-    const __m128d mag = _mm_sqrt_pd(
-        _mm_add_pd(_mm_mul_pd(re, re), _mm_mul_pd(im, im)));
-    // mask = mag > 0; division by zero yields inf/nan lanes that the mask
-    // zeroes out, matching the scalar guard.
-    const __m128d mask = _mm_cmpgt_pd(mag, zero);
-    const __m128d out_re = _mm_and_pd(mask, _mm_div_pd(re, mag));
-    const __m128d out_im = _mm_and_pd(mask, _mm_div_pd(im, mag));
-    _mm_storeu_pd(o + 2 * i, _mm_unpacklo_pd(out_re, out_im));
-    _mm_storeu_pd(o + 2 * i + 2, _mm_unpackhi_pd(out_re, out_im));
+MaxAbsResult k_max_abs(const fft::Complex* data, std::size_t count) {
+  switch (max_abs_tier()) {
+    case common::SimdTier::kAvx2:
+      return detail::max_abs_avx2(data, count);
+    case common::SimdTier::kSse2:
+      return detail::max_abs_sse2(data, count);
+    case common::SimdTier::kScalar:
+      break;
   }
-  if (i < count) k_ncc_scalar(fi + i, fj + i, out + i, count - i);
+  return k_max_abs_scalar(data, count);
 }
 
-/// SSE2 max-|z|^2 reduction. Even indices ride lane 0, odd indices lane 1;
-/// each lane updates only on strictly-greater (keeping its first maximum,
-/// like the scalar loop), and the final cross-lane merge prefers the lower
-/// index on exact ties — bit-identical semantics to the scalar kernel.
-MaxAbsResult max_abs_sse2(const fft::Complex* data, std::size_t count) {
-  const auto* p = reinterpret_cast<const double*>(data);
-  __m128d best_sq = _mm_set1_pd(-1.0);
-  __m128d best_idx = _mm_setzero_pd();
-  std::size_t i = 0;
-  for (; i + 2 <= count; i += 2) {
-    const __m128d c0 = _mm_loadu_pd(p + 2 * i);
-    const __m128d c1 = _mm_loadu_pd(p + 2 * i + 2);
-    const __m128d re = _mm_unpacklo_pd(c0, c1);
-    const __m128d im = _mm_unpackhi_pd(c0, c1);
-    const __m128d sq = _mm_add_pd(_mm_mul_pd(re, re), _mm_mul_pd(im, im));
-    const __m128d idx = _mm_set_pd(static_cast<double>(i + 1),
-                                   static_cast<double>(i));
-    const __m128d gt = _mm_cmpgt_pd(sq, best_sq);
-    best_sq = _mm_or_pd(_mm_and_pd(gt, sq), _mm_andnot_pd(gt, best_sq));
-    best_idx = _mm_or_pd(_mm_and_pd(gt, idx), _mm_andnot_pd(gt, best_idx));
-  }
-  alignas(16) double sq_lanes[2], idx_lanes[2];
-  _mm_store_pd(sq_lanes, best_sq);
-  _mm_store_pd(idx_lanes, best_idx);
-
+MaxAbsResult k_max_abs_real_scalar(const double* data, std::size_t count) {
   MaxAbsResult best;
-  double best_value_sq = -1.0;
-  auto consider = [&](double sq, std::size_t index) {
-    if (sq > best_value_sq ||
-        (sq == best_value_sq && index < best.index)) {
-      best_value_sq = sq;
-      best.index = index;
-    }
-  };
-  consider(sq_lanes[0], static_cast<std::size_t>(idx_lanes[0]));
-  consider(sq_lanes[1], static_cast<std::size_t>(idx_lanes[1]));
-  for (; i < count; ++i) {
-    const double sq = data[i].real() * data[i].real() +
-                      data[i].imag() * data[i].imag();
-    if (sq > best_value_sq) {
-      best_value_sq = sq;
+  double best_sq = -1.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double sq = data[i] * data[i];
+    if (sq > best_sq) {
+      best_sq = sq;
       best.index = i;
     }
   }
-  best.value = std::sqrt(best_value_sq < 0.0 ? 0.0 : best_value_sq);
+  best.value = std::sqrt(best_sq < 0.0 ? 0.0 : best_sq);
   return best;
 }
 
-}  // namespace
-
-#endif  // HS_HAVE_SSE2
-
-void k_ncc(const fft::Complex* fi, const fft::Complex* fj, fft::Complex* out,
-           std::size_t count) {
-#if HS_HAVE_SSE2
-  ncc_sse2(fi, fj, out, count);
-#else
-  k_ncc_scalar(fi, fj, out, count);
-#endif
-}
-
-void k_ncc_half(const fft::Complex* fi, const fft::Complex* fj,
-                fft::Complex* out, std::size_t count) {
-  // Identical arithmetic over fewer bins; the mirrored half is implied.
-  k_ncc(fi, fj, out, count);
-}
-
-MaxAbsResult k_max_abs(const fft::Complex* data, std::size_t count) {
-#if HS_HAVE_SSE2
-  return max_abs_sse2(data, count);
-#else
-  return k_max_abs_scalar(data, count);
-#endif
+MaxAbsResult k_max_abs_real(const double* data, std::size_t count) {
+  switch (max_abs_tier()) {
+    case common::SimdTier::kAvx2:
+      return detail::max_abs_real_avx2(data, count);
+    case common::SimdTier::kSse2:
+      return detail::max_abs_real_sse2(data, count);
+    case common::SimdTier::kScalar:
+      break;
+  }
+  return k_max_abs_real_scalar(data, count);
 }
 
 std::vector<MaxAbsResult> k_max_abs_topk(const fft::Complex* data,
                                          std::size_t count, std::size_t k) {
   k = std::min(k, count);
+  // k == 1 is the common single-peak path: the vectorized reduction's
+  // semantics (first strict max) match the insertion loop's exactly.
+  if (k == 1) return {k_max_abs(data, count)};
   // Single pass maintaining a small sorted list of the k best (k is 1..8 in
   // practice, so insertion into the array beats a heap).
   std::vector<double> best_sq(k, -1.0);
@@ -216,6 +220,7 @@ std::vector<MaxAbsResult> k_max_abs_topk_real(const double* data,
                                               std::size_t count,
                                               std::size_t k) {
   k = std::min(k, count);
+  if (k == 1) return {k_max_abs_real(data, count)};
   std::vector<double> best_sq(k, -1.0);
   std::vector<std::size_t> best_idx(k, 0);
   for (std::size_t i = 0; i < count; ++i) {

@@ -1,0 +1,218 @@
+// AVX2 kernel variants: four doubles per vector instead of two. Compiled
+// with -mavx2 and -ffp-contract=off (FMA contraction would change the NCC
+// rounding and break cross-backend bit-identity). The guard below forwards
+// to the SSE2 tier on toolchains without AVX2 so the dispatch table stays
+// total — common::active_tier() never exceeds what the CPU supports, and
+// this fallback covers the compiler lagging the CPU.
+//
+// Lane-order note: 256-bit unpacklo/hi operate within each 128-bit half, so
+// de-interleaving two complex loads yields element order (0, 2, 1, 3) in
+// the re/im vectors. All the arithmetic here is element-wise and the store
+// path applies the inverse permutation (the same unpack), so the order is
+// internal only; the index vectors in the reductions account for it.
+
+#include "vgpu/kernels_impl.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace hs::vgpu::detail {
+
+/// AVX2 NCC over four complexes per iteration. Identical per-element
+/// operation sequence to the scalar kernel (mul/add/sub/sqrt/div are all
+/// correctly rounded and applied in the same order), so bit-identical.
+void ncc_avx2(const fft::Complex* fi, const fft::Complex* fj,
+              fft::Complex* out, std::size_t count) {
+  const auto* a = reinterpret_cast<const double*>(fi);
+  const auto* b = reinterpret_cast<const double*>(fj);
+  auto* o = reinterpret_cast<double*>(out);
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d a0 = _mm256_loadu_pd(a + 2 * i);      // (ar0 ai0 ar1 ai1)
+    const __m256d a1 = _mm256_loadu_pd(a + 2 * i + 4);  // (ar2 ai2 ar3 ai3)
+    const __m256d b0 = _mm256_loadu_pd(b + 2 * i);
+    const __m256d b1 = _mm256_loadu_pd(b + 2 * i + 4);
+    const __m256d ar = _mm256_unpacklo_pd(a0, a1);  // (ar0 ar2 ar1 ar3)
+    const __m256d ai = _mm256_unpackhi_pd(a0, a1);  // (ai0 ai2 ai1 ai3)
+    const __m256d br = _mm256_unpacklo_pd(b0, b1);
+    const __m256d bi = _mm256_unpackhi_pd(b0, b1);
+
+    const __m256d re =
+        _mm256_add_pd(_mm256_mul_pd(ar, br), _mm256_mul_pd(ai, bi));
+    const __m256d im =
+        _mm256_sub_pd(_mm256_mul_pd(ai, br), _mm256_mul_pd(ar, bi));
+    const __m256d mag = _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(re, re), _mm256_mul_pd(im, im)));
+    // mask = mag > 0; inf/nan lanes from the division are zeroed by the
+    // mask, matching the scalar guard.
+    const __m256d mask = _mm256_cmp_pd(mag, zero, _CMP_GT_OQ);
+    const __m256d out_re = _mm256_and_pd(mask, _mm256_div_pd(re, mag));
+    const __m256d out_im = _mm256_and_pd(mask, _mm256_div_pd(im, mag));
+    // unpack re-interleaves and undoes the (0, 2, 1, 3) order: lo carries
+    // complexes 0..1, hi carries 2..3.
+    _mm256_storeu_pd(o + 2 * i, _mm256_unpacklo_pd(out_re, out_im));
+    _mm256_storeu_pd(o + 2 * i + 4, _mm256_unpackhi_pd(out_re, out_im));
+  }
+  if (i < count) k_ncc_scalar(fi + i, fj + i, out + i, count - i);
+}
+
+/// AVX2 max-|z|^2 reduction, four lanes. Element k of the de-interleaved
+/// vectors holds index i + (0, 2, 1, 3)[k]; the idx vector mirrors that.
+/// Each lane updates on strictly-greater only (first maximum within its
+/// stride-4 subsequence) and the cross-lane merge prefers the lowest index
+/// on exact ties, which together reproduce the scalar first-strict-max.
+MaxAbsResult max_abs_avx2(const fft::Complex* data, std::size_t count) {
+  const auto* p = reinterpret_cast<const double*>(data);
+  __m256d best_sq = _mm256_set1_pd(-1.0);
+  __m256d best_idx = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d c0 = _mm256_loadu_pd(p + 2 * i);
+    const __m256d c1 = _mm256_loadu_pd(p + 2 * i + 4);
+    const __m256d re = _mm256_unpacklo_pd(c0, c1);
+    const __m256d im = _mm256_unpackhi_pd(c0, c1);
+    const __m256d sq =
+        _mm256_add_pd(_mm256_mul_pd(re, re), _mm256_mul_pd(im, im));
+    const __m256d idx = _mm256_set_pd(
+        static_cast<double>(i + 3), static_cast<double>(i + 1),
+        static_cast<double>(i + 2), static_cast<double>(i));
+    const __m256d gt = _mm256_cmp_pd(sq, best_sq, _CMP_GT_OQ);
+    best_sq = _mm256_blendv_pd(best_sq, sq, gt);
+    best_idx = _mm256_blendv_pd(best_idx, idx, gt);
+  }
+  alignas(32) double sq_lanes[4], idx_lanes[4];
+  _mm256_store_pd(sq_lanes, best_sq);
+  _mm256_store_pd(idx_lanes, best_idx);
+
+  MaxAbsResult best;
+  double best_value_sq = -1.0;
+  auto consider = [&](double sq, std::size_t index) {
+    if (sq > best_value_sq ||
+        (sq == best_value_sq && index < best.index)) {
+      best_value_sq = sq;
+      best.index = index;
+    }
+  };
+  for (int lane = 0; lane < 4; ++lane) {
+    consider(sq_lanes[lane], static_cast<std::size_t>(idx_lanes[lane]));
+  }
+  for (; i < count; ++i) {
+    const double sq = data[i].real() * data[i].real() +
+                      data[i].imag() * data[i].imag();
+    if (sq > best_value_sq) {
+      best_value_sq = sq;
+      best.index = i;
+    }
+  }
+  best.value = std::sqrt(best_value_sq < 0.0 ? 0.0 : best_value_sq);
+  return best;
+}
+
+/// AVX2 max-x^2 over a real surface: contiguous loads, so lane k simply
+/// holds index i + k. Same strictly-greater / lowest-index-tie rules.
+MaxAbsResult max_abs_real_avx2(const double* data, std::size_t count) {
+  __m256d best_sq = _mm256_set1_pd(-1.0);
+  __m256d best_idx = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d x = _mm256_loadu_pd(data + i);
+    const __m256d sq = _mm256_mul_pd(x, x);
+    const __m256d idx = _mm256_set_pd(
+        static_cast<double>(i + 3), static_cast<double>(i + 2),
+        static_cast<double>(i + 1), static_cast<double>(i));
+    const __m256d gt = _mm256_cmp_pd(sq, best_sq, _CMP_GT_OQ);
+    best_sq = _mm256_blendv_pd(best_sq, sq, gt);
+    best_idx = _mm256_blendv_pd(best_idx, idx, gt);
+  }
+  alignas(32) double sq_lanes[4], idx_lanes[4];
+  _mm256_store_pd(sq_lanes, best_sq);
+  _mm256_store_pd(idx_lanes, best_idx);
+
+  MaxAbsResult best;
+  double best_value_sq = -1.0;
+  auto consider = [&](double sq, std::size_t index) {
+    if (sq > best_value_sq ||
+        (sq == best_value_sq && index < best.index)) {
+      best_value_sq = sq;
+      best.index = index;
+    }
+  };
+  for (int lane = 0; lane < 4; ++lane) {
+    consider(sq_lanes[lane], static_cast<std::size_t>(idx_lanes[lane]));
+  }
+  for (; i < count; ++i) {
+    const double sq = data[i] * data[i];
+    if (sq > best_value_sq) {
+      best_value_sq = sq;
+      best.index = i;
+    }
+  }
+  best.value = std::sqrt(best_value_sq < 0.0 ? 0.0 : best_value_sq);
+  return best;
+}
+
+/// AVX2 u16 -> double widening, four pixels per iteration: one zero-extend
+/// to int32 (exact) and one int32 -> double conversion (exact).
+void u16_to_real_avx2(const std::uint16_t* src, double* dst,
+                      std::size_t count) {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m128i v16 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_pd(dst + i, _mm256_cvtepi32_pd(_mm_cvtepu16_epi32(v16)));
+  }
+  for (; i < count; ++i) dst[i] = static_cast<double>(src[i]);
+}
+
+/// AVX2 u16 -> complex widening: widen four pixels, then interleave with a
+/// zero vector. unpacklo/hi give ((x0 0)(x2 0)) / ((x1 0)(x3 0)) across the
+/// 128-bit halves; permute2f128 reassembles them in memory order.
+void u16_to_complex_avx2(const std::uint16_t* src, fft::Complex* dst,
+                         std::size_t count) {
+  auto* o = reinterpret_cast<double*>(dst);
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m128i v16 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + i));
+    const __m256d d = _mm256_cvtepi32_pd(_mm_cvtepu16_epi32(v16));
+    const __m256d lo = _mm256_unpacklo_pd(d, zero);  // (x0 0 x2 0)
+    const __m256d hi = _mm256_unpackhi_pd(d, zero);  // (x1 0 x3 0)
+    _mm256_storeu_pd(o + 2 * i, _mm256_permute2f128_pd(lo, hi, 0x20));
+    _mm256_storeu_pd(o + 2 * i + 4, _mm256_permute2f128_pd(lo, hi, 0x31));
+  }
+  for (; i < count; ++i) dst[i] = fft::Complex(static_cast<double>(src[i]), 0.0);
+}
+
+}  // namespace hs::vgpu::detail
+
+#else  // !defined(__AVX2__)
+
+namespace hs::vgpu::detail {
+
+void ncc_avx2(const fft::Complex* fi, const fft::Complex* fj,
+              fft::Complex* out, std::size_t count) {
+  ncc_sse2(fi, fj, out, count);
+}
+MaxAbsResult max_abs_avx2(const fft::Complex* data, std::size_t count) {
+  return max_abs_sse2(data, count);
+}
+MaxAbsResult max_abs_real_avx2(const double* data, std::size_t count) {
+  return max_abs_real_sse2(data, count);
+}
+void u16_to_real_avx2(const std::uint16_t* src, double* dst,
+                      std::size_t count) {
+  u16_to_real_sse2(src, dst, count);
+}
+void u16_to_complex_avx2(const std::uint16_t* src, fft::Complex* dst,
+                         std::size_t count) {
+  u16_to_complex_sse2(src, dst, count);
+}
+
+}  // namespace hs::vgpu::detail
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,40 @@
+// Internal per-tier kernel variants behind the dispatching entry points in
+// kernels.hpp. Each function is defined in its own translation unit
+// (kernels_sse2.cpp / kernels_avx2.cpp) compiled with that ISA enabled; on
+// platforms where the ISA is unavailable at compile time the definition
+// forwards to the scalar reference, so this table is total everywhere and
+// the dispatcher never needs a compile-time fallback path.
+//
+// Every variant is bit-identical to its scalar reference in kernels.cpp:
+// identical per-element operation sequences (sqrt/div are correctly rounded,
+// adds commute bitwise for finite operands), strictly-greater reduction
+// updates, and lowest-index tie-breaking across lanes. See the notes on each
+// definition.
+#pragma once
+
+#include "vgpu/kernels.hpp"
+
+namespace hs::vgpu::detail {
+
+void ncc_sse2(const fft::Complex* fi, const fft::Complex* fj,
+              fft::Complex* out, std::size_t count);
+void ncc_avx2(const fft::Complex* fi, const fft::Complex* fj,
+              fft::Complex* out, std::size_t count);
+
+MaxAbsResult max_abs_sse2(const fft::Complex* data, std::size_t count);
+MaxAbsResult max_abs_avx2(const fft::Complex* data, std::size_t count);
+
+MaxAbsResult max_abs_real_sse2(const double* data, std::size_t count);
+MaxAbsResult max_abs_real_avx2(const double* data, std::size_t count);
+
+void u16_to_real_sse2(const std::uint16_t* src, double* dst,
+                      std::size_t count);
+void u16_to_real_avx2(const std::uint16_t* src, double* dst,
+                      std::size_t count);
+
+void u16_to_complex_sse2(const std::uint16_t* src, fft::Complex* dst,
+                         std::size_t count);
+void u16_to_complex_avx2(const std::uint16_t* src, fft::Complex* dst,
+                         std::size_t count);
+
+}  // namespace hs::vgpu::detail
