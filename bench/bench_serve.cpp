@@ -25,6 +25,14 @@
 //      `interval` policy must stay within 3% + 50 ms of no-journal), and
 //      startup recovery time as a function of journal size; numbers land in
 //      BENCH_journal.json and scripts/check.sh gates on the budget.
+//   7. Shared transform cache — a resubmit-heavy workload (the same job
+//      submitted R times) through a service with the cross-job
+//      content-addressed cache off vs on: the warm runs must replay pairs
+//      from the shared store bit-identically at >= 2x the unshared batch
+//      throughput, and a two-tenant weighted flood must keep the low-weight
+//      tenant's accepted jobs inside deadline + one watchdog period. The
+//      timings land in BENCH_journal.json's real_time_ns/derived sections,
+//      which scripts/perf_gate.py diffs against the committed snapshot.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -488,11 +496,122 @@ int main(int argc, char** argv) {
   std::filesystem::remove_all(journal_root);
   const bool journal_ok = journal_overhead_ok && recovery_ok;
 
+  // ---- 7. Shared transform cache: resubmit-heavy workload. ---------------
+  // The same job R times: without the shared cache every resubmit recomputes
+  // every FFT; with it the first job publishes spectra + pair results and
+  // the other R-1 replay bit-identically from the store.
+  std::printf("\n== Shared transform cache (resubmit-heavy) ==\n");
+  const std::size_t resubmits = 8;
+  bool shared_identical = true;
+  auto run_resubmits = [&](std::size_t shared_cache_bytes) -> double {
+    serve::ServiceConfig resubmit_config = config;
+    resubmit_config.workers = 2;
+    resubmit_config.shared_cache_bytes = shared_cache_bytes;
+    serve::StitchService service(resubmit_config);
+    Stopwatch stopwatch;
+    std::vector<serve::JobHandle> resubmit_handles;
+    for (std::size_t i = 0; i < resubmits; ++i) {
+      serve::StitchJob job;
+      job.name = "resubmit-" + std::to_string(i);
+      job.backend = stitch::Backend::kMtCpu;
+      job.provider = &providers[1];
+      job.options = options_for[1];
+      resubmit_handles.push_back(service.submit(job));
+    }
+    service.wait_idle();
+    const double seconds = stopwatch.seconds();
+    for (const auto& handle : resubmit_handles) {
+      shared_identical =
+          shared_identical &&
+          stitch::diff_tables(direct[1].table, handle.wait().table).identical();
+    }
+    return seconds;
+  };
+  const double resubmit_unshared_s = run_resubmits(0);
+  const double resubmit_shared_s = run_resubmits(256ull << 20);
+  const double resubmit_speedup = resubmit_unshared_s / resubmit_shared_s;
+  const bool shared_fast_enough = resubmit_speedup >= 2.0;
+  std::printf("%zu identical jobs: unshared %s | shared cache %s | "
+              "speedup %.2fx (gate: >= 2x); tables %s\n",
+              resubmits, format_duration(resubmit_unshared_s).c_str(),
+              format_duration(resubmit_shared_s).c_str(), resubmit_speedup,
+              shared_identical ? "all bit-identical to direct stitch()"
+                               : "MISMATCH vs direct stitch()");
+
+  // Two-tenant weighted flood: a bulk tenant floods the queue while an
+  // interactive tenant submits two deadline-bearing jobs. Weighted-fair
+  // admission must keep the light tenant's jobs inside deadline + one
+  // watchdog period instead of letting the flood starve them.
+  serve::ServiceConfig fair = config;
+  fair.workers = 1;
+  fair.watchdog_period_s = 0.005;
+  const std::int64_t light_deadline_ms = 30000;
+  bool fair_ok = true;
+  double worst_light_ms = 0.0;
+  {
+    serve::StitchService fair_service(fair);
+    serve::StitchJob blocker;
+    blocker.name = "fair-blocker";
+    blocker.backend = stitch::Backend::kSimpleCpu;
+    blocker.provider = &big_provider;
+    fair_service.submit(blocker);
+    while (fair_service.running_count() < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::vector<serve::JobHandle> light_handles;
+    for (std::size_t i = 0; i < 6; ++i) {
+      serve::StitchJob job;
+      job.name = "bulk-" + std::to_string(i);
+      job.backend = stitch::Backend::kSimpleCpu;
+      job.provider = &providers[3];
+      job.options = options_for[3];
+      job.tenant = "bulk";
+      job.tenant_weight = 4.0;
+      fair_service.submit(job);
+    }
+    for (std::size_t i = 0; i < 2; ++i) {
+      serve::StitchJob job;
+      job.name = "interactive-" + std::to_string(i);
+      job.backend = stitch::Backend::kSimpleCpu;
+      job.provider = &providers[3];
+      job.options = options_for[3];
+      job.tenant = "interactive";
+      job.tenant_weight = 1.0;
+      job.deadline_ms = light_deadline_ms;
+      light_handles.push_back(fair_service.submit(job));
+    }
+    fair_service.wait_idle();
+    const double bound_ms = static_cast<double>(light_deadline_ms) +
+                            fair_service.watchdog_period_s() * 1e3;
+    for (const auto& handle : light_handles) {
+      const double latency_ms = handle.timing().latency_us() / 1e3;
+      worst_light_ms = std::max(worst_light_ms, latency_ms);
+      fair_ok = fair_ok && handle.state() == serve::JobState::kDone &&
+                latency_ms <= bound_ms;
+    }
+    std::printf("two-tenant flood (weights 4:1): low-weight tenant worst "
+                "latency %.1f ms vs bound %.1f ms: %s\n",
+                worst_light_ms, bound_ms,
+                fair_ok ? "within" : "EXCEEDS/STARVED");
+  }
+  const bool shared_ok = shared_identical && shared_fast_enough && fair_ok;
+
   if (!stitch::json_out_from_cli(cli).empty()) {
     std::FILE* json = std::fopen(stitch::json_out_from_cli(cli).c_str(), "w");
     if (json != nullptr) {
       std::fprintf(json,
                    "{\n"
+                   "  \"bench\": \"serve\",\n"
+                   "  \"real_time_ns\": {\n"
+                   "    \"serve_resubmit_unshared_ns\": %.0f,\n"
+                   "    \"serve_resubmit_shared_ns\": %.0f\n"
+                   "  },\n"
+                   "  \"derived\": {\n"
+                   "    \"serve_resubmit_speedup\": %.4f\n"
+                   "  },\n",
+                   resubmit_unshared_s * 1e9, resubmit_shared_s * 1e9,
+                   resubmit_speedup);
+      std::fprintf(json,
                    "  \"flood_jobs\": %zu,\n"
                    "  \"fsync_overhead\": {\n"
                    "    \"no_journal_s\": %.6f,\n"
@@ -519,7 +638,7 @@ int main(int argc, char** argv) {
                    "  ],\n"
                    "  \"pass\": %s\n"
                    "}\n",
-                   journal_ok ? "true" : "false");
+                   journal_ok && shared_ok ? "true" : "false");
       std::fclose(json);
       std::printf("wrote %s\n", stitch::json_out_from_cli(cli).c_str());
     }
@@ -531,7 +650,7 @@ int main(int argc, char** argv) {
   }
 
   const bool ok = all_identical && rejected && overhead_ok && overload_ok &&
-                  journal_ok &&
+                  journal_ok && shared_ok &&
                   big_handle.state() == serve::JobState::kDone;
   std::printf("\n%s\n", ok ? "Reproduced: shared budget serves heterogeneous "
                              "jobs concurrently with bit-identical results."

@@ -7,6 +7,8 @@
 //     budget drains back instead of OOM-crashing the process;
 //   * progress polling and cooperative cancellation of a running job;
 //   * bit-identical results vs calling stitch() directly;
+//   * cross-job dedup — a resubmitted scan is served warm from the
+//     content-addressed shared transform cache (zero forward FFTs);
 //   * the composed service-wide trace timeline.
 #include <cstdio>
 #include <thread>
@@ -19,6 +21,7 @@
 #include "simdata/plate.hpp"
 #include "stitch/cli_flags.hpp"
 #include "stitch/scheduler.hpp"
+#include "stitch/shared_cache.hpp"
 #include "stitch/validate.hpp"
 
 using namespace hs;
@@ -32,13 +35,20 @@ int main(int argc, char** argv) {
   stitch::GridCliDefaults grid_defaults;
   stitch::register_grid_flags(cli, grid_defaults);
   stitch::register_journal_flags(cli);
+  stitch::register_tenant_flags(cli);
+  stitch::register_shared_cache_flag(cli, /*default_mb=*/64);
+  stitch::register_metrics_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   const std::int64_t deadline_ms = stitch::deadline_ms_from_cli(cli);
+  const std::string tenant = stitch::tenant_from_cli(cli);
+  const double tenant_weight = stitch::tenant_weight_from_cli(cli);
+  const std::size_t tenant_quota = stitch::tenant_quota_bytes_from_cli(cli);
 
   serve::ServiceConfig config;
   config.workers = static_cast<std::size_t>(cli.get_int("workers"));
   config.memory_budget_bytes =
       static_cast<std::size_t>(cli.get_int("budget-mb")) << 20;
+  config.shared_cache_bytes = stitch::shared_cache_bytes_from_cli(cli);
   config.record_traces = true;
   config.journal.dir = stitch::journal_dir_from_cli(cli);
   if (!config.journal.dir.empty()) {
@@ -94,6 +104,9 @@ int main(int argc, char** argv) {
     job.options.threads = 2;
     job.options.gpu_count = 2;
     job.deadline_ms = deadline_ms;
+    job.tenant = tenant;
+    job.tenant_weight = tenant_weight;
+    job.tenant_quota_bytes = tenant_quota;
     handles.push_back(service.submit(job));
   }
   serve::StitchJob big_job;
@@ -156,6 +169,32 @@ int main(int argc, char** argv) {
   std::printf("scan0 table vs direct stitch(): %s\n",
               identical ? "bit-identical" : "MISMATCH");
 
+  // Cross-job dedup: resubmitting scan0 finds every spectrum and pair
+  // translation warm in the content-addressed shared cache, so the rerun
+  // does zero forward FFTs and still matches the direct table bitwise.
+  if (config.shared_cache_bytes > 0) {
+    serve::StitchJob again;
+    again.name = "scan0-again";
+    again.backend = backends[0];
+    again.provider = &providers[0];
+    again.tenant = tenant;
+    again.tenant_weight = tenant_weight;
+    again.tenant_quota_bytes = tenant_quota;
+    serve::JobHandle again_handle = service.submit(again);
+    const stitch::StitchResult& rerun = again_handle.wait();
+    const auto cache = service.shared_cache()->stats();
+    std::printf("resubmit '%s': %llu forward FFTs, %llu pair hits "
+                "(%zu cached entries, %.1f MiB resident), table %s\n",
+                again.name.c_str(),
+                static_cast<unsigned long long>(rerun.ops.forward_ffts),
+                static_cast<unsigned long long>(cache.pair_hits),
+                cache.entries,
+                static_cast<double>(cache.resident_bytes) / (1 << 20),
+                stitch::diff_tables(direct.table, rerun.table).identical()
+                    ? "bit-identical"
+                    : "MISMATCH");
+  }
+
   // Cancellation: start a fresh long job and cancel it mid-flight.
   serve::StitchJob doomed;
   doomed.name = "doomed";
@@ -195,6 +234,9 @@ int main(int argc, char** argv) {
     timeline.write_chrome_json(cli.get("trace"));
     std::printf("wrote composed service timeline: %s\n",
                 cli.get("trace").c_str());
+  }
+  if (stitch::write_metrics_if_requested(cli)) {
+    std::printf("wrote metrics snapshot: %s\n", cli.get("metrics-out").c_str());
   }
   return identical ? 0 : 1;
 }

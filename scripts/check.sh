@@ -57,6 +57,16 @@ for preset in "${presets[@]}"; do
     ctest --preset "${preset}" -L sched -j 1
     echo "==> [${preset}] ctest -L sched (HS_USE_REAL_FFT=1)"
     HS_USE_REAL_FFT=1 ctest --preset "${preset}" -L sched -j 1
+    # Multi-tenant serving: shared transform-cache dedup/bit-identity,
+    # per-tenant quotas, and weighted-fair admission ordering. The release
+    # run checks behaviour; the tsan run proves the shared cache's
+    # cross-job handoff and the scheduler's tenant bookkeeping are
+    # data-race free. Serial (-j 1): the ordering tests reason about
+    # admission sequence under a single worker.
+    echo "==> [${preset}] ctest -L tenant (complex spectra)"
+    ctest --preset "${preset}" -L tenant -j 1
+    echo "==> [${preset}] ctest -L tenant (HS_USE_REAL_FFT=1)"
+    HS_USE_REAL_FFT=1 ctest --preset "${preset}" -L tenant -j 1
   fi
   # Crash safety: journal framing/replay/truncation, checkpoint CRC +
   # quarantine sidecar, and the crash-torture harness that cuts the journal
@@ -74,15 +84,23 @@ done
 # bench_serve exits non-zero if section 4 (metrics overhead: instrumented
 # batch >2% slower than timers-off), section 5 (overload: an accepted job
 # missed deadline + one watchdog period, a reject took >=10 ms, or the
-# shed/deadline counters failed to account for every non-completed job), or
+# shed/deadline counters failed to account for every non-completed job),
 # section 6 (journal: fsync=interval adds >3% to the flood workload, or a
-# recovery replay failed to resubmit every live job) breaks its budget; the
-# journal numbers land in BENCH_journal.json. Release only — sanitizers
-# distort the timing.
+# recovery replay failed to resubmit every live job), or section 7 (shared
+# cache: the resubmit-heavy workload speeds up < 2x, a shared-cache table
+# differs bitwise from the unshared path, or a low-weight tenant's accepted
+# jobs miss their deadline under a two-tenant flood) breaks its budget.
+# The resubmit numbers land in BENCH_journal.json and are trajectory-gated
+# by perf_gate.py against the committed snapshot (refresh deliberately with
+# ./build/bench/bench_serve --json-out=BENCH_journal.json). Release only —
+# sanitizers distort the timing.
 for preset in "${presets[@]}"; do
   if [ "${preset}" = "release" ]; then
-    echo "==> [release] bench_serve metrics/overload/journal budgets (BENCH_journal.json)"
-    ./build/bench/bench_serve >/dev/null
+    echo "==> [release] bench_serve metrics/overload/journal/shared-cache budgets (BENCH_journal.json)"
+    ./build/bench/bench_serve --json-out=build/bench/BENCH_journal.json \
+      >/dev/null
+    python3 scripts/perf_gate.py BENCH_journal.json \
+      build/bench/BENCH_journal.json
     # table2_runtimes exits non-zero if the HybridScheduler section misses
     # its budgets (stealing recovers < 70% of the straggler's idle time, or
     # batched dispatch cuts vgpu enqueues by < 4x); the section's numbers

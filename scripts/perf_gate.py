@@ -41,18 +41,58 @@ import os
 import sys
 
 
-def load(path):
+SCHEMA_HINT = (
+    'expected the bench/gbench_json.hpp shape: {"bench": "<name>", '
+    '"real_time_ns": {"<benchmark>": <ns>, ...}, '
+    '"derived": {"<ratio>": <value>, ...}}')
+
+
+def load(path, role):
+    """Reads and schema-checks one snapshot; exits 2 with an actionable
+    message instead of surfacing a raw traceback on a missing file, a
+    truncated/hand-edited JSON, or a document from some other tool."""
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
+    except FileNotFoundError:
+        print(f"perf_gate: {role} snapshot {path} does not exist", file=sys.stderr)
+        if role == "baseline":
+            print("perf_gate: generate it by running the bench binary with "
+                  f"--json-out={path} and committing the result",
+                  file=sys.stderr)
+        else:
+            print("perf_gate: run the bench binary with --json-out pointed "
+                  "at this path first", file=sys.stderr)
+        sys.exit(2)
     except (OSError, ValueError) as err:
-        print(f"perf_gate: cannot read {path}: {err}", file=sys.stderr)
+        print(f"perf_gate: cannot read {role} {path}: {err}", file=sys.stderr)
+        print(f"perf_gate: {SCHEMA_HINT}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        print(f"perf_gate: {role} {path} is not a JSON object; {SCHEMA_HINT}",
+              file=sys.stderr)
         sys.exit(2)
     for section in ("real_time_ns", "derived"):
-        if not isinstance(doc.get(section, {}), dict):
-            print(f"perf_gate: {path}: '{section}' is not an object",
-                  file=sys.stderr)
+        entries = doc.get(section, {})
+        if not isinstance(entries, dict):
+            print(f"perf_gate: {role} {path}: '{section}' is not an object; "
+                  f"{SCHEMA_HINT}", file=sys.stderr)
             sys.exit(2)
+        for key, value in entries.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                print(f"perf_gate: {role} {path}: {section}[{key}] is "
+                      f"{value!r}, not a number; {SCHEMA_HINT}",
+                      file=sys.stderr)
+                sys.exit(2)
+    if not doc.get("real_time_ns") and not doc.get("derived"):
+        print(f"perf_gate: {role} {path} has no gateable entries (empty or "
+              f"missing 'real_time_ns' and 'derived'); {SCHEMA_HINT}",
+              file=sys.stderr)
+        if role == "baseline":
+            print("perf_gate: the committed snapshot may predate this "
+                  "bench's JSON writer — regenerate it with --json-out and "
+                  "commit the refreshed file", file=sys.stderr)
+        sys.exit(2)
     return doc
 
 
@@ -105,8 +145,8 @@ def main():
             print("perf_gate: tolerances must be in [0, 1)", file=sys.stderr)
             return 2
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base = load(args.baseline, "baseline")
+    cur = load(args.current, "current")
 
     failures = []
     failures += gate_section("real_time_ns", base.get("real_time_ns", {}),

@@ -14,6 +14,12 @@ constexpr const char* kTcMisses = "hs_stitch_transform_cache_misses_total";
 constexpr const char* kTcEvictions =
     "hs_stitch_transform_cache_evictions_total";
 constexpr const char* kTcResident = "hs_stitch_transform_cache_resident_bytes";
+constexpr const char* kScHits = "hs_stitch_shared_cache_hits_total";
+constexpr const char* kScMisses = "hs_stitch_shared_cache_misses_total";
+constexpr const char* kScEvictions = "hs_stitch_shared_cache_evictions_total";
+constexpr const char* kScRefusals =
+    "hs_stitch_shared_cache_quota_refusals_total";
+constexpr const char* kScResident = "hs_stitch_shared_cache_resident_bytes";
 constexpr const char* kPoolAllocs = "hs_vgpu_pool_allocs_total";
 constexpr const char* kPoolAcquires = "hs_vgpu_pool_acquires_total";
 constexpr const char* kPoolBytes = "hs_vgpu_pool_bytes";
@@ -42,6 +48,10 @@ constexpr const char* kServeDeadline = "hs_serve_deadline_exceeded_total";
 constexpr const char* kServeShed = "hs_serve_shed_total";
 constexpr const char* kServeWatchdog = "hs_serve_watchdog_stalls_total";
 constexpr const char* kServeBreaker = "hs_serve_breaker_state";
+constexpr const char* kTenantAdmitted = "hs_serve_tenant_jobs_admitted_total";
+constexpr const char* kTenantDeferrals =
+    "hs_serve_tenant_quota_deferrals_total";
+constexpr const char* kTenantMemory = "hs_serve_tenant_memory_in_use_bytes";
 constexpr const char* kJournalAppends = "hs_journal_appends_total";
 constexpr const char* kJournalFsyncs = "hs_journal_fsyncs_total";
 constexpr const char* kJournalTruncated =
@@ -81,6 +91,16 @@ Counter& transform_cache_hits() { return reg().counter(kTcHits); }
 Counter& transform_cache_misses() { return reg().counter(kTcMisses); }
 Counter& transform_cache_evictions() { return reg().counter(kTcEvictions); }
 Gauge& transform_cache_resident_bytes() { return reg().gauge(kTcResident); }
+
+Counter& shared_cache_hits(const std::string& kind) {
+  return reg().counter(kScHits, {{"kind", kind}});
+}
+Counter& shared_cache_misses(const std::string& kind) {
+  return reg().counter(kScMisses, {{"kind", kind}});
+}
+Counter& shared_cache_evictions() { return reg().counter(kScEvictions); }
+Counter& shared_cache_quota_refusals() { return reg().counter(kScRefusals); }
+Gauge& shared_cache_resident_bytes() { return reg().gauge(kScResident); }
 
 Counter& pool_allocs_total() { return reg().counter(kPoolAllocs); }
 Counter& pool_acquires_total() { return reg().counter(kPoolAcquires); }
@@ -136,6 +156,16 @@ Counter& serve_watchdog_stalls_total() {
 }
 Gauge& serve_breaker_state() { return reg().gauge(kServeBreaker); }
 
+Counter& tenant_jobs_admitted(const std::string& tenant) {
+  return reg().counter(kTenantAdmitted, {{"tenant", tenant}});
+}
+Counter& tenant_quota_deferrals(const std::string& tenant) {
+  return reg().counter(kTenantDeferrals, {{"tenant", tenant}});
+}
+Gauge& tenant_memory_in_use_bytes(const std::string& tenant) {
+  return reg().gauge(kTenantMemory, {{"tenant", tenant}});
+}
+
 Counter& journal_appends_total() { return reg().counter(kJournalAppends); }
 Counter& journal_fsyncs_total() { return reg().counter(kJournalFsyncs); }
 Counter& journal_truncated_records_total() {
@@ -171,6 +201,18 @@ void register_wellknown(Registry& registry) {
                    "Transform-cache entries freed after last reference");
   registry.gauge(kTcResident, {},
                  "Transform-cache resident bytes (peak = high-water mark)");
+  for (const char* kind : kSharedCacheKinds) {
+    registry.counter(kScHits, {{"kind", kind}},
+                     "Cross-job shared-cache hits by entry kind");
+    registry.counter(kScMisses, {{"kind", kind}},
+                     "Cross-job shared-cache misses by entry kind");
+  }
+  registry.counter(kScEvictions, {},
+                   "Shared-cache entries evicted by LRU or quota pressure");
+  registry.counter(kScRefusals, {},
+                   "Shared-cache inserts refused by a tenant quota");
+  registry.gauge(kScResident, {},
+                 "Shared-cache resident bytes (peak = high-water mark)");
   registry.counter(kPoolAllocs, {}, "Device buffers allocated by pools");
   registry.counter(kPoolAcquires, {},
                    "Buffer-pool acquisitions (reuse ratio = "
@@ -226,6 +268,15 @@ void register_wellknown(Registry& registry) {
                    "Stall interrupts raised by the serve watchdog");
   registry.gauge(kServeBreaker, {},
                  "GPU circuit-breaker state: 0 closed, 1 open, 2 half-open");
+  registry.declare(kTenantAdmitted, MetricType::kCounter,
+                   "Jobs admitted past the memory gate by tenant");
+  registry.declare(kTenantDeferrals, MetricType::kCounter,
+                   "Admissions deferred because a tenant quota was full");
+  registry.declare(kTenantMemory, MetricType::kGauge,
+                   "Predicted bytes held by one tenant's admitted jobs");
+  registry.counter(kTenantAdmitted, {{"tenant", "default"}});
+  registry.counter(kTenantDeferrals, {{"tenant", "default"}});
+  registry.gauge(kTenantMemory, {{"tenant", "default"}});
   registry.counter(kJournalAppends, {},
                    "Records appended to the write-ahead journal");
   registry.counter(kJournalFsyncs, {}, "fsync() calls issued by the journal");

@@ -54,6 +54,16 @@ Counter& transform_cache_misses();
 Counter& transform_cache_evictions();
 Gauge& transform_cache_resident_bytes();
 
+// --- cross-job shared spectrum/pair cache (label: kind) ---
+/// Entry kinds form a closed vocabulary: tile spectra and memoized pair
+/// displacements share one LRU but are counted separately.
+inline constexpr const char* kSharedCacheKinds[] = {"spectrum", "pair"};
+Counter& shared_cache_hits(const std::string& kind);
+Counter& shared_cache_misses(const std::string& kind);
+Counter& shared_cache_evictions();
+Counter& shared_cache_quota_refusals();
+Gauge& shared_cache_resident_bytes();
+
 // --- vgpu buffer pools ---
 Counter& pool_allocs_total();
 Counter& pool_acquires_total();
@@ -106,6 +116,13 @@ Counter& serve_shed_total();
 Counter& serve_watchdog_stalls_total();
 /// 0 = closed, 1 = open, 2 = half-open (matches serve::BreakerState).
 Gauge& serve_breaker_state();
+
+// --- per-tenant serve accounting (label: tenant — an open vocabulary, so
+// these are declare()d like queue names and instantiated on first use; the
+// "default" tenant is pre-registered so a fresh exposition shows the shape).
+Counter& tenant_jobs_admitted(const std::string& tenant);
+Counter& tenant_quota_deferrals(const std::string& tenant);
+Gauge& tenant_memory_in_use_bytes(const std::string& tenant);
 
 // --- journal (write-ahead durability, serve/journal.hpp) ---
 /// Replay outcomes form a closed vocabulary: resumed (warm-started from a

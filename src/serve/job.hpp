@@ -86,6 +86,17 @@ struct StitchJob {
   /// Longest this job may wait in the queue before it is shed (kRejected),
   /// milliseconds; 0 falls back to ServiceConfig::max_queue_wait_s.
   std::int64_t max_queue_wait_ms = 0;
+
+  // --- multi-tenant identity ----------------------------------------------
+  /// Tenant this job is accounted to; empty is normalized to "default".
+  /// Under contention the scheduler admits tenants weighted-fair and holds
+  /// each tenant inside its memory quota (see service.hpp).
+  std::string tenant;
+  /// Weighted-fair-queueing weight (> 0); higher = admitted more often.
+  double tenant_weight = 1.0;
+  /// Cap on the sum of this tenant's admitted-job footprints plus its
+  /// shared-cache residency, bytes; 0 = unlimited.
+  std::size_t tenant_quota_bytes = 0;
 };
 
 /// Point-in-time progress snapshot.

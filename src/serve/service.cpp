@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/thread_util.hpp"
 #include "metrics/wellknown.hpp"
+#include "stitch/shared_cache.hpp"
 #include "stitch/stitcher.hpp"
 #include "stitch/table_io.hpp"
 
@@ -40,6 +41,11 @@ StitchService::StitchService(ServiceConfig config)
              "watchdog_period_s: must be >= 0");
   HS_REQUIRE(config_.checkpoint_interval_s >= 0.0,
              "checkpoint_interval_s: must be >= 0");
+  if (config_.shared_cache_bytes > 0) {
+    stitch::SharedSpectrumCache::Config cache_config;
+    cache_config.capacity_bytes = config_.shared_cache_bytes;
+    shared_cache_ = std::make_unique<stitch::SharedSpectrumCache>(cache_config);
+  }
   // Replay + resubmit before any thread exists: recovered jobs sit in the
   // queue when the first worker wakes, and recovered_jobs() is fully
   // populated by the time the constructor returns.
@@ -160,6 +166,9 @@ void StitchService::recover_from_journal() {
       job.checkpoint_path = entry.checkpoint_path;
       job.pre_quarantined = request.pre_quarantined;
       job.deadline_ms = request.deadline_ms;
+      job.tenant = request.tenant;
+      job.tenant_weight = request.tenant_weight;
+      job.tenant_quota_bytes = request.tenant_quota_bytes;
       JobHandle handle = submit_internal(std::move(job), entry.id);
       const bool resumed = handle.record_->has_warm;
       if (resumed) {
@@ -197,6 +206,11 @@ JobHandle StitchService::submit_internal(StitchJob job,
   record->request.fallback = std::move(job.fallback);
   record->request.pre_quarantined = std::move(job.pre_quarantined);
   record->request.deadline_ms = job.deadline_ms;
+  // Normalized here once; every later consumer (scheduler, shared cache,
+  // journal serde) sees a non-empty tenant.
+  record->request.tenant = job.tenant.empty() ? "default" : std::move(job.tenant);
+  record->request.tenant_weight = job.tenant_weight;
+  record->request.tenant_quota_bytes = job.tenant_quota_bytes;
   if (record->request.fallback.empty() &&
       stitch::is_gpu_backend(job.backend)) {
     // GPU jobs degrade to the CPU by default rather than failing outright.
@@ -256,7 +270,13 @@ JobHandle StitchService::submit_internal(StitchJob job,
   record->footprint_bytes = footprint.bytes;
   record->predicted_seconds = footprint.seconds;
   record->pairs_total = job.provider->layout().pair_count();
-  if (footprint.bytes > config_.memory_budget_bytes) {
+  if (footprint.bytes > config_.memory_budget_bytes && journal_id == 0) {
+    // Fresh submits are refused outright. Recovery resubmits are NOT: the
+    // job was accepted — and journaled — under some earlier (possibly
+    // larger) budget, and accepted work is never shed by a restart. The
+    // scheduler admits such an oversized job only when the service is
+    // otherwise idle, driving memory_in_use_ above the budget while it
+    // runs (pick_locked clamps the headroom to zero for that case).
     throw InvalidArgument(
         "job " + record->name + ": predicted footprint of " +
         std::to_string(footprint.bytes) +
@@ -464,17 +484,61 @@ void StitchService::scan_queue_locked() {
 
 StitchService::Record StitchService::pick_locked() {
   scan_queue_locked();
+  // Clamp, don't subtract blindly: an oversized recovery resubmit running
+  // alone drives memory_in_use_ above the budget, and the unsigned
+  // difference would wrap to ~SIZE_MAX — admitting everything at once.
+  const std::size_t headroom =
+      config_.memory_budget_bytes > memory_in_use_
+          ? config_.memory_budget_bytes - memory_in_use_
+          : 0;
+  // Within the highest priority class that has an admissible job, pick the
+  // weighted-fair winner: smallest virtual start time, FIFO among ties.
+  auto best = queue_.end();
+  double best_vstart = 0.0;
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    Record record = *it;
-    if (record->footprint_bytes <=
-        config_.memory_budget_bytes - memory_in_use_) {
-      queue_.erase(it);
-      metrics::wellknown::serve_queue_depth().set(
-          static_cast<std::int64_t>(queue_.size()));
-      return record;
+    const Record& record = *it;
+    // The queue is priority-ordered; once a candidate exists, lower
+    // classes no longer compete.
+    if (best != queue_.end() && record->priority < (*best)->priority) break;
+    if (record->footprint_bytes > config_.memory_budget_bytes) {
+      // Only reachable via recovery resubmit. Admissible solely when the
+      // service is idle, so it runs alone rather than never.
+      if (memory_in_use_ != 0 || running_ != 0) continue;
+    } else if (record->footprint_bytes > headroom) {
+      continue;
+    }
+    TenantState& tenant = tenants_[record->request.tenant];
+    const std::size_t quota = record->request.tenant_quota_bytes;
+    if (quota != 0 &&
+        tenant.in_use_bytes + record->footprint_bytes > quota) {
+      ++tenant.quota_deferrals;
+      metrics::wellknown::tenant_quota_deferrals(record->request.tenant)
+          .add();
+      continue;
+    }
+    const double vstart = std::max(vclock_, tenant.vtime);
+    if (best == queue_.end() || vstart < best_vstart) {
+      best = it;
+      best_vstart = vstart;
     }
   }
-  return nullptr;
+  if (best == queue_.end()) return nullptr;
+  Record record = *best;
+  queue_.erase(best);
+  TenantState& tenant = tenants_[record->request.tenant];
+  tenant.weight = record->request.tenant_weight;
+  const double cost =
+      record->predicted_seconds > 0.0 ? record->predicted_seconds : 1.0;
+  tenant.vtime = best_vstart + cost / tenant.weight;
+  vclock_ = best_vstart;
+  tenant.in_use_bytes += record->footprint_bytes;
+  ++tenant.admitted;
+  metrics::wellknown::tenant_jobs_admitted(record->request.tenant).add();
+  metrics::wellknown::tenant_memory_in_use_bytes(record->request.tenant)
+      .set(static_cast<std::int64_t>(tenant.in_use_bytes));
+  metrics::wellknown::serve_queue_depth().set(
+      static_cast<std::int64_t>(queue_.size()));
+  return record;
 }
 
 void StitchService::worker_main(std::size_t id) {
@@ -501,6 +565,10 @@ void StitchService::worker_main(std::size_t id) {
     --running_;
     metrics::wellknown::serve_memory_in_use_bytes().set(
         static_cast<std::int64_t>(memory_in_use_));
+    TenantState& tenant = tenants_[job->request.tenant];
+    tenant.in_use_bytes -= std::min(tenant.in_use_bytes, job->footprint_bytes);
+    metrics::wellknown::tenant_memory_in_use_bytes(job->request.tenant)
+        .set(static_cast<std::int64_t>(tenant.in_use_bytes));
     // A completed job returns budget: other queued jobs may now fit, a
     // backpressured submit may proceed, wait_idle may resolve.
     cv_workers_.notify_all();
@@ -539,6 +607,13 @@ void StitchService::run_job(const Record& record) {
   stitch::StitchRequest request = record->request;
   request.options.cancel = &record->cancel;
   request.options.pairs_done = &record->pairs_done;
+  if (shared_cache_ != nullptr) {
+    // Bind the service-owned cross-job cache: identical tiles submitted by
+    // any job share one spectrum, charged to this job's tenant.
+    request.options.shared_cache = shared_cache_.get();
+    request.options.shared_tenant = request.tenant;
+    request.options.shared_tenant_quota_bytes = request.tenant_quota_bytes;
+  }
   if (record->recorder != nullptr) {
     request.options.recorder = record->recorder.get();
   }
@@ -744,6 +819,27 @@ ServiceMetrics StitchService::metrics() const {
   m.running = running_;
   m.memory_in_use_bytes = memory_in_use_;
   return m;
+}
+
+std::vector<TenantMetrics> StitchService::tenant_metrics() const {
+  std::vector<TenantMetrics> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(tenants_.size());
+    for (const auto& [name, state] : tenants_) {
+      TenantMetrics m;
+      m.tenant = name;
+      m.admitted = state.admitted;
+      m.quota_deferrals = state.quota_deferrals;
+      m.memory_in_use_bytes = state.in_use_bytes;
+      out.push_back(std::move(m));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TenantMetrics& a, const TenantMetrics& b) {
+              return a.tenant < b.tenant;
+            });
+  return out;
 }
 
 void StitchService::checkpoint_job(const Record& record) {

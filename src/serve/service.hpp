@@ -24,7 +24,9 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "sched/cost_model.hpp"
@@ -33,6 +35,10 @@
 #include "serve/job.hpp"
 #include "serve/journal.hpp"
 #include "trace/trace.hpp"
+
+namespace hs::stitch {
+class SharedSpectrumCache;
+}  // namespace hs::stitch
 
 namespace hs::serve {
 
@@ -85,6 +91,13 @@ struct ServiceConfig {
   double checkpoint_interval_s = 0.0;
   /// Machine model used for predicted runtimes.
   sched::CostModel cost = sched::CostModel::paper_machine();
+  /// Capacity of the service-owned content-addressed transform cache shared
+  /// across jobs (spectra + pair translations, keyed by tile-content digest
+  /// and FFT pipeline signature). Identical tiles resubmitted across jobs
+  /// reuse one spectrum instead of recomputing the FFT; results stay
+  /// bit-identical because the cached values are themselves bit-exact.
+  /// 0 disables cross-job sharing.
+  std::size_t shared_cache_bytes = 0;
   /// Write-ahead journal of job lifecycle events. When journal.dir is
   /// non-empty the service journals every submit/start/checkpoint/terminal
   /// transition, replays the journal on construction, and resubmits every
@@ -138,6 +151,21 @@ struct ServiceMetrics {
   int breaker_state = 0;
 };
 
+/// Per-tenant snapshot (see StitchService::tenant_metrics()). The same
+/// counters are mirrored into the process registry under the
+/// hs_serve_tenant_* families, labeled by tenant.
+struct TenantMetrics {
+  std::string tenant;
+  /// Jobs this tenant had admitted (budget reserved, handed to a worker).
+  std::uint64_t admitted = 0;
+  /// Times a queued job of this tenant was skipped because admitting it
+  /// would have pushed the tenant past its memory quota. Counted per
+  /// scheduler scan, so one stuck job can contribute many deferrals.
+  std::uint64_t quota_deferrals = 0;
+  /// Sum of the tenant's currently admitted-job footprints.
+  std::size_t memory_in_use_bytes = 0;
+};
+
 class StitchService {
  public:
   explicit StitchService(ServiceConfig config);
@@ -181,6 +209,14 @@ class StitchService {
 
   /// Consistent snapshot of this service's counters.
   ServiceMetrics metrics() const;
+
+  /// Per-tenant counters, sorted by tenant name. Tenants appear once the
+  /// scheduler has seen at least one of their jobs.
+  std::vector<TenantMetrics> tenant_metrics() const;
+
+  /// The service-owned cross-job transform cache; nullptr when
+  /// ServiceConfig::shared_cache_bytes == 0.
+  stitch::SharedSpectrumCache* shared_cache() { return shared_cache_.get(); }
 
   /// Handles of the jobs startup recovery resubmitted (submit order).
   /// Empty without a journal or when the journal held no live jobs.
@@ -249,7 +285,25 @@ class StitchService {
   std::vector<JobHandle> recovered_;
   RecoveryStats recovery_;
 
+  /// Cross-job spectrum/pair cache bound into every job's StitchOptions.
+  /// Created before recovery (recovered jobs share too); internally
+  /// synchronized, so backends use it without the service lock.
+  std::unique_ptr<stitch::SharedSpectrumCache> shared_cache_;
+
+  /// Weighted-fair-queueing state per tenant. Guarded by mutex_. Virtual
+  /// times advance by cost/weight on each admission, so under contention a
+  /// tenant's admitted share is proportional to its weight.
+  struct TenantState {
+    double vtime = 0.0;  ///< virtual finish time of the last admission
+    double weight = 1.0;
+    std::size_t in_use_bytes = 0;  ///< admitted footprints currently running
+    std::uint64_t admitted = 0;
+    std::uint64_t quota_deferrals = 0;
+  };
+
   mutable std::mutex mutex_;
+  std::unordered_map<std::string, TenantState> tenants_;  ///< guarded by mutex_
+  double vclock_ = 0.0;  ///< service virtual clock, guarded by mutex_
   std::condition_variable cv_workers_;  ///< queue or budget changed
   std::condition_variable cv_submit_;   ///< backpressure slots freed
   std::condition_variable cv_idle_;     ///< a job reached a terminal state

@@ -155,6 +155,50 @@ std::string journal_fsync_from_cli(const CliParser& cli) {
   return policy;
 }
 
+void register_tenant_flags(CliParser& cli) {
+  cli.add_flag("tenant",
+               "tenant this run's jobs are accounted to (weighted-fair "
+               "admission + per-tenant memory quota in the serve layer)",
+               "default");
+  cli.add_flag("tenant-weight",
+               "weighted-fair-queueing weight: twice the weight is admitted "
+               "twice as often under contention",
+               "1");
+  cli.add_flag("tenant-quota-mb",
+               "per-tenant memory cap in MiB over admitted-job footprints "
+               "and shared-cache residency (0 = unlimited)",
+               "0");
+}
+
+std::string tenant_from_cli(const CliParser& cli) {
+  const std::string tenant = cli.get("tenant");
+  HS_REQUIRE(tenant.find('\n') == std::string::npos &&
+                 tenant.find('\r') == std::string::npos,
+             "flag --tenant must not contain newlines");
+  return tenant;
+}
+
+double tenant_weight_from_cli(const CliParser& cli) {
+  const double weight = cli.get_double("tenant-weight");
+  HS_REQUIRE(weight > 0.0, "flag --tenant-weight must be positive");
+  return weight;
+}
+
+std::size_t tenant_quota_bytes_from_cli(const CliParser& cli) {
+  return get_size(cli, "tenant-quota-mb") << 20;
+}
+
+void register_shared_cache_flag(CliParser& cli, std::size_t default_mb) {
+  cli.add_flag("shared-cache-mb",
+               "cross-job content-addressed transform cache capacity in MiB: "
+               "identical tiles across jobs share one spectrum (0 = off)",
+               num(default_mb));
+}
+
+std::size_t shared_cache_bytes_from_cli(const CliParser& cli) {
+  return get_size(cli, "shared-cache-mb") << 20;
+}
+
 void register_metrics_flags(CliParser& cli) {
   cli.add_flag("metrics-out",
                "write a metrics snapshot here on exit (Prometheus text, or "

@@ -78,6 +78,25 @@ std::string journal_dir_from_cli(const CliParser& cli);
 /// ("never", "interval", "every-record"). Throws InvalidArgument otherwise.
 std::string journal_fsync_from_cli(const CliParser& cli);
 
+/// Registers --tenant (default "default"), --tenant-weight (default 1) and
+/// --tenant-quota-mb (default 0: unlimited) — the multi-tenant identity a
+/// serving binary maps onto StitchJob::tenant / tenant_weight /
+/// tenant_quota_bytes.
+void register_tenant_flags(CliParser& cli);
+
+std::string tenant_from_cli(const CliParser& cli);
+double tenant_weight_from_cli(const CliParser& cli);
+std::size_t tenant_quota_bytes_from_cli(const CliParser& cli);
+
+/// Registers --shared-cache-mb (0 = disabled) — the capacity of the
+/// cross-job content-addressed transform cache a serving binary maps onto
+/// ServiceConfig::shared_cache_bytes. `default_mb` is the value used when
+/// the flag is not given; binaries that want sharing on by default pass a
+/// non-zero capacity.
+void register_shared_cache_flag(CliParser& cli, std::size_t default_mb = 0);
+
+std::size_t shared_cache_bytes_from_cli(const CliParser& cli);
+
 /// Registers --metrics-out (default "": disabled). When set, the binary
 /// should call write_metrics_if_requested() before exiting.
 void register_metrics_flags(CliParser& cli);

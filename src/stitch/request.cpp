@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -152,6 +153,14 @@ void StitchRequest::validate() const {
   }
   if (retry.max_attempts < 1) {
     fail("retry.max_attempts", "must be >= 1 (1 means no retry)");
+  }
+  if (tenant.find('\n') != std::string::npos ||
+      tenant.find('\r') != std::string::npos) {
+    fail("tenant", "must not contain newlines (journal line framing)");
+  }
+  if (!(tenant_weight > 0.0) || !std::isfinite(tenant_weight)) {
+    fail("tenant_weight", "must be positive and finite (got " +
+                              std::to_string(tenant_weight) + ")");
   }
   if (retry.backoff_multiplier < 1.0) {
     fail("retry.backoff_multiplier", "must be >= 1.0");
@@ -539,6 +548,9 @@ std::string serialize_request(const StitchRequest& request) {
   };
   out << "backend=" << backend_name(request.backend) << '\n';
   out << "deadline_ms=" << request.deadline_ms << '\n';
+  out << "tenant=" << request.tenant << '\n';
+  emit_f64("tenant_weight", request.tenant_weight);
+  out << "tenant_quota_bytes=" << request.tenant_quota_bytes << '\n';
   out << "retry.max_attempts=" << request.retry.max_attempts << '\n';
   out << "retry.backoff_us=" << request.retry.backoff_us << '\n';
   emit_f64("retry.backoff_multiplier", request.retry.backoff_multiplier);
@@ -591,6 +603,13 @@ StitchRequest deserialize_request(const std::string& text) {
       request.backend = parse_backend(value);
     } else if (key == "deadline_ms") {
       request.deadline_ms = parse_i64(key, value);
+    } else if (key == "tenant") {
+      request.tenant = value;
+    } else if (key == "tenant_weight") {
+      request.tenant_weight = parse_f64(key, value);
+    } else if (key == "tenant_quota_bytes") {
+      request.tenant_quota_bytes =
+          static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "retry.max_attempts") {
       request.retry.max_attempts =
           static_cast<std::size_t>(parse_u64(key, value));

@@ -49,6 +49,17 @@ struct StitchRequest {
   /// starts at entry. Falling back does not extend the budget.
   std::int64_t deadline_ms = 0;
 
+  // --- multi-tenant identity (serve-layer fairness; see service.hpp) ------
+  /// Tenant this job belongs to; empty is normalized to "default" by the
+  /// serve layer. Must not contain newlines (journal line framing).
+  std::string tenant = "";
+  /// Weighted-fair-queueing weight: a tenant with twice the weight is
+  /// admitted twice as often under contention. Must be positive and finite.
+  double tenant_weight = 1.0;
+  /// Byte cap this tenant may hold inside the service (admitted-job
+  /// footprints and shared-cache residency); 0 = unlimited.
+  std::size_t tenant_quota_bytes = 0;
+
   /// Checks every invariant of this backend/options/provider combination.
   /// Throws InvalidArgument with a message of the form
   ///   "<field>: <what is wrong> ..."

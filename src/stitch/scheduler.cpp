@@ -257,8 +257,20 @@ StitchResult run_cpu(const ResourceSet& rs, const TileProvider& provider,
 
   std::unique_ptr<TransformCache> cache;
   if (rs.use_transform_cache) {
-    cache = std::make_unique<TransformCache>(provider, fftp, &counts, warm);
+    SharedCacheBinding shared;
+    shared.cache = options.shared_cache;
+    shared.tenant =
+        options.shared_tenant.empty() ? "default" : options.shared_tenant;
+    shared.tenant_quota_bytes = options.shared_tenant_quota_bytes;
+    cache = std::make_unique<TransformCache>(provider, fftp, &counts, warm,
+                                             std::move(shared));
   }
+  // The naive shape deliberately skips the cross-job store too: its whole
+  // point is the no-reuse baseline. The GPU shapes compute spectra on
+  // device and never touch the host TransformCache, so they run unshared.
+  SharedSpectrumCache* shared_store =
+      cache != nullptr ? cache->shared().cache : nullptr;
+  const common::SimdTier shared_tier = common::active_tier();
   metrics::Histogram& pair_latency =
       metrics::wellknown::pair_latency_us(rs.label);
 
@@ -276,13 +288,47 @@ StitchResult run_cpu(const ResourceSet& rs, const TileProvider& provider,
     throw_if_cancelled(options);
     Translation t;
     if (cache != nullptr) {
-      const fft::Complex* fft_ref = cache->transform(task.reference);
-      const fft::Complex* fft_mov = cache->transform(task.moved);
-      t = pciam_from_spectra(fft_ref, fft_mov, cache->tile(task.reference),
-                             cache->tile(task.moved), fftp, scratch, &counts,
-                             options.peak_candidates, options.min_overlap_px);
-      cache->release(task.reference);
-      cache->release(task.moved);
+      if (shared_store != nullptr) {
+        // Cross-job memoization: a pair whose tile contents and PCIAM
+        // parameters match an earlier job replays the cached displacement
+        // without touching the FFT. PCIAM is a pure function of tile bytes
+        // and parameters, so the replayed Translation is bit-identical to a
+        // recomputation. On a hit the tiles are released without ever
+        // computing — release() tolerates never-computed entries.
+        const PairKey key{
+            cache->digest(task.reference),
+            cache->digest(task.moved),
+            static_cast<std::uint32_t>(fftp.height),
+            static_cast<std::uint32_t>(fftp.width),
+            fftp.real_fft,
+            shared_tier,
+            static_cast<std::uint32_t>(options.peak_candidates),
+            options.min_overlap_px};
+        if (shared_store->find_pair(key, &t)) {
+          cache->release(task.reference);
+          cache->release(task.moved);
+        } else {
+          const fft::Complex* fft_ref = cache->transform(task.reference);
+          const fft::Complex* fft_mov = cache->transform(task.moved);
+          t = pciam_from_spectra(
+              fft_ref, fft_mov, cache->tile(task.reference),
+              cache->tile(task.moved), fftp, scratch, &counts,
+              options.peak_candidates, options.min_overlap_px);
+          cache->release(task.reference);
+          cache->release(task.moved);
+          shared_store->insert_pair(key, t, cache->shared().tenant,
+                                    cache->shared().tenant_quota_bytes);
+        }
+      } else {
+        const fft::Complex* fft_ref = cache->transform(task.reference);
+        const fft::Complex* fft_mov = cache->transform(task.moved);
+        t = pciam_from_spectra(
+            fft_ref, fft_mov, cache->tile(task.reference),
+            cache->tile(task.moved), fftp, scratch, &counts,
+            options.peak_candidates, options.min_overlap_px);
+        cache->release(task.reference);
+        cache->release(task.moved);
+      }
     } else {
       // Naive (Fiji-style) shape: both tiles re-read and re-transformed for
       // every pair, no reuse.

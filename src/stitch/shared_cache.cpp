@@ -1,0 +1,267 @@
+#include "stitch/shared_cache.hpp"
+
+#include <cstring>
+
+#include "common/crc32c.hpp"
+#include "metrics/wellknown.hpp"
+
+namespace hs::stitch {
+
+namespace {
+
+// Fixed charge for a memoized pair result: the Translation plus map/list
+// node overhead. Exact malloc accounting is not worth chasing — what matters
+// is that pair entries are charged at all so a pair-flood cannot grow the
+// cache unbounded below the byte radar.
+constexpr std::size_t kPairEntryBytes = 96;
+
+// Per-spectrum bookkeeping overhead (map node, LRU node, control block)
+// charged on top of the bin payload.
+constexpr std::size_t kSpectrumOverheadBytes = 64;
+
+std::uint64_t fnv1a64(const unsigned char* bytes, std::size_t size,
+                      std::uint64_t h) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  // Word-at-a-time keeps the digest pass cheap on megapixel tiles; memcpy
+  // because the tile buffer only guarantees uint16_t alignment.
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, bytes + i, 8);
+    h = (h ^ w) * kPrime;
+  }
+  for (; i < size; ++i) h = (h ^ bytes[i]) * kPrime;
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  v *= 0x9e3779b97f4a7c15ull;
+  v ^= v >> 32;
+  h ^= v;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t tile_content_digest(const img::ImageU16& tile) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(tile.data());
+  const std::size_t size = tile.pixel_count() * sizeof(std::uint16_t);
+  const std::uint32_t crc = crc32c(bytes, size);
+  std::uint64_t fnv = 1469598103934665603ull;
+  fnv = (fnv ^ tile.height()) * 1099511628211ull;
+  fnv = (fnv ^ tile.width()) * 1099511628211ull;
+  fnv = fnv1a64(bytes, size, fnv);
+  return (static_cast<std::uint64_t>(crc) << 32) ^ fnv;
+}
+
+std::size_t SpectrumKeyHash::operator()(const SpectrumKey& k) const {
+  std::uint64_t h = 0x5370656374727578ull;  // arbitrary domain tag
+  h = mix64(h, k.digest);
+  h = mix64(h, (static_cast<std::uint64_t>(k.height) << 32) | k.width);
+  h = mix64(h, (static_cast<std::uint64_t>(k.real_fft) << 8) |
+                   static_cast<std::uint64_t>(k.tier));
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t PairKeyHash::operator()(const PairKey& k) const {
+  std::uint64_t h = 0x5061697258585858ull;
+  h = mix64(h, k.digest_reference);
+  h = mix64(h, k.digest_moved);
+  h = mix64(h, (static_cast<std::uint64_t>(k.height) << 32) | k.width);
+  h = mix64(h, (static_cast<std::uint64_t>(k.real_fft) << 16) |
+                   (static_cast<std::uint64_t>(k.tier) << 8) |
+                   k.peak_candidates);
+  h = mix64(h, static_cast<std::uint64_t>(k.min_overlap_px));
+  return static_cast<std::size_t>(h);
+}
+
+SharedSpectrumCache::SharedSpectrumCache() : SharedSpectrumCache(Config()) {}
+
+SharedSpectrumCache::SharedSpectrumCache(Config config)
+    : config_(config),
+      metric_spectrum_hits_(metrics::wellknown::shared_cache_hits("spectrum")),
+      metric_spectrum_misses_(
+          metrics::wellknown::shared_cache_misses("spectrum")),
+      metric_pair_hits_(metrics::wellknown::shared_cache_hits("pair")),
+      metric_pair_misses_(metrics::wellknown::shared_cache_misses("pair")),
+      metric_evictions_(metrics::wellknown::shared_cache_evictions()),
+      metric_refusals_(metrics::wellknown::shared_cache_quota_refusals()),
+      metric_resident_bytes_(
+          metrics::wellknown::shared_cache_resident_bytes()) {}
+
+SharedSpectrumCache::SpectrumPtr SharedSpectrumCache::find_spectrum(
+    const SpectrumKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = spectra_.find(key);
+  if (it == spectra_.end()) {
+    ++stats_.spectrum_misses;
+    metric_spectrum_misses_.add();
+    return nullptr;
+  }
+  touch_locked(it->second.lru);
+  ++stats_.spectrum_hits;
+  metric_spectrum_hits_.add();
+  return it->second.value;
+}
+
+SharedSpectrumCache::SpectrumPtr SharedSpectrumCache::insert_spectrum(
+    const SpectrumKey& key, SpectrumPtr spectrum, const std::string& tenant,
+    std::size_t tenant_quota_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = spectra_.find(key);
+  if (it != spectra_.end()) {
+    // First writer won while this thread computed; adopt the resident copy
+    // so every consumer of the key shares one allocation.
+    touch_locked(it->second.lru);
+    return it->second.value;
+  }
+  const std::size_t bytes =
+      spectrum->size() * sizeof(fft::Complex) + kSpectrumOverheadBytes;
+  if (!make_room_locked(bytes, tenant, tenant_quota_bytes)) {
+    return spectrum;  // refused — the caller keeps its private copy
+  }
+  lru_.push_front(LruNode{Kind::kSpectrum, key, PairKey{}});
+  auto inserted = spectra_.emplace(
+      key, SpectrumEntry{std::move(spectrum), bytes, tenant, lru_.begin()});
+  resident_bytes_ += bytes;
+  charge_locked(tenant, static_cast<std::ptrdiff_t>(bytes));
+  stats_.resident_bytes = resident_bytes_;
+  metric_resident_bytes_.add(static_cast<std::int64_t>(bytes));
+  return inserted.first->second.value;
+}
+
+bool SharedSpectrumCache::find_pair(const PairKey& key, Translation* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = pairs_.find(key);
+  if (it == pairs_.end()) {
+    ++stats_.pair_misses;
+    metric_pair_misses_.add();
+    return false;
+  }
+  touch_locked(it->second.lru);
+  ++stats_.pair_hits;
+  metric_pair_hits_.add();
+  if (out != nullptr) *out = it->second.value;
+  return true;
+}
+
+void SharedSpectrumCache::insert_pair(const PairKey& key,
+                                      const Translation& value,
+                                      const std::string& tenant,
+                                      std::size_t tenant_quota_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pairs_.find(key) != pairs_.end()) return;  // first writer wins
+  if (!make_room_locked(kPairEntryBytes, tenant, tenant_quota_bytes)) return;
+  lru_.push_front(LruNode{Kind::kPair, SpectrumKey{}, key});
+  pairs_.emplace(key, PairEntry{value, kPairEntryBytes, tenant, lru_.begin()});
+  resident_bytes_ += kPairEntryBytes;
+  charge_locked(tenant, static_cast<std::ptrdiff_t>(kPairEntryBytes));
+  stats_.resident_bytes = resident_bytes_;
+  metric_resident_bytes_.add(static_cast<std::int64_t>(kPairEntryBytes));
+}
+
+SharedSpectrumCache::Stats SharedSpectrumCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.resident_bytes = resident_bytes_;
+  s.entries = spectra_.size() + pairs_.size();
+  return s;
+}
+
+std::size_t SharedSpectrumCache::tenant_resident_bytes(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenant_bytes_.find(tenant);
+  return it == tenant_bytes_.end() ? 0 : it->second;
+}
+
+void SharedSpectrumCache::touch_locked(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+bool SharedSpectrumCache::make_room_locked(std::size_t bytes,
+                                           const std::string& tenant,
+                                           std::size_t tenant_quota_bytes) {
+  if (bytes > config_.capacity_bytes ||
+      (tenant_quota_bytes != 0 && bytes > tenant_quota_bytes)) {
+    ++stats_.quota_refusals;
+    metric_refusals_.add();
+    return false;
+  }
+  // Tenant quota first: evict this tenant's own LRU entries until its new
+  // footprint fits. Other tenants' entries are never touched on a quota
+  // squeeze — the quota bounds the tenant, not its neighbours.
+  if (tenant_quota_bytes != 0) {
+    auto charged = [&] {
+      auto it = tenant_bytes_.find(tenant);
+      return it == tenant_bytes_.end() ? std::size_t{0} : it->second;
+    };
+    auto owned_by_tenant = [&](const LruNode& node) {
+      return node.kind == Kind::kSpectrum
+                 ? spectra_.find(node.skey)->second.tenant == tenant
+                 : pairs_.find(node.pkey)->second.tenant == tenant;
+    };
+    while (charged() + bytes > tenant_quota_bytes && !lru_.empty()) {
+      // Least-recent entry owned by this tenant (linear scan from the LRU
+      // tail; fine at this cache's entry counts).
+      auto victim = lru_.end();
+      for (auto it = std::prev(lru_.end());; --it) {
+        if (owned_by_tenant(*it)) {
+          victim = it;
+          break;
+        }
+        if (it == lru_.begin()) break;
+      }
+      if (victim == lru_.end()) break;
+      evict_locked(victim);
+    }
+    if (charged() + bytes > tenant_quota_bytes) {
+      ++stats_.quota_refusals;
+      metric_refusals_.add();
+      return false;
+    }
+  }
+  while (resident_bytes_ + bytes > config_.capacity_bytes && !lru_.empty()) {
+    evict_locked(std::prev(lru_.end()));
+  }
+  return resident_bytes_ + bytes <= config_.capacity_bytes;
+}
+
+void SharedSpectrumCache::evict_locked(LruList::iterator it) {
+  std::size_t bytes = 0;
+  std::string tenant;
+  if (it->kind == Kind::kSpectrum) {
+    auto entry = spectra_.find(it->skey);
+    bytes = entry->second.bytes;
+    tenant = entry->second.tenant;
+    // Holders keep the spectrum alive through their shared_ptr; eviction
+    // only drops the cache's reference.
+    spectra_.erase(entry);
+  } else {
+    auto entry = pairs_.find(it->pkey);
+    bytes = entry->second.bytes;
+    tenant = entry->second.tenant;
+    pairs_.erase(entry);
+  }
+  lru_.erase(it);
+  resident_bytes_ -= bytes;
+  charge_locked(tenant, -static_cast<std::ptrdiff_t>(bytes));
+  ++stats_.evictions;
+  metric_evictions_.add();
+  metric_resident_bytes_.add(-static_cast<std::int64_t>(bytes));
+}
+
+void SharedSpectrumCache::charge_locked(const std::string& tenant,
+                                        std::ptrdiff_t bytes) {
+  auto& charged = tenant_bytes_[tenant];
+  if (bytes < 0 && charged < static_cast<std::size_t>(-bytes)) {
+    charged = 0;  // defensive; accounting is exact under mutex_
+  } else {
+    charged = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(charged) + bytes);
+  }
+}
+
+}  // namespace hs::stitch

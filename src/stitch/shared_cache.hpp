@@ -1,0 +1,191 @@
+// Content-addressed spectrum/pair cache shared across jobs.
+//
+// The per-run TransformCache (transform_cache.hpp) frees every spectrum when
+// its pair-graph refcount hits zero, so two jobs reading byte-identical tiles
+// (flat-field frames, calibration tiles, resubmits after a crash) recompute
+// every FFT from scratch. This cache sits underneath it, keyed purely by
+// content: a 64-bit tile digest plus the FFT pipeline signature (extents,
+// real/complex mode, kernel-dispatch tier). Identical tiles across jobs share
+// one spectrum through shared_ptr lifetime, and whole pairs whose inputs and
+// PCIAM parameters match replay the cached Translation without touching the
+// FFT at all. Spectra are bit-identical across jobs by construction — PCIAM
+// is a pure function of tile content and parameters — so sharing preserves
+// the bit-identity guarantees the backend tests assert.
+//
+// Tenancy: every insert is charged to a tenant. A tenant with a quota evicts
+// its own LRU entries to make room and is refused (not given another
+// tenant's budget) when its footprint cannot fit, so the shared cache cannot
+// become a cross-tenant side channel for memory starvation.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/simd.hpp"
+#include "fft/plan2d.hpp"
+#include "imgio/image.hpp"
+#include "metrics/metrics.hpp"
+#include "stitch/types.hpp"
+
+namespace hs::stitch {
+
+/// 64-bit content digest of a tile: CRC32C (the durability layer's checksum)
+/// in the high half combined with an independent FNV-1a-64 pass over the
+/// same bytes. Two passes of one CRC polynomial with different seeds are
+/// affinely related and add no entropy, so the second function must be a
+/// genuinely different hash for the 64-bit collision resistance to be real.
+std::uint64_t tile_content_digest(const img::ImageU16& tile);
+
+/// Identity of one tile spectrum: content digest + the pipeline signature
+/// that shaped the bins. The kernel-dispatch tier is part of the key so a
+/// forced-scalar run never adopts spectra computed by a vector tier (they
+/// are bit-identical today, but the cache must not be the thing that hides
+/// a codelet divergence).
+struct SpectrumKey {
+  std::uint64_t digest = 0;
+  std::uint32_t height = 0;
+  std::uint32_t width = 0;
+  bool real_fft = false;
+  common::SimdTier tier = common::SimdTier::kScalar;
+
+  bool operator==(const SpectrumKey&) const = default;
+};
+
+/// Identity of one pairwise displacement: both tile digests (ordered
+/// reference, moved) plus every PCIAM parameter that shapes the result.
+struct PairKey {
+  std::uint64_t digest_reference = 0;
+  std::uint64_t digest_moved = 0;
+  std::uint32_t height = 0;
+  std::uint32_t width = 0;
+  bool real_fft = false;
+  common::SimdTier tier = common::SimdTier::kScalar;
+  std::uint32_t peak_candidates = 1;
+  std::int64_t min_overlap_px = 1;
+
+  bool operator==(const PairKey&) const = default;
+};
+
+struct SpectrumKeyHash {
+  std::size_t operator()(const SpectrumKey& k) const;
+};
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& k) const;
+};
+
+/// Cross-job content-addressed cache with one unified LRU over two stores
+/// (spectra and pair results), a global byte capacity, and per-tenant byte
+/// accounting. All operations are thread-safe behind one mutex — the
+/// critical sections are map lookups and list splices, never FFTs.
+class SharedSpectrumCache {
+ public:
+  struct Config {
+    std::size_t capacity_bytes = 256ull << 20;
+  };
+
+  using SpectrumPtr = std::shared_ptr<const std::vector<fft::Complex>>;
+
+  SharedSpectrumCache();  // default Config
+  explicit SharedSpectrumCache(Config config);
+
+  /// Returns the cached spectrum (refreshing its LRU position) or nullptr.
+  SpectrumPtr find_spectrum(const SpectrumKey& key);
+
+  /// Inserts a freshly computed spectrum charged to `tenant`
+  /// (tenant_quota_bytes of 0 means unlimited). First writer wins: if the
+  /// key is already resident the cached value is returned and the new one
+  /// dropped, so concurrent computers of one tile converge on one spectrum.
+  /// When the tenant's quota (after evicting its own LRU entries) cannot fit
+  /// the value, the insert is refused and the caller's own pointer comes
+  /// back — the job keeps its private copy and only the sharing is lost.
+  SpectrumPtr insert_spectrum(const SpectrumKey& key, SpectrumPtr spectrum,
+                              const std::string& tenant,
+                              std::size_t tenant_quota_bytes);
+
+  /// Looks up a memoized pairwise displacement; true + *out on a hit.
+  bool find_pair(const PairKey& key, Translation* out);
+
+  /// Memoizes a pairwise displacement (same tenant/quota rules as spectra).
+  void insert_pair(const PairKey& key, const Translation& value,
+                   const std::string& tenant, std::size_t tenant_quota_bytes);
+
+  struct Stats {
+    std::uint64_t spectrum_hits = 0;
+    std::uint64_t spectrum_misses = 0;
+    std::uint64_t pair_hits = 0;
+    std::uint64_t pair_misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t quota_refusals = 0;
+    std::size_t resident_bytes = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+  /// Bytes currently charged to one tenant (0 for unknown tenants).
+  std::size_t tenant_resident_bytes(const std::string& tenant) const;
+
+  std::size_t capacity_bytes() const { return config_.capacity_bytes; }
+
+ private:
+  enum class Kind { kSpectrum, kPair };
+  struct LruNode {
+    Kind kind;
+    SpectrumKey skey;
+    PairKey pkey;
+  };
+  using LruList = std::list<LruNode>;
+
+  struct SpectrumEntry {
+    SpectrumPtr value;
+    std::size_t bytes = 0;
+    std::string tenant;
+    LruList::iterator lru;
+  };
+  struct PairEntry {
+    Translation value;
+    std::size_t bytes = 0;
+    std::string tenant;
+    LruList::iterator lru;
+  };
+
+  // All four helpers run with mutex_ held.
+  void touch_locked(LruList::iterator it);
+  bool make_room_locked(std::size_t bytes, const std::string& tenant,
+                        std::size_t tenant_quota_bytes);
+  void evict_locked(LruList::iterator it);
+  void charge_locked(const std::string& tenant, std::ptrdiff_t bytes);
+
+  Config config_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recent, back = eviction candidate
+  std::unordered_map<SpectrumKey, SpectrumEntry, SpectrumKeyHash> spectra_;
+  std::unordered_map<PairKey, PairEntry, PairKeyHash> pairs_;
+  std::unordered_map<std::string, std::size_t> tenant_bytes_;
+  std::size_t resident_bytes_ = 0;
+  Stats stats_;
+
+  metrics::Counter& metric_spectrum_hits_;
+  metrics::Counter& metric_spectrum_misses_;
+  metrics::Counter& metric_pair_hits_;
+  metrics::Counter& metric_pair_misses_;
+  metrics::Counter& metric_evictions_;
+  metrics::Counter& metric_refusals_;
+  metrics::Gauge& metric_resident_bytes_;
+};
+
+/// How one run binds to a shared cache: the cache itself plus the tenant
+/// identity every insert is charged to. Carried on StitchOptions (process
+/// local, never serialized) and filled in by StitchService from the
+/// request's tenant fields.
+struct SharedCacheBinding {
+  SharedSpectrumCache* cache = nullptr;
+  std::string tenant = "default";
+  std::size_t tenant_quota_bytes = 0;  // 0 = unlimited within capacity
+};
+
+}  // namespace hs::stitch

@@ -19,6 +19,7 @@ class FaultPlan;
 namespace hs::stitch {
 
 class PairLedger;
+class SharedSpectrumCache;
 
 enum class Backend {
   /// Fiji-style baseline: per-pair FFT recomputation, no caching.
@@ -138,6 +139,17 @@ struct StitchOptions {
   /// Pair-level progress ledger; backends record each computed pair so
   /// fallback attempts and checkpoints can reuse it.
   PairLedger* ledger = nullptr;
+
+  // --- cross-job shared cache (shared_cache.hpp) -------------------------
+  /// Content-addressed spectrum/pair store shared across jobs. Process-local
+  /// like the hooks above (never serialized); StitchService binds it from
+  /// the request's tenant fields, direct callers may set it themselves.
+  /// Only the CPU transform-cache backends consult it.
+  SharedSpectrumCache* shared_cache = nullptr;
+  /// Tenant the run's cache inserts are charged to.
+  std::string shared_tenant = "default";
+  /// Byte quota for this tenant inside the shared cache (0 = unlimited).
+  std::size_t shared_tenant_quota_bytes = 0;
 };
 
 /// Polls the options' cancel token (no-op when unset); backends call this at

@@ -8,10 +8,17 @@
 // get() computes the transform (and loads the tile) on first use, and
 // release() frees both at zero. Thread-safe with per-entry compute-once
 // semantics so the SPMD implementation can share one cache across threads.
+//
+// When bound to a SharedSpectrumCache (shared_cache.hpp) the per-run cache
+// becomes a refcounted view over the cross-job store: spectra are looked up
+// by tile-content digest before being computed, freshly computed spectra are
+// published for other jobs, and release() drops this run's reference while
+// the shared store keeps the allocation alive for future jobs.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -21,6 +28,7 @@
 #include "stitch/ledger.hpp"
 #include "stitch/opcounts.hpp"
 #include "stitch/pciam.hpp"
+#include "stitch/shared_cache.hpp"
 #include "stitch/types.hpp"
 
 namespace hs::stitch {
@@ -31,9 +39,11 @@ class TransformCache {
   /// the remaining pair graph under a warm start; the default (no warm
   /// table) yields the full pair_degree. Entries hold
   /// pipeline.spectrum_count() bins — half-spectrum pipelines halve the
-  /// cache's footprint.
+  /// cache's footprint. `shared` optionally binds the run to a cross-job
+  /// content-addressed store (see shared_cache.hpp).
   TransformCache(const TileProvider& provider, FftPipeline pipeline,
-                 OpCountsAtomic* counts, WarmFilter filter = WarmFilter());
+                 OpCountsAtomic* counts, WarmFilter filter = WarmFilter(),
+                 SharedCacheBinding shared = SharedCacheBinding());
 
   /// The tile's degree in the pair graph (its initial reference count).
   static std::size_t pair_degree(const img::GridLayout& layout,
@@ -52,7 +62,16 @@ class TransformCache {
   /// The spatial tile (valid while the entry is live), for CCF evaluation.
   const img::ImageU16& tile(img::TilePos pos);
 
+  /// The tile's content digest (shared_cache.hpp), computed and memoized on
+  /// first call. Reads the tile if the entry has not loaded it yet (the read
+  /// is reused by a later transform()); must not be called on an entry whose
+  /// consumers already released it to zero.
+  std::uint64_t digest(img::TilePos pos);
+
   /// Decrements the reference count; frees the entry when it reaches zero.
+  /// Tolerant of entries that never computed a transform — a consumer whose
+  /// pair failed (quarantined tile) or was served by the shared pair store
+  /// releases its references like any other.
   void release(img::TilePos pos);
 
   std::size_t live_transforms() const {
@@ -67,6 +86,7 @@ class TransformCache {
     return peak_live_transforms() * pipeline_.transform_bytes();
   }
   const FftPipeline& pipeline() const { return pipeline_; }
+  const SharedCacheBinding& shared() const { return shared_; }
 
  private:
   struct Entry {
@@ -74,8 +94,16 @@ class TransformCache {
     std::condition_variable ready_cv;
     enum class State { kEmpty, kComputing, kReady, kFreed } state =
         State::kEmpty;
-    std::vector<fft::Complex> transform;
+    // Shared ownership so an entry can adopt a spectrum resident in the
+    // cross-job store without copying; unshared runs simply hold the only
+    // reference.
+    std::shared_ptr<const std::vector<fft::Complex>> transform;
     img::ImageU16 tile;
+    bool tile_loaded = false;
+    // The digest outlives the payload (it is cheap and lets a released
+    // entry still answer digest() during teardown races).
+    bool digest_valid = false;
+    std::uint64_t digest = 0;
     std::size_t refcount = 0;
   };
 
@@ -88,6 +116,8 @@ class TransformCache {
   img::GridLayout layout_;
   FftPipeline pipeline_;
   OpCountsAtomic* counts_;
+  SharedCacheBinding shared_;
+  common::SimdTier tier_;  // dispatch tier captured at construction
   std::vector<std::unique_ptr<Entry>> entries_;
   std::atomic<std::size_t> live_{0};
   std::atomic<std::size_t> peak_{0};
