@@ -33,6 +33,13 @@
 //      tenant's accepted jobs inside deadline + one watchdog period. The
 //      timings land in BENCH_journal.json's real_time_ns/derived sections,
 //      which scripts/perf_gate.py diffs against the committed snapshot.
+//   8. Restart with a persisted spill cache — the same job through two
+//      service incarnations over one spill directory. The cold incarnation
+//      computes every forward FFT and persists spectra + pair displacements;
+//      the warm incarnation starts with an empty memory cache, recovers the
+//      spill index, and must replay the resubmit with zero forward FFTs at
+//      >= 2x the cold wall clock, bit-identically. Numbers land in
+//      BENCH_restart.json (--restart-json-out), gated by perf_gate.py.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -76,6 +83,9 @@ int main(int argc, char** argv) {
   cli.add_flag("tile-width", "tile width in pixels", "128");
   stitch::register_json_out_flag(
       cli, "the journal section's numbers", "BENCH_journal.json");
+  cli.add_flag("restart-json-out",
+               "write the restart section's numbers to this JSON file "
+               "(empty: skip)", "");
   stitch::register_metrics_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
@@ -596,6 +606,84 @@ int main(int argc, char** argv) {
   }
   const bool shared_ok = shared_identical && shared_fast_enough && fair_ok;
 
+  // ---- 8. Restart with a persisted spill cache. --------------------------
+  // Two service *incarnations* over one spill directory. The cold one pays
+  // for every forward FFT and spills spectra + pair displacements as it
+  // goes; the warm one constructs with an empty memory cache, recovers the
+  // spill index from disk, and replays the identical resubmit from
+  // persisted pair results — zero forward FFTs, >= 2x faster, bit-identical.
+  std::printf("\n== Restart with persisted spill cache ==\n");
+  const std::filesystem::path restart_root = "bench_restart_tmp";
+  std::filesystem::remove_all(restart_root);
+  serve::ServiceConfig restart_config = config;
+  restart_config.workers = 1;
+  restart_config.shared_cache_bytes = 256ull << 20;
+  restart_config.spill_dir = (restart_root / "spill").string();
+  bool restart_identical = true;
+  auto run_restart_once = [&](double* seconds_out) -> std::uint64_t {
+    serve::StitchService service(restart_config);
+    Stopwatch stopwatch;
+    serve::StitchJob job;
+    job.name = "restartable";
+    job.backend = stitch::Backend::kMtCpu;
+    job.provider = &providers[1];
+    job.options = options_for[1];
+    const stitch::StitchResult result = service.submit(job).wait();
+    *seconds_out = stopwatch.seconds();
+    restart_identical =
+        restart_identical &&
+        stitch::diff_tables(direct[1].table, result.table).identical();
+    return result.ops.forward_ffts;
+  };
+  double restart_cold_s = 0.0;
+  double restart_warm_s = 0.0;
+  const std::uint64_t restart_cold_ffts = run_restart_once(&restart_cold_s);
+  const std::uint64_t restart_warm_ffts = run_restart_once(&restart_warm_s);
+  const double restart_speedup = restart_cold_s / restart_warm_s;
+  const bool restart_fast_enough = restart_speedup >= 2.0;
+  std::printf("cold incarnation: %s (%llu forward FFTs) | warm restart: %s "
+              "(%llu forward FFTs) | speedup %.2fx (gate: >= 2x)\n",
+              format_duration(restart_cold_s).c_str(),
+              static_cast<unsigned long long>(restart_cold_ffts),
+              format_duration(restart_warm_s).c_str(),
+              static_cast<unsigned long long>(restart_warm_ffts),
+              restart_speedup);
+  std::printf("warm resubmit replayed from the spill tier: %s; tables %s\n",
+              restart_warm_ffts == 0 ? "0 forward FFTs" : "RECOMPUTED FFTS",
+              restart_identical ? "bit-identical to direct stitch()"
+                                : "MISMATCH vs direct stitch()");
+  std::filesystem::remove_all(restart_root);
+  const bool restart_ok = restart_identical && restart_fast_enough &&
+                          restart_warm_ffts == 0 && restart_cold_ffts > 0;
+
+  const std::string restart_json_path = cli.get("restart-json-out");
+  if (!restart_json_path.empty()) {
+    std::FILE* json = std::fopen(restart_json_path.c_str(), "w");
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "{\n"
+                   "  \"bench\": \"restart\",\n"
+                   "  \"real_time_ns\": {\n"
+                   "    \"serve_restart_cold_ns\": %.0f,\n"
+                   "    \"serve_restart_warm_ns\": %.0f\n"
+                   "  },\n"
+                   "  \"derived\": {\n"
+                   "    \"serve_restart_warm_speedup\": %.4f\n"
+                   "  },\n"
+                   "  \"cold_forward_ffts\": %llu,\n"
+                   "  \"warm_forward_ffts\": %llu,\n"
+                   "  \"pass\": %s\n"
+                   "}\n",
+                   restart_cold_s * 1e9, restart_warm_s * 1e9,
+                   restart_speedup,
+                   static_cast<unsigned long long>(restart_cold_ffts),
+                   static_cast<unsigned long long>(restart_warm_ffts),
+                   restart_ok ? "true" : "false");
+      std::fclose(json);
+      std::printf("wrote %s\n", restart_json_path.c_str());
+    }
+  }
+
   if (!stitch::json_out_from_cli(cli).empty()) {
     std::FILE* json = std::fopen(stitch::json_out_from_cli(cli).c_str(), "w");
     if (json != nullptr) {
@@ -650,7 +738,7 @@ int main(int argc, char** argv) {
   }
 
   const bool ok = all_identical && rejected && overhead_ok && overload_ok &&
-                  journal_ok && shared_ok &&
+                  journal_ok && shared_ok && restart_ok &&
                   big_handle.state() == serve::JobState::kDone;
   std::printf("\n%s\n", ok ? "Reproduced: shared budget serves heterogeneous "
                              "jobs concurrently with bit-identical results."

@@ -22,6 +22,7 @@
 #include "stitch/cli_flags.hpp"
 #include "stitch/scheduler.hpp"
 #include "stitch/shared_cache.hpp"
+#include "stitch/spectrum_store.hpp"
 #include "stitch/validate.hpp"
 
 using namespace hs;
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
   stitch::register_journal_flags(cli);
   stitch::register_tenant_flags(cli);
   stitch::register_shared_cache_flag(cli, /*default_mb=*/64);
+  stitch::register_spill_flags(cli);
   stitch::register_metrics_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   const std::int64_t deadline_ms = stitch::deadline_ms_from_cli(cli);
@@ -49,6 +51,9 @@ int main(int argc, char** argv) {
   config.memory_budget_bytes =
       static_cast<std::size_t>(cli.get_int("budget-mb")) << 20;
   config.shared_cache_bytes = stitch::shared_cache_bytes_from_cli(cli);
+  config.spill_dir = stitch::spill_dir_from_cli(cli);
+  config.soft_watermark = stitch::soft_watermark_from_cli(cli);
+  config.hard_watermark = stitch::hard_watermark_from_cli(cli);
   config.record_traces = true;
   config.journal.dir = stitch::journal_dir_from_cli(cli);
   if (!config.journal.dir.empty()) {
@@ -193,6 +198,15 @@ int main(int argc, char** argv) {
                 stitch::diff_tables(direct.table, rerun.table).identical()
                     ? "bit-identical"
                     : "MISMATCH");
+    if (service.spill_store() != nullptr) {
+      const auto spill = service.spill_store()->stats();
+      std::printf("spill tier: %llu spectrum frames + %llu pair results "
+                  "persisted in %s — rerun this command to warm-start the "
+                  "cache across the restart\n",
+                  static_cast<unsigned long long>(spill.spectrum_frames),
+                  static_cast<unsigned long long>(spill.pairs),
+                  config.spill_dir.c_str());
+    }
   }
 
   // Cancellation: start a fresh long job and cancel it mid-flight.

@@ -35,6 +35,8 @@ std::string site_name(Site site) {
     case Site::kStreamExec: return "stream_exec";
     case Site::kJournalWrite: return "journal_write";
     case Site::kCheckpointCorrupt: return "checkpoint_corrupt";
+    case Site::kSpillWrite: return "spill_write";
+    case Site::kSpillRead: return "spill_read";
   }
   return "?";
 }

@@ -37,8 +37,11 @@ enum class Site : std::size_t {
   kStreamExec = 2,  ///< vgpu::Stream::enqueue (labeled command submission)
   kJournalWrite = 3,      ///< serve::Journal::append (key = record ordinal)
   kCheckpointCorrupt = 4, ///< checkpoint file finalization (corruption only)
+  kSpillWrite = 5, ///< SpectrumStore::put (ENOSPC; corruption = short write /
+                   ///< bit rot on the frame just written)
+  kSpillRead = 6,  ///< SpectrumStore::load (I/O error; key = content digest)
 };
-inline constexpr std::size_t kSiteCount = 5;
+inline constexpr std::size_t kSiteCount = 7;
 
 std::string site_name(Site site);
 

@@ -20,6 +20,14 @@ constexpr const char* kScEvictions = "hs_stitch_shared_cache_evictions_total";
 constexpr const char* kScRefusals =
     "hs_stitch_shared_cache_quota_refusals_total";
 constexpr const char* kScResident = "hs_stitch_shared_cache_resident_bytes";
+constexpr const char* kSpillHits = "hs_stitch_spill_hits_total";
+constexpr const char* kSpillMisses = "hs_stitch_spill_misses_total";
+constexpr const char* kSpillBytesWritten = "hs_stitch_spill_bytes_written_total";
+constexpr const char* kSpillBytesRead = "hs_stitch_spill_bytes_read_total";
+constexpr const char* kSpillCorrupt = "hs_stitch_spill_corrupt_frames_total";
+constexpr const char* kSpillWriteFailures =
+    "hs_stitch_spill_write_failures_total";
+constexpr const char* kSpillFrames = "hs_stitch_spill_frames";
 constexpr const char* kPoolAllocs = "hs_vgpu_pool_allocs_total";
 constexpr const char* kPoolAcquires = "hs_vgpu_pool_acquires_total";
 constexpr const char* kPoolBytes = "hs_vgpu_pool_bytes";
@@ -48,6 +56,9 @@ constexpr const char* kServeDeadline = "hs_serve_deadline_exceeded_total";
 constexpr const char* kServeShed = "hs_serve_shed_total";
 constexpr const char* kServeWatchdog = "hs_serve_watchdog_stalls_total";
 constexpr const char* kServeBreaker = "hs_serve_breaker_state";
+constexpr const char* kServeWatermarkDeferrals =
+    "hs_serve_watermark_deferrals_total";
+constexpr const char* kServePressure = "hs_serve_memory_pressure";
 constexpr const char* kTenantAdmitted = "hs_serve_tenant_jobs_admitted_total";
 constexpr const char* kTenantDeferrals =
     "hs_serve_tenant_quota_deferrals_total";
@@ -102,6 +113,14 @@ Counter& shared_cache_evictions() { return reg().counter(kScEvictions); }
 Counter& shared_cache_quota_refusals() { return reg().counter(kScRefusals); }
 Gauge& shared_cache_resident_bytes() { return reg().gauge(kScResident); }
 
+Counter& spill_hits() { return reg().counter(kSpillHits); }
+Counter& spill_misses() { return reg().counter(kSpillMisses); }
+Counter& spill_bytes_written() { return reg().counter(kSpillBytesWritten); }
+Counter& spill_bytes_read() { return reg().counter(kSpillBytesRead); }
+Counter& spill_corrupt_frames() { return reg().counter(kSpillCorrupt); }
+Counter& spill_write_failures() { return reg().counter(kSpillWriteFailures); }
+Gauge& spill_frames() { return reg().gauge(kSpillFrames); }
+
 Counter& pool_allocs_total() { return reg().counter(kPoolAllocs); }
 Counter& pool_acquires_total() { return reg().counter(kPoolAcquires); }
 Gauge& pool_bytes() { return reg().gauge(kPoolBytes); }
@@ -155,6 +174,10 @@ Counter& serve_watchdog_stalls_total() {
   return reg().counter(kServeWatchdog);
 }
 Gauge& serve_breaker_state() { return reg().gauge(kServeBreaker); }
+Counter& serve_watermark_deferrals_total() {
+  return reg().counter(kServeWatermarkDeferrals);
+}
+Gauge& serve_memory_pressure() { return reg().gauge(kServePressure); }
 
 Counter& tenant_jobs_admitted(const std::string& tenant) {
   return reg().counter(kTenantAdmitted, {{"tenant", tenant}});
@@ -213,6 +236,22 @@ void register_wellknown(Registry& registry) {
                    "Shared-cache inserts refused by a tenant quota");
   registry.gauge(kScResident, {},
                  "Shared-cache resident bytes (peak = high-water mark)");
+  registry.counter(kSpillHits, {},
+                   "Spectra served from the disk spill tier (FFT skipped)");
+  registry.counter(kSpillMisses, {},
+                   "Spill-tier lookups that found no usable frame");
+  registry.counter(kSpillBytesWritten, {},
+                   "Bytes written to spill frames (CRC32C framing included)");
+  registry.counter(kSpillBytesRead, {},
+                   "Bytes read back from spill frames on demand loads");
+  registry.counter(kSpillCorrupt, {},
+                   "Spill frames that failed CRC/framing checks and were "
+                   "deleted (the spectrum recomputes as a miss)");
+  registry.counter(kSpillWriteFailures, {},
+                   "Spill writes dropped on I/O failure (ENOSPC, short "
+                   "write); the cache degrades to memory-only");
+  registry.gauge(kSpillFrames, {},
+                 "Valid spectrum frames indexed in the spill directory");
   registry.counter(kPoolAllocs, {}, "Device buffers allocated by pools");
   registry.counter(kPoolAcquires, {},
                    "Buffer-pool acquisitions (reuse ratio = "
@@ -268,6 +307,12 @@ void register_wellknown(Registry& registry) {
                    "Stall interrupts raised by the serve watchdog");
   registry.gauge(kServeBreaker, {},
                  "GPU circuit-breaker state: 0 closed, 1 open, 2 half-open");
+  registry.counter(kServeWatermarkDeferrals, {},
+                   "Admissions deferred because memory sat above a watermark "
+                   "(deferred jobs stay queued and run later)");
+  registry.gauge(kServePressure, {},
+                 "Memory pressure: 0 below soft watermark, 1 above soft, "
+                 "2 at/above hard");
   registry.declare(kTenantAdmitted, MetricType::kCounter,
                    "Jobs admitted past the memory gate by tenant");
   registry.declare(kTenantDeferrals, MetricType::kCounter,

@@ -64,6 +64,18 @@ Counter& shared_cache_evictions();
 Counter& shared_cache_quota_refusals();
 Gauge& shared_cache_resident_bytes();
 
+// --- disk spill tier under the shared cache (stitch/spectrum_store.hpp) ---
+/// A spill hit is a spectrum served from disk instead of a forward FFT; a
+/// corrupt frame is a CRC/framing failure detected at load or recover time
+/// (the frame is deleted and the spectrum recomputed as a miss).
+Counter& spill_hits();
+Counter& spill_misses();
+Counter& spill_bytes_written();
+Counter& spill_bytes_read();
+Counter& spill_corrupt_frames();
+Counter& spill_write_failures();
+Gauge& spill_frames();
+
 // --- vgpu buffer pools ---
 Counter& pool_allocs_total();
 Counter& pool_acquires_total();
@@ -116,6 +128,11 @@ Counter& serve_shed_total();
 Counter& serve_watchdog_stalls_total();
 /// 0 = closed, 1 = open, 2 = half-open (matches serve::BreakerState).
 Gauge& serve_breaker_state();
+/// Admissions deferred (job stays queued) because memory sat above a
+/// watermark; distinct from shed/rejected — deferred jobs run later.
+Counter& serve_watermark_deferrals_total();
+/// 0 below the soft watermark, 1 between soft and hard, 2 at/above hard.
+Gauge& serve_memory_pressure();
 
 // --- per-tenant serve accounting (label: tenant — an open vocabulary, so
 // these are declare()d like queue names and instantiated on first use; the

@@ -459,6 +459,14 @@ std::vector<ReplayedJob> Journal::replay(ReplayStats* stats) {
       if (record.type == "submitted") {
         live_[record.id] = LiveJob{record.name, record.request_text,
                                    record.ckpt, record.priority, false};
+        if (!record.ckpt.empty() &&
+            std::find(replayed_checkpoint_paths_.begin(),
+                      replayed_checkpoint_paths_.end(),
+                      record.ckpt) == replayed_checkpoint_paths_.end()) {
+          // Captured here, not at terminal time: a terminal job's .tmp
+          // orphan (crash mid-checkpoint) still needs the startup sweep.
+          replayed_checkpoint_paths_.push_back(record.ckpt);
+        }
       } else if (record.type == "started") {
         const auto it = live_.find(record.id);
         if (it != live_.end()) it->second.started = true;

@@ -138,6 +138,14 @@ class Journal {
 
   const std::string& dir() const { return config_.dir; }
 
+  /// Every distinct checkpoint path named by a replayed submitted record —
+  /// terminal jobs included (their path is captured before the terminal
+  /// record retires them). The service sweeps `<path>.tmp` orphans left by
+  /// a crash between a checkpoint's temp write and its rename.
+  const std::vector<std::string>& replayed_checkpoint_paths() const {
+    return replayed_checkpoint_paths_;
+  }
+
  private:
   /// A live (non-terminal) job as rotation re-emits it.
   struct LiveJob {
@@ -173,6 +181,8 @@ class Journal {
   /// Submit-ordered live jobs; terminal records erase their entry, and
   /// rotation re-emits what remains.
   std::map<std::uint64_t, LiveJob> live_;
+  /// Distinct checkpoint paths seen during replay (live and terminal jobs).
+  std::vector<std::string> replayed_checkpoint_paths_;
 };
 
 }  // namespace hs::serve

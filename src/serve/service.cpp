@@ -9,6 +9,7 @@
 #include "common/thread_util.hpp"
 #include "metrics/wellknown.hpp"
 #include "stitch/shared_cache.hpp"
+#include "stitch/spectrum_store.hpp"
 #include "stitch/stitcher.hpp"
 #include "stitch/table_io.hpp"
 
@@ -41,9 +42,32 @@ StitchService::StitchService(ServiceConfig config)
              "watchdog_period_s: must be >= 0");
   HS_REQUIRE(config_.checkpoint_interval_s >= 0.0,
              "checkpoint_interval_s: must be >= 0");
+  HS_REQUIRE(config_.soft_watermark >= 0.0 && config_.soft_watermark <= 1.0,
+             "soft_watermark: must be a fraction in [0, 1]");
+  HS_REQUIRE(config_.hard_watermark >= 0.0 && config_.hard_watermark <= 1.0,
+             "hard_watermark: must be a fraction in [0, 1]");
+  if (config_.soft_watermark > 0.0 && config_.hard_watermark > 0.0) {
+    HS_REQUIRE(config_.soft_watermark <= config_.hard_watermark,
+               "soft_watermark: must not exceed hard_watermark (degrade "
+               "before defer)");
+  }
+  if (!config_.spill_dir.empty()) {
+    HS_REQUIRE(config_.shared_cache_bytes > 0,
+               "spill_dir: the disk spill tier sits under the shared cache; "
+               "set shared_cache_bytes > 0 (or clear spill_dir)");
+  }
   if (config_.shared_cache_bytes > 0) {
     stitch::SharedSpectrumCache::Config cache_config;
     cache_config.capacity_bytes = config_.shared_cache_bytes;
+    if (!config_.spill_dir.empty()) {
+      // The store recovers its on-disk index (and GCs dead frames) here,
+      // before any job exists — recovered jobs warm-start from it too.
+      stitch::SpectrumStore::Config store_config;
+      store_config.dir = config_.spill_dir;
+      store_config.faults = config_.journal.faults;
+      spill_store_ = std::make_unique<stitch::SpectrumStore>(store_config);
+      cache_config.store = spill_store_.get();
+    }
     shared_cache_ = std::make_unique<stitch::SharedSpectrumCache>(cache_config);
   }
   // Replay + resubmit before any thread exists: recovered jobs sit in the
@@ -185,6 +209,18 @@ void StitchService::recover_from_journal() {
       metrics::wellknown::journal_replay_jobs_total("unresolved").add();
       std::fprintf(stderr, "serve: could not resubmit recovered job %s: %s\n",
                    entry.name.c_str(), e.what());
+    }
+  }
+  // Sweep checkpoint .tmp orphans: a crash between a checkpoint's temp
+  // write and its rename leaves `<path>.tmp` behind. Every checkpoint path
+  // the journal knows about gets its temp sibling removed — the published
+  // path itself is never touched.
+  for (const std::string& path : journal_->replayed_checkpoint_paths()) {
+    const std::string tmp = path + ".tmp";
+    if (std::remove(tmp.c_str()) == 0) {
+      ++recovery_.checkpoint_tmp_removed;
+      std::fprintf(stderr, "serve: removed orphaned checkpoint temp %s\n",
+                   tmp.c_str());
     }
   }
   // Drop the dead history: the fresh segment holds only live jobs, so the
@@ -482,6 +518,44 @@ void StitchService::scan_queue_locked() {
   }
 }
 
+std::size_t StitchService::soft_watermark_bytes() const {
+  return config_.soft_watermark > 0.0
+             ? static_cast<std::size_t>(
+                   config_.soft_watermark *
+                   static_cast<double>(config_.memory_budget_bytes))
+             : 0;
+}
+
+std::size_t StitchService::hard_watermark_bytes() const {
+  return config_.hard_watermark > 0.0
+             ? static_cast<std::size_t>(
+                   config_.hard_watermark *
+                   static_cast<double>(config_.memory_budget_bytes))
+             : 0;
+}
+
+int StitchService::update_pressure_locked() {
+  int level = 0;
+  const std::size_t hard = hard_watermark_bytes();
+  const std::size_t soft = soft_watermark_bytes();
+  if (hard > 0 && memory_in_use_ >= hard) {
+    level = 2;
+  } else if (soft > 0 && memory_in_use_ >= soft) {
+    level = 1;
+  }
+  if (level != pressure_level_) {
+    pressure_level_ = level;
+    metrics::wellknown::serve_memory_pressure().set(level);
+    if (shared_cache_ != nullptr) {
+      // Above the soft watermark the shared cache goes disk-primary: fresh
+      // spectra spill instead of growing the resident set, while spilled
+      // reuse keeps skipping forward FFTs.
+      shared_cache_->set_pressure(level >= 1);
+    }
+  }
+  return level;
+}
+
 StitchService::Record StitchService::pick_locked() {
   scan_queue_locked();
   // Clamp, don't subtract blindly: an oversized recovery resubmit running
@@ -491,6 +565,18 @@ StitchService::Record StitchService::pick_locked() {
       config_.memory_budget_bytes > memory_in_use_
           ? config_.memory_budget_bytes - memory_in_use_
           : 0;
+  // Watermark degradation: above the soft watermark the admission limit
+  // shrinks from the full budget to hard * budget; at/above the hard
+  // watermark nothing is admitted until memory drains. Deferred jobs stay
+  // queued — pressure never sheds accepted work.
+  const int pressure = update_pressure_locked();
+  std::size_t wm_headroom = headroom;
+  if (pressure >= 2) {
+    wm_headroom = 0;
+  } else if (pressure == 1 && hard_watermark_bytes() > 0) {
+    const std::size_t limit = hard_watermark_bytes();
+    wm_headroom = limit > memory_in_use_ ? limit - memory_in_use_ : 0;
+  }
   // Within the highest priority class that has an admissible job, pick the
   // weighted-fair winner: smallest virtual start time, FIFO among ties.
   auto best = queue_.end();
@@ -505,6 +591,12 @@ StitchService::Record StitchService::pick_locked() {
       // service is idle, so it runs alone rather than never.
       if (memory_in_use_ != 0 || running_ != 0) continue;
     } else if (record->footprint_bytes > headroom) {
+      continue;
+    } else if (record->footprint_bytes > wm_headroom) {
+      // Fits the budget but not the watermark-shrunk limit: deferred, not
+      // shed — it runs when memory drains below the watermarks.
+      counters_.watermark_deferrals.fetch_add(1, std::memory_order_relaxed);
+      metrics::wellknown::serve_watermark_deferrals_total().add();
       continue;
     }
     TenantState& tenant = tenants_[record->request.tenant];
@@ -556,6 +648,7 @@ void StitchService::worker_main(std::size_t id) {
     ++running_;
     metrics::wellknown::serve_memory_in_use_bytes().set(
         static_cast<std::int64_t>(memory_in_use_));
+    update_pressure_locked();
     // Admission freed a queue slot: a backpressured submit may proceed.
     cv_submit_.notify_all();
     lock.unlock();
@@ -565,6 +658,7 @@ void StitchService::worker_main(std::size_t id) {
     --running_;
     metrics::wellknown::serve_memory_in_use_bytes().set(
         static_cast<std::int64_t>(memory_in_use_));
+    update_pressure_locked();
     TenantState& tenant = tenants_[job->request.tenant];
     tenant.in_use_bytes -= std::min(tenant.in_use_bytes, job->footprint_bytes);
     metrics::wellknown::tenant_memory_in_use_bytes(job->request.tenant)
@@ -810,6 +904,8 @@ ServiceMetrics StitchService::metrics() const {
       counters_.deadline_exceeded.load(std::memory_order_relaxed);
   m.watchdog_stalls =
       counters_.watchdog_stalls.load(std::memory_order_relaxed);
+  m.watermark_deferrals =
+      counters_.watermark_deferrals.load(std::memory_order_relaxed);
   m.breaker_state = static_cast<int>(breaker_.state());
   m.queue_wait_us_total =
       counters_.queue_wait_us.load(std::memory_order_relaxed);
@@ -818,6 +914,7 @@ ServiceMetrics StitchService::metrics() const {
   m.queued = queue_.size();
   m.running = running_;
   m.memory_in_use_bytes = memory_in_use_;
+  m.memory_pressure = pressure_level_;
   return m;
 }
 

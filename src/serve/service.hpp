@@ -38,6 +38,7 @@
 
 namespace hs::stitch {
 class SharedSpectrumCache;
+class SpectrumStore;
 }  // namespace hs::stitch
 
 namespace hs::serve {
@@ -98,6 +99,20 @@ struct ServiceConfig {
   /// bit-identical because the cached values are themselves bit-exact.
   /// 0 disables cross-job sharing.
   std::size_t shared_cache_bytes = 0;
+  /// Disk spill tier under the shared cache (stitch/spectrum_store.hpp):
+  /// spectra evicted from (or refused by) memory persist as CRC32C-framed
+  /// files here, memory misses reload from disk instead of recomputing the
+  /// FFT, and a restarted service warm-starts its cache from the surviving
+  /// frames and pair log. Requires shared_cache_bytes > 0. Empty = no spill.
+  std::string spill_dir;
+  /// Memory watermarks as fractions of memory_budget_bytes (0 = disabled;
+  /// both in [0, 1], soft <= hard when both set). Above the soft watermark
+  /// admission headroom shrinks to hard * budget and the shared cache goes
+  /// disk-primary (jobs prefer spilled reuse over fresh cache growth); at
+  /// the hard watermark new admissions are deferred — jobs stay queued and
+  /// run when memory drains, never OOM-killed.
+  double soft_watermark = 0.0;
+  double hard_watermark = 0.0;
   /// Write-ahead journal of job lifecycle events. When journal.dir is
   /// non-empty the service journals every submit/start/checkpoint/terminal
   /// transition, replays the journal on construction, and resubmits every
@@ -120,6 +135,9 @@ struct RecoveryStats {
   std::size_t resumed = 0;     ///< resubmitted, warm-started from checkpoint
   std::size_t fresh = 0;       ///< resubmitted, no usable checkpoint
   std::size_t unresolved = 0;  ///< no provider; left in the journal
+  /// Orphaned checkpoint .tmp files deleted at startup (a crash between the
+  /// temp write and the rename leaves one behind).
+  std::size_t checkpoint_tmp_removed = 0;
 };
 
 /// Point-in-time service counters (see StitchService::metrics()). The same
@@ -140,6 +158,9 @@ struct ServiceMetrics {
   std::uint64_t jobs_deadline_exceeded = 0;
   /// Stall interrupts raised by the watchdog.
   std::uint64_t watchdog_stalls = 0;
+  /// Admissions deferred because memory sat above a watermark (the job
+  /// stays queued — distinct from shed/rejected, which are terminal).
+  std::uint64_t watermark_deferrals = 0;
   /// Sums over admitted (queue wait) and terminal (run) jobs, microseconds.
   std::uint64_t queue_wait_us_total = 0;
   std::uint64_t run_us_total = 0;
@@ -149,6 +170,8 @@ struct ServiceMetrics {
   std::size_t memory_in_use_bytes = 0;
   /// GPU circuit-breaker state: 0 closed, 1 open, 2 half-open.
   int breaker_state = 0;
+  /// Memory pressure: 0 below soft watermark, 1 above soft, 2 at/above hard.
+  int memory_pressure = 0;
 };
 
 /// Per-tenant snapshot (see StitchService::tenant_metrics()). The same
@@ -218,6 +241,10 @@ class StitchService {
   /// ServiceConfig::shared_cache_bytes == 0.
   stitch::SharedSpectrumCache* shared_cache() { return shared_cache_.get(); }
 
+  /// The disk spill tier under the shared cache; nullptr when
+  /// ServiceConfig::spill_dir is empty.
+  stitch::SpectrumStore* spill_store() { return spill_store_.get(); }
+
   /// Handles of the jobs startup recovery resubmitted (submit order).
   /// Empty without a journal or when the journal held no live jobs.
   const std::vector<JobHandle>& recovered_jobs() const { return recovered_; }
@@ -254,6 +281,13 @@ class StitchService {
   /// cancelled/expired/overstayed queued jobs on the way. Caller holds
   /// mutex_.
   Record pick_locked();
+  /// Recomputes the memory-pressure level from memory_in_use_, updates the
+  /// pressure gauge, and flips the shared cache's disk-primary mode at the
+  /// soft watermark. Caller holds mutex_. Returns the level (0/1/2).
+  int update_pressure_locked();
+  /// Watermark thresholds in bytes; 0 when the fraction is 0 (disabled).
+  std::size_t soft_watermark_bytes() const;
+  std::size_t hard_watermark_bytes() const;
   /// Removes every cancelled, deadline-expired, or wait-expired job from
   /// the queue and retires it. Caller holds mutex_.
   void scan_queue_locked();
@@ -285,6 +319,11 @@ class StitchService {
   std::vector<JobHandle> recovered_;
   RecoveryStats recovery_;
 
+  /// Disk spill tier under the shared cache. Declared before the cache so
+  /// it outlives it (the cache holds a raw pointer); created before
+  /// recovery, so recovered jobs warm-start from persisted frames.
+  std::unique_ptr<stitch::SpectrumStore> spill_store_;
+
   /// Cross-job spectrum/pair cache bound into every job's StitchOptions.
   /// Created before recovery (recovered jobs share too); internally
   /// synchronized, so backends use it without the service lock.
@@ -311,6 +350,7 @@ class StitchService {
   std::vector<Record> jobs_;            ///< every job ever submitted
   std::size_t memory_in_use_ = 0;
   std::size_t running_ = 0;
+  int pressure_level_ = 0;  ///< 0/1/2; see update_pressure_locked()
   bool accepting_ = true;  ///< cleared by shutdown()/destructor
   bool stopping_ = false;
 
@@ -333,6 +373,7 @@ class StitchService {
     std::atomic<std::uint64_t> shed{0};
     std::atomic<std::uint64_t> deadline_exceeded{0};
     std::atomic<std::uint64_t> watchdog_stalls{0};
+    std::atomic<std::uint64_t> watermark_deferrals{0};
     std::atomic<std::uint64_t> queue_wait_us{0};
     std::atomic<std::uint64_t> run_us{0};
   };

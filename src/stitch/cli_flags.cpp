@@ -155,6 +155,46 @@ std::string journal_fsync_from_cli(const CliParser& cli) {
   return policy;
 }
 
+void register_spill_flags(CliParser& cli) {
+  cli.add_flag("spill-dir",
+               "disk spill tier under the shared transform cache: evicted "
+               "and overflow spectra persist as CRC-framed files and the "
+               "cache warm-starts from them after a restart; empty = off",
+               "");
+  cli.add_flag("soft-watermark",
+               "memory-pressure soft watermark as a fraction of the budget "
+               "(0 = off): above it admission headroom shrinks and the "
+               "shared cache goes disk-primary",
+               "0");
+  cli.add_flag("hard-watermark",
+               "memory-pressure hard watermark as a fraction of the budget "
+               "(0 = off): at it new jobs are deferred, never OOM-killed",
+               "0");
+}
+
+std::string spill_dir_from_cli(const CliParser& cli) {
+  return cli.get("spill-dir");
+}
+
+namespace {
+
+double watermark(const CliParser& cli, const std::string& name) {
+  const double v = cli.get_double(name);
+  HS_REQUIRE(v >= 0.0 && v <= 1.0,
+             "flag --" + name + " must be a fraction in [0, 1]");
+  return v;
+}
+
+}  // namespace
+
+double soft_watermark_from_cli(const CliParser& cli) {
+  return watermark(cli, "soft-watermark");
+}
+
+double hard_watermark_from_cli(const CliParser& cli) {
+  return watermark(cli, "hard-watermark");
+}
+
 void register_tenant_flags(CliParser& cli) {
   cli.add_flag("tenant",
                "tenant this run's jobs are accounted to (weighted-fair "

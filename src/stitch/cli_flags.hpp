@@ -78,6 +78,21 @@ std::string journal_dir_from_cli(const CliParser& cli);
 /// ("never", "interval", "every-record"). Throws InvalidArgument otherwise.
 std::string journal_fsync_from_cli(const CliParser& cli);
 
+/// Registers --spill-dir (default "": spill disabled), --soft-watermark and
+/// --hard-watermark (defaults 0: disabled). Serving binaries map these onto
+/// ServiceConfig::spill_dir / soft_watermark / hard_watermark; this layer
+/// only range-checks and hands the values through, so hs_stitch stays
+/// independent of hs_serve.
+void register_spill_flags(CliParser& cli);
+
+/// The --spill-dir value; empty = spill tier disabled.
+std::string spill_dir_from_cli(const CliParser& cli);
+
+/// The --soft-watermark / --hard-watermark values, validated to [0, 1]
+/// (fractions of the service memory budget; 0 = disabled).
+double soft_watermark_from_cli(const CliParser& cli);
+double hard_watermark_from_cli(const CliParser& cli);
+
 /// Registers --tenant (default "default"), --tenant-weight (default 1) and
 /// --tenant-quota-mb (default 0: unlimited) — the multi-tenant identity a
 /// serving binary maps onto StitchJob::tenant / tenant_weight /

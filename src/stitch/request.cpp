@@ -16,6 +16,7 @@
 #include "fault/plan.hpp"
 #include "stitch/impl.hpp"
 #include "stitch/ledger.hpp"
+#include "stitch/shared_cache.hpp"
 
 namespace hs::stitch {
 
@@ -161,6 +162,20 @@ void StitchRequest::validate() const {
   if (!(tenant_weight > 0.0) || !std::isfinite(tenant_weight)) {
     fail("tenant_weight", "must be positive and finite (got " +
                               std::to_string(tenant_weight) + ")");
+  }
+  if (tenant_quota_bytes != 0) {
+    // A quota below one spectrum can never admit a cache entry; reject it
+    // loudly instead of silently refusing every insert at runtime.
+    const std::size_t one_spectrum = spectrum_entry_bytes(
+        provider->tile_height(), provider->tile_width(), o.use_real_fft);
+    if (tenant_quota_bytes < one_spectrum) {
+      fail("tenant_quota_bytes",
+           "quota of " + num(tenant_quota_bytes) + " bytes is below one " +
+               num(provider->tile_height()) + "x" +
+               num(provider->tile_width()) + " spectrum (" +
+               num(one_spectrum) + " bytes): the job could never cache "
+               "anything — raise the quota or use 0 (unlimited)");
+    }
   }
   if (retry.backoff_multiplier < 1.0) {
     fail("retry.backoff_multiplier", "must be >= 1.0");
@@ -579,6 +594,7 @@ std::string serialize_request(const StitchRequest& request) {
   out << "o.peak_candidates=" << o.peak_candidates << '\n';
   out << "o.min_overlap_px=" << o.min_overlap_px << '\n';
   out << "o.use_real_fft=" << (o.use_real_fft ? 1 : 0) << '\n';
+  out << "o.spill=" << (o.spill ? 1 : 0) << '\n';
   out << "o.steal_threshold=" << o.steal_threshold << '\n';
   out << "o.gpu_batch_pairs=" << o.gpu_batch_pairs << '\n';
   out << "o.kernel_dispatch=" << common::dispatch_name(o.kernel_dispatch)
@@ -660,6 +676,8 @@ StitchRequest deserialize_request(const std::string& text) {
       o.min_overlap_px = parse_i64(key, value);
     } else if (key == "o.use_real_fft") {
       o.use_real_fft = parse_u64(key, value) != 0;
+    } else if (key == "o.spill") {
+      o.spill = parse_u64(key, value) != 0;
     } else if (key == "o.steal_threshold") {
       o.steal_threshold = static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "o.gpu_batch_pairs") {

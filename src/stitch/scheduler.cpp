@@ -262,6 +262,7 @@ StitchResult run_cpu(const ResourceSet& rs, const TileProvider& provider,
     shared.tenant =
         options.shared_tenant.empty() ? "default" : options.shared_tenant;
     shared.tenant_quota_bytes = options.shared_tenant_quota_bytes;
+    shared.spill = options.spill;
     cache = std::make_unique<TransformCache>(provider, fftp, &counts, warm,
                                              std::move(shared));
   }
@@ -317,7 +318,8 @@ StitchResult run_cpu(const ResourceSet& rs, const TileProvider& provider,
           cache->release(task.reference);
           cache->release(task.moved);
           shared_store->insert_pair(key, t, cache->shared().tenant,
-                                    cache->shared().tenant_quota_bytes);
+                                    cache->shared().tenant_quota_bytes,
+                                    cache->shared().spill);
         }
       } else {
         const fft::Complex* fft_ref = cache->transform(task.reference);

@@ -4,6 +4,7 @@
 
 #include "common/crc32c.hpp"
 #include "metrics/wellknown.hpp"
+#include "stitch/spectrum_store.hpp"
 
 namespace hs::stitch {
 
@@ -14,10 +15,6 @@ namespace {
 // is that pair entries are charged at all so a pair-flood cannot grow the
 // cache unbounded below the byte radar.
 constexpr std::size_t kPairEntryBytes = 96;
-
-// Per-spectrum bookkeeping overhead (map node, LRU node, control block)
-// charged on top of the bin payload.
-constexpr std::size_t kSpectrumOverheadBytes = 64;
 
 std::uint64_t fnv1a64(const unsigned char* bytes, std::size_t size,
                       std::uint64_t h) {
@@ -92,74 +89,126 @@ SharedSpectrumCache::SharedSpectrumCache(Config config)
           metrics::wellknown::shared_cache_resident_bytes()) {}
 
 SharedSpectrumCache::SpectrumPtr SharedSpectrumCache::find_spectrum(
-    const SpectrumKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = spectra_.find(key);
-  if (it == spectra_.end()) {
+    const SpectrumKey& key, const std::string& tenant,
+    std::size_t tenant_quota_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = spectra_.find(key);
+    if (it != spectra_.end()) {
+      touch_locked(it->second.lru);
+      ++stats_.spectrum_hits;
+      metric_spectrum_hits_.add();
+      return it->second.value;
+    }
     ++stats_.spectrum_misses;
     metric_spectrum_misses_.add();
-    return nullptr;
   }
-  touch_locked(it->second.lru);
-  ++stats_.spectrum_hits;
-  metric_spectrum_hits_.add();
-  return it->second.value;
+  if (config_.store == nullptr) return nullptr;
+  // Spill fallback outside the lock: the load is file I/O and must not
+  // serialize other threads' map lookups behind it.
+  SpectrumPtr spilled = config_.store->load(key);
+  if (spilled == nullptr) return nullptr;
+  // Re-admit the reloaded spectrum (charged to the requesting tenant) so
+  // later lookups hit memory; on refusal or under pressure the caller still
+  // gets the disk copy — only the promotion is lost. The spectrum came from
+  // the store, so there is nothing to write through.
+  return insert_spectrum(key, std::move(spilled), tenant, tenant_quota_bytes,
+                         /*allow_spill=*/false);
 }
 
 SharedSpectrumCache::SpectrumPtr SharedSpectrumCache::insert_spectrum(
     const SpectrumKey& key, SpectrumPtr spectrum, const std::string& tenant,
-    std::size_t tenant_quota_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = spectra_.find(key);
-  if (it != spectra_.end()) {
-    // First writer won while this thread computed; adopt the resident copy
-    // so every consumer of the key shares one allocation.
-    touch_locked(it->second.lru);
-    return it->second.value;
+    std::size_t tenant_quota_bytes, bool allow_spill) {
+  SpectrumPtr resident;
+  bool already_shared = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = spectra_.find(key);
+    if (it != spectra_.end()) {
+      // First writer won while this thread computed; adopt the resident copy
+      // so every consumer of the key shares one allocation (and trust that
+      // the first writer already spilled it).
+      touch_locked(it->second.lru);
+      resident = it->second.value;
+      already_shared = true;
+    } else if (pressure_.load(std::memory_order_relaxed) &&
+               config_.store != nullptr) {
+      // Above the soft watermark the disk tier is primary: stop growing the
+      // memory cache, keep the caller's copy for its own run, spill below.
+      resident = std::move(spectrum);
+    } else {
+      const std::size_t bytes =
+          spectrum->size() * sizeof(fft::Complex) + kSpectrumOverheadBytes;
+      if (!make_room_locked(bytes, tenant, tenant_quota_bytes)) {
+        resident = std::move(spectrum);  // refused — caller keeps its copy
+      } else {
+        lru_.push_front(LruNode{Kind::kSpectrum, key, PairKey{}});
+        auto inserted = spectra_.emplace(
+            key,
+            SpectrumEntry{std::move(spectrum), bytes, tenant, lru_.begin()});
+        resident_bytes_ += bytes;
+        charge_locked(tenant, static_cast<std::ptrdiff_t>(bytes));
+        stats_.resident_bytes = resident_bytes_;
+        metric_resident_bytes_.add(static_cast<std::int64_t>(bytes));
+        resident = inserted.first->second.value;
+      }
+    }
   }
-  const std::size_t bytes =
-      spectrum->size() * sizeof(fft::Complex) + kSpectrumOverheadBytes;
-  if (!make_room_locked(bytes, tenant, tenant_quota_bytes)) {
-    return spectrum;  // refused — the caller keeps its private copy
+  // Write-through outside the lock (file I/O). Quota-refused spectra still
+  // spill: disk residency is not charged against the memory quota, and a
+  // spilled frame is what lets the next job skip this FFT.
+  if (allow_spill && !already_shared && config_.store != nullptr) {
+    config_.store->put(key, *resident);
   }
-  lru_.push_front(LruNode{Kind::kSpectrum, key, PairKey{}});
-  auto inserted = spectra_.emplace(
-      key, SpectrumEntry{std::move(spectrum), bytes, tenant, lru_.begin()});
-  resident_bytes_ += bytes;
-  charge_locked(tenant, static_cast<std::ptrdiff_t>(bytes));
-  stats_.resident_bytes = resident_bytes_;
-  metric_resident_bytes_.add(static_cast<std::int64_t>(bytes));
-  return inserted.first->second.value;
+  return resident;
 }
 
 bool SharedSpectrumCache::find_pair(const PairKey& key, Translation* out) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = pairs_.find(key);
-  if (it == pairs_.end()) {
-    ++stats_.pair_misses;
-    metric_pair_misses_.add();
-    return false;
+  if (it != pairs_.end()) {
+    touch_locked(it->second.lru);
+    ++stats_.pair_hits;
+    metric_pair_hits_.add();
+    if (out != nullptr) *out = it->second.value;
+    return true;
   }
-  touch_locked(it->second.lru);
-  ++stats_.pair_hits;
-  metric_pair_hits_.add();
-  if (out != nullptr) *out = it->second.value;
-  return true;
+  // The spill tier's pair table is in memory (recovered from the pair log at
+  // startup), so consulting it under the lock is a map lookup, not I/O.
+  Translation spilled;
+  if (config_.store != nullptr && config_.store->load_pair(key, &spilled)) {
+    ++stats_.pair_hits;
+    metric_pair_hits_.add();
+    if (out != nullptr) *out = spilled;
+    return true;
+  }
+  ++stats_.pair_misses;
+  metric_pair_misses_.add();
+  return false;
 }
 
 void SharedSpectrumCache::insert_pair(const PairKey& key,
                                       const Translation& value,
                                       const std::string& tenant,
-                                      std::size_t tenant_quota_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (pairs_.find(key) != pairs_.end()) return;  // first writer wins
-  if (!make_room_locked(kPairEntryBytes, tenant, tenant_quota_bytes)) return;
-  lru_.push_front(LruNode{Kind::kPair, SpectrumKey{}, key});
-  pairs_.emplace(key, PairEntry{value, kPairEntryBytes, tenant, lru_.begin()});
-  resident_bytes_ += kPairEntryBytes;
-  charge_locked(tenant, static_cast<std::ptrdiff_t>(kPairEntryBytes));
-  stats_.resident_bytes = resident_bytes_;
-  metric_resident_bytes_.add(static_cast<std::int64_t>(kPairEntryBytes));
+                                      std::size_t tenant_quota_bytes,
+                                      bool allow_spill) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pairs_.find(key) != pairs_.end()) return;  // first writer wins
+    if (make_room_locked(kPairEntryBytes, tenant, tenant_quota_bytes)) {
+      lru_.push_front(LruNode{Kind::kPair, SpectrumKey{}, key});
+      pairs_.emplace(key,
+                     PairEntry{value, kPairEntryBytes, tenant, lru_.begin()});
+      resident_bytes_ += kPairEntryBytes;
+      charge_locked(tenant, static_cast<std::ptrdiff_t>(kPairEntryBytes));
+      stats_.resident_bytes = resident_bytes_;
+      metric_resident_bytes_.add(static_cast<std::int64_t>(kPairEntryBytes));
+    }
+    // A quota refusal falls through: the pair still persists to disk below.
+  }
+  if (allow_spill && config_.store != nullptr) {
+    config_.store->put_pair(key, value);
+  }
 }
 
 SharedSpectrumCache::Stats SharedSpectrumCache::stats() const {

@@ -18,6 +18,7 @@
 // become a cross-tenant side channel for memory starvation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -33,6 +34,21 @@
 #include "stitch/types.hpp"
 
 namespace hs::stitch {
+
+class SpectrumStore;  // spectrum_store.hpp — the optional disk spill tier
+
+/// Per-spectrum bookkeeping overhead (map node, LRU node, control block)
+/// charged on top of the bin payload.
+inline constexpr std::size_t kSpectrumOverheadBytes = 64;
+
+/// Bytes one cached spectrum of the given pipeline shape is charged against
+/// capacity and tenant quotas: bin payload + kSpectrumOverheadBytes.
+inline std::size_t spectrum_entry_bytes(std::size_t height, std::size_t width,
+                                        bool real_fft) {
+  const std::size_t bins =
+      real_fft ? height * (width / 2 + 1) : height * width;
+  return bins * sizeof(fft::Complex) + kSpectrumOverheadBytes;
+}
 
 /// 64-bit content digest of a tile: CRC32C (the durability layer's checksum)
 /// in the high half combined with an independent FNV-1a-64 pass over the
@@ -86,6 +102,10 @@ class SharedSpectrumCache {
  public:
   struct Config {
     std::size_t capacity_bytes = 256ull << 20;
+    /// Optional disk spill tier (spectrum_store.hpp): memory misses fall
+    /// back to it, inserts write through to it, and its recovered pair log
+    /// answers find_pair after a restart. Not owned; must outlive the cache.
+    SpectrumStore* store = nullptr;
   };
 
   using SpectrumPtr = std::shared_ptr<const std::vector<fft::Complex>>;
@@ -94,7 +114,13 @@ class SharedSpectrumCache {
   explicit SharedSpectrumCache(Config config);
 
   /// Returns the cached spectrum (refreshing its LRU position) or nullptr.
-  SpectrumPtr find_spectrum(const SpectrumKey& key);
+  /// A memory miss falls back to the spill tier when one is attached; a
+  /// reloaded spectrum is re-admitted to memory charged to `tenant` (the
+  /// caller gets the disk copy either way — a spill hit skips the FFT
+  /// exactly like a memory hit).
+  SpectrumPtr find_spectrum(const SpectrumKey& key,
+                            const std::string& tenant = "default",
+                            std::size_t tenant_quota_bytes = 0);
 
   /// Inserts a freshly computed spectrum charged to `tenant`
   /// (tenant_quota_bytes of 0 means unlimited). First writer wins: if the
@@ -103,16 +129,35 @@ class SharedSpectrumCache {
   /// When the tenant's quota (after evicting its own LRU entries) cannot fit
   /// the value, the insert is refused and the caller's own pointer comes
   /// back — the job keeps its private copy and only the sharing is lost.
+  /// With a spill tier attached the spectrum also persists to disk (even
+  /// when refused by quota — disk is not under the memory quota), unless
+  /// `allow_spill` is false; under memory pressure (set_pressure) the disk
+  /// tier is primary and the memory insert is skipped.
   SpectrumPtr insert_spectrum(const SpectrumKey& key, SpectrumPtr spectrum,
                               const std::string& tenant,
-                              std::size_t tenant_quota_bytes);
+                              std::size_t tenant_quota_bytes,
+                              bool allow_spill = true);
 
-  /// Looks up a memoized pairwise displacement; true + *out on a hit.
+  /// Looks up a memoized pairwise displacement (memory first, then the spill
+  /// tier's recovered pair log); true + *out on a hit.
   bool find_pair(const PairKey& key, Translation* out);
 
-  /// Memoizes a pairwise displacement (same tenant/quota rules as spectra).
+  /// Memoizes a pairwise displacement (same tenant/quota rules as spectra);
+  /// with a spill tier attached the pair also appends to the durable pair
+  /// log unless `allow_spill` is false.
   void insert_pair(const PairKey& key, const Translation& value,
-                   const std::string& tenant, std::size_t tenant_quota_bytes);
+                   const std::string& tenant, std::size_t tenant_quota_bytes,
+                   bool allow_spill = true);
+
+  /// Memory-pressure mode, driven by the service's soft watermark: while on,
+  /// spectrum inserts skip memory growth and go disk-primary (no-op without
+  /// a spill tier), so jobs prefer spilled reuse over cache expansion.
+  void set_pressure(bool on) {
+    pressure_.store(on, std::memory_order_relaxed);
+  }
+  bool pressure() const { return pressure_.load(std::memory_order_relaxed); }
+
+  SpectrumStore* store() const { return config_.store; }
 
   struct Stats {
     std::uint64_t spectrum_hits = 0;
@@ -168,6 +213,7 @@ class SharedSpectrumCache {
   std::unordered_map<std::string, std::size_t> tenant_bytes_;
   std::size_t resident_bytes_ = 0;
   Stats stats_;
+  std::atomic<bool> pressure_{false};
 
   metrics::Counter& metric_spectrum_hits_;
   metrics::Counter& metric_spectrum_misses_;
@@ -186,6 +232,7 @@ struct SharedCacheBinding {
   SharedSpectrumCache* cache = nullptr;
   std::string tenant = "default";
   std::size_t tenant_quota_bytes = 0;  // 0 = unlimited within capacity
+  bool spill = true;  // per-job opt-out of the disk spill tier
 };
 
 }  // namespace hs::stitch

@@ -98,6 +98,11 @@ struct StitchOptions {
   /// Roughly 2x forward-FFT throughput and half the transform-cache bytes;
   /// displacement tables are unchanged.
   bool use_real_fft = false;
+  /// Permit this job's spectra and pair results to persist in the service's
+  /// disk spill tier (--spill-dir). Off keeps the job's reuse memory-only —
+  /// nothing it computes outlives the process. No-op when the service has
+  /// no spill directory configured.
+  bool spill = true;
 
   // --- hybrid scheduler knobs (scheduler.hpp) ----------------------------
   /// Work-stealing hysteresis: an idle executor steals from another lane

@@ -99,7 +99,8 @@ const fft::Complex* TransformCache::transform_impl(img::TilePos pos,
                             static_cast<std::uint32_t>(pipeline_.height),
                             static_cast<std::uint32_t>(pipeline_.width),
                             pipeline_.real_fft, tier_};
-      spectrum = shared_.cache->find_spectrum(key);
+      spectrum = shared_.cache->find_spectrum(key, shared_.tenant,
+                                              shared_.tenant_quota_bytes);
       if (spectrum == nullptr) {
         auto computed = std::make_shared<std::vector<fft::Complex>>(
             pipeline_.spectrum_count());
@@ -111,7 +112,7 @@ const fft::Complex* TransformCache::transform_impl(img::TilePos pos,
         }
         spectrum = shared_.cache->insert_spectrum(
             key, std::move(computed), shared_.tenant,
-            shared_.tenant_quota_bytes);
+            shared_.tenant_quota_bytes, shared_.spill);
       }
       // Spectrum-store hits skip the FFT entirely, so forward_ffts and
       // transform_bins stay untouched — the op counters keep reporting the

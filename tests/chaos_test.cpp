@@ -1,0 +1,477 @@
+// Chaos-soak harness: a deterministic schedule sweeper that injects every
+// fault site at a sweep of occurrence positions (and every corruption kind
+// at the corruptible sites) into a fixed six-backend service workload, and
+// asserts the memory-pressure resilience invariants after each schedule:
+//
+//   1. the process never dies — every fault either degrades a durability
+//      layer (journal, checkpoint, spill) or fails the one job it hit;
+//   2. every job that completes produces a displacement table bit-identical
+//      to the fault-free run — corruption can cost work, never correctness;
+//   3. metric conservation is exact: submitted == done + failed + cancelled
+//      + shed (deadline-exceeded ⊆ failed, rejected ⊆ shed) — no job is
+//      ever double-counted or silently dropped.
+//
+// Also the warm-restart contract of the spill tier (a restarted service
+// resubmitting identical content performs zero forward FFTs), the watermark
+// degradation ladder (defer, never OOM-kill), and the config/serde
+// validation for the new spill/watermark fields.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fault/plan.hpp"
+#include "serve/service.hpp"
+#include "stitch/request.hpp"
+#include "stitch/shared_cache.hpp"
+#include "stitch/spectrum_store.hpp"
+#include "testing_providers.hpp"
+
+using namespace hs;
+using testing_grid = sim::SyntheticGrid;
+namespace fs = std::filesystem;
+using hs::testing::fast_options;
+using hs::testing::small_grid;
+using hs::testing::tables_identical;
+
+namespace {
+
+class ChaosDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            ("hs_chaos_" + std::to_string(::getpid()) + "_" + info->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+using ChaosSweepTest = ChaosDirTest;
+using WarmRestartTest = ChaosDirTest;
+using WatermarkTest = ChaosDirTest;
+
+/// Outcome of one service run of the fixed workload.
+struct WorkloadOutcome {
+  /// Job name -> final state.
+  std::map<std::string, serve::JobState> states;
+  /// Job name -> table, for jobs that reached kDone.
+  std::map<std::string, stitch::DisplacementTable> tables;
+  serve::ServiceMetrics metrics;
+};
+
+/// Runs the fixed chaos workload — one job per backend over a shared small
+/// grid — through a journaled service with the spill tier attached, under
+/// the given fault plan (null = fault-free), in a fresh directory tree.
+WorkloadOutcome run_workload(const std::string& root,
+                             const stitch::TileProvider& provider,
+                             fault::FaultPlan* plan) {
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  serve::ServiceConfig config;
+  config.workers = 2;
+  config.shared_cache_bytes = 8ull << 20;
+  config.spill_dir = root + "/spill";
+  config.journal.dir = root + "/wal";
+  config.journal.fsync = serve::FsyncPolicy::kNever;
+  config.journal.faults = plan;  // journal + checkpoint + spill sites
+
+  WorkloadOutcome outcome;
+  {
+    serve::StitchService service(config);
+    std::vector<serve::JobHandle> handles;
+    for (const stitch::Backend backend : stitch::kAllBackends) {
+      serve::StitchJob job;
+      job.name = stitch::backend_name(backend);
+      job.backend = backend;
+      job.provider = &provider;
+      job.options = fast_options();
+      job.options.faults = plan;  // tile/device sites
+      job.retry.max_attempts = 2;
+      job.retry.quarantine = false;  // a permanent fault fails the job
+                                     // outright — never a divergent table
+      job.checkpoint_path = root + "/" + job.name + ".ckpt";
+      handles.push_back(service.submit(std::move(job)));
+    }
+    for (serve::JobHandle& handle : handles) {
+      try {
+        outcome.tables.emplace(handle.name(), handle.wait().table);
+      } catch (const Error&) {
+        // Failure is a legal outcome under injected faults; the sweep
+        // asserts conservation and table identity, not universal success.
+      }
+      outcome.states.emplace(handle.name(), handle.state());
+    }
+    // wait() returns when the terminal state publishes; the worker releases
+    // its budget (and running slot) just after. Drain before the snapshot so
+    // the queued/running gauges are quiescent.
+    service.wait_idle();
+    outcome.metrics = service.metrics();
+  }
+  return outcome;
+}
+
+/// Exact conservation: every submitted job is accounted by exactly one
+/// terminal counter.
+void expect_conservation(const serve::ServiceMetrics& m,
+                         const std::string& what) {
+  EXPECT_EQ(m.jobs_submitted,
+            m.jobs_done + m.jobs_failed + m.jobs_cancelled + m.jobs_shed)
+      << what;
+  EXPECT_LE(m.jobs_deadline_exceeded, m.jobs_failed) << what;
+  EXPECT_EQ(m.queued, 0u) << what;
+  EXPECT_EQ(m.running, 0u) << what;
+}
+
+TEST_F(ChaosSweepTest, EverySiteEverySchedulePreservesTheInvariants) {
+  const testing_grid grid = small_grid();
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+
+  // Fault-free reference: all six backends complete, bit-identically.
+  const WorkloadOutcome baseline =
+      run_workload(dir_ + "/baseline", provider, nullptr);
+  expect_conservation(baseline.metrics, "baseline");
+  ASSERT_EQ(baseline.metrics.jobs_done, 6u);
+  ASSERT_EQ(baseline.tables.size(), 6u);
+  for (const auto& [name, table] : baseline.tables) {
+    EXPECT_TRUE(tables_identical(table, baseline.tables.begin()->second))
+        << name;
+  }
+
+  const auto check = [&](fault::FaultPlan& plan, const std::string& what) {
+    SCOPED_TRACE(what);
+    const WorkloadOutcome outcome =
+        run_workload(dir_ + "/run", provider, &plan);
+    // Invariant 1 is implicit: run_workload returned, the process lives.
+    expect_conservation(outcome.metrics, what);
+    EXPECT_EQ(outcome.states.size(), 6u);
+    // Invariant 2: completed work is bit-identical to fault-free work.
+    for (const auto& [name, table] : outcome.tables) {
+      EXPECT_TRUE(tables_identical(table, baseline.tables.at(name)))
+          << what << ": " << name;
+    }
+    return outcome;
+  };
+
+  constexpr fault::Site kAllSites[] = {
+      fault::Site::kTileRead,     fault::Site::kDeviceAlloc,
+      fault::Site::kStreamExec,   fault::Site::kJournalWrite,
+      fault::Site::kCheckpointCorrupt, fault::Site::kSpillWrite,
+      fault::Site::kSpillRead,
+  };
+  // Occurrence positions approximating the phase boundaries of a run: the
+  // very first occurrence (cold start — before anything is cached, spilled,
+  // or journaled), an early-run occurrence (mid pipeline warmup), and a
+  // mid-run occurrence (steady state).
+  constexpr std::uint64_t kPhases[] = {0, 3, 17};
+
+  for (const fault::Site site : kAllSites) {
+    for (const std::uint64_t nth : kPhases) {
+      fault::FaultPlan plan;
+      plan.fail_from_nth(site, nth);
+      const WorkloadOutcome outcome = check(
+          plan, "fail " + fault::site_name(site) + " from occurrence " +
+                    std::to_string(nth));
+      if (site == fault::Site::kJournalWrite ||
+          site == fault::Site::kCheckpointCorrupt ||
+          site == fault::Site::kSpillWrite ||
+          site == fault::Site::kSpillRead) {
+        // Durability-layer faults degrade durability, never jobs: every
+        // job still completes, bit-identically (checked above).
+        EXPECT_EQ(outcome.metrics.jobs_done, 6u)
+            << fault::site_name(site) << " from " << nth;
+      }
+    }
+  }
+
+  // Corruptible sites: the damage a torn write or bit rot leaves on disk.
+  // Every combination must be detected by a CRC somewhere downstream and
+  // demoted to recompute/fresh-start — jobs all complete, bit-identically.
+  constexpr fault::Site kCorruptible[] = {
+      fault::Site::kJournalWrite,
+      fault::Site::kCheckpointCorrupt,
+      fault::Site::kSpillWrite,
+  };
+  for (const fault::Site site : kCorruptible) {
+    for (const fault::Corruption::Kind kind :
+         {fault::Corruption::Kind::kBitFlip,
+          fault::Corruption::Kind::kTruncate}) {
+      for (const std::uint64_t nth : {std::uint64_t{0}, std::uint64_t{2}}) {
+        fault::Corruption c;
+        c.kind = kind;
+        c.at_byte = 24;  // inside every frame/file the sites write
+        fault::FaultPlan plan;
+        plan.corrupt_from_nth(site, nth, c);
+        const WorkloadOutcome outcome = check(
+            plan, "corrupt " + fault::site_name(site) + " (" +
+                      (kind == fault::Corruption::Kind::kBitFlip
+                           ? "bit-flip"
+                           : "truncate") +
+                      ") from occurrence " + std::to_string(nth));
+        EXPECT_EQ(outcome.metrics.jobs_done, 6u) << fault::site_name(site);
+      }
+    }
+  }
+}
+
+TEST_F(ChaosSweepTest, SpillFaultsAreCountedAndDemotedToMisses) {
+  // Direct store-level check that the chaos sweep's spill guarantees rest
+  // on: an injected write failure drops the frame (job unaffected), an
+  // injected read failure is a miss, injected corruption is detected by
+  // CRC, counted, and the frame deleted — never returned.
+  const std::string spill = dir_ + "/spill";
+  stitch::SpectrumKey key;
+  key.digest = 0xFEEDFACEDEADBEEFull;
+  key.height = 4;
+  key.width = 4;
+  const std::vector<fft::Complex> bins(16, fft::Complex{1.25, -2.5});
+
+  {
+    fault::FaultPlan plan;
+    plan.fail_from_nth(fault::Site::kSpillWrite, 0);
+    stitch::SpectrumStore store({spill, &plan});
+    EXPECT_FALSE(store.put(key, bins));  // ENOSPC: dropped, not thrown
+    EXPECT_EQ(store.stats().write_failures, 1u);
+    EXPECT_EQ(store.load(key), nullptr);
+    EXPECT_EQ(store.stats().misses, 1u);
+  }
+  {
+    fault::FaultPlan plan;
+    fault::Corruption flip;
+    flip.kind = fault::Corruption::Kind::kBitFlip;
+    flip.at_byte = 40;  // inside the bin payload
+    plan.corrupt_from_nth(fault::Site::kSpillWrite, 0, flip);
+    stitch::SpectrumStore store({spill, &plan});
+    EXPECT_TRUE(store.put(key, bins));
+    // The CRC catches the rot on load; the frame is deleted and counted.
+    EXPECT_EQ(store.load(key), nullptr);
+    EXPECT_EQ(store.stats().corrupt_frames, 1u);
+    EXPECT_EQ(store.stats().spectrum_frames, 0u);
+  }
+  {
+    fault::FaultPlan plan;
+    plan.fail_from_nth(fault::Site::kSpillRead, 0);
+    stitch::SpectrumStore store({spill, &plan});
+    EXPECT_TRUE(store.put(key, bins));
+    EXPECT_EQ(store.load(key), nullptr);  // transient I/O error -> miss
+    EXPECT_EQ(store.stats().misses, 1u);
+    // The frame itself is intact: a healthy store reloads it.
+  }
+  fault::FaultPlan no_faults;
+  stitch::SpectrumStore store({spill, nullptr});
+  const auto loaded = store.load(key);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(*loaded, bins);
+}
+
+// ---------------------------------------------------------------------------
+// Warm restart: the spill tier's reason to exist
+// ---------------------------------------------------------------------------
+
+TEST_F(WarmRestartTest, RestartWithWarmSpillDirPerformsZeroForwardFfts) {
+  const testing_grid grid = small_grid();
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+
+  serve::ServiceConfig config;
+  config.workers = 1;
+  config.shared_cache_bytes = 16ull << 20;
+  config.spill_dir = dir_ + "/spill";
+  config.journal.dir = dir_ + "/wal";
+  config.journal.fsync = serve::FsyncPolicy::kNever;
+
+  const auto submit = [&](serve::StitchService& service,
+                          stitch::Backend backend) {
+    serve::StitchJob job;
+    job.name = stitch::backend_name(backend);
+    job.backend = backend;
+    job.provider = &provider;
+    job.options = fast_options();
+    return service.submit(std::move(job));
+  };
+
+  // Cold incarnation: every spectrum is computed, and every computed pair
+  // lands in the durable pair log.
+  stitch::StitchResult cold;
+  {
+    serve::StitchService service(config);
+    cold = submit(service, stitch::Backend::kSimpleCpu).wait();
+    EXPECT_GT(cold.ops.forward_ffts, 0u);
+    ASSERT_NE(service.spill_store(), nullptr);
+    EXPECT_GT(service.spill_store()->stats().pairs, 0u);
+  }
+
+  // Warm incarnation: same directories, same content. The recovered pair
+  // log answers every pair before any tile spectrum is needed — the resubmit
+  // performs ZERO forward FFTs and still produces the identical table.
+  {
+    serve::StitchService service(config);
+    ASSERT_NE(service.spill_store(), nullptr);
+    EXPECT_GT(service.spill_store()->stats().pairs, 0u);  // survived restart
+    const stitch::StitchResult warm =
+        submit(service, stitch::Backend::kSimpleCpu).wait();
+    EXPECT_EQ(warm.ops.forward_ffts, 0u);
+    EXPECT_TRUE(tables_identical(warm.table, cold.table));
+
+    // The other CPU transform-cache backends replay the same pair log.
+    const stitch::StitchResult mt =
+        submit(service, stitch::Backend::kMtCpu).wait();
+    EXPECT_EQ(mt.ops.forward_ffts, 0u);
+    EXPECT_TRUE(tables_identical(mt.table, cold.table));
+  }
+}
+
+TEST_F(WarmRestartTest, JobLevelSpillOptOutKeepsReuseMemoryOnly) {
+  const testing_grid grid = small_grid();
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+
+  serve::ServiceConfig config;
+  config.workers = 1;
+  config.shared_cache_bytes = 16ull << 20;
+  config.spill_dir = dir_ + "/spill";
+
+  {
+    serve::StitchService service(config);
+    serve::StitchJob job;
+    job.name = "private";
+    job.backend = stitch::Backend::kSimpleCpu;
+    job.provider = &provider;
+    job.options = fast_options();
+    job.options.spill = false;  // nothing this job computes may outlive it
+    (void)service.submit(std::move(job)).wait();
+    EXPECT_EQ(service.spill_store()->stats().pairs, 0u);
+    EXPECT_EQ(service.spill_store()->stats().spectrum_frames, 0u);
+  }
+  // A restart finds nothing: the opt-out was honored on disk.
+  serve::StitchService service(config);
+  EXPECT_EQ(service.spill_store()->stats().pairs, 0u);
+  EXPECT_EQ(service.spill_store()->stats().spectrum_frames, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Watermarks: degrade, defer, never OOM-kill
+// ---------------------------------------------------------------------------
+
+TEST_F(WatermarkTest, HardWatermarkDefersJobsUntilMemoryDrains) {
+  const testing_grid grid = small_grid();
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  hs::testing::SlowProvider slow(&provider, 2);  // keeps jobs overlapping
+
+  serve::ServiceConfig config;
+  config.workers = 2;
+  // Any single running job's footprint sits far above this hard watermark,
+  // so while one runs the service is at pressure level 2 and every other
+  // queued job is deferred — serialized execution, zero kills.
+  config.hard_watermark = 0.0001;
+  config.soft_watermark = 0.00005;
+
+  serve::StitchService service(config);
+  std::vector<serve::JobHandle> handles;
+  for (int i = 0; i < 3; ++i) {
+    serve::StitchJob job;
+    job.name = "wm" + std::to_string(i);
+    job.backend = stitch::Backend::kSimpleCpu;
+    job.provider = &slow;
+    job.options = fast_options();
+    handles.push_back(service.submit(std::move(job)));
+  }
+  stitch::DisplacementTable first;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const stitch::StitchResult& result = handles[i].wait();  // never shed
+    if (i == 0) {
+      first = result.table;
+    } else {
+      EXPECT_TRUE(tables_identical(result.table, first));
+    }
+  }
+  service.wait_idle();  // handle.wait() precedes the worker's accounting
+  const serve::ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.jobs_done, 3u);
+  EXPECT_EQ(m.jobs_failed + m.jobs_cancelled + m.jobs_shed, 0u);
+  // With three overlapping jobs and room for one, at least one admission
+  // attempt found the hard watermark exceeded.
+  EXPECT_GE(m.watermark_deferrals, 1u);
+  // Pressure drains back to zero with the memory.
+  EXPECT_EQ(m.memory_pressure, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Config and serde validation for the new fields
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosDirTest, ServiceConfigValidatesWatermarksAndSpillDir) {
+  {
+    serve::ServiceConfig config;
+    config.soft_watermark = 1.5;
+    EXPECT_THROW(serve::StitchService{config}, InvalidArgument);
+  }
+  {
+    serve::ServiceConfig config;
+    config.hard_watermark = -0.1;
+    EXPECT_THROW(serve::StitchService{config}, InvalidArgument);
+  }
+  {
+    serve::ServiceConfig config;
+    config.soft_watermark = 0.9;
+    config.hard_watermark = 0.5;  // degrade threshold above defer threshold
+    EXPECT_THROW(serve::StitchService{config}, InvalidArgument);
+  }
+  {
+    serve::ServiceConfig config;
+    config.spill_dir = dir_ + "/spill";  // spill with no cache to sit under
+    EXPECT_THROW(serve::StitchService{config}, InvalidArgument);
+  }
+  {
+    serve::ServiceConfig config;  // soft alone is fine (degrade-only mode)
+    config.soft_watermark = 0.5;
+    serve::StitchService service(config);
+  }
+}
+
+TEST(ChaosSerdeTest, SpillFlagRoundTripsThroughRequestSerde) {
+  stitch::StitchRequest request;
+  request.options.spill = false;
+  const stitch::StitchRequest out =
+      stitch::deserialize_request(stitch::serialize_request(request));
+  EXPECT_FALSE(out.options.spill);
+  stitch::StitchRequest on;
+  on.options.spill = true;
+  EXPECT_TRUE(stitch::deserialize_request(stitch::serialize_request(on))
+                  .options.spill);
+}
+
+TEST(ChaosSerdeTest, QuotaSmallerThanOneSpectrumIsRejected) {
+  const testing_grid grid = small_grid();
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  stitch::StitchRequest request{stitch::Backend::kSimpleCpu, &provider,
+                                fast_options()};
+  // One 32x48 spectrum costs ~24 KiB; a 1 KiB quota could never cache
+  // anything and is refused up front with the field named.
+  request.tenant_quota_bytes = 1024;
+  try {
+    request.validate();
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("tenant_quota_bytes"),
+              std::string::npos);
+  }
+  // At or above one spectrum the quota is usable and accepted.
+  request.tenant_quota_bytes =
+      stitch::spectrum_entry_bytes(provider.tile_height(),
+                                   provider.tile_width(),
+                                   request.options.use_real_fft);
+  EXPECT_NO_THROW(request.validate());
+}
+
+}  // namespace

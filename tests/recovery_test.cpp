@@ -27,6 +27,7 @@
 #include "serve/journal.hpp"
 #include "serve/service.hpp"
 #include "stitch/request.hpp"
+#include "stitch/spectrum_store.hpp"
 #include "stitch/table_io.hpp"
 #include "testing_providers.hpp"
 
@@ -189,6 +190,7 @@ using JournalTest = RecoveryDirTest;
 using TableIoTest = RecoveryDirTest;
 using ServiceRecoveryTest = RecoveryDirTest;
 using RecoveryTortureTest = RecoveryDirTest;
+using SpillRecoveryTest = RecoveryDirTest;
 
 // ---------------------------------------------------------------------------
 // CRC32C and framing primitives
@@ -861,6 +863,206 @@ TEST_F(ServiceRecoveryTest, UnresolvedJobsStayInTheJournal) {
   const auto jobs = journal.replay();
   ASSERT_EQ(jobs.size(), 1u);
   EXPECT_EQ(jobs[0].name, "stranger");
+}
+
+// ---------------------------------------------------------------------------
+// Spill-tier recovery: warm-start survives damage, orphans are collected
+// ---------------------------------------------------------------------------
+
+/// Spectrum frame files (*.spec) currently in a spill directory, sorted.
+std::vector<std::string> spill_frames(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 5 && name.compare(name.size() - 5, 5, ".spec") == 0) {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST_F(SpillRecoveryTest, SpectrumFramesSurviveRestartBitIdentical) {
+  const std::string spill = dir_ + "/spill";
+  stitch::SpectrumKey key;
+  key.digest = 0x0123456789ABCDEFull;
+  key.height = 8;
+  key.width = 6;
+  std::vector<fft::Complex> bins(48);
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    bins[i] = fft::Complex{0.5 * static_cast<double>(i), -1.0 / (1.0 + i)};
+  }
+  stitch::Translation t{17, -4, 0.875};
+  stitch::PairKey pkey;
+  pkey.digest_reference = 1;
+  pkey.digest_moved = 2;
+  pkey.height = 8;
+  pkey.width = 6;
+  {
+    stitch::SpectrumStore store({spill, nullptr});
+    EXPECT_TRUE(store.put(key, bins));
+    store.put_pair(pkey, t);
+  }
+  stitch::SpectrumStore reopened({spill, nullptr});
+  EXPECT_EQ(reopened.stats().spectrum_frames, 1u);
+  EXPECT_EQ(reopened.stats().pairs, 1u);
+  const auto loaded = reopened.load(key);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(*loaded, bins);  // memcpy round trip: bit-identical
+  stitch::Translation out;
+  ASSERT_TRUE(reopened.load_pair(pkey, &out));
+  EXPECT_TRUE(out == t);
+}
+
+TEST_F(SpillRecoveryTest, BitFlippedFrameAtRestartIsDetectedAndRecomputed) {
+  const testing_grid grid = small_grid();
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+
+  serve::ServiceConfig config;
+  config.workers = 1;
+  config.shared_cache_bytes = 16ull << 20;
+  config.spill_dir = dir_ + "/spill";
+
+  stitch::StitchResult reference;
+  {
+    serve::StitchService service(config);
+    serve::StitchJob job;
+    job.name = "seed";
+    job.backend = stitch::Backend::kSimpleCpu;
+    job.provider = &provider;
+    job.options = fast_options();
+    reference = service.submit(std::move(job)).wait();
+  }
+  std::vector<std::string> frames = spill_frames(config.spill_dir);
+  ASSERT_FALSE(frames.empty());
+
+  // Bit rot inside the first frame's payload while the service is down.
+  fault::Corruption flip;
+  flip.kind = fault::Corruption::Kind::kBitFlip;
+  flip.at_byte = fs::file_size(frames[0]) / 2;
+  fault::apply_corruption(frames[0], flip);
+
+  // Restart: recovery CRC-validates every frame, deletes the damaged one,
+  // counts it, and the resubmit recomputes — bit-identical, no crash.
+  serve::StitchService service(config);
+  ASSERT_NE(service.spill_store(), nullptr);
+  EXPECT_EQ(service.spill_store()->stats().corrupt_frames, 1u);
+  EXPECT_EQ(service.spill_store()->stats().spectrum_frames, frames.size() - 1);
+  EXPECT_FALSE(fs::exists(frames[0]));
+  serve::StitchJob job;
+  job.name = "after-rot";
+  job.backend = stitch::Backend::kSimpleCpu;
+  job.provider = &provider;
+  job.options = fast_options();
+  EXPECT_TRUE(tables_identical(service.submit(std::move(job)).wait().table,
+                               reference.table));
+}
+
+TEST_F(SpillRecoveryTest, TruncatedFrameAndTornPairLogAreCutAtRestart) {
+  const testing_grid grid = small_grid();
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+
+  serve::ServiceConfig config;
+  config.workers = 1;
+  config.shared_cache_bytes = 16ull << 20;
+  config.spill_dir = dir_ + "/spill";
+
+  stitch::StitchResult reference;
+  {
+    serve::StitchService service(config);
+    serve::StitchJob job;
+    job.name = "seed";
+    job.backend = stitch::Backend::kSimpleCpu;
+    job.provider = &provider;
+    job.options = fast_options();
+    reference = service.submit(std::move(job)).wait();
+  }
+  const std::vector<std::string> frames = spill_frames(config.spill_dir);
+  ASSERT_FALSE(frames.empty());
+  std::size_t pairs_before = 0;
+  {
+    stitch::SpectrumStore probe({config.spill_dir, nullptr});
+    pairs_before = probe.stats().pairs;
+  }
+  ASSERT_GT(pairs_before, 1u);
+
+  // A short write: the frame ends mid-payload. And a torn pair-log tail:
+  // the last record is cut in half.
+  fault::Corruption cut;
+  cut.kind = fault::Corruption::Kind::kTruncate;
+  cut.at_byte = fs::file_size(frames[0]) - 7;
+  fault::apply_corruption(frames[0], cut);
+  const std::string pair_log = config.spill_dir + "/pairs.log";
+  ASSERT_TRUE(fs::exists(pair_log));
+  fault::Corruption tail;
+  tail.kind = fault::Corruption::Kind::kTruncate;
+  tail.at_byte = fs::file_size(pair_log) - 5;
+  fault::apply_corruption(pair_log, tail);
+
+  serve::StitchService service(config);
+  const stitch::SpectrumStore::Stats stats = service.spill_store()->stats();
+  EXPECT_EQ(stats.corrupt_frames, 2u);  // the frame + the torn tail record
+  EXPECT_EQ(stats.spectrum_frames, frames.size() - 1);
+  EXPECT_EQ(stats.pairs, pairs_before - 1);  // valid prefix kept
+  serve::StitchJob job;
+  job.name = "after-tear";
+  job.backend = stitch::Backend::kSimpleCpu;
+  job.provider = &provider;
+  job.options = fast_options();
+  EXPECT_TRUE(tables_identical(service.submit(std::move(job)).wait().table,
+                               reference.table));
+}
+
+TEST_F(SpillRecoveryTest, StartupGcSweepsTmpFilesAndGarbageFrames) {
+  const std::string spill = dir_ + "/spill";
+  fs::create_directories(spill);
+  // A crash mid-put leaves a temp file; a garbage .spec is not a frame.
+  write_bytes(spill + "/sp-0000000000000001-8x6-c0.spec.tmp", "half-written");
+  write_bytes(spill + "/garbage.spec", "not a spectrum frame at all");
+  write_bytes(spill + "/unrelated.txt", "left alone");
+
+  stitch::SpectrumStore store({spill, nullptr});
+  const stitch::SpectrumStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.gc_removed, 2u);
+  EXPECT_EQ(stats.spectrum_frames, 0u);
+  EXPECT_FALSE(fs::exists(spill + "/sp-0000000000000001-8x6-c0.spec.tmp"));
+  EXPECT_FALSE(fs::exists(spill + "/garbage.spec"));
+  EXPECT_TRUE(fs::exists(spill + "/unrelated.txt"));  // never touched
+}
+
+TEST_F(ServiceRecoveryTest, OrphanedCheckpointTmpIsSweptAtStartup) {
+  const testing_grid grid = small_grid();
+  stitch::MemoryTileProvider provider(&grid.tiles, grid.layout);
+  const std::string ckpt = dir_ + "/swept.ckpt";
+
+  stitch::StitchRequest request{stitch::Backend::kSimpleCpu, &provider,
+                                fast_options()};
+  // The journal of a process that died between a checkpoint's temp write
+  // and its rename: the job even finished (terminal), but the .tmp orphan
+  // is still on disk.
+  {
+    serve::Journal journal(journal_config());
+    journal.replay();
+    const std::uint64_t id = journal.next_job_id();
+    journal.append_submitted(id, "swept",
+                             stitch::serialize_request(request), ckpt, 0);
+    journal.append_started(id);
+    journal.append_terminal(id, "done");
+    journal.flush();
+  }
+  write_bytes(ckpt, "published checkpoint, must survive");
+  write_bytes(ckpt + ".tmp", "torn half-checkpoint");
+
+  serve::ServiceConfig config;
+  config.workers = 1;
+  config.journal = journal_config();
+  config.provider_resolver = [&provider](const std::string&) {
+    return &provider;
+  };
+  serve::StitchService service(config);
+  EXPECT_EQ(service.recovery_stats().checkpoint_tmp_removed, 1u);
+  EXPECT_FALSE(fs::exists(ckpt + ".tmp"));
+  EXPECT_EQ(read_bytes(ckpt), "published checkpoint, must survive");
 }
 
 // ---------------------------------------------------------------------------
